@@ -1,0 +1,416 @@
+package genio_test
+
+// Benchmark harness: one testing.B per reproduced figure/lesson, exercising
+// the hot path of each mitigation. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// The genio-bench command prints the corresponding experiment reports;
+// these benchmarks provide the machine-measured per-operation costs.
+
+import (
+	"fmt"
+	"testing"
+
+	"genio"
+	"genio/internal/attack"
+	"genio/internal/container"
+	"genio/internal/core"
+	"genio/internal/falco"
+	"genio/internal/fim"
+	"genio/internal/host"
+	"genio/internal/macsec"
+	"genio/internal/malware"
+	"genio/internal/pki"
+	"genio/internal/pon"
+	"genio/internal/rbac"
+	"genio/internal/sandbox"
+	"genio/internal/sast"
+	"genio/internal/sca"
+	"genio/internal/scap"
+	"genio/internal/threatmodel"
+	"genio/internal/tpm"
+	"genio/internal/trace"
+	"genio/internal/updates"
+	"genio/internal/vuln"
+)
+
+// --- Figure 3 ---------------------------------------------------------------
+
+func BenchmarkThreatModelMatrix(b *testing.B) {
+	m := threatmodel.GENIOModel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(m.Matrix()) != 8 {
+			b.Fatal("bad matrix")
+		}
+	}
+}
+
+// --- Lesson 1: hardening ------------------------------------------------------
+
+func BenchmarkSCAPEvaluate(b *testing.B) {
+	h := host.NewONLOLT("olt-bench")
+	profile := scap.SCAPBaselineProfile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scap.EvaluateHost(profile, h)
+	}
+}
+
+func BenchmarkKernelHardeningCheck(b *testing.B) {
+	h := host.NewONLOLT("olt-bench")
+	host.HardenONLOLT(h)
+	profile := scap.KernelHardeningProfile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scap.EvaluateHost(profile, h)
+	}
+}
+
+// --- Lesson 2: encryption ------------------------------------------------------
+
+func benchChannel(b *testing.B) (*macsec.SecY, *macsec.SecY) {
+	b.Helper()
+	a, z := macsec.NewSecY("a"), macsec.NewSecY("z")
+	var key [32]byte
+	key[0] = 1
+	if _, err := macsec.NewChannel(a, z, key, 1<<30); err != nil {
+		b.Fatal(err)
+	}
+	return a, z
+}
+
+func BenchmarkMACsecProtect(b *testing.B) {
+	a, _ := benchChannel(b)
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Protect(0, macsec.Frame{Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMACsecProtectValidate(b *testing.B) {
+	a, z := benchChannel(b)
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pf, err := a.Protect(0, macsec.Frame{Payload: payload})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := z.Validate(pf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPONEncryptedFrame(b *testing.B) {
+	kr := pon.NewKeyRing()
+	var key [32]byte
+	key[0] = 7
+	kr.SetKey(1, key)
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := kr.EncryptFrame(1, uint64(i+1), payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := kr.DecryptFrame(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOnboardingHandshake(b *testing.B) {
+	ca, err := pki.NewCA("bench-root")
+	if err != nil {
+		b.Fatal(err)
+	}
+	oltID, err := ca.Issue("olt", pki.RoleOLT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	olt, err := pon.NewOLT("olt", pon.ModeAuthenticated, ca, oltID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial := fmt.Sprintf("onu-%d", i)
+		id, err := ca.Issue(serial, pki.RoleONU)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := olt.Activate(pon.NewONU(serial, id)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- M5/M6 substrate costs ------------------------------------------------------
+
+func BenchmarkTPMExtend(b *testing.B) {
+	t, err := tpm.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := []byte("component-image")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := t.Extend(tpm.PCRApp, "bench", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTPMSealUnseal(b *testing.B) {
+	t, err := tpm.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	secret := make([]byte, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blob, err := t.Seal(secret, []int{tpm.PCRKernel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := t.Unseal(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Lesson 3: FIM -------------------------------------------------------------
+
+func BenchmarkFIMScan(b *testing.B) {
+	h := host.NewONLOLT("olt-bench")
+	t, err := tpm.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := fim.NewMonitor(h, t, fim.Config{MutablePrefixes: []string{"/var/log/"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Init(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Scan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Lesson 4: scanning + updates -------------------------------------------------
+
+func BenchmarkVulnScan(b *testing.B) {
+	h := host.NewONLOLT("olt-bench")
+	s := vuln.NewScanner(vuln.DefaultDatabase())
+	s.AddSearchPath("/opt/")
+	s.AddSearchPath("/lib/onl")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Scan(h)
+	}
+}
+
+func BenchmarkUpdateVerify(b *testing.B) {
+	repo, err := updates.NewRepository("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := host.New("node", "onl")
+	client := updates.NewClient(repo.PublicKey(), h)
+	pkg := repo.Publish("agent", "1.0", make([]byte, 4096))
+	md := repo.Metadata()
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Install(md, pkg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Lesson 5: RBAC ---------------------------------------------------------------
+
+func BenchmarkRBACCheck(b *testing.B) {
+	e := rbac.NewEngine()
+	e.SetRole(rbac.Role{Name: "deployer", Permissions: []rbac.Permission{
+		{Verb: "create", Resource: "workloads", Namespace: "acme"},
+		{Verb: "get", Resource: "pods", Namespace: "acme"},
+		{Verb: "watch", Resource: "pods", Namespace: "acme"},
+	}})
+	if err := e.Bind("ci", "deployer"); err != nil {
+		b.Fatal(err)
+	}
+	req := rbac.Permission{Verb: "create", Resource: "workloads", Namespace: "acme"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !e.Check("ci", req).Allowed {
+			b.Fatal("denied")
+		}
+	}
+}
+
+func BenchmarkSDNAllowlist(b *testing.B) {
+	a := rbac.DefaultSDNAllowlist()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Allow("device.register")
+		a.Allow("shell.exec")
+	}
+}
+
+// --- Lesson 6: feeds ----------------------------------------------------------------
+
+func BenchmarkFeedTracking(b *testing.B) {
+	tr := vuln.NewTracker(vuln.DefaultFeeds(), 5)
+	db := vuln.DefaultDatabase()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.TrackAll(db)
+	}
+}
+
+// --- Lesson 7: app scanning -----------------------------------------------------------
+
+func BenchmarkSCAScan(b *testing.B) {
+	s := sca.NewScanner(sca.DependencyDatabase())
+	img := container.IoTGatewayImage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Scan(img)
+	}
+}
+
+func BenchmarkSASTScan(b *testing.B) {
+	s := sast.NewScanner(sast.DefaultRules())
+	img := container.IoTGatewayImage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Scan(img)
+	}
+}
+
+func BenchmarkMalwareScan(b *testing.B) {
+	s, err := malware.NewScanner(malware.DefaultRules())
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := container.CryptominerImage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !s.Scan(img).Malicious() {
+			b.Fatal("missed")
+		}
+	}
+}
+
+// --- Lesson 8: runtime ------------------------------------------------------------------
+
+func BenchmarkFalcoPipeline(b *testing.B) {
+	e := falco.NewEngine(falco.DefaultRules())
+	events := trace.BenignWebTrace("bench", "acme", 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ConsumeAll(events)
+	}
+	b.ReportMetric(float64(len(events)), "events/op")
+}
+
+func BenchmarkSandboxEnforce(b *testing.B) {
+	e := sandbox.NewEnforcer()
+	e.SetPolicy("bench", sandbox.DefaultWorkloadPolicy())
+	events := trace.BenignWebTrace("bench", "acme", 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Process(events)
+	}
+	b.ReportMetric(float64(len(events)), "events/op")
+}
+
+// --- End-to-end ----------------------------------------------------------------------------
+
+func BenchmarkAdmissionPipeline(b *testing.B) {
+	p, err := core.New(core.SecureConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.AddEdgeNode("olt-bench", genio.Resources{CPUMilli: 1 << 30, MemoryMB: 1 << 30}); err != nil {
+		b.Fatal(err)
+	}
+	pub, err := container.NewPublisher("acme")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Registry.TrustPublisher("acme", pub.PublicKey())
+	img := container.AnalyticsImage()
+	sig := pub.Sign(img)
+	p.Registry.Push(img, &sig)
+	p.RBAC.SetRole(rbac.Role{Name: "deployer", Permissions: []rbac.Permission{
+		{Verb: "create", Resource: "workloads", Namespace: "acme"},
+	}})
+	if err := p.RBAC.Bind("ci", "deployer"); err != nil {
+		b.Fatal(err)
+	}
+	p.Cluster.SetQuota("acme", genio.Resources{}) // unlimited for the bench
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("w-%d", i)
+		if _, err := p.Deploy("ci", genio.WorkloadSpec{
+			Name: name, Tenant: "acme", ImageRef: "acme/analytics:2.0.1",
+			Isolation: genio.IsolationSoft,
+			Resources: genio.Resources{CPUMilli: 1, MemoryMB: 1},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullCampaignSecure(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := core.New(core.SecureConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := attack.NewCampaign(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		results := c.Run()
+		if attack.Summary(results)[attack.OutcomeMissed] != 0 {
+			b.Fatal("secure platform missed an attack")
+		}
+	}
+}
+
+func BenchmarkSecureBootAndAttest(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := core.New(core.SecureConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.AddEdgeNode("olt", genio.Resources{CPUMilli: 1000, MemoryMB: 1024}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

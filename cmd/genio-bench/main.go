@@ -1,0 +1,68 @@
+// Command genio-bench runs the reproduction experiments: the three paper
+// figures, the eight Lesson studies, and the end-to-end attack campaign.
+//
+// Usage:
+//
+//	genio-bench -list
+//	genio-bench -exp fig3
+//	genio-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"genio/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "genio-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("genio-bench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	exp := fs.String("exp", "all", "experiment id to run (see -list), or 'all'")
+	list := fs.Bool("list", false, "list available experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%-9s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			if err := runOne(out, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e, ok := experiments.ByID(*exp)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+	}
+	return runOne(out, e)
+}
+
+func runOne(out io.Writer, e experiments.Experiment) error {
+	fmt.Fprintf(out, "==============================================================\n")
+	fmt.Fprintf(out, "[%s] %s\n", e.ID, e.Title)
+	fmt.Fprintf(out, "==============================================================\n")
+	text, err := e.Run()
+	if err != nil {
+		return fmt.Errorf("experiment %s: %w", e.ID, err)
+	}
+	fmt.Fprintln(out, text)
+	return nil
+}

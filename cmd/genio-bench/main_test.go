@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	out := buf.String()
+	for _, id := range []string{"fig1", "fig3", "lesson1", "lesson8", "e2e", "ablation", "risk"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig3"}, &buf); err != nil {
+		t.Fatalf("run -exp fig3: %v", err)
+	}
+	if !strings.Contains(buf.String(), "T1") || !strings.Contains(buf.String(), "M18") {
+		t.Fatalf("fig3 output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "ghost"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

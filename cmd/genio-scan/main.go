@@ -1,0 +1,164 @@
+// Command genio-scan is the operator scanning tool: vulnerability and
+// compliance scans over the modelled ONL host, supply-chain scans over
+// the demo images, and patch planning — the M8/M12/M13 workflows as a CLI.
+//
+// Usage:
+//
+//	genio-scan host                 # CVE scan + hardening benchmarks
+//	genio-scan host -tuned          # with non-standard ONL paths configured
+//	genio-scan image acme/iot-gateway:1.4.2
+//	genio-scan images               # list scannable demo images
+//	genio-scan plan                 # prioritized patch plan for the host
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"genio/internal/container"
+	"genio/internal/host"
+	"genio/internal/malware"
+	"genio/internal/sast"
+	"genio/internal/sca"
+	"genio/internal/scap"
+	"genio/internal/vuln"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "genio-scan:", err)
+		os.Exit(1)
+	}
+}
+
+func demoImages() []*container.Image {
+	return []*container.Image{
+		container.IoTGatewayImage(),
+		container.MLInferenceImage(),
+		container.AnalyticsImage(),
+		container.CryptominerImage(),
+		container.BackdoorImage(),
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: genio-scan host|image <ref>|images|plan")
+	}
+	switch args[0] {
+	case "host":
+		fs := flag.NewFlagSet("host", flag.ContinueOnError)
+		fs.SetOutput(out)
+		tuned := fs.Bool("tuned", false, "add non-standard ONL search paths")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		return scanHost(out, *tuned)
+	case "image":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: genio-scan image <ref>")
+		}
+		return scanImage(out, args[1])
+	case "images":
+		for _, img := range demoImages() {
+			fmt.Fprintln(out, img.Ref())
+		}
+		return nil
+	case "plan":
+		return patchPlan(out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func tunedScanner() *vuln.Scanner {
+	s := vuln.NewScanner(vuln.DefaultDatabase())
+	s.AddSearchPath("/opt/")
+	s.AddSearchPath("/lib/onl")
+	return s
+}
+
+func scanHost(out io.Writer, tuned bool) error {
+	h := host.NewONLOLT("olt-01")
+	s := vuln.NewScanner(vuln.DefaultDatabase())
+	if tuned {
+		s = tunedScanner()
+	}
+	rep := s.Scan(h)
+	fmt.Fprintf(out, "CVE scan of %s (%s): %d findings, %d packages scanned, %d skipped\n",
+		h.Name, h.Distro, len(rep.Findings), rep.Scanned, rep.Skipped)
+	if rep.Skipped > 0 {
+		fmt.Fprintln(out, "warning: packages outside search paths were skipped; re-run with -tuned")
+	}
+	for _, f := range rep.Findings {
+		fmt.Fprintf(out, "  %-14s %-16s %-10s cvss=%.1f exploitable=%v\n",
+			f.CVE.ID, f.Package, f.Version, f.CVE.CVSS, f.CVE.Exploitable)
+	}
+
+	fmt.Fprintln(out, "\nhardening benchmarks:")
+	for _, p := range []scap.HostProfile{
+		scap.SCAPBaselineProfile(), scap.STIGProfile(), scap.KernelHardeningProfile(),
+	} {
+		r := scap.EvaluateHost(p, h)
+		pass, fail, na, manual := r.Counts()
+		fmt.Fprintf(out, "  %-26s pass=%d fail=%d n/a=%d manual=%d\n", p.Name, pass, fail, na, manual)
+	}
+	return nil
+}
+
+func scanImage(out io.Writer, ref string) error {
+	var img *container.Image
+	for _, candidate := range demoImages() {
+		if candidate.Ref() == ref {
+			img = candidate
+			break
+		}
+	}
+	if img == nil {
+		return fmt.Errorf("unknown image %q (see 'genio-scan images')", ref)
+	}
+
+	scaRep := sca.NewScanner(sca.DependencyDatabase()).Scan(img)
+	reachable := scaRep.ReachableOnly()
+	fmt.Fprintf(out, "SCA: %d findings (%d reachable)\n", len(scaRep.Findings), len(reachable.Findings))
+	for _, f := range reachable.Findings {
+		fmt.Fprintf(out, "  %-16s %-14s %-10s cvss=%.1f\n", f.CVE.ID, f.Dependency.Name, f.Dependency.Version, f.CVE.CVSS)
+	}
+
+	sastRep := sast.NewScanner(sast.DefaultRules()).Scan(img)
+	fmt.Fprintf(out, "SAST: %d findings (%d actionable)\n", len(sastRep.Findings), len(sastRep.Actionable()))
+	for _, f := range sastRep.Actionable() {
+		fmt.Fprintf(out, "  %-24s %s:%d\n", f.RuleID, f.Path, f.Line)
+	}
+
+	mal, err := malware.NewScanner(malware.DefaultRules())
+	if err != nil {
+		return err
+	}
+	malRep := mal.Scan(img)
+	if malRep.Malicious() {
+		fmt.Fprintf(out, "MALWARE: DETECTED — %s in %s\n", malRep.Matches[0].Rule, malRep.Matches[0].Path)
+	} else {
+		fmt.Fprintln(out, "MALWARE: clean")
+	}
+
+	bench := scap.EvaluateImage(scap.DockerBenchProfile(), img)
+	pass, fail, _, _ := bench.Counts()
+	fmt.Fprintf(out, "docker-bench: pass=%d fail=%d\n", pass, fail)
+	for _, f := range bench.Failures() {
+		fmt.Fprintf(out, "  [%s] %s: %s\n", f.Severity, f.Title, f.Detail)
+	}
+	return nil
+}
+
+func patchPlan(out io.Writer) error {
+	h := host.NewONLOLT("olt-01")
+	rep := tunedScanner().Scan(h)
+	plan := vuln.BuildPlan(rep.Findings)
+	fmt.Fprintf(out, "patch plan for %s (%d findings across %d packages):\n\n",
+		h.Name, len(rep.Findings), len(plan.Actions))
+	fmt.Fprint(out, plan.Render())
+	return nil
+}

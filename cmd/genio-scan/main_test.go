@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestHostScanStock(t *testing.T) {
+	out := runOut(t, "host")
+	if !strings.Contains(out, "skipped") || !strings.Contains(out, "re-run with -tuned") {
+		t.Fatalf("stock scan output missing skip warning:\n%s", out)
+	}
+	if !strings.Contains(out, "CVE-2023-1005") {
+		t.Fatal("docker CVE missing")
+	}
+}
+
+func TestHostScanTuned(t *testing.T) {
+	out := runOut(t, "host", "-tuned")
+	if strings.Contains(out, "re-run with -tuned") {
+		t.Fatal("tuned scan still warns about skipped packages")
+	}
+	if !strings.Contains(out, "CVE-2023-1007") { // onos under /opt
+		t.Fatal("tuned scan missed ONOS CVE")
+	}
+	if !strings.Contains(out, "kernel-hardening-checker") {
+		t.Fatal("benchmarks not printed")
+	}
+}
+
+func TestImageScanMalicious(t *testing.T) {
+	out := runOut(t, "image", "freestuff/optimizer:latest")
+	if !strings.Contains(out, "MALWARE: DETECTED") {
+		t.Fatalf("miner not detected:\n%s", out)
+	}
+	if !strings.Contains(out, "CAP_SYS_ADMIN") {
+		t.Fatal("docker-bench capability failure not shown")
+	}
+}
+
+func TestImageScanVulnerable(t *testing.T) {
+	out := runOut(t, "image", "acme/iot-gateway:1.4.2")
+	if !strings.Contains(out, "hardcoded-credential") {
+		t.Fatal("SAST finding missing")
+	}
+	if !strings.Contains(out, "MALWARE: clean") {
+		t.Fatal("clean image flagged")
+	}
+}
+
+func TestImagesList(t *testing.T) {
+	out := runOut(t, "images")
+	if !strings.Contains(out, "acme/analytics:2.0.1") {
+		t.Fatalf("images list incomplete:\n%s", out)
+	}
+}
+
+func TestPlan(t *testing.T) {
+	out := runOut(t, "plan")
+	if !strings.Contains(out, "emergency") || !strings.Contains(out, "docker-ce") {
+		t.Fatalf("plan output:\n%s", out)
+	}
+	if !strings.Contains(out, "compensating controls") {
+		t.Fatal("no-fix mitigation wave missing")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("no-args accepted")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"image"}, &buf); err == nil {
+		t.Fatal("image without ref accepted")
+	}
+	if err := run([]string{"image", "ghost:1"}, &buf); err == nil {
+		t.Fatal("unknown image accepted")
+	}
+}

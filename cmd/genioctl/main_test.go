@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSecurePosture(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-posture", "secure"}, &buf); err != nil {
+		t.Fatalf("run secure: %v", err)
+	}
+	out := buf.String()
+	for _, needle := range []string{
+		"attested=true",
+		"hostile image rejected",
+		"BLOCKED",
+		"FAR-EDGE",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("secure output missing %q", needle)
+		}
+	}
+}
+
+func TestLegacyPosture(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-posture", "legacy"}, &buf); err != nil {
+		t.Fatalf("run legacy: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "hostile image ADMITTED") {
+		t.Error("legacy posture should admit the hostile image")
+	}
+	if !strings.Contains(out, "attested=false") {
+		t.Error("legacy nodes should not attest")
+	}
+	if !strings.Contains(out, "(empty — nothing was blocked or detected)") {
+		t.Error("legacy incident log should be empty")
+	}
+}
+
+func TestCampaignFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-posture", "secure", "-campaign"}, &buf); err != nil {
+		t.Fatalf("run campaign: %v", err)
+	}
+	if !strings.Contains(buf.String(), "missed=0") {
+		t.Errorf("secure campaign should miss nothing:\n%s", buf.String())
+	}
+}
+
+func TestUnknownPosture(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-posture", "chaotic"}, &buf); err == nil {
+		t.Fatal("unknown posture accepted")
+	}
+}

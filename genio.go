@@ -1,0 +1,94 @@
+// Package genio is the public API of the GENIO reproduction: a secure-by-
+// design edge-computing platform on Passive Optical Network infrastructure,
+// as described in "Security-by-Design at the Telco Edge with OSS:
+// Challenges and Lessons Learned" (DSN 2025).
+//
+// The facade re-exports the platform core and the vocabulary types needed
+// to drive it; the specialised subsystems (PON simulation, TPM, scanners,
+// detectors, ...) live in internal packages and are reachable through the
+// Platform's fields and the returned node/workload handles.
+//
+// Quick start:
+//
+//	p, err := genio.NewPlatform(genio.SecureConfig())
+//	node, err := p.AddEdgeNode("olt-01", genio.Resources{CPUMilli: 8000, MemoryMB: 16384})
+//	onu, err := p.AttachONU("olt-01", "onu-0001")
+//	w, err := p.Deploy("tenant-ci", genio.WorkloadSpec{...})
+package genio
+
+import (
+	"genio/internal/attack"
+	"genio/internal/core"
+	"genio/internal/orchestrator"
+	"genio/internal/pon"
+	"genio/internal/threatmodel"
+)
+
+// Platform is a running GENIO deployment. See core.Platform.
+type Platform = core.Platform
+
+// Config selects which mitigations are active. See core.Config.
+type Config = core.Config
+
+// EdgeNode is a provisioned OLT edge hub.
+type EdgeNode = core.EdgeNode
+
+// Incident is one security-relevant occurrence recorded by the platform.
+type Incident = core.Incident
+
+// WorkloadSpec describes a deployment request.
+type WorkloadSpec = orchestrator.WorkloadSpec
+
+// Resources is a CPU/memory demand or capacity.
+type Resources = orchestrator.Resources
+
+// IsolationMode selects hard (dedicated VM) or soft (shared VM container)
+// isolation.
+type IsolationMode = orchestrator.IsolationMode
+
+// Isolation modes.
+const (
+	IsolationSoft = orchestrator.IsolationSoft
+	IsolationHard = orchestrator.IsolationHard
+)
+
+// PON security modes (M3/M4 posture of the optical segment).
+const (
+	PONPlaintext     = pon.ModePlaintext
+	PONEncrypted     = pon.ModeEncrypted
+	PONAuthenticated = pon.ModeAuthenticated
+)
+
+// NewPlatform builds a platform with the given mitigation configuration.
+func NewPlatform(cfg Config) (*Platform, error) { return core.New(cfg) }
+
+// SecureConfig returns the paper's full security-by-design posture.
+func SecureConfig() Config { return core.SecureConfig() }
+
+// LegacyConfig returns the unprotected pre-project posture.
+func LegacyConfig() Config { return core.LegacyConfig() }
+
+// ThreatModel returns the paper's STRIDE model (threats T1–T8, mitigations
+// M1–M18, and the Figure-3 coverage matrix).
+func ThreatModel() *threatmodel.Model { return threatmodel.GENIOModel() }
+
+// Campaign executes scripted adversaries for T1–T8 against a platform.
+type Campaign = attack.Campaign
+
+// AttackResult is one executed attack with its outcome.
+type AttackResult = attack.Result
+
+// Attack outcomes.
+const (
+	AttackBlocked  = attack.OutcomeBlocked
+	AttackDetected = attack.OutcomeDetected
+	AttackMissed   = attack.OutcomeMissed
+)
+
+// NewCampaign prepares an attack campaign against p.
+func NewCampaign(p *Platform) (*Campaign, error) { return attack.NewCampaign(p) }
+
+// SummarizeAttacks tallies campaign outcomes.
+func SummarizeAttacks(results []AttackResult) map[attack.Outcome]int {
+	return attack.Summary(results)
+}

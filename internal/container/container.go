@@ -1,0 +1,263 @@
+// Package container models the container supply chain GENIO's application-
+// level mitigations operate on: images built from layers, configuration
+// (entrypoint, user, Linux capabilities), a dependency manifest for SCA,
+// and a registry with publisher signing.
+//
+// Images are the unit that T7 (vulnerable applications) and T8 (malicious
+// applications) arrive in, and the artifact M13/M16 scan before admission.
+package container
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is one file inside an image layer.
+type File struct {
+	Path    string `json:"path"`
+	Mode    uint32 `json:"mode"`
+	Content []byte `json:"content"`
+}
+
+// Layer is an ordered set of files; later layers override earlier ones.
+type Layer struct {
+	Files []File `json:"files"`
+}
+
+// Digest computes the layer content digest.
+func (l Layer) Digest() string {
+	files := append([]File(nil), l.Files...)
+	sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
+	h := sha256.New()
+	for _, f := range files {
+		h.Write([]byte(f.Path))
+		h.Write([]byte{0})
+		fmt.Fprintf(h, "%o", f.Mode)
+		h.Write([]byte{0})
+		h.Write(f.Content)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Dependency is one entry in the image's software manifest, the SCA input.
+type Dependency struct {
+	Name     string `json:"name"`
+	Version  string `json:"version"`
+	Language string `json:"language"` // "python", "java", "go", "os"
+	// Direct is true for dependencies the application imports itself.
+	Direct bool `json:"direct"`
+	// Reachable is true when application code actually calls into the
+	// dependency. SCA tools that ignore reachability flag everything and
+	// produce the Lesson-7 noise; reachability-aware filtering trims it.
+	Reachable bool `json:"reachable"`
+}
+
+// Config is the runtime configuration baked into an image.
+type Config struct {
+	Entrypoint   []string `json:"entrypoint"`
+	User         string   `json:"user"` // "" or "root" means UID 0
+	Capabilities []string `json:"capabilities,omitempty"`
+	Env          []string `json:"env,omitempty"`
+	ExposedPorts []int    `json:"exposedPorts,omitempty"`
+	// HasRESTAPI marks images exposing an OpenAPI-described REST surface,
+	// the precondition for DAST fuzzing (Lesson 7).
+	HasRESTAPI bool `json:"hasRestApi"`
+}
+
+// RunsAsRoot reports whether the image executes as UID 0.
+func (c Config) RunsAsRoot() bool { return c.User == "" || c.User == "root" }
+
+// HasCapability reports whether the image requests a Linux capability.
+func (c Config) HasCapability(cap string) bool {
+	for _, v := range c.Capabilities {
+		if strings.EqualFold(v, cap) {
+			return true
+		}
+	}
+	return false
+}
+
+// Image is a container image.
+type Image struct {
+	Name         string       `json:"name"`
+	Tag          string       `json:"tag"`
+	Layers       []Layer      `json:"layers"`
+	Config       Config       `json:"config"`
+	Dependencies []Dependency `json:"dependencies"`
+}
+
+// Ref returns name:tag.
+func (i *Image) Ref() string { return i.Name + ":" + i.Tag }
+
+// Digest computes the image manifest digest over layer digests and config.
+func (i *Image) Digest() string {
+	h := sha256.New()
+	h.Write([]byte(i.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(i.Tag))
+	for _, l := range i.Layers {
+		h.Write([]byte(l.Digest()))
+	}
+	fmt.Fprintf(h, "%v|%s|%v|%v", i.Config.Entrypoint, i.Config.User,
+		i.Config.Capabilities, i.Config.ExposedPorts)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Flatten merges layers into the final filesystem view (later layers win).
+// This is what Crane-style extraction (M13) hands to SAST scanners.
+func (i *Image) Flatten() map[string]File {
+	out := make(map[string]File)
+	for _, l := range i.Layers {
+		for _, f := range l.Files {
+			out[f.Path] = f
+		}
+	}
+	return out
+}
+
+// FilesByExtension returns flattened files whose path ends with ext, sorted.
+func (i *Image) FilesByExtension(ext string) []File {
+	var out []File
+	for _, f := range i.Flatten() {
+		if strings.HasSuffix(f.Path, ext) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Path < out[b].Path })
+	return out
+}
+
+// --- Registry ---------------------------------------------------------------
+
+// Signature is a publisher's signature over an image digest.
+type Signature struct {
+	Publisher string `json:"publisher"`
+	Digest    string `json:"digest"`
+	Sig       []byte `json:"sig"`
+}
+
+// Errors returned by registry operations.
+var (
+	ErrNotFound     = errors.New("container: image not found")
+	ErrUnsigned     = errors.New("container: image not signed")
+	ErrBadSignature = errors.New("container: image signature invalid")
+)
+
+// Publisher signs images for distribution (a business user in GENIO terms).
+type Publisher struct {
+	Name string
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewPublisher creates a publisher with a fresh key.
+func NewPublisher(name string) (*Publisher, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("publisher key: %w", err)
+	}
+	return &Publisher{Name: name, priv: priv, pub: pub}, nil
+}
+
+// PublicKey returns the publisher verification key.
+func (p *Publisher) PublicKey() ed25519.PublicKey {
+	out := make(ed25519.PublicKey, len(p.pub))
+	copy(out, p.pub)
+	return out
+}
+
+// Sign produces a signature over the image digest.
+func (p *Publisher) Sign(img *Image) Signature {
+	d := img.Digest()
+	return Signature{Publisher: p.Name, Digest: d, Sig: ed25519.Sign(p.priv, []byte(d))}
+}
+
+// Registry stores images and their signatures; it is the public GENIO
+// image registry business users publish to. Safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	images     map[string]*Image
+	signatures map[string]Signature
+	publishers map[string]ed25519.PublicKey // trusted publisher keys
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		images:     make(map[string]*Image),
+		signatures: make(map[string]Signature),
+		publishers: make(map[string]ed25519.PublicKey),
+	}
+}
+
+// TrustPublisher registers a publisher's verification key.
+func (r *Registry) TrustPublisher(name string, pub ed25519.PublicKey) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.publishers[name] = pub
+}
+
+// Push stores an image, optionally with its signature.
+func (r *Registry) Push(img *Image, sig *Signature) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.images[img.Ref()] = img
+	if sig != nil {
+		r.signatures[img.Ref()] = *sig
+	}
+}
+
+// Pull retrieves an image without verification (the permissive default).
+func (r *Registry) Pull(ref string) (*Image, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	img, ok := r.images[ref]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, ref)
+	}
+	return img, nil
+}
+
+// PullVerified retrieves an image and verifies its signature against a
+// trusted publisher key, the hardened admission posture.
+func (r *Registry) PullVerified(ref string) (*Image, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	img, ok := r.images[ref]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, ref)
+	}
+	sig, ok := r.signatures[ref]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnsigned, ref)
+	}
+	pub, ok := r.publishers[sig.Publisher]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown publisher %q", ErrBadSignature, sig.Publisher)
+	}
+	d := img.Digest()
+	if sig.Digest != d || !ed25519.Verify(pub, []byte(d), sig.Sig) {
+		return nil, fmt.Errorf("%w: %s", ErrBadSignature, ref)
+	}
+	return img, nil
+}
+
+// List returns all image refs sorted.
+func (r *Registry) List() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.images))
+	for ref := range r.images {
+		out = append(out, ref)
+	}
+	sort.Strings(out)
+	return out
+}

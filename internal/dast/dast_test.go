@@ -1,0 +1,123 @@
+package dast
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+func TestFuzzerFindsPlantedWeaknesses(t *testing.T) {
+	srv := httptest.NewServer(VulnerableHandler())
+	defer srv.Close()
+	rep, err := NewFuzzer().Fuzz(srv.URL, VulnerableSpec())
+	if err != nil {
+		t.Fatalf("Fuzz: %v", err)
+	}
+	if rep.RequestsSent == 0 {
+		t.Fatal("no requests sent")
+	}
+	kinds := map[FindingKind]bool{}
+	for _, f := range rep.Findings {
+		kinds[f.Kind] = true
+	}
+	if !kinds[FindingServerError] {
+		t.Errorf("missing server-error finding; findings = %+v", rep.Findings)
+	}
+	if !kinds[FindingAuthBypass] {
+		t.Errorf("missing auth-bypass finding")
+	}
+	if !kinds[FindingReflected] {
+		t.Errorf("missing reflected-input finding")
+	}
+}
+
+func TestFuzzerCleanOnFixedBuild(t *testing.T) {
+	srv := httptest.NewServer(FixedHandler("secret-token"))
+	defer srv.Close()
+	f := NewFuzzer()
+	f.AuthToken = "secret-token"
+	rep, err := f.Fuzz(srv.URL, VulnerableSpec())
+	if err != nil {
+		t.Fatalf("Fuzz: %v", err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("fixed build still has findings: %+v", rep.Findings)
+	}
+}
+
+func TestAuthBypassSpecificEndpoint(t *testing.T) {
+	srv := httptest.NewServer(VulnerableHandler())
+	defer srv.Close()
+	rep, err := NewFuzzer().Fuzz(srv.URL, VulnerableSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok bool
+	for _, f := range rep.Findings {
+		if f.Kind == FindingAuthBypass && f.Endpoint == "GET /admin" {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatal("auth bypass not attributed to /admin")
+	}
+}
+
+func TestFixedBuildRejectsWrongToken(t *testing.T) {
+	srv := httptest.NewServer(FixedHandler("secret-token"))
+	defer srv.Close()
+	f := NewFuzzer() // no token configured
+	rep, err := f.Fuzz(srv.URL, APISpec{Endpoints: []Endpoint{
+		{Method: "GET", Path: "/admin", RequiresAuth: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No auth-bypass finding: the endpoint properly returns 401.
+	if len(rep.Findings) != 0 {
+		t.Fatalf("findings = %+v", rep.Findings)
+	}
+}
+
+func TestFindingsSorted(t *testing.T) {
+	srv := httptest.NewServer(VulnerableHandler())
+	defer srv.Close()
+	rep, err := NewFuzzer().Fuzz(srv.URL, VulnerableSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rep.Findings); i++ {
+		a, b := rep.Findings[i-1], rep.Findings[i]
+		if a.Endpoint > b.Endpoint {
+			t.Fatal("findings not sorted by endpoint")
+		}
+	}
+}
+
+func TestCheckPorts(t *testing.T) {
+	open := []int{22, 8443, 8080, 9229}
+	expected := map[int]bool{22: true, 8443: true, 8080: true}
+	tlsOn := map[int]bool{22: true, 8443: true} // 8080 plaintext
+	findings := CheckPorts(open, expected, tlsOn)
+	if len(findings) != 2 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	if findings[0].Port != 8080 || findings[0].Issue != "tls-not-enforced" {
+		t.Fatalf("first = %+v", findings[0])
+	}
+	if findings[1].Port != 9229 || findings[1].Issue != "unexpected-open-port" {
+		t.Fatalf("second = %+v", findings[1])
+	}
+}
+
+func TestCheckPortsAllClean(t *testing.T) {
+	findings := CheckPorts([]int{443}, map[int]bool{443: true}, map[int]bool{443: true})
+	if len(findings) != 0 {
+		t.Fatalf("findings = %+v", findings)
+	}
+}
+
+func TestFindingKindString(t *testing.T) {
+	if FindingServerError.String() != "server-error" || FindingKind(9).String() != "finding(9)" {
+		t.Fatal("FindingKind.String mismatch")
+	}
+}

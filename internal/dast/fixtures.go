@@ -1,0 +1,95 @@
+package dast
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Fixture HTTP handlers modelling the two postures of a business-user
+// application: a vulnerable build with the weaknesses the paper's fuzzing
+// uncovers, and a fixed build that validates input, enforces auth, and
+// escapes output. Experiments fuzz both and compare finding counts.
+
+// VulnerableHandler returns an http.Handler with planted runtime
+// weaknesses: panics on malformed input, no auth enforcement on /admin,
+// and verbatim reflection of a query parameter.
+func VulnerableHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/login", func(w http.ResponseWriter, r *http.Request) {
+		user := r.URL.Query().Get("user")
+		// Insecure input handling: slicing without a length check panics
+		// on short input; net/http turns the panic into a 500.
+		prefix := user[:4]
+		fmt.Fprintf(w, "hello %s", prefix)
+	})
+	mux.HandleFunc("/devices", func(w http.ResponseWriter, r *http.Request) {
+		idStr := r.URL.Query().Get("id")
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			// Error message reflects raw input (XSS-style reflection).
+			fmt.Fprintf(w, "bad device id: %s", idStr)
+			return
+		}
+		if id < 0 {
+			panic("negative device id") // 500 on boundary input
+		}
+		fmt.Fprintf(w, "device %d", id)
+	})
+	mux.HandleFunc("/admin", func(w http.ResponseWriter, r *http.Request) {
+		// Improper authentication enforcement: no credential check at all.
+		fmt.Fprint(w, "admin console")
+	})
+	// Like real web frameworks, unhandled exceptions become 500 responses.
+	return recoverMiddleware(mux)
+}
+
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				http.Error(w, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// VulnerableSpec describes the vulnerable handler's API surface.
+func VulnerableSpec() APISpec {
+	return APISpec{Endpoints: []Endpoint{
+		{Method: http.MethodGet, Path: "/login", Params: []Param{{Name: "user", Type: "string", Required: true}}},
+		{Method: http.MethodGet, Path: "/devices", Params: []Param{{Name: "id", Type: "int", Required: true}}},
+		{Method: http.MethodGet, Path: "/admin", RequiresAuth: true},
+	}}
+}
+
+// FixedHandler returns the remediated build: input validation, HTML
+// escaping, and bearer-token enforcement on /admin.
+func FixedHandler(validToken string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/login", func(w http.ResponseWriter, r *http.Request) {
+		user := r.URL.Query().Get("user")
+		if len(user) < 4 || len(user) > 64 {
+			http.Error(w, "invalid user", http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, "hello %s", user[:4])
+	})
+	mux.HandleFunc("/devices", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.URL.Query().Get("id"))
+		if err != nil || id < 0 || id > 1<<20 {
+			http.Error(w, "invalid device id", http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, "device %d", id)
+	})
+	mux.HandleFunc("/admin", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") != "Bearer "+validToken {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		fmt.Fprint(w, "admin console")
+	})
+	return mux
+}

@@ -1,0 +1,254 @@
+// Package falco implements runtime threat detection for GENIO (M18, the
+// Falco role): a rule engine evaluating conditions over the syscall-level
+// event stream, producing prioritized alerts without blocking execution —
+// detection, not enforcement, exactly as the paper distinguishes it from
+// sandboxing.
+//
+// Rules carry condition functions with optional stateful context (e.g.
+// "shell spawned by a non-shell parent", "egress to a non-allowlisted
+// address"), and an exceptions list used for tuning. The Lesson-8
+// experiment measures false-positive rates before and after tuning on
+// identical traffic.
+package falco
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"genio/internal/trace"
+)
+
+// Priority ranks alerts, following Falco's levels.
+type Priority int
+
+// Priorities.
+const (
+	PriorityNotice Priority = iota + 1
+	PriorityWarning
+	PriorityCritical
+)
+
+var priorityNames = map[Priority]string{
+	PriorityNotice:   "notice",
+	PriorityWarning:  "warning",
+	PriorityCritical: "critical",
+}
+
+// String names the priority.
+func (p Priority) String() string {
+	if n, ok := priorityNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("priority(%d)", int(p))
+}
+
+// Alert is one detection.
+type Alert struct {
+	Rule     string      `json:"rule"`
+	Priority Priority    `json:"priority"`
+	Event    trace.Event `json:"event"`
+	Output   string      `json:"output"`
+}
+
+// Condition evaluates one event in the context of the events seen so far
+// for the same workload (state enables parent-process style conditions).
+type Condition func(e trace.Event, history []trace.Event) bool
+
+// Rule is one detection rule.
+type Rule struct {
+	Name     string
+	Priority Priority
+	Cond     Condition
+	// Exceptions suppress matches whose event target has one of these
+	// prefixes — the tuning mechanism of Lesson 8.
+	Exceptions []string
+}
+
+func (r Rule) excepted(e trace.Event) bool {
+	for _, ex := range r.Exceptions {
+		if strings.HasPrefix(e.Target, ex) {
+			return true
+		}
+	}
+	return false
+}
+
+// Engine evaluates rules over event streams. Safe for concurrent use.
+type Engine struct {
+	mu      sync.Mutex
+	rules   []Rule
+	history map[string][]trace.Event // per-workload context window
+	alerts  []Alert
+	// historyLimit bounds per-workload context retention.
+	historyLimit int
+}
+
+// NewEngine creates an engine with the given rules.
+func NewEngine(rules []Rule) *Engine {
+	return &Engine{
+		rules:        append([]Rule(nil), rules...),
+		history:      make(map[string][]trace.Event),
+		historyLimit: 256,
+	}
+}
+
+// SetExceptions replaces the exceptions of a named rule (tuning).
+func (e *Engine) SetExceptions(ruleName string, exceptions []string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.rules {
+		if e.rules[i].Name == ruleName {
+			e.rules[i].Exceptions = append([]string(nil), exceptions...)
+			return nil
+		}
+	}
+	return fmt.Errorf("falco: unknown rule %q", ruleName)
+}
+
+// Consume feeds one event through every rule, returning alerts raised.
+func (e *Engine) Consume(ev trace.Event) []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	hist := e.history[ev.Workload]
+	var raised []Alert
+	for _, r := range e.rules {
+		if r.Cond(ev, hist) && !r.excepted(ev) {
+			a := Alert{
+				Rule: r.Name, Priority: r.Priority, Event: ev,
+				Output: fmt.Sprintf("%s: workload=%s process=%s %s=%s",
+					r.Name, ev.Workload, ev.Process, ev.Type, ev.Target),
+			}
+			raised = append(raised, a)
+			e.alerts = append(e.alerts, a)
+		}
+	}
+	hist = append(hist, ev)
+	if len(hist) > e.historyLimit {
+		hist = hist[len(hist)-e.historyLimit:]
+	}
+	e.history[ev.Workload] = hist
+	return raised
+}
+
+// ConsumeAll feeds a whole trace, returning all alerts raised.
+func (e *Engine) ConsumeAll(events []trace.Event) []Alert {
+	var out []Alert
+	for _, ev := range events {
+		out = append(out, e.Consume(ev)...)
+	}
+	return out
+}
+
+// ConsumeAllTo feeds a trace and forwards every raised alert to the sink
+// (which may rate-limit or fan out). It returns the alerts raised.
+func (e *Engine) ConsumeAllTo(events []trace.Event, s Sink) []Alert {
+	alerts := e.ConsumeAll(events)
+	for _, a := range alerts {
+		s.Emit(a)
+	}
+	return alerts
+}
+
+// Alerts returns a copy of all alerts raised so far, critical first.
+func (e *Engine) Alerts() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Alert, len(e.alerts))
+	copy(out, e.alerts)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Priority > out[j].Priority })
+	return out
+}
+
+// Reset clears history and alerts (between experiment runs).
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.history = make(map[string][]trace.Event)
+	e.alerts = nil
+}
+
+// DefaultRules returns the stock detection set covering the behaviours the
+// paper lists: unexpected shell execution, unauthorized file access, and
+// unusual network connections, plus escape-adjacent syscall use.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name:     "shell-in-container",
+			Priority: PriorityCritical,
+			Cond: func(e trace.Event, hist []trace.Event) bool {
+				if e.Type != trace.EventExec {
+					return false
+				}
+				base := e.Target[strings.LastIndex(e.Target, "/")+1:]
+				if base != "bash" && base != "sh" && base != "zsh" {
+					return false
+				}
+				// Only shells spawned after startup (exec by an already-
+				// running process) are suspicious; the initial runc exec
+				// is the container entrypoint.
+				return len(hist) > 0
+			},
+		},
+		{
+			Name:     "sensitive-file-read",
+			Priority: PriorityCritical,
+			Cond: func(e trace.Event, _ []trace.Event) bool {
+				if e.Type != trace.EventFileOpen {
+					return false
+				}
+				for _, p := range []string{"/etc/shadow", "/var/run/secrets/", "/host/"} {
+					if strings.HasPrefix(e.Target, p) {
+						return true
+					}
+				}
+				return false
+			},
+		},
+		{
+			Name:     "unexpected-egress",
+			Priority: PriorityWarning,
+			Cond: func(e trace.Event, _ []trace.Event) bool {
+				if e.Type != trace.EventConnect {
+					return false
+				}
+				// Internal destinations are expected; anything else is
+				// flagged until tuned with an allowlist.
+				return !strings.HasSuffix(hostOf(e.Target), ".internal")
+			},
+		},
+		{
+			Name:     "privileged-syscall",
+			Priority: PriorityCritical,
+			Cond: func(e trace.Event, _ []trace.Event) bool {
+				if e.Type != trace.EventSyscall {
+					return false
+				}
+				return e.Target == "mount" || e.Target == "ptrace" || e.Target == "init_module"
+			},
+		},
+		{
+			Name:     "write-outside-app",
+			Priority: PriorityNotice,
+			Cond: func(e trace.Event, _ []trace.Event) bool {
+				if e.Type != trace.EventFileWrite {
+					return false
+				}
+				for _, p := range []string{"/app/", "/out/", "/tmp/"} {
+					if strings.HasPrefix(e.Target, p) {
+						return false
+					}
+				}
+				return true
+			},
+		},
+	}
+}
+
+func hostOf(target string) string {
+	if i := strings.LastIndex(target, ":"); i >= 0 {
+		return target[:i]
+	}
+	return target
+}

@@ -1,0 +1,94 @@
+package falco
+
+// Alert sinks: Falco forwards alerts to output channels (files, syslog,
+// chat, SIEM). Operationally the channel is where alert fatigue happens, so
+// GENIO's deployment wraps sinks with per-rule rate limiting and burst
+// deduplication — the second half of the Lesson-8 tuning story: even after
+// rule exceptions, a noisy rule must not page a human hundreds of times.
+
+import (
+	"sync"
+)
+
+// Sink receives emitted alerts.
+type Sink interface {
+	Emit(a Alert)
+}
+
+// SinkFunc adapts a function to Sink.
+type SinkFunc func(a Alert)
+
+// Emit calls the wrapped function.
+func (f SinkFunc) Emit(a Alert) { f(a) }
+
+// MemorySink buffers alerts for inspection (tests, dashboards).
+type MemorySink struct {
+	mu     sync.Mutex
+	alerts []Alert
+}
+
+// Emit stores the alert.
+func (m *MemorySink) Emit(a Alert) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.alerts = append(m.alerts, a)
+}
+
+// Alerts returns a copy of buffered alerts.
+func (m *MemorySink) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Alert, len(m.alerts))
+	copy(out, m.alerts)
+	return out
+}
+
+// RateLimiter wraps a sink with a per-rule token budget over a logical
+// window. The window advances via Tick (the engine host calls it per
+// aggregation interval), keeping the limiter deterministic for tests and
+// simulations instead of depending on wall-clock time.
+type RateLimiter struct {
+	next Sink
+	// PerRulePerWindow is the max alerts forwarded per rule per window.
+	perRule int
+
+	mu         sync.Mutex
+	counts     map[string]int
+	suppressed map[string]int
+}
+
+// NewRateLimiter creates a limiter forwarding at most perRule alerts per
+// rule per window to next.
+func NewRateLimiter(next Sink, perRule int) *RateLimiter {
+	return &RateLimiter{
+		next: next, perRule: perRule,
+		counts: make(map[string]int), suppressed: make(map[string]int),
+	}
+}
+
+// Emit forwards the alert unless the rule's budget for this window is
+// spent; a summary of suppressed counts is available via Suppressed.
+func (r *RateLimiter) Emit(a Alert) {
+	r.mu.Lock()
+	over := r.counts[a.Rule] >= r.perRule
+	if over {
+		r.suppressed[a.Rule]++
+	} else {
+		r.counts[a.Rule]++
+	}
+	r.mu.Unlock()
+	if !over {
+		r.next.Emit(a)
+	}
+}
+
+// Tick advances the window, resetting budgets. It returns the number of
+// alerts suppressed in the closed window per rule.
+func (r *RateLimiter) Tick() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.suppressed
+	r.counts = make(map[string]int)
+	r.suppressed = make(map[string]int)
+	return out
+}

@@ -1,0 +1,96 @@
+package falco
+
+import (
+	"testing"
+
+	"genio/internal/trace"
+)
+
+func TestMemorySinkCollects(t *testing.T) {
+	e := NewEngine(DefaultRules())
+	sink := &MemorySink{}
+	alerts := e.ConsumeAllTo(trace.ReverseShellTrace("web", "acme"), sink)
+	if len(alerts) == 0 {
+		t.Fatal("no alerts raised")
+	}
+	if got := len(sink.Alerts()); got != len(alerts) {
+		t.Fatalf("sink received %d, want %d", got, len(alerts))
+	}
+}
+
+func TestSinkFuncAdapter(t *testing.T) {
+	var count int
+	e := NewEngine(DefaultRules())
+	e.ConsumeAllTo(trace.CryptominerTrace("m", "t"), SinkFunc(func(Alert) { count++ }))
+	if count == 0 {
+		t.Fatal("SinkFunc never called")
+	}
+}
+
+func TestRateLimiterCapsPerRule(t *testing.T) {
+	inner := &MemorySink{}
+	rl := NewRateLimiter(inner, 3)
+	e := NewEngine(DefaultRules())
+	// A miner making 20 pool connections fires unexpected-egress 20x.
+	b := trace.NewBuilder("miner", "t")
+	b.Add(trace.EventExec, "runc", "/usr/bin/miner")
+	for i := 0; i < 20; i++ {
+		b.Add(trace.EventConnect, "miner", "pool.minexmr.example:4444")
+	}
+	raised := e.ConsumeAllTo(b.Events(), rl)
+	if len(raised) != 20 {
+		t.Fatalf("raised = %d, want 20", len(raised))
+	}
+	if got := len(inner.Alerts()); got != 3 {
+		t.Fatalf("forwarded = %d, want 3 (rate limited)", got)
+	}
+	suppressed := rl.Tick()
+	if suppressed["unexpected-egress"] != 17 {
+		t.Fatalf("suppressed = %v, want 17", suppressed)
+	}
+}
+
+func TestRateLimiterWindowReset(t *testing.T) {
+	inner := &MemorySink{}
+	rl := NewRateLimiter(inner, 1)
+	a := Alert{Rule: "r", Priority: PriorityNotice}
+	rl.Emit(a)
+	rl.Emit(a) // suppressed
+	if len(inner.Alerts()) != 1 {
+		t.Fatalf("forwarded = %d", len(inner.Alerts()))
+	}
+	rl.Tick()
+	rl.Emit(a) // new window, forwarded again
+	if len(inner.Alerts()) != 2 {
+		t.Fatalf("forwarded after reset = %d", len(inner.Alerts()))
+	}
+}
+
+func TestRateLimiterIsPerRule(t *testing.T) {
+	inner := &MemorySink{}
+	rl := NewRateLimiter(inner, 1)
+	rl.Emit(Alert{Rule: "a"})
+	rl.Emit(Alert{Rule: "b"}) // different rule, own budget
+	rl.Emit(Alert{Rule: "a"}) // suppressed
+	if got := len(inner.Alerts()); got != 2 {
+		t.Fatalf("forwarded = %d, want 2", got)
+	}
+}
+
+func TestCriticalAlertsStillVisibleUnderRateLimit(t *testing.T) {
+	// The limiter throttles repeats, not first occurrences: an attack's
+	// distinct critical rules all reach the operator.
+	inner := &MemorySink{}
+	rl := NewRateLimiter(inner, 1)
+	e := NewEngine(DefaultRules())
+	e.ConsumeAllTo(trace.ReverseShellTrace("web", "acme"), rl)
+	rules := map[string]bool{}
+	for _, a := range inner.Alerts() {
+		rules[a.Rule] = true
+	}
+	for _, want := range []string{"shell-in-container", "sensitive-file-read", "unexpected-egress"} {
+		if !rules[want] {
+			t.Errorf("rule %s throttled away entirely", want)
+		}
+	}
+}

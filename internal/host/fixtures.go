@@ -1,0 +1,198 @@
+package host
+
+// Fixtures building the modelled GENIO hosts. These encode the deployment
+// facts the paper reports: OLTs run Open Networking Linux (Debian 10 based),
+// carry SDN software (ONOS, VOLTHA) under non-standard prefixes, and start
+// from permissive defaults that M1/M2 hardening then tightens.
+
+// NewONLOLT models a freshly provisioned OLT host before hardening: ONL
+// Debian 10 with the SDN stack, legacy services enabled, permissive kernel
+// defaults. This is the Lesson-1 starting point.
+func NewONLOLT(name string) *Host {
+	h := New(name, "onl-debian10")
+
+	for _, p := range []Package{
+		{Name: "linux-image-onl", Version: "4.19.81", Path: "/boot"},
+		{Name: "openssh-server", Version: "7.9p1", Path: "/usr"},
+		{Name: "openssl", Version: "1.1.1d", Path: "/usr"},
+		{Name: "busybox", Version: "1.30.1", Path: "/bin"},
+		{Name: "onos", Version: "2.5.0", Path: "/opt/onos"},        // non-standard path
+		{Name: "voltha", Version: "2.8.0", Path: "/opt/voltha"},    // non-standard path
+		{Name: "onl-platform", Version: "1.2.0", Path: "/lib/onl"}, // non-standard path
+		{Name: "docker-ce", Version: "19.03.8", Path: "/usr"},
+		{Name: "kubelet", Version: "1.21.0", Path: "/usr"},
+		{Name: "ntp", Version: "4.2.8p12", Path: "/usr"},
+		{Name: "telnetd", Version: "0.17", Path: "/usr"}, // legacy, should be stripped
+		{Name: "ftp", Version: "0.17", Path: "/usr"},     // legacy, should be stripped
+		{Name: "curl", Version: "7.64.0", Path: "/usr"},
+		{Name: "bash", Version: "5.0", Path: "/bin"},
+	} {
+		h.InstallPackage(p)
+	}
+
+	for _, s := range []Service{
+		{Name: "sshd", Enabled: true, ListenPort: 22},
+		{Name: "onos", Enabled: true, ListenPort: 8181},
+		{Name: "voltha", Enabled: true, ListenPort: 50060},
+		{Name: "dockerd", Enabled: true},
+		{Name: "kubelet", Enabled: true, ListenPort: 10250},
+		{Name: "ntpd", Enabled: false},
+		{Name: "telnetd", Enabled: true, ListenPort: 23},       // insecure default
+		{Name: "ftpd", Enabled: true, ListenPort: 21},          // insecure default
+		{Name: "debug-agent", Enabled: true, ListenPort: 9229}, // vendor debug endpoint
+	} {
+		h.SetService(s)
+	}
+
+	for _, a := range []Account{
+		{Name: "root", UID: 0, Shell: "/bin/bash", PasswordLogin: true, Sudo: true},
+		{Name: "admin", UID: 1000, Shell: "/bin/bash", PasswordLogin: true, Sudo: true},
+		{Name: "onl", UID: 1001, Shell: "/bin/bash", PasswordLogin: true, Sudo: false},
+		{Name: "guest", UID: 1002, Shell: "/bin/bash", PasswordLogin: true, Sudo: false}, // should be removed
+	} {
+		h.SetAccount(a)
+	}
+
+	for _, f := range []File{
+		{Path: "/etc/ssh/sshd_config", Mode: 0o644, Owner: "root", Content: []byte("PermitRootLogin yes\nPasswordAuthentication yes\n")},
+		{Path: "/etc/apt/sources.list", Mode: 0o644, Owner: "root", Content: []byte("deb http://deb.debian.org/debian buster main\ndeb http://mirror.example.net/unofficial buster main\n")},
+		{Path: "/boot/vmlinuz-onl", Mode: 0o644, Owner: "root", Content: []byte("onl-kernel-image-4.19.81")},
+		{Path: "/boot/grub/grub.cfg", Mode: 0o644, Owner: "root", Content: []byte("set timeout=5\nlinux /vmlinuz-onl\n")},
+		{Path: "/usr/sbin/sshd", Mode: 0o755, Owner: "root", Content: []byte("sshd-binary-7.9p1")},
+		{Path: "/opt/onos/bin/onos-service", Mode: 0o755, Owner: "root", Content: []byte("onos-service-2.5.0")},
+		{Path: "/opt/voltha/voltha", Mode: 0o755, Owner: "root", Content: []byte("voltha-binary-2.8.0")},
+		{Path: "/etc/shadow", Mode: 0o640, Owner: "root", Content: []byte("root:$6$salt$hash\n")},
+		{Path: "/etc/passwd", Mode: 0o644, Owner: "root", Content: []byte("root:x:0:0::/root:/bin/bash\n")},
+		{Path: "/var/log/syslog", Mode: 0o640, Owner: "root", Content: []byte("boot ok\n")},
+		{Path: "/var/lib/genio/state.json", Mode: 0o640, Owner: "root", Content: []byte("{}")},
+	} {
+		h.WriteFile(f)
+	}
+
+	// Permissive kernel build defaults before M2 hardening.
+	h.SetKernelConfig("CONFIG_STACKPROTECTOR", "n")
+	h.SetKernelConfig("CONFIG_STACKPROTECTOR_STRONG", "n")
+	h.SetKernelConfig("CONFIG_KEXEC", "y")
+	h.SetKernelConfig("CONFIG_KPROBES", "y")
+	h.SetKernelConfig("CONFIG_STRICT_KERNEL_RWX", "n")
+	h.SetKernelConfig("CONFIG_RANDOMIZE_BASE", "n")
+	h.SetKernelConfig("CONFIG_SECURITY_APPARMOR", "n")
+	h.SetKernelConfig("CONFIG_SECURITY_SELINUX", "n")
+	h.SetKernelConfig("CONFIG_MODULE_SIG", "n")
+
+	h.SetSysctl("kernel.kptr_restrict", "0")
+	h.SetSysctl("kernel.dmesg_restrict", "0")
+	h.SetSysctl("kernel.unprivileged_bpf_disabled", "0")
+	h.SetSysctl("net.ipv4.conf.all.rp_filter", "0")
+	h.SetSysctl("fs.protected_symlinks", "0")
+
+	h.SetBootParam("mitigations", "off") // speculative-execution mitigations disabled
+	h.SetBootParam("quiet", "")
+
+	return h
+}
+
+// HardenONLOLT applies the M1/M2 mitigations in place: strips legacy
+// packages and services, locks accounts, tightens SSH and kernel settings.
+// Returns the number of discrete changes applied (used by Lesson 1 to count
+// hardening iterations).
+func HardenONLOLT(h *Host) int {
+	changes := 0
+	for _, pkg := range []string{"telnetd", "ftp"} {
+		if err := h.RemovePackage(pkg); err == nil {
+			changes++
+		}
+	}
+	for _, svc := range []string{"telnetd", "ftpd", "debug-agent"} {
+		if err := h.DisableService(svc); err == nil {
+			changes++
+		}
+	}
+	h.SetService(Service{Name: "ntpd", Enabled: true}) // NTP sync per SCAP benchmark
+	changes++
+
+	h.SetAccount(Account{Name: "root", UID: 0, Shell: "/usr/sbin/nologin", PasswordLogin: false, Sudo: true})
+	h.SetAccount(Account{Name: "guest", UID: 1002, Shell: "/usr/sbin/nologin", PasswordLogin: false, Sudo: false})
+	h.SetAccount(Account{Name: "onl", UID: 1001, Shell: "/bin/bash", PasswordLogin: false, Sudo: false})
+	h.SetAccount(Account{Name: "admin", UID: 1000, Shell: "/bin/bash", PasswordLogin: false, Sudo: true})
+	changes += 4
+
+	h.WriteFile(File{
+		Path: "/etc/ssh/sshd_config", Mode: 0o600, Owner: "root",
+		Content: []byte("PermitRootLogin no\nPasswordAuthentication no\nKexAlgorithms curve25519-sha256\n"),
+	})
+	h.WriteFile(File{
+		Path: "/etc/apt/sources.list", Mode: 0o644, Owner: "root",
+		Content: []byte("deb http://deb.debian.org/debian buster main\n"),
+	})
+	h.WriteFile(File{Path: "/boot/grub/grub.cfg", Mode: 0o600, Owner: "root",
+		Content: []byte("set timeout=1\nset superusers=root\nlinux /vmlinuz-onl\n")})
+	changes += 3
+
+	for k, v := range map[string]string{
+		"CONFIG_STACKPROTECTOR":        "y",
+		"CONFIG_STACKPROTECTOR_STRONG": "y",
+		"CONFIG_KEXEC":                 "n",
+		"CONFIG_KPROBES":               "n",
+		"CONFIG_STRICT_KERNEL_RWX":     "y",
+		"CONFIG_RANDOMIZE_BASE":        "y",
+		"CONFIG_SECURITY_APPARMOR":     "y",
+		"CONFIG_MODULE_SIG":            "y",
+	} {
+		h.SetKernelConfig(k, v)
+		changes++
+	}
+	for k, v := range map[string]string{
+		"kernel.kptr_restrict":             "2",
+		"kernel.dmesg_restrict":            "1",
+		"kernel.unprivileged_bpf_disabled": "1",
+		"net.ipv4.conf.all.rp_filter":      "1",
+		"fs.protected_symlinks":            "1",
+	} {
+		h.SetSysctl(k, v)
+		changes++
+	}
+	h.SetBootParam("mitigations", "auto")
+	changes++
+	return changes
+}
+
+// NewUbuntuServer models a mainstream Ubuntu host used as the comparison
+// point for Lesson 1 (STIGs exist natively for Ubuntu).
+func NewUbuntuServer(name string) *Host {
+	h := New(name, "ubuntu22.04")
+	for _, p := range []Package{
+		{Name: "linux-image-generic", Version: "5.15.0", Path: "/boot"},
+		{Name: "openssh-server", Version: "8.9p1", Path: "/usr"},
+		{Name: "openssl", Version: "3.0.2", Path: "/usr"},
+		{Name: "ntp", Version: "4.2.8p15", Path: "/usr"},
+		{Name: "bash", Version: "5.1", Path: "/bin"},
+	} {
+		h.InstallPackage(p)
+	}
+	h.SetService(Service{Name: "sshd", Enabled: true, ListenPort: 22})
+	h.SetService(Service{Name: "ntpd", Enabled: true})
+	h.SetAccount(Account{Name: "root", UID: 0, Shell: "/usr/sbin/nologin", PasswordLogin: false, Sudo: true})
+	h.SetAccount(Account{Name: "ubuntu", UID: 1000, Shell: "/bin/bash", PasswordLogin: false, Sudo: true})
+	h.WriteFile(File{Path: "/etc/ssh/sshd_config", Mode: 0o600, Owner: "root",
+		Content: []byte("PermitRootLogin no\nPasswordAuthentication no\n")})
+	h.WriteFile(File{Path: "/etc/apt/sources.list", Mode: 0o644, Owner: "root",
+		Content: []byte("deb http://archive.ubuntu.com/ubuntu jammy main\n")})
+	h.WriteFile(File{Path: "/boot/grub/grub.cfg", Mode: 0o600, Owner: "root",
+		Content: []byte("set superusers=root\n")})
+	h.SetKernelConfig("CONFIG_STACKPROTECTOR", "y")
+	h.SetKernelConfig("CONFIG_STACKPROTECTOR_STRONG", "y")
+	h.SetKernelConfig("CONFIG_KEXEC", "n")
+	h.SetKernelConfig("CONFIG_KPROBES", "n")
+	h.SetKernelConfig("CONFIG_STRICT_KERNEL_RWX", "y")
+	h.SetKernelConfig("CONFIG_RANDOMIZE_BASE", "y")
+	h.SetKernelConfig("CONFIG_SECURITY_APPARMOR", "y")
+	h.SetKernelConfig("CONFIG_MODULE_SIG", "y")
+	h.SetSysctl("kernel.kptr_restrict", "2")
+	h.SetSysctl("kernel.dmesg_restrict", "1")
+	h.SetSysctl("kernel.unprivileged_bpf_disabled", "1")
+	h.SetSysctl("net.ipv4.conf.all.rp_filter", "1")
+	h.SetSysctl("fs.protected_symlinks", "1")
+	h.SetBootParam("mitigations", "auto")
+	return h
+}

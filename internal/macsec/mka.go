@@ -1,0 +1,136 @@
+package macsec
+
+// MKA-style key agreement and rotation. Real MACsec deployments rotate the
+// Secure Association Key before the 32/64-bit packet-number space exhausts
+// (the MACsec Key Agreement protocol); GENIO inherits that requirement on
+// its long-lived OLT uplinks. KeyServer derives successive SAKs from a
+// pre-shared CAK (connectivity association key), and Channel.Rekey swaps
+// both directions onto the next association number without dropping the
+// link — the hitless rekey the standard prescribes.
+
+import (
+	"crypto/hkdf"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// KeyServer derives per-epoch SAKs from a CAK, in the MKA key-server role.
+type KeyServer struct {
+	mu    sync.Mutex
+	cak   [32]byte
+	epoch uint32
+}
+
+// NewKeyServer creates a key server over the given CAK.
+func NewKeyServer(cak [32]byte) *KeyServer {
+	return &KeyServer{cak: cak}
+}
+
+// Epoch returns the current key epoch.
+func (ks *KeyServer) Epoch() uint32 {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return ks.epoch
+}
+
+// NextSAK derives the SAK for the next epoch.
+func (ks *KeyServer) NextSAK() ([32]byte, uint32, error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.epoch++
+	var salt [4]byte
+	binary.BigEndian.PutUint32(salt[:], ks.epoch)
+	derived, err := hkdf.Key(sha256.New, ks.cak[:], salt[:], "genio-mka-sak", 32)
+	if err != nil {
+		return [32]byte{}, 0, fmt.Errorf("derive sak: %w", err)
+	}
+	var sak [32]byte
+	copy(sak[:], derived)
+	return sak, ks.epoch, nil
+}
+
+// SecureChannel is a managed bidirectional MACsec link that rotates keys
+// via a KeyServer. It wraps Channel with epoch state.
+type SecureChannel struct {
+	mu     sync.Mutex
+	a, b   *SecY
+	ks     *KeyServer
+	an     uint8
+	window uint64
+	// RekeyThreshold is the PN after which SendAB/SendBA trigger an
+	// automatic rekey (guarding the nonce space).
+	RekeyThreshold uint64
+}
+
+// NewSecureChannel builds a managed channel keyed from the key server.
+func NewSecureChannel(a, b *SecY, ks *KeyServer, window uint64) (*SecureChannel, error) {
+	sc := &SecureChannel{a: a, b: b, ks: ks, window: window, RekeyThreshold: 1 << 30}
+	if err := sc.Rekey(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// AN returns the active association number.
+func (sc *SecureChannel) AN() uint8 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.an
+}
+
+// Rekey derives the next SAK and installs it under the next association
+// number on both SecYs, then switches transmission to it. The previous
+// receive SA stays installed so in-flight frames still validate — the
+// hitless property.
+func (sc *SecureChannel) Rekey() error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sak, epoch, err := sc.ks.NextSAK()
+	if err != nil {
+		return err
+	}
+	next := uint8(epoch % 4) // MACsec ANs cycle 0..3
+	for _, step := range []error{
+		sc.a.InstallTxSA(next, sak), sc.b.InstallRxSA(next, sak, sc.window),
+		sc.b.InstallTxSA(next, sak), sc.a.InstallRxSA(next, sak, sc.window),
+	} {
+		if step != nil {
+			return fmt.Errorf("rekey to an=%d: %w", next, step)
+		}
+	}
+	sc.an = next
+	return nil
+}
+
+// SendAB protects a frame on A and validates it on B, auto-rekeying when
+// the PN approaches the threshold.
+func (sc *SecureChannel) SendAB(f Frame) (Frame, error) {
+	return sc.send(sc.a, sc.b, f)
+}
+
+// SendBA protects a frame on B and validates it on A.
+func (sc *SecureChannel) SendBA(f Frame) (Frame, error) {
+	return sc.send(sc.b, sc.a, f)
+}
+
+func (sc *SecureChannel) send(tx, rx *SecY, f Frame) (Frame, error) {
+	sc.mu.Lock()
+	an := sc.an
+	sc.mu.Unlock()
+	pf, err := tx.Protect(an, f)
+	if err != nil {
+		return Frame{}, err
+	}
+	out, err := rx.Validate(pf)
+	if err != nil {
+		return Frame{}, err
+	}
+	if pf.PN >= sc.RekeyThreshold {
+		if err := sc.Rekey(); err != nil {
+			return out, fmt.Errorf("auto-rekey: %w", err)
+		}
+	}
+	return out, nil
+}

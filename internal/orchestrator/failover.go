@@ -1,0 +1,91 @@
+package orchestrator
+
+// Node failure handling: the paper positions orchestration as providing
+// "scalable, resilient, and efficient workload management". This file
+// models node loss (an OLT going dark) and workload rescheduling onto the
+// surviving fleet — with security state preserved: rescheduled workloads
+// re-enter through VM placement (isolation guarantees hold on the new
+// node), and capacity/quota accounting stays consistent.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FailoverResult reports the outcome of a node failure.
+type FailoverResult struct {
+	Node        string   `json:"node"`
+	Rescheduled []string `json:"rescheduled"`
+	Evicted     []string `json:"evicted"` // no capacity left anywhere
+}
+
+// FailNode removes a node and reschedules its workloads onto remaining
+// nodes (hard-isolation workloads get fresh dedicated VMs; soft ones join
+// their tenant's shared VM on the target). Workloads that fit nowhere are
+// evicted: their quota is released and they are reported for operator
+// action.
+func (c *Cluster) FailNode(name string) (*FailoverResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("orchestrator: unknown node %q", name)
+	}
+	// Collect the victims deterministically.
+	var victims []*Workload
+	for _, w := range c.workloads {
+		if w.Node == name {
+			victims = append(victims, w)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].Spec.Name < victims[j].Spec.Name })
+	delete(c.nodes, name)
+	_ = n
+
+	res := &FailoverResult{Node: name}
+	for _, w := range victims {
+		// Release old accounting; schedule() re-adds on success.
+		c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].sub(w.Spec.Resources)
+		moved, err := c.schedule(w.Spec, w.Image)
+		if err != nil {
+			delete(c.workloads, w.Spec.Name)
+			res.Evicted = append(res.Evicted, w.Spec.Name)
+			continue
+		}
+		*w = *moved
+		c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].add(w.Spec.Resources)
+		res.Rescheduled = append(res.Rescheduled, w.Spec.Name)
+	}
+	return res, nil
+}
+
+// Nodes returns the live node names sorted.
+func (c *Cluster) Nodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.nodes))
+	for n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeUtilization reports used/capacity per node.
+type NodeUtilization struct {
+	Node     string    `json:"node"`
+	Used     Resources `json:"used"`
+	Capacity Resources `json:"capacity"`
+}
+
+// Utilization returns per-node resource usage sorted by node name.
+func (c *Cluster) Utilization() []NodeUtilization {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeUtilization, 0, len(c.nodes))
+	for name, n := range c.nodes {
+		out = append(out, NodeUtilization{Node: name, Used: n.used, Capacity: n.capacity})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

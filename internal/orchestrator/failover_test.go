@@ -1,0 +1,123 @@
+package orchestrator
+
+import (
+	"testing"
+
+	"genio/internal/container"
+)
+
+func TestFailoverReschedules(t *testing.T) {
+	c, _ := testCluster(t, Settings{})
+	w, err := c.Deploy("ops", spec("web", "acme", "acme/analytics:2.0.1", IsolationSoft))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := w.Node
+	res, err := c.FailNode(origin)
+	if err != nil {
+		t.Fatalf("FailNode: %v", err)
+	}
+	if len(res.Rescheduled) != 1 || res.Rescheduled[0] != "web" {
+		t.Fatalf("rescheduled = %v", res.Rescheduled)
+	}
+	moved, ok := c.Workload("web")
+	if !ok {
+		t.Fatal("workload lost")
+	}
+	if moved.Node == origin {
+		t.Fatalf("workload still on failed node %s", origin)
+	}
+	// Tenant accounting survives the move.
+	if use := c.TenantUsage("acme"); use.CPUMilli != 500 {
+		t.Fatalf("usage after failover = %+v", use)
+	}
+}
+
+func TestFailoverEvictsWhenNoCapacity(t *testing.T) {
+	reg := container.NewRegistry()
+	reg.Push(container.AnalyticsImage(), nil)
+	c := NewCluster("small", reg, Settings{})
+	c.AddNode("n1", Resources{CPUMilli: 1000, MemoryMB: 1024})
+	c.AddNode("n2", Resources{CPUMilli: 1000, MemoryMB: 1024})
+	// Fill both nodes.
+	for i, node := range []string{"a", "b"} {
+		s := WorkloadSpec{Name: node, Tenant: "t", ImageRef: "acme/analytics:2.0.1",
+			Isolation: IsolationSoft, Resources: Resources{CPUMilli: 900, MemoryMB: 900}}
+		if _, err := c.Deploy("ops", s); err != nil {
+			t.Fatalf("deploy %d: %v", i, err)
+		}
+	}
+	victim, _ := c.Workload("a")
+	res, err := c.FailNode(victim.Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) == 0 {
+		t.Fatalf("expected eviction, got %+v", res)
+	}
+	// Evicted workload's quota is released.
+	if use := c.TenantUsage("t"); use.CPUMilli != 900 {
+		t.Fatalf("usage after eviction = %+v", use)
+	}
+}
+
+func TestFailoverPreservesTenantVMSeparation(t *testing.T) {
+	c, _ := testCluster(t, Settings{})
+	for _, s := range []WorkloadSpec{
+		spec("a1", "acme", "acme/analytics:2.0.1", IsolationSoft),
+		spec("r1", "rival", "acme/analytics:2.0.1", IsolationSoft),
+		spec("a2", "acme", "acme/iot-gateway:1.4.2", IsolationHard),
+	} {
+		if _, err := c.Deploy("ops", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, _ := c.Workload("a1")
+	if _, err := c.FailNode(w.Node); err != nil {
+		t.Fatal(err)
+	}
+	for vm, tenants := range c.SharedVMTenants() {
+		if len(tenants) > 1 {
+			t.Fatalf("vm %s mixes tenants %v after failover", vm, tenants)
+		}
+	}
+	// Hard isolation is still dedicated.
+	if a2, ok := c.Workload("a2"); ok {
+		for _, vm := range c.VMs() {
+			if vm.ID == a2.VMID && !vm.Dedicated {
+				t.Fatal("hard workload landed in shared VM after failover")
+			}
+		}
+	}
+}
+
+func TestFailUnknownNode(t *testing.T) {
+	c, _ := testCluster(t, Settings{})
+	if _, err := c.FailNode("ghost"); err == nil {
+		t.Fatal("FailNode(ghost) succeeded")
+	}
+}
+
+func TestNodesAndUtilization(t *testing.T) {
+	c, _ := testCluster(t, Settings{})
+	if got := c.Nodes(); len(got) != 2 || got[0] != "olt-01" {
+		t.Fatalf("Nodes = %v", got)
+	}
+	if _, err := c.Deploy("ops", spec("w", "t", "acme/analytics:2.0.1", IsolationSoft)); err != nil {
+		t.Fatal(err)
+	}
+	util := c.Utilization()
+	total := 0
+	for _, u := range util {
+		total += u.Used.CPUMilli
+	}
+	if total != 500 {
+		t.Fatalf("total used = %d", total)
+	}
+	if _, err := c.FailNode("olt-02"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Nodes(); len(got) != 1 {
+		t.Fatalf("Nodes after failure = %v", got)
+	}
+}

@@ -1,0 +1,428 @@
+// Package orchestrator models GENIO's workload-management middleware: a
+// Kubernetes/Proxmox-style cluster of nodes running virtual machines, with
+// edge applications deployed either in hard isolation (a dedicated VM per
+// workload) or soft isolation (containers sharing a per-node tenant VM),
+// exactly the two postures the paper describes.
+//
+// The cluster exposes the two control surfaces the security work attaches
+// to: an admission chain, where image-signature checks and the M13/M16
+// scanners gate deployments, and cluster settings whose insecure defaults
+// the M11 benchmark profiles flag. Tenant resource quotas counter the T8
+// resource-abuse vector.
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"genio/internal/container"
+	"genio/internal/rbac"
+)
+
+// IsolationMode selects how a workload is isolated from co-tenants.
+type IsolationMode int
+
+// Isolation modes.
+const (
+	// IsolationSoft runs the workload as a container inside a shared
+	// per-node VM (network namespaces separate tenants).
+	IsolationSoft IsolationMode = iota + 1
+	// IsolationHard gives the workload a dedicated virtual machine.
+	IsolationHard
+)
+
+// String names the mode.
+func (m IsolationMode) String() string {
+	switch m {
+	case IsolationSoft:
+		return "soft"
+	case IsolationHard:
+		return "hard"
+	default:
+		return fmt.Sprintf("isolation(%d)", int(m))
+	}
+}
+
+// Resources is a CPU/memory demand or capacity.
+type Resources struct {
+	CPUMilli int `json:"cpuMilli"`
+	MemoryMB int `json:"memoryMB"`
+}
+
+// fits reports whether r fits into free.
+func (r Resources) fits(free Resources) bool {
+	return r.CPUMilli <= free.CPUMilli && r.MemoryMB <= free.MemoryMB
+}
+
+func (r Resources) add(o Resources) Resources {
+	return Resources{CPUMilli: r.CPUMilli + o.CPUMilli, MemoryMB: r.MemoryMB + o.MemoryMB}
+}
+
+func (r Resources) sub(o Resources) Resources {
+	return Resources{CPUMilli: r.CPUMilli - o.CPUMilli, MemoryMB: r.MemoryMB - o.MemoryMB}
+}
+
+// WorkloadSpec describes a deployment request.
+type WorkloadSpec struct {
+	Name      string        `json:"name"`
+	Tenant    string        `json:"tenant"`
+	ImageRef  string        `json:"imageRef"`
+	Isolation IsolationMode `json:"isolation"`
+	Resources Resources     `json:"resources"`
+}
+
+// Workload is a running deployment.
+type Workload struct {
+	Spec  WorkloadSpec     `json:"spec"`
+	Image *container.Image `json:"-"`
+	Node  string           `json:"node"`
+	VMID  string           `json:"vmId"`
+}
+
+// VM is a virtual machine on a node.
+type VM struct {
+	ID     string `json:"id"`
+	Node   string `json:"node"`
+	Tenant string `json:"tenant"`
+	// Dedicated is true for hard-isolation VMs (one workload).
+	Dedicated bool     `json:"dedicated"`
+	Workloads []string `json:"workloads"`
+}
+
+// node is internal node state.
+type node struct {
+	name     string
+	capacity Resources
+	used     Resources
+	vms      map[string]*VM
+}
+
+// Settings are cluster-level configuration flags — the knobs the M11
+// hardening guides (NSA, CIS) check. Defaults model the insecure
+// out-of-the-box posture of T5.
+type Settings struct {
+	AnonymousAuth       bool `json:"anonymousAuth"`
+	RBACEnabled         bool `json:"rbacEnabled"`
+	AuditLoggingEnabled bool `json:"auditLoggingEnabled"`
+	EtcdEncryption      bool `json:"etcdEncryption"`
+	TLSOnAPIServer      bool `json:"tlsOnApiServer"`
+	AllowPrivileged     bool `json:"allowPrivileged"`
+	NetworkPoliciesOn   bool `json:"networkPoliciesOn"`
+}
+
+// InsecureDefaults returns the configuration middleware ships with before
+// hardening (usability over security, per the paper's T5 discussion).
+func InsecureDefaults() Settings {
+	return Settings{
+		AnonymousAuth:   true,
+		AllowPrivileged: true,
+		TLSOnAPIServer:  false,
+	}
+}
+
+// HardenedSettings returns the posture after applying the NSA/CIS guides.
+func HardenedSettings() Settings {
+	return Settings{
+		RBACEnabled:         true,
+		AuditLoggingEnabled: true,
+		EtcdEncryption:      true,
+		TLSOnAPIServer:      true,
+		NetworkPoliciesOn:   true,
+	}
+}
+
+// AdmissionFunc inspects a deployment before scheduling; returning an error
+// rejects it. The security pipeline (signature check, SCA, malware scan,
+// capability policy) registers here.
+type AdmissionFunc func(spec WorkloadSpec, img *container.Image) error
+
+// Errors returned by cluster operations.
+var (
+	ErrNoCapacity    = errors.New("orchestrator: no node with free capacity")
+	ErrDenied        = errors.New("orchestrator: admission denied")
+	ErrQuotaExceeded = errors.New("orchestrator: tenant quota exceeded")
+	ErrUnauthorized  = errors.New("orchestrator: rbac denied")
+	ErrNotFound      = errors.New("orchestrator: workload not found")
+	ErrDuplicateName = errors.New("orchestrator: workload name in use")
+)
+
+// Cluster is the GENIO orchestration domain. Safe for concurrent use.
+type Cluster struct {
+	Name     string
+	Settings Settings
+	Registry *container.Registry
+	// RBAC guards control-plane operations when Settings.RBACEnabled.
+	RBAC *rbac.Engine
+	// VerifyImageSignatures requires signed images from trusted
+	// publishers at pull time.
+	VerifyImageSignatures bool
+
+	mu         sync.Mutex
+	nodes      map[string]*node
+	workloads  map[string]*Workload
+	quotas     map[string]Resources // tenant -> quota (zero = unlimited)
+	tenantUsed map[string]Resources
+	admission  []namedAdmission
+	vmSeq      int
+	// counters for experiments
+	admitted int
+	rejected int
+}
+
+type namedAdmission struct {
+	name string
+	fn   AdmissionFunc
+}
+
+// NewCluster creates a cluster backed by the given registry.
+func NewCluster(name string, reg *container.Registry, settings Settings) *Cluster {
+	return &Cluster{
+		Name:       name,
+		Settings:   settings,
+		Registry:   reg,
+		nodes:      make(map[string]*node),
+		workloads:  make(map[string]*Workload),
+		quotas:     make(map[string]Resources),
+		tenantUsed: make(map[string]Resources),
+	}
+}
+
+// AddNode registers a node with the given capacity.
+func (c *Cluster) AddNode(name string, capacity Resources) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes[name] = &node{name: name, capacity: capacity, vms: make(map[string]*VM)}
+}
+
+// SetQuota sets a tenant's resource quota (zero value = unlimited).
+func (c *Cluster) SetQuota(tenant string, q Resources) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.quotas[tenant] = q
+}
+
+// HasQuota reports whether a quota was set for the tenant.
+func (c *Cluster) HasQuota(tenant string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.quotas[tenant]
+	return ok
+}
+
+// RegisterAdmission appends a named admission controller; controllers run
+// in registration order and the first error rejects the deployment.
+func (c *Cluster) RegisterAdmission(name string, fn AdmissionFunc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.admission = append(c.admission, namedAdmission{name: name, fn: fn})
+}
+
+// Deploy schedules a workload on behalf of subject. The pipeline is:
+// RBAC check (when enabled) -> image pull (verified per policy) ->
+// admission chain -> quota check -> scheduling.
+func (c *Cluster) Deploy(subject string, spec WorkloadSpec) (*Workload, error) {
+	if c.Settings.RBACEnabled && c.RBAC != nil {
+		d := c.RBAC.Check(subject, rbac.Permission{Verb: "create", Resource: "workloads", Namespace: spec.Tenant})
+		if !d.Allowed {
+			c.bumpRejected()
+			return nil, fmt.Errorf("%w: %s may not create workloads in %s", ErrUnauthorized, subject, spec.Tenant)
+		}
+	}
+
+	var img *container.Image
+	var err error
+	if c.VerifyImageSignatures {
+		img, err = c.Registry.PullVerified(spec.ImageRef)
+	} else {
+		img, err = c.Registry.Pull(spec.ImageRef)
+	}
+	if err != nil {
+		c.bumpRejected()
+		return nil, fmt.Errorf("pull %s: %w", spec.ImageRef, err)
+	}
+
+	c.mu.Lock()
+	chain := append([]namedAdmission(nil), c.admission...)
+	c.mu.Unlock()
+	for _, a := range chain {
+		if err := a.fn(spec, img); err != nil {
+			c.bumpRejected()
+			return nil, fmt.Errorf("%w by %s: %v", ErrDenied, a.name, err)
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.workloads[spec.Name]; dup {
+		c.rejected++
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateName, spec.Name)
+	}
+	if q, ok := c.quotas[spec.Tenant]; ok && (q.CPUMilli > 0 || q.MemoryMB > 0) {
+		next := c.tenantUsed[spec.Tenant].add(spec.Resources)
+		if !next.fits(q) {
+			c.rejected++
+			return nil, fmt.Errorf("%w: tenant %s", ErrQuotaExceeded, spec.Tenant)
+		}
+	}
+
+	w, err := c.schedule(spec, img)
+	if err != nil {
+		c.rejected++
+		return nil, err
+	}
+	c.workloads[spec.Name] = w
+	c.tenantUsed[spec.Tenant] = c.tenantUsed[spec.Tenant].add(spec.Resources)
+	c.admitted++
+	return w, nil
+}
+
+// schedule places the workload on the first node with capacity (callers
+// hold c.mu).
+func (c *Cluster) schedule(spec WorkloadSpec, img *container.Image) (*Workload, error) {
+	names := make([]string, 0, len(c.nodes))
+	for n := range c.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := c.nodes[name]
+		free := n.capacity.sub(n.used)
+		if !spec.Resources.fits(free) {
+			continue
+		}
+		vm := c.placeVM(n, spec)
+		vm.Workloads = append(vm.Workloads, spec.Name)
+		n.used = n.used.add(spec.Resources)
+		return &Workload{Spec: spec, Image: img, Node: name, VMID: vm.ID}, nil
+	}
+	return nil, ErrNoCapacity
+}
+
+// placeVM finds or creates the VM for a workload per its isolation mode.
+func (c *Cluster) placeVM(n *node, spec WorkloadSpec) *VM {
+	if spec.Isolation != IsolationHard {
+		// Soft isolation: reuse the node's shared VM for this tenant.
+		for _, vm := range n.vms {
+			if !vm.Dedicated && vm.Tenant == spec.Tenant {
+				return vm
+			}
+		}
+	}
+	c.vmSeq++
+	vm := &VM{
+		ID:        fmt.Sprintf("vm-%03d", c.vmSeq),
+		Node:      n.name,
+		Tenant:    spec.Tenant,
+		Dedicated: spec.Isolation == IsolationHard,
+	}
+	n.vms[vm.ID] = vm
+	return vm
+}
+
+// Stop removes a workload, releasing capacity and quota.
+func (c *Cluster) Stop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workloads[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(c.workloads, name)
+	c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].sub(w.Spec.Resources)
+	if n, ok := c.nodes[w.Node]; ok {
+		n.used = n.used.sub(w.Spec.Resources)
+		if vm, ok := n.vms[w.VMID]; ok {
+			out := vm.Workloads[:0]
+			for _, wl := range vm.Workloads {
+				if wl != name {
+					out = append(out, wl)
+				}
+			}
+			vm.Workloads = out
+			if len(vm.Workloads) == 0 {
+				delete(n.vms, w.VMID)
+			}
+		}
+	}
+	return nil
+}
+
+// Workload returns a running workload by name.
+func (c *Cluster) Workload(name string) (*Workload, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workloads[name]
+	return w, ok
+}
+
+// Workloads returns all running workloads sorted by name.
+func (c *Cluster) Workloads() []*Workload {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Workload, 0, len(c.workloads))
+	for _, w := range c.workloads {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
+	return out
+}
+
+// VMs returns all VMs sorted by ID.
+func (c *Cluster) VMs() []*VM {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*VM
+	for _, n := range c.nodes {
+		for _, vm := range n.vms {
+			out = append(out, vm)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TenantUsage returns a tenant's current resource consumption.
+func (c *Cluster) TenantUsage(tenant string) Resources {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tenantUsed[tenant]
+}
+
+// Counters reports admitted/rejected deployment totals.
+func (c *Cluster) Counters() (admitted, rejected int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.admitted, c.rejected
+}
+
+func (c *Cluster) bumpRejected() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rejected++
+}
+
+// SharedVMTenants returns, per VM, the set of workload-owning tenants —
+// used by the PEACH-style isolation review: a non-dedicated VM hosting
+// multiple tenants is an isolation risk.
+func (c *Cluster) SharedVMTenants() map[string][]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string][]string)
+	for _, n := range c.nodes {
+		for _, vm := range n.vms {
+			seen := map[string]bool{}
+			var tenants []string
+			for _, wl := range vm.Workloads {
+				if w, ok := c.workloads[wl]; ok && !seen[w.Spec.Tenant] {
+					seen[w.Spec.Tenant] = true
+					tenants = append(tenants, w.Spec.Tenant)
+				}
+			}
+			sort.Strings(tenants)
+			out[vm.ID] = tenants
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package pon simulates a Passive Optical Network: one OLT serving many
+// ONUs over a shared fiber tree. It is the hardware substrate GENIO
+// repurposes for edge computing, and the stage on which threat T1 (network
+// attacks: interception, replay, downstream hijacking, ONU impersonation)
+// and mitigations M3 (payload encryption per ITU-T G.987.3) and M4 (mutual
+// node authentication) play out.
+//
+// Physical fidelity note: in a real PON the downstream direction is a
+// broadcast — every ONU (and every fiber tap) receives every frame and
+// filters by XGEM port-ID. The simulator preserves exactly that property,
+// because it is what makes unencrypted PON traffic interceptable.
+package pon
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PortID identifies an XGEM port (a logical flow to one ONU).
+type PortID uint16
+
+// BroadcastPort is received by all ONUs (used for management/OMCI).
+const BroadcastPort PortID = 0xffff
+
+// XGEMFrame is a downstream or upstream PON frame in the XGEM encapsulation
+// of ITU-T G.987.3.
+type XGEMFrame struct {
+	Port      PortID `json:"port"`
+	Seq       uint64 `json:"seq"`
+	Encrypted bool   `json:"encrypted"`
+	Payload   []byte `json:"payload"`
+}
+
+// Errors returned by the framing layer.
+var (
+	ErrDecrypt   = errors.New("pon: payload decryption failed")
+	ErrReplay    = errors.New("pon: replayed frame sequence")
+	ErrNoKey     = errors.New("pon: no key for port")
+	ErrPlaintext = errors.New("pon: plaintext frame where encryption required")
+)
+
+// KeyRing holds per-port AES keys with rotation epochs, modelling the
+// OMCI-managed key exchange of G.987.3.
+type KeyRing struct {
+	keys   map[PortID][32]byte
+	epochs map[PortID]uint32
+}
+
+// NewKeyRing creates an empty keyring.
+func NewKeyRing() *KeyRing {
+	return &KeyRing{keys: make(map[PortID][32]byte), epochs: make(map[PortID]uint32)}
+}
+
+// SetKey installs key material for a port, bumping the key epoch.
+func (k *KeyRing) SetKey(port PortID, key [32]byte) {
+	k.keys[port] = key
+	k.epochs[port]++
+}
+
+// Rotate derives a fresh key for the port from the current one, modelling
+// periodic key rotation without re-running onboarding.
+func (k *KeyRing) Rotate(port PortID) error {
+	cur, ok := k.keys[port]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoKey, port)
+	}
+	next := sha256.Sum256(append([]byte("genio-pon-rotate"), cur[:]...))
+	k.keys[port] = next
+	k.epochs[port]++
+	return nil
+}
+
+// Epoch returns the rotation epoch for a port (0 if no key installed).
+func (k *KeyRing) Epoch(port PortID) uint32 { return k.epochs[port] }
+
+// HasKey reports whether a key is installed for the port.
+func (k *KeyRing) HasKey(port PortID) bool {
+	_, ok := k.keys[port]
+	return ok
+}
+
+func (k *KeyRing) aead(port PortID) (cipher.AEAD, error) {
+	key, ok := k.keys[port]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoKey, port)
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("port %d cipher: %w", port, err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("port %d gcm: %w", port, err)
+	}
+	return aead, nil
+}
+
+// EncryptFrame produces an encrypted XGEM frame for the port. The sequence
+// number doubles as the AEAD nonce component, so it must be unique per key.
+func (k *KeyRing) EncryptFrame(port PortID, seq uint64, payload []byte) (XGEMFrame, error) {
+	aead, err := k.aead(port)
+	if err != nil {
+		return XGEMFrame{}, err
+	}
+	nonce := frameNonce(port, seq)
+	ct := aead.Seal(nil, nonce, payload, frameAAD(port, seq))
+	return XGEMFrame{Port: port, Seq: seq, Encrypted: true, Payload: ct}, nil
+}
+
+// DecryptFrame authenticates and decrypts an encrypted frame.
+func (k *KeyRing) DecryptFrame(f XGEMFrame) ([]byte, error) {
+	if !f.Encrypted {
+		return nil, ErrPlaintext
+	}
+	aead, err := k.aead(f.Port)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := aead.Open(nil, frameNonce(f.Port, f.Seq), f.Payload, frameAAD(f.Port, f.Seq))
+	if err != nil {
+		return nil, fmt.Errorf("%w: port %d seq %d", ErrDecrypt, f.Port, f.Seq)
+	}
+	return pt, nil
+}
+
+func frameNonce(port PortID, seq uint64) []byte {
+	nonce := make([]byte, 12)
+	binary.BigEndian.PutUint16(nonce[:2], uint16(port))
+	binary.BigEndian.PutUint64(nonce[4:], seq)
+	return nonce
+}
+
+func frameAAD(port PortID, seq uint64) []byte {
+	aad := make([]byte, 10)
+	binary.BigEndian.PutUint16(aad[:2], uint16(port))
+	binary.BigEndian.PutUint64(aad[2:], seq)
+	return aad
+}

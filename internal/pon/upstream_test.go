@@ -1,0 +1,231 @@
+package pon
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func upstreamFixture(t *testing.T, mode SecurityMode, n int) (*OLT, []*ONU) {
+	t.Helper()
+	var olt *OLT
+	var err error
+	switch mode {
+	case ModeAuthenticated:
+		caObj, oltID := testCA(t)
+		olt, err = NewOLT("olt-up", mode, caObj, oltID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onus := make([]*ONU, n)
+		for i := range onus {
+			onus[i] = issuedONU(t, caObj, fmt.Sprintf("onu-%02d", i))
+			if err := olt.Activate(onus[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return olt, onus
+	default:
+		olt, err = NewOLT("olt-up", mode, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onus := make([]*ONU, n)
+		for i := range onus {
+			onus[i] = NewONU(fmt.Sprintf("onu-%02d", i), nil)
+			if err := olt.Activate(onus[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return olt, onus
+	}
+}
+
+func TestUpstreamDeliveryPlaintext(t *testing.T) {
+	olt, onus := upstreamFixture(t, ModePlaintext, 2)
+	if err := onus[0].QueueUpstream([]byte("telemetry-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := onus[1].QueueUpstream([]byte("telemetry-b")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := olt.RunDBACycle(DBAConfig{CycleBytes: 1024})
+	if err != nil {
+		t.Fatalf("RunDBACycle: %v", err)
+	}
+	if len(res.Delivered["onu-00"]) != 1 || !bytes.Equal(res.Delivered["onu-00"][0], []byte("telemetry-a")) {
+		t.Fatalf("delivered = %+v", res.Delivered)
+	}
+	if res.TotalBytes != len("telemetry-a")+len("telemetry-b") {
+		t.Fatalf("TotalBytes = %d", res.TotalBytes)
+	}
+}
+
+func TestUpstreamDeliveryAuthenticated(t *testing.T) {
+	olt, onus := upstreamFixture(t, ModeAuthenticated, 2)
+	payload := []byte("sensor-reading-42")
+	if err := onus[0].QueueUpstream(payload); err != nil {
+		t.Fatal(err)
+	}
+	res, err := olt.RunDBACycle(DBAConfig{CycleBytes: 1024})
+	if err != nil {
+		t.Fatalf("RunDBACycle: %v", err)
+	}
+	got := res.Delivered[onus[0].Serial]
+	if len(got) != 1 || !bytes.Equal(got[0], payload) {
+		t.Fatalf("delivered = %q", got)
+	}
+}
+
+func TestDBAProportionalAllocation(t *testing.T) {
+	olt, onus := upstreamFixture(t, ModePlaintext, 2)
+	// ONU 0 queues 3x the data of ONU 1.
+	for i := 0; i < 3; i++ {
+		if err := onus[0].QueueUpstream(make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := onus[1].QueueUpstream(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := olt.RunDBACycle(DBAConfig{CycleBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g0, g1 int
+	for _, g := range res.Grants {
+		switch g.Serial {
+		case "onu-00":
+			g0 = g.Granted
+		case "onu-01":
+			g1 = g.Granted
+		}
+	}
+	if g0 <= g1 {
+		t.Fatalf("grants = %d vs %d; heavier queue should get more", g0, g1)
+	}
+}
+
+func TestDBACycleDrainsOverMultipleCycles(t *testing.T) {
+	olt, onus := upstreamFixture(t, ModePlaintext, 1)
+	for i := 0; i < 10; i++ {
+		if err := onus[0].QueueUpstream(make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for cycle := 0; cycle < 10 && total < 1000; cycle++ {
+		res, err := olt.RunDBACycle(DBAConfig{CycleBytes: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.TotalBytes
+	}
+	if total != 1000 {
+		t.Fatalf("drained %d bytes, want 1000", total)
+	}
+}
+
+func TestGreedyONUStarvesNeighborsWithoutCap(t *testing.T) {
+	olt, onus := upstreamFixture(t, ModePlaintext, 4)
+	for _, u := range onus {
+		for i := 0; i < 4; i++ {
+			if err := u.QueueUpstream(make([]byte, 100)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	onus[0].SetReportInflation(50) // DBA abuse
+	res, err := olt.RunDBACycle(DBAConfig{CycleBytes: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair := FairnessIndex(res.Grants)
+	if fair > 0.5 {
+		t.Fatalf("fairness = %.2f; inflation attack should skew allocation", fair)
+	}
+}
+
+func TestPerONUCapRestoresFairness(t *testing.T) {
+	olt, onus := upstreamFixture(t, ModePlaintext, 4)
+	for _, u := range onus {
+		for i := 0; i < 4; i++ {
+			if err := u.QueueUpstream(make([]byte, 100)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	onus[0].SetReportInflation(50)
+	res, err := olt.RunDBACycle(DBAConfig{CycleBytes: 800, PerONUCap: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair := FairnessIndex(res.Grants)
+	if fair < 0.9 {
+		t.Fatalf("fairness = %.2f with cap; SLA cap should neutralize inflation", fair)
+	}
+	// Honest neighbours actually got bytes through.
+	if len(res.Delivered["onu-01"]) == 0 || len(res.Delivered["onu-03"]) == 0 {
+		t.Fatalf("honest ONUs starved: %+v", res.Grants)
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	_, onus := upstreamFixture(t, ModePlaintext, 1)
+	var err error
+	for i := 0; i <= maxUpstreamQueue; i++ {
+		err = onus[0].QueueUpstream([]byte("x"))
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestEmptyCycle(t *testing.T) {
+	olt, _ := upstreamFixture(t, ModePlaintext, 2)
+	res, err := olt.RunDBACycle(DBAConfig{CycleBytes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 0 || len(res.Grants) != 0 {
+		t.Fatalf("empty cycle = %+v", res)
+	}
+	// Zero capacity cycle.
+	res, err = olt.RunDBACycle(DBAConfig{CycleBytes: 0})
+	if err != nil || res.TotalBytes != 0 {
+		t.Fatalf("zero-capacity cycle = %+v, %v", res, err)
+	}
+}
+
+func TestFairnessIndexBounds(t *testing.T) {
+	if f := FairnessIndex(nil); f != 1 {
+		t.Fatalf("empty fairness = %v", f)
+	}
+	equal := []Grant{{Granted: 100}, {Granted: 100}, {Granted: 100}}
+	if f := FairnessIndex(equal); f < 0.999 {
+		t.Fatalf("equal grants fairness = %v", f)
+	}
+	skewed := []Grant{{Granted: 300}, {Granted: 0}, {Granted: 0}}
+	if f := FairnessIndex(skewed); f > 0.34 {
+		t.Fatalf("skewed fairness = %v, want ~1/3", f)
+	}
+	zeros := []Grant{{Granted: 0}, {Granted: 0}}
+	if f := FairnessIndex(zeros); f != 1 {
+		t.Fatalf("all-zero fairness = %v", f)
+	}
+}
+
+func TestSetReportInflationClamps(t *testing.T) {
+	_, onus := upstreamFixture(t, ModePlaintext, 1)
+	onus[0].SetReportInflation(0)
+	if err := onus[0].QueueUpstream(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := onus[0].reportOccupancy(); got != 10 {
+		t.Fatalf("occupancy with clamped factor = %d, want 10", got)
+	}
+}

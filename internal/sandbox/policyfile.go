@@ -1,0 +1,99 @@
+package sandbox
+
+// Policy files: KubeArmor policies are deployed as declarative documents
+// attached to workload selectors. This file provides the JSON round-trip
+// and a small library of per-workload-class profiles, so platform
+// operators can version policies alongside deployment manifests.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"genio/internal/trace"
+)
+
+// MarshalPolicy serializes a policy to JSON.
+func MarshalPolicy(p Policy) ([]byte, error) {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("sandbox: marshal policy %q: %w", p.Name, err)
+	}
+	return b, nil
+}
+
+// UnmarshalPolicy parses a policy document and validates it.
+func UnmarshalPolicy(data []byte) (Policy, error) {
+	var p Policy
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Policy{}, fmt.Errorf("sandbox: parse policy: %w", err)
+	}
+	if err := ValidatePolicy(p); err != nil {
+		return Policy{}, err
+	}
+	return p, nil
+}
+
+// ValidatePolicy checks structural invariants: a name, known actions, and
+// known event types in every rule.
+func ValidatePolicy(p Policy) error {
+	if p.Name == "" {
+		return fmt.Errorf("sandbox: policy without name")
+	}
+	checkAction := func(a Action, where string) error {
+		switch a {
+		case ActionAllow, ActionBlock, ActionAudit:
+			return nil
+		case 0:
+			return nil // zero default is interpreted as allow
+		default:
+			return fmt.Errorf("sandbox: policy %q: invalid action %d in %s", p.Name, a, where)
+		}
+	}
+	if err := checkAction(p.DefaultAction, "default"); err != nil {
+		return err
+	}
+	for i, r := range p.Rules {
+		if err := checkAction(r.Action, fmt.Sprintf("rule %d", i)); err != nil {
+			return err
+		}
+		if r.Action == 0 {
+			return fmt.Errorf("sandbox: policy %q: rule %d has no action", p.Name, i)
+		}
+		for _, ty := range r.Types {
+			if ty < trace.EventExec || ty > trace.EventCapability {
+				return fmt.Errorf("sandbox: policy %q: rule %d has unknown event type %d", p.Name, i, ty)
+			}
+		}
+	}
+	return nil
+}
+
+// BatchWorkloadPolicy returns the profile for batch/ML workloads: no
+// network egress at all (they read a model and write results), in addition
+// to the baseline restrictions.
+func BatchWorkloadPolicy() Policy {
+	base := DefaultWorkloadPolicy()
+	rules := append([]PolicyRule{
+		{Types: []trace.EventType{trace.EventConnect}, TargetPrefix: "", Action: ActionBlock},
+		{Types: []trace.EventType{trace.EventListen}, TargetPrefix: "", Action: ActionBlock},
+	}, base.Rules...)
+	return Policy{Name: "genio-batch", Rules: rules, DefaultAction: base.DefaultAction}
+}
+
+// WebWorkloadPolicy returns the profile for REST services: baseline plus
+// an explicit allow for the workload's own listen port and internal
+// database egress, blocking all other egress.
+func WebWorkloadPolicy(internalSuffix string) Policy {
+	base := DefaultWorkloadPolicy()
+	rules := []PolicyRule{
+		{Types: []trace.EventType{trace.EventListen}, TargetPrefix: "0.0.0.0:", Action: ActionAllow},
+	}
+	rules = append(rules, base.Rules...)
+	// Egress policy appended after the baseline so capability/file blocks
+	// stay in front; connects not matching the internal suffix audit.
+	rules = append(rules,
+		PolicyRule{Types: []trace.EventType{trace.EventConnect}, TargetPrefix: "db" + internalSuffix, Action: ActionAllow},
+		PolicyRule{Types: []trace.EventType{trace.EventConnect}, TargetPrefix: "", Action: ActionAudit},
+	)
+	return Policy{Name: "genio-web", Rules: rules, DefaultAction: base.DefaultAction}
+}

@@ -1,0 +1,90 @@
+package sandbox
+
+import (
+	"testing"
+
+	"genio/internal/trace"
+)
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	p := DefaultWorkloadPolicy()
+	data, err := MarshalPolicy(p)
+	if err != nil {
+		t.Fatalf("MarshalPolicy: %v", err)
+	}
+	back, err := UnmarshalPolicy(data)
+	if err != nil {
+		t.Fatalf("UnmarshalPolicy: %v", err)
+	}
+	if back.Name != p.Name || len(back.Rules) != len(p.Rules) || back.DefaultAction != p.DefaultAction {
+		t.Fatalf("round trip changed policy: %+v", back)
+	}
+	// Behavioural equivalence on the attack traces.
+	for _, events := range [][]trace.Event{
+		trace.ContainerEscapeTrace("w", "t"),
+		trace.ReverseShellTrace("w", "t"),
+		trace.BenignWebTrace("w", "t", 5),
+	} {
+		for _, e := range events {
+			if p.Decide(e) != back.Decide(e) {
+				t.Fatalf("decision diverged on %+v", e)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"not json":     `{`,
+		"no name":      `{"rules":[],"defaultAction":1}`,
+		"bad action":   `{"name":"p","rules":[{"types":[1],"action":99}]}`,
+		"no action":    `{"name":"p","rules":[{"types":[1],"targetPrefix":"/x"}]}`,
+		"bad evt type": `{"name":"p","rules":[{"types":[42],"action":2}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := UnmarshalPolicy([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBatchPolicyBlocksAllEgress(t *testing.T) {
+	e := NewEnforcer()
+	e.SetPolicy("batch", BatchWorkloadPolicy())
+	// Benign batch work passes.
+	vs := e.Process(trace.BenignBatchTrace("batch", "t", 5))
+	if len(Blocked(vs)) != 0 {
+		t.Fatalf("benign batch blocked: %+v", Blocked(vs))
+	}
+	// Any network egress is blocked.
+	events := trace.NewBuilder("batch", "t").
+		Add(trace.EventConnect, "job", "db.internal:5432").
+		Events()
+	vs = e.Process(events)
+	if len(Blocked(vs)) != 1 {
+		t.Fatalf("batch egress not blocked: %+v", vs)
+	}
+}
+
+func TestWebPolicyAllowsDBBlocksEscape(t *testing.T) {
+	e := NewEnforcer()
+	e.SetPolicy("web", WebWorkloadPolicy(".internal:5432"))
+	vs := e.Process(trace.BenignWebTrace("web", "t", 5))
+	if len(Blocked(vs)) != 0 {
+		t.Fatalf("benign web blocked: %+v", Blocked(vs))
+	}
+	vs = e.Process(trace.ReverseShellTrace("web", "t"))
+	if len(Blocked(vs)) != 1 {
+		t.Fatalf("reverse shell not blocked: %+v", vs)
+	}
+}
+
+func TestValidatePolicyAcceptsProfiles(t *testing.T) {
+	for _, p := range []Policy{
+		DefaultWorkloadPolicy(), BatchWorkloadPolicy(), WebWorkloadPolicy(".internal"),
+	} {
+		if err := ValidatePolicy(p); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package sandbox implements LSM-style runtime enforcement for GENIO
+// workloads (M17, the KubeArmor role): per-workload policies that allow or
+// block process executions, file accesses, network egress, capabilities,
+// and syscalls, applied inline to the event stream — plus a PEACH-style
+// isolation review scoring tenant separation across the cluster.
+package sandbox
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"genio/internal/orchestrator"
+	"genio/internal/trace"
+)
+
+// Action is the policy decision for a matched event.
+type Action int
+
+// Actions.
+const (
+	ActionAllow Action = iota + 1
+	ActionBlock
+	// ActionAudit permits the event but records it (detection-only mode).
+	ActionAudit
+)
+
+var actionNames = map[Action]string{ActionAllow: "allow", ActionBlock: "block", ActionAudit: "audit"}
+
+// String names the action.
+func (a Action) String() string {
+	if n, ok := actionNames[a]; ok {
+		return n
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// PolicyRule matches runtime events by type and target prefix.
+type PolicyRule struct {
+	Types []trace.EventType `json:"types"`
+	// TargetPrefix matches event targets by prefix; "" matches all.
+	TargetPrefix string `json:"targetPrefix"`
+	Action       Action `json:"action"`
+}
+
+func (r PolicyRule) matches(e trace.Event) bool {
+	typeOK := len(r.Types) == 0
+	for _, t := range r.Types {
+		if t == e.Type {
+			typeOK = true
+			break
+		}
+	}
+	if !typeOK {
+		return false
+	}
+	return r.TargetPrefix == "" || strings.HasPrefix(e.Target, r.TargetPrefix)
+}
+
+// Policy is an ordered rule list with a default action; first match wins,
+// like LSM policy evaluation.
+type Policy struct {
+	Name          string       `json:"name"`
+	Rules         []PolicyRule `json:"rules"`
+	DefaultAction Action       `json:"defaultAction"`
+}
+
+// Decide evaluates one event.
+func (p Policy) Decide(e trace.Event) Action {
+	for _, r := range p.Rules {
+		if r.matches(e) {
+			return r.Action
+		}
+	}
+	if p.DefaultAction == 0 {
+		return ActionAllow
+	}
+	return p.DefaultAction
+}
+
+// Verdict records one enforcement decision.
+type Verdict struct {
+	Event  trace.Event `json:"event"`
+	Action Action      `json:"action"`
+}
+
+// Enforcer applies per-workload policies to event streams. Safe for
+// concurrent use.
+type Enforcer struct {
+	mu       sync.RWMutex
+	policies map[string]Policy // workload -> policy
+	blocked  map[string]int
+	audited  map[string]int
+}
+
+// NewEnforcer creates an enforcer with no policies (allow-all).
+func NewEnforcer() *Enforcer {
+	return &Enforcer{
+		policies: make(map[string]Policy),
+		blocked:  make(map[string]int),
+		audited:  make(map[string]int),
+	}
+}
+
+// SetPolicy attaches a policy to a workload.
+func (e *Enforcer) SetPolicy(workload string, p Policy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.policies[workload] = p
+}
+
+// Process runs a full trace through enforcement. Blocked events terminate
+// the trace (the process would be killed), returning the verdicts so far.
+func (e *Enforcer) Process(events []trace.Event) []Verdict {
+	out := make([]Verdict, 0, len(events))
+	for _, ev := range events {
+		v := e.processOne(ev)
+		out = append(out, v)
+		if v.Action == ActionBlock {
+			break
+		}
+	}
+	return out
+}
+
+func (e *Enforcer) processOne(ev trace.Event) Verdict {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.policies[ev.Workload]
+	if !ok {
+		return Verdict{Event: ev, Action: ActionAllow}
+	}
+	a := p.Decide(ev)
+	switch a {
+	case ActionBlock:
+		e.blocked[ev.Workload]++
+	case ActionAudit:
+		e.audited[ev.Workload]++
+	}
+	return Verdict{Event: ev, Action: a}
+}
+
+// Counts reports blocked/audited totals for a workload.
+func (e *Enforcer) Counts(workload string) (blocked, audited int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.blocked[workload], e.audited[workload]
+}
+
+// Blocked filters verdicts to blocked events.
+func Blocked(vs []Verdict) []Verdict {
+	var out []Verdict
+	for _, v := range vs {
+		if v.Action == ActionBlock {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// DefaultWorkloadPolicy returns the baseline policy GENIO attaches to soft-
+// isolated workloads: block dangerous capabilities, privileged syscalls,
+// host-filesystem access, and shells; audit writes outside the app tree.
+func DefaultWorkloadPolicy() Policy {
+	return Policy{
+		Name: "genio-baseline",
+		Rules: []PolicyRule{
+			{Types: []trace.EventType{trace.EventCapability}, TargetPrefix: "CAP_SYS_ADMIN", Action: ActionBlock},
+			{Types: []trace.EventType{trace.EventCapability}, TargetPrefix: "CAP_SYS_PTRACE", Action: ActionBlock},
+			{Types: []trace.EventType{trace.EventSyscall}, TargetPrefix: "mount", Action: ActionBlock},
+			{Types: []trace.EventType{trace.EventSyscall}, TargetPrefix: "ptrace", Action: ActionBlock},
+			{Types: []trace.EventType{trace.EventFileOpen, trace.EventFileWrite}, TargetPrefix: "/host/", Action: ActionBlock},
+			{Types: []trace.EventType{trace.EventFileOpen}, TargetPrefix: "/etc/shadow", Action: ActionBlock},
+			{Types: []trace.EventType{trace.EventExec}, TargetPrefix: "/bin/bash", Action: ActionBlock},
+			{Types: []trace.EventType{trace.EventExec}, TargetPrefix: "/bin/sh", Action: ActionBlock},
+			{Types: []trace.EventType{trace.EventFileWrite}, TargetPrefix: "/var/log/", Action: ActionAllow},
+			{Types: []trace.EventType{trace.EventFileWrite}, TargetPrefix: "/out/", Action: ActionAllow},
+			{Types: []trace.EventType{trace.EventFileWrite}, TargetPrefix: "", Action: ActionAudit},
+		},
+		DefaultAction: ActionAllow,
+	}
+}
+
+// --- PEACH-style isolation review -------------------------------------------
+
+// IsolationFactor is one scored dimension of the PEACH framework
+// (privilege hardening, encryption, authentication, connectivity,
+// hygiene) plus tenant-separation structure.
+type IsolationFactor struct {
+	Name   string `json:"name"`
+	Score  int    `json:"score"` // 0 (weak) .. 2 (strong)
+	Detail string `json:"detail"`
+}
+
+// IsolationReview is the result of reviewing a cluster's multi-tenancy.
+type IsolationReview struct {
+	Factors []IsolationFactor `json:"factors"`
+}
+
+// Total sums factor scores.
+func (r IsolationReview) Total() int {
+	sum := 0
+	for _, f := range r.Factors {
+		sum += f.Score
+	}
+	return sum
+}
+
+// Max returns the maximum possible score.
+func (r IsolationReview) Max() int { return len(r.Factors) * 2 }
+
+// ReviewIsolation scores a cluster against PEACH-style criteria using the
+// observable configuration: privileged containers, TLS, RBAC strength,
+// tenant co-residency, and network policy hygiene.
+func ReviewIsolation(c *orchestrator.Cluster, hardIsolationShare float64) IsolationReview {
+	var rev IsolationReview
+	s := c.Settings
+
+	priv := 2
+	detail := "privileged containers disallowed"
+	if s.AllowPrivileged {
+		priv, detail = 0, "privileged containers allowed"
+	}
+	rev.Factors = append(rev.Factors, IsolationFactor{Name: "privilege-hardening", Score: priv, Detail: detail})
+
+	enc := 0
+	detail = "no TLS, no at-rest encryption"
+	if s.TLSOnAPIServer && s.EtcdEncryption {
+		enc, detail = 2, "TLS + etcd encryption"
+	} else if s.TLSOnAPIServer || s.EtcdEncryption {
+		enc, detail = 1, "partial encryption"
+	}
+	rev.Factors = append(rev.Factors, IsolationFactor{Name: "encryption", Score: enc, Detail: detail})
+
+	auth := 0
+	detail = "anonymous access permitted"
+	if !s.AnonymousAuth && s.RBACEnabled {
+		auth, detail = 2, "RBAC enforced, no anonymous access"
+	} else if !s.AnonymousAuth {
+		auth, detail = 1, "authenticated but coarse authorization"
+	}
+	rev.Factors = append(rev.Factors, IsolationFactor{Name: "authentication", Score: auth, Detail: detail})
+
+	conn := 0
+	detail = "flat network between tenants"
+	if s.NetworkPoliciesOn {
+		conn, detail = 2, "default-deny network policies"
+	}
+	rev.Factors = append(rev.Factors, IsolationFactor{Name: "connectivity", Score: conn, Detail: detail})
+
+	sep := 0
+	detail = "tenants co-resident in shared VMs"
+	switch {
+	case hardIsolationShare >= 0.99:
+		sep, detail = 2, "every tenant in dedicated VMs"
+	case hardIsolationShare >= 0.5:
+		sep, detail = 1, "sensitive tenants in dedicated VMs"
+	}
+	rev.Factors = append(rev.Factors, IsolationFactor{Name: "tenant-separation", Score: sep, Detail: detail})
+
+	hyg := 0
+	detail = "no audit trail"
+	if s.AuditLoggingEnabled {
+		hyg, detail = 2, "audit logging on"
+	}
+	rev.Factors = append(rev.Factors, IsolationFactor{Name: "hygiene", Score: hyg, Detail: detail})
+
+	return rev
+}

@@ -1,0 +1,172 @@
+package sandbox
+
+import (
+	"testing"
+
+	"genio/internal/container"
+	"genio/internal/orchestrator"
+	"genio/internal/trace"
+)
+
+func enforcerWithBaseline(workload string) *Enforcer {
+	e := NewEnforcer()
+	e.SetPolicy(workload, DefaultWorkloadPolicy())
+	return e
+}
+
+func TestBenignTrafficUnblocked(t *testing.T) {
+	e := enforcerWithBaseline("web")
+	vs := e.Process(trace.BenignWebTrace("web", "acme", 10))
+	if len(Blocked(vs)) != 0 {
+		t.Fatalf("benign traffic blocked: %+v", Blocked(vs))
+	}
+	blocked, _ := e.Counts("web")
+	if blocked != 0 {
+		t.Fatalf("blocked = %d", blocked)
+	}
+}
+
+func TestContainerEscapeBlockedAtCapability(t *testing.T) {
+	e := enforcerWithBaseline("miner")
+	events := trace.ContainerEscapeTrace("miner", "shady")
+	vs := e.Process(events)
+	b := Blocked(vs)
+	if len(b) != 1 {
+		t.Fatalf("blocked = %+v", b)
+	}
+	if b[0].Event.Type != trace.EventCapability || b[0].Event.Target != "CAP_SYS_ADMIN" {
+		t.Fatalf("blocked event = %+v", b[0].Event)
+	}
+	// Enforcement terminates the trace: later host-fs writes never happen.
+	if len(vs) >= len(events) {
+		t.Fatal("trace continued past blocking decision")
+	}
+}
+
+func TestReverseShellBlockedAtExec(t *testing.T) {
+	e := enforcerWithBaseline("web")
+	vs := e.Process(trace.ReverseShellTrace("web", "acme"))
+	b := Blocked(vs)
+	if len(b) != 1 || b[0].Event.Target != "/bin/bash" {
+		t.Fatalf("blocked = %+v", b)
+	}
+}
+
+func TestUnpoliciedWorkloadAllowsEverything(t *testing.T) {
+	// Without a policy (the pre-M17 posture) the escape succeeds.
+	e := NewEnforcer()
+	vs := e.Process(trace.ContainerEscapeTrace("miner", "shady"))
+	if len(Blocked(vs)) != 0 {
+		t.Fatal("no-policy enforcer blocked something")
+	}
+	if len(vs) != len(trace.ContainerEscapeTrace("miner", "shady")) {
+		t.Fatal("trace truncated without enforcement")
+	}
+}
+
+func TestAuditModeRecordsWithoutBlocking(t *testing.T) {
+	e := enforcerWithBaseline("batch")
+	// Batch workload writes outside /var/log and /out -> audit.
+	events := trace.NewBuilder("batch", "acme").
+		Add(trace.EventFileWrite, "job", "/tmp/scratch").
+		Events()
+	vs := e.Process(events)
+	if len(vs) != 1 || vs[0].Action != ActionAudit {
+		t.Fatalf("verdicts = %+v", vs)
+	}
+	_, audited := e.Counts("batch")
+	if audited != 1 {
+		t.Fatalf("audited = %d", audited)
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	p := Policy{
+		Name: "ordered",
+		Rules: []PolicyRule{
+			{Types: []trace.EventType{trace.EventFileOpen}, TargetPrefix: "/app/secrets/public", Action: ActionAllow},
+			{Types: []trace.EventType{trace.EventFileOpen}, TargetPrefix: "/app/secrets", Action: ActionBlock},
+		},
+		DefaultAction: ActionAllow,
+	}
+	ev := trace.Event{Type: trace.EventFileOpen, Target: "/app/secrets/public/cert.pem"}
+	if p.Decide(ev) != ActionAllow {
+		t.Fatal("more specific earlier rule did not win")
+	}
+	ev.Target = "/app/secrets/private.key"
+	if p.Decide(ev) != ActionBlock {
+		t.Fatal("later rule did not apply")
+	}
+}
+
+func TestDefaultActionFallback(t *testing.T) {
+	p := Policy{Name: "empty"}
+	if p.Decide(trace.Event{Type: trace.EventExec, Target: "/x"}) != ActionAllow {
+		t.Fatal("zero-value default should allow")
+	}
+	p.DefaultAction = ActionBlock
+	if p.Decide(trace.Event{Type: trace.EventExec, Target: "/x"}) != ActionBlock {
+		t.Fatal("explicit default ignored")
+	}
+}
+
+func TestTypeFilterInRules(t *testing.T) {
+	p := Policy{Rules: []PolicyRule{
+		{Types: []trace.EventType{trace.EventConnect}, TargetPrefix: "203.0.113.", Action: ActionBlock},
+	}}
+	// Same target string on a different event type passes.
+	if p.Decide(trace.Event{Type: trace.EventFileOpen, Target: "203.0.113.7:4444"}) != ActionAllow {
+		t.Fatal("type filter not applied")
+	}
+	if p.Decide(trace.Event{Type: trace.EventConnect, Target: "203.0.113.7:4444"}) != ActionBlock {
+		t.Fatal("matching connect not blocked")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionBlock.String() != "block" || Action(9).String() != "action(9)" {
+		t.Fatal("Action.String mismatch")
+	}
+}
+
+func TestIsolationReviewScoresPostures(t *testing.T) {
+	reg := container.NewRegistry()
+	insecure := orchestrator.NewCluster("c1", reg, orchestrator.InsecureDefaults())
+	hardened := orchestrator.NewCluster("c2", reg, orchestrator.HardenedSettings())
+
+	low := ReviewIsolation(insecure, 0)
+	high := ReviewIsolation(hardened, 1.0)
+	if low.Total() >= high.Total() {
+		t.Fatalf("insecure %d/%d >= hardened %d/%d",
+			low.Total(), low.Max(), high.Total(), high.Max())
+	}
+	if high.Total() != high.Max() {
+		t.Fatalf("fully hardened cluster scored %d/%d: %+v", high.Total(), high.Max(), high.Factors)
+	}
+	if low.Max() != high.Max() {
+		t.Fatal("reviews have different factor counts")
+	}
+}
+
+func TestIsolationReviewPartialScores(t *testing.T) {
+	reg := container.NewRegistry()
+	s := orchestrator.HardenedSettings()
+	s.EtcdEncryption = false // partial encryption
+	c := orchestrator.NewCluster("c", reg, s)
+	rev := ReviewIsolation(c, 0.6)
+	var enc, sep int
+	for _, f := range rev.Factors {
+		switch f.Name {
+		case "encryption":
+			enc = f.Score
+		case "tenant-separation":
+			sep = f.Score
+		}
+	}
+	if enc != 1 {
+		t.Fatalf("encryption score = %d, want 1", enc)
+	}
+	if sep != 1 {
+		t.Fatalf("tenant-separation score = %d, want 1", sep)
+	}
+}

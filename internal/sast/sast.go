@@ -1,0 +1,204 @@
+// Package sast implements static application security testing over the
+// source files carried in container images (M13): a pattern-rule engine in
+// the role of Semgrep/Bandit for Python and SpotBugs for Java, applied to
+// the filesystem extracted from the image (the Crane step in the paper).
+//
+// Rules are regular-expression patterns with language scoping, like the
+// lightweight semantic-grep rules the paper's tools ship. The engine also
+// tags findings in test/fixture/documentation paths as likely false
+// positives — the Lesson-7 noise that security teams must triage away.
+package sast
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"genio/internal/container"
+)
+
+// Severity ranks findings.
+type Severity int
+
+// Severities.
+const (
+	Info Severity = iota + 1
+	Warning
+	Error
+)
+
+var severityNames = map[Severity]string{Info: "info", Warning: "warning", Error: "error"}
+
+// String names the severity.
+func (s Severity) String() string {
+	if n, ok := severityNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Rule is one static-analysis pattern.
+type Rule struct {
+	ID       string
+	Title    string
+	Severity Severity
+	// Languages restricts the rule by file extension ("py", "java", ...);
+	// empty means all files.
+	Languages []string
+	Pattern   *regexp.Regexp
+}
+
+func (r Rule) appliesTo(path string) bool {
+	if len(r.Languages) == 0 {
+		return true
+	}
+	for _, l := range r.Languages {
+		if strings.HasSuffix(path, "."+l) {
+			return true
+		}
+	}
+	return false
+}
+
+// Finding is one matched pattern.
+type Finding struct {
+	RuleID   string   `json:"ruleId"`
+	Title    string   `json:"title"`
+	Severity Severity `json:"severity"`
+	Path     string   `json:"path"`
+	Line     int      `json:"line"`
+	Snippet  string   `json:"snippet"`
+	// LikelyFalsePositive is set for matches in test, fixture, example, or
+	// documentation paths (Lesson-7 triage heuristic).
+	LikelyFalsePositive bool `json:"likelyFalsePositive"`
+}
+
+// Report aggregates a scan of one image.
+type Report struct {
+	ImageRef     string    `json:"imageRef"`
+	Findings     []Finding `json:"findings"`
+	FilesScanned int       `json:"filesScanned"`
+}
+
+// Actionable filters out likely false positives.
+func (r *Report) Actionable() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if !f.LikelyFalsePositive {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Scanner runs a rule set over image filesystems.
+type Scanner struct {
+	Rules []Rule
+}
+
+// NewScanner creates a scanner with the given rules (use DefaultRules for
+// the stock set).
+func NewScanner(rules []Rule) *Scanner {
+	return &Scanner{Rules: rules}
+}
+
+var fpPathHints = []string{"/test", "_test.", "/tests/", "/docs/", "/examples/", "/fixtures/"}
+
+func likelyFP(path string) bool {
+	lower := strings.ToLower(path)
+	for _, h := range fpPathHints {
+		if strings.Contains(lower, h) {
+			return true
+		}
+	}
+	return false
+}
+
+// Scan extracts the image filesystem and applies every rule to every
+// matching file, line by line.
+func (s *Scanner) Scan(img *container.Image) *Report {
+	rep := &Report{ImageRef: img.Ref()}
+	fs := img.Flatten()
+	paths := make([]string, 0, len(fs))
+	for p := range fs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		content := string(fs[path].Content)
+		if !isSourceFile(path) {
+			continue
+		}
+		rep.FilesScanned++
+		lines := strings.Split(content, "\n")
+		for _, rule := range s.Rules {
+			if !rule.appliesTo(path) {
+				continue
+			}
+			for i, line := range lines {
+				if rule.Pattern.MatchString(line) {
+					rep.Findings = append(rep.Findings, Finding{
+						RuleID:              rule.ID,
+						Title:               rule.Title,
+						Severity:            rule.Severity,
+						Path:                path,
+						Line:                i + 1,
+						Snippet:             strings.TrimSpace(line),
+						LikelyFalsePositive: likelyFP(path),
+					})
+				}
+			}
+		}
+	}
+	return rep
+}
+
+var sourceExtensions = []string{".py", ".java", ".go", ".js", ".sh", ".rb"}
+
+func isSourceFile(path string) bool {
+	for _, ext := range sourceExtensions {
+		if strings.HasSuffix(path, ext) {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultRules returns the stock rule set, covering the weakness classes
+// the paper lists for M13: hardcoded credentials, improper input
+// validation, weak cryptographic functions, unsafe deserialization, and
+// disabled TLS verification.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			ID: "hardcoded-credential", Title: "Hardcoded credential", Severity: Error,
+			Pattern: regexp.MustCompile(`(?i)(api_key|apikey|password|secret|token)\s*=\s*["'][^"']{8,}["']`),
+		},
+		{
+			ID: "weak-hash", Title: "Weak cryptographic hash", Severity: Warning,
+			Pattern: regexp.MustCompile(`(?i)\b(md5|sha1)\s*\(`),
+		},
+		{
+			ID: "sql-injection", Title: "SQL built by string concatenation", Severity: Error,
+			Pattern: regexp.MustCompile(`(?i)(select|insert|update|delete)[^\n]*["']\s*\+`),
+		},
+		{
+			ID: "tls-verify-disabled", Title: "TLS certificate verification disabled", Severity: Error,
+			Pattern: regexp.MustCompile(`verify\s*=\s*False|InsecureSkipVerify:\s*true`),
+		},
+		{
+			ID: "unsafe-deserialization", Title: "Unsafe deserialization of untrusted data", Severity: Error,
+			Languages: []string{"java", "py"},
+			Pattern:   regexp.MustCompile(`ObjectInputStream|pickle\.loads?\(|yaml\.load\(`),
+		},
+		{
+			ID: "shell-injection", Title: "Command executed through shell", Severity: Error,
+			Pattern: regexp.MustCompile(`shell\s*=\s*True|os\.system\(|exec\.Command\("(sh|bash)"`),
+		},
+		{
+			ID: "eval-use", Title: "Dynamic code evaluation", Severity: Warning,
+			Pattern: regexp.MustCompile(`\beval\s*\(`),
+		},
+	}
+}

@@ -1,0 +1,131 @@
+package sast
+
+import (
+	"testing"
+
+	"genio/internal/container"
+)
+
+func scanDefault(t *testing.T, img *container.Image) *Report {
+	t.Helper()
+	return NewScanner(DefaultRules()).Scan(img)
+}
+
+func TestFindsPlantedWeaknesses(t *testing.T) {
+	rep := scanDefault(t, container.IoTGatewayImage())
+	found := map[string]bool{}
+	for _, f := range rep.Findings {
+		found[f.RuleID] = true
+	}
+	for _, want := range []string{"hardcoded-credential", "weak-hash", "sql-injection", "tls-verify-disabled"} {
+		if !found[want] {
+			t.Errorf("missing %s; findings: %+v", want, rep.Findings)
+		}
+	}
+}
+
+func TestFindingsCarryLocation(t *testing.T) {
+	rep := scanDefault(t, container.IoTGatewayImage())
+	for _, f := range rep.Findings {
+		if f.Path == "" || f.Line == 0 || f.Snippet == "" {
+			t.Fatalf("finding without location: %+v", f)
+		}
+	}
+}
+
+func TestJavaDeserializationDetected(t *testing.T) {
+	rep := scanDefault(t, container.MLInferenceImage())
+	var found bool
+	for _, f := range rep.Findings {
+		if f.RuleID == "unsafe-deserialization" && f.Path == "/app/Inference.java" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ObjectInputStream not flagged; findings: %+v", rep.Findings)
+	}
+}
+
+func TestCleanImageProducesNoFindings(t *testing.T) {
+	rep := scanDefault(t, container.AnalyticsImage())
+	if len(rep.Findings) != 0 {
+		t.Fatalf("analytics findings = %+v", rep.Findings)
+	}
+	if rep.FilesScanned == 0 {
+		t.Fatal("no files scanned")
+	}
+}
+
+func TestNonSourceFilesSkipped(t *testing.T) {
+	img := &container.Image{
+		Name: "bin-only", Tag: "1",
+		Layers: []container.Layer{{Files: []container.File{
+			{Path: "/data/blob.bin", Content: []byte(`password = "hunter2-hunter2"`)},
+		}}},
+	}
+	rep := scanDefault(t, img)
+	if rep.FilesScanned != 0 || len(rep.Findings) != 0 {
+		t.Fatalf("binary file scanned: %+v", rep)
+	}
+}
+
+func TestLanguageScoping(t *testing.T) {
+	img := &container.Image{
+		Name: "go-app", Tag: "1",
+		Layers: []container.Layer{{Files: []container.File{
+			// ObjectInputStream in a Go file: the deserialization rule is
+			// scoped to java/py and must not fire.
+			{Path: "/app/main.go", Content: []byte(`var x = "ObjectInputStream"`)},
+		}}},
+	}
+	rep := scanDefault(t, img)
+	for _, f := range rep.Findings {
+		if f.RuleID == "unsafe-deserialization" {
+			t.Fatalf("language-scoped rule fired on .go file: %+v", f)
+		}
+	}
+}
+
+func TestFalsePositiveTagging(t *testing.T) {
+	// Lesson 7: matches in test/example paths are tagged as likely FPs so
+	// triage can separate them.
+	img := &container.Image{
+		Name: "app", Tag: "1",
+		Layers: []container.Layer{{Files: []container.File{
+			{Path: "/app/main.py", Content: []byte(`API_KEY = "sk_live_realrealreal"`)},
+			{Path: "/app/tests/test_auth.py", Content: []byte(`API_KEY = "sk_test_fakefakefake"`)},
+			{Path: "/app/examples/demo.py", Content: []byte(`password = "example-password"`)},
+		}}},
+	}
+	rep := scanDefault(t, img)
+	if len(rep.Findings) != 3 {
+		t.Fatalf("findings = %d, want 3", len(rep.Findings))
+	}
+	actionable := rep.Actionable()
+	if len(actionable) != 1 || actionable[0].Path != "/app/main.py" {
+		t.Fatalf("actionable = %+v", actionable)
+	}
+}
+
+func TestShellInjectionAndEvalRules(t *testing.T) {
+	img := &container.Image{
+		Name: "app", Tag: "1",
+		Layers: []container.Layer{{Files: []container.File{
+			{Path: "/app/run.py", Content: []byte("import subprocess\nsubprocess.run(cmd, shell=True)\nresult = eval(user_input)\n")},
+		}}},
+	}
+	rep := scanDefault(t, img)
+	found := map[string]bool{}
+	for _, f := range rep.Findings {
+		found[f.RuleID] = true
+	}
+	if !found["shell-injection"] || !found["eval-use"] {
+		t.Fatalf("findings = %v", found)
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Error.String() != "error" || Severity(9).String() != "severity(9)" {
+		t.Fatal("Severity.String mismatch")
+	}
+}

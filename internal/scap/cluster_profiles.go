@@ -1,0 +1,194 @@
+package scap
+
+import (
+	"fmt"
+
+	"genio/internal/container"
+	"genio/internal/orchestrator"
+)
+
+// Middleware benchmark profiles (M11): the NSA Kubernetes Hardening
+// Guidance / CIS checks over cluster settings, and docker-bench checks over
+// container images. Lesson 5 notes that no single checker covers all risks;
+// the profiles here deliberately overlap only partially, and
+// CombinedClusterCoverage quantifies the union.
+
+// ClusterRule is a rule over cluster state.
+type ClusterRule = Rule[*orchestrator.Cluster]
+
+// ClusterProfile is a benchmark over cluster state.
+type ClusterProfile = Profile[*orchestrator.Cluster]
+
+// ImageRule is a rule over a container image.
+type ImageRule = Rule[*container.Image]
+
+// ImageProfile is a benchmark over container images.
+type ImageProfile = Profile[*container.Image]
+
+// NSAKubernetesProfile returns the NSA hardening guidance subset covering
+// control-plane configuration.
+func NSAKubernetesProfile() ClusterProfile {
+	flag := func(id, title string, sev Severity, bad func(orchestrator.Settings) (bool, string)) ClusterRule {
+		return ClusterRule{
+			ID: id, Title: title, Severity: sev,
+			Check: func(c *orchestrator.Cluster) (Status, string) {
+				if isBad, detail := bad(c.Settings); isBad {
+					return Fail, detail
+				}
+				return Pass, ""
+			},
+		}
+	}
+	return ClusterProfile{
+		Name: "nsa-k8s-hardening",
+		Rules: []ClusterRule{
+			flag("nsa-anon-auth", "Anonymous authentication disabled", Critical,
+				func(s orchestrator.Settings) (bool, string) {
+					return s.AnonymousAuth, "anonymous-auth=true on API server"
+				}),
+			flag("nsa-rbac", "RBAC authorization enabled", Critical,
+				func(s orchestrator.Settings) (bool, string) {
+					return !s.RBACEnabled, "RBAC disabled"
+				}),
+			flag("nsa-audit-log", "Audit logging enabled", Medium,
+				func(s orchestrator.Settings) (bool, string) {
+					return !s.AuditLoggingEnabled, "no audit log"
+				}),
+			flag("nsa-etcd-encryption", "Secrets encrypted at rest in etcd", High,
+				func(s orchestrator.Settings) (bool, string) {
+					return !s.EtcdEncryption, "etcd encryption off"
+				}),
+			flag("nsa-tls-apiserver", "API server requires TLS", High,
+				func(s orchestrator.Settings) (bool, string) {
+					return !s.TLSOnAPIServer, "plaintext API server"
+				}),
+		},
+	}
+}
+
+// CISKubernetesProfile returns the CIS benchmark subset; it overlaps with
+// NSA on RBAC/TLS but adds workload-policy checks the NSA subset lacks —
+// the partial-coverage phenomenon of Lesson 5.
+func CISKubernetesProfile() ClusterProfile {
+	return ClusterProfile{
+		Name: "cis-k8s-benchmark",
+		Rules: []ClusterRule{
+			{
+				ID: "cis-rbac", Title: "RBAC authorization enabled", Severity: Critical,
+				Check: func(c *orchestrator.Cluster) (Status, string) {
+					if !c.Settings.RBACEnabled {
+						return Fail, "RBAC disabled"
+					}
+					return Pass, ""
+				},
+			},
+			{
+				ID: "cis-tls-apiserver", Title: "API server requires TLS", Severity: High,
+				Check: func(c *orchestrator.Cluster) (Status, string) {
+					if !c.Settings.TLSOnAPIServer {
+						return Fail, "plaintext API server"
+					}
+					return Pass, ""
+				},
+			},
+			{
+				ID: "cis-no-privileged", Title: "Privileged containers disallowed", Severity: Critical,
+				Check: func(c *orchestrator.Cluster) (Status, string) {
+					if c.Settings.AllowPrivileged {
+						return Fail, "allow-privileged=true"
+					}
+					return Pass, ""
+				},
+			},
+			{
+				ID: "cis-network-policies", Title: "Network policies enforced", Severity: High,
+				Check: func(c *orchestrator.Cluster) (Status, string) {
+					if !c.Settings.NetworkPoliciesOn {
+						return Fail, "no default network policies"
+					}
+					return Pass, ""
+				},
+			},
+			{
+				ID: "cis-image-signing", Title: "Image signature verification enforced", Severity: High,
+				Check: func(c *orchestrator.Cluster) (Status, string) {
+					if !c.VerifyImageSignatures {
+						return Fail, "unsigned images admitted"
+					}
+					return Pass, ""
+				},
+			},
+		},
+	}
+}
+
+// EvaluateCluster runs a cluster profile.
+func EvaluateCluster(p ClusterProfile, c *orchestrator.Cluster) *Report {
+	return p.Evaluate(c.Name, "kubernetes", c)
+}
+
+// CombinedClusterCoverage evaluates several cluster profiles and reports
+// per-rule-ID union results, showing that individual tools each cover only
+// a subset (Lesson 5).
+func CombinedClusterCoverage(c *orchestrator.Cluster, profiles ...ClusterProfile) map[string]Status {
+	out := make(map[string]Status)
+	for _, p := range profiles {
+		for _, res := range EvaluateCluster(p, c).Results {
+			out[res.RuleID] = res.Status
+		}
+	}
+	return out
+}
+
+// DockerBenchProfile returns docker-bench-style image checks (M13
+// container hardening).
+func DockerBenchProfile() ImageProfile {
+	return ImageProfile{
+		Name: "docker-bench",
+		Rules: []ImageRule{
+			{
+				ID: "db-nonroot-user", Title: "Container runs as non-root user", Severity: High,
+				Check: func(img *container.Image) (Status, string) {
+					if img.Config.RunsAsRoot() {
+						return Fail, "USER is root"
+					}
+					return Pass, ""
+				},
+			},
+			{
+				ID: "db-no-sys-admin", Title: "CAP_SYS_ADMIN not requested", Severity: Critical,
+				Check: func(img *container.Image) (Status, string) {
+					if img.Config.HasCapability("CAP_SYS_ADMIN") {
+						return Fail, "image requests CAP_SYS_ADMIN"
+					}
+					return Pass, ""
+				},
+			},
+			{
+				ID: "db-no-debug-ports", Title: "No debug ports exposed", Severity: Medium,
+				Check: func(img *container.Image) (Status, string) {
+					for _, p := range img.Config.ExposedPorts {
+						if p == 9229 || p == 5005 || p == 2345 {
+							return Fail, fmt.Sprintf("debug port %d exposed", p)
+						}
+					}
+					return Pass, ""
+				},
+			},
+			{
+				ID: "db-has-entrypoint", Title: "Explicit entrypoint defined", Severity: Low,
+				Check: func(img *container.Image) (Status, string) {
+					if len(img.Config.Entrypoint) == 0 {
+						return Fail, "no entrypoint"
+					}
+					return Pass, ""
+				},
+			},
+		},
+	}
+}
+
+// EvaluateImage runs an image profile.
+func EvaluateImage(p ImageProfile, img *container.Image) *Report {
+	return p.Evaluate(img.Ref(), "oci", img)
+}

@@ -1,0 +1,81 @@
+package scap
+
+import (
+	"testing"
+
+	"genio/internal/container"
+	"genio/internal/orchestrator"
+)
+
+func TestInsecureDefaultsFailNSAProfile(t *testing.T) {
+	c := orchestrator.NewCluster("edge", container.NewRegistry(), orchestrator.InsecureDefaults())
+	rep := EvaluateCluster(NSAKubernetesProfile(), c)
+	_, fail, _, _ := rep.Counts()
+	if fail == 0 {
+		t.Fatal("insecure defaults passed the NSA profile")
+	}
+}
+
+func TestHardenedClusterPassesBothProfiles(t *testing.T) {
+	c := orchestrator.NewCluster("edge", container.NewRegistry(), orchestrator.HardenedSettings())
+	c.VerifyImageSignatures = true
+	for _, p := range []ClusterProfile{NSAKubernetesProfile(), CISKubernetesProfile()} {
+		rep := EvaluateCluster(p, c)
+		if fails := rep.Failures(); len(fails) != 0 {
+			t.Fatalf("%s failures on hardened cluster: %+v", p.Name, fails)
+		}
+	}
+}
+
+func TestProfilesOnlyPartiallyOverlap(t *testing.T) {
+	// Lesson 5: no single checker covers all risks. The NSA profile misses
+	// privileged-container and image-signing policy; CIS misses anonymous
+	// auth and etcd encryption.
+	nsaIDs := map[string]bool{}
+	for _, r := range NSAKubernetesProfile().Rules {
+		nsaIDs[r.ID] = true
+	}
+	cisIDs := map[string]bool{}
+	for _, r := range CISKubernetesProfile().Rules {
+		cisIDs[r.ID] = true
+	}
+	if nsaIDs["cis-no-privileged"] || nsaIDs["cis-image-signing"] {
+		t.Fatal("NSA profile should not cover privileged/signing checks")
+	}
+	if cisIDs["nsa-anon-auth"] || cisIDs["nsa-etcd-encryption"] {
+		t.Fatal("CIS profile should not cover anon-auth/etcd checks")
+	}
+}
+
+func TestCombinedCoverageLargerThanEither(t *testing.T) {
+	c := orchestrator.NewCluster("edge", container.NewRegistry(), orchestrator.InsecureDefaults())
+	nsa := NSAKubernetesProfile()
+	cis := CISKubernetesProfile()
+	union := CombinedClusterCoverage(c, nsa, cis)
+	if len(union) <= len(nsa.Rules) || len(union) <= len(cis.Rules) {
+		t.Fatalf("union = %d rules, nsa = %d, cis = %d", len(union), len(nsa.Rules), len(cis.Rules))
+	}
+}
+
+func TestDockerBenchFlagsBadImages(t *testing.T) {
+	rep := EvaluateImage(DockerBenchProfile(), container.CryptominerImage())
+	_, fail, _, _ := rep.Counts()
+	if fail < 2 { // root + CAP_SYS_ADMIN
+		t.Fatalf("cryptominer image failed only %d docker-bench rules", fail)
+	}
+	rep = EvaluateImage(DockerBenchProfile(), container.IoTGatewayImage())
+	found := map[string]bool{}
+	for _, f := range rep.Failures() {
+		found[f.RuleID] = true
+	}
+	if !found["db-nonroot-user"] || !found["db-no-debug-ports"] {
+		t.Fatalf("iot-gateway findings = %v", found)
+	}
+}
+
+func TestDockerBenchPassesCleanImage(t *testing.T) {
+	rep := EvaluateImage(DockerBenchProfile(), container.AnalyticsImage())
+	if fails := rep.Failures(); len(fails) != 0 {
+		t.Fatalf("analytics image failed: %+v", fails)
+	}
+}

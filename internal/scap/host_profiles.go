@@ -1,0 +1,287 @@
+package scap
+
+import (
+	"fmt"
+	"strings"
+
+	"genio/internal/host"
+)
+
+// Host-level benchmark profiles (M1 OS configuration, M2 kernel hardening).
+// Rule content follows the checks the paper names: OpenSCAP SCAP benchmarks
+// (SSH, NTP, APT repositories, kernel file protection), Ubuntu STIGs
+// (encryption policy, access restriction, boot configuration), and the
+// kernel-hardening-checker baseline (kconfig, cmdline, sysctl).
+
+// HostRule is a convenience alias for host-targeted rules.
+type HostRule = Rule[*host.Host]
+
+// HostProfile is a convenience alias for host-targeted profiles.
+type HostProfile = Profile[*host.Host]
+
+// EvaluateHost runs a host profile using the host's distro as platform.
+func EvaluateHost(p HostProfile, h *host.Host) *Report {
+	return p.Evaluate(h.Name, h.Distro, h)
+}
+
+func fileContains(h *host.Host, path, needle string) (bool, error) {
+	f, err := h.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	return strings.Contains(string(f.Content), needle), nil
+}
+
+// SCAPBaselineProfile returns the OpenSCAP-style OS benchmark GENIO applies
+// on every node (M1). These rules are universal: they check behaviour, not
+// distro-specific paths.
+func SCAPBaselineProfile() HostProfile {
+	return HostProfile{
+		Name: "scap-os-baseline",
+		Rules: []HostRule{
+			{
+				ID: "ssh-no-root-login", Title: "SSH root login disabled", Severity: High,
+				Check: func(h *host.Host) (Status, string) {
+					ok, err := fileContains(h, "/etc/ssh/sshd_config", "PermitRootLogin no")
+					if err != nil {
+						return Manual, "sshd_config not found at standard path"
+					}
+					if ok {
+						return Pass, ""
+					}
+					return Fail, "PermitRootLogin is not 'no'"
+				},
+			},
+			{
+				ID: "ssh-no-password-auth", Title: "SSH password authentication disabled", Severity: High,
+				Check: func(h *host.Host) (Status, string) {
+					ok, err := fileContains(h, "/etc/ssh/sshd_config", "PasswordAuthentication no")
+					if err != nil {
+						return Manual, "sshd_config not found at standard path"
+					}
+					if ok {
+						return Pass, ""
+					}
+					return Fail, "PasswordAuthentication is not 'no'"
+				},
+			},
+			{
+				ID: "ntp-enabled", Title: "NTP time synchronization enabled", Severity: Medium,
+				Check: func(h *host.Host) (Status, string) {
+					if s, ok := h.Service("ntpd"); ok && s.Enabled {
+						return Pass, ""
+					}
+					return Fail, "ntpd not enabled"
+				},
+			},
+			{
+				ID: "apt-trusted-repos-only", Title: "No untrusted APT repositories", Severity: High,
+				Check: func(h *host.Host) (Status, string) {
+					f, err := h.ReadFile("/etc/apt/sources.list")
+					if err != nil {
+						return Manual, "sources.list not found"
+					}
+					for _, line := range strings.Split(string(f.Content), "\n") {
+						line = strings.TrimSpace(line)
+						if line == "" {
+							continue
+						}
+						if !strings.Contains(line, "debian.org") && !strings.Contains(line, "ubuntu.com") {
+							return Fail, fmt.Sprintf("untrusted repository: %s", line)
+						}
+					}
+					return Pass, ""
+				},
+			},
+			{
+				ID: "no-legacy-cleartext-services", Title: "Legacy cleartext services disabled", Severity: Critical,
+				Check: func(h *host.Host) (Status, string) {
+					for _, name := range []string{"telnetd", "ftpd"} {
+						if s, ok := h.Service(name); ok && s.Enabled {
+							return Fail, name + " enabled"
+						}
+					}
+					return Pass, ""
+				},
+			},
+			{
+				ID: "no-debug-endpoints", Title: "Vendor debug endpoints disabled", Severity: High,
+				Check: func(h *host.Host) (Status, string) {
+					if s, ok := h.Service("debug-agent"); ok && s.Enabled {
+						return Fail, "debug-agent listening on port " + fmt.Sprint(s.ListenPort)
+					}
+					return Pass, ""
+				},
+			},
+			{
+				ID: "kernel-files-protected", Title: "Kernel and bootloader files not world-readable", Severity: High,
+				Check: func(h *host.Host) (Status, string) {
+					f, err := h.ReadFile("/boot/grub/grub.cfg")
+					if err != nil {
+						return Manual, "grub.cfg not found at standard path"
+					}
+					if f.Mode&0o077 != 0 {
+						return Fail, fmt.Sprintf("grub.cfg mode %o too permissive", f.Mode)
+					}
+					return Pass, ""
+				},
+			},
+			{
+				ID: "no-passwordless-accounts", Title: "Interactive accounts use key-based login", Severity: High,
+				Check: func(h *host.Host) (Status, string) {
+					for _, a := range h.Accounts() {
+						if a.PasswordLogin && a.Shell != "/usr/sbin/nologin" {
+							return Fail, "account " + a.Name + " allows password login"
+						}
+					}
+					return Pass, ""
+				},
+			},
+		},
+	}
+}
+
+// STIGProfile returns the Ubuntu-authored STIG subset GENIO aligns to. The
+// AppliesTo clauses are the point: on ONL these rules degrade to Manual,
+// producing the Lesson-1 adaptation workload.
+func STIGProfile() HostProfile {
+	return HostProfile{
+		Name: "stig-ubuntu",
+		Rules: []HostRule{
+			{
+				ID: "stig-fips-crypto", Title: "System cryptography uses approved modules",
+				Severity: High, AppliesTo: []string{"ubuntu"}, ManualFallback: true,
+				Check: func(h *host.Host) (Status, string) {
+					if v, ok := h.PackageVersion("openssl"); ok && strings.HasPrefix(v, "3.") {
+						return Pass, ""
+					}
+					return Fail, "openssl below approved version line"
+				},
+			},
+			{
+				ID: "stig-grub-superusers", Title: "Bootloader requires authentication",
+				Severity: High, AppliesTo: []string{"ubuntu", "onl"}, // adapted for ONL during the project
+				Check: func(h *host.Host) (Status, string) {
+					ok, err := fileContains(h, "/boot/grub/grub.cfg", "set superusers")
+					if err != nil {
+						return Manual, "grub.cfg not found"
+					}
+					if ok {
+						return Pass, ""
+					}
+					return Fail, "no grub superusers configured"
+				},
+			},
+			{
+				ID: "stig-root-nologin", Title: "Direct root shell disabled",
+				Severity: Medium, AppliesTo: []string{"ubuntu", "onl"},
+				Check: func(h *host.Host) (Status, string) {
+					for _, a := range h.Accounts() {
+						if a.UID == 0 && a.Shell != "/usr/sbin/nologin" {
+							return Fail, "root has interactive shell"
+						}
+					}
+					return Pass, ""
+				},
+			},
+			{
+				ID: "stig-apparmor-enforced", Title: "Mandatory access control enforced",
+				Severity: High, AppliesTo: []string{"ubuntu"}, ManualFallback: true,
+				Check: func(h *host.Host) (Status, string) {
+					if h.KernelConfig("CONFIG_SECURITY_APPARMOR") == "y" {
+						return Pass, ""
+					}
+					return Fail, "AppArmor not built into kernel"
+				},
+			},
+			{
+				ID: "stig-aide-installed", Title: "File integrity tool installed",
+				Severity: Medium, AppliesTo: []string{"ubuntu"}, ManualFallback: true,
+				Check: func(h *host.Host) (Status, string) {
+					if _, ok := h.PackageVersion("aide"); ok {
+						return Pass, ""
+					}
+					if _, ok := h.PackageVersion("tripwire"); ok {
+						return Pass, ""
+					}
+					return Fail, "no FIM package installed"
+				},
+			},
+			{
+				ID: "stig-disk-encryption", Title: "Persistent storage encrypted at rest",
+				Severity: High, AppliesTo: []string{"ubuntu"}, ManualFallback: true,
+				Check: func(h *host.Host) (Status, string) {
+					if _, ok := h.PackageVersion("cryptsetup"); ok {
+						return Pass, ""
+					}
+					return Fail, "cryptsetup not installed"
+				},
+			},
+		},
+	}
+}
+
+// KernelHardeningProfile returns the kernel-hardening-checker baseline (M2):
+// kconfig, command line, and sysctl checks. Universal across distros.
+func KernelHardeningProfile() HostProfile {
+	kconfig := func(key, want string, sev Severity, title string) HostRule {
+		return HostRule{
+			ID: "khc-" + strings.ToLower(strings.TrimPrefix(key, "CONFIG_")), Title: title, Severity: sev,
+			Check: func(h *host.Host) (Status, string) {
+				if got := h.KernelConfig(key); got != want {
+					return Fail, fmt.Sprintf("%s=%s, want %s", key, got, want)
+				}
+				return Pass, ""
+			},
+		}
+	}
+	sysctl := func(key, want string, sev Severity, title string) HostRule {
+		return HostRule{
+			ID: "khc-sysctl-" + strings.ReplaceAll(key, ".", "-"), Title: title, Severity: sev,
+			Check: func(h *host.Host) (Status, string) {
+				if got := h.Sysctl(key); got != want {
+					return Fail, fmt.Sprintf("%s=%s, want %s", key, got, want)
+				}
+				return Pass, ""
+			},
+		}
+	}
+	return HostProfile{
+		Name: "kernel-hardening-checker",
+		Rules: []HostRule{
+			kconfig("CONFIG_STACKPROTECTOR", "y", High, "Stack protector enabled"),
+			kconfig("CONFIG_STACKPROTECTOR_STRONG", "y", High, "Strong stack protector enabled"),
+			kconfig("CONFIG_KEXEC", "n", High, "KEXEC runtime kernel replacement disabled"),
+			kconfig("CONFIG_KPROBES", "n", Medium, "KPROBES debugging hooks disabled"),
+			kconfig("CONFIG_STRICT_KERNEL_RWX", "y", High, "Strict kernel memory permissions"),
+			kconfig("CONFIG_RANDOMIZE_BASE", "y", Medium, "KASLR enabled"),
+			kconfig("CONFIG_MODULE_SIG", "y", High, "Module signature enforcement"),
+			sysctl("kernel.kptr_restrict", "2", Medium, "Kernel pointers hidden"),
+			sysctl("kernel.dmesg_restrict", "1", Low, "dmesg restricted"),
+			sysctl("kernel.unprivileged_bpf_disabled", "1", High, "Unprivileged BPF disabled"),
+			sysctl("net.ipv4.conf.all.rp_filter", "1", Medium, "Reverse path filtering"),
+			sysctl("fs.protected_symlinks", "1", Medium, "Symlink protections"),
+			{
+				ID: "khc-cmdline-mitigations", Title: "Speculative execution mitigations on",
+				Severity: High,
+				Check: func(h *host.Host) (Status, string) {
+					if v := h.BootParam("mitigations"); v == "off" {
+						return Fail, "mitigations=off on kernel command line"
+					}
+					return Pass, ""
+				},
+			},
+			{
+				ID: "khc-lsm-enabled", Title: "A Linux Security Module is built in",
+				Severity: High,
+				Check: func(h *host.Host) (Status, string) {
+					if h.KernelConfig("CONFIG_SECURITY_APPARMOR") == "y" ||
+						h.KernelConfig("CONFIG_SECURITY_SELINUX") == "y" {
+						return Pass, ""
+					}
+					return Fail, "neither AppArmor nor SELinux enabled"
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,188 @@
+// Package scap implements the configuration-compliance engine GENIO uses
+// for OS and middleware hardening: declarative rules grouped into benchmark
+// profiles (SCAP benchmarks, STIGs, kernel-hardening-checker baselines,
+// Kubernetes hardening guides), evaluated against modelled targets.
+//
+// It reproduces the Lesson-1 phenomenon directly: profiles carry an
+// applicability clause (the distros they were written for), so running a
+// mainstream STIG against Open Networking Linux yields rules that are
+// not-applicable or demand manual review, quantifying the adaptation work
+// the paper reports.
+package scap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Status is the outcome of one rule evaluation.
+type Status int
+
+// Rule outcomes.
+const (
+	// Pass means the target satisfies the rule.
+	Pass Status = iota + 1
+	// Fail means the target violates the rule.
+	Fail
+	// NotApplicable means the rule targets a different platform.
+	NotApplicable
+	// Manual means the rule could not be checked automatically on this
+	// platform and needs human review (the Lesson-1 adaptation cost).
+	Manual
+)
+
+var statusNames = map[Status]string{
+	Pass:          "pass",
+	Fail:          "fail",
+	NotApplicable: "n/a",
+	Manual:        "manual",
+}
+
+// String names the status.
+func (s Status) String() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Severity ranks how dangerous a violation is.
+type Severity int
+
+// Severities.
+const (
+	Low Severity = iota + 1
+	Medium
+	High
+	Critical
+)
+
+var severityNames = map[Severity]string{
+	Low:      "low",
+	Medium:   "medium",
+	High:     "high",
+	Critical: "critical",
+}
+
+// String names the severity.
+func (s Severity) String() string {
+	if n, ok := severityNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Result is one rule's evaluation outcome.
+type Result struct {
+	RuleID   string   `json:"ruleId"`
+	Title    string   `json:"title"`
+	Severity Severity `json:"severity"`
+	Status   Status   `json:"status"`
+	Detail   string   `json:"detail,omitempty"`
+}
+
+// Report aggregates a profile evaluation.
+type Report struct {
+	Profile string   `json:"profile"`
+	Target  string   `json:"target"`
+	Results []Result `json:"results"`
+}
+
+// Counts tallies results by status.
+func (r *Report) Counts() (pass, fail, na, manual int) {
+	for _, res := range r.Results {
+		switch res.Status {
+		case Pass:
+			pass++
+		case Fail:
+			fail++
+		case NotApplicable:
+			na++
+		case Manual:
+			manual++
+		}
+	}
+	return pass, fail, na, manual
+}
+
+// Score returns the pass fraction over automatically checkable rules
+// (pass+fail); 1.0 when nothing was checkable.
+func (r *Report) Score() float64 {
+	pass, fail, _, _ := r.Counts()
+	if pass+fail == 0 {
+		return 1.0
+	}
+	return float64(pass) / float64(pass+fail)
+}
+
+// Failures returns failing results, highest severity first.
+func (r *Report) Failures() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if res.Status == Fail {
+			out = append(out, res)
+		}
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Severity > out[i].Severity {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// Rule is one declarative check against a target of type T.
+type Rule[T any] struct {
+	ID       string
+	Title    string
+	Severity Severity
+	// AppliesTo lists platform prefixes the rule was authored for; empty
+	// means universal. A platform outside the list evaluates the rule as
+	// NotApplicable, or Manual if ManualFallback is set (meaning the rule
+	// is conceptually relevant but needs adaptation — Lesson 1).
+	AppliesTo      []string
+	ManualFallback bool
+	Check          func(T) (Status, string)
+}
+
+// Profile is a named benchmark: a list of rules for targets of type T.
+type Profile[T any] struct {
+	Name  string
+	Rules []Rule[T]
+}
+
+// Evaluate runs every rule against the target. platform is the target's
+// platform identifier (e.g. host distro) used for applicability.
+func (p Profile[T]) Evaluate(targetName, platform string, target T) *Report {
+	rep := &Report{Profile: p.Name, Target: targetName}
+	for _, rule := range p.Rules {
+		res := Result{RuleID: rule.ID, Title: rule.Title, Severity: rule.Severity}
+		if !applies(rule.AppliesTo, platform) {
+			if rule.ManualFallback {
+				res.Status = Manual
+				res.Detail = fmt.Sprintf("authored for %v; requires manual adaptation on %s",
+					rule.AppliesTo, platform)
+			} else {
+				res.Status = NotApplicable
+			}
+		} else {
+			res.Status, res.Detail = rule.Check(target)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+func applies(prefixes []string, platform string) bool {
+	if len(prefixes) == 0 {
+		return true
+	}
+	for _, p := range prefixes {
+		if strings.HasPrefix(platform, p) {
+			return true
+		}
+	}
+	return false
+}

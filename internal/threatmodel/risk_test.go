@@ -1,0 +1,162 @@
+package threatmodel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssessFullDeployment(t *testing.T) {
+	rm := GENIORiskModel()
+	as, err := rm.Assess(nil)
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	if len(as) != 8 {
+		t.Fatalf("assessments = %d, want 8", len(as))
+	}
+	for _, a := range as {
+		if a.Residual >= float64(a.Inherent) {
+			t.Errorf("%s residual %.2f >= inherent %d with all mitigations", a.ThreatID, a.Residual, a.Inherent)
+		}
+		if a.Residual < 0 {
+			t.Errorf("%s negative residual", a.ThreatID)
+		}
+		if len(a.Applied) == 0 {
+			t.Errorf("%s had no mitigations applied", a.ThreatID)
+		}
+	}
+}
+
+func TestAssessNothingDeployed(t *testing.T) {
+	rm := GENIORiskModel()
+	as, err := rm.Assess(map[string]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range as {
+		if a.Residual != float64(a.Inherent) {
+			t.Errorf("%s residual %.2f != inherent %d with nothing deployed", a.ThreatID, a.Residual, a.Inherent)
+		}
+	}
+}
+
+func TestAssessSortedByResidual(t *testing.T) {
+	rm := GENIORiskModel()
+	as, err := rm.Assess(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(as); i++ {
+		if as[i].Residual > as[i-1].Residual {
+			t.Fatal("assessments not sorted by residual risk")
+		}
+	}
+}
+
+func TestTotalRiskReduction(t *testing.T) {
+	rm := GENIORiskModel()
+	full, err := rm.Assess(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := rm.Assess(map[string]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fullRes := TotalRisk(full)
+	noneInh, noneRes := TotalRisk(none)
+	if fullRes >= noneRes {
+		t.Fatalf("full deployment residual %.2f >= undeployed %.2f", fullRes, noneRes)
+	}
+	if noneRes != float64(noneInh) {
+		t.Fatalf("undeployed residual %.2f != inherent %d", noneRes, noneInh)
+	}
+	// The secure posture should cut total risk by well over half.
+	if fullRes > 0.5*noneRes {
+		t.Fatalf("risk reduction too small: %.2f -> %.2f", noneRes, fullRes)
+	}
+}
+
+// Property: deploying more mitigations never increases any threat's
+// residual risk (monotonicity of defense in depth).
+func TestAssessMonotonicityProperty(t *testing.T) {
+	rm := GENIORiskModel()
+	allMits := make([]string, 0, len(rm.Strengths))
+	for m := range rm.Strengths {
+		allMits = append(allMits, m)
+	}
+	f := func(mask uint32, extraIdx uint8) bool {
+		deployed := map[string]bool{}
+		for i, m := range allMits {
+			if mask&(1<<uint(i%32)) != 0 {
+				deployed[m] = true
+			}
+		}
+		before, err := rm.Assess(deployed)
+		if err != nil {
+			return false
+		}
+		// Add one more mitigation.
+		deployed[allMits[int(extraIdx)%len(allMits)]] = true
+		after, err := rm.Assess(deployed)
+		if err != nil {
+			return false
+		}
+		resOf := func(as []RiskAssessment) map[string]float64 {
+			m := map[string]float64{}
+			for _, a := range as {
+				m[a.ThreatID] = a.Residual
+			}
+			return m
+		}
+		b, a := resOf(before), resOf(after)
+		for tid := range b {
+			if a[tid] > b[tid]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssessErrors(t *testing.T) {
+	rm := GENIORiskModel()
+	delete(rm.Inputs, "T5")
+	if _, err := rm.Assess(nil); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	rm = GENIORiskModel()
+	rm.Strengths["M3"] = 1.5
+	if _, err := rm.Assess(nil); err == nil {
+		t.Fatal("out-of-range strength accepted")
+	}
+	rm = GENIORiskModel()
+	delete(rm.Strengths, "M3")
+	if _, err := rm.Assess(nil); err == nil {
+		t.Fatal("missing strength accepted")
+	}
+}
+
+func TestRenderAssessment(t *testing.T) {
+	rm := GENIORiskModel()
+	as, err := rm.Assess(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderAssessment(as)
+	for _, needle := range []string{"inherent", "residual", "SUM", "reduction", "T8"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("render missing %q", needle)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if VeryHigh.String() != "very-high" || Level(9).String() != "level(9)" {
+		t.Fatal("Level.String mismatch")
+	}
+}

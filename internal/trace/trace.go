@@ -1,0 +1,154 @@
+// Package trace defines the runtime event model shared by GENIO's
+// enforcement (sandbox, M17) and detection (falco, M18) layers: a stream of
+// syscall-level events attributed to workloads, as an eBPF/LSM probe would
+// deliver them. Fixture generators produce benign workload traffic and the
+// attack traces of T7/T8 so experiments can measure detection and false-
+// positive rates on identical inputs.
+package trace
+
+import "fmt"
+
+// EventType classifies runtime events.
+type EventType int
+
+// Event types, matching the hook points KubeArmor/Falco observe.
+const (
+	EventExec EventType = iota + 1
+	EventFileOpen
+	EventFileWrite
+	EventConnect
+	EventListen
+	EventSyscall
+	EventCapability
+)
+
+var eventNames = map[EventType]string{
+	EventExec:       "exec",
+	EventFileOpen:   "file-open",
+	EventFileWrite:  "file-write",
+	EventConnect:    "connect",
+	EventListen:     "listen",
+	EventSyscall:    "syscall",
+	EventCapability: "capability",
+}
+
+// String names the event type.
+func (t EventType) String() string {
+	if n, ok := eventNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("event(%d)", int(t))
+}
+
+// Event is one observed runtime action.
+type Event struct {
+	Seq      int       `json:"seq"`
+	Workload string    `json:"workload"`
+	Tenant   string    `json:"tenant"`
+	Type     EventType `json:"type"`
+	// Target is the object acted on: binary path for exec, file path for
+	// opens/writes, host:port for connect/listen, syscall or capability
+	// name otherwise.
+	Target string `json:"target"`
+	// Process is the acting process name.
+	Process string `json:"process"`
+}
+
+// Builder accumulates a trace with sequential numbering.
+type Builder struct {
+	workload string
+	tenant   string
+	events   []Event
+}
+
+// NewBuilder starts a trace for one workload.
+func NewBuilder(workload, tenant string) *Builder {
+	return &Builder{workload: workload, tenant: tenant}
+}
+
+// Add appends an event.
+func (b *Builder) Add(t EventType, process, target string) *Builder {
+	b.events = append(b.events, Event{
+		Seq: len(b.events) + 1, Workload: b.workload, Tenant: b.tenant,
+		Type: t, Process: process, Target: target,
+	})
+	return b
+}
+
+// Events returns the accumulated trace.
+func (b *Builder) Events() []Event {
+	out := make([]Event, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
+// BenignWebTrace models normal traffic of a REST workload: serving
+// requests, reading its config, writing logs, talking to its database.
+func BenignWebTrace(workload, tenant string, requests int) []Event {
+	b := NewBuilder(workload, tenant)
+	b.Add(EventExec, "runc", "/app/server")
+	b.Add(EventFileOpen, "server", "/app/config.yaml")
+	b.Add(EventListen, "server", "0.0.0.0:8080")
+	for i := 0; i < requests; i++ {
+		b.Add(EventConnect, "server", "db.internal:5432")
+		b.Add(EventFileWrite, "server", "/var/log/app/access.log")
+	}
+	return b.Events()
+}
+
+// BenignBatchTrace models a batch/ML workload: reading a model, crunching,
+// writing results.
+func BenignBatchTrace(workload, tenant string, iterations int) []Event {
+	b := NewBuilder(workload, tenant)
+	b.Add(EventExec, "runc", "/app/inference")
+	b.Add(EventFileOpen, "inference", "/app/model.bin")
+	for i := 0; i < iterations; i++ {
+		b.Add(EventFileWrite, "inference", "/out/results.json")
+	}
+	return b.Events()
+}
+
+// ContainerEscapeTrace models a T8 malicious application abusing
+// CAP_SYS_ADMIN to escape: capability use, host filesystem access, and a
+// privileged mount syscall.
+func ContainerEscapeTrace(workload, tenant string) []Event {
+	return NewBuilder(workload, tenant).
+		Add(EventExec, "runc", "/usr/bin/optimizer").
+		Add(EventCapability, "optimizer", "CAP_SYS_ADMIN").
+		Add(EventSyscall, "optimizer", "mount").
+		Add(EventFileOpen, "optimizer", "/host/proc/1/root/etc/shadow").
+		Add(EventFileWrite, "optimizer", "/host/etc/cron.d/backdoor").
+		Events()
+}
+
+// ReverseShellTrace models a compromised web app (T7 exploited) spawning an
+// interactive shell and dialing out.
+func ReverseShellTrace(workload, tenant string) []Event {
+	return NewBuilder(workload, tenant).
+		Add(EventExec, "runc", "/app/server").
+		Add(EventListen, "server", "0.0.0.0:8080").
+		Add(EventExec, "server", "/bin/bash").
+		Add(EventConnect, "bash", "203.0.113.7:4444").
+		Add(EventFileOpen, "bash", "/etc/shadow").
+		Events()
+}
+
+// CryptominerTrace models a miner: CPU-heavy process dialing a mining pool.
+func CryptominerTrace(workload, tenant string) []Event {
+	b := NewBuilder(workload, tenant)
+	b.Add(EventExec, "runc", "/usr/bin/optimizer")
+	for i := 0; i < 5; i++ {
+		b.Add(EventConnect, "optimizer", "pool.minexmr.example:4444")
+	}
+	return b.Events()
+}
+
+// DataExfiltrationTrace models a tenant app reading sensitive mounts and
+// shipping them to an external host.
+func DataExfiltrationTrace(workload, tenant string) []Event {
+	return NewBuilder(workload, tenant).
+		Add(EventExec, "runc", "/app/server").
+		Add(EventFileOpen, "server", "/var/run/secrets/api-token").
+		Add(EventConnect, "server", "203.0.113.99:443").
+		Events()
+}

@@ -1,0 +1,55 @@
+package trace
+
+import "testing"
+
+func TestBuilderSequencesEvents(t *testing.T) {
+	events := NewBuilder("w", "t").
+		Add(EventExec, "runc", "/app/x").
+		Add(EventConnect, "x", "db.internal:5432").
+		Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != i+1 {
+			t.Fatalf("event %d seq = %d", i, e.Seq)
+		}
+		if e.Workload != "w" || e.Tenant != "t" {
+			t.Fatalf("attribution lost: %+v", e)
+		}
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	b := NewBuilder("w", "t").Add(EventExec, "runc", "/app/x")
+	ev := b.Events()
+	ev[0].Target = "mutated"
+	if b.Events()[0].Target != "/app/x" {
+		t.Fatal("Events exposed internal slice")
+	}
+}
+
+func TestFixtureTracesNonEmpty(t *testing.T) {
+	cases := map[string][]Event{
+		"web":    BenignWebTrace("w", "t", 3),
+		"batch":  BenignBatchTrace("w", "t", 3),
+		"escape": ContainerEscapeTrace("w", "t"),
+		"shell":  ReverseShellTrace("w", "t"),
+		"miner":  CryptominerTrace("w", "t"),
+		"exfil":  DataExfiltrationTrace("w", "t"),
+	}
+	for name, events := range cases {
+		if len(events) == 0 {
+			t.Errorf("%s trace empty", name)
+		}
+	}
+	if len(BenignWebTrace("w", "t", 10)) <= len(BenignWebTrace("w", "t", 1)) {
+		t.Fatal("request count does not scale web trace")
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if EventExec.String() != "exec" || EventType(99).String() != "event(99)" {
+		t.Fatal("EventType.String mismatch")
+	}
+}

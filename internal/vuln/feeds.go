@@ -1,0 +1,193 @@
+package vuln
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file models the Lesson-6 phenomenon: middleware projects publish
+// security advisories through channels of very different maturity, and the
+// shape of the channel — not the severity of the bug — dominates how long a
+// production platform stays exposed.
+//
+// Time is in simulation days. A CVE disclosed on day D becomes *visible* to
+// the platform owner at D + feed lag (+ polling interval for pull-only
+// channels), then costs review days (manual channels), then patch days.
+
+// FeedKind captures the maturity tiers the paper observed.
+type FeedKind int
+
+// Feed maturity tiers, per the paper's M12 discussion.
+const (
+	// FeedStructured is a machine-readable, programmatically accessible
+	// CVE feed (the Kubernetes official feed).
+	FeedStructured FeedKind = iota + 1
+	// FeedBlog publishes advisories as blog/forum announcements requiring
+	// manual extraction (Docker).
+	FeedBlog
+	// FeedStale is a structured feed that is no longer updated (ONOS):
+	// advisories effectively never arrive through it.
+	FeedStale
+	// FeedUIOnly notifies only inside a product web UI that must be
+	// polled by a human (Proxmox).
+	FeedUIOnly
+	// FeedNVD is the fallback aggregator: complete but generic, requiring
+	// manual relevance review (the NVD API).
+	FeedNVD
+)
+
+var feedKindNames = map[FeedKind]string{
+	FeedStructured: "structured",
+	FeedBlog:       "blog",
+	FeedStale:      "stale",
+	FeedUIOnly:     "ui-only",
+	FeedNVD:        "nvd-api",
+}
+
+// String names the feed kind.
+func (k FeedKind) String() string {
+	if n, ok := feedKindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("feed(%d)", int(k))
+}
+
+// Feed describes one advisory channel.
+type Feed struct {
+	Name string   `json:"name"`
+	Kind FeedKind `json:"kind"`
+	// Components whose advisories this feed carries.
+	Components []string `json:"components"`
+	// PublishLagDays between upstream disclosure and the advisory landing
+	// on this channel.
+	PublishLagDays int `json:"publishLagDays"`
+	// PollIntervalDays for channels with no push/API (UI-only): on average
+	// the owner notices half an interval late; we charge the full interval
+	// worst-case to stay conservative.
+	PollIntervalDays int `json:"pollIntervalDays"`
+	// ManualReviewDays spent extracting, assessing exposure, and
+	// cross-referencing versions for non-structured channels.
+	ManualReviewDays int `json:"manualReviewDays"`
+}
+
+// Visibility computes when a CVE disclosed on disclosedDay becomes known
+// and triaged through this feed; ok=false when the feed will never deliver
+// it (stale feeds).
+func (f Feed) Visibility(disclosedDay int) (day int, manualSteps int, ok bool) {
+	switch f.Kind {
+	case FeedStale:
+		return 0, 0, false
+	case FeedStructured:
+		return disclosedDay + f.PublishLagDays, 0, true
+	case FeedBlog:
+		return disclosedDay + f.PublishLagDays + f.ManualReviewDays, 1, true
+	case FeedUIOnly:
+		return disclosedDay + f.PublishLagDays + f.PollIntervalDays + f.ManualReviewDays, 1, true
+	case FeedNVD:
+		return disclosedDay + f.PublishLagDays + f.ManualReviewDays, 1, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// DefaultFeeds returns the advisory landscape the paper describes for the
+// GENIO middleware stack.
+func DefaultFeeds() []Feed {
+	return []Feed{
+		{Name: "kubernetes-official-cve", Kind: FeedStructured,
+			Components:     []string{"kubelet", "kube-apiserver", "etcd"},
+			PublishLagDays: 1},
+		{Name: "docker-blog", Kind: FeedBlog,
+			Components:     []string{"docker-ce"},
+			PublishLagDays: 7, ManualReviewDays: 2},
+		{Name: "onos-security-page", Kind: FeedStale,
+			Components: []string{"onos"}},
+		{Name: "proxmox-web-ui", Kind: FeedUIOnly,
+			Components:     []string{"proxmox-ve"},
+			PublishLagDays: 3, PollIntervalDays: 14, ManualReviewDays: 1},
+		{Name: "nvd-api", Kind: FeedNVD,
+			Components: []string{"onos", "voltha", "proxmox-ve", "docker-ce",
+				"kubelet", "kube-apiserver", "etcd", "openssh-server", "openssl",
+				"busybox", "linux-image-onl", "curl"},
+			PublishLagDays: 2, ManualReviewDays: 3},
+	}
+}
+
+// Exposure is the outcome of tracking one CVE through the feed landscape.
+type Exposure struct {
+	CVE          CVE    `json:"cve"`
+	Component    string `json:"component"`
+	BestFeed     string `json:"bestFeed"`
+	VisibleDay   int    `json:"visibleDay"`
+	PatchedDay   int    `json:"patchedDay"`
+	WindowDays   int    `json:"windowDays"`
+	ManualSteps  int    `json:"manualSteps"`
+	NeverVisible bool   `json:"neverVisible"`
+}
+
+// Tracker simulates the platform owner's vulnerability-tracking process
+// across the configured feeds.
+type Tracker struct {
+	Feeds []Feed
+	// PatchDays is the time from triage completion to a patch rolled out
+	// across the fleet.
+	PatchDays int
+}
+
+// NewTracker builds a tracker over the given feeds.
+func NewTracker(feeds []Feed, patchDays int) *Tracker {
+	return &Tracker{Feeds: append([]Feed(nil), feeds...), PatchDays: patchDays}
+}
+
+// Track computes the exposure window for one CVE: disclosure to patched,
+// taking the earliest feed that can surface it.
+func (t *Tracker) Track(c CVE) Exposure {
+	exp := Exposure{CVE: c, Component: c.Package, NeverVisible: true}
+	best := 1 << 30
+	for _, f := range t.Feeds {
+		if !contains(f.Components, c.Package) {
+			continue
+		}
+		day, manual, ok := f.Visibility(c.DisclosedDay)
+		if !ok {
+			continue
+		}
+		if day < best {
+			best = day
+			exp.BestFeed = f.Name
+			exp.VisibleDay = day
+			exp.ManualSteps = manual
+			exp.NeverVisible = false
+		}
+	}
+	if exp.NeverVisible {
+		return exp
+	}
+	exp.PatchedDay = exp.VisibleDay + t.PatchDays
+	exp.WindowDays = exp.PatchedDay - c.DisclosedDay
+	return exp
+}
+
+// TrackAll tracks every CVE in the database, sorted by descending window.
+func (t *Tracker) TrackAll(db *Database) []Exposure {
+	var out []Exposure
+	for _, c := range db.All() {
+		out = append(out, t.Track(c))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NeverVisible != out[j].NeverVisible {
+			return out[i].NeverVisible
+		}
+		return out[i].WindowDays > out[j].WindowDays
+	})
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

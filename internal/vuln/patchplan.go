@@ -1,0 +1,165 @@
+package vuln
+
+// Patch planning (M8): "reports are prioritized based on severity and
+// exploitability, ensuring that critical patches are applied as soon as
+// feasible." This file turns scan findings into a remediation plan with
+// maintenance-window waves: exploitable criticals go into the emergency
+// wave, remaining criticals/highs into the next scheduled window, the rest
+// into routine maintenance. Findings with no fixed version are flagged for
+// compensating controls instead of a patch.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Wave is a remediation urgency class.
+type Wave int
+
+// Waves, most urgent first.
+const (
+	WaveEmergency Wave = iota + 1
+	WaveScheduled
+	WaveRoutine
+	// WaveMitigate marks findings without an upstream fix: apply
+	// compensating controls (the ONOS situation in the paper).
+	WaveMitigate
+)
+
+var waveNames = map[Wave]string{
+	WaveEmergency: "emergency",
+	WaveScheduled: "scheduled",
+	WaveRoutine:   "routine",
+	WaveMitigate:  "mitigate",
+}
+
+// String names the wave.
+func (w Wave) String() string {
+	if n, ok := waveNames[w]; ok {
+		return n
+	}
+	return fmt.Sprintf("wave(%d)", int(w))
+}
+
+// PatchAction is one planned remediation.
+type PatchAction struct {
+	Wave    Wave     `json:"wave"`
+	Package string   `json:"package"`
+	From    string   `json:"from"`
+	To      string   `json:"to,omitempty"` // empty for WaveMitigate
+	CVEs    []string `json:"cves"`
+}
+
+// Plan groups actions by wave.
+type Plan struct {
+	Actions []PatchAction `json:"actions"`
+}
+
+// ByWave returns the actions of one wave.
+func (p *Plan) ByWave(w Wave) []PatchAction {
+	var out []PatchAction
+	for _, a := range p.Actions {
+		if a.Wave == w {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Render formats the plan.
+func (p *Plan) Render() string {
+	var b strings.Builder
+	for _, w := range []Wave{WaveEmergency, WaveScheduled, WaveRoutine, WaveMitigate} {
+		actions := p.ByWave(w)
+		if len(actions) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:\n", w)
+		for _, a := range actions {
+			target := a.To
+			if target == "" {
+				target = "(no fix: compensating controls)"
+			}
+			fmt.Fprintf(&b, "  %-18s %s -> %-12s %s\n", a.Package, a.From, target,
+				strings.Join(a.CVEs, ","))
+		}
+	}
+	return b.String()
+}
+
+// classify picks the wave for a package's worst finding.
+func classify(worst CVE) Wave {
+	switch {
+	case worst.FixedIn == "":
+		return WaveMitigate
+	case worst.Exploitable && worst.Severity() >= SeverityCritical:
+		return WaveEmergency
+	case worst.Exploitable || worst.Severity() >= SeverityHigh:
+		return WaveScheduled
+	default:
+		return WaveRoutine
+	}
+}
+
+// BuildPlan aggregates findings per package and assigns waves. The patch
+// target is the highest FixedIn among the package's findings, so one
+// upgrade clears every listed CVE.
+func BuildPlan(findings []Finding) *Plan {
+	type agg struct {
+		from  string
+		to    string
+		worst CVE
+		cves  []string
+		noFix bool
+	}
+	byPkg := make(map[string]*agg)
+	for _, f := range findings {
+		a, ok := byPkg[f.Package]
+		if !ok {
+			a = &agg{from: f.Version, worst: f.CVE}
+			byPkg[f.Package] = a
+		}
+		a.cves = append(a.cves, f.CVE.ID)
+		if f.CVE.FixedIn == "" {
+			a.noFix = true
+		} else if a.to == "" || CompareVersions(f.CVE.FixedIn, a.to) > 0 {
+			a.to = f.CVE.FixedIn
+		}
+		if rank(f.CVE) > rank(a.worst) {
+			a.worst = f.CVE
+		}
+	}
+	plan := &Plan{}
+	names := make([]string, 0, len(byPkg))
+	for n := range byPkg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := byPkg[name]
+		sort.Strings(a.cves)
+		wave := classify(a.worst)
+		to := a.to
+		if a.noFix && a.to == "" {
+			wave = WaveMitigate
+			to = ""
+		}
+		plan.Actions = append(plan.Actions, PatchAction{
+			Wave: wave, Package: name, From: a.from, To: to, CVEs: a.cves,
+		})
+	}
+	sort.SliceStable(plan.Actions, func(i, j int) bool {
+		return plan.Actions[i].Wave < plan.Actions[j].Wave
+	})
+	return plan
+}
+
+// rank orders CVEs by urgency for "worst finding" selection.
+func rank(c CVE) int {
+	r := int(c.Severity()) * 2
+	if c.Exploitable {
+		r += 3
+	}
+	return r
+}

@@ -1,0 +1,116 @@
+package vuln
+
+import (
+	"strings"
+	"testing"
+
+	"genio/internal/host"
+)
+
+func fixtureFindings(t *testing.T) []Finding {
+	t.Helper()
+	h := host.NewONLOLT("olt-plan")
+	s := NewScanner(DefaultDatabase())
+	s.AddSearchPath("/opt/")
+	s.AddSearchPath("/lib/onl")
+	return s.Scan(h).Findings
+}
+
+func TestBuildPlanWaves(t *testing.T) {
+	plan := BuildPlan(fixtureFindings(t))
+	if len(plan.Actions) == 0 {
+		t.Fatal("empty plan")
+	}
+	// docker-ce: CVSS 9.8 exploitable -> emergency.
+	var docker, onos, kernel *PatchAction
+	for i := range plan.Actions {
+		switch plan.Actions[i].Package {
+		case "docker-ce":
+			docker = &plan.Actions[i]
+		case "onos":
+			onos = &plan.Actions[i]
+		case "linux-image-onl":
+			kernel = &plan.Actions[i]
+		}
+	}
+	if docker == nil || docker.Wave != WaveEmergency {
+		t.Fatalf("docker action = %+v, want emergency", docker)
+	}
+	if docker.To != "20.10.0" {
+		t.Fatalf("docker target = %q", docker.To)
+	}
+	// onos has no fixed version -> mitigate.
+	if onos == nil || onos.Wave != WaveMitigate || onos.To != "" {
+		t.Fatalf("onos action = %+v, want mitigate", onos)
+	}
+	// kernel: 8.4 exploitable -> emergency (critical bucket is >=9; 8.4
+	// is high+exploitable -> scheduled).
+	if kernel == nil || kernel.Wave != WaveScheduled {
+		t.Fatalf("kernel action = %+v, want scheduled", kernel)
+	}
+}
+
+func TestPlanOrderedByUrgency(t *testing.T) {
+	plan := BuildPlan(fixtureFindings(t))
+	for i := 1; i < len(plan.Actions); i++ {
+		if plan.Actions[i].Wave < plan.Actions[i-1].Wave {
+			t.Fatal("plan not sorted by wave")
+		}
+	}
+}
+
+func TestOneUpgradeClearsAllCVEs(t *testing.T) {
+	// Two CVEs on one package with different FixedIn: target must be the
+	// higher version.
+	findings := []Finding{
+		{CVE: CVE{ID: "A", Package: "p", FixedIn: "1.5", CVSS: 5.0}, Package: "p", Version: "1.0"},
+		{CVE: CVE{ID: "B", Package: "p", FixedIn: "2.0", CVSS: 6.0}, Package: "p", Version: "1.0"},
+	}
+	plan := BuildPlan(findings)
+	if len(plan.Actions) != 1 {
+		t.Fatalf("actions = %d, want 1 (aggregated)", len(plan.Actions))
+	}
+	a := plan.Actions[0]
+	if a.To != "2.0" || len(a.CVEs) != 2 {
+		t.Fatalf("action = %+v", a)
+	}
+}
+
+func TestMixedFixAndNoFixPrefersUpgrade(t *testing.T) {
+	// One fixable and one unfixable CVE on the same package: upgrade to
+	// the fixed version still happens (partial remediation beats none).
+	findings := []Finding{
+		{CVE: CVE{ID: "A", Package: "p", FixedIn: "2.0", CVSS: 9.9, Exploitable: true}, Package: "p", Version: "1.0"},
+		{CVE: CVE{ID: "B", Package: "p", FixedIn: "", CVSS: 5.0}, Package: "p", Version: "1.0"},
+	}
+	plan := BuildPlan(findings)
+	a := plan.Actions[0]
+	if a.To != "2.0" || a.Wave != WaveEmergency {
+		t.Fatalf("action = %+v", a)
+	}
+}
+
+func TestRenderPlan(t *testing.T) {
+	out := BuildPlan(fixtureFindings(t)).Render()
+	for _, needle := range []string{"emergency", "mitigate", "docker-ce", "compensating controls"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("render missing %q\n%s", needle, out)
+		}
+	}
+}
+
+func TestWaveString(t *testing.T) {
+	if WaveEmergency.String() != "emergency" || Wave(9).String() != "wave(9)" {
+		t.Fatal("Wave.String mismatch")
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	plan := BuildPlan(nil)
+	if len(plan.Actions) != 0 {
+		t.Fatal("plan from no findings not empty")
+	}
+	if plan.Render() != "" {
+		t.Fatal("empty plan rendered content")
+	}
+}
