@@ -1,0 +1,34 @@
+GO ?= go
+DATE := $(shell date +%Y%m%d)
+
+.PHONY: build test race bench bench-json fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# bench-json records the perf trajectory: one JSON file per day, kept in
+# the repo history so regressions are diffable.
+bench-json:
+	$(GO) test -bench=. -benchmem -run='^$$' -json . > BENCH_$(DATE).json
+
+fmt:
+	gofmt -l -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# ci mirrors .github/workflows/ci.yml for local runs.
+ci: build vet fmt-check race
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .

@@ -10,6 +10,7 @@ package genio_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"genio"
@@ -384,6 +385,158 @@ func BenchmarkAdmissionPipeline(b *testing.B) {
 	}
 }
 
+// benchDeployPlatform builds a secure platform ready to admit the signed
+// analytics image for tenant acme without quota limits.
+func benchDeployPlatform(b *testing.B) *core.Platform {
+	b.Helper()
+	p, err := core.New(core.SecureConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Close)
+	if _, err := p.AddEdgeNode("olt-bench", genio.Resources{CPUMilli: 1 << 30, MemoryMB: 1 << 30}); err != nil {
+		b.Fatal(err)
+	}
+	pub, err := container.NewPublisher("acme")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Registry.TrustPublisher("acme", pub.PublicKey())
+	img := container.AnalyticsImage()
+	sig := pub.Sign(img)
+	p.Registry.Push(img, &sig)
+	p.RBAC.SetRole(rbac.Role{Name: "deployer", Permissions: []rbac.Permission{
+		{Verb: "create", Resource: "workloads", Namespace: "acme"},
+	}})
+	if err := p.RBAC.Bind("ci", "deployer"); err != nil {
+		b.Fatal(err)
+	}
+	p.Cluster.SetQuota("acme", genio.Resources{}) // unlimited for the bench
+	return p
+}
+
+func benchSpec(name string) genio.WorkloadSpec {
+	return genio.WorkloadSpec{
+		Name: name, Tenant: "acme", ImageRef: "acme/analytics:2.0.1",
+		Isolation: genio.IsolationSoft,
+		Resources: genio.Resources{CPUMilli: 1, MemoryMB: 1},
+	}
+}
+
+// BenchmarkDeploySequentialAdmission is the seed-equivalent admission
+// path: one scanner after another, no verdict cache. The concurrency
+// benchmarks below are measured against this baseline.
+func BenchmarkDeploySequentialAdmission(b *testing.B) {
+	p := benchDeployPlatform(b)
+	p.Cluster.AdmissionParallelism = 1
+	p.Cluster.AdmissionCacheDisabled = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Deploy("ci", benchSpec(fmt.Sprintf("seq-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeployFanoutAdmission runs the same cold-scanner path with the
+// admission chain fanned out over four workers; the speedup over the
+// sequential baseline scales with available cores.
+func BenchmarkDeployFanoutAdmission(b *testing.B) {
+	p := benchDeployPlatform(b)
+	p.Cluster.AdmissionParallelism = 4
+	p.Cluster.AdmissionCacheDisabled = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Deploy("ci", benchSpec(fmt.Sprintf("fan-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeployParallel is the multi-tenant hot path as shipped: deploys
+// from concurrent goroutines with admission fan-out and the per-digest
+// verdict cache, against the sharded cluster state.
+func BenchmarkDeployParallel(b *testing.B) {
+	p := benchDeployPlatform(b)
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			name := fmt.Sprintf("par-%d", seq.Add(1))
+			if _, err := p.Deploy("ci", benchSpec(name)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDeployBatch measures the batch-admission surface end to end.
+func BenchmarkDeployBatch(b *testing.B) {
+	p := benchDeployPlatform(b)
+	const batch = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		specs := make([]genio.WorkloadSpec, batch)
+		for j := range specs {
+			specs[j] = benchSpec(fmt.Sprintf("batch-%d-%d", i, j))
+		}
+		_, errs := p.DeployBatch("ci", specs)
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(batch, "workloads/op")
+}
+
+// BenchmarkObserveRuntimeParallel streams attack traces from concurrent
+// goroutines through enforcement, detection, and the incident bus.
+func BenchmarkObserveRuntimeParallel(b *testing.B) {
+	p := benchDeployPlatform(b)
+	if _, err := p.Deploy("ci", benchSpec("victim")); err != nil {
+		b.Fatal(err)
+	}
+	events := trace.ReverseShellTrace("victim", "acme")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.ObserveRuntime(events)
+		}
+	})
+	b.StopTimer()
+	p.Flush()
+}
+
+// BenchmarkIncidentFanIn measures the incident bus under concurrent
+// producers — the path every enforcement verdict and detection alert
+// takes on the runtime hot path.
+func BenchmarkIncidentFanIn(b *testing.B) {
+	p, err := core.New(core.SecureConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Close)
+	inc := core.Incident{Source: "bench", Workload: "w", Detail: "fan-in"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.RecordIncident(inc)
+		}
+	})
+	b.StopTimer()
+	p.Flush()
+	if got := p.IncidentCounts()["bench"]; got != b.N {
+		b.Fatalf("recorded %d incidents, want %d", got, b.N)
+	}
+}
+
 func BenchmarkFullCampaignSecure(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -399,6 +552,7 @@ func BenchmarkFullCampaignSecure(b *testing.B) {
 		if attack.Summary(results)[attack.OutcomeMissed] != 0 {
 			b.Fatal("secure platform missed an attack")
 		}
+		p.Close()
 	}
 }
 
@@ -412,5 +566,6 @@ func BenchmarkSecureBootAndAttest(b *testing.B) {
 		if _, err := p.AddEdgeNode("olt", genio.Resources{CPUMilli: 1000, MemoryMB: 1024}); err != nil {
 			b.Fatal(err)
 		}
+		p.Close()
 	}
 }

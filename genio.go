@@ -8,12 +8,21 @@
 // detectors, ...) live in internal packages and are reachable through the
 // Platform's fields and the returned node/workload handles.
 //
+// The platform is safe for concurrent multi-tenant use: deployments fan
+// the admission scanners out over a worker pool (with clean verdicts
+// cached per image digest), Deploy and DeployBatch may be called from
+// many goroutines, and runtime incidents flow through an async bus —
+// call Flush before reading incidents recorded by other goroutines, and
+// Close when discarding a platform.
+//
 // Quick start:
 //
 //	p, err := genio.NewPlatform(genio.SecureConfig())
+//	defer p.Close()
 //	node, err := p.AddEdgeNode("olt-01", genio.Resources{CPUMilli: 8000, MemoryMB: 16384})
 //	onu, err := p.AttachONU("olt-01", "onu-0001")
 //	w, err := p.Deploy("tenant-ci", genio.WorkloadSpec{...})
+//	ws, errs := p.DeployBatch("tenant-ci", []genio.WorkloadSpec{...})
 package genio
 
 import (

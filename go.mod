@@ -1,0 +1,3 @@
+module genio
+
+go 1.24

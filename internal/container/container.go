@@ -182,11 +182,26 @@ func (p *Publisher) Sign(img *Image) Signature {
 
 // Registry stores images and their signatures; it is the public GENIO
 // image registry business users publish to. Safe for concurrent use.
+//
+// Signature verification is cached per ref: image content is immutable
+// under a digest, so once a (image, signature, key) triple has verified,
+// re-pulling the same ref skips the digest and ed25519 work — the deploy
+// hot path pulls the same tenant image across many nodes. The cache entry
+// is dropped whenever the ref is re-pushed or publisher trust changes.
 type Registry struct {
 	mu         sync.RWMutex
 	images     map[string]*Image
 	signatures map[string]Signature
 	publishers map[string]ed25519.PublicKey // trusted publisher keys
+	verified   map[string]verifiedEntry     // refs whose current content verified clean
+}
+
+// verifiedEntry records exactly what was verified so any swap of image,
+// signature, or key invalidates the hit.
+type verifiedEntry struct {
+	img *Image
+	sig string // signature bytes
+	pub string // publisher key bytes
 }
 
 // NewRegistry creates an empty registry.
@@ -195,6 +210,7 @@ func NewRegistry() *Registry {
 		images:     make(map[string]*Image),
 		signatures: make(map[string]Signature),
 		publishers: make(map[string]ed25519.PublicKey),
+		verified:   make(map[string]verifiedEntry),
 	}
 }
 
@@ -203,6 +219,8 @@ func (r *Registry) TrustPublisher(name string, pub ed25519.PublicKey) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.publishers[name] = pub
+	// Re-keying a publisher can invalidate previous verifications.
+	r.verified = make(map[string]verifiedEntry)
 }
 
 // Push stores an image, optionally with its signature.
@@ -213,6 +231,7 @@ func (r *Registry) Push(img *Image, sig *Signature) {
 	if sig != nil {
 		r.signatures[img.Ref()] = *sig
 	}
+	delete(r.verified, img.Ref())
 }
 
 // Pull retrieves an image without verification (the permissive default).
@@ -230,23 +249,40 @@ func (r *Registry) Pull(ref string) (*Image, error) {
 // trusted publisher key, the hardened admission posture.
 func (r *Registry) PullVerified(ref string) (*Image, error) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	img, ok := r.images[ref]
 	if !ok {
+		r.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, ref)
 	}
 	sig, ok := r.signatures[ref]
 	if !ok {
+		r.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s", ErrUnsigned, ref)
 	}
 	pub, ok := r.publishers[sig.Publisher]
 	if !ok {
+		r.mu.RUnlock()
 		return nil, fmt.Errorf("%w: unknown publisher %q", ErrBadSignature, sig.Publisher)
 	}
+	if e, hit := r.verified[ref]; hit && e.img == img && e.sig == string(sig.Sig) && e.pub == string(pub) {
+		r.mu.RUnlock()
+		return img, nil
+	}
+	r.mu.RUnlock()
+
 	d := img.Digest()
 	if sig.Digest != d || !ed25519.Verify(pub, []byte(d), sig.Sig) {
 		return nil, fmt.Errorf("%w: %s", ErrBadSignature, ref)
 	}
+
+	r.mu.Lock()
+	// Only cache if the ref still holds exactly what was verified.
+	if r.images[ref] == img {
+		if cur, ok := r.signatures[ref]; ok && string(cur.Sig) == string(sig.Sig) {
+			r.verified[ref] = verifiedEntry{img: img, sig: string(sig.Sig), pub: string(pub)}
+		}
+	}
+	r.mu.Unlock()
 	return img, nil
 }
 

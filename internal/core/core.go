@@ -25,6 +25,7 @@ import (
 	"genio/internal/pon"
 	"genio/internal/rbac"
 	"genio/internal/sandbox"
+	"genio/internal/sast"
 	"genio/internal/sca"
 	"genio/internal/scap"
 	"genio/internal/secureboot"
@@ -118,7 +119,11 @@ var (
 	ErrNoNode       = errors.New("core: unknown edge node")
 )
 
-// Platform is a running GENIO deployment. Safe for concurrent use.
+// Platform is a running GENIO deployment. Safe for concurrent use: node
+// state sits behind a read/write lock, incidents flow through an async
+// single-writer bus (see incidentbus.go), and deployments fan admission
+// scanning out inside the cluster. Call Flush before reading incidents
+// recorded by other goroutines, and Close when discarding the platform.
 type Platform struct {
 	Config   Config
 	CA       *pki.CA
@@ -129,11 +134,13 @@ type Platform struct {
 	Detector *falcoengine.Engine
 	RBAC     *rbac.Engine
 
-	mu        sync.Mutex
-	nodes     map[string]*EdgeNode
-	incidents []Incident
+	nodeMu sync.RWMutex
+	nodes  map[string]*EdgeNode
+
+	bus *incidentBus
 
 	// Far-edge state (see faredge.go).
+	feMu              sync.Mutex
 	farEdge           map[string]*farEdgeState
 	farEdgeShadow     *orchestrator.Cluster
 	farEdgeShadowOnce sync.Once
@@ -165,6 +172,7 @@ func New(cfg Config) (*Platform, error) {
 		Detector: falcoengine.NewEngine(falcoengine.DefaultRules()),
 		RBAC:     rbac.NewEngine(),
 		nodes:    make(map[string]*EdgeNode),
+		bus:      newIncidentBus(),
 	}
 	cluster.RBAC = p.RBAC
 	if cfg.AdmissionScanning {
@@ -174,13 +182,16 @@ func New(cfg Config) (*Platform, error) {
 }
 
 // registerScanners wires the M13/M14/M16 gates into cluster admission.
+// Every gate's verdict depends only on the image content, so all register
+// cacheable: a clean image scanned once deploys across the whole fleet
+// without re-scanning, while rejections always re-run (and re-report).
 func (p *Platform) registerScanners() {
 	malScanner, err := malware.NewScanner(malware.DefaultRules())
 	if err != nil {
 		// Stock rules are compile-tested; failure here is programmer error.
 		panic(fmt.Sprintf("core: compile stock malware rules: %v", err))
 	}
-	p.Cluster.RegisterAdmission("malware-scan", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
+	p.Cluster.RegisterAdmissionCached("malware-scan", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
 		rep := malScanner.Scan(img)
 		if rep.Malicious() {
 			p.recordIncident(Incident{Source: "admission", Workload: spec.Name,
@@ -191,7 +202,7 @@ func (p *Platform) registerScanners() {
 	})
 
 	bench := scap.DockerBenchProfile()
-	p.Cluster.RegisterAdmission("docker-bench", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
+	p.Cluster.RegisterAdmissionCached("docker-bench", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
 		rep := scap.EvaluateImage(bench, img)
 		for _, f := range rep.Failures() {
 			if f.Severity >= scap.Critical {
@@ -204,13 +215,26 @@ func (p *Platform) registerScanners() {
 	})
 
 	scaScanner := sca.NewScanner(sca.DependencyDatabase())
-	p.Cluster.RegisterAdmission("sca-gate", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
+	p.Cluster.RegisterAdmissionCached("sca-gate", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
 		rep := scaScanner.Scan(img).ReachableOnly()
 		for _, f := range rep.Findings {
 			if f.CVE.Severity() == vuln.SeverityCritical && f.CVE.Exploitable {
 				p.recordIncident(Incident{Source: "admission", Workload: spec.Name,
 					Detail: fmt.Sprintf("sca: %s in %s %s", f.CVE.ID, f.Dependency.Name, f.Dependency.Version), Blocked: true})
 				return fmt.Errorf("exploitable critical dependency: %s", f.CVE.ID)
+			}
+		}
+		return nil
+	})
+
+	sastScanner := sast.NewScanner(sast.DefaultRules())
+	p.Cluster.RegisterAdmissionCached("sast-gate", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
+		rep := sastScanner.Scan(img)
+		for _, f := range rep.Actionable() {
+			if f.Severity == sast.Error {
+				p.recordIncident(Incident{Source: "admission", Workload: spec.Name,
+					Detail: fmt.Sprintf("sast: %s at %s:%d", f.RuleID, f.Path, f.Line), Blocked: true})
+				return fmt.Errorf("static analysis: %s at %s:%d", f.Title, f.Path, f.Line)
 			}
 		}
 		return nil
@@ -306,17 +330,17 @@ func (p *Platform) AddEdgeNode(name string, capacity orchestrator.Resources) (*E
 		Name: name, Host: h, TPM: nodeTPM, Firmware: fw, Volume: vol,
 		OLT: olt, FIM: monitor, Chain: chain, Attested: attested, ManualUnlock: manual,
 	}
-	p.mu.Lock()
+	p.nodeMu.Lock()
 	p.nodes[name] = node
-	p.mu.Unlock()
+	p.nodeMu.Unlock()
 	p.Cluster.AddNode(name, capacity)
 	return node, nil
 }
 
 // Node returns a provisioned edge node.
 func (p *Platform) Node(name string) (*EdgeNode, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.nodeMu.RLock()
+	defer p.nodeMu.RUnlock()
 	n, ok := p.nodes[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoNode, name)
@@ -326,8 +350,8 @@ func (p *Platform) Node(name string) (*EdgeNode, error) {
 
 // Nodes returns all edge nodes.
 func (p *Platform) Nodes() []*EdgeNode {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.nodeMu.RLock()
+	defer p.nodeMu.RUnlock()
 	out := make([]*EdgeNode, 0, len(p.nodes))
 	for _, n := range p.nodes {
 		out = append(out, n)
@@ -360,9 +384,9 @@ func (p *Platform) AttachONU(nodeName, serial string) (*pon.ONU, error) {
 // Deploy admits a workload through the pipeline; on success a sandbox
 // policy is attached when M17 is enabled.
 func (p *Platform) Deploy(subject string, spec orchestrator.WorkloadSpec) (*orchestrator.Workload, error) {
-	if p.Config.TenantQuotas && !p.Cluster.HasQuota(spec.Tenant) {
+	if p.Config.TenantQuotas {
 		// A default quota per tenant when none was set explicitly.
-		p.Cluster.SetQuota(spec.Tenant, orchestrator.Resources{CPUMilli: 2000, MemoryMB: 4096})
+		p.Cluster.EnsureQuota(spec.Tenant, orchestrator.Resources{CPUMilli: 2000, MemoryMB: 4096})
 	}
 	w, err := p.Cluster.Deploy(subject, spec)
 	if err != nil {
@@ -398,28 +422,37 @@ func (p *Platform) ObserveRuntime(events []trace.Event) int {
 	return len(executed)
 }
 
-func (p *Platform) recordIncident(i Incident) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.incidents = append(p.incidents, i)
+// RecordIncident appends to the platform incident log through the async
+// bus. The platform's own pipeline uses it internally; external detectors
+// integrating with a deployment may feed their findings in the same way.
+func (p *Platform) RecordIncident(i Incident) {
+	p.bus.record(i)
+}
+
+func (p *Platform) recordIncident(i Incident) { p.bus.record(i) }
+
+// Flush blocks until every incident recorded before the call is visible to
+// Incidents and IncidentCounts. Reads from the recording goroutine get
+// this ordering automatically; cross-goroutine readers synchronize here.
+func (p *Platform) Flush() {
+	p.bus.flush()
+}
+
+// Close drains the incident bus and stops its writer goroutine. The
+// platform remains usable (late incidents are applied synchronously);
+// closing is only required when discarding platforms in bulk.
+func (p *Platform) Close() {
+	p.bus.close()
 }
 
 // Incidents returns a copy of all recorded incidents.
 func (p *Platform) Incidents() []Incident {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]Incident, len(p.incidents))
-	copy(out, p.incidents)
-	return out
+	p.bus.flush()
+	return p.bus.snapshot()
 }
 
 // IncidentCounts tallies incidents by source.
 func (p *Platform) IncidentCounts() map[string]int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make(map[string]int)
-	for _, i := range p.incidents {
-		out[i.Source]++
-	}
-	return out
+	p.bus.flush()
+	return p.bus.countsBySource()
 }

@@ -1,0 +1,26 @@
+package core
+
+// Batch admission: a tenant CI pipeline (or the orchestration center
+// rolling a fleet update) submits many workloads at once; the platform
+// admits them concurrently over a bounded worker pool. Each spec runs the
+// full Deploy pipeline independently — RBAC, verified pull, the scanner
+// fan-out, quota reservation, scheduling — so one rejection never blocks
+// its siblings.
+
+import (
+	"genio/internal/orchestrator"
+	"genio/internal/workpool"
+)
+
+// DeployBatch admits every spec through the full deployment pipeline,
+// fanning out over min(len(specs), GOMAXPROCS) workers. Results are
+// positional: workloads[i] and errs[i] report spec[i]; exactly one of the
+// pair is non-nil.
+func (p *Platform) DeployBatch(subject string, specs []orchestrator.WorkloadSpec) ([]*orchestrator.Workload, []error) {
+	workloads := make([]*orchestrator.Workload, len(specs))
+	errs := make([]error, len(specs))
+	workpool.Run(len(specs), 0, func(i int) {
+		workloads[i], errs[i] = p.Deploy(subject, specs[i])
+	})
+	return workloads, errs
+}

@@ -86,8 +86,8 @@ func (p *Platform) DeployFarEdge(subject, nodeName, serial string, spec orchestr
 	}
 
 	spec.Isolation = orchestrator.IsolationSoft
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.feMu.Lock()
+	defer p.feMu.Unlock()
 	if p.farEdge == nil {
 		p.farEdge = make(map[string]*farEdgeState)
 	}
@@ -127,12 +127,10 @@ func (p *Platform) runFarEdgeAdmission(spec orchestrator.WorkloadSpec, img *cont
 	p.farEdgeShadowOnce.Do(func() {
 		shadow := orchestrator.NewCluster("faredge-admission", p.Registry, orchestrator.Settings{})
 		shadow.AddNode("shadow", orchestrator.Resources{CPUMilli: 1 << 30, MemoryMB: 1 << 30})
-		sp := &Platform{Config: Config{AdmissionScanning: true}, Cluster: shadow}
+		// The shadow platform shares the real incident bus, so scanner
+		// rejections on the far-edge path land in the platform log.
+		sp := &Platform{Config: Config{AdmissionScanning: true}, Cluster: shadow, bus: p.bus}
 		sp.registerScanners()
-		// Forward shadow incidents into the real platform log.
-		shadow.RegisterAdmission("incident-forward", func(orchestrator.WorkloadSpec, *container.Image) error {
-			return nil
-		})
 		p.farEdgeShadow = shadow
 	})
 	dry := spec
@@ -148,8 +146,8 @@ func (p *Platform) runFarEdgeAdmission(spec orchestrator.WorkloadSpec, img *cont
 
 // FarEdgeWorkloads lists deployments on one ONU.
 func (p *Platform) FarEdgeWorkloads(nodeName, serial string) []*FarEdgeWorkload {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.feMu.Lock()
+	defer p.feMu.Unlock()
 	st, ok := p.farEdge[nodeName+"/"+serial]
 	if !ok {
 		return nil
@@ -163,8 +161,8 @@ func (p *Platform) FarEdgeWorkloads(nodeName, serial string) []*FarEdgeWorkload 
 
 // StopFarEdge removes a far-edge workload, releasing ONU capacity.
 func (p *Platform) StopFarEdge(nodeName, serial, name string) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.feMu.Lock()
+	defer p.feMu.Unlock()
 	st, ok := p.farEdge[nodeName+"/"+serial]
 	if !ok {
 		return fmt.Errorf("%w: %s/%s", ErrNoONU, nodeName, serial)

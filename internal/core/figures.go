@@ -19,7 +19,7 @@ type DeploymentLayer struct {
 
 // Deployment returns the Figure-1 reproduction for this platform instance.
 func (p *Platform) Deployment() []DeploymentLayer {
-	p.mu.Lock()
+	p.nodeMu.RLock()
 	nodeNames := make([]string, 0, len(p.nodes))
 	onusPerNode := make(map[string][]string, len(p.nodes))
 	for name, n := range p.nodes {
@@ -27,7 +27,7 @@ func (p *Platform) Deployment() []DeploymentLayer {
 		onusPerNode[name] = n.OLT.ActiveONUs()
 		sort.Strings(onusPerNode[name])
 	}
-	p.mu.Unlock()
+	p.nodeMu.RUnlock()
 	sort.Strings(nodeNames)
 
 	cloud := DeploymentLayer{

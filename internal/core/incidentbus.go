@@ -1,0 +1,124 @@
+package core
+
+// The incident bus decouples the runtime hot path (sandbox enforcement,
+// falco detection, admission rejections) from the incident log: producers
+// enqueue onto a buffered channel and a single writer goroutine owns the
+// append, so recording an incident never takes the platform-wide lock the
+// read-side queries use. Flush gives callers read-your-writes: incidents a
+// goroutine recorded before flushing are visible to its reads afterwards,
+// because channel sends from one goroutine drain in order before the flush
+// token does.
+
+import "sync"
+
+// busBuffer sizes the incident channel; producers only block when the
+// writer goroutine falls this many events behind.
+const busBuffer = 1024
+
+type busMsg struct {
+	inc Incident
+	// flush, when non-nil, marks a synchronization token instead of an
+	// incident: the writer closes it once everything queued ahead of it
+	// has been applied.
+	flush chan struct{}
+}
+
+type incidentBus struct {
+	// sendMu guards the closed flag so no producer can send on a closed
+	// channel; producers share it, Close takes it exclusively.
+	sendMu sync.RWMutex
+	closed bool
+	ch     chan busMsg
+	done   chan struct{}
+
+	mu        sync.RWMutex
+	incidents []Incident
+	counts    map[string]int
+}
+
+func newIncidentBus() *incidentBus {
+	b := &incidentBus{
+		ch:     make(chan busMsg, busBuffer),
+		done:   make(chan struct{}),
+		counts: make(map[string]int),
+	}
+	go b.run()
+	return b
+}
+
+func (b *incidentBus) run() {
+	defer close(b.done)
+	for m := range b.ch {
+		if m.flush != nil {
+			close(m.flush)
+			continue
+		}
+		b.append(m.inc)
+	}
+}
+
+func (b *incidentBus) append(i Incident) {
+	b.mu.Lock()
+	b.incidents = append(b.incidents, i)
+	b.counts[i.Source]++
+	b.mu.Unlock()
+}
+
+// record enqueues an incident; after Close it degrades to a synchronous
+// append so late producers are never lost.
+func (b *incidentBus) record(i Incident) {
+	b.sendMu.RLock()
+	if !b.closed {
+		b.ch <- busMsg{inc: i}
+		b.sendMu.RUnlock()
+		return
+	}
+	b.sendMu.RUnlock()
+	b.append(i)
+}
+
+// flush blocks until every incident enqueued before the call is applied.
+func (b *incidentBus) flush() {
+	b.sendMu.RLock()
+	if b.closed {
+		b.sendMu.RUnlock()
+		return
+	}
+	token := make(chan struct{})
+	b.ch <- busMsg{flush: token}
+	b.sendMu.RUnlock()
+	<-token
+}
+
+// close drains the queue and stops the writer goroutine. Idempotent.
+func (b *incidentBus) close() {
+	b.sendMu.Lock()
+	if b.closed {
+		b.sendMu.Unlock()
+		return
+	}
+	b.closed = true
+	close(b.ch)
+	b.sendMu.Unlock()
+	<-b.done
+}
+
+// snapshot returns a copy of the applied incident log.
+func (b *incidentBus) snapshot() []Incident {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]Incident, len(b.incidents))
+	copy(out, b.incidents)
+	return out
+}
+
+// countsBySource returns a copy of the per-source tallies.
+func (b *incidentBus) countsBySource() map[string]int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make(map[string]int, len(b.counts))
+	for k, v := range b.counts {
+		out[k] = v
+	}
+	return out
+}

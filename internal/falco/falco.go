@@ -111,6 +111,11 @@ func (e *Engine) SetExceptions(ruleName string, exceptions []string) error {
 func (e *Engine) Consume(ev trace.Event) []Alert {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.consumeLocked(ev)
+}
+
+// consumeLocked is Consume's body; callers hold e.mu.
+func (e *Engine) consumeLocked(ev trace.Event) []Alert {
 	hist := e.history[ev.Workload]
 	var raised []Alert
 	for _, r := range e.rules {
@@ -132,11 +137,15 @@ func (e *Engine) Consume(ev trace.Event) []Alert {
 	return raised
 }
 
-// ConsumeAll feeds a whole trace, returning all alerts raised.
+// ConsumeAll feeds a whole trace, returning all alerts raised. The engine
+// lock is taken once for the batch rather than per event, so full traces
+// are cheap on the runtime hot path.
 func (e *Engine) ConsumeAll(events []trace.Event) []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var out []Alert
 	for _, ev := range events {
-		out = append(out, e.Consume(ev)...)
+		out = append(out, e.consumeLocked(ev)...)
 	}
 	return out
 }

@@ -1,0 +1,100 @@
+package orchestrator
+
+// Admission fan-out: the M13/M14/M16 scanners registered on the cluster are
+// independent of one another, so each deployment runs them over a bounded
+// worker pool instead of back-to-back. Verdict aggregation is
+// deterministic: every controller runs to completion and the error of the
+// first-registered failing controller wins, exactly as if the chain had
+// run sequentially — the parallelism setting never changes the verdict.
+//
+// Controllers whose verdict depends only on the image content (the
+// scanners; not spec-dependent policy checks) can be registered cacheable:
+// a clean verdict is remembered per image digest, so re-deploying an
+// already-vetted image across many nodes or tenants skips the scan cost.
+// Rejections are never cached — a failing image is re-scanned (and
+// re-reported) on every attempt.
+
+import (
+	"fmt"
+
+	"genio/internal/container"
+	"genio/internal/workpool"
+)
+
+// RegisterAdmission appends a named admission controller; controllers run
+// for every deployment and the first error in registration order rejects
+// it.
+func (c *Cluster) RegisterAdmission(name string, fn AdmissionFunc) {
+	c.admMu.Lock()
+	defer c.admMu.Unlock()
+	c.admission = append(c.admission, namedAdmission{name: name, fn: fn})
+}
+
+// RegisterAdmissionCached is RegisterAdmission for controllers whose
+// verdict depends only on the image content: clean verdicts are cached by
+// image digest and the controller is skipped on re-deployments of the same
+// image. Controllers that inspect the spec (tenant, isolation, resources)
+// must use RegisterAdmission instead.
+func (c *Cluster) RegisterAdmissionCached(name string, fn AdmissionFunc) {
+	c.admMu.Lock()
+	defer c.admMu.Unlock()
+	c.admission = append(c.admission, namedAdmission{name: name, fn: fn, cacheable: true})
+}
+
+// runAdmission fans the registered admission chain out over the worker
+// pool and aggregates the verdict deterministically.
+func (c *Cluster) runAdmission(spec WorkloadSpec, img *container.Image) error {
+	c.admMu.RLock()
+	chain := append([]namedAdmission(nil), c.admission...)
+	c.admMu.RUnlock()
+	if len(chain) == 0 {
+		return nil
+	}
+
+	// One digest computation serves every cacheable controller.
+	digest := ""
+	if !c.AdmissionCacheDisabled {
+		for _, a := range chain {
+			if a.cacheable {
+				digest = img.Digest()
+				break
+			}
+		}
+	}
+
+	// Resolve cache hits up front so the warm path — every controller
+	// already satisfied for this digest — never pays for the pool.
+	keys := make([]string, len(chain))
+	toRun := make([]int, 0, len(chain))
+	for i, a := range chain {
+		if a.cacheable && digest != "" {
+			keys[i] = a.name + "\x00" + digest
+			if _, ok := c.admCache.Load(keys[i]); ok {
+				continue
+			}
+		}
+		toRun = append(toRun, i)
+	}
+	if len(toRun) == 0 {
+		return nil
+	}
+
+	errs := make([]error, len(chain))
+	workpool.Run(len(toRun), c.AdmissionParallelism, func(j int) {
+		i := toRun[j]
+		if err := chain[i].fn(spec, img); err != nil {
+			errs[i] = err
+			return
+		}
+		if keys[i] != "" {
+			c.admCache.Store(keys[i], struct{}{})
+		}
+	})
+
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("%w by %s: %v", ErrDenied, chain[i].name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"genio/internal/container"
+)
+
+// TestAdmissionVerdictIndependentOfParallelism pins the determinism
+// contract: whatever the pool size, the verdict is the error of the
+// first-registered failing controller.
+func TestAdmissionVerdictIndependentOfParallelism(t *testing.T) {
+	for _, parallelism := range []int{0, 1, 2, 8} {
+		c, _ := testCluster(t, Settings{})
+		c.AdmissionParallelism = parallelism
+		for i := 0; i < 6; i++ {
+			name := fmt.Sprintf("c%d", i)
+			fail := i == 2 || i == 4
+			c.RegisterAdmission(name, func(WorkloadSpec, *container.Image) error {
+				if fail {
+					return fmt.Errorf("%s says no", name)
+				}
+				return nil
+			})
+		}
+		_, err := c.Deploy("ops", spec("x", "t", "acme/analytics:2.0.1", IsolationSoft))
+		if !errors.Is(err, ErrDenied) {
+			t.Fatalf("parallelism %d: err = %v, want ErrDenied", parallelism, err)
+		}
+		if !strings.Contains(err.Error(), "by c2") {
+			t.Fatalf("parallelism %d: verdict should come from c2, got %v", parallelism, err)
+		}
+	}
+}
+
+// TestAdmissionCacheSkipsCleanRescan checks that a cacheable controller
+// runs once per image digest, not once per deployment.
+func TestAdmissionCacheSkipsCleanRescan(t *testing.T) {
+	c, _ := testCluster(t, Settings{})
+	var runs atomic.Int64
+	c.RegisterAdmissionCached("counter", func(WorkloadSpec, *container.Image) error {
+		runs.Add(1)
+		return nil
+	})
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("w%d", i)
+		if _, err := c.Deploy("ops", spec(name, "acme", "acme/analytics:2.0.1", IsolationSoft)); err != nil {
+			t.Fatalf("deploy %s: %v", name, err)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("cacheable controller ran %d times for one image, want 1", got)
+	}
+	// A different image has a different digest and must be scanned.
+	if _, err := c.Deploy("ops", spec("other", "acme", "acme/iot-gateway:1.4.2", IsolationSoft)); err != nil {
+		t.Fatalf("deploy other image: %v", err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("controller ran %d times across two images, want 2", got)
+	}
+}
+
+// TestAdmissionCacheNeverCachesRejections checks a failing image is
+// re-scanned (and re-rejected) on every attempt.
+func TestAdmissionCacheNeverCachesRejections(t *testing.T) {
+	c, _ := testCluster(t, Settings{})
+	var runs atomic.Int64
+	c.RegisterAdmissionCached("reject-all", func(WorkloadSpec, *container.Image) error {
+		runs.Add(1)
+		return errors.New("nope")
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := c.Deploy("ops", spec(fmt.Sprintf("w%d", i), "acme", "acme/analytics:2.0.1", IsolationSoft)); !errors.Is(err, ErrDenied) {
+			t.Fatalf("attempt %d: err = %v, want ErrDenied", i, err)
+		}
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("failing controller ran %d times, want 2 (rejections are never cached)", got)
+	}
+}
+
+// TestAdmissionCacheDisabled checks the benchmark knob forces cold scans.
+func TestAdmissionCacheDisabled(t *testing.T) {
+	c, _ := testCluster(t, Settings{})
+	c.AdmissionCacheDisabled = true
+	var runs atomic.Int64
+	c.RegisterAdmissionCached("counter", func(WorkloadSpec, *container.Image) error {
+		runs.Add(1)
+		return nil
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := c.Deploy("ops", spec(fmt.Sprintf("w%d", i), "acme", "acme/analytics:2.0.1", IsolationSoft)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("controller ran %d times with cache disabled, want 2", got)
+	}
+}
+
+// TestConcurrentDuplicateNameOneWinner races N deploys of the same
+// workload name; exactly one may win.
+func TestConcurrentDuplicateNameOneWinner(t *testing.T) {
+	c, _ := testCluster(t, Settings{})
+	const racers = 16
+	var wg sync.WaitGroup
+	var wins, dups atomic.Int64
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Deploy("ops", spec("contested", "acme", "acme/analytics:2.0.1", IsolationSoft))
+			switch {
+			case err == nil:
+				wins.Add(1)
+			case errors.Is(err, ErrDuplicateName):
+				dups.Add(1)
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != 1 || dups.Load() != racers-1 {
+		t.Fatalf("wins=%d dups=%d, want 1/%d", wins.Load(), dups.Load(), racers-1)
+	}
+	admitted, rejected := c.Counters()
+	if admitted != 1 || rejected != racers-1 {
+		t.Fatalf("counters = %d/%d, want 1/%d", admitted, rejected, racers-1)
+	}
+}
+
+// TestConcurrentQuotaNeverOversubscribed races more deploys than the
+// tenant quota allows; the up-front reservation must make the admitted
+// count exact.
+func TestConcurrentQuotaNeverOversubscribed(t *testing.T) {
+	c, _ := testCluster(t, Settings{})
+	c.SetQuota("acme", Resources{CPUMilli: 2500, MemoryMB: 2560}) // fits exactly 5 of spec()'s 500/512
+	const racers = 12
+	var wg sync.WaitGroup
+	var wins, quota atomic.Int64
+	for i := 0; i < racers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Deploy("ops", spec(fmt.Sprintf("q%d", i), "acme", "acme/analytics:2.0.1", IsolationSoft))
+			switch {
+			case err == nil:
+				wins.Add(1)
+			case errors.Is(err, ErrQuotaExceeded):
+				quota.Add(1)
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != 5 || quota.Load() != racers-5 {
+		t.Fatalf("wins=%d quota-rejections=%d, want 5/%d", wins.Load(), quota.Load(), racers-5)
+	}
+	if used := c.TenantUsage("acme"); used.CPUMilli != 2500 {
+		t.Fatalf("tenant usage = %+v after settle, want 2500 CPUMilli", used)
+	}
+}
+
+// TestConcurrentDeploysAcrossNodes floods a multi-node cluster from many
+// goroutines and checks capacity accounting stays exact.
+func TestConcurrentDeploysAcrossNodes(t *testing.T) {
+	reg := container.NewRegistry()
+	reg.Push(container.AnalyticsImage(), nil)
+	c := NewCluster("edge", reg, Settings{})
+	const nodes, perNode = 4, 6
+	for i := 0; i < nodes; i++ {
+		c.AddNode(fmt.Sprintf("olt-%02d", i), Resources{CPUMilli: perNode * 500, MemoryMB: perNode * 512})
+	}
+	total := nodes * perNode
+	var wg sync.WaitGroup
+	errs := make([]error, total)
+	for i := 0; i < total; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = c.Deploy("ops", spec(fmt.Sprintf("w%03d", i), fmt.Sprintf("t%d", i%3), "acme/analytics:2.0.1", IsolationSoft))
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("deploy %d: %v", i, err)
+		}
+	}
+	if got := len(c.Workloads()); got != total {
+		t.Fatalf("%d workloads registered, want %d", got, total)
+	}
+	for _, u := range c.Utilization() {
+		if u.Used != (Resources{CPUMilli: perNode * 500, MemoryMB: perNode * 512}) {
+			t.Fatalf("node %s used %+v, want full", u.Node, u.Used)
+		}
+	}
+	// The cluster is exactly full: one more deploy must fail cleanly.
+	if _, err := c.Deploy("ops", spec("overflow", "t0", "acme/analytics:2.0.1", IsolationSoft)); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("overflow err = %v, want ErrNoCapacity", err)
+	}
+}

@@ -44,9 +44,10 @@ func (c *Cluster) FailNode(name string) (*FailoverResult, error) {
 
 	res := &FailoverResult{Node: name}
 	for _, w := range victims {
-		// Release old accounting; schedule() re-adds on success.
+		// Release old accounting; scheduling re-adds on success. The
+		// cluster write lock is already held, so place via scheduleAmong.
 		c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].sub(w.Spec.Resources)
-		moved, err := c.schedule(w.Spec, w.Image)
+		moved, err := c.scheduleAmong(w.Spec, w.Image)
 		if err != nil {
 			delete(c.workloads, w.Spec.Name)
 			res.Evicted = append(res.Evicted, w.Spec.Name)
@@ -61,8 +62,8 @@ func (c *Cluster) FailNode(name string) (*FailoverResult, error) {
 
 // Nodes returns the live node names sorted.
 func (c *Cluster) Nodes() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.nodes))
 	for n := range c.nodes {
 		out = append(out, n)
@@ -80,11 +81,14 @@ type NodeUtilization struct {
 
 // Utilization returns per-node resource usage sorted by node name.
 func (c *Cluster) Utilization() []NodeUtilization {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]NodeUtilization, 0, len(c.nodes))
 	for name, n := range c.nodes {
-		out = append(out, NodeUtilization{Node: name, Used: n.used, Capacity: n.capacity})
+		n.mu.Lock()
+		used := n.used
+		n.mu.Unlock()
+		out = append(out, NodeUtilization{Node: name, Used: used, Capacity: n.capacity})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out

@@ -9,6 +9,14 @@
 // scanners gate deployments, and cluster settings whose insecure defaults
 // the M11 benchmark profiles flag. Tenant resource quotas counter the T8
 // resource-abuse vector.
+//
+// Concurrency model: cluster-wide topology (node membership, the workload
+// and quota tables) sits behind a sync.RWMutex so read-side queries never
+// contend with each other; per-node placement state (capacity accounting
+// and VM maps) is sharded behind one mutex per node so placements on
+// different nodes proceed in parallel. The admission chain fans out over a
+// bounded worker pool (see admission.go). Lock order is always cluster
+// lock before node lock, never the reverse.
 package orchestrator
 
 import (
@@ -16,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"genio/internal/container"
 	"genio/internal/rbac"
@@ -91,12 +100,16 @@ type VM struct {
 	Workloads []string `json:"workloads"`
 }
 
-// node is internal node state.
+// node is internal node state. The cluster lock guards membership in the
+// node map; mu guards the placement state (used, vms) so placements on
+// different nodes do not serialize.
 type node struct {
 	name     string
 	capacity Resources
-	used     Resources
-	vms      map[string]*VM
+
+	mu   sync.Mutex
+	used Resources
+	vms  map[string]*VM
 }
 
 // Settings are cluster-level configuration flags — the knobs the M11
@@ -158,22 +171,37 @@ type Cluster struct {
 	// VerifyImageSignatures requires signed images from trusted
 	// publishers at pull time.
 	VerifyImageSignatures bool
+	// AdmissionParallelism bounds the worker pool that fans the admission
+	// chain out per deployment: 0 sizes the pool to GOMAXPROCS, 1 forces
+	// the sequential path. The verdict is identical at any setting.
+	AdmissionParallelism int
+	// AdmissionCacheDisabled turns off the per-image-digest verdict cache
+	// for controllers registered via RegisterAdmissionCached (used by
+	// benchmarks to measure the cold scanner path).
+	AdmissionCacheDisabled bool
 
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	nodes      map[string]*node
 	workloads  map[string]*Workload
-	quotas     map[string]Resources // tenant -> quota (zero = unlimited)
+	pending    map[string]struct{} // names reserved by in-flight deploys
+	quotas     map[string]Resources
 	tenantUsed map[string]Resources
-	admission  []namedAdmission
-	vmSeq      int
-	// counters for experiments
-	admitted int
-	rejected int
+
+	admMu     sync.RWMutex
+	admission []namedAdmission
+	admCache  sync.Map // "controller\x00imageDigest" -> struct{} (clean verdicts only)
+
+	vmSeq    atomic.Int64
+	admitted atomic.Int64
+	rejected atomic.Int64
 }
 
 type namedAdmission struct {
 	name string
 	fn   AdmissionFunc
+	// cacheable marks controllers whose verdict depends only on the image
+	// content, letting clean verdicts be cached by digest.
+	cacheable bool
 }
 
 // NewCluster creates a cluster backed by the given registry.
@@ -184,6 +212,7 @@ func NewCluster(name string, reg *container.Registry, settings Settings) *Cluste
 		Registry:   reg,
 		nodes:      make(map[string]*node),
 		workloads:  make(map[string]*Workload),
+		pending:    make(map[string]struct{}),
 		quotas:     make(map[string]Resources),
 		tenantUsed: make(map[string]Resources),
 	}
@@ -203,30 +232,28 @@ func (c *Cluster) SetQuota(tenant string, q Resources) {
 	c.quotas[tenant] = q
 }
 
-// HasQuota reports whether a quota was set for the tenant.
-func (c *Cluster) HasQuota(tenant string) bool {
+// EnsureQuota sets a tenant's quota only if none is set yet, so concurrent
+// deploys applying a default quota cannot clobber an explicit one.
+func (c *Cluster) EnsureQuota(tenant string, q Resources) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, ok := c.quotas[tenant]
-	return ok
-}
-
-// RegisterAdmission appends a named admission controller; controllers run
-// in registration order and the first error rejects the deployment.
-func (c *Cluster) RegisterAdmission(name string, fn AdmissionFunc) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.admission = append(c.admission, namedAdmission{name: name, fn: fn})
+	if _, ok := c.quotas[tenant]; !ok {
+		c.quotas[tenant] = q
+	}
 }
 
 // Deploy schedules a workload on behalf of subject. The pipeline is:
 // RBAC check (when enabled) -> image pull (verified per policy) ->
-// admission chain -> quota check -> scheduling.
+// admission fan-out -> name/quota reservation -> scheduling -> commit.
+//
+// Only the reservation and commit steps take the cluster write lock; the
+// expensive stages (pull, scanners) run without it, and scheduling holds
+// the read lock plus one node lock at a time.
 func (c *Cluster) Deploy(subject string, spec WorkloadSpec) (*Workload, error) {
 	if c.Settings.RBACEnabled && c.RBAC != nil {
 		d := c.RBAC.Check(subject, rbac.Permission{Verb: "create", Resource: "workloads", Namespace: spec.Tenant})
 		if !d.Allowed {
-			c.bumpRejected()
+			c.rejected.Add(1)
 			return nil, fmt.Errorf("%w: %s may not create workloads in %s", ErrUnauthorized, subject, spec.Tenant)
 		}
 	}
@@ -239,48 +266,72 @@ func (c *Cluster) Deploy(subject string, spec WorkloadSpec) (*Workload, error) {
 		img, err = c.Registry.Pull(spec.ImageRef)
 	}
 	if err != nil {
-		c.bumpRejected()
+		c.rejected.Add(1)
 		return nil, fmt.Errorf("pull %s: %w", spec.ImageRef, err)
 	}
 
-	c.mu.Lock()
-	chain := append([]namedAdmission(nil), c.admission...)
-	c.mu.Unlock()
-	for _, a := range chain {
-		if err := a.fn(spec, img); err != nil {
-			c.bumpRejected()
-			return nil, fmt.Errorf("%w by %s: %v", ErrDenied, a.name, err)
-		}
+	if err := c.runAdmission(spec, img); err != nil {
+		c.rejected.Add(1)
+		return nil, err
 	}
 
+	// Reserve the name and charge the tenant quota up front so concurrent
+	// deploys cannot collide on either; both are released on failure.
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, dup := c.workloads[spec.Name]; dup {
-		c.rejected++
+		c.mu.Unlock()
+		c.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateName, spec.Name)
+	}
+	if _, dup := c.pending[spec.Name]; dup {
+		c.mu.Unlock()
+		c.rejected.Add(1)
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateName, spec.Name)
 	}
 	if q, ok := c.quotas[spec.Tenant]; ok && (q.CPUMilli > 0 || q.MemoryMB > 0) {
-		next := c.tenantUsed[spec.Tenant].add(spec.Resources)
-		if !next.fits(q) {
-			c.rejected++
+		if !c.tenantUsed[spec.Tenant].add(spec.Resources).fits(q) {
+			c.mu.Unlock()
+			c.rejected.Add(1)
 			return nil, fmt.Errorf("%w: tenant %s", ErrQuotaExceeded, spec.Tenant)
 		}
 	}
+	c.pending[spec.Name] = struct{}{}
+	c.tenantUsed[spec.Tenant] = c.tenantUsed[spec.Tenant].add(spec.Resources)
+	c.mu.Unlock()
 
 	w, err := c.schedule(spec, img)
+
+	c.mu.Lock()
+	delete(c.pending, spec.Name)
+	if err == nil {
+		if _, alive := c.nodes[w.Node]; !alive {
+			// The chosen node failed between placement and commit; its
+			// state object is orphaned, so the reservation just dissolves.
+			err = ErrNoCapacity
+		}
+	}
 	if err != nil {
-		c.rejected++
+		c.tenantUsed[spec.Tenant] = c.tenantUsed[spec.Tenant].sub(spec.Resources)
+		c.mu.Unlock()
+		c.rejected.Add(1)
 		return nil, err
 	}
 	c.workloads[spec.Name] = w
-	c.tenantUsed[spec.Tenant] = c.tenantUsed[spec.Tenant].add(spec.Resources)
-	c.admitted++
+	c.mu.Unlock()
+	c.admitted.Add(1)
 	return w, nil
 }
 
-// schedule places the workload on the first node with capacity (callers
-// hold c.mu).
+// schedule places the workload on the first node with capacity, holding the
+// cluster read lock and one node lock at a time.
 func (c *Cluster) schedule(spec WorkloadSpec, img *container.Image) (*Workload, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.scheduleAmong(spec, img)
+}
+
+// scheduleAmong is schedule's body; callers hold c.mu (read or write).
+func (c *Cluster) scheduleAmong(spec WorkloadSpec, img *container.Image) (*Workload, error) {
 	names := make([]string, 0, len(c.nodes))
 	for n := range c.nodes {
 		names = append(names, n)
@@ -288,19 +339,23 @@ func (c *Cluster) schedule(spec WorkloadSpec, img *container.Image) (*Workload, 
 	sort.Strings(names)
 	for _, name := range names {
 		n := c.nodes[name]
+		n.mu.Lock()
 		free := n.capacity.sub(n.used)
 		if !spec.Resources.fits(free) {
+			n.mu.Unlock()
 			continue
 		}
 		vm := c.placeVM(n, spec)
 		vm.Workloads = append(vm.Workloads, spec.Name)
 		n.used = n.used.add(spec.Resources)
+		n.mu.Unlock()
 		return &Workload{Spec: spec, Image: img, Node: name, VMID: vm.ID}, nil
 	}
 	return nil, ErrNoCapacity
 }
 
-// placeVM finds or creates the VM for a workload per its isolation mode.
+// placeVM finds or creates the VM for a workload per its isolation mode
+// (callers hold n.mu).
 func (c *Cluster) placeVM(n *node, spec WorkloadSpec) *VM {
 	if spec.Isolation != IsolationHard {
 		// Soft isolation: reuse the node's shared VM for this tenant.
@@ -310,9 +365,8 @@ func (c *Cluster) placeVM(n *node, spec WorkloadSpec) *VM {
 			}
 		}
 	}
-	c.vmSeq++
 	vm := &VM{
-		ID:        fmt.Sprintf("vm-%03d", c.vmSeq),
+		ID:        fmt.Sprintf("vm-%03d", c.vmSeq.Add(1)),
 		Node:      n.name,
 		Tenant:    spec.Tenant,
 		Dedicated: spec.Isolation == IsolationHard,
@@ -332,6 +386,7 @@ func (c *Cluster) Stop(name string) error {
 	delete(c.workloads, name)
 	c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].sub(w.Spec.Resources)
 	if n, ok := c.nodes[w.Node]; ok {
+		n.mu.Lock()
 		n.used = n.used.sub(w.Spec.Resources)
 		if vm, ok := n.vms[w.VMID]; ok {
 			out := vm.Workloads[:0]
@@ -345,22 +400,23 @@ func (c *Cluster) Stop(name string) error {
 				delete(n.vms, w.VMID)
 			}
 		}
+		n.mu.Unlock()
 	}
 	return nil
 }
 
 // Workload returns a running workload by name.
 func (c *Cluster) Workload(name string) (*Workload, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	w, ok := c.workloads[name]
 	return w, ok
 }
 
 // Workloads returns all running workloads sorted by name.
 func (c *Cluster) Workloads() []*Workload {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]*Workload, 0, len(c.workloads))
 	for _, w := range c.workloads {
 		out = append(out, w)
@@ -371,46 +427,42 @@ func (c *Cluster) Workloads() []*Workload {
 
 // VMs returns all VMs sorted by ID.
 func (c *Cluster) VMs() []*VM {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []*VM
 	for _, n := range c.nodes {
+		n.mu.Lock()
 		for _, vm := range n.vms {
 			out = append(out, vm)
 		}
+		n.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// TenantUsage returns a tenant's current resource consumption.
+// TenantUsage returns a tenant's current resource consumption, including
+// reservations held by in-flight deploys.
 func (c *Cluster) TenantUsage(tenant string) Resources {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.tenantUsed[tenant]
 }
 
 // Counters reports admitted/rejected deployment totals.
 func (c *Cluster) Counters() (admitted, rejected int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.admitted, c.rejected
-}
-
-func (c *Cluster) bumpRejected() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.rejected++
+	return int(c.admitted.Load()), int(c.rejected.Load())
 }
 
 // SharedVMTenants returns, per VM, the set of workload-owning tenants —
 // used by the PEACH-style isolation review: a non-dedicated VM hosting
 // multiple tenants is an isolation risk.
 func (c *Cluster) SharedVMTenants() map[string][]string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make(map[string][]string)
 	for _, n := range c.nodes {
+		n.mu.Lock()
 		for _, vm := range n.vms {
 			seen := map[string]bool{}
 			var tenants []string
@@ -423,6 +475,7 @@ func (c *Cluster) SharedVMTenants() map[string][]string {
 			sort.Strings(tenants)
 			out[vm.ID] = tenants
 		}
+		n.mu.Unlock()
 	}
 	return out
 }

@@ -3,6 +3,8 @@ package orchestrator
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 
 	"genio/internal/container"
@@ -176,26 +178,39 @@ func TestAdmissionChainRejects(t *testing.T) {
 }
 
 func TestAdmissionOrder(t *testing.T) {
+	// Controllers fan out, so all of them run for every deployment; the
+	// verdict is deterministic: the first-registered failure wins.
 	c, _ := testCluster(t, Settings{})
-	var order []string
+	var mu sync.Mutex
+	ran := map[string]int{}
+	mark := func(name string) {
+		mu.Lock()
+		ran[name]++
+		mu.Unlock()
+	}
 	c.RegisterAdmission("first", func(WorkloadSpec, *container.Image) error {
-		order = append(order, "first")
+		mark("first")
 		return nil
 	})
 	c.RegisterAdmission("second", func(WorkloadSpec, *container.Image) error {
-		order = append(order, "second")
+		mark("second")
 		return errors.New("stop here")
 	})
 	c.RegisterAdmission("third", func(WorkloadSpec, *container.Image) error {
-		order = append(order, "third")
-		return nil
+		mark("third")
+		return errors.New("also failing, but registered later")
 	})
 	_, err := c.Deploy("ops", spec("x", "t", "acme/analytics:2.0.1", IsolationSoft))
 	if !errors.Is(err, ErrDenied) {
 		t.Fatalf("err = %v", err)
 	}
-	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
-		t.Fatalf("order = %v", order)
+	if !strings.Contains(err.Error(), "by second") || !strings.Contains(err.Error(), "stop here") {
+		t.Fatalf("verdict should come from the first-registered failure, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran["first"] != 1 || ran["second"] != 1 || ran["third"] != 1 {
+		t.Fatalf("every controller should run exactly once, got %v", ran)
 	}
 }
 

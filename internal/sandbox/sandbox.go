@@ -111,33 +111,47 @@ func (e *Enforcer) SetPolicy(workload string, p Policy) {
 
 // Process runs a full trace through enforcement. Blocked events terminate
 // the trace (the process would be killed), returning the verdicts so far.
+// Policy evaluation holds only the read lock, so concurrent workload
+// streams enforce in parallel; counters are applied in one write at the
+// end of the batch.
 func (e *Enforcer) Process(events []trace.Event) []Verdict {
 	out := make([]Verdict, 0, len(events))
+	var blocked, audited map[string]int
+	e.mu.RLock()
 	for _, ev := range events {
-		v := e.processOne(ev)
-		out = append(out, v)
-		if v.Action == ActionBlock {
+		a := ActionAllow
+		if p, ok := e.policies[ev.Workload]; ok {
+			a = p.Decide(ev)
+		}
+		switch a {
+		case ActionBlock:
+			if blocked == nil {
+				blocked = make(map[string]int)
+			}
+			blocked[ev.Workload]++
+		case ActionAudit:
+			if audited == nil {
+				audited = make(map[string]int)
+			}
+			audited[ev.Workload]++
+		}
+		out = append(out, Verdict{Event: ev, Action: a})
+		if a == ActionBlock {
 			break
 		}
 	}
+	e.mu.RUnlock()
+	if blocked != nil || audited != nil {
+		e.mu.Lock()
+		for w, n := range blocked {
+			e.blocked[w] += n
+		}
+		for w, n := range audited {
+			e.audited[w] += n
+		}
+		e.mu.Unlock()
+	}
 	return out
-}
-
-func (e *Enforcer) processOne(ev trace.Event) Verdict {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	p, ok := e.policies[ev.Workload]
-	if !ok {
-		return Verdict{Event: ev, Action: ActionAllow}
-	}
-	a := p.Decide(ev)
-	switch a {
-	case ActionBlock:
-		e.blocked[ev.Workload]++
-	case ActionAudit:
-		e.audited[ev.Workload]++
-	}
-	return Verdict{Event: ev, Action: a}
 }
 
 // Counts reports blocked/audited totals for a workload.

@@ -1,0 +1,47 @@
+// Package workpool provides the bounded index fan-out shared by the
+// admission chain and batch admission: n independent jobs spread over a
+// fixed pool of workers.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Run invokes fn(i) for every i in [0, n) from a pool of min(workers, n)
+// goroutines; workers <= 0 sizes the pool to GOMAXPROCS. When the pool
+// degenerates to one worker the calls run inline, sequentially, in index
+// order — callers pay nothing for the fan-out machinery.
+func Run(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -1,0 +1,37 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 64} {
+		const n = 40
+		var hits [n]atomic.Int64
+		Run(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	ran := false
+	Run(0, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n=0")
+	}
+}
+
+func TestRunSequentialOrder(t *testing.T) {
+	var order []int
+	Run(5, 1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("single worker must run in index order, got %v", order)
+		}
+	}
+}
