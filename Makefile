@@ -1,7 +1,8 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
+SIM_SEED ?= 7
 
-.PHONY: build test race bench bench-json fmt fmt-check vet ci
+.PHONY: build test race bench bench-json fmt fmt-check vet ci sim examples cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +30,28 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# ci mirrors .github/workflows/ci.yml for local runs.
-ci: build vet fmt-check race
+# sim runs every fault campaign twice and verifies byte-identical replay.
+sim:
+	$(GO) run ./cmd/genio-sim -campaign all -seed $(SIM_SEED) > /tmp/genio-sim-a.json
+	$(GO) run ./cmd/genio-sim -campaign all -seed $(SIM_SEED) > /tmp/genio-sim-b.json
+	cmp /tmp/genio-sim-a.json /tmp/genio-sim-b.json
+	$(GO) run ./cmd/genio-sim -campaign all -seed $(SIM_SEED) -summary
+
+examples:
+	for d in examples/*/; do echo "=== $$d"; $(GO) run "./$$d" || exit 1; done
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseXGEMFrame -fuzztime=15s ./internal/pon/
+	$(GO) test -fuzz=FuzzONUDeliver -fuzztime=15s ./internal/pon/
+	$(GO) test -fuzz=FuzzParseCondition -fuzztime=15s ./internal/falco/
+	$(GO) test -fuzz=FuzzParseRule -fuzztime=15s ./internal/falco/
+
+# ci mirrors the checks job of .github/workflows/ci.yml for local runs
+# (the workflow's separate examples and coverage jobs have their own
+# targets: `make examples`, `make cover`).
+ci: build vet fmt-check race sim fuzz-smoke
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

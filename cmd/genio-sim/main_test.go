@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListCampaigns(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"-list"}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("list: code=%d err=%v", code, err)
+	}
+	for _, want := range []string{"churn", "admission-flood", "failover-storm"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("campaign %s missing from list:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunCampaignJSONReplayable(t *testing.T) {
+	runOnce := func() string {
+		var buf bytes.Buffer
+		code, err := run([]string{"-campaign", "churn", "-seed", "11"}, &buf)
+		if err != nil || code != 0 {
+			t.Fatalf("churn: code=%d err=%v\n%s", code, err, buf.String())
+		}
+		return buf.String()
+	}
+	out1, out2 := runOnce(), runOnce()
+	if out1 != out2 {
+		t.Fatal("same (campaign, seed) produced different reports")
+	}
+	if !strings.Contains(out1, `"passed": true`) {
+		t.Fatalf("campaign failed:\n%s", out1)
+	}
+}
+
+func TestRunAllSummary(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"-campaign", "all", "-summary", "-seed", "2"}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("all: code=%d err=%v\n%s", code, err, buf.String())
+	}
+	if got := strings.Count(buf.String(), "PASS: "); got < 3 {
+		t.Fatalf("want >=3 passing campaigns, got %d:\n%s", got, buf.String())
+	}
+}
+
+func TestUnknownCampaignErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if code, err := run([]string{"-campaign", "bogus"}, &buf); err == nil || code != 2 {
+		t.Fatalf("bogus campaign: code=%d err=%v", code, err)
+	}
+}

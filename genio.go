@@ -68,8 +68,17 @@ const (
 	PONAuthenticated = pon.ModeAuthenticated
 )
 
+// PlatformOption configures a Platform beyond its mitigation Config.
+type PlatformOption = core.Option
+
+// WithClock installs a millisecond time source on the platform (see
+// core.WithClock); simulations use it to make runs replayable.
+func WithClock(now func() int64) PlatformOption { return core.WithClock(now) }
+
 // NewPlatform builds a platform with the given mitigation configuration.
-func NewPlatform(cfg Config) (*Platform, error) { return core.New(cfg) }
+func NewPlatform(cfg Config, opts ...PlatformOption) (*Platform, error) {
+	return core.New(cfg, opts...)
+}
 
 // SecureConfig returns the paper's full security-by-design posture.
 func SecureConfig() Config { return core.SecureConfig() }

@@ -94,6 +94,21 @@ type Incident struct {
 	Workload string `json:"workload,omitempty"`
 	Detail   string `json:"detail"`
 	Blocked  bool   `json:"blocked"` // true if the action was prevented
+	// AtMs is the platform-clock time of the incident (zero unless a
+	// clock is installed with WithClock).
+	AtMs int64 `json:"atMs,omitempty"`
+}
+
+// Option configures a Platform beyond its mitigation Config.
+type Option func(*Platform)
+
+// WithClock installs a millisecond time source on the platform and every
+// subsystem with a time seam: incidents, workload placements, failovers,
+// and falco alerts are stamped with it. Simulations inject a deterministic
+// virtual clock so runs are replayable from a seed; without this option
+// all stamps stay zero and behavior is unchanged.
+func WithClock(now func() int64) Option {
+	return func(p *Platform) { p.now = now }
 }
 
 // EdgeNode is a provisioned OLT edge hub.
@@ -139,6 +154,11 @@ type Platform struct {
 
 	bus *incidentBus
 
+	// now, when non-nil, stamps incidents (set once at construction via
+	// WithClock; read-only afterwards, so concurrent recorders need no
+	// lock).
+	now func() int64
+
 	// Far-edge state (see faredge.go).
 	feMu              sync.Mutex
 	farEdge           map[string]*farEdgeState
@@ -147,7 +167,7 @@ type Platform struct {
 }
 
 // New builds a platform with the given mitigation configuration.
-func New(cfg Config) (*Platform, error) {
+func New(cfg Config, opts ...Option) (*Platform, error) {
 	ca, err := pki.NewCA("genio-root")
 	if err != nil {
 		return nil, fmt.Errorf("platform ca: %w", err)
@@ -175,6 +195,13 @@ func New(cfg Config) (*Platform, error) {
 		bus:      newIncidentBus(),
 	}
 	cluster.RBAC = p.RBAC
+	for _, opt := range opts {
+		opt(p)
+	}
+	if p.now != nil {
+		cluster.SetClock(p.now)
+		p.Detector.SetTimeSource(p.now)
+	}
 	if cfg.AdmissionScanning {
 		p.registerScanners()
 	}
@@ -426,10 +453,15 @@ func (p *Platform) ObserveRuntime(events []trace.Event) int {
 // bus. The platform's own pipeline uses it internally; external detectors
 // integrating with a deployment may feed their findings in the same way.
 func (p *Platform) RecordIncident(i Incident) {
-	p.bus.record(i)
+	p.recordIncident(i)
 }
 
-func (p *Platform) recordIncident(i Incident) { p.bus.record(i) }
+func (p *Platform) recordIncident(i Incident) {
+	if p.now != nil && i.AtMs == 0 {
+		i.AtMs = p.now()
+	}
+	p.bus.record(i)
+}
 
 // Flush blocks until every incident recorded before the call is visible to
 // Incidents and IncidentCounts. Reads from the recording goroutine get
@@ -438,9 +470,12 @@ func (p *Platform) Flush() {
 	p.bus.flush()
 }
 
-// Close drains the incident bus and stops its writer goroutine. The
-// platform remains usable (late incidents are applied synchronously);
-// closing is only required when discarding platforms in bulk.
+// Close drains the incident bus and stops its writer goroutine. It is
+// idempotent and safe to call concurrently (every call blocks until the
+// drain completes), and may interleave freely with Flush and
+// RecordIncident. The platform remains usable (late incidents are applied
+// synchronously); closing is only required when discarding platforms in
+// bulk.
 func (p *Platform) Close() {
 	p.bus.close()
 }

@@ -90,15 +90,16 @@ func (b *incidentBus) flush() {
 	<-token
 }
 
-// close drains the queue and stops the writer goroutine. Idempotent.
+// close drains the queue and stops the writer goroutine. Idempotent and
+// safe to call concurrently: every caller — not just the one that flips
+// the flag — blocks until the drain completes, so no Close returns while
+// queued incidents are still being applied.
 func (b *incidentBus) close() {
 	b.sendMu.Lock()
-	if b.closed {
-		b.sendMu.Unlock()
-		return
+	if !b.closed {
+		b.closed = true
+		close(b.ch)
 	}
-	b.closed = true
-	close(b.ch)
 	b.sendMu.Unlock()
 	<-b.done
 }

@@ -50,6 +50,9 @@ type Alert struct {
 	Priority Priority    `json:"priority"`
 	Event    trace.Event `json:"event"`
 	Output   string      `json:"output"`
+	// AtMs is the engine-clock time of the detection (zero unless a time
+	// source is installed with SetTimeSource).
+	AtMs int64 `json:"atMs,omitempty"`
 }
 
 // Condition evaluates one event in the context of the events seen so far
@@ -83,6 +86,9 @@ type Engine struct {
 	alerts  []Alert
 	// historyLimit bounds per-workload context retention.
 	historyLimit int
+	// now, when set, timestamps alerts (AtMs). Simulations inject a
+	// virtual clock; nil leaves stamps zero.
+	now func() int64
 }
 
 // NewEngine creates an engine with the given rules.
@@ -92,6 +98,13 @@ func NewEngine(rules []Rule) *Engine {
 		history:      make(map[string][]trace.Event),
 		historyLimit: 256,
 	}
+}
+
+// SetTimeSource installs a millisecond time source used to stamp alerts.
+func (e *Engine) SetTimeSource(now func() int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.now = now
 }
 
 // SetExceptions replaces the exceptions of a named rule (tuning).
@@ -117,11 +130,15 @@ func (e *Engine) Consume(ev trace.Event) []Alert {
 // consumeLocked is Consume's body; callers hold e.mu.
 func (e *Engine) consumeLocked(ev trace.Event) []Alert {
 	hist := e.history[ev.Workload]
+	var atMs int64
+	if e.now != nil {
+		atMs = e.now()
+	}
 	var raised []Alert
 	for _, r := range e.rules {
 		if r.Cond(ev, hist) && !r.excepted(ev) {
 			a := Alert{
-				Rule: r.Name, Priority: r.Priority, Event: ev,
+				Rule: r.Name, Priority: r.Priority, Event: ev, AtMs: atMs,
 				Output: fmt.Sprintf("%s: workload=%s process=%s %s=%s",
 					r.Name, ev.Workload, ev.Process, ev.Type, ev.Target),
 			}

@@ -1,0 +1,64 @@
+package falco
+
+import (
+	"testing"
+
+	"genio/internal/trace"
+)
+
+// FuzzParseCondition fuzzes the rule condition language: hostile rule
+// files must never panic the parser, and any condition it accepts must
+// evaluate safely over arbitrary events (rules are operator-supplied
+// text; a crash here would take down detection).
+func FuzzParseCondition(f *testing.F) {
+	seeds := []string{
+		`evt.type = exec and proc.name != runc and evt.target startswith /bin/`,
+		`evt.type = connect and not evt.target endswith .internal:5432`,
+		`evt.type in (file-open, file-write) and evt.target contains /secrets/`,
+		`evt.type = exec and not evt.first_exec and (evt.target endswith /bash or evt.target endswith /sh)`,
+		`not not (workload = "w" or tenant = "t")`,
+		`evt.seq = 3`,
+		`evt.type in (exec)`,
+		`evt.target = "unterminated`,
+		`(((evt.type = exec)))`,
+		`evt.type in (a, b, c,`,
+		`and and and`,
+		`evt.type =`,
+		`"`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	samples := []trace.Event{
+		{},
+		{Seq: 1, Workload: "w", Tenant: "t", Type: trace.EventExec, Process: "runc", Target: "/bin/bash"},
+		{Seq: 2, Workload: "w", Tenant: "t", Type: trace.EventConnect, Target: "db.internal:5432"},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		cond, err := ParseCondition(src)
+		if err != nil {
+			return
+		}
+		// Accepted conditions must be total: no panics on any event, with
+		// or without history.
+		for _, e := range samples {
+			cond(e, nil)
+			cond(e, samples)
+		}
+	})
+}
+
+// FuzzParseRule extends the fuzz surface to full rule construction.
+func FuzzParseRule(f *testing.F) {
+	f.Add("shell", `evt.type = exec`, "/app/")
+	f.Add("x", `evt.first_exec`, "")
+	f.Fuzz(func(t *testing.T, name, cond, exception string) {
+		r, err := ParseRule(name, PriorityWarning, cond, exception)
+		if err != nil {
+			return
+		}
+		e := NewEngine([]Rule{r})
+		e.ConsumeAll(trace.ReverseShellTrace("w", "t"))
+	})
+}

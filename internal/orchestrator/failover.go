@@ -17,6 +17,9 @@ type FailoverResult struct {
 	Node        string   `json:"node"`
 	Rescheduled []string `json:"rescheduled"`
 	Evicted     []string `json:"evicted"` // no capacity left anywhere
+	// AtMs is the cluster-clock time the failure was handled (zero unless
+	// a clock is installed with SetClock).
+	AtMs int64 `json:"atMs,omitempty"`
 }
 
 // FailNode removes a node and reschedules its workloads onto remaining
@@ -42,7 +45,7 @@ func (c *Cluster) FailNode(name string) (*FailoverResult, error) {
 	delete(c.nodes, name)
 	_ = n
 
-	res := &FailoverResult{Node: name}
+	res := &FailoverResult{Node: name, AtMs: c.nowMs()}
 	for _, w := range victims {
 		// Release old accounting; scheduling re-adds on success. The
 		// cluster write lock is already held, so place via scheduleAmong.

@@ -1,6 +1,9 @@
 package orchestrator
 
 import (
+	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"genio/internal/container"
@@ -88,6 +91,133 @@ func TestFailoverPreservesTenantVMSeparation(t *testing.T) {
 				t.Fatal("hard workload landed in shared VM after failover")
 			}
 		}
+	}
+}
+
+// TestFailoverZeroHealthyNodes fails the last node standing: everything
+// is evicted, quota fully released, and the cluster keeps answering
+// (deploys report no capacity rather than wedging).
+func TestFailoverZeroHealthyNodes(t *testing.T) {
+	reg := container.NewRegistry()
+	reg.Push(container.AnalyticsImage(), nil)
+	c := NewCluster("lonely", reg, Settings{})
+	c.AddNode("n1", Resources{CPUMilli: 2000, MemoryMB: 2048})
+	for _, name := range []string{"a", "b"} {
+		if _, err := c.Deploy("ops", spec(name, "t", "acme/analytics:2.0.1", IsolationSoft)); err != nil {
+			t.Fatalf("deploy %s: %v", name, err)
+		}
+	}
+	res, err := c.FailNode("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rescheduled) != 0 || len(res.Evicted) != 2 {
+		t.Fatalf("with no survivors: rescheduled=%v evicted=%v", res.Rescheduled, res.Evicted)
+	}
+	if got := c.Nodes(); len(got) != 0 {
+		t.Fatalf("nodes = %v", got)
+	}
+	if len(c.Workloads()) != 0 {
+		t.Fatalf("workloads survive with zero nodes: %v", c.Workloads())
+	}
+	if use := c.TenantUsage("t"); use.CPUMilli != 0 || use.MemoryMB != 0 {
+		t.Fatalf("quota not released: %+v", use)
+	}
+	if _, err := c.Deploy("ops", spec("c", "t", "acme/analytics:2.0.1", IsolationSoft)); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("deploy on empty cluster: %v", err)
+	}
+}
+
+// TestFailoverSourceAndTargetSimultaneous fails two nodes concurrently —
+// the rescheduling target of the first can be the second to die. The
+// calls serialize on the cluster lock in either order; afterwards no
+// workload may sit on a dead node and accounting must balance.
+func TestFailoverSourceAndTargetSimultaneous(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		reg := container.NewRegistry()
+		reg.Push(container.AnalyticsImage(), nil)
+		c := NewCluster("pair", reg, Settings{})
+		c.AddNode("n1", Resources{CPUMilli: 2000, MemoryMB: 2048})
+		c.AddNode("n2", Resources{CPUMilli: 2000, MemoryMB: 2048})
+		c.AddNode("n3", Resources{CPUMilli: 500, MemoryMB: 512}) // room for one
+		for i := 0; i < 4; i++ {
+			s := spec(fmt.Sprintf("w%d", i), "t", "acme/analytics:2.0.1", IsolationSoft)
+			if _, err := c.Deploy("ops", s); err != nil {
+				t.Fatalf("deploy %d: %v", i, err)
+			}
+		}
+		var wg sync.WaitGroup
+		for _, n := range []string{"n1", "n2"} {
+			wg.Add(1)
+			go func(n string) {
+				defer wg.Done()
+				if _, err := c.FailNode(n); err != nil {
+					t.Errorf("fail %s: %v", n, err)
+				}
+			}(n)
+		}
+		wg.Wait()
+		live := map[string]bool{}
+		for _, n := range c.Nodes() {
+			live[n] = true
+		}
+		if !live["n3"] || len(live) != 1 {
+			t.Fatalf("live nodes = %v", c.Nodes())
+		}
+		var cpu int
+		for _, w := range c.Workloads() {
+			if !live[w.Node] {
+				t.Fatalf("workload %s on dead node %s", w.Spec.Name, w.Node)
+			}
+			cpu += w.Spec.Resources.CPUMilli
+		}
+		// Survivor capacity fits exactly one workload; quota must track
+		// exactly the surviving set.
+		if len(c.Workloads()) > 1 {
+			t.Fatalf("survivor overloaded: %v", c.Workloads())
+		}
+		if use := c.TenantUsage("t"); use.CPUMilli != cpu {
+			t.Fatalf("usage %d != placed %d", use.CPUMilli, cpu)
+		}
+		for _, u := range c.Utilization() {
+			if u.Used.CPUMilli > u.Capacity.CPUMilli || u.Used.CPUMilli < 0 {
+				t.Fatalf("utilization out of bounds: %+v", u)
+			}
+		}
+	}
+}
+
+// TestFailoverReadmissionAfterRecovery evicts under capacity pressure,
+// brings a node back, and re-admits the evicted workload: its name and
+// quota reservation must have been fully released by the eviction.
+func TestFailoverReadmissionAfterRecovery(t *testing.T) {
+	reg := container.NewRegistry()
+	reg.Push(container.AnalyticsImage(), nil)
+	c := NewCluster("recover", reg, Settings{})
+	c.AddNode("n1", Resources{CPUMilli: 500, MemoryMB: 512})
+	c.SetQuota("t", Resources{CPUMilli: 500, MemoryMB: 512})
+	if _, err := c.Deploy("ops", spec("only", "t", "acme/analytics:2.0.1", IsolationSoft)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.FailNode("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) != 1 {
+		t.Fatalf("eviction expected: %+v", res)
+	}
+	// Recovery: the node re-joins (fresh state) and the same workload
+	// name deploys again under the same tight quota.
+	c.AddNode("n1", Resources{CPUMilli: 500, MemoryMB: 512})
+	w, err := c.Deploy("ops", spec("only", "t", "acme/analytics:2.0.1", IsolationSoft))
+	if err != nil {
+		t.Fatalf("re-admission after recovery: %v", err)
+	}
+	if w.Node != "n1" {
+		t.Fatalf("re-admitted to %s", w.Node)
+	}
+	if use := c.TenantUsage("t"); use.CPUMilli != 500 {
+		t.Fatalf("usage after re-admission = %+v", use)
 	}
 }
 

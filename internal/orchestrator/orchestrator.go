@@ -88,6 +88,9 @@ type Workload struct {
 	Image *container.Image `json:"-"`
 	Node  string           `json:"node"`
 	VMID  string           `json:"vmId"`
+	// PlacedAtMs is the cluster-clock timestamp of the placement. Zero
+	// unless a clock is installed with SetClock (simulation, tracing).
+	PlacedAtMs int64 `json:"placedAtMs,omitempty"`
 }
 
 // VM is a virtual machine on a node.
@@ -191,6 +194,11 @@ type Cluster struct {
 	admission []namedAdmission
 	admCache  sync.Map // "controller\x00imageDigest" -> struct{} (clean verdicts only)
 
+	// clock, when set, timestamps placements and failovers. Injected by
+	// simulations (a deterministic virtual clock) and left nil in
+	// production, where timestamps stay zero and JSON output is unchanged.
+	clock atomic.Pointer[func() int64]
+
 	vmSeq    atomic.Int64
 	admitted atomic.Int64
 	rejected atomic.Int64
@@ -216,6 +224,22 @@ func NewCluster(name string, reg *container.Registry, settings Settings) *Cluste
 		quotas:     make(map[string]Resources),
 		tenantUsed: make(map[string]Resources),
 	}
+}
+
+// SetClock installs a millisecond time source used to stamp placements
+// (Workload.PlacedAtMs) and failovers (FailoverResult.AtMs). Simulations
+// inject a virtual clock here so runs are replayable; without a clock the
+// stamps stay zero.
+func (c *Cluster) SetClock(now func() int64) {
+	c.clock.Store(&now)
+}
+
+// nowMs returns the cluster-clock time, or 0 when no clock is installed.
+func (c *Cluster) nowMs() int64 {
+	if f := c.clock.Load(); f != nil {
+		return (*f)()
+	}
+	return 0
 }
 
 // AddNode registers a node with the given capacity.
@@ -349,7 +373,7 @@ func (c *Cluster) scheduleAmong(spec WorkloadSpec, img *container.Image) (*Workl
 		vm.Workloads = append(vm.Workloads, spec.Name)
 		n.used = n.used.add(spec.Resources)
 		n.mu.Unlock()
-		return &Workload{Spec: spec, Image: img, Node: name, VMID: vm.ID}, nil
+		return &Workload{Spec: spec, Image: img, Node: name, VMID: vm.ID, PlacedAtMs: c.nowMs()}, nil
 	}
 	return nil, ErrNoCapacity
 }

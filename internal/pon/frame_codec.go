@@ -1,0 +1,89 @@
+package pon
+
+// Wire codec for XGEM frames: the byte format taps capture and replay
+// tooling (and attacker models crafting InjectDownstream input) use to
+// move frames in and out of the simulator. The encoding is canonical —
+// MarshalBinary(ParseXGEMFrame(b)) == b for every valid b — which is what
+// the fuzz harness in frame_codec_test.go exercises.
+//
+// Layout (big endian):
+//
+//	[0]     version (currently 1)
+//	[1]     flags (bit0: encrypted)
+//	[2:4]   XGEM port
+//	[4:12]  sequence number
+//	[12:16] payload length
+//	[16:]   payload
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Codec limits and layout constants.
+const (
+	frameCodecVersion = 1
+	frameHeaderLen    = 16
+	// MaxFramePayload bounds one XGEM payload; oversized lengths are
+	// rejected before any allocation, so hostile headers cannot balloon
+	// memory.
+	MaxFramePayload = 64 * 1024
+)
+
+// Errors returned by the wire codec.
+var (
+	ErrFrameTooShort   = errors.New("pon: frame shorter than header")
+	ErrFrameVersion    = errors.New("pon: unsupported frame version")
+	ErrFrameFlags      = errors.New("pon: undefined frame flag bits")
+	ErrFrameLength     = errors.New("pon: frame length field mismatch")
+	ErrPayloadTooLarge = errors.New("pon: frame payload exceeds maximum")
+)
+
+// MarshalBinary encodes the frame in the canonical wire format.
+func (f XGEMFrame) MarshalBinary() ([]byte, error) {
+	if len(f.Payload) > MaxFramePayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(f.Payload))
+	}
+	out := make([]byte, frameHeaderLen+len(f.Payload))
+	out[0] = frameCodecVersion
+	if f.Encrypted {
+		out[1] = 1
+	}
+	binary.BigEndian.PutUint16(out[2:4], uint16(f.Port))
+	binary.BigEndian.PutUint64(out[4:12], f.Seq)
+	binary.BigEndian.PutUint32(out[12:16], uint32(len(f.Payload)))
+	copy(out[frameHeaderLen:], f.Payload)
+	return out, nil
+}
+
+// ParseXGEMFrame decodes one frame from the canonical wire format,
+// rejecting truncated input, unknown versions or flags, oversized
+// payloads, length mismatches, and trailing bytes.
+func ParseXGEMFrame(b []byte) (XGEMFrame, error) {
+	if len(b) < frameHeaderLen {
+		return XGEMFrame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooShort, len(b))
+	}
+	if b[0] != frameCodecVersion {
+		return XGEMFrame{}, fmt.Errorf("%w: %d", ErrFrameVersion, b[0])
+	}
+	if b[1]&^1 != 0 {
+		return XGEMFrame{}, fmt.Errorf("%w: %#x", ErrFrameFlags, b[1])
+	}
+	n := binary.BigEndian.Uint32(b[12:16])
+	if n > MaxFramePayload {
+		return XGEMFrame{}, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, n)
+	}
+	if uint32(len(b)-frameHeaderLen) != n {
+		return XGEMFrame{}, fmt.Errorf("%w: header says %d, have %d", ErrFrameLength, n, len(b)-frameHeaderLen)
+	}
+	f := XGEMFrame{
+		Port:      PortID(binary.BigEndian.Uint16(b[2:4])),
+		Seq:       binary.BigEndian.Uint64(b[4:12]),
+		Encrypted: b[1]&1 == 1,
+	}
+	if n > 0 {
+		f.Payload = append([]byte(nil), b[frameHeaderLen:]...)
+	}
+	return f, nil
+}

@@ -1,0 +1,133 @@
+package pon
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFrameCodecRoundTrip(t *testing.T) {
+	frames := []XGEMFrame{
+		{},
+		{Port: 1, Seq: 1, Payload: []byte("hello onu")},
+		{Port: BroadcastPort, Seq: 1<<63 + 7, Encrypted: true, Payload: bytes.Repeat([]byte{0xab}, MaxFramePayload)},
+	}
+	for _, f := range frames {
+		b, err := f.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", f.Port, err)
+		}
+		got, err := ParseXGEMFrame(b)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if got.Port != f.Port || got.Seq != f.Seq || got.Encrypted != f.Encrypted || !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("round trip mutated frame: %+v -> %+v", f, got)
+		}
+	}
+}
+
+func TestFrameCodecRejects(t *testing.T) {
+	valid, err := XGEMFrame{Port: 3, Seq: 9, Payload: []byte("x")}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"short", valid[:10], ErrFrameTooShort},
+		{"version", append([]byte{9}, valid[1:]...), ErrFrameVersion},
+		{"flags", func() []byte { b := append([]byte(nil), valid...); b[1] = 0x82; return b }(), ErrFrameFlags},
+		{"trailing", append(append([]byte(nil), valid...), 'z'), ErrFrameLength},
+		{"truncated-payload", valid[:len(valid)-1], ErrFrameLength},
+		{"huge-length", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[12], b[13], b[14], b[15] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}(), ErrPayloadTooLarge},
+	}
+	for _, c := range cases {
+		if _, err := ParseXGEMFrame(c.b); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestMarshalRejectsOversizedPayload(t *testing.T) {
+	_, err := XGEMFrame{Payload: make([]byte, MaxFramePayload+1)}.MarshalBinary()
+	if !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// FuzzParseXGEMFrame fuzzes the wire parser: it must never panic or
+// over-allocate on hostile input, and every accepted frame must re-encode
+// to exactly the bytes parsed (canonical encoding).
+func FuzzParseXGEMFrame(f *testing.F) {
+	seedFrames := []XGEMFrame{
+		{},
+		{Port: 1, Seq: 42, Payload: []byte("downstream payload")},
+		{Port: BroadcastPort, Seq: 7, Encrypted: true, Payload: []byte{0, 1, 2, 3}},
+	}
+	for _, fr := range seedFrames {
+		b, err := fr.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 0, 1, 0, 0, 0, 0, 0, 0, 0, 9, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := ParseXGEMFrame(b)
+		if err != nil {
+			return
+		}
+		out, err := fr.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, b) {
+			t.Fatalf("encoding not canonical:\n in=%x\nout=%x", b, out)
+		}
+	})
+}
+
+// FuzzONUDeliver fuzzes the downstream delivery path with parsed hostile
+// frames: whatever a physical-layer attacker injects, delivery must not
+// panic and must never accept a frame that fails decryption.
+func FuzzONUDeliver(f *testing.F) {
+	for _, b := range [][]byte{
+		func() []byte {
+			b, _ := XGEMFrame{Port: 1, Seq: 1, Payload: []byte("plain")}.MarshalBinary()
+			return b
+		}(),
+		func() []byte {
+			b, _ := XGEMFrame{Port: 1, Seq: 2, Encrypted: true, Payload: []byte("garbage-ct")}.MarshalBinary()
+			return b
+		}(),
+	} {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := ParseXGEMFrame(b)
+		if err != nil {
+			return
+		}
+		onu := NewONU("fuzz-onu", nil)
+		onu.port = 1
+		var key [32]byte
+		onu.keys.SetKey(1, key)
+		before := len(onu.Received())
+		if err := onu.deliver(fr, ModeEncrypted); err == nil && fr.Port == 1 {
+			// Accepted: must have decrypted under the installed key, which
+			// for fuzz input can only happen via a legitimately sealed
+			// payload — verify it was recorded, not silently dropped.
+			if len(onu.Received()) != before+1 {
+				t.Fatal("accepted frame not recorded")
+			}
+		}
+	})
+}

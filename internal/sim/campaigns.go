@@ -1,0 +1,175 @@
+package sim
+
+// Named campaigns: seeded generators that compose the fault injectors
+// into the dependability scenarios the paper's platform must survive.
+// The structure of a campaign (which faults, in which order, how hard)
+// is itself drawn from the seed, so `-seed N` explores a different but
+// perfectly replayable storm.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"genio/internal/core"
+	"genio/internal/orchestrator"
+)
+
+// Standard shapes used across campaigns.
+var (
+	nodeCapacity = orchestrator.Resources{CPUMilli: 4000, MemoryMB: 8192}
+	smallDemand  = orchestrator.Resources{CPUMilli: 500, MemoryMB: 512}
+	largeDemand  = orchestrator.Resources{CPUMilli: 1500, MemoryMB: 2048}
+)
+
+// allImageRefs is the flood mix: clean, vulnerable, malicious, unsigned.
+var allImageRefs = []string{
+	CleanImageRef, SASTFlaggedImageRef, VulnImageRef, MalwareImageRef, UnsignedImageRef,
+}
+
+// CampaignFunc builds a scenario from a seed.
+type CampaignFunc func(seed int64) Scenario
+
+var campaigns = map[string]CampaignFunc{
+	"churn":           ChurnCampaign,
+	"admission-flood": AdmissionFloodCampaign,
+	"failover-storm":  FailoverStormCampaign,
+	"incident-storm":  IncidentStormCampaign,
+}
+
+// CampaignNames lists the registered campaigns, sorted.
+func CampaignNames() []string {
+	out := make([]string, 0, len(campaigns))
+	for n := range campaigns {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewCampaign builds the named campaign for a seed.
+func NewCampaign(name string, seed int64) (Scenario, error) {
+	f, ok := campaigns[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("sim: unknown campaign %q (have %v)", name, CampaignNames())
+	}
+	return f(seed), nil
+}
+
+// ChurnCampaign models fleet churn: nodes joining and crashing while
+// tenant deploys, far-edge onboarding, and scale-downs keep arriving.
+func ChurnCampaign(seed int64) Scenario {
+	r := rand.New(rand.NewSource(seed))
+	steps := []Step{
+		SetQuota("acme", orchestrator.Resources{CPUMilli: 8000, MemoryMB: 16384}),
+		JoinNode(nodeCapacity),
+		JoinNode(nodeCapacity),
+		JoinNode(nodeCapacity),
+		Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+		Deploy("acme", SASTFlaggedImageRef, orchestrator.IsolationHard, smallDemand),
+		ONUChurn(3),
+	}
+	for i := 0; i < 14; i++ {
+		switch r.Intn(6) {
+		case 0:
+			steps = append(steps, JoinNode(nodeCapacity))
+		case 1:
+			steps = append(steps, CrashRandomNode())
+		case 2:
+			steps = append(steps, Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand))
+		case 3:
+			steps = append(steps, ONUChurn(1+r.Intn(3)))
+		case 4:
+			steps = append(steps, StopWorkload())
+		default:
+			steps = append(steps, AdvanceClock(250))
+		}
+	}
+	steps = append(steps, IncidentStorm(6, 0.3, "acme"))
+	return Scenario{Name: "churn", Seed: seed, Config: core.SecureConfig(), Steps: steps}
+}
+
+// AdmissionFloodCampaign models bursty CI traffic pushing clean,
+// vulnerable, malicious, and unsigned images through admission — with a
+// mid-flood scanner slowdown and a registry signature compromise.
+func AdmissionFloodCampaign(seed int64) Scenario {
+	r := rand.New(rand.NewSource(seed))
+	steps := []Step{
+		JoinNode(orchestrator.Resources{CPUMilli: 16000, MemoryMB: 32768}),
+		JoinNode(orchestrator.Resources{CPUMilli: 16000, MemoryMB: 32768}),
+		SetQuota("acme", orchestrator.Resources{CPUMilli: 12000, MemoryMB: 24576}),
+		SetQuota("burst", orchestrator.Resources{CPUMilli: 2000, MemoryMB: 2048}),
+		AdmissionFlood(15+r.Intn(10), "acme", smallDemand, allImageRefs...),
+		ScannerSlowdown(50),
+		AdmissionFlood(10+r.Intn(10), "burst", smallDemand, allImageRefs...),
+		TamperSignature(CleanImageRef),
+		Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+		RestoreSignature(CleanImageRef),
+		Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+		AdmissionFlood(10, "acme", smallDemand, CleanImageRef, SASTFlaggedImageRef),
+	}
+	return Scenario{Name: "admission-flood", Seed: seed, Config: core.SecureConfig(), Steps: steps}
+}
+
+// FailoverStormCampaign models a failover cascade: a well-packed fleet
+// loses most of its nodes one after another (rescheduling until capacity
+// runs out and evictions begin), then recovers and re-admits.
+func FailoverStormCampaign(seed int64) Scenario {
+	r := rand.New(rand.NewSource(seed))
+	steps := []Step{
+		SetQuota("acme", orchestrator.Resources{CPUMilli: 20000, MemoryMB: 40960}),
+	}
+	for i := 0; i < 5; i++ {
+		steps = append(steps, JoinNode(nodeCapacity))
+	}
+	for i := 0; i < 8; i++ {
+		iso := orchestrator.IsolationSoft
+		if r.Intn(3) == 0 {
+			iso = orchestrator.IsolationHard
+		}
+		steps = append(steps, Deploy("acme", CleanImageRef, iso, largeDemand))
+	}
+	// The storm: crash nodes back to back, with traffic still arriving —
+	// admissible images contend for the shrinking capacity, flagged ones
+	// keep the gates busy.
+	for i := 0; i < 4; i++ {
+		ref := CleanImageRef
+		if i%2 == 1 {
+			ref = SASTFlaggedImageRef
+		}
+		steps = append(steps,
+			CrashRandomNode(),
+			Deploy("acme", ref, orchestrator.IsolationSoft, smallDemand),
+		)
+	}
+	steps = append(steps,
+		IncidentStorm(4, 0.5, "acme"),
+		// Recovery: fresh nodes join and evicted demand is re-admitted.
+		JoinNode(nodeCapacity),
+		JoinNode(nodeCapacity),
+		Deploy("acme", CleanImageRef, orchestrator.IsolationHard, largeDemand),
+		Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+		ONUChurn(2),
+	)
+	return Scenario{Name: "failover-storm", Seed: seed, Config: core.SecureConfig(), Steps: steps}
+}
+
+// IncidentStormCampaign models runtime threat pressure: waves of mixed
+// benign/malicious traces with a rising attack ratio, through sandbox
+// enforcement and falco detection.
+func IncidentStormCampaign(seed int64) Scenario {
+	steps := []Step{
+		JoinNode(nodeCapacity),
+		JoinNode(nodeCapacity),
+		Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+		Deploy("acme", SASTFlaggedImageRef, orchestrator.IsolationSoft, smallDemand),
+		Deploy("rival", CleanImageRef, orchestrator.IsolationHard, smallDemand),
+	}
+	for wave := 0; wave < 5; wave++ {
+		steps = append(steps,
+			IncidentStorm(8, 0.15*float64(wave+1), "acme"),
+			AdvanceClock(500),
+		)
+	}
+	return Scenario{Name: "incident-storm", Seed: seed, Config: core.SecureConfig(), Steps: steps}
+}

@@ -1,0 +1,263 @@
+package sim
+
+// Composable fault injectors: each constructor returns a Step that drives
+// one fault (or one piece of legitimate traffic) into the platform. A
+// campaign is just a sequence of these; anything a step observes goes
+// into the report verbatim, and the invariant checkers run after every
+// step regardless of outcome.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"genio/internal/container"
+	"genio/internal/orchestrator"
+	"genio/internal/trace"
+)
+
+// JoinNode provisions a fresh edge node (name from the world's
+// deterministic sequence) through the full M1–M9 pipeline.
+func JoinNode(capacity orchestrator.Resources) Step {
+	return Step{Name: "node-join", Run: func(w *World) Outcome {
+		name := w.NextNodeName()
+		if _, err := w.Platform.AddEdgeNode(name, capacity); err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("join %s: %v", name, err)}
+		}
+		w.Live[name] = true
+		return okf("node %s joined (cpu=%dm mem=%dMB)", name, capacity.CPUMilli, capacity.MemoryMB)
+	}}
+}
+
+// CrashNode fails a named node: workloads are rescheduled onto survivors
+// or evicted, per the orchestrator's failover path.
+func CrashNode(name string) Step {
+	return Step{Name: "node-crash", Run: func(w *World) Outcome {
+		return crash(w, name)
+	}}
+}
+
+// CrashRandomNode fails a random live node (no-op outcome when none are
+// left — a valid state during failover storms).
+func CrashRandomNode() Step {
+	return Step{Name: "node-crash-random", Run: func(w *World) Outcome {
+		live := w.LiveNodes()
+		if len(live) == 0 {
+			return okf("no live nodes to crash")
+		}
+		return crash(w, live[w.Rand.Intn(len(live))])
+	}}
+}
+
+func crash(w *World, name string) Outcome {
+	res, err := w.Platform.Cluster.FailNode(name)
+	if err != nil {
+		return Outcome{Status: "error", Detail: fmt.Sprintf("crash %s: %v", name, err)}
+	}
+	delete(w.Live, name)
+	return Outcome{Status: "failed-over", Detail: fmt.Sprintf(
+		"node %s down: %d rescheduled, %d evicted", name, len(res.Rescheduled), len(res.Evicted))}
+}
+
+// Deploy submits one workload (auto-named) through the full admission
+// pipeline and records its verdict for the determinism invariant.
+func Deploy(tenant, ref string, iso orchestrator.IsolationMode, res orchestrator.Resources) Step {
+	return Step{Name: "deploy", Run: func(w *World) Outcome {
+		return deployOne(w, orchestrator.WorkloadSpec{
+			Name: w.NextWorkloadName(), Tenant: tenant, ImageRef: ref,
+			Isolation: iso, Resources: res,
+		})
+	}}
+}
+
+func deployOne(w *World, spec orchestrator.WorkloadSpec) Outcome {
+	_, err := w.Platform.Deploy(Subject, spec)
+	status, class, contentDetermined := classifyDeploy(err)
+	if contentDetermined {
+		w.recordVerdict(spec.ImageRef, class)
+	}
+	if err != nil {
+		return Outcome{Status: status, Detail: fmt.Sprintf("%s (%s): %v", spec.Name, spec.ImageRef, err)}
+	}
+	return Outcome{Status: status, Detail: fmt.Sprintf("%s (%s) placed", spec.Name, spec.ImageRef)}
+}
+
+// classifyDeploy maps a Deploy error to a report status and, for verdicts
+// that depend only on image content (admission chain, signature
+// verification), a class string for the determinism invariant.
+// Spec-dependent rejections — quota, capacity, duplicate name, RBAC — are
+// legitimate sources of divergence between deploys of the same image, so
+// they do not participate.
+func classifyDeploy(err error) (status, class string, contentDetermined bool) {
+	switch {
+	case err == nil:
+		return "admitted", "admitted", true
+	case errors.Is(err, orchestrator.ErrDenied):
+		return "denied", err.Error(), true
+	case errors.Is(err, container.ErrUnsigned), errors.Is(err, container.ErrBadSignature),
+		errors.Is(err, container.ErrNotFound):
+		return "pull-failed", err.Error(), true
+	case errors.Is(err, orchestrator.ErrQuotaExceeded):
+		return "quota-exceeded", "", false
+	case errors.Is(err, orchestrator.ErrNoCapacity):
+		return "no-capacity", "", false
+	case errors.Is(err, orchestrator.ErrDuplicateName):
+		return "duplicate", "", false
+	case errors.Is(err, orchestrator.ErrUnauthorized):
+		return "unauthorized", "", false
+	default:
+		return "error", "", false
+	}
+}
+
+// AdmissionFlood fires n auto-named deployments drawn randomly from refs,
+// modelling a burst of tenant CI traffic (including hostile images).
+func AdmissionFlood(n int, tenant string, res orchestrator.Resources, refs ...string) Step {
+	return Step{Name: "admission-flood", Run: func(w *World) Outcome {
+		counts := map[string]int{}
+		for i := 0; i < n; i++ {
+			out := deployOne(w, orchestrator.WorkloadSpec{
+				Name: w.NextWorkloadName(), Tenant: tenant,
+				ImageRef:  refs[w.Rand.Intn(len(refs))],
+				Isolation: orchestrator.IsolationSoft, Resources: res,
+			})
+			counts[out.Status]++
+		}
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		detail := fmt.Sprintf("%d deploys:", n)
+		for _, k := range keys {
+			detail += fmt.Sprintf(" %s=%d", k, counts[k])
+		}
+		return okf("%s", detail)
+	}}
+}
+
+// TamperSignature re-pushes an image with a forged signature, modelling a
+// registry compromise: subsequent verified pulls of the ref must fail.
+func TamperSignature(ref string) Step {
+	return Step{Name: "registry-tamper", Run: func(w *World) Outcome {
+		img, err := w.Platform.Registry.Pull(ref)
+		if err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("tamper %s: %v", ref, err)}
+		}
+		forged := container.Signature{Publisher: PublisherName, Digest: img.Digest(), Sig: []byte("forged")}
+		w.Platform.Registry.Push(img, &forged)
+		// The image's content-determined verdict legitimately changes when
+		// its registry entry is tampered with; reset the baseline.
+		delete(w.verdicts, ref)
+		return okf("signature on %s forged", ref)
+	}}
+}
+
+// RestoreSignature re-signs a (previously tampered) ref with the trusted
+// simulation publisher, modelling registry recovery.
+func RestoreSignature(ref string) Step {
+	return Step{Name: "registry-restore", Run: func(w *World) Outcome {
+		img, err := w.Platform.Registry.Pull(ref)
+		if err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("restore %s: %v", ref, err)}
+		}
+		if w.publisher == nil {
+			return Outcome{Status: "error", Detail: "no simulation publisher"}
+		}
+		sig := w.publisher.Sign(img)
+		w.Platform.Registry.Push(img, &sig)
+		delete(w.verdicts, ref)
+		return okf("signature on %s restored", ref)
+	}}
+}
+
+// ScannerSlowdown registers an extra admission controller that consumes
+// delayMs of virtual time on every deployment, modelling a degraded
+// scanner backend. The delay is visible in placement and incident
+// timestamps; verdicts are unaffected.
+func ScannerSlowdown(delayMs int64) Step {
+	return Step{Name: "scanner-slowdown", Run: func(w *World) Outcome {
+		clk := w.Clock
+		w.Platform.Cluster.RegisterAdmission("sim-slow-scanner", func(orchestrator.WorkloadSpec, *container.Image) error {
+			clk.Advance(delayMs)
+			return nil
+		})
+		return okf("admission now costs +%dms per deploy", delayMs)
+	}}
+}
+
+// IncidentStorm replays a bursty mixed benign/malicious event stream over
+// the currently deployed workloads through sandbox enforcement and falco
+// detection.
+func IncidentStorm(bursts int, attackRatio float64, tenant string) Step {
+	return Step{Name: "incident-storm", Run: func(w *World) Outcome {
+		workloads := w.DeployedWorkloads()
+		if len(workloads) == 0 {
+			return okf("no workloads to storm")
+		}
+		events, malicious := trace.RandomStorm(w.Rand, workloads, tenant, bursts, attackRatio)
+		executed := w.Platform.ObserveRuntime(events)
+		w.Clock.Advance(int64(len(events))) // 1ms of virtual time per event
+		return okf("%d bursts (%d malicious), %d/%d events executed",
+			bursts, malicious, executed, len(events))
+	}}
+}
+
+// ONUChurn activates count far-edge ONUs on a random live node and
+// rotates the PON keys afterwards, exercising M3/M4 under fleet churn.
+func ONUChurn(count int) Step {
+	return Step{Name: "onu-churn", Run: func(w *World) Outcome {
+		live := w.LiveNodes()
+		if len(live) == 0 {
+			return okf("no live nodes for onu churn")
+		}
+		node := live[w.Rand.Intn(len(live))]
+		attached := 0
+		for i := 0; i < count; i++ {
+			if _, err := w.Platform.AttachONU(node, w.NextONUSerial()); err != nil {
+				return Outcome{Status: "error", Detail: fmt.Sprintf("attach on %s: %v", node, err)}
+			}
+			attached++
+		}
+		n, err := w.Platform.Node(node)
+		if err != nil {
+			return Outcome{Status: "error", Detail: err.Error()}
+		}
+		if err := n.OLT.RotateKeys(); err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("rotate on %s: %v", node, err)}
+		}
+		return okf("%d onus attached to %s, keys rotated", attached, node)
+	}}
+}
+
+// SetQuota pins a tenant quota (and registers it with the
+// oversubscription invariant).
+func SetQuota(tenant string, q orchestrator.Resources) Step {
+	return Step{Name: "set-quota", Run: func(w *World) Outcome {
+		w.Platform.Cluster.SetQuota(tenant, q)
+		w.Quotas[tenant] = q
+		return okf("quota %s = cpu %dm, mem %dMB", tenant, q.CPUMilli, q.MemoryMB)
+	}}
+}
+
+// StopWorkload stops a random running workload (tenant scale-down).
+func StopWorkload() Step {
+	return Step{Name: "workload-stop", Run: func(w *World) Outcome {
+		names := w.DeployedWorkloads()
+		if len(names) == 0 {
+			return okf("no workloads to stop")
+		}
+		name := names[w.Rand.Intn(len(names))]
+		if err := w.Platform.Cluster.Stop(name); err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("stop %s: %v", name, err)}
+		}
+		return okf("workload %s stopped", name)
+	}}
+}
+
+// AdvanceClock moves virtual time forward (quiet period).
+func AdvanceClock(ms int64) Step {
+	return Step{Name: "clock-advance", Run: func(w *World) Outcome {
+		return okf("t=%dms", w.Clock.Advance(ms))
+	}}
+}

@@ -1,0 +1,128 @@
+package sim
+
+// Invariant checkers run after every step, whatever the step did — that
+// is the point of the harness: fault handling must keep the platform's
+// dependability properties at every intermediate state, not just at the
+// end of a campaign.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Invariant is one property checked against the world after each step.
+// Check returns a description per violation found (empty = holds).
+type Invariant struct {
+	Name  string
+	Check func(w *World) []string
+}
+
+// DefaultInvariants returns the stock checker set.
+func DefaultInvariants() []Invariant {
+	return []Invariant{
+		NoQuotaOversubscription(),
+		NoDeadNodePlacement(),
+		NoCapacityOversubscription(),
+		IncidentCountsMonotone(),
+		AdmissionDeterminism(),
+	}
+}
+
+// NoQuotaOversubscription: a tenant's reported usage never exceeds an
+// explicitly-set quota, whatever storm of concurrent or failed deploys
+// ran.
+func NoQuotaOversubscription() Invariant {
+	return Invariant{Name: "no-quota-oversubscription", Check: func(w *World) []string {
+		var out []string
+		tenants := make([]string, 0, len(w.Quotas))
+		for t := range w.Quotas {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		for _, t := range tenants {
+			q := w.Quotas[t]
+			if q.CPUMilli <= 0 && q.MemoryMB <= 0 {
+				continue
+			}
+			use := w.Platform.Cluster.TenantUsage(t)
+			if use.CPUMilli > q.CPUMilli || use.MemoryMB > q.MemoryMB {
+				out = append(out, fmt.Sprintf(
+					"tenant %s uses cpu=%dm mem=%dMB over quota cpu=%dm mem=%dMB",
+					t, use.CPUMilli, use.MemoryMB, q.CPUMilli, q.MemoryMB))
+			}
+		}
+		return out
+	}}
+}
+
+// NoDeadNodePlacement: every running workload sits on a node both the
+// cluster and the scenario script agree is alive — the two live sets
+// must be equal, in both directions.
+func NoDeadNodePlacement() Invariant {
+	return Invariant{Name: "no-dead-node-placement", Check: func(w *World) []string {
+		var out []string
+		clusterLive := map[string]bool{}
+		for _, n := range w.Platform.Cluster.Nodes() {
+			clusterLive[n] = true
+			if !w.Live[n] {
+				out = append(out, fmt.Sprintf("cluster reports node %s alive; script crashed it", n))
+			}
+		}
+		for _, n := range w.LiveNodes() {
+			if !clusterLive[n] {
+				out = append(out, fmt.Sprintf("cluster lost node %s the script considers alive", n))
+			}
+		}
+		for _, wl := range w.Platform.Cluster.Workloads() {
+			if !clusterLive[wl.Node] {
+				out = append(out, fmt.Sprintf("workload %s placed on dead node %s", wl.Spec.Name, wl.Node))
+			}
+		}
+		return out
+	}}
+}
+
+// NoCapacityOversubscription: no node's accounted usage exceeds its
+// capacity after any sequence of placements, failovers, and stops.
+func NoCapacityOversubscription() Invariant {
+	return Invariant{Name: "no-capacity-oversubscription", Check: func(w *World) []string {
+		var out []string
+		for _, u := range w.Platform.Cluster.Utilization() {
+			if u.Used.CPUMilli > u.Capacity.CPUMilli || u.Used.MemoryMB > u.Capacity.MemoryMB {
+				out = append(out, fmt.Sprintf(
+					"node %s used cpu=%dm mem=%dMB over capacity cpu=%dm mem=%dMB",
+					u.Node, u.Used.CPUMilli, u.Used.MemoryMB, u.Capacity.CPUMilli, u.Capacity.MemoryMB))
+			}
+			if u.Used.CPUMilli < 0 || u.Used.MemoryMB < 0 {
+				out = append(out, fmt.Sprintf("node %s usage went negative: %+v", u.Node, u.Used))
+			}
+		}
+		return out
+	}}
+}
+
+// IncidentCountsMonotone: the incident log only grows — no fault path may
+// lose or rewrite recorded security history.
+func IncidentCountsMonotone() Invariant {
+	return Invariant{Name: "incident-counts-monotone", Check: func(w *World) []string {
+		w.Platform.Flush()
+		total := len(w.Platform.Incidents())
+		if total < w.incidentTotal {
+			return []string{fmt.Sprintf("incident count shrank: %d -> %d", w.incidentTotal, total)}
+		}
+		w.incidentTotal = total
+		return nil
+	}}
+}
+
+// AdmissionDeterminism: deploys of the same image ref always produce the
+// same content-determined verdict (admission chain and signature checks),
+// whatever the parallelism or cache state. The deploy injectors record
+// verdicts; this invariant surfaces any flip they observed.
+func AdmissionDeterminism() Invariant {
+	return Invariant{Name: "admission-determinism", Check: func(w *World) []string {
+		out := w.violations
+		w.violations = nil
+		return out
+	}}
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"genio/internal/container"
+	"genio/internal/core"
+	"genio/internal/orchestrator"
+)
+
+// Scenario is a named, fully scripted fault campaign: a platform posture
+// plus an ordered list of steps. Scenarios are built by the campaign
+// generators in campaigns.go from a seed, so (seed, name) replays the
+// identical run — steps, verdicts, timeline and all.
+type Scenario struct {
+	Name   string
+	Seed   int64
+	Config core.Config
+	Steps  []Step
+}
+
+// Step is one scripted action against the world.
+type Step struct {
+	Name string
+	Run  Action
+}
+
+// Action mutates the world and reports what happened. Returning an
+// Outcome rather than an error keeps faults first-class: a rejected
+// deployment or a failed node is an expected observation, not a test
+// failure — only invariant violations fail a run.
+type Action func(w *World) Outcome
+
+// Outcome is a step's observable result, recorded verbatim in the report.
+type Outcome struct {
+	Status string // ok | admitted | denied | evicted | error | ...
+	Detail string
+}
+
+func okf(format string, args ...any) Outcome {
+	return Outcome{Status: "ok", Detail: fmt.Sprintf(format, args...)}
+}
+
+// World is the mutable state steps act on: the real platform under test
+// plus the simulator's own book-keeping, which the invariant checkers
+// compare against the platform's reported state after every step.
+type World struct {
+	Platform *core.Platform
+	Clock    *Clock
+	Rand     *rand.Rand
+
+	// Live is the scripted expectation of which edge nodes are up.
+	Live map[string]bool
+	// Quotas mirrors explicitly-set tenant quotas for the
+	// oversubscription invariant.
+	Quotas map[string]orchestrator.Resources
+	// verdicts maps image ref -> first observed admission verdict class,
+	// for the determinism invariant.
+	verdicts map[string]string
+	// violations accumulates determinism violations detected inside
+	// steps; the admission-determinism invariant drains it.
+	violations []string
+	// incidentTotal is the last observed incident count (monotonicity).
+	incidentTotal int
+	// publisher signs images pushed by registry-recovery injectors.
+	publisher *container.Publisher
+
+	nodeSeq int
+	wlSeq   int
+	onuSeq  int
+}
+
+// NextNodeName returns a fresh deterministic node name.
+func (w *World) NextNodeName() string {
+	w.nodeSeq++
+	return fmt.Sprintf("olt-%03d", w.nodeSeq)
+}
+
+// NextWorkloadName returns a fresh deterministic workload name.
+func (w *World) NextWorkloadName() string {
+	w.wlSeq++
+	return fmt.Sprintf("wl-%03d", w.wlSeq)
+}
+
+// NextONUSerial returns a fresh deterministic ONU serial.
+func (w *World) NextONUSerial() string {
+	w.onuSeq++
+	return fmt.Sprintf("onu-%04d", w.onuSeq)
+}
+
+// LiveNodes returns the scripted live-node set, sorted for deterministic
+// random choice.
+func (w *World) LiveNodes() []string {
+	out := make([]string, 0, len(w.Live))
+	for n, up := range w.Live {
+		if up {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeployedWorkloads returns the names of currently running workloads,
+// sorted.
+func (w *World) DeployedWorkloads() []string {
+	ws := w.Platform.Cluster.Workloads()
+	out := make([]string, 0, len(ws))
+	for _, wl := range ws {
+		out = append(out, wl.Spec.Name)
+	}
+	return out
+}
+
+// recordVerdict checks an admission verdict class against the first one
+// seen for the ref. Only content-determined classes participate —
+// spec-dependent rejections (quota, capacity, duplicate names, RBAC) are
+// excluded by the caller.
+func (w *World) recordVerdict(ref, class string) {
+	if prev, ok := w.verdicts[ref]; ok {
+		if prev != class {
+			w.violations = append(w.violations,
+				fmt.Sprintf("image %s verdict flipped: %q then %q", ref, prev, class))
+		}
+		return
+	}
+	w.verdicts[ref] = class
+}

@@ -1,0 +1,90 @@
+package trace
+
+// Seeded randomized trace generation: the simulation engine (internal/sim)
+// drives incident storms and bursty tenant traffic through these
+// generators. All randomness comes from the caller's *rand.Rand, so a
+// trace — and therefore every alert and incident it causes downstream —
+// is fully determined by (seed, arguments).
+
+import "math/rand"
+
+// AttackKind names one of the scripted malicious traces.
+type AttackKind int
+
+// Attack kinds, in the order RandomAttackTrace draws them.
+const (
+	AttackContainerEscape AttackKind = iota
+	AttackReverseShell
+	AttackCryptominer
+	AttackDataExfiltration
+	attackKindCount
+)
+
+// String names the attack kind.
+func (k AttackKind) String() string {
+	switch k {
+	case AttackContainerEscape:
+		return "container-escape"
+	case AttackReverseShell:
+		return "reverse-shell"
+	case AttackCryptominer:
+		return "cryptominer"
+	case AttackDataExfiltration:
+		return "data-exfiltration"
+	default:
+		return "attack(?)"
+	}
+}
+
+// AttackTrace returns the scripted trace for a kind.
+func AttackTrace(k AttackKind, workload, tenant string) []Event {
+	switch k {
+	case AttackContainerEscape:
+		return ContainerEscapeTrace(workload, tenant)
+	case AttackReverseShell:
+		return ReverseShellTrace(workload, tenant)
+	case AttackCryptominer:
+		return CryptominerTrace(workload, tenant)
+	default:
+		return DataExfiltrationTrace(workload, tenant)
+	}
+}
+
+// RandomAttackTrace draws one of the malicious traces uniformly.
+func RandomAttackTrace(r *rand.Rand, workload, tenant string) (AttackKind, []Event) {
+	k := AttackKind(r.Intn(int(attackKindCount)))
+	return k, AttackTrace(k, workload, tenant)
+}
+
+// RandomBenignTrace draws a benign workload trace: a web trace or a batch
+// trace, with a request/iteration count in [1, maxOps].
+func RandomBenignTrace(r *rand.Rand, workload, tenant string, maxOps int) []Event {
+	if maxOps < 1 {
+		maxOps = 1
+	}
+	ops := 1 + r.Intn(maxOps)
+	if r.Intn(2) == 0 {
+		return BenignWebTrace(workload, tenant, ops)
+	}
+	return BenignBatchTrace(workload, tenant, ops)
+}
+
+// RandomStorm generates a bursty mixed stream across the given workloads:
+// each burst picks a workload and, with the given attack ratio (0..1),
+// either a malicious or a benign trace. It returns the concatenated
+// event stream and how many bursts were malicious.
+func RandomStorm(r *rand.Rand, workloads []string, tenant string, bursts int, attackRatio float64) ([]Event, int) {
+	var out []Event
+	malicious := 0
+	for i := 0; i < bursts && len(workloads) > 0; i++ {
+		w := workloads[r.Intn(len(workloads))]
+		if r.Float64() < attackRatio {
+			_, evs := RandomAttackTrace(r, w, tenant)
+			out = append(out, evs...)
+			malicious++
+		} else {
+			out = append(out, RandomBenignTrace(r, w, tenant, 8)...)
+		}
+	}
+	return out, malicious
+}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestRandomStormDeterministic(t *testing.T) {
+	gen := func() ([]Event, int) {
+		r := rand.New(rand.NewSource(42))
+		return RandomStorm(r, []string{"w1", "w2", "w3"}, "acme", 20, 0.3)
+	}
+	e1, m1 := gen()
+	e2, m2 := gen()
+	if m1 != m2 || !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("same seed produced different storms: %d vs %d malicious", m1, m2)
+	}
+	if len(e1) == 0 {
+		t.Fatal("empty storm")
+	}
+}
+
+func TestRandomAttackTraceCoversKinds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	seen := map[AttackKind]bool{}
+	for i := 0; i < 200; i++ {
+		k, evs := RandomAttackTrace(r, "w", "t")
+		if len(evs) == 0 {
+			t.Fatalf("kind %s produced empty trace", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != int(attackKindCount) {
+		t.Fatalf("only saw kinds %v", seen)
+	}
+}
+
+func TestRandomBenignTraceBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		evs := RandomBenignTrace(r, "w", "t", 0) // maxOps clamped to 1
+		if len(evs) == 0 {
+			t.Fatal("empty benign trace")
+		}
+	}
+}
