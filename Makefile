@@ -1,8 +1,15 @@
 GO ?= go
 DATE := $(shell date +%Y%m%d)
 SIM_SEED ?= 7
+# GO_TAGS vets/builds alternative tag sets when the repo grows any.
+GO_TAGS ?=
+# Benchmarks gated against the committed BENCH_*.json baseline and the
+# allowed ns/op regression (percent).
+BENCH_GATE ?= EventSpine|IncidentFanIn|IncidentStorm|DeployParallel|DeploySequentialAdmission|DeployBatch
+BENCH_THRESHOLD ?= 25
+BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: build test race bench bench-json fmt fmt-check vet ci sim examples cover fuzz-smoke
+.PHONY: build test race bench bench-json bench-diff fmt fmt-check vet staticcheck ci sim examples cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +28,16 @@ bench:
 bench-json:
 	$(GO) test -bench=. -benchmem -run='^$$' -json . > BENCH_$(DATE).json
 
+# bench-diff is the regression gate: rerun the gated benchmarks and
+# compare ns/op against the newest committed baseline (>25% fails).
+bench-diff:
+	@test -n "$(BENCH_BASELINE)" || { echo "no BENCH_*.json baseline committed"; exit 2; }
+	@new="$$(mktemp -t genio-bench-new.XXXXXX)"; \
+	$(GO) test -bench='$(BENCH_GATE)' -benchmem -run='^$$' -count=2 -json . > "$$new" && \
+	$(GO) run ./cmd/genio-benchdiff -baseline $(BENCH_BASELINE) -new "$$new" \
+		-match '$(BENCH_GATE)' -threshold $(BENCH_THRESHOLD); \
+	rc=$$?; rm -f "$$new"; exit $$rc
+
 fmt:
 	gofmt -l -w .
 
@@ -28,7 +45,16 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
-	$(GO) vet ./...
+	$(GO) vet -tags '$(GO_TAGS)' ./...
+
+# staticcheck runs when the binary is installed (CI installs it; local
+# runs skip gracefully so the toolchain stays dependency-free).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 # sim runs every fault campaign twice and verifies byte-identical replay.
 sim:
@@ -51,7 +77,8 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseRule -fuzztime=15s ./internal/falco/
 
 # ci mirrors the checks job of .github/workflows/ci.yml for local runs
-# (the workflow's separate examples and coverage jobs have their own
-# targets: `make examples`, `make cover`).
-ci: build vet fmt-check race sim fuzz-smoke
+# (the workflow's separate examples, coverage, and bench-regression jobs
+# have their own targets: `make examples`, `make cover`, `make
+# bench-diff`).
+ci: build vet staticcheck fmt-check race sim fuzz-smoke
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

@@ -1,0 +1,167 @@
+// Command genio-benchdiff compares two `go test -bench -json` outputs
+// (test2json streams, as produced by `make bench-json`) and fails when a
+// benchmark regressed beyond a threshold — the CI guardrail keeping the
+// spine and deploy hot paths honest against the committed BENCH_*.json
+// baseline.
+//
+// Usage:
+//
+//	genio-benchdiff -baseline BENCH_20260727.json -new bench-new.json \
+//	    -match 'EventSpine|Deploy|Incident' -threshold 25
+//
+// Benchmarks present in only one file are reported but never fail the
+// run (new benchmarks land without a baseline; retired ones leave one
+// behind). Exit status: 0 ok, 1 regression, 2 usage/parse error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genio-benchdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("genio-benchdiff", flag.ContinueOnError)
+	fs.SetOutput(out)
+	baseline := fs.String("baseline", "", "baseline bench JSON (test2json stream)")
+	fresh := fs.String("new", "", "new bench JSON to compare against the baseline")
+	match := fs.String("match", ".", "regexp selecting benchmarks to gate")
+	threshold := fs.Float64("threshold", 25, "max allowed ns/op regression, percent")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *baseline == "" || *fresh == "" {
+		return 2, fmt.Errorf("both -baseline and -new are required")
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		return 2, fmt.Errorf("bad -match: %w", err)
+	}
+
+	base, err := parseBenchJSON(*baseline)
+	if err != nil {
+		return 2, fmt.Errorf("parse %s: %w", *baseline, err)
+	}
+	cur, err := parseBenchJSON(*fresh)
+	if err != nil {
+		return 2, fmt.Errorf("parse %s: %w", *fresh, err)
+	}
+
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	code := 0
+	compared := 0
+	for _, name := range names {
+		if !re.MatchString(name) {
+			continue
+		}
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(out, "GONE     %-40s baseline %.1f ns/op, absent in new run\n", name, b)
+			continue
+		}
+		compared++
+		deltaPct := (c - b) / b * 100
+		switch {
+		case deltaPct > *threshold:
+			code = 1
+			fmt.Fprintf(out, "REGRESS  %-40s %.1f -> %.1f ns/op (%+.1f%% > %.0f%%)\n",
+				name, b, c, deltaPct, *threshold)
+		default:
+			fmt.Fprintf(out, "ok       %-40s %.1f -> %.1f ns/op (%+.1f%%)\n", name, b, c, deltaPct)
+		}
+	}
+	for name := range cur {
+		if re.MatchString(name) {
+			if _, ok := base[name]; !ok {
+				fmt.Fprintf(out, "NEW      %-40s %.1f ns/op (no baseline)\n", name, cur[name])
+			}
+		}
+	}
+	if compared == 0 {
+		return 2, fmt.Errorf("no benchmark matched %q in both files", *match)
+	}
+	fmt.Fprintf(out, "%d benchmarks gated at %.0f%%\n", compared, *threshold)
+	return code, nil
+}
+
+// benchLine matches "<iterations> <ns> ns/op ..." — the measurement half
+// of a benchmark result.
+var benchLine = regexp.MustCompile(`^\s*(\d+)\s+([0-9.]+) ns/op`)
+
+// benchName matches the name half, "BenchmarkFoo-8" — including b.Run
+// sub-benchmarks like "BenchmarkFoo/case-8" (the -N GOMAXPROCS suffix is
+// stripped so runs from different hosts compare).
+var benchName = regexp.MustCompile(`^(Benchmark[\w/.,=:-]+?)(?:-\d+)?\s`)
+
+// parseBenchJSON extracts name -> ns/op from a test2json stream. go
+// test prints the benchmark name first and the measurements once the run
+// completes, so test2json usually splits them across two Output events;
+// both the split and the single-line form are handled. Repeated runs of
+// one benchmark (-count > 1) keep the minimum, the conventional
+// noise-resistant summary.
+func parseBenchJSON(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]float64)
+	lastName := ""
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action, Output string
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("bad test2json line: %w", err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		text := ev.Output
+		if m := benchName.FindStringSubmatch(text); m != nil {
+			lastName = m[1]
+			text = strings.TrimPrefix(text, m[0])
+		}
+		if m := benchLine.FindStringSubmatch(text); m != nil && lastName != "" {
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			if prev, ok := out[lastName]; !ok || ns < prev {
+				out[lastName] = ns
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark results found")
+	}
+	return out, nil
+}

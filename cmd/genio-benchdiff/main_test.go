@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeStream renders test2json output events for (name, result) pairs,
+// alternating the single-line and split forms go test actually emits.
+func writeStream(t *testing.T, dir, file string, entries [][2]string) string {
+	t.Helper()
+	type ev struct {
+		Action  string `json:"Action"`
+		Package string `json:"Package"`
+		Output  string `json:"Output,omitempty"`
+	}
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	must := func(e ev) {
+		if err := enc.Encode(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(ev{Action: "start", Package: "genio"})
+	for i, e := range entries {
+		if i%2 == 0 {
+			// Split form: name event, then measurement event.
+			must(ev{Action: "output", Package: "genio", Output: e[0] + "-8   \t"})
+			must(ev{Action: "output", Package: "genio", Output: e[1] + "\n"})
+		} else {
+			must(ev{Action: "output", Package: "genio", Output: e[0] + "-8   \t" + e[1] + "\n"})
+		}
+	}
+	must(ev{Action: "pass", Package: "genio"})
+	path := filepath.Join(dir, file)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchdiffPassAndRegress(t *testing.T) {
+	dir := t.TempDir()
+	base := writeStream(t, dir, "base.json", [][2]string{
+		{"BenchmarkEventSpineThroughput", "1000000\t 250.0 ns/op\t 189 B/op"},
+		{"BenchmarkDeployParallel", "100000\t 12000 ns/op\t 3300 B/op"},
+		{"BenchmarkIncidentFanIn", "1000000\t 1000 ns/op\t 610 B/op"},
+		{"BenchmarkUnrelated", "1000\t 99.0 ns/op"},
+	})
+
+	// Within threshold: +10% on one, improvement on another.
+	ok := writeStream(t, dir, "ok.json", [][2]string{
+		{"BenchmarkEventSpineThroughput", "1000000\t 275.0 ns/op"},
+		{"BenchmarkDeployParallel", "100000\t 11000 ns/op"},
+		{"BenchmarkIncidentFanIn", "1000000\t 900 ns/op"},
+	})
+	var buf bytes.Buffer
+	code, err := run([]string{"-baseline", base, "-new", ok,
+		"-match", "EventSpine|Deploy|Incident", "-threshold", "25"}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("ok case: code=%d err=%v\n%s", code, err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "3 benchmarks gated") {
+		t.Fatalf("unexpected summary:\n%s", buf.String())
+	}
+
+	// Past threshold on the spine bench.
+	bad := writeStream(t, dir, "bad.json", [][2]string{
+		{"BenchmarkEventSpineThroughput", "1000000\t 400.0 ns/op"},
+		{"BenchmarkDeployParallel", "100000\t 12000 ns/op"},
+		{"BenchmarkIncidentFanIn", "1000000\t 1000 ns/op"},
+	})
+	buf.Reset()
+	code, err = run([]string{"-baseline", base, "-new", bad,
+		"-match", "EventSpine|Deploy|Incident", "-threshold", "25"}, &buf)
+	if err != nil || code != 1 {
+		t.Fatalf("regress case: code=%d err=%v\n%s", code, err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESS  BenchmarkEventSpineThroughput") {
+		t.Fatalf("regression not reported:\n%s", buf.String())
+	}
+}
+
+func TestBenchdiffNewAndGoneBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	base := writeStream(t, dir, "base.json", [][2]string{
+		{"BenchmarkOld", "1000\t 100 ns/op"},
+		{"BenchmarkShared", "1000\t 100 ns/op"},
+	})
+	cur := writeStream(t, dir, "new.json", [][2]string{
+		{"BenchmarkShared", "1000\t 105 ns/op"},
+		{"BenchmarkBrandNew", "1000\t 50 ns/op"},
+	})
+	var buf bytes.Buffer
+	code, err := run([]string{"-baseline", base, "-new", cur, "-threshold", "25"}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "GONE     BenchmarkOld") {
+		t.Fatalf("retired benchmark not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "NEW      BenchmarkBrandNew") {
+		t.Fatalf("new benchmark not reported:\n%s", out)
+	}
+}
+
+// TestBenchdiffSubBenchmarkNames: b.Run sub-benchmarks parse under their
+// own names instead of silently folding into the parent's minimum.
+func TestBenchdiffSubBenchmarkNames(t *testing.T) {
+	dir := t.TempDir()
+	path := writeStream(t, dir, "sub.json", [][2]string{
+		{"BenchmarkParent", "1000\t 500 ns/op"},
+		{"BenchmarkParent/fast-case", "1000\t 10 ns/op"},
+		{"BenchmarkParent/slow-case", "1000\t 900 ns/op"},
+	})
+	res, err := parseBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["BenchmarkParent"] != 500 {
+		t.Fatalf("parent = %v, want 500 (sub-case leaked into parent?)", res["BenchmarkParent"])
+	}
+	if res["BenchmarkParent/fast-case"] != 10 || res["BenchmarkParent/slow-case"] != 900 {
+		t.Fatalf("sub-benchmarks misparsed: %v", res)
+	}
+}
+
+func TestBenchdiffNoMatchErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := writeStream(t, dir, "base.json", [][2]string{{"BenchmarkA", "1\t 1 ns/op"}})
+	cur := writeStream(t, dir, "new.json", [][2]string{{"BenchmarkA", "1\t 1 ns/op"}})
+	var buf bytes.Buffer
+	if code, err := run([]string{"-baseline", base, "-new", cur, "-match", "Nope"}, &buf); err == nil || code != 2 {
+		t.Fatalf("expected usage error, got code=%d err=%v", code, err)
+	}
+}
+
+// TestBenchdiffParsesRealBaseline sanity-checks the parser against the
+// repository's committed baseline file.
+func TestBenchdiffParsesRealBaseline(t *testing.T) {
+	matches, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		t.Skip("no committed baseline")
+	}
+	res, err := parseBenchJSON(matches[0])
+	if err != nil {
+		t.Fatalf("parse %s: %v", matches[0], err)
+	}
+	if len(res) < 10 {
+		t.Fatalf("only %d benchmarks parsed from %s", len(res), matches[0])
+	}
+	if _, ok := res["BenchmarkDeployParallel"]; !ok {
+		t.Fatalf("BenchmarkDeployParallel missing from %v", res)
+	}
+}

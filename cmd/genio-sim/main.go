@@ -10,6 +10,13 @@
 //	genio-sim -campaign churn -seed 7            # one campaign, JSON report
 //	genio-sim -campaign all -seed 7              # every campaign
 //	genio-sim -campaign failover-storm -summary  # one-line verdicts only
+//	genio-sim -campaign event-storm -events      # + spine firehose on stderr
+//
+// -events streams every event-spine record (incidents, falco alerts,
+// audit, metrics) as JSON lines to stderr while the run executes. The
+// stdout report stays byte-identical; the firehose itself is an
+// observation stream whose interleaving across spine shards is not part
+// of the replay contract.
 //
 // Exit status is non-zero when any invariant was violated.
 package main
@@ -24,7 +31,7 @@ import (
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdout)
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genio-sim:", err)
 		os.Exit(2)
@@ -32,13 +39,14 @@ func main() {
 	os.Exit(code)
 }
 
-func run(args []string, out io.Writer) (int, error) {
+func run(args []string, out, errOut io.Writer) (int, error) {
 	fs := flag.NewFlagSet("genio-sim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	campaign := fs.String("campaign", "all", "campaign to run (see -list), or 'all'")
 	seed := fs.Int64("seed", 1, "RNG seed; same (campaign, seed) replays the identical run")
 	list := fs.Bool("list", false, "list campaigns and exit")
 	summary := fs.Bool("summary", false, "print one line per campaign instead of JSON")
+	firehose := fs.Bool("events", false, "stream every spine event as JSON lines on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -56,6 +64,9 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 
 	engine := sim.NewEngine(nil)
+	if *firehose {
+		engine.SetFirehose(errOut)
+	}
 	code := 0
 	for _, name := range names {
 		sc, err := sim.NewCampaign(name, *seed)

@@ -2,13 +2,46 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
 
+// TestEventsFirehose: -events streams JSON event lines to the error
+// writer while the stdout report stays a clean, replayable JSON report.
+func TestEventsFirehose(t *testing.T) {
+	var out, hose bytes.Buffer
+	code, err := run([]string{"-campaign", "event-storm", "-seed", "4", "-events"}, &out, &hose)
+	if err != nil || code != 0 {
+		t.Fatalf("event-storm: code=%d err=%v\n%s", code, err, out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(hose.String()), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("firehose produced only %d lines", len(lines))
+	}
+	for _, l := range lines[:5] {
+		if !strings.HasPrefix(l, `{"topic":"`) {
+			t.Fatalf("malformed firehose line: %s", l)
+		}
+	}
+	if !strings.Contains(out.String(), `"eventsByTopic"`) {
+		t.Fatalf("report missing event tallies:\n%s", out.String())
+	}
+
+	// The report must not change when the firehose is off.
+	var silent bytes.Buffer
+	code, err = run([]string{"-campaign", "event-storm", "-seed", "4"}, &silent, io.Discard)
+	if err != nil || code != 0 {
+		t.Fatalf("silent rerun: code=%d err=%v", code, err)
+	}
+	if silent.String() != out.String() {
+		t.Fatal("firehose perturbed the stdout report")
+	}
+}
+
 func TestListCampaigns(t *testing.T) {
 	var buf bytes.Buffer
-	code, err := run([]string{"-list"}, &buf)
+	code, err := run([]string{"-list"}, &buf, io.Discard)
 	if err != nil || code != 0 {
 		t.Fatalf("list: code=%d err=%v", code, err)
 	}
@@ -22,7 +55,7 @@ func TestListCampaigns(t *testing.T) {
 func TestRunCampaignJSONReplayable(t *testing.T) {
 	runOnce := func() string {
 		var buf bytes.Buffer
-		code, err := run([]string{"-campaign", "churn", "-seed", "11"}, &buf)
+		code, err := run([]string{"-campaign", "churn", "-seed", "11"}, &buf, io.Discard)
 		if err != nil || code != 0 {
 			t.Fatalf("churn: code=%d err=%v\n%s", code, err, buf.String())
 		}
@@ -39,7 +72,7 @@ func TestRunCampaignJSONReplayable(t *testing.T) {
 
 func TestRunAllSummary(t *testing.T) {
 	var buf bytes.Buffer
-	code, err := run([]string{"-campaign", "all", "-summary", "-seed", "2"}, &buf)
+	code, err := run([]string{"-campaign", "all", "-summary", "-seed", "2"}, &buf, io.Discard)
 	if err != nil || code != 0 {
 		t.Fatalf("all: code=%d err=%v\n%s", code, err, buf.String())
 	}
@@ -50,7 +83,7 @@ func TestRunAllSummary(t *testing.T) {
 
 func TestUnknownCampaignErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if code, err := run([]string{"-campaign", "bogus"}, &buf); err == nil || code != 2 {
+	if code, err := run([]string{"-campaign", "bogus"}, &buf, io.Discard); err == nil || code != 2 {
 		t.Fatalf("bogus campaign: code=%d err=%v", code, err)
 	}
 }

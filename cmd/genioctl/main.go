@@ -128,6 +128,16 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  [%-9s] %-8s %s\n", i.Source, flag, i.Detail)
 	}
 
+	fmt.Fprintln(out, "\nevent spine (published/delivered/dropped per topic):")
+	stats := p.Metrics()
+	for _, topic := range stats.Topics() {
+		ts := stats[topic]
+		if ts.Published+ts.Dropped+ts.Filtered == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  %-12s %d/%d/%d\n", topic, ts.Published, ts.Delivered, ts.Dropped)
+	}
+
 	if *campaign {
 		fmt.Fprintln(out, "\nrunning T1-T8 attack campaign...")
 		c, err := genio.NewCampaign(p)

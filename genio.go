@@ -11,9 +11,11 @@
 // The platform is safe for concurrent multi-tenant use: deployments fan
 // the admission scanners out over a worker pool (with clean verdicts
 // cached per image digest), Deploy and DeployBatch may be called from
-// many goroutines, and runtime incidents flow through an async bus —
-// call Flush before reading incidents recorded by other goroutines, and
-// Close when discarding a platform.
+// many goroutines, and every telemetry stream — incidents, falco
+// alerts, control-plane audit records, metrics — flows through one
+// sharded event spine. Call Flush before reading incidents recorded by
+// other goroutines, Subscribe to consume any stream live, and Close
+// when discarding a platform.
 //
 // Quick start:
 //
@@ -23,11 +25,19 @@
 //	onu, err := p.AttachONU("olt-01", "onu-0001")
 //	w, err := p.Deploy("tenant-ci", genio.WorkloadSpec{...})
 //	ws, errs := p.DeployBatch("tenant-ci", []genio.WorkloadSpec{...})
+//
+// Consuming the event spine (a SIEM exporter, a dashboard):
+//
+//	sub, err := p.Subscribe("siem", []genio.Topic{genio.TopicIncident, genio.TopicAudit},
+//		func(batch []genio.Event) { ... })
+//	defer sub.Cancel()
+//	stats := p.Metrics() // per-topic published/delivered/dropped/filtered
 package genio
 
 import (
 	"genio/internal/attack"
 	"genio/internal/core"
+	"genio/internal/events"
 	"genio/internal/orchestrator"
 	"genio/internal/pon"
 	"genio/internal/threatmodel"
@@ -66,6 +76,50 @@ const (
 	PONPlaintext     = pon.ModePlaintext
 	PONEncrypted     = pon.ModeEncrypted
 	PONAuthenticated = pon.ModeAuthenticated
+)
+
+// Event is one record published on the platform's event spine.
+type Event = events.Event
+
+// Topic names one event stream on the spine.
+type Topic = events.Topic
+
+// Built-in spine topics.
+const (
+	TopicIncident   = events.TopicIncident
+	TopicFalcoAlert = events.TopicFalcoAlert
+	TopicAudit      = events.TopicAudit
+	TopicMetric     = events.TopicMetric
+)
+
+// Metric is the common payload vocabulary for TopicMetric events.
+type Metric = events.Metric
+
+// AuditEvent is the payload of TopicAudit events: one control-plane
+// decision (admission verdict, placement, failover, eviction, node
+// membership change).
+type AuditEvent = orchestrator.AuditEvent
+
+// Subscription is a live spine subscription; Cancel detaches it.
+type Subscription = events.Subscription
+
+// BatchHandler receives delivered event batches (see events.BatchHandler
+// for the concurrency contract).
+type BatchHandler = events.BatchHandler
+
+// EventStats is the per-topic spine accounting returned by
+// Platform.Metrics.
+type EventStats = events.Stats
+
+// EventPolicy selects spine backpressure behaviour (Config.EventBackpressure).
+type EventPolicy = events.Policy
+
+// Backpressure policies: EventBlock never loses an event (producers wait
+// when a shard queue fills — the default); EventDrop bounds producer
+// latency instead, counting every loss in Metrics.
+const (
+	EventBlock = events.Block
+	EventDrop  = events.Drop
 )
 
 // PlatformOption configures a Platform beyond its mitigation Config.

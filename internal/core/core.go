@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"genio/internal/container"
+	"genio/internal/events"
 	"genio/internal/fim"
 	"genio/internal/host"
 	"genio/internal/malware"
@@ -59,6 +60,17 @@ type Config struct {
 	SandboxEnabled    bool // M17
 	RuntimeMonitoring bool // M18
 	TenantQuotas      bool // T8 resource-abuse counter
+
+	// Event-spine tuning (see internal/events). Zero values take the
+	// spine defaults: 8 shards, 1024-deep queues, Block backpressure.
+	// EventBackpressure is the default policy for lossy streams (falco
+	// alerts, audit, metrics): Block never loses an event; Drop trades
+	// completeness for bounded producer latency, with exact per-topic
+	// drop counters (Metrics). The incident topic is always Block —
+	// the security log is never lossy, whatever the default.
+	EventShards        int
+	EventQueueCapacity int
+	EventBackpressure  events.Policy
 }
 
 // SecureConfig returns the full security-by-design posture.
@@ -97,6 +109,12 @@ type Incident struct {
 	// AtMs is the platform-clock time of the incident (zero unless a
 	// clock is installed with WithClock).
 	AtMs int64 `json:"atMs,omitempty"`
+	// Seq is the platform-assigned record sequence number (1-based).
+	// Incidents shard across spine queues by workload, so delivery
+	// interleaving is scheduler-dependent; Seq preserves the global
+	// record order the pre-spine single-writer bus gave for free, and
+	// Incidents() returns the log sorted by it.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Option configures a Platform beyond its mitigation Config.
@@ -135,10 +153,11 @@ var (
 )
 
 // Platform is a running GENIO deployment. Safe for concurrent use: node
-// state sits behind a read/write lock, incidents flow through an async
-// single-writer bus (see incidentbus.go), and deployments fan admission
-// scanning out inside the cluster. Call Flush before reading incidents
-// recorded by other goroutines, and Close when discarding the platform.
+// state sits behind a read/write lock, every telemetry stream flows
+// through a sharded event spine (see events.go and internal/events), and
+// deployments fan admission scanning out inside the cluster. Call Flush
+// before reading incidents recorded by other goroutines, and Close when
+// discarding the platform.
 type Platform struct {
 	Config   Config
 	CA       *pki.CA
@@ -152,7 +171,12 @@ type Platform struct {
 	nodeMu sync.RWMutex
 	nodes  map[string]*EdgeNode
 
-	bus *incidentBus
+	// spine is the unified pub/sub backbone; incview materialises its
+	// incident topic into the log behind Incidents()/IncidentCounts();
+	// alertSink publishes falco detections onto the falco.alert topic.
+	spine     *events.Spine
+	incview   *incidentView
+	alertSink falcoengine.Sink
 
 	// now, when non-nil, stamps incidents (set once at construction via
 	// WithClock; read-only afterwards, so concurrent recorders need no
@@ -192,9 +216,17 @@ func New(cfg Config, opts ...Option) (*Platform, error) {
 		Detector: falcoengine.NewEngine(falcoengine.DefaultRules()),
 		RBAC:     rbac.NewEngine(),
 		nodes:    make(map[string]*EdgeNode),
-		bus:      newIncidentBus(),
+		spine:    newSpine(cfg),
+		incview:  newIncidentView(),
 	}
+	// The incident log is itself a spine subscriber; the spine is fresh,
+	// so registration cannot fail.
+	if _, err := p.spine.Subscribe("core-incident-log", []events.Topic{events.TopicIncident}, p.incview.batch); err != nil {
+		return nil, fmt.Errorf("incident view: %w", err)
+	}
+	p.alertSink = falcoengine.SpineSink(p.spine)
 	cluster.RBAC = p.RBAC
+	cluster.SetAuditSink(p.publishAudit)
 	for _, opt := range opts {
 		opt(p)
 	}
@@ -417,11 +449,13 @@ func (p *Platform) Deploy(subject string, spec orchestrator.WorkloadSpec) (*orch
 	}
 	w, err := p.Cluster.Deploy(subject, spec)
 	if err != nil {
+		p.publishMetric("deploy.rejected", 1, spec.Tenant)
 		return nil, err
 	}
 	if p.Config.SandboxEnabled {
 		p.Enforcer.SetPolicy(spec.Name, sandbox.DefaultWorkloadPolicy())
 	}
+	p.publishMetric("deploy.admitted", 1, spec.Tenant)
 	return w, nil
 }
 
@@ -441,17 +475,32 @@ func (p *Platform) ObserveRuntime(events []trace.Event) int {
 		}
 	}
 	if p.Config.RuntimeMonitoring {
-		for _, a := range p.Detector.ConsumeAll(executed) {
+		// Alerts flow to the spine's falco.alert topic (raw detections
+		// for subscribers) and into the incident log (the paper's
+		// notification surface), exactly as before the spine existed.
+		for _, a := range p.Detector.ConsumeAllTo(executed, p.alertSink) {
 			p.recordIncident(Incident{Source: "falco", Workload: a.Event.Workload,
 				Detail: a.Output, Blocked: false})
+		}
+	}
+	// One runtime.events metric per workload present in the batch, so
+	// per-workload volume aggregation stays correct for mixed streams.
+	if len(executed) > 0 {
+		perWorkload := make(map[string]int)
+		for _, ev := range executed {
+			perWorkload[ev.Workload]++
+		}
+		for wl, n := range perWorkload {
+			p.publishMetric("runtime.events", float64(n), wl)
 		}
 	}
 	return len(executed)
 }
 
-// RecordIncident appends to the platform incident log through the async
-// bus. The platform's own pipeline uses it internally; external detectors
-// integrating with a deployment may feed their findings in the same way.
+// RecordIncident appends to the platform incident log through the event
+// spine. The platform's own pipeline uses it internally; external
+// detectors integrating with a deployment may feed their findings in the
+// same way.
 func (p *Platform) RecordIncident(i Incident) {
 	p.recordIncident(i)
 }
@@ -460,34 +509,43 @@ func (p *Platform) recordIncident(i Incident) {
 	if p.now != nil && i.AtMs == 0 {
 		i.AtMs = p.now()
 	}
-	p.bus.record(i)
+	i.Seq = p.incview.seq.Add(1)
+	err := p.spine.Publish(events.Event{
+		Topic: events.TopicIncident, Key: incidentKey(i), AtMs: i.AtMs, Payload: i,
+	})
+	if err != nil {
+		// Publishing after Close degrades to a synchronous append so
+		// late incidents are never lost — the old bus's contract.
+		p.incview.append(i)
+	}
 }
 
-// Flush blocks until every incident recorded before the call is visible to
-// Incidents and IncidentCounts. Reads from the recording goroutine get
-// this ordering automatically; cross-goroutine readers synchronize here.
+// Flush blocks until every event published before the call — incidents
+// included — is delivered to every subscriber, so Incidents and
+// IncidentCounts reflect it. Reads from the recording goroutine get this
+// ordering automatically; cross-goroutine readers synchronize here.
 func (p *Platform) Flush() {
-	p.bus.flush()
+	p.spine.Flush()
 }
 
-// Close drains the incident bus and stops its writer goroutine. It is
+// Close drains the event spine and stops its shard goroutines. It is
 // idempotent and safe to call concurrently (every call blocks until the
 // drain completes), and may interleave freely with Flush and
 // RecordIncident. The platform remains usable (late incidents are applied
-// synchronously); closing is only required when discarding platforms in
-// bulk.
+// synchronously; PublishEvent returns events.ErrClosed); closing is only
+// required when discarding platforms in bulk.
 func (p *Platform) Close() {
-	p.bus.close()
+	p.spine.Close()
 }
 
 // Incidents returns a copy of all recorded incidents.
 func (p *Platform) Incidents() []Incident {
-	p.bus.flush()
-	return p.bus.snapshot()
+	p.spine.Flush()
+	return p.incview.snapshot()
 }
 
 // IncidentCounts tallies incidents by source.
 func (p *Platform) IncidentCounts() map[string]int {
-	p.bus.flush()
-	return p.bus.countsBySource()
+	p.spine.Flush()
+	return p.incview.countsBySource()
 }

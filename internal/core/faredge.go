@@ -127,9 +127,10 @@ func (p *Platform) runFarEdgeAdmission(spec orchestrator.WorkloadSpec, img *cont
 	p.farEdgeShadowOnce.Do(func() {
 		shadow := orchestrator.NewCluster("faredge-admission", p.Registry, orchestrator.Settings{})
 		shadow.AddNode("shadow", orchestrator.Resources{CPUMilli: 1 << 30, MemoryMB: 1 << 30})
-		// The shadow platform shares the real incident bus, so scanner
-		// rejections on the far-edge path land in the platform log.
-		sp := &Platform{Config: Config{AdmissionScanning: true}, Cluster: shadow, bus: p.bus}
+		// The shadow platform shares the real event spine (and its
+		// incident view), so scanner rejections on the far-edge path
+		// land in the platform log.
+		sp := &Platform{Config: Config{AdmissionScanning: true}, Cluster: shadow, spine: p.spine, incview: p.incview}
 		sp.registerScanners()
 		p.farEdgeShadow = shadow
 	})

@@ -1,0 +1,146 @@
+// Package events is GENIO's unified telemetry backbone: one generic,
+// sharded pub/sub spine carrying every security-relevant stream the
+// platform produces — incidents, falco alerts, control-plane audit
+// records, and metrics — instead of one bespoke channel per subsystem.
+//
+// Events are published onto typed topics and hash-sharded by key
+// (tenant, node, or workload) across N bounded queues, so producers on
+// different keys never contend and events sharing a key keep their
+// publish order. Each shard is drained by one goroutine that delivers in
+// batches to every matching subscriber. Backpressure is an explicit
+// policy: Block (a full shard queue stalls the producer; nothing is ever
+// lost — the incident-log contract) or Drop (a full queue rejects the
+// event and counts it, for lossy streams like metrics). Flush gives
+// read-your-writes across goroutines; Close drains and stops every
+// shard, blocking all callers until done.
+package events
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topic names one event stream. The built-in taxonomy below covers the
+// platform's streams; subsystems may publish additional topics freely —
+// a topic exists by being published or subscribed to.
+type Topic string
+
+// Built-in topic taxonomy.
+const (
+	// TopicIncident carries core.Incident payloads: every blocked or
+	// detected security-relevant occurrence (admission rejections,
+	// sandbox blocks, falco detections, boot/attestation failures, PON
+	// activation denials).
+	TopicIncident Topic = "incident"
+	// TopicFalcoAlert carries falco.Alert payloads: raw runtime
+	// detections before they are folded into the incident log.
+	TopicFalcoAlert Topic = "falco.alert"
+	// TopicAudit carries orchestrator.AuditEvent payloads: control-plane
+	// decisions (admission verdicts, placements, failovers, evictions,
+	// node membership changes).
+	TopicAudit Topic = "audit"
+	// TopicMetric carries Metric payloads: counters and gauges emitted
+	// by the hot paths (deploy outcomes, runtime event volumes).
+	TopicMetric Topic = "metric"
+)
+
+// BuiltinTopics returns the stock taxonomy, sorted.
+func BuiltinTopics() []Topic {
+	return []Topic{TopicAudit, TopicFalcoAlert, TopicIncident, TopicMetric}
+}
+
+// Event is one published record.
+type Event struct {
+	Topic Topic `json:"topic"`
+	// Key is the shard key — tenant, node, or workload. Events sharing a
+	// non-empty key are delivered in publish order; the empty key shards
+	// to a fixed queue.
+	Key string `json:"key,omitempty"`
+	// AtMs is the platform-clock time of the event (zero without a
+	// clock).
+	AtMs    int64 `json:"atMs,omitempty"`
+	Payload any   `json:"payload,omitempty"`
+}
+
+// Metric is the common payload vocabulary for TopicMetric.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	// Label is one optional dimension (tenant, workload, node). A single
+	// label keeps metric emission allocation-free on hot paths.
+	Label string `json:"label,omitempty"`
+}
+
+// Policy selects what a publisher experiences when a shard queue is full.
+type Policy int
+
+// Backpressure policies.
+const (
+	// Block stalls the publisher until the shard drains: nothing is ever
+	// lost. This is the default and the contract the incident log keeps.
+	Block Policy = iota
+	// Drop rejects the event when the shard queue is full and counts it
+	// in TopicStats.Dropped — for lossy streams where producer latency
+	// matters more than completeness.
+	Drop
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// BatchHandler receives delivered events. Handlers are invoked
+// concurrently from shard goroutines and must be safe for concurrent
+// use; the batch slice is only valid for the duration of the call (copy
+// events that must be retained). A handler must not block indefinitely:
+// under the Block policy a stalled handler eventually stalls publishers
+// on that shard.
+//
+// Handlers MUST NOT call back into the spine's synchronization points —
+// Flush, Close, or (on the platform) Incidents()/IncidentCounts()/
+// Metrics-after-Flush, which flush internally. The handler runs on the
+// shard drainer, so a Flush from inside it waits on a token the drainer
+// itself must ack: a guaranteed self-deadlock that, under Block, wedges
+// every publisher hashing to the shard. Handlers may Publish (to other
+// topics/keys) at their own risk of backpressure; the safe pattern is
+// to accumulate state and let outside readers flush.
+type BatchHandler func(batch []Event)
+
+// Middleware inspects (and may mutate) an event at publish time, before
+// it is enqueued. Returning false filters the event out; filtered events
+// are counted per topic and never published. Middleware runs on the
+// publisher's goroutine.
+type Middleware func(e *Event) bool
+
+// TopicStats is the per-topic accounting ledger. After Flush with no
+// concurrent publishers, Delivered == Published exactly; Dropped counts
+// backpressure rejections (Drop policy only) and Filtered counts
+// middleware suppressions. Published + Dropped + Filtered equals the
+// number of Publish calls for the topic.
+type TopicStats struct {
+	Published uint64 `json:"published"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+	Filtered  uint64 `json:"filtered"`
+}
+
+// Stats maps topics to their counters.
+type Stats map[Topic]TopicStats
+
+// Topics returns the stat-carrying topics, sorted.
+func (s Stats) Topics() []Topic {
+	out := make([]Topic, 0, len(s))
+	for t := range s {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,446 @@
+package events
+
+// The spine: N hash-sharded bounded queues, one drainer goroutine per
+// shard, per-subscriber fan-out with batch delivery. The lifecycle
+// mirrors (and subsumes) the old core incident bus: Flush is a token
+// pushed through every shard — when it pops out, everything enqueued
+// before it has been delivered to every subscriber; Close flips a flag
+// under a write lock (so no publisher can send on a closed channel),
+// closes the shard channels, and every concurrent caller blocks until
+// the drain completes.
+
+import (
+	"errors"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// Defaults. Eight shards keep key-space contention low without spawning
+// a goroutine herd on small hosts; capacity matches the old incident
+// bus's buffer; batches bound subscriber-call overhead, not latency —
+// a drainer never waits to fill one.
+const (
+	DefaultShards        = 8
+	DefaultQueueCapacity = 1024
+	DefaultBatchSize     = 64
+)
+
+// ErrClosed is returned by Publish and Subscribe after Close.
+var ErrClosed = errors.New("events: spine closed")
+
+// Option configures a Spine at construction.
+type Option func(*Spine)
+
+// WithShards sets the shard count (values < 1 keep the default).
+func WithShards(n int) Option {
+	return func(s *Spine) {
+		if n >= 1 {
+			s.nshards = n
+		}
+	}
+}
+
+// WithQueueCapacity sets the per-shard queue capacity (values < 1 keep
+// the default).
+func WithQueueCapacity(n int) Option {
+	return func(s *Spine) {
+		if n >= 1 {
+			s.capacity = n
+		}
+	}
+}
+
+// WithBatchSize caps the events handed to a subscriber per call (values
+// < 1 keep the default).
+func WithBatchSize(n int) Option {
+	return func(s *Spine) {
+		if n >= 1 {
+			s.batchSize = n
+		}
+	}
+}
+
+// WithPolicy sets the default backpressure policy (Block unless set).
+func WithPolicy(p Policy) Option {
+	return func(s *Spine) { s.policy = p }
+}
+
+// WithTopicPolicy overrides the backpressure policy for one topic —
+// e.g. a spine that drops lossy metrics under load while incidents stay
+// on the never-lose Block contract.
+func WithTopicPolicy(t Topic, p Policy) Option {
+	return func(s *Spine) {
+		if s.topicPolicy == nil {
+			s.topicPolicy = make(map[Topic]Policy)
+		}
+		s.topicPolicy[t] = p
+	}
+}
+
+type shardMsg struct {
+	ev Event
+	// flush, when non-nil, is a synchronization token: the drainer
+	// delivers everything queued ahead of it, then closes it.
+	flush chan struct{}
+}
+
+type shard struct {
+	ch chan shardMsg
+}
+
+// Subscription is one registered subscriber; Cancel detaches it.
+type Subscription struct {
+	name    string
+	topics  map[Topic]bool // nil = every topic
+	handler BatchHandler
+	spine   *Spine
+}
+
+// Name returns the subscriber name given at Subscribe time.
+func (s *Subscription) Name() string { return s.name }
+
+// Cancel detaches the subscription; events published afterwards are no
+// longer delivered to it. Idempotent.
+func (s *Subscription) Cancel() {
+	if s.spine != nil {
+		s.spine.unsubscribe(s)
+	}
+}
+
+type topicCounters struct {
+	published, delivered, dropped, filtered atomic.Uint64
+}
+
+// Spine is the sharded pub/sub backbone. Safe for concurrent use.
+type Spine struct {
+	nshards     int
+	capacity    int
+	batchSize   int
+	policy      Policy
+	topicPolicy map[Topic]Policy // per-topic overrides; read-only after NewSpine
+
+	// stateMu guards closed so no producer can send on a closed shard
+	// channel; publishers and flushers share it, Close takes it
+	// exclusively.
+	stateMu sync.RWMutex
+	closed  bool
+
+	shards []shard
+	wg     sync.WaitGroup
+	seed   maphash.Seed
+
+	// regMu serializes writers of the subscriber list and middleware
+	// registry; both are published as copy-on-write snapshots through
+	// atomic pointers so the publish/deliver hot paths read lock-free.
+	regMu sync.RWMutex
+	subs  atomic.Pointer[[]*Subscription]
+	mws   atomic.Pointer[map[Topic][]Middleware]
+
+	// cmu serializes growth of the per-topic counter map; reads go
+	// through the atomic snapshot. The four built-in topics are
+	// pre-registered, so growth only happens on first publish of a
+	// custom topic.
+	cmu      sync.Mutex
+	counters atomic.Pointer[map[Topic]*topicCounters]
+}
+
+// NewSpine builds and starts a spine.
+func NewSpine(opts ...Option) *Spine {
+	s := &Spine{
+		nshards:   DefaultShards,
+		capacity:  DefaultQueueCapacity,
+		batchSize: DefaultBatchSize,
+		seed:      maphash.MakeSeed(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	subs := []*Subscription{}
+	s.subs.Store(&subs)
+	mws := map[Topic][]Middleware{}
+	s.mws.Store(&mws)
+	counters := make(map[Topic]*topicCounters, 4)
+	for _, t := range BuiltinTopics() {
+		counters[t] = &topicCounters{}
+	}
+	s.counters.Store(&counters)
+	s.shards = make([]shard, s.nshards)
+	for i := range s.shards {
+		s.shards[i] = shard{ch: make(chan shardMsg, s.capacity)}
+		s.wg.Add(1)
+		go s.runShard(&s.shards[i])
+	}
+	return s
+}
+
+// Policy returns the spine's default backpressure policy.
+func (s *Spine) Policy() Policy { return s.policy }
+
+// PolicyFor returns the backpressure policy governing one topic.
+func (s *Spine) PolicyFor(t Topic) Policy {
+	if p, ok := s.topicPolicy[t]; ok {
+		return p
+	}
+	return s.policy
+}
+
+// counter resolves a topic's counters lock-free; the built-in topics are
+// pre-registered, so the slow copy-on-write path only runs on the first
+// publish of each custom topic.
+func (s *Spine) counter(t Topic) *topicCounters {
+	if c := (*s.counters.Load())[t]; c != nil {
+		return c
+	}
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	cur := *s.counters.Load()
+	if c := cur[t]; c != nil {
+		return c
+	}
+	next := make(map[Topic]*topicCounters, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	c := &topicCounters{}
+	next[t] = c
+	s.counters.Store(&next)
+	return c
+}
+
+func (s *Spine) shardFor(key string) *shard {
+	if len(s.shards) == 1 {
+		return &s.shards[0]
+	}
+	return &s.shards[maphash.String(s.seed, key)%uint64(len(s.shards))]
+}
+
+// Use registers middleware on a topic, applied in registration order at
+// publish time. Register middleware during wiring, before traffic.
+func (s *Spine) Use(t Topic, mw Middleware) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	cur := *s.mws.Load()
+	next := make(map[Topic][]Middleware, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[t] = append(append([]Middleware(nil), cur[t]...), mw)
+	s.mws.Store(&next)
+}
+
+// Subscribe registers a handler for the given topics (nil or empty =
+// every topic) and returns the subscription handle. The handler is
+// called from shard goroutines — see BatchHandler for the contract.
+func (s *Spine) Subscribe(name string, topics []Topic, h BatchHandler) (*Subscription, error) {
+	// Hold the state lock across registration so a racing Close cannot
+	// complete between the closed check and the registry update — a
+	// subscription returned with a nil error is attached to a live
+	// spine. Lock order: stateMu before regMu (Publish/deliver never
+	// take regMu, so there is no inversion).
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	sub := &Subscription{name: name, handler: h, spine: s}
+	if len(topics) > 0 {
+		sub.topics = make(map[Topic]bool, len(topics))
+		for _, t := range topics {
+			sub.topics[t] = true
+		}
+	}
+	s.regMu.Lock()
+	// Copy-on-write so in-flight deliveries iterating the old slice are
+	// unaffected.
+	cur := *s.subs.Load()
+	subs := make([]*Subscription, len(cur), len(cur)+1)
+	copy(subs, cur)
+	subs = append(subs, sub)
+	s.subs.Store(&subs)
+	s.regMu.Unlock()
+	return sub, nil
+}
+
+func (s *Spine) unsubscribe(sub *Subscription) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	cur := *s.subs.Load()
+	subs := make([]*Subscription, 0, len(cur))
+	for _, x := range cur {
+		if x != sub {
+			subs = append(subs, x)
+		}
+	}
+	s.subs.Store(&subs)
+}
+
+// Publish routes an event through the topic's middleware and enqueues it
+// on its key's shard. Under Block it waits for queue space; under Drop a
+// full queue rejects the event (counted, nil error). After Close it
+// returns ErrClosed.
+func (s *Spine) Publish(e Event) error {
+	c := s.counter(e.Topic)
+	s.stateMu.RLock()
+	if s.closed {
+		s.stateMu.RUnlock()
+		return ErrClosed
+	}
+	// Middleware runs after the closed check (a closed spine must
+	// return ErrClosed before any filter charges its budget) and under
+	// the state read-lock, so a concurrent Close waits for in-flight
+	// filters. Middleware is wiring-time-registered and fast by
+	// contract.
+	if mws := (*s.mws.Load())[e.Topic]; mws != nil {
+		for _, mw := range mws {
+			if !mw(&e) {
+				s.stateMu.RUnlock()
+				c.filtered.Add(1)
+				return nil
+			}
+		}
+	}
+	sh := s.shardFor(e.Key)
+	if s.PolicyFor(e.Topic) == Drop {
+		select {
+		case sh.ch <- shardMsg{ev: e}:
+		default:
+			s.stateMu.RUnlock()
+			c.dropped.Add(1)
+			return nil
+		}
+	} else {
+		sh.ch <- shardMsg{ev: e}
+	}
+	s.stateMu.RUnlock()
+	c.published.Add(1)
+	return nil
+}
+
+// Flush blocks until every event published before the call has been
+// delivered to every subscriber. A no-op after Close (Close already
+// drained).
+func (s *Spine) Flush() {
+	s.stateMu.RLock()
+	if s.closed {
+		s.stateMu.RUnlock()
+		return
+	}
+	tokens := make([]chan struct{}, len(s.shards))
+	for i := range s.shards {
+		tokens[i] = make(chan struct{})
+		s.shards[i].ch <- shardMsg{flush: tokens[i]}
+	}
+	s.stateMu.RUnlock()
+	for _, t := range tokens {
+		<-t
+	}
+}
+
+// Close drains every shard and stops the drainer goroutines. Idempotent
+// and safe to call concurrently: every caller — not just the one that
+// flips the flag — blocks until the drain completes.
+func (s *Spine) Close() {
+	s.stateMu.Lock()
+	if !s.closed {
+		s.closed = true
+		for i := range s.shards {
+			close(s.shards[i].ch)
+		}
+	}
+	s.stateMu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats snapshots the per-topic counters.
+func (s *Spine) Stats() Stats {
+	counters := *s.counters.Load()
+	out := make(Stats, len(counters))
+	for t, c := range counters {
+		out[t] = TopicStats{
+			Published: c.published.Load(),
+			Delivered: c.delivered.Load(),
+			Dropped:   c.dropped.Load(),
+			Filtered:  c.filtered.Load(),
+		}
+	}
+	return out
+}
+
+// runShard drains one queue: it accumulates a batch opportunistically
+// (never waiting to fill one), delivers it to every matching subscriber,
+// and acks flush tokens only after everything ahead of them is out.
+func (s *Spine) runShard(sh *shard) {
+	defer s.wg.Done()
+	batch := make([]Event, 0, s.batchSize)
+	for {
+		m, ok := <-sh.ch
+		if !ok {
+			s.deliver(batch)
+			return
+		}
+		if m.flush != nil {
+			s.deliver(batch)
+			batch = batch[:0]
+			close(m.flush)
+			continue
+		}
+		batch = append(batch, m.ev)
+	drain:
+		for len(batch) < s.batchSize {
+			select {
+			case m2, ok2 := <-sh.ch:
+				if !ok2 {
+					s.deliver(batch)
+					return
+				}
+				if m2.flush != nil {
+					s.deliver(batch)
+					batch = batch[:0]
+					close(m2.flush)
+					continue drain
+				}
+				batch = append(batch, m2.ev)
+			default:
+				break drain
+			}
+		}
+		s.deliver(batch)
+		batch = batch[:0]
+	}
+}
+
+// deliver fans a batch out to every matching subscriber, then counts the
+// events delivered (once per event, not per subscriber).
+func (s *Spine) deliver(batch []Event) {
+	if len(batch) == 0 {
+		return
+	}
+	subs := *s.subs.Load()
+	for _, sub := range subs {
+		if sub.topics == nil {
+			sub.handler(batch)
+			continue
+		}
+		var filtered []Event
+		for _, e := range batch {
+			if sub.topics[e.Topic] {
+				filtered = append(filtered, e)
+			}
+		}
+		if len(filtered) > 0 {
+			sub.handler(filtered)
+		}
+	}
+	// Coalesce counter updates over same-topic runs — batches are
+	// typically dominated by one topic.
+	for i := 0; i < len(batch); {
+		t := batch[i].Topic
+		j := i + 1
+		for j < len(batch) && batch[j].Topic == t {
+			j++
+		}
+		s.counter(t).delivered.Add(uint64(j - i))
+		i = j
+	}
+}

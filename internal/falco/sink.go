@@ -47,9 +47,24 @@ func (m *MemorySink) Alerts() []Alert {
 // window. The window advances via Tick (the engine host calls it per
 // aggregation interval), keeping the limiter deterministic for tests and
 // simulations instead of depending on wall-clock time.
+//
+// Emit and Tick are safe to call concurrently, and the accounting is
+// exact with respect to window boundaries: an alert admitted in window N
+// reaches the wrapped sink before Tick closes window N (admission and
+// forwarding happen in one critical section), so the wrapped sink never
+// observes more than perRule alerts for a rule between two Ticks, and
+// every emitted alert is counted exactly once — forwarded or suppressed.
+//
+// The exactness has a price: next.Emit runs while the limiter's lock is
+// held. The wrapped sink must not call back into the limiter — in
+// particular, never wrap a SpineSink whose spine has this same
+// limiter's Middleware registered on the alert topic (self-deadlock) —
+// and a sink that blocks (e.g. a Block-policy spine under backpressure)
+// stalls Tick, Suppressed, and other rules' Emits for the duration.
+// Pick ONE integration per limiter: sink wrapper or spine middleware.
 type RateLimiter struct {
 	next Sink
-	// PerRulePerWindow is the max alerts forwarded per rule per window.
+	// perRule is the max alerts forwarded per rule per window.
 	perRule int
 
 	mu         sync.Mutex
@@ -58,7 +73,8 @@ type RateLimiter struct {
 }
 
 // NewRateLimiter creates a limiter forwarding at most perRule alerts per
-// rule per window to next.
+// rule per window to next. A nil next discards admitted alerts — useful
+// when the limiter is used purely as spine middleware (see Middleware).
 func NewRateLimiter(next Sink, perRule int) *RateLimiter {
 	return &RateLimiter{
 		next: next, perRule: perRule,
@@ -66,29 +82,51 @@ func NewRateLimiter(next Sink, perRule int) *RateLimiter {
 	}
 }
 
+// admit spends one token from the rule's window budget, counting the
+// alert as suppressed when the budget is gone. Callers hold r.mu.
+func (r *RateLimiter) admitLocked(rule string) bool {
+	if r.counts[rule] >= r.perRule {
+		r.suppressed[rule]++
+		return false
+	}
+	r.counts[rule]++
+	return true
+}
+
 // Emit forwards the alert unless the rule's budget for this window is
-// spent; a summary of suppressed counts is available via Suppressed.
+// spent; a summary of suppressed counts is available via Tick and
+// Suppressed.
 func (r *RateLimiter) Emit(a Alert) {
 	r.mu.Lock()
-	over := r.counts[a.Rule] >= r.perRule
-	if over {
-		r.suppressed[a.Rule]++
-	} else {
-		r.counts[a.Rule]++
+	defer r.mu.Unlock()
+	if !r.admitLocked(a.Rule) {
+		return
 	}
-	r.mu.Unlock()
-	if !over {
+	if r.next != nil {
 		r.next.Emit(a)
 	}
 }
 
 // Tick advances the window, resetting budgets. It returns the number of
-// alerts suppressed in the closed window per rule.
+// alerts suppressed in the closed window per rule; the returned map is
+// detached (safe for the caller to keep).
 func (r *RateLimiter) Tick() map[string]int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := r.suppressed
 	r.counts = make(map[string]int)
 	r.suppressed = make(map[string]int)
+	return out
+}
+
+// Suppressed returns a copy of the current window's per-rule suppressed
+// counts without closing the window.
+func (r *RateLimiter) Suppressed() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.suppressed))
+	for k, v := range r.suppressed {
+		out[k] = v
+	}
 	return out
 }

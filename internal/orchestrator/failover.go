@@ -26,13 +26,42 @@ type FailoverResult struct {
 // nodes (hard-isolation workloads get fresh dedicated VMs; soft ones join
 // their tenant's shared VM on the target). Workloads that fit nowhere are
 // evicted: their quota is released and they are reported for operator
-// action.
+// action. The failure and every per-workload outcome are reported to the
+// audit sink.
 func (c *Cluster) FailNode(name string) (*FailoverResult, error) {
+	res, moved, err := c.failNode(name)
+	if err != nil {
+		return nil, err
+	}
+	c.auditEvent(AuditEvent{Kind: "node-fail", Node: name, Allowed: true,
+		Detail: fmt.Sprintf("%d rescheduled, %d evicted", len(res.Rescheduled), len(res.Evicted))})
+	for _, w := range moved {
+		c.auditEvent(AuditEvent{Kind: "failover", Workload: w.Workload,
+			Tenant: w.Tenant, Node: w.Node, Allowed: true, AtMs: res.AtMs})
+	}
+	for _, wl := range res.Evicted {
+		c.auditEvent(AuditEvent{Kind: "eviction", Workload: wl, Node: name,
+			AtMs: res.AtMs, Detail: "no capacity on surviving nodes"})
+	}
+	return res, nil
+}
+
+// movedWorkload is a value snapshot of one rescheduled workload, taken
+// under the cluster lock — the live *Workload may be rewritten by a
+// concurrent failover the moment the lock drops.
+type movedWorkload struct {
+	Workload, Tenant, Node string
+}
+
+// failNode is FailNode's body, audit emission excluded; it additionally
+// returns snapshots of the rescheduled workloads (with their new
+// placements) so the wrapper can report tenants and target nodes.
+func (c *Cluster) failNode(name string) (*FailoverResult, []movedWorkload, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n, ok := c.nodes[name]
 	if !ok {
-		return nil, fmt.Errorf("orchestrator: unknown node %q", name)
+		return nil, nil, fmt.Errorf("orchestrator: unknown node %q", name)
 	}
 	// Collect the victims deterministically.
 	var victims []*Workload
@@ -46,6 +75,7 @@ func (c *Cluster) FailNode(name string) (*FailoverResult, error) {
 	_ = n
 
 	res := &FailoverResult{Node: name, AtMs: c.nowMs()}
+	var rescheduled []movedWorkload
 	for _, w := range victims {
 		// Release old accounting; scheduling re-adds on success. The
 		// cluster write lock is already held, so place via scheduleAmong.
@@ -59,8 +89,11 @@ func (c *Cluster) FailNode(name string) (*FailoverResult, error) {
 		*w = *moved
 		c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].add(w.Spec.Resources)
 		res.Rescheduled = append(res.Rescheduled, w.Spec.Name)
+		rescheduled = append(rescheduled, movedWorkload{
+			Workload: w.Spec.Name, Tenant: w.Spec.Tenant, Node: w.Node,
+		})
 	}
-	return res, nil
+	return res, rescheduled, nil
 }
 
 // Nodes returns the live node names sorted.

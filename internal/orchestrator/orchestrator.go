@@ -154,6 +154,30 @@ func HardenedSettings() Settings {
 // capability policy) registers here.
 type AdmissionFunc func(spec WorkloadSpec, img *container.Image) error
 
+// AuditEvent records one control-plane decision — the per-tenant audit
+// trail the M11 hardening guides require. The platform forwards these
+// onto its event spine (audit topic); standalone clusters may install
+// any sink.
+type AuditEvent struct {
+	// Kind is the decision class: admission-verdict | placement |
+	// failover | eviction | node-join | node-fail | workload-stop.
+	Kind     string `json:"kind"`
+	Workload string `json:"workload,omitempty"`
+	Tenant   string `json:"tenant,omitempty"`
+	Node     string `json:"node,omitempty"`
+	// Allowed reports the decision outcome (admitted/placed/rescheduled
+	// vs rejected/evicted).
+	Allowed bool   `json:"allowed"`
+	Detail  string `json:"detail,omitempty"`
+	// AtMs is the cluster-clock time (zero without a clock).
+	AtMs int64 `json:"atMs,omitempty"`
+}
+
+// AuditSink receives control-plane audit events. Sinks are called
+// outside cluster locks (calling back into the cluster is safe) but on
+// the operation's goroutine, so they should return quickly.
+type AuditSink func(AuditEvent)
+
 // Errors returned by cluster operations.
 var (
 	ErrNoCapacity    = errors.New("orchestrator: no node with free capacity")
@@ -199,6 +223,9 @@ type Cluster struct {
 	// production, where timestamps stay zero and JSON output is unchanged.
 	clock atomic.Pointer[func() int64]
 
+	// audit, when set, receives a record per control-plane decision.
+	audit atomic.Pointer[AuditSink]
+
 	vmSeq    atomic.Int64
 	admitted atomic.Int64
 	rejected atomic.Int64
@@ -242,11 +269,36 @@ func (c *Cluster) nowMs() int64 {
 	return 0
 }
 
+// SetAuditSink installs the control-plane audit sink (nil disables).
+// Sinks see every admission verdict, placement, failover, eviction, and
+// node membership change; they are invoked outside cluster locks.
+func (c *Cluster) SetAuditSink(fn AuditSink) {
+	if fn == nil {
+		c.audit.Store(nil)
+		return
+	}
+	c.audit.Store(&fn)
+}
+
+// auditEvent stamps and forwards one audit record; a no-op without a
+// sink. Never call while holding c.mu or a node lock: a sink may block
+// on telemetry backpressure or call back into read-side queries.
+func (c *Cluster) auditEvent(a AuditEvent) {
+	if fn := c.audit.Load(); fn != nil {
+		if a.AtMs == 0 {
+			a.AtMs = c.nowMs()
+		}
+		(*fn)(a)
+	}
+}
+
 // AddNode registers a node with the given capacity.
 func (c *Cluster) AddNode(name string, capacity Resources) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.nodes[name] = &node{name: name, capacity: capacity, vms: make(map[string]*VM)}
+	c.mu.Unlock()
+	c.auditEvent(AuditEvent{Kind: "node-join", Node: name, Allowed: true,
+		Detail: fmt.Sprintf("capacity cpu=%dm mem=%dMB", capacity.CPUMilli, capacity.MemoryMB)})
 }
 
 // SetQuota sets a tenant's resource quota (zero value = unlimited).
@@ -272,13 +324,38 @@ func (c *Cluster) EnsureQuota(tenant string, q Resources) {
 //
 // Only the reservation and commit steps take the cluster write lock; the
 // expensive stages (pull, scanners) run without it, and scheduling holds
-// the read lock plus one node lock at a time.
+// the read lock plus one node lock at a time. Every verdict — and the
+// placement, on success — is reported to the audit sink.
 func (c *Cluster) Deploy(subject string, spec WorkloadSpec) (*Workload, error) {
+	// placed is a value snapshot taken under the commit lock — the live
+	// *Workload may be rewritten by a concurrent failover the moment
+	// deploy() releases it, so the audit records must not read w here.
+	w, placed, err := c.deploy(subject, spec)
+	if err != nil {
+		c.auditEvent(AuditEvent{Kind: "admission-verdict", Workload: spec.Name,
+			Tenant: spec.Tenant, Detail: err.Error()})
+		return nil, err
+	}
+	c.auditEvent(AuditEvent{Kind: "admission-verdict", Workload: spec.Name,
+		Tenant: spec.Tenant, Node: placed.Node, Allowed: true})
+	c.auditEvent(AuditEvent{Kind: "placement", Workload: spec.Name,
+		Tenant: spec.Tenant, Node: placed.Node, Allowed: true, Detail: "vm " + placed.VMID})
+	return w, nil
+}
+
+// placedSnapshot carries the committed placement out of deploy() for
+// audit emission without touching the live *Workload after the lock.
+type placedSnapshot struct {
+	Node, VMID string
+}
+
+// deploy is Deploy's body, audit emission excluded.
+func (c *Cluster) deploy(subject string, spec WorkloadSpec) (*Workload, placedSnapshot, error) {
 	if c.Settings.RBACEnabled && c.RBAC != nil {
 		d := c.RBAC.Check(subject, rbac.Permission{Verb: "create", Resource: "workloads", Namespace: spec.Tenant})
 		if !d.Allowed {
 			c.rejected.Add(1)
-			return nil, fmt.Errorf("%w: %s may not create workloads in %s", ErrUnauthorized, subject, spec.Tenant)
+			return nil, placedSnapshot{}, fmt.Errorf("%w: %s may not create workloads in %s", ErrUnauthorized, subject, spec.Tenant)
 		}
 	}
 
@@ -291,12 +368,12 @@ func (c *Cluster) Deploy(subject string, spec WorkloadSpec) (*Workload, error) {
 	}
 	if err != nil {
 		c.rejected.Add(1)
-		return nil, fmt.Errorf("pull %s: %w", spec.ImageRef, err)
+		return nil, placedSnapshot{}, fmt.Errorf("pull %s: %w", spec.ImageRef, err)
 	}
 
 	if err := c.runAdmission(spec, img); err != nil {
 		c.rejected.Add(1)
-		return nil, err
+		return nil, placedSnapshot{}, err
 	}
 
 	// Reserve the name and charge the tenant quota up front so concurrent
@@ -305,18 +382,18 @@ func (c *Cluster) Deploy(subject string, spec WorkloadSpec) (*Workload, error) {
 	if _, dup := c.workloads[spec.Name]; dup {
 		c.mu.Unlock()
 		c.rejected.Add(1)
-		return nil, fmt.Errorf("%w: %s", ErrDuplicateName, spec.Name)
+		return nil, placedSnapshot{}, fmt.Errorf("%w: %s", ErrDuplicateName, spec.Name)
 	}
 	if _, dup := c.pending[spec.Name]; dup {
 		c.mu.Unlock()
 		c.rejected.Add(1)
-		return nil, fmt.Errorf("%w: %s", ErrDuplicateName, spec.Name)
+		return nil, placedSnapshot{}, fmt.Errorf("%w: %s", ErrDuplicateName, spec.Name)
 	}
 	if q, ok := c.quotas[spec.Tenant]; ok && (q.CPUMilli > 0 || q.MemoryMB > 0) {
 		if !c.tenantUsed[spec.Tenant].add(spec.Resources).fits(q) {
 			c.mu.Unlock()
 			c.rejected.Add(1)
-			return nil, fmt.Errorf("%w: tenant %s", ErrQuotaExceeded, spec.Tenant)
+			return nil, placedSnapshot{}, fmt.Errorf("%w: tenant %s", ErrQuotaExceeded, spec.Tenant)
 		}
 	}
 	c.pending[spec.Name] = struct{}{}
@@ -338,12 +415,13 @@ func (c *Cluster) Deploy(subject string, spec WorkloadSpec) (*Workload, error) {
 		c.tenantUsed[spec.Tenant] = c.tenantUsed[spec.Tenant].sub(spec.Resources)
 		c.mu.Unlock()
 		c.rejected.Add(1)
-		return nil, err
+		return nil, placedSnapshot{}, err
 	}
 	c.workloads[spec.Name] = w
+	placed := placedSnapshot{Node: w.Node, VMID: w.VMID}
 	c.mu.Unlock()
 	c.admitted.Add(1)
-	return w, nil
+	return w, placed, nil
 }
 
 // schedule places the workload on the first node with capacity, holding the
@@ -401,11 +479,22 @@ func (c *Cluster) placeVM(n *node, spec WorkloadSpec) *VM {
 
 // Stop removes a workload, releasing capacity and quota.
 func (c *Cluster) Stop(name string) error {
+	w, err := c.stop(name)
+	if err != nil {
+		return err
+	}
+	c.auditEvent(AuditEvent{Kind: "workload-stop", Workload: name,
+		Tenant: w.Spec.Tenant, Node: w.Node, Allowed: true})
+	return nil
+}
+
+// stop is Stop's body, audit emission excluded.
+func (c *Cluster) stop(name string) (*Workload, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w, ok := c.workloads[name]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrNotFound, name)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	delete(c.workloads, name)
 	c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].sub(w.Spec.Resources)
@@ -426,7 +515,7 @@ func (c *Cluster) Stop(name string) error {
 		}
 		n.mu.Unlock()
 	}
-	return nil
+	return w, nil
 }
 
 // Workload returns a running workload by name.

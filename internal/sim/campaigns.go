@@ -35,6 +35,7 @@ var campaigns = map[string]CampaignFunc{
 	"admission-flood": AdmissionFloodCampaign,
 	"failover-storm":  FailoverStormCampaign,
 	"incident-storm":  IncidentStormCampaign,
+	"event-storm":     EventStormCampaign,
 }
 
 // CampaignNames lists the registered campaigns, sorted.
@@ -152,6 +153,44 @@ func FailoverStormCampaign(seed int64) Scenario {
 		ONUChurn(2),
 	)
 	return Scenario{Name: "failover-storm", Seed: seed, Config: core.SecureConfig(), Steps: steps}
+}
+
+// EventStormCampaign hammers the event spine itself: every topic at
+// once — incident storms (incident + falco.alert), deploy/stop churn
+// (audit + metric), and raw metric bursts — under the Block policy. The
+// no-silent-event-drops invariant must find the ledger balanced and the
+// drop counters at zero after every step; the drop-policy half of that
+// invariant is exercised by the engine tests, where nondeterministic
+// drop counts cannot leak into a replayable report.
+func EventStormCampaign(seed int64) Scenario {
+	r := rand.New(rand.NewSource(seed))
+	steps := []Step{
+		SetQuota("acme", orchestrator.Resources{CPUMilli: 16000, MemoryMB: 32768}),
+		JoinNode(nodeCapacity),
+		JoinNode(nodeCapacity),
+		JoinNode(nodeCapacity),
+		Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+		Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+		Deploy("acme", SASTFlaggedImageRef, orchestrator.IsolationHard, smallDemand),
+	}
+	for wave := 0; wave < 6; wave++ {
+		steps = append(steps,
+			IncidentStorm(3+r.Intn(4), 0.2+0.1*float64(wave), "acme"),
+			MetricBurst(40+r.Intn(60)),
+		)
+		switch r.Intn(3) {
+		case 0:
+			steps = append(steps, Deploy("acme", allImageRefs[r.Intn(len(allImageRefs))],
+				orchestrator.IsolationSoft, smallDemand))
+		case 1:
+			steps = append(steps, StopWorkload())
+		default:
+			steps = append(steps, CrashRandomNode(), JoinNode(nodeCapacity))
+		}
+		steps = append(steps, AdvanceClock(100))
+	}
+	steps = append(steps, MetricBurst(200))
+	return Scenario{Name: "event-storm", Seed: seed, Config: core.SecureConfig(), Steps: steps}
 }
 
 // IncidentStormCampaign models runtime threat pressure: waves of mixed

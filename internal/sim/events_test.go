@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"genio/internal/core"
+	"genio/internal/events"
+	"genio/internal/orchestrator"
+)
+
+// TestEventStormBalancesLedger: the campaign drives every topic and the
+// no-silent-event-drops invariant holds — block policy, zero drops,
+// published == delivered after every step.
+func TestEventStormBalancesLedger(t *testing.T) {
+	rep, js := runJSON(t, "event-storm", 7)
+	if !rep.Passed {
+		t.Fatalf("event-storm violated invariants:\n%s", js)
+	}
+	for _, topic := range []string{"incident", "falco.alert", "audit", "metric"} {
+		if rep.Final.Events[topic] == 0 {
+			t.Fatalf("topic %s carried no events:\n%s", topic, js)
+		}
+	}
+	found := false
+	for _, inv := range rep.Invariants {
+		if inv == "no-silent-event-drops" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no-silent-event-drops not in the default set: %v", rep.Invariants)
+	}
+}
+
+// TestDropPolicyExactAccounting: under the Drop policy with a deliberately
+// tiny spine, losses are allowed — but only as exact drop counters, never
+// silently. The ledger invariant must still pass, and whatever reached
+// the platform log must match what the subscription saw.
+func TestDropPolicyExactAccounting(t *testing.T) {
+	cfg := core.SecureConfig()
+	cfg.EventBackpressure = events.Drop
+	cfg.EventShards = 1
+	cfg.EventQueueCapacity = 4
+	sc := Scenario{
+		Name: "drop-pressure", Seed: 5, Config: cfg,
+		Steps: []Step{
+			SetQuota("acme", orchestrator.Resources{CPUMilli: 16000, MemoryMB: 32768}),
+			JoinNode(nodeCapacity),
+			JoinNode(nodeCapacity),
+			Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+			Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+			IncidentStorm(8, 0.6, "acme"),
+			MetricBurst(500),
+			IncidentStorm(8, 0.6, "acme"),
+			MetricBurst(500),
+		},
+	}
+	rep, err := NewEngine(nil).Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, _ := rep.JSON()
+	if !rep.Passed {
+		t.Fatalf("drop policy broke the ledger invariant (losses must be counted, not silent):\n%s", js)
+	}
+	if rep.Posture != "custom" {
+		t.Fatalf("posture = %q, want custom (tuned event spine)", rep.Posture)
+	}
+}
+
+// TestFirehoseStreamsEvents: the engine firehose emits one JSON line per
+// spine event, covering multiple topics, without perturbing the report.
+func TestFirehoseStreamsEvents(t *testing.T) {
+	sc, err := NewCampaign("event-storm", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(nil)
+	var hose bytes.Buffer
+	e.SetFirehose(&hose)
+	rep, err := e.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed {
+		js, _ := rep.JSON()
+		t.Fatalf("run failed:\n%s", js)
+	}
+	lines := strings.Split(strings.TrimSpace(hose.String()), "\n")
+	var total uint64
+	for _, n := range rep.Final.Events {
+		total += n
+	}
+	if uint64(len(lines)) != total {
+		t.Fatalf("firehose has %d lines, report counts %d published events", len(lines), total)
+	}
+	topics := map[string]bool{}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, `{"topic":"`) {
+			t.Fatalf("malformed firehose line: %s", l)
+		}
+		rest := l[len(`{"topic":"`):]
+		topics[rest[:strings.Index(rest, `"`)]] = true
+	}
+	for _, want := range []string{"incident", "falco.alert", "audit", "metric"} {
+		if !topics[want] {
+			t.Fatalf("firehose missing topic %s (saw %v)", want, topics)
+		}
+	}
+	// The report itself must be byte-identical with and without firehose.
+	rep2, js2 := runJSON(t, "event-storm", 3)
+	if !rep2.Passed {
+		t.Fatalf("silent rerun failed:\n%s", js2)
+	}
+	js1, _ := rep.JSON()
+	if !bytes.Equal(js1, js2) {
+		t.Fatalf("firehose perturbed the report:\n--- with\n%s\n--- without\n%s", js1, js2)
+	}
+}

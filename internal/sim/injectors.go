@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"genio/internal/container"
+	"genio/internal/events"
 	"genio/internal/orchestrator"
 	"genio/internal/trace"
 )
@@ -227,6 +228,27 @@ func ONUChurn(count int) Step {
 			return Outcome{Status: "error", Detail: fmt.Sprintf("rotate on %s: %v", node, err)}
 		}
 		return okf("%d onus attached to %s, keys rotated", attached, node)
+	}}
+}
+
+// MetricBurst publishes n synthetic metric events straight onto the
+// platform spine across keys — telemetry pressure without security
+// semantics, exercising the backpressure policy and the per-topic
+// accounting the no-silent-event-drops invariant audits.
+func MetricBurst(n int) Step {
+	return Step{Name: "metric-burst", Run: func(w *World) Outcome {
+		for i := 0; i < n; i++ {
+			err := w.Platform.PublishEvent(events.Event{
+				Topic: events.TopicMetric, Key: fmt.Sprintf("probe-%d", i%8),
+				Payload: events.Metric{Name: "sim.pulse", Value: float64(i), Label: "storm"},
+			})
+			if err != nil {
+				return Outcome{Status: "error", Detail: fmt.Sprintf("publish %d/%d: %v", i, n, err)}
+			}
+			w.offeredEvents[string(events.TopicMetric)]++
+		}
+		w.Clock.Advance(int64(n) / 4) // telemetry is cheap but not free
+		return okf("%d metric events published", n)
 	}}
 }
 

@@ -8,6 +8,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"genio/internal/events"
 )
 
 // Invariant is one property checked against the world after each step.
@@ -25,6 +27,7 @@ func DefaultInvariants() []Invariant {
 		NoCapacityOversubscription(),
 		IncidentCountsMonotone(),
 		AdmissionDeterminism(),
+		NoSilentEventDrops(),
 	}
 }
 
@@ -102,16 +105,60 @@ func NoCapacityOversubscription() Invariant {
 }
 
 // IncidentCountsMonotone: the incident log only grows — no fault path may
-// lose or rewrite recorded security history.
+// lose or rewrite recorded security history — and the simulator's own
+// spine subscription (wired by Engine.Run) must have seen exactly the
+// events the materialised log holds: after a Flush, no subscriber lags
+// the platform's own view.
 func IncidentCountsMonotone() Invariant {
 	return Invariant{Name: "incident-counts-monotone", Check: func(w *World) []string {
+		var out []string
 		w.Platform.Flush()
 		total := len(w.Platform.Incidents())
 		if total < w.incidentTotal {
-			return []string{fmt.Sprintf("incident count shrank: %d -> %d", w.incidentTotal, total)}
+			out = append(out, fmt.Sprintf("incident count shrank: %d -> %d", w.incidentTotal, total))
 		}
 		w.incidentTotal = total
-		return nil
+		if seen := int(w.seenIncidents.Load()); seen != total {
+			out = append(out, fmt.Sprintf(
+				"spine subscription saw %d incidents; platform log holds %d", seen, total))
+		}
+		return out
+	}}
+}
+
+// NoSilentEventDrops: the spine's per-topic ledger balances after every
+// step — everything published was delivered once flushed, nothing is
+// dropped under the Block policy, and under the Drop policy losses are
+// exactly the drop counters (never silent).
+func NoSilentEventDrops() Invariant {
+	return Invariant{Name: "no-silent-event-drops", Check: func(w *World) []string {
+		var out []string
+		w.Platform.Flush()
+		stats := w.Platform.Metrics()
+		for _, topic := range stats.Topics() {
+			ts := stats[topic]
+			if ts.Delivered != ts.Published {
+				out = append(out, fmt.Sprintf(
+					"topic %s: published=%d delivered=%d after flush", topic, ts.Published, ts.Delivered))
+			}
+			// Policy is per topic: incidents are pinned to Block even on
+			// Drop-default platforms, so the security log must never
+			// show a drop.
+			if w.Platform.EventPolicyFor(topic) == events.Block && ts.Dropped > 0 {
+				out = append(out, fmt.Sprintf(
+					"topic %s: %d events dropped under block policy", topic, ts.Dropped))
+			}
+			// Accounted-loss floor: the ledger must cover at least what
+			// the script itself offered (other producers only add), or a
+			// publish vanished without being counted published, dropped,
+			// or filtered.
+			if offered := w.offeredEvents[string(topic)]; ts.Published+ts.Dropped+ts.Filtered < offered {
+				out = append(out, fmt.Sprintf(
+					"topic %s: script offered %d events but ledger accounts %d published + %d dropped + %d filtered",
+					topic, offered, ts.Published, ts.Dropped, ts.Filtered))
+			}
+		}
+		return out
 	}}
 }
 

@@ -39,6 +39,9 @@ type FinalState struct {
 	Admitted  int            `json:"admitted"`
 	Rejected  int            `json:"rejected"`
 	Incidents map[string]int `json:"incidentsBySource"` // json sorts keys
+	// Events tallies spine publishes per topic. Deterministic under the
+	// Block backpressure policy every stock campaign runs with.
+	Events map[string]uint64 `json:"eventsByTopic,omitempty"`
 }
 
 // JSON renders the report with stable formatting (and, via encoding/json,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"genio/internal/container"
 	"genio/internal/core"
@@ -64,6 +65,17 @@ type World struct {
 	violations []string
 	// incidentTotal is the last observed incident count (monotonicity).
 	incidentTotal int
+	// seenIncidents counts incident events delivered to the simulator's
+	// own spine subscription — the invariants observe the platform the
+	// way an external SIEM would, instead of polling snapshots, and the
+	// count must track the materialised log exactly.
+	seenIncidents atomic.Int64
+	// offeredEvents tallies, per topic, the publishes the script itself
+	// offered through PublishEvent (steps run sequentially, so a plain
+	// map suffices). The drop-accounting invariant uses it as a floor:
+	// Published+Dropped+Filtered on a topic can never fall below what
+	// the script alone offered, or an event vanished uncounted.
+	offeredEvents map[string]uint64
 	// publisher signs images pushed by registry-recovery injectors.
 	publisher *container.Publisher
 

@@ -13,11 +13,15 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"sync"
 
 	"genio/internal/container"
 	"genio/internal/core"
+	"genio/internal/events"
 	"genio/internal/orchestrator"
 	"genio/internal/rbac"
 )
@@ -45,6 +49,7 @@ const (
 // Engine runs scenarios and checks invariants.
 type Engine struct {
 	invariants []Invariant
+	firehose   io.Writer
 }
 
 // NewEngine creates an engine with the given invariant set (nil = the
@@ -54,6 +59,15 @@ func NewEngine(invariants []Invariant) *Engine {
 		invariants = DefaultInvariants()
 	}
 	return &Engine{invariants: invariants}
+}
+
+// SetFirehose streams every spine event of subsequent runs to w as JSON
+// lines (one event per line). Delivery order across shards is
+// scheduler-dependent, so the firehose is an observation stream, not
+// part of the byte-identical replay contract — reports stay
+// deterministic with or without it.
+func (e *Engine) SetFirehose(w io.Writer) {
+	e.firehose = w
 }
 
 // Run executes the scenario against a freshly built platform and returns
@@ -69,12 +83,35 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 	defer p.Close()
 
 	w := &World{
-		Platform: p,
-		Clock:    clock,
-		Rand:     rand.New(rand.NewSource(sc.Seed)),
-		Live:     make(map[string]bool),
-		Quotas:   make(map[string]orchestrator.Resources),
-		verdicts: make(map[string]string),
+		Platform:      p,
+		Clock:         clock,
+		Rand:          rand.New(rand.NewSource(sc.Seed)),
+		Live:          make(map[string]bool),
+		Quotas:        make(map[string]orchestrator.Resources),
+		verdicts:      make(map[string]string),
+		offeredEvents: make(map[string]uint64),
+	}
+	// The invariants watch the platform the way an external consumer
+	// would: through a spine subscription, not by polling snapshots.
+	if _, err := p.Subscribe("sim-incident-witness", []events.Topic{events.TopicIncident},
+		func(b []events.Event) { w.seenIncidents.Add(int64(len(b))) }); err != nil {
+		return nil, fmt.Errorf("sim: incident witness: %w", err)
+	}
+	if e.firehose != nil {
+		var mu sync.Mutex
+		if _, err := p.Subscribe("sim-firehose", nil, func(b []events.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ev := range b {
+				js, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(e.firehose, "%s\n", js)
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("sim: firehose: %w", err)
+		}
 	}
 	if err := seedWorld(w); err != nil {
 		return nil, fmt.Errorf("sim: seed world: %w", err)
@@ -120,6 +157,14 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 
 	p.Flush()
 	admitted, rejected := p.Cluster.Counters()
+	// Per-topic published tallies: deterministic under the Block policy
+	// (nothing is ever dropped), so they join the replay contract.
+	eventCounts := make(map[string]uint64)
+	for topic, ts := range p.Metrics() {
+		if ts.Published+ts.Dropped+ts.Filtered > 0 {
+			eventCounts[string(topic)] = ts.Published
+		}
+	}
 	rep.Final = FinalState{
 		VirtualMs: clock.NowMs(),
 		LiveNodes: p.Cluster.Nodes(),
@@ -127,6 +172,7 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 		Admitted:  admitted,
 		Rejected:  rejected,
 		Incidents: p.IncidentCounts(),
+		Events:    eventCounts,
 	}
 	return rep, nil
 }
