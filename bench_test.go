@@ -9,6 +9,7 @@ package genio_test
 // these benchmarks provide the machine-measured per-operation costs.
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -35,6 +36,7 @@ import (
 	"genio/internal/trace"
 	"genio/internal/updates"
 	"genio/internal/vuln"
+	"genio/internal/workpool"
 )
 
 // --- Figure 3 ---------------------------------------------------------------
@@ -474,7 +476,8 @@ func BenchmarkDeployParallel(b *testing.B) {
 	})
 }
 
-// BenchmarkDeployBatch measures the batch-admission surface end to end.
+// BenchmarkDeployBatch measures the batch-admission surface end to end
+// (since API v2 the batch is a fan-out over DeployAsync futures).
 func BenchmarkDeployBatch(b *testing.B) {
 	p := benchDeployPlatform(b)
 	const batch = 16
@@ -488,6 +491,61 @@ func BenchmarkDeployBatch(b *testing.B) {
 		_, errs := p.DeployBatch("ci", specs)
 		for _, err := range errs {
 			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(batch, "workloads/op")
+}
+
+// BenchmarkDeployBatchSyncBarrier is the pre-v2 batch shape kept as the
+// comparison baseline: synchronous Deploys fanned over a bounded worker
+// pool, each worker barriering on its deploy before taking the next.
+// BenchmarkDeployAsyncPipelined must meet or beat it.
+func BenchmarkDeployBatchSyncBarrier(b *testing.B) {
+	p := benchDeployPlatform(b)
+	const batch = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		specs := make([]genio.WorkloadSpec, batch)
+		for j := range specs {
+			specs[j] = benchSpec(fmt.Sprintf("sync-%d-%d", i, j))
+		}
+		errs := make([]error, batch)
+		workpool.Run(batch, 0, func(j int) {
+			_, errs[j] = p.Deploy("ci", specs[j])
+		})
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(batch, "workloads/op")
+}
+
+// BenchmarkDeployAsyncPipelined is the v2 async surface: every spec gets
+// a DeployAsync future immediately (admission pipelines across the whole
+// batch — no pool barrier), then the batch awaits all results. Gated
+// against regression alongside the deploy benchmarks.
+func BenchmarkDeployAsyncPipelined(b *testing.B) {
+	p := benchDeployPlatform(b)
+	const batch = 16
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		futures := make([]*genio.Deployment, batch)
+		for j := 0; j < batch; j++ {
+			d, err := p.DeployAsync(ctx, "ci", benchSpec(fmt.Sprintf("async-%d-%d", i, j)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			futures[j] = d
+		}
+		for _, d := range futures {
+			if _, err := d.Result(); err != nil {
 				b.Fatal(err)
 			}
 		}

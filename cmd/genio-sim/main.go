@@ -11,6 +11,12 @@
 //	genio-sim -campaign all -seed 7              # every campaign
 //	genio-sim -campaign failover-storm -summary  # one-line verdicts only
 //	genio-sim -campaign event-storm -events      # + spine firehose on stderr
+//	genio-sim -campaign cancel-storm -seed 7     # API-v2 cancellation races
+//
+// cancel-storm drives asynchronous deployments (DeployAsync futures)
+// with seeded cancellations deterministically landing mid-scan; its
+// invariants prove no cancelled deployment is ever placed and that every
+// future emits exactly one terminal deploy.lifecycle event.
 //
 // -events streams every event-spine record (incidents, falco alerts,
 // audit, metrics) as JSON lines to stderr while the run executes. The

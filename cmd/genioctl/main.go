@@ -8,9 +8,25 @@
 //	genioctl -posture secure
 //	genioctl -posture legacy
 //	genioctl -posture secure -campaign
+//
+// Control-plane API v2 subcommands:
+//
+//	genioctl deploy -image acme/analytics:2.0.1 -name web -wait
+//	genioctl deploy -image acme/iot-gateway:1.4.2 -timeout 2s
+//	genioctl watch -deploys 4 -tenant acme
+//
+// `deploy` drives one asynchronous deployment (DeployAsync) against a
+// demo platform: -timeout sets a context deadline (deadline expiry
+// cancels the in-flight admission scan), -wait streams every lifecycle
+// transition, and rejections print the typed per-scanner verdict table
+// instead of one error string. `watch` subscribes to the
+// deploy.lifecycle topic (Platform.Watch) while a scripted mix of clean
+// and hostile deployments runs, streaming each transition.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,7 +45,251 @@ func main() {
 	}
 }
 
+// run dispatches: the v2 subcommands by leading word, anything else to
+// the classic demo driver.
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "deploy":
+			return runDeploy(args[1:], out)
+		case "watch":
+			return runWatch(args[1:], out)
+		}
+	}
+	return runDemo(args, out)
+}
+
+// parsePosture maps the -posture flag value to a Config.
+func parsePosture(name string) (genio.Config, error) {
+	switch name {
+	case "secure":
+		return genio.SecureConfig(), nil
+	case "legacy":
+		return genio.LegacyConfig(), nil
+	default:
+		return genio.Config{}, fmt.Errorf("unknown posture %q", name)
+	}
+}
+
+// demoPlatform builds the subcommand fixture: a two-node platform with a
+// trusted publisher, the signed image set (clean, SAST-flagged,
+// vulnerable, malicious), one unsigned hostile image, and deploy rights
+// for the genioctl subject on every tenant.
+func demoPlatform(cfg genio.Config) (*genio.Platform, error) {
+	p, err := genio.NewPlatform(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	for _, node := range []string{"olt-01", "olt-02"} {
+		if _, err := p.AddEdgeNode(node, genio.Resources{CPUMilli: 16000, MemoryMB: 32768}); err != nil {
+			return nil, fmt.Errorf("edge node %s: %w", node, err)
+		}
+	}
+	pub, err := container.NewPublisher("acme")
+	if err != nil {
+		return nil, err
+	}
+	p.Registry.TrustPublisher("acme", pub.PublicKey())
+	for _, img := range []*container.Image{
+		container.AnalyticsImage(),
+		container.IoTGatewayImage(),
+		container.MLInferenceImage(),
+		container.CryptominerImage(),
+	} {
+		sig := pub.Sign(img)
+		p.Registry.Push(img, &sig)
+	}
+	p.Registry.Push(container.BackdoorImage(), nil) // unsigned
+	p.RBAC.SetRole(rbac.Role{Name: "genioctl-admin", Permissions: []rbac.Permission{
+		{Verb: "*", Resource: "*", Namespace: "*"},
+	}})
+	if err := p.RBAC.Bind("genioctl", "genioctl-admin"); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// runDeploy drives one DeployAsync future end to end.
+func runDeploy(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("genioctl deploy", flag.ContinueOnError)
+	fs.SetOutput(out)
+	posture := fs.String("posture", "secure", "platform posture: secure | legacy")
+	image := fs.String("image", "acme/analytics:2.0.1", "image ref to deploy")
+	name := fs.String("name", "workload-1", "workload name")
+	tenant := fs.String("tenant", "acme", "tenant namespace")
+	cpu := fs.Int("cpu", 500, "cpu demand (milli-cores)")
+	mem := fs.Int("mem", 512, "memory demand (MB)")
+	isolation := fs.String("isolation", "soft", "isolation mode: soft | hard")
+	wait := fs.Bool("wait", false, "stream lifecycle transitions while waiting")
+	timeout := fs.Duration("timeout", 0, "context deadline for the deployment (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := parsePosture(*posture)
+	if err != nil {
+		return err
+	}
+	iso := genio.IsolationSoft
+	if *isolation == "hard" {
+		iso = genio.IsolationHard
+	}
+	p, err := demoPlatform(cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var opts []genio.DeployOption
+	if *wait {
+		opts = append(opts, genio.WithOnTransition(func(ev genio.LifecycleEvent) {
+			fmt.Fprintf(out, "  %-9s %s\n", ev.State, ev.Detail)
+		}))
+	}
+	// Print before launching: the -wait transition callback writes to out
+	// from the deployment's goroutine, so the submit line must not race it.
+	fmt.Fprintf(out, "deployment %s (%s) submitted\n", *name, *image)
+	d, err := p.DeployAsync(ctx, "genioctl", genio.WorkloadSpec{
+		Name: *name, Tenant: *tenant, ImageRef: *image,
+		Isolation: iso, Resources: genio.Resources{CPUMilli: *cpu, MemoryMB: *mem},
+	}, opts...)
+	if err != nil {
+		return err
+	}
+	w, err := d.Result()
+	if err == nil {
+		fmt.Fprintf(out, "PLACED: %s on %s (vm %s)\n", w.Spec.Name, w.Node, w.VMID)
+		return nil
+	}
+	printDeployError(out, err)
+	return nil
+}
+
+// printDeployError renders the typed taxonomy instead of one string.
+func printDeployError(out io.Writer, err error) {
+	var adm *genio.AdmissionError
+	var pull *genio.ImagePullError
+	var quota *genio.QuotaError
+	var capa *genio.CapacityError
+	var cancelled *genio.CancelledError
+	switch {
+	case errors.As(err, &adm):
+		fmt.Fprintf(out, "REJECTED by admission (workload %s):\n", adm.Workload)
+		for _, v := range adm.Verdicts {
+			switch {
+			case !v.Passed:
+				fmt.Fprintf(out, "  [FAIL] %-13s %s\n", v.Scanner, v.Detail)
+			case v.Cached:
+				fmt.Fprintf(out, "  [pass] %-13s (cached verdict)\n", v.Scanner)
+			default:
+				fmt.Fprintf(out, "  [pass] %-13s\n", v.Scanner)
+			}
+		}
+	case errors.As(err, &pull):
+		fmt.Fprintf(out, "REJECTED at pull: %s: %v\n", pull.Ref, pull.Err)
+	case errors.As(err, &quota):
+		fmt.Fprintf(out, "REJECTED by quota: tenant %s at cpu=%dm mem=%dMB of cpu=%dm mem=%dMB, requested cpu=%dm mem=%dMB\n",
+			quota.Tenant, quota.Used.CPUMilli, quota.Used.MemoryMB,
+			quota.Quota.CPUMilli, quota.Quota.MemoryMB,
+			quota.Requested.CPUMilli, quota.Requested.MemoryMB)
+	case errors.As(err, &capa):
+		fmt.Fprintf(out, "REJECTED for capacity: %s needs cpu=%dm mem=%dMB; no fit across %d node(s)\n",
+			capa.Workload, capa.Requested.CPUMilli, capa.Requested.MemoryMB, capa.Nodes)
+	case errors.As(err, &cancelled):
+		reason := "cancelled"
+		if errors.Is(err, context.DeadlineExceeded) {
+			reason = "deadline exceeded"
+		}
+		fmt.Fprintf(out, "CANCELLED (%s) during %s; workload was never placed\n", reason, cancelled.Stage)
+	default:
+		fmt.Fprintf(out, "FAILED: %v\n", err)
+	}
+}
+
+// runWatch streams the deploy.lifecycle topic while a scripted mix of
+// deployments runs.
+func runWatch(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("genioctl watch", flag.ContinueOnError)
+	fs.SetOutput(out)
+	posture := fs.String("posture", "secure", "platform posture: secure | legacy")
+	tenant := fs.String("tenant", "", "filter: only this tenant's deployments")
+	terminal := fs.Bool("terminal-only", false, "filter: only terminal states")
+	deploys := fs.Int("deploys", 4, "scripted deployments to drive while watching")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := parsePosture(*posture)
+	if err != nil {
+		return err
+	}
+	p, err := demoPlatform(cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events, err := p.Watch(ctx, genio.WatchSelector{Tenant: *tenant, TerminalOnly: *terminal})
+	if err != nil {
+		return err
+	}
+	// The scripted mix: clean, SAST-flagged, and unsigned refs rotate.
+	refs := []string{"acme/analytics:2.0.1", "acme/iot-gateway:1.4.2", "freestuff/log-shipper:3.1"}
+	specs := make([]genio.WorkloadSpec, 0, *deploys)
+	for i := 0; i < *deploys; i++ {
+		specs = append(specs, genio.WorkloadSpec{
+			Name: fmt.Sprintf("watched-%02d", i), Tenant: "acme",
+			ImageRef: refs[i%len(refs)], Isolation: genio.IsolationSoft,
+			Resources: genio.Resources{CPUMilli: 200, MemoryMB: 256},
+		})
+	}
+
+	// Every scripted deployment emits exactly one terminal event, so the
+	// printer knows when the stream is complete without timers. A tenant
+	// filter that matches nothing just stops after the batch flushes.
+	expectTerminals := len(specs)
+	if *tenant != "" && *tenant != "acme" {
+		expectTerminals = 0
+	}
+	printed := make(chan struct{})
+	go func() {
+		defer close(printed)
+		terminals := 0
+		for ev := range events {
+			line := fmt.Sprintf("%-12s %-9s -> %-9s", ev.Workload, ev.From, ev.State)
+			if ev.Node != "" {
+				line += " on " + ev.Node
+			}
+			if ev.Detail != "" {
+				line += "  (" + ev.Detail + ")"
+			}
+			fmt.Fprintln(out, line)
+			if ev.State.Terminal() {
+				if terminals++; terminals == expectTerminals {
+					return
+				}
+			}
+		}
+	}()
+
+	fmt.Fprintf(out, "watching deploy.lifecycle (%d scripted deploys)...\n", len(specs))
+	p.DeployBatch("genioctl", specs)
+	if expectTerminals == 0 {
+		p.Flush()
+		cancel()
+	}
+	<-printed
+	return nil
+}
+
+// runDemo is the classic demo driver.
+func runDemo(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("genioctl", flag.ContinueOnError)
 	fs.SetOutput(out)
 	posture := fs.String("posture", "secure", "platform posture: secure | legacy")
@@ -38,14 +298,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	var cfg genio.Config
-	switch *posture {
-	case "secure":
-		cfg = genio.SecureConfig()
-	case "legacy":
-		cfg = genio.LegacyConfig()
-	default:
-		return fmt.Errorf("unknown posture %q", *posture)
+	cfg, err := parsePosture(*posture)
+	if err != nil {
+		return err
 	}
 
 	p, err := genio.NewPlatform(cfg)

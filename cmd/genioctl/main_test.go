@@ -57,3 +57,97 @@ func TestUnknownPosture(t *testing.T) {
 		t.Fatal("unknown posture accepted")
 	}
 }
+
+func TestDeploySubcommandPlaced(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"deploy", "-image", "acme/analytics:2.0.1", "-name", "web", "-wait"}, &buf); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"scanning", "placing", "running", "PLACED: web on olt-01"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("deploy output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestDeploySubcommandTypedVerdicts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"deploy", "-image", "acme/iot-gateway:1.4.2", "-name", "flagged"}, &buf); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	out := buf.String()
+	for _, needle := range []string{
+		"REJECTED by admission (workload flagged)",
+		"[FAIL] sast-gate",
+		"[pass] malware-scan",
+		"[pass] sca-gate",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("deploy output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestDeploySubcommandPullRejection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"deploy", "-image", "freestuff/log-shipper:3.1"}, &buf); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	if !strings.Contains(buf.String(), "REJECTED at pull: freestuff/log-shipper:3.1") {
+		t.Errorf("missing typed pull rejection:\n%s", buf.String())
+	}
+}
+
+func TestWatchSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"watch", "-deploys", "4"}, &buf); err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	out := buf.String()
+	for _, needle := range []string{
+		"watching deploy.lifecycle (4 scripted deploys)",
+		"-> running",
+		"-> rejected",
+		"watched-00",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("watch output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestWatchSubcommandTenantFilterMiss(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"watch", "-deploys", "2", "-tenant", "nobody"}, &buf); err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if strings.Contains(buf.String(), "-> running") {
+		t.Errorf("tenant filter leaked events:\n%s", buf.String())
+	}
+}
+
+func TestDeploySubcommandDeadlineExpired(t *testing.T) {
+	var buf bytes.Buffer
+	// A 1ns deadline is expired before the pipeline starts: the future
+	// must terminate cancelled without placing anything.
+	if err := run([]string{"deploy", "-image", "acme/analytics:2.0.1", "-timeout", "1ns"}, &buf); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CANCELLED (deadline exceeded)") || !strings.Contains(out, "never placed") {
+		t.Errorf("missing typed cancellation:\n%s", out)
+	}
+}
+
+func TestDeploySubcommandQuotaRejection(t *testing.T) {
+	var buf bytes.Buffer
+	// The secure posture applies a 2000m default tenant quota; 3000m
+	// trips the typed quota rejection.
+	if err := run([]string{"deploy", "-image", "acme/analytics:2.0.1", "-cpu", "3000"}, &buf); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	if !strings.Contains(buf.String(), "REJECTED by quota: tenant acme") {
+		t.Errorf("missing typed quota rejection:\n%s", buf.String())
+	}
+}

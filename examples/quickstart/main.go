@@ -1,10 +1,15 @@
 // Quickstart: bring up a secure GENIO platform, provision an edge OLT and
-// a far-edge ONU, publish a signed image, and deploy a tenant workload.
+// a far-edge ONU, publish a signed image, and deploy tenant workloads
+// through the v2 control-plane API — an asynchronous, cancellable deploy
+// future with lifecycle watch and typed rejection errors.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"genio"
 	"genio/internal/container"
@@ -58,8 +63,32 @@ func run() error {
 		return err
 	}
 
-	// 6. Deploy through the full admission pipeline.
-	w, err := p.Deploy("acme-ci", genio.WorkloadSpec{
+	// 6. Watch the deployment lifecycle the way genioctl or a SIEM
+	//    exporter would: a filtered channel over the deploy.lifecycle
+	//    topic.
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	lifecycle, err := p.Watch(watchCtx, genio.WatchSelector{Tenant: "acme"})
+	if err != nil {
+		return fmt.Errorf("watch: %w", err)
+	}
+	watched := make(chan struct{})
+	go func() {
+		defer close(watched)
+		for ev := range lifecycle {
+			fmt.Printf("  lifecycle: %-10s %s\n", ev.Workload, ev.State)
+			if ev.State.Terminal() {
+				return
+			}
+		}
+	}()
+
+	// 7. Deploy asynchronously through the full admission pipeline, under
+	//    a deadline: cancellation or expiry aborts the in-flight scans
+	//    without ever placing the workload.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	d, err := p.DeployAsync(ctx, "acme-ci", genio.WorkloadSpec{
 		Name: "analytics", Tenant: "acme", ImageRef: "acme/analytics:2.0.1",
 		Isolation: genio.IsolationSoft,
 		Resources: genio.Resources{CPUMilli: 500, MemoryMB: 512},
@@ -67,7 +96,32 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("deploy: %w", err)
 	}
+	w, err := d.Result()
+	if err != nil {
+		return fmt.Errorf("deploy: %w", err)
+	}
+	<-watched
 	fmt.Printf("workload %s running on %s in VM %s\n", w.Spec.Name, w.Node, w.VMID)
+
+	// 8. Rejections are typed: a hostile image reports the scanner that
+	//    caught it, not an opaque string.
+	p.Registry.Push(container.CryptominerImage(), nil) // adversary upload, unsigned
+	_, err = p.Deploy("acme-ci", genio.WorkloadSpec{
+		Name: "optimizer", Tenant: "acme", ImageRef: "freestuff/optimizer:latest",
+		Isolation: genio.IsolationSoft,
+		Resources: genio.Resources{CPUMilli: 500, MemoryMB: 512},
+	})
+	var pull *genio.ImagePullError
+	switch {
+	case errors.As(err, &pull):
+		fmt.Printf("hostile image rejected at pull: %v\n", pull.Err)
+	case errors.Is(err, genio.ErrRejected):
+		fmt.Printf("hostile image rejected: %v\n", err)
+	case err == nil:
+		return fmt.Errorf("hostile image was admitted")
+	default:
+		return fmt.Errorf("deploy optimizer: %w", err)
+	}
 
 	fmt.Println()
 	fmt.Println(p.RenderDeployment())

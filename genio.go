@@ -12,10 +12,26 @@
 // the admission scanners out over a worker pool (with clean verdicts
 // cached per image digest), Deploy and DeployBatch may be called from
 // many goroutines, and every telemetry stream — incidents, falco
-// alerts, control-plane audit records, metrics — flows through one
-// sharded event spine. Call Flush before reading incidents recorded by
-// other goroutines, Subscribe to consume any stream live, and Close
-// when discarding a platform.
+// alerts, control-plane audit records, metrics, deployment lifecycle —
+// flows through one sharded event spine. Call Flush before reading
+// incidents recorded by other goroutines, Subscribe to consume any
+// stream live, and Close when discarding a platform.
+//
+// Control-plane API v2. Every blocking entry point has a context-first
+// variant (DeployContext, DeployBatchContext, AddEdgeNodeContext,
+// AttachONUContext, FlushContext, PublishEventContext): cancellation or
+// deadline expiry aborts in-flight admission scans without placing the
+// workload or leaking pool goroutines. DeployAsync returns a
+// *Deployment future whose transitions (pending -> scanning -> placing
+// -> running | rejected | cancelled) stream on the deploy.lifecycle
+// topic, and Watch turns that topic into a filtered channel. Rejections
+// are typed — *AdmissionError (per-scanner verdicts), *QuotaError,
+// *CapacityError, *UnauthorizedError, *DuplicateNameError,
+// *ImagePullError — all errors.Is-matching the ErrRejected umbrella
+// plus their specific sentinels. Cancellations match ErrCancelled (and
+// context.Canceled / context.DeadlineExceeded via Unwrap); operations
+// on a closed platform return *ClosedError matching ErrClosed — both
+// deliberately outside the rejection umbrella.
 //
 // Quick start:
 //
@@ -23,10 +39,20 @@
 //	defer p.Close()
 //	node, err := p.AddEdgeNode("olt-01", genio.Resources{CPUMilli: 8000, MemoryMB: 16384})
 //	onu, err := p.AttachONU("olt-01", "onu-0001")
-//	w, err := p.Deploy("tenant-ci", genio.WorkloadSpec{...})
-//	ws, errs := p.DeployBatch("tenant-ci", []genio.WorkloadSpec{...})
 //
-// Consuming the event spine (a SIEM exporter, a dashboard):
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	d, err := p.DeployAsync(ctx, "tenant-ci", genio.WorkloadSpec{...})
+//	w, err := d.Result() // or select on d.Done(); d.Cancel() to abort
+//	var adm *genio.AdmissionError
+//	if errors.As(err, &adm) { ... adm.Verdicts ... }
+//
+// Watching workload lifecycle (genioctl watch, SIEM export):
+//
+//	events, err := p.Watch(ctx, genio.WatchSelector{Tenant: "acme"})
+//	for ev := range events { fmt.Println(ev.Workload, ev.State) }
+//
+// Consuming the raw event spine (a SIEM exporter, a dashboard):
 //
 //	sub, err := p.Subscribe("siem", []genio.Topic{genio.TopicIncident, genio.TopicAudit},
 //		func(batch []genio.Event) { ... })
@@ -86,10 +112,11 @@ type Topic = events.Topic
 
 // Built-in spine topics.
 const (
-	TopicIncident   = events.TopicIncident
-	TopicFalcoAlert = events.TopicFalcoAlert
-	TopicAudit      = events.TopicAudit
-	TopicMetric     = events.TopicMetric
+	TopicIncident        = events.TopicIncident
+	TopicFalcoAlert      = events.TopicFalcoAlert
+	TopicAudit           = events.TopicAudit
+	TopicMetric          = events.TopicMetric
+	TopicDeployLifecycle = events.TopicDeployLifecycle
 )
 
 // Metric is the common payload vocabulary for TopicMetric events.
@@ -133,6 +160,90 @@ func WithClock(now func() int64) PlatformOption { return core.WithClock(now) }
 func NewPlatform(cfg Config, opts ...PlatformOption) (*Platform, error) {
 	return core.New(cfg, opts...)
 }
+
+// --- Control-plane API v2: futures, lifecycle, typed errors -----------------
+
+// Deployment is an asynchronous deployment future returned by
+// Platform.DeployAsync: Done/Result/Cancel plus the live State.
+type Deployment = core.Deployment
+
+// DeployOption configures one DeployAsync call (WithOnTransition).
+type DeployOption = core.DeployOption
+
+// WithOnTransition registers a per-deployment lifecycle callback (see
+// core.WithOnTransition).
+func WithOnTransition(fn func(LifecycleEvent)) DeployOption { return core.WithOnTransition(fn) }
+
+// DeployState is one state of the asynchronous deployment lifecycle.
+type DeployState = core.DeployState
+
+// Lifecycle states: pending, scanning, and placing are transient;
+// running, rejected, and cancelled are terminal.
+const (
+	StatePending   = core.StatePending
+	StateScanning  = core.StateScanning
+	StatePlacing   = core.StatePlacing
+	StateRunning   = core.StateRunning
+	StateRejected  = core.StateRejected
+	StateCancelled = core.StateCancelled
+)
+
+// LifecycleEvent is the payload of deploy.lifecycle spine events and the
+// element type of Watch channels.
+type LifecycleEvent = core.LifecycleEvent
+
+// WatchSelector filters Platform.Watch (zero value = everything).
+type WatchSelector = core.WatchSelector
+
+// Typed control-plane errors. All are errors.As-able from any rejection
+// the deploy pipeline returns; the rejection types errors.Is-match both
+// their specific sentinel and the ErrRejected umbrella, while
+// CancelledError matches ErrCancelled and ClosedError matches ErrClosed
+// (neither is a rejection).
+type (
+	// AdmissionError carries the full per-scanner verdict vector of a
+	// rejected deployment.
+	AdmissionError = orchestrator.AdmissionError
+	// ScannerVerdict is one admission controller's outcome.
+	ScannerVerdict = orchestrator.ScannerVerdict
+	// ImagePullError is a registry pull failure (unknown ref, unsigned,
+	// bad signature); Unwrap exposes the container sentinel.
+	ImagePullError = orchestrator.ImagePullError
+	// CapacityError reports that no node could host the demand.
+	CapacityError = orchestrator.CapacityError
+	// QuotaError reports a tenant-quota rejection with its arithmetic.
+	QuotaError = orchestrator.QuotaError
+	// UnauthorizedError reports an RBAC denial.
+	UnauthorizedError = orchestrator.UnauthorizedError
+	// DuplicateNameError reports a workload-name collision.
+	DuplicateNameError = orchestrator.DuplicateNameError
+	// NodeNotFoundError reports an operation on an unknown edge node.
+	NodeNotFoundError = orchestrator.NodeNotFoundError
+	// CancelledError reports a deployment aborted by its context.
+	CancelledError = orchestrator.CancelledError
+	// ClosedError reports a control-plane operation on a closed platform.
+	ClosedError = core.ClosedError
+)
+
+// Control-plane sentinels for errors.Is.
+var (
+	// ErrRejected matches every typed rejection of the deploy pipeline.
+	ErrRejected = orchestrator.ErrRejected
+	// ErrCancelled matches context-aborted deployments.
+	ErrCancelled = orchestrator.ErrCancelled
+	// ErrDenied matches admission-chain rejections.
+	ErrDenied = orchestrator.ErrDenied
+	// ErrNoCapacity matches capacity rejections.
+	ErrNoCapacity = orchestrator.ErrNoCapacity
+	// ErrQuotaExceeded matches tenant-quota rejections.
+	ErrQuotaExceeded = orchestrator.ErrQuotaExceeded
+	// ErrUnauthorized matches RBAC denials.
+	ErrUnauthorized = orchestrator.ErrUnauthorized
+	// ErrDuplicateName matches workload-name collisions.
+	ErrDuplicateName = orchestrator.ErrDuplicateName
+	// ErrClosed matches operations on a closed platform or spine.
+	ErrClosed = events.ErrClosed
+)
 
 // SecureConfig returns the paper's full security-by-design posture.
 func SecureConfig() Config { return core.SecureConfig() }

@@ -301,9 +301,10 @@ func (c *Campaign) attackAnonymousAPI() Result {
 		Isolation: orchestrator.IsolationSoft,
 		Resources: orchestrator.Resources{CPUMilli: 100, MemoryMB: 128},
 	})
-	if errors.Is(err, orchestrator.ErrUnauthorized) {
+	var unauth *orchestrator.UnauthorizedError
+	if errors.As(err, &unauth) {
 		r.Outcome = OutcomeBlocked
-		r.Detail = "RBAC denied the unauthenticated subject (M10)"
+		r.Detail = fmt.Sprintf("RBAC denied %s in tenant %s (M10)", unauth.Subject, unauth.Tenant)
 		return r
 	}
 	if err != nil {
@@ -396,7 +397,20 @@ func (c *Campaign) attackMaliciousImage() Result {
 	})
 	if err != nil {
 		r.Outcome = OutcomeBlocked
-		r.Detail = fmt.Sprintf("rejected before scheduling: %v", err)
+		// The typed taxonomy names the gate: a scanner verdict reports
+		// which admission controller caught the image, a pull error means
+		// the supply chain rejected it before any scan ran.
+		var adm *orchestrator.AdmissionError
+		var pull *orchestrator.ImagePullError
+		switch {
+		case errors.As(err, &adm) && len(adm.Rejections()) > 0:
+			v := adm.Rejections()[0]
+			r.Detail = fmt.Sprintf("blocked by %s: %s", v.Scanner, v.Detail)
+		case errors.As(err, &pull):
+			r.Detail = fmt.Sprintf("blocked at pull: %v", pull.Err)
+		default:
+			r.Detail = fmt.Sprintf("rejected before scheduling: %v", err)
+		}
 		return r
 	}
 	// Admitted: the miner attempts a container escape at runtime.
@@ -434,9 +448,11 @@ func (c *Campaign) attackResourceAbuse() Result {
 			Resources: orchestrator.Resources{CPUMilli: 900, MemoryMB: 1800},
 		})
 		if err != nil {
-			if errors.Is(err, orchestrator.ErrQuotaExceeded) {
+			var quota *orchestrator.QuotaError
+			if errors.As(err, &quota) {
 				r.Outcome = OutcomeBlocked
-				r.Detail = fmt.Sprintf("quota stopped the tenant after %d workloads (T8 counter)", deployed)
+				r.Detail = fmt.Sprintf("quota stopped the tenant after %d workloads at cpu=%dm/%dm (T8 counter)",
+					deployed, quota.Used.CPUMilli, quota.Quota.CPUMilli)
 				return r
 			}
 			r.Outcome = OutcomeBlocked

@@ -11,9 +11,11 @@ import (
 	"crypto/ed25519"
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -31,18 +33,20 @@ type Layer struct {
 	Files []File `json:"files"`
 }
 
-// Digest computes the layer content digest.
+// Digest computes the layer content digest (order-insensitive over file
+// paths, binary-encoded — no reflection formatting on the deploy path).
 func (l Layer) Digest() string {
 	files := append([]File(nil), l.Files...)
 	sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
 	h := sha256.New()
+	var word [8]byte
 	for _, f := range files {
-		h.Write([]byte(f.Path))
-		h.Write([]byte{0})
-		fmt.Fprintf(h, "%o", f.Mode)
-		h.Write([]byte{0})
+		hashString(h, f.Path)
+		binary.LittleEndian.PutUint32(word[:4], f.Mode)
+		h.Write(word[:4])
+		binary.LittleEndian.PutUint64(word[:], uint64(len(f.Content)))
+		h.Write(word[:])
 		h.Write(f.Content)
-		h.Write([]byte{0})
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -97,17 +101,40 @@ type Image struct {
 // Ref returns name:tag.
 func (i *Image) Ref() string { return i.Name + ":" + i.Tag }
 
-// Digest computes the image manifest digest over layer digests and config.
+// hashString writes a length-delimited string into the hash, so field
+// boundaries can never be confused whatever the contents.
+func hashString(h io.Writer, s string) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+	h.Write(n[:])
+	io.WriteString(h, s)
+}
+
+// Digest computes the image manifest digest over layer digests and
+// config. Deliberately recomputed on every call — never memoized — so a
+// tampered image (the registry-compromise threat) can never hide behind
+// a stale digest. The admission pipeline calls this per deployment for
+// its cache keys, so the encoding is hand-rolled rather than
+// reflection-formatted.
 func (i *Image) Digest() string {
 	h := sha256.New()
-	h.Write([]byte(i.Name))
-	h.Write([]byte{0})
-	h.Write([]byte(i.Tag))
+	hashString(h, i.Name)
+	hashString(h, i.Tag)
 	for _, l := range i.Layers {
-		h.Write([]byte(l.Digest()))
+		hashString(h, l.Digest())
 	}
-	fmt.Fprintf(h, "%v|%s|%v|%v", i.Config.Entrypoint, i.Config.User,
-		i.Config.Capabilities, i.Config.ExposedPorts)
+	for _, e := range i.Config.Entrypoint {
+		hashString(h, e)
+	}
+	hashString(h, i.Config.User)
+	for _, c := range i.Config.Capabilities {
+		hashString(h, c)
+	}
+	var port [8]byte
+	for _, p := range i.Config.ExposedPorts {
+		binary.LittleEndian.PutUint64(port[:], uint64(p))
+		h.Write(port[:])
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -12,9 +12,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"genio/internal/container"
 	"genio/internal/events"
@@ -183,6 +185,11 @@ type Platform struct {
 	// lock).
 	now func() int64
 
+	// closed flips on the first Close. New deployments are refused with a
+	// *ClosedError afterwards; telemetry keeps the spine's post-close
+	// contract (late incidents apply synchronously).
+	closed atomic.Bool
+
 	// Far-edge state (see faredge.go).
 	feMu              sync.Mutex
 	farEdge           map[string]*farEdgeState
@@ -244,14 +251,20 @@ func New(cfg Config, opts ...Option) (*Platform, error) {
 // Every gate's verdict depends only on the image content, so all register
 // cacheable: a clean image scanned once deploys across the whole fleet
 // without re-scanning, while rejections always re-run (and re-report).
+// Every gate is context-aware: a cancelled deployment's scanners abandon
+// their scan between files and record nothing — no incident, no cache
+// entry.
 func (p *Platform) registerScanners() {
 	malScanner, err := malware.NewScanner(malware.DefaultRules())
 	if err != nil {
 		// Stock rules are compile-tested; failure here is programmer error.
 		panic(fmt.Sprintf("core: compile stock malware rules: %v", err))
 	}
-	p.Cluster.RegisterAdmissionCached("malware-scan", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
-		rep := malScanner.Scan(img)
+	p.Cluster.RegisterAdmissionCachedCtx("malware-scan", func(ctx context.Context, spec orchestrator.WorkloadSpec, img *container.Image) error {
+		rep, err := malScanner.ScanContext(ctx, img)
+		if err != nil {
+			return err
+		}
 		if rep.Malicious() {
 			p.recordIncident(Incident{Source: "admission", Workload: spec.Name,
 				Detail: fmt.Sprintf("malware rule %s matched in %s", rep.Matches[0].Rule, rep.Matches[0].Path), Blocked: true})
@@ -261,8 +274,11 @@ func (p *Platform) registerScanners() {
 	})
 
 	bench := scap.DockerBenchProfile()
-	p.Cluster.RegisterAdmissionCached("docker-bench", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
-		rep := scap.EvaluateImage(bench, img)
+	p.Cluster.RegisterAdmissionCachedCtx("docker-bench", func(ctx context.Context, spec orchestrator.WorkloadSpec, img *container.Image) error {
+		rep, err := scap.EvaluateImageContext(ctx, bench, img)
+		if err != nil {
+			return err
+		}
 		for _, f := range rep.Failures() {
 			if f.Severity >= scap.Critical {
 				p.recordIncident(Incident{Source: "admission", Workload: spec.Name,
@@ -274,8 +290,12 @@ func (p *Platform) registerScanners() {
 	})
 
 	scaScanner := sca.NewScanner(sca.DependencyDatabase())
-	p.Cluster.RegisterAdmissionCached("sca-gate", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
-		rep := scaScanner.Scan(img).ReachableOnly()
+	p.Cluster.RegisterAdmissionCachedCtx("sca-gate", func(ctx context.Context, spec orchestrator.WorkloadSpec, img *container.Image) error {
+		full, err := scaScanner.ScanContext(ctx, img)
+		if err != nil {
+			return err
+		}
+		rep := full.ReachableOnly()
 		for _, f := range rep.Findings {
 			if f.CVE.Severity() == vuln.SeverityCritical && f.CVE.Exploitable {
 				p.recordIncident(Incident{Source: "admission", Workload: spec.Name,
@@ -287,8 +307,11 @@ func (p *Platform) registerScanners() {
 	})
 
 	sastScanner := sast.NewScanner(sast.DefaultRules())
-	p.Cluster.RegisterAdmissionCached("sast-gate", func(spec orchestrator.WorkloadSpec, img *container.Image) error {
-		rep := sastScanner.Scan(img)
+	p.Cluster.RegisterAdmissionCachedCtx("sast-gate", func(ctx context.Context, spec orchestrator.WorkloadSpec, img *container.Image) error {
+		rep, err := sastScanner.ScanContext(ctx, img)
+		if err != nil {
+			return err
+		}
 		for _, f := range rep.Actionable() {
 			if f.Severity == sast.Error {
 				p.recordIncident(Incident{Source: "admission", Workload: spec.Name,
@@ -302,8 +325,23 @@ func (p *Platform) registerScanners() {
 
 // AddEdgeNode provisions an OLT through the infrastructure pipeline:
 // host build (+M1/M2 hardening), signed boot chain (M5), attestation,
-// storage unlock (M6), and FIM baseline (M7).
+// storage unlock (M6), and FIM baseline (M7). Context-free compatibility
+// wrapper over AddEdgeNodeContext.
 func (p *Platform) AddEdgeNode(name string, capacity orchestrator.Resources) (*EdgeNode, error) {
+	return p.AddEdgeNodeContext(context.Background(), name, capacity)
+}
+
+// AddEdgeNodeContext is AddEdgeNode with cancellation: the context is
+// checked between the provisioning stages (boot, attestation, storage,
+// PON bring-up, FIM baseline), so a cancelled or deadline-exceeded
+// provisioning aborts without registering the node.
+func (p *Platform) AddEdgeNodeContext(ctx context.Context, name string, capacity orchestrator.Resources) (*EdgeNode, error) {
+	if p.closed.Load() {
+		return nil, &ClosedError{Op: "add-edge-node"}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	h := host.NewONLOLT(name)
 	if p.Config.HardenOS {
 		host.HardenONLOLT(h)
@@ -328,6 +366,9 @@ func (p *Platform) AddEdgeNode(name string, capacity orchestrator.Resources) (*E
 		return nil, fmt.Errorf("%w: %v", ErrBootFailed, err)
 	}
 	_ = res
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Remote attestation against the golden chain values.
 	attested := false
@@ -343,6 +384,9 @@ func (p *Platform) AddEdgeNode(name string, capacity orchestrator.Resources) (*E
 			return nil, fmt.Errorf("%w: %v", ErrAttestFailed, err)
 		}
 		attested = true
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	vol, err := storage.CreateVolume(name+"-data", name+"-recovery-phrase")
@@ -360,6 +404,10 @@ func (p *Platform) AddEdgeNode(name string, capacity orchestrator.Resources) (*E
 				return nil, fmt.Errorf("sealed unlock: %w", err)
 			}
 		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	oltID, err := p.CA.Issue(name, pki.RoleOLT)
@@ -396,13 +444,14 @@ func (p *Platform) AddEdgeNode(name string, capacity orchestrator.Resources) (*E
 	return node, nil
 }
 
-// Node returns a provisioned edge node.
+// Node returns a provisioned edge node. Unknown names yield a typed
+// *orchestrator.NodeNotFoundError wrapping ErrNoNode.
 func (p *Platform) Node(name string) (*EdgeNode, error) {
 	p.nodeMu.RLock()
 	defer p.nodeMu.RUnlock()
 	n, ok := p.nodes[name]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoNode, name)
+		return nil, &orchestrator.NodeNotFoundError{Node: name, Err: ErrNoNode}
 	}
 	return n, nil
 }
@@ -419,10 +468,23 @@ func (p *Platform) Nodes() []*EdgeNode {
 }
 
 // AttachONU issues a far-edge device identity (when the PON mode requires
-// it) and activates the ONU on the named OLT.
+// it) and activates the ONU on the named OLT. Context-free compatibility
+// wrapper over AttachONUContext.
 func (p *Platform) AttachONU(nodeName, serial string) (*pon.ONU, error) {
+	return p.AttachONUContext(context.Background(), nodeName, serial)
+}
+
+// AttachONUContext is AttachONU with cancellation: the context is checked
+// before identity issuance and before activation.
+func (p *Platform) AttachONUContext(ctx context.Context, nodeName, serial string) (*pon.ONU, error) {
+	if p.closed.Load() {
+		return nil, &ClosedError{Op: "attach-onu"}
+	}
 	node, err := p.Node(nodeName)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var id *pki.Identity
@@ -433,6 +495,9 @@ func (p *Platform) AttachONU(nodeName, serial string) (*pon.ONU, error) {
 		}
 	}
 	onu := pon.NewONU(serial, id)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := node.OLT.Activate(onu); err != nil {
 		p.recordIncident(Incident{Source: "pon", Detail: fmt.Sprintf("onu %s activation: %v", serial, err), Blocked: true})
 		return nil, err
@@ -441,15 +506,40 @@ func (p *Platform) AttachONU(nodeName, serial string) (*pon.ONU, error) {
 }
 
 // Deploy admits a workload through the pipeline; on success a sandbox
-// policy is attached when M17 is enabled.
+// policy is attached when M17 is enabled. Context-free compatibility
+// wrapper over DeployContext; for cancellable, observable deployments use
+// DeployAsync (deployasync.go).
 func (p *Platform) Deploy(subject string, spec orchestrator.WorkloadSpec) (*orchestrator.Workload, error) {
+	return p.DeployContext(context.Background(), subject, spec)
+}
+
+// DeployContext admits a workload through the pipeline, honouring ctx:
+// cancellation or deadline expiry aborts the in-flight admission fan-out
+// without placing the workload, leaking pool goroutines, or warming the
+// verdict cache, and returns a *orchestrator.CancelledError. Rejections
+// are typed (see the orchestrator error taxonomy) and counted on the
+// deploy.rejected metric; cancellations count on deploy.cancelled.
+func (p *Platform) DeployContext(ctx context.Context, subject string, spec orchestrator.WorkloadSpec) (*orchestrator.Workload, error) {
+	return p.deployObserved(ctx, subject, spec, nil)
+}
+
+// deployObserved is the shared deploy body: the synchronous entry points
+// pass a nil observer, the async future wires its lifecycle publisher in.
+func (p *Platform) deployObserved(ctx context.Context, subject string, spec orchestrator.WorkloadSpec, observe func(orchestrator.DeployStage)) (*orchestrator.Workload, error) {
+	if p.closed.Load() {
+		return nil, &ClosedError{Op: "deploy"}
+	}
 	if p.Config.TenantQuotas {
 		// A default quota per tenant when none was set explicitly.
 		p.Cluster.EnsureQuota(spec.Tenant, orchestrator.Resources{CPUMilli: 2000, MemoryMB: 4096})
 	}
-	w, err := p.Cluster.Deploy(subject, spec)
+	w, err := p.Cluster.DeployObserved(ctx, subject, spec, observe)
 	if err != nil {
-		p.publishMetric("deploy.rejected", 1, spec.Tenant)
+		if errors.Is(err, orchestrator.ErrCancelled) {
+			p.publishMetric("deploy.cancelled", 1, spec.Tenant)
+		} else {
+			p.publishMetric("deploy.rejected", 1, spec.Tenant)
+		}
 		return nil, err
 	}
 	if p.Config.SandboxEnabled {
@@ -528,15 +618,39 @@ func (p *Platform) Flush() {
 	p.spine.Flush()
 }
 
+// FlushContext is Flush with bounded waiting: a done ctx abandons the
+// wait and returns its error (delivery keeps progressing in the
+// background — nothing is lost, the caller just stops waiting).
+func (p *Platform) FlushContext(ctx context.Context) error {
+	return p.spine.FlushContext(ctx)
+}
+
 // Close drains the event spine and stops its shard goroutines. It is
 // idempotent and safe to call concurrently (every call blocks until the
 // drain completes), and may interleave freely with Flush and
-// RecordIncident. The platform remains usable (late incidents are applied
-// synchronously; PublishEvent returns events.ErrClosed); closing is only
-// required when discarding platforms in bulk.
+// RecordIncident. After Close the control plane refuses new work with a
+// typed *ClosedError (Deploy, DeployAsync, AddEdgeNode, AttachONU) while
+// telemetry degrades gracefully: late incidents are applied
+// synchronously, PublishEvent returns events.ErrClosed.
 func (p *Platform) Close() {
+	p.closed.Store(true)
 	p.spine.Close()
 }
+
+// ClosedError reports a control-plane operation on a closed platform.
+// Unwrap exposes events.ErrClosed, so errors.Is(err, events.ErrClosed)
+// identifies the class.
+type ClosedError struct {
+	// Op names the refused operation (deploy | add-edge-node | attach-onu
+	// | watch).
+	Op string
+}
+
+// Error names the refused operation.
+func (e *ClosedError) Error() string { return "core: platform closed: " + e.Op }
+
+// Unwrap exposes the spine's closed sentinel.
+func (e *ClosedError) Unwrap() error { return events.ErrClosed }
 
 // Incidents returns a copy of all recorded incidents.
 func (p *Platform) Incidents() []Incident {

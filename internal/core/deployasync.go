@@ -1,0 +1,320 @@
+package core
+
+// Asynchronous deploy futures (control-plane API v2): DeployAsync returns
+// a *Deployment handle immediately and runs the admission pipeline on its
+// own goroutine, so callers pipeline deployments instead of barriering on
+// each one. Every state transition of the future —
+//
+//	pending -> scanning -> placing -> running
+//	                    \-> rejected
+//	                    \-> cancelled
+//
+// is published on the spine's deploy.lifecycle topic (keyed by workload,
+// so per-deployment order is preserved) and mirrored to the optional
+// WithOnTransition callback. Exactly one terminal event is ever emitted
+// per deployment, whatever the interleaving of Cancel, deadline expiry,
+// and pipeline completion: the transition guard drops anything after a
+// terminal state.
+//
+// Watch is the streaming consumer of the same topic: a selector-filtered
+// channel of lifecycle events, closed when the caller's context ends.
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"genio/internal/events"
+	"genio/internal/orchestrator"
+)
+
+// DeployState is one state of the asynchronous deployment lifecycle.
+type DeployState string
+
+// Lifecycle states. Pending, scanning, and placing are transient;
+// running, rejected, and cancelled are terminal.
+const (
+	// StatePending: the future exists, the pipeline has not started.
+	StatePending DeployState = "pending"
+	// StateScanning: image pull and the admission fan-out are running.
+	StateScanning DeployState = "scanning"
+	// StatePlacing: admission passed; reservation and scheduling run.
+	StatePlacing DeployState = "placing"
+	// StateRunning: the workload is placed (terminal success).
+	StateRunning DeployState = "running"
+	// StateRejected: the control plane refused the deployment (terminal;
+	// Result returns the typed rejection).
+	StateRejected DeployState = "rejected"
+	// StateCancelled: the deployment's context was cancelled or expired
+	// before placement (terminal; Result returns a *CancelledError).
+	StateCancelled DeployState = "cancelled"
+)
+
+// Terminal reports whether the state ends the lifecycle.
+func (s DeployState) Terminal() bool {
+	return s == StateRunning || s == StateRejected || s == StateCancelled
+}
+
+// LifecycleEvent is the payload of deploy.lifecycle spine events: one
+// state transition of one asynchronous deployment.
+type LifecycleEvent struct {
+	Workload string      `json:"workload"`
+	Tenant   string      `json:"tenant,omitempty"`
+	From     DeployState `json:"from,omitempty"`
+	State    DeployState `json:"state"`
+	// Node is set on the running transition: where the workload landed.
+	Node string `json:"node,omitempty"`
+	// Detail carries the rejection or cancellation error on terminal
+	// failures.
+	Detail string `json:"detail,omitempty"`
+	// AtMs is the platform-clock time (zero without a clock).
+	AtMs int64 `json:"atMs,omitempty"`
+}
+
+// DeployOption configures one DeployAsync call.
+type DeployOption func(*deployOptions)
+
+type deployOptions struct {
+	onTransition func(LifecycleEvent)
+}
+
+// WithOnTransition registers a callback invoked synchronously on the
+// deployment's own goroutine for every lifecycle transition (after the
+// event is published on the spine). The callback must be fast and must
+// not call back into Flush/Close.
+func WithOnTransition(fn func(LifecycleEvent)) DeployOption {
+	return func(o *deployOptions) { o.onTransition = fn }
+}
+
+// Deployment is an asynchronous deployment future returned by
+// DeployAsync. Safe for concurrent use.
+type Deployment struct {
+	p      *Platform
+	spec   orchestrator.WorkloadSpec
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	onTransition func(LifecycleEvent)
+
+	mu    sync.Mutex
+	state DeployState
+
+	// w and err are written exactly once, before done closes; Done/Result
+	// observers synchronize through the channel close.
+	w   *orchestrator.Workload
+	err error
+}
+
+// Spec returns the deployment's requested spec.
+func (d *Deployment) Spec() orchestrator.WorkloadSpec { return d.spec }
+
+// State returns the current lifecycle state.
+func (d *Deployment) State() DeployState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state
+}
+
+// Done returns a channel closed when the deployment reaches a terminal
+// state (after its terminal lifecycle event has been published).
+func (d *Deployment) Done() <-chan struct{} { return d.done }
+
+// Result blocks until the deployment is terminal and returns its
+// outcome: the placed workload, or the typed rejection/cancellation
+// error. Exactly one of the pair is non-nil.
+func (d *Deployment) Result() (*orchestrator.Workload, error) {
+	<-d.done
+	return d.w, d.err
+}
+
+// Cancel aborts the deployment: the pipeline stops at its next
+// cancellation point (scanners poll between files), the workload is
+// never placed, and Result reports a *orchestrator.CancelledError.
+// Cancelling a terminal deployment is a no-op; Cancel never blocks.
+func (d *Deployment) Cancel() { d.cancel() }
+
+// DeployAsync starts a deployment and returns its future. The pipeline —
+// RBAC, verified pull, admission fan-out, reservation, scheduling — runs
+// on its own goroutine under a context derived from ctx: cancelling ctx
+// (or Deployment.Cancel, or a deadline) aborts it between stages and
+// inside scans without placing the workload or leaking pool goroutines.
+// The only synchronous failure is a closed platform (*ClosedError).
+func (p *Platform) DeployAsync(ctx context.Context, subject string, spec orchestrator.WorkloadSpec, opts ...DeployOption) (*Deployment, error) {
+	if p.closed.Load() {
+		return nil, &ClosedError{Op: "deploy"}
+	}
+	var o deployOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	dctx, cancel := context.WithCancel(ctx)
+	d := &Deployment{
+		p: p, spec: spec, cancel: cancel,
+		done: make(chan struct{}), state: StatePending,
+		onTransition: o.onTransition,
+	}
+	// The pending event is emitted before the pipeline goroutine starts,
+	// so subscribers always see pending first.
+	d.emit(LifecycleEvent{Workload: spec.Name, Tenant: spec.Tenant, State: StatePending})
+	go d.run(dctx, subject)
+	return d, nil
+}
+
+// run drives the pipeline to a terminal state. All transitions after
+// pending happen on this goroutine, which is what makes the
+// exactly-one-terminal-event guarantee cheap.
+func (d *Deployment) run(ctx context.Context, subject string) {
+	defer d.cancel() // release the derived context whatever the outcome
+	w, err := d.p.deployObserved(ctx, subject, d.spec, func(stage orchestrator.DeployStage) {
+		switch stage {
+		case orchestrator.StageScanning:
+			d.transition(StateScanning, "", "")
+		case orchestrator.StagePlacing:
+			d.transition(StatePlacing, "", "")
+		}
+	})
+	d.w, d.err = w, err
+	switch {
+	case err == nil:
+		d.transition(StateRunning, w.Node, "")
+	case errors.Is(err, orchestrator.ErrCancelled):
+		d.transition(StateCancelled, "", err.Error())
+	default:
+		d.transition(StateRejected, "", err.Error())
+	}
+	close(d.done)
+}
+
+// transition advances the lifecycle and emits the event. Transitions out
+// of a terminal state are dropped — the exactly-one-terminal-event
+// guarantee.
+func (d *Deployment) transition(to DeployState, node, detail string) {
+	d.mu.Lock()
+	if d.state.Terminal() {
+		d.mu.Unlock()
+		return
+	}
+	from := d.state
+	d.state = to
+	d.mu.Unlock()
+	d.emit(LifecycleEvent{
+		Workload: d.spec.Name, Tenant: d.spec.Tenant,
+		From: from, State: to, Node: node, Detail: detail,
+	})
+}
+
+// emit stamps and publishes one lifecycle event, then mirrors it to the
+// per-deployment callback. Lifecycle telemetry is observer-dependent:
+// with no deploy.lifecycle subscriber registered, the publish is elided
+// entirely so the un-watched deploy hot path pays nothing for the topic
+// (a subscriber registered mid-deployment starts seeing events from its
+// next transition). Publishing after platform Close degrades to a drop:
+// the lifecycle of a closed platform is not observable.
+func (d *Deployment) emit(ev LifecycleEvent) {
+	if d.p.now != nil && ev.AtMs == 0 {
+		ev.AtMs = d.p.now()
+	}
+	if d.p.spine.HasSubscribers(events.TopicDeployLifecycle) {
+		_ = d.p.spine.Publish(events.Event{
+			Topic: events.TopicDeployLifecycle, Key: ev.Workload, AtMs: ev.AtMs, Payload: ev,
+		})
+	}
+	if d.onTransition != nil {
+		d.onTransition(ev)
+	}
+}
+
+// WatchSelector filters a lifecycle watch. The zero value matches every
+// event.
+type WatchSelector struct {
+	// Tenant, when non-empty, matches only that tenant's deployments.
+	Tenant string
+	// Workload, when non-empty, matches only that workload.
+	Workload string
+	// TerminalOnly drops the transient states (pending, scanning,
+	// placing).
+	TerminalOnly bool
+}
+
+func (s WatchSelector) match(ev LifecycleEvent) bool {
+	if s.Tenant != "" && ev.Tenant != s.Tenant {
+		return false
+	}
+	if s.Workload != "" && ev.Workload != s.Workload {
+		return false
+	}
+	if s.TerminalOnly && !ev.State.Terminal() {
+		return false
+	}
+	return true
+}
+
+// Watch streams deploy.lifecycle events matching sel until ctx ends,
+// then closes the returned channel. Delivery is decoupled from the spine
+// through an unbounded buffer, so a slow watch consumer never stalls
+// shard drainers (or, under Block, publishers). Events published while
+// nobody receives are retained in order; events across different
+// workloads may interleave differently run to run (per-workload order is
+// preserved by the spine's key sharding).
+func (p *Platform) Watch(ctx context.Context, sel WatchSelector) (<-chan LifecycleEvent, error) {
+	if p.closed.Load() {
+		return nil, &ClosedError{Op: "watch"}
+	}
+	var (
+		mu    sync.Mutex
+		queue []LifecycleEvent
+	)
+	notify := make(chan struct{}, 1)
+	sub, err := p.spine.Subscribe("deploy-watch", []events.Topic{events.TopicDeployLifecycle},
+		func(batch []events.Event) {
+			matched := false
+			mu.Lock()
+			for _, e := range batch {
+				if ev, ok := e.Payload.(LifecycleEvent); ok && sel.match(ev) {
+					queue = append(queue, ev)
+					matched = true
+				}
+			}
+			mu.Unlock()
+			if matched {
+				select {
+				case notify <- struct{}{}:
+				default:
+				}
+			}
+		})
+	if err != nil {
+		if errors.Is(err, events.ErrClosed) {
+			return nil, &ClosedError{Op: "watch"}
+		}
+		return nil, err
+	}
+	out := make(chan LifecycleEvent)
+	go func() {
+		defer close(out)
+		defer sub.Cancel()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-notify:
+			}
+			for {
+				mu.Lock()
+				if len(queue) == 0 {
+					mu.Unlock()
+					break
+				}
+				ev := queue[0]
+				queue = queue[1:]
+				mu.Unlock()
+				select {
+				case out <- ev:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out, nil
+}

@@ -12,6 +12,7 @@ package core
 // the platform itself uses.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -154,6 +155,15 @@ func (p *Platform) EventPolicyFor(t events.Topic) events.Policy {
 // lost (even after Close) — exactly like RecordIncident. Their payload
 // must therefore be a core.Incident.
 func (p *Platform) PublishEvent(e events.Event) error {
+	return p.PublishEventContext(context.Background(), e)
+}
+
+// PublishEventContext is PublishEvent with bounded waiting: under the
+// Block backpressure policy a full shard queue stalls the publisher, and
+// a done ctx abandons the wait with the context error instead (the event
+// is not published). Incident-topic events keep the never-lost record
+// path and ignore ctx once accepted.
+func (p *Platform) PublishEventContext(ctx context.Context, e events.Event) error {
 	if e.Topic == events.TopicIncident {
 		inc, ok := e.Payload.(Incident)
 		if !ok {
@@ -168,7 +178,7 @@ func (p *Platform) PublishEvent(e events.Event) error {
 	if p.now != nil && e.AtMs == 0 {
 		e.AtMs = p.now()
 	}
-	return p.spine.Publish(e)
+	return p.spine.PublishContext(ctx, e)
 }
 
 // publishMetric emits one metric event; drops silently after Close

@@ -45,6 +45,9 @@ type farEdgeState struct {
 // mirrors Deploy: RBAC, signature-verified pull, the admission chain, then
 // ONU capacity. Isolation is forced to soft (no VMs on an ONU).
 func (p *Platform) DeployFarEdge(subject, nodeName, serial string, spec orchestrator.WorkloadSpec) (*FarEdgeWorkload, error) {
+	if p.closed.Load() {
+		return nil, &ClosedError{Op: "deploy-far-edge"}
+	}
 	node, err := p.Node(nodeName)
 	if err != nil {
 		return nil, err
@@ -63,8 +66,7 @@ func (p *Platform) DeployFarEdge(subject, nodeName, serial string, spec orchestr
 	if p.Config.RBACEnabled && p.RBAC != nil {
 		d := p.RBAC.Check(subject, rbac.Permission{Verb: "create", Resource: "workloads", Namespace: spec.Tenant})
 		if !d.Allowed {
-			return nil, fmt.Errorf("%w: %s may not create workloads in %s",
-				orchestrator.ErrUnauthorized, subject, spec.Tenant)
+			return nil, &orchestrator.UnauthorizedError{Subject: subject, Verb: "create", Tenant: spec.Tenant}
 		}
 	}
 
@@ -75,7 +77,7 @@ func (p *Platform) DeployFarEdge(subject, nodeName, serial string, spec orchestr
 		img, err = p.Registry.Pull(spec.ImageRef)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("pull %s: %w", spec.ImageRef, err)
+		return nil, &orchestrator.ImagePullError{Ref: spec.ImageRef, Err: err}
 	}
 
 	// Far-edge reuses the cluster's admission chain verbatim.
@@ -98,7 +100,7 @@ func (p *Platform) DeployFarEdge(subject, nodeName, serial string, spec orchestr
 		p.farEdge[key] = st
 	}
 	if _, dup := st.workloads[spec.Name]; dup {
-		return nil, fmt.Errorf("%w: %s", orchestrator.ErrDuplicateName, spec.Name)
+		return nil, &orchestrator.DuplicateNameError{Workload: spec.Name}
 	}
 	next := orchestrator.Resources{
 		CPUMilli: st.used.CPUMilli + spec.Resources.CPUMilli,

@@ -42,11 +42,17 @@ const (
 	// TopicMetric carries Metric payloads: counters and gauges emitted
 	// by the hot paths (deploy outcomes, runtime event volumes).
 	TopicMetric Topic = "metric"
+	// TopicDeployLifecycle carries core.LifecycleEvent payloads: the
+	// state transitions of asynchronous deployments (pending -> scanning
+	// -> placing -> running | rejected | cancelled), keyed by workload so
+	// per-deployment transition order is preserved. Platform.Watch is a
+	// filtered consumer of this topic.
+	TopicDeployLifecycle Topic = "deploy.lifecycle"
 )
 
 // BuiltinTopics returns the stock taxonomy, sorted.
 func BuiltinTopics() []Topic {
-	return []Topic{TopicAudit, TopicFalcoAlert, TopicIncident, TopicMetric}
+	return []Topic{TopicAudit, TopicDeployLifecycle, TopicFalcoAlert, TopicIncident, TopicMetric}
 }
 
 // Event is one published record.

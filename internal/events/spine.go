@@ -10,6 +10,7 @@ package events
 // the drain completes.
 
 import (
+	"context"
 	"errors"
 	"hash/maphash"
 	"sync"
@@ -262,6 +263,21 @@ func (s *Spine) Subscribe(name string, topics []Topic, h BatchHandler) (*Subscri
 	return sub, nil
 }
 
+// HasSubscribers reports whether any live subscription matches the
+// topic. Lock-free (reads the copy-on-write subscriber snapshot), so hot
+// paths can elide publishing observer-only telemetry — e.g. deployment
+// lifecycle events — when nobody is listening. Callers must tolerate the
+// inherent race: a subscription registered after the check misses events
+// published before it either way.
+func (s *Spine) HasSubscribers(t Topic) bool {
+	for _, sub := range *s.subs.Load() {
+		if sub.topics == nil || sub.topics[t] {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *Spine) unsubscribe(sub *Subscription) {
 	s.regMu.Lock()
 	defer s.regMu.Unlock()
@@ -280,6 +296,26 @@ func (s *Spine) unsubscribe(sub *Subscription) {
 // full queue rejects the event (counted, nil error). After Close it
 // returns ErrClosed.
 func (s *Spine) Publish(e Event) error {
+	return s.publish(nil, e)
+}
+
+// PublishContext is Publish with bounded waiting: under the Block policy
+// a full shard queue normally stalls the producer indefinitely, but here
+// a done ctx abandons the attempt and returns the context error — the
+// event is neither published nor counted (the caller still owns it).
+// Under Drop the context is only consulted up front, since a full queue
+// rejects immediately. After Close it returns ErrClosed.
+func (s *Spine) PublishContext(ctx context.Context, e Event) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.publish(ctx, e)
+}
+
+// publish is the shared body: ctx is nil (or never-done) on the
+// unbounded path, which keeps the hot path on a plain channel send
+// instead of a select.
+func (s *Spine) publish(ctx context.Context, e Event) error {
 	c := s.counter(e.Topic)
 	s.stateMu.RLock()
 	if s.closed {
@@ -300,8 +336,13 @@ func (s *Spine) Publish(e Event) error {
 			}
 		}
 	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	sh := s.shardFor(e.Key)
-	if s.PolicyFor(e.Topic) == Drop {
+	switch {
+	case s.PolicyFor(e.Topic) == Drop:
 		select {
 		case sh.ch <- shardMsg{ev: e}:
 		default:
@@ -309,8 +350,15 @@ func (s *Spine) Publish(e Event) error {
 			c.dropped.Add(1)
 			return nil
 		}
-	} else {
+	case done == nil:
 		sh.ch <- shardMsg{ev: e}
+	default:
+		select {
+		case sh.ch <- shardMsg{ev: e}:
+		case <-done:
+			s.stateMu.RUnlock()
+			return ctx.Err()
+		}
 	}
 	s.stateMu.RUnlock()
 	c.published.Add(1)
@@ -335,6 +383,40 @@ func (s *Spine) Flush() {
 	for _, t := range tokens {
 		<-t
 	}
+}
+
+// FlushContext is Flush with bounded waiting: a done ctx abandons the
+// wait and returns the context error. Tokens already pushed keep flowing
+// (their acknowledgements are simply discarded), so an abandoned flush
+// never wedges a shard. A nil return means every event published before
+// the call was delivered.
+func (s *Spine) FlushContext(ctx context.Context) error {
+	s.stateMu.RLock()
+	if s.closed {
+		s.stateMu.RUnlock()
+		return nil
+	}
+	done := ctx.Done()
+	tokens := make([]chan struct{}, 0, len(s.shards))
+	for i := range s.shards {
+		t := make(chan struct{})
+		select {
+		case s.shards[i].ch <- shardMsg{flush: t}:
+			tokens = append(tokens, t)
+		case <-done:
+			s.stateMu.RUnlock()
+			return ctx.Err()
+		}
+	}
+	s.stateMu.RUnlock()
+	for _, t := range tokens {
+		select {
+		case <-t:
+		case <-done:
+			return ctx.Err()
+		}
+	}
+	return nil
 }
 
 // Close drains every shard and stops the drainer goroutines. Idempotent

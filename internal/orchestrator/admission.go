@@ -6,6 +6,8 @@ package orchestrator
 // deterministic: every controller runs to completion and the error of the
 // first-registered failing controller wins, exactly as if the chain had
 // run sequentially — the parallelism setting never changes the verdict.
+// The aggregate is a typed *AdmissionError carrying every controller's
+// verdict, so callers can render the full table instead of one string.
 //
 // Controllers whose verdict depends only on the image content (the
 // scanners; not spec-dependent policy checks) can be registered cacheable:
@@ -13,18 +15,41 @@ package orchestrator
 // already-vetted image across many nodes or tenants skips the scan cost.
 // Rejections are never cached — a failing image is re-scanned (and
 // re-reported) on every attempt.
+//
+// Cancellation: the deployment context threads through the pool and into
+// every controller. Once it is done, no further controller is dispatched,
+// in-flight controllers are expected to return promptly (the platform
+// scanners poll the context between files), the whole run reports a
+// *CancelledError, and — crucially — no clean verdict observed during a
+// cancelled run is committed to the cache: a cancelled deployment leaves
+// the cache exactly as it found it.
 
 import (
-	"fmt"
+	"context"
 
 	"genio/internal/container"
 	"genio/internal/workpool"
 )
 
+// AdmissionCheck is the context-aware admission controller contract
+// (API v2): it inspects a deployment before scheduling and returns an
+// error to reject it. Controllers must honour ctx — return promptly once
+// it is done — because cancelled deployments wait for their in-flight
+// controllers.
+type AdmissionCheck func(ctx context.Context, spec WorkloadSpec, img *container.Image) error
+
 // RegisterAdmission appends a named admission controller; controllers run
 // for every deployment and the first error in registration order rejects
-// it.
+// it. Kept as a thin wrapper over RegisterAdmissionCtx for controllers
+// that do not need cancellation.
 func (c *Cluster) RegisterAdmission(name string, fn AdmissionFunc) {
+	c.RegisterAdmissionCtx(name, func(_ context.Context, spec WorkloadSpec, img *container.Image) error {
+		return fn(spec, img)
+	})
+}
+
+// RegisterAdmissionCtx appends a named context-aware admission controller.
+func (c *Cluster) RegisterAdmissionCtx(name string, fn AdmissionCheck) {
 	c.admMu.Lock()
 	defer c.admMu.Unlock()
 	c.admission = append(c.admission, namedAdmission{name: name, fn: fn})
@@ -36,19 +61,38 @@ func (c *Cluster) RegisterAdmission(name string, fn AdmissionFunc) {
 // image. Controllers that inspect the spec (tenant, isolation, resources)
 // must use RegisterAdmission instead.
 func (c *Cluster) RegisterAdmissionCached(name string, fn AdmissionFunc) {
+	c.RegisterAdmissionCachedCtx(name, func(_ context.Context, spec WorkloadSpec, img *container.Image) error {
+		return fn(spec, img)
+	})
+}
+
+// RegisterAdmissionCachedCtx is RegisterAdmissionCtx with the per-digest
+// clean-verdict cache.
+func (c *Cluster) RegisterAdmissionCachedCtx(name string, fn AdmissionCheck) {
 	c.admMu.Lock()
 	defer c.admMu.Unlock()
 	c.admission = append(c.admission, namedAdmission{name: name, fn: fn, cacheable: true})
 }
 
+// AdmissionCacheSize reports how many clean-verdict cache entries are
+// held. The leak-regression tests use it to prove cancelled deployments
+// commit nothing.
+func (c *Cluster) AdmissionCacheSize() int {
+	n := 0
+	c.admCache.Range(func(any, any) bool { n++; return true })
+	return n
+}
+
 // runAdmission fans the registered admission chain out over the worker
-// pool and aggregates the verdict deterministically.
-func (c *Cluster) runAdmission(spec WorkloadSpec, img *container.Image) error {
+// pool and aggregates the verdict deterministically. A done context
+// aborts the run with a *CancelledError and commits nothing to the
+// verdict cache.
+func (c *Cluster) runAdmission(ctx context.Context, spec WorkloadSpec, img *container.Image) error {
 	c.admMu.RLock()
 	chain := append([]namedAdmission(nil), c.admission...)
 	c.admMu.RUnlock()
 	if len(chain) == 0 {
-		return nil
+		return ctxErr(ctx, spec.Name, "admission")
 	}
 
 	// One digest computation serves every cacheable controller.
@@ -64,37 +108,58 @@ func (c *Cluster) runAdmission(spec WorkloadSpec, img *container.Image) error {
 
 	// Resolve cache hits up front so the warm path — every controller
 	// already satisfied for this digest — never pays for the pool.
+	verdicts := make([]ScannerVerdict, len(chain))
 	keys := make([]string, len(chain))
 	toRun := make([]int, 0, len(chain))
 	for i, a := range chain {
+		verdicts[i] = ScannerVerdict{Scanner: a.name, Passed: true}
 		if a.cacheable && digest != "" {
 			keys[i] = a.name + "\x00" + digest
 			if _, ok := c.admCache.Load(keys[i]); ok {
+				verdicts[i].Cached = true
 				continue
 			}
 		}
 		toRun = append(toRun, i)
 	}
 	if len(toRun) == 0 {
-		return nil
+		return ctxErr(ctx, spec.Name, "admission")
 	}
 
 	errs := make([]error, len(chain))
-	workpool.Run(len(toRun), c.AdmissionParallelism, func(j int) {
+	_ = workpool.RunCtx(ctx, len(toRun), c.AdmissionParallelism, func(j int) {
 		i := toRun[j]
-		if err := chain[i].fn(spec, img); err != nil {
-			errs[i] = err
-			return
-		}
-		if keys[i] != "" {
-			c.admCache.Store(keys[i], struct{}{})
-		}
+		errs[i] = chain[i].fn(ctx, spec, img)
 	})
 
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("%w by %s: %v", ErrDenied, chain[i].name, err)
+	// Cancellation trumps any partial verdict, and nothing from a
+	// cancelled run may warm the cache — the deployment's cache slot is
+	// released wholesale.
+	if err := ctxErr(ctx, spec.Name, "admission"); err != nil {
+		return err
+	}
+
+	rejected := false
+	for _, i := range toRun {
+		if err := errs[i]; err != nil {
+			verdicts[i].Passed = false
+			verdicts[i].Detail = err.Error()
+			rejected = true
+		} else if keys[i] != "" {
+			c.admCache.Store(keys[i], struct{}{})
 		}
+	}
+	if rejected {
+		return &AdmissionError{Workload: spec.Name, Tenant: spec.Tenant, Verdicts: verdicts}
+	}
+	return nil
+}
+
+// ctxErr maps a done context to the deployment's typed cancellation
+// error; nil while the context is live.
+func ctxErr(ctx context.Context, workload, stage string) error {
+	if err := ctx.Err(); err != nil {
+		return &CancelledError{Workload: workload, Stage: stage, Err: err}
 	}
 	return nil
 }

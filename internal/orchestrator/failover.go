@@ -61,7 +61,7 @@ func (c *Cluster) failNode(name string) (*FailoverResult, []movedWorkload, error
 	defer c.mu.Unlock()
 	n, ok := c.nodes[name]
 	if !ok {
-		return nil, nil, fmt.Errorf("orchestrator: unknown node %q", name)
+		return nil, nil, &NodeNotFoundError{Node: name}
 	}
 	// Collect the victims deterministically.
 	var victims []*Workload

@@ -20,6 +20,7 @@
 package orchestrator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -233,7 +234,7 @@ type Cluster struct {
 
 type namedAdmission struct {
 	name string
-	fn   AdmissionFunc
+	fn   AdmissionCheck
 	// cacheable marks controllers whose verdict depends only on the image
 	// content, letting clean verdicts be cached by digest.
 	cacheable bool
@@ -318,22 +319,65 @@ func (c *Cluster) EnsureQuota(tenant string, q Resources) {
 	}
 }
 
-// Deploy schedules a workload on behalf of subject. The pipeline is:
-// RBAC check (when enabled) -> image pull (verified per policy) ->
+// DeployStage names a phase of the deploy pipeline, reported to the
+// observer of DeployObserved as the deployment crosses into it. The
+// values double as the lifecycle-state vocabulary the platform publishes
+// on its deploy.lifecycle topic.
+type DeployStage string
+
+// Pipeline stages, in order.
+const (
+	// StageScanning covers image pull plus the admission fan-out.
+	StageScanning DeployStage = "scanning"
+	// StagePlacing covers name/quota reservation, scheduling, and commit.
+	StagePlacing DeployStage = "placing"
+)
+
+// Deploy schedules a workload on behalf of subject — the context-free
+// compatibility wrapper over DeployContext.
+func (c *Cluster) Deploy(subject string, spec WorkloadSpec) (*Workload, error) {
+	return c.DeployContext(context.Background(), subject, spec)
+}
+
+// DeployContext schedules a workload on behalf of subject. The pipeline
+// is: RBAC check (when enabled) -> image pull (verified per policy) ->
 // admission fan-out -> name/quota reservation -> scheduling -> commit.
 //
 // Only the reservation and commit steps take the cluster write lock; the
 // expensive stages (pull, scanners) run without it, and scheduling holds
 // the read lock plus one node lock at a time. Every verdict — and the
 // placement, on success — is reported to the audit sink.
-func (c *Cluster) Deploy(subject string, spec WorkloadSpec) (*Workload, error) {
+//
+// Rejections are typed (*AdmissionError, *ImagePullError, *QuotaError,
+// *CapacityError, *UnauthorizedError, *DuplicateNameError), all matching
+// the ErrRejected umbrella and their historical sentinels.
+//
+// Cancelling ctx (or passing one past its deadline) aborts the pipeline
+// between stages and inside the admission fan-out without placing the
+// workload or leaking pool goroutines; the result is a *CancelledError
+// and an admission-cancelled audit record. Cancellation that loses the
+// race with commit is a no-op: the workload is simply placed.
+func (c *Cluster) DeployContext(ctx context.Context, subject string, spec WorkloadSpec) (*Workload, error) {
+	return c.DeployObserved(ctx, subject, spec, nil)
+}
+
+// DeployObserved is DeployContext with a stage observer: observe (when
+// non-nil) is called on the deploying goroutine as the pipeline enters
+// each DeployStage. The platform's asynchronous deploy futures use it to
+// publish lifecycle transitions; synchronous callers pass nil.
+func (c *Cluster) DeployObserved(ctx context.Context, subject string, spec WorkloadSpec, observe func(DeployStage)) (*Workload, error) {
 	// placed is a value snapshot taken under the commit lock — the live
 	// *Workload may be rewritten by a concurrent failover the moment
 	// deploy() releases it, so the audit records must not read w here.
-	w, placed, err := c.deploy(subject, spec)
+	w, placed, err := c.deploy(ctx, subject, spec, observe)
 	if err != nil {
-		c.auditEvent(AuditEvent{Kind: "admission-verdict", Workload: spec.Name,
-			Tenant: spec.Tenant, Detail: err.Error()})
+		if errors.Is(err, ErrCancelled) {
+			c.auditEvent(AuditEvent{Kind: "admission-cancelled", Workload: spec.Name,
+				Tenant: spec.Tenant, Detail: err.Error()})
+		} else {
+			c.auditEvent(AuditEvent{Kind: "admission-verdict", Workload: spec.Name,
+				Tenant: spec.Tenant, Detail: err.Error()})
+		}
 		return nil, err
 	}
 	c.auditEvent(AuditEvent{Kind: "admission-verdict", Workload: spec.Name,
@@ -349,14 +393,22 @@ type placedSnapshot struct {
 	Node, VMID string
 }
 
-// deploy is Deploy's body, audit emission excluded.
-func (c *Cluster) deploy(subject string, spec WorkloadSpec) (*Workload, placedSnapshot, error) {
+// deploy is DeployObserved's body, audit emission excluded. Cancellation
+// is honoured between stages and inside the admission fan-out; once the
+// commit lock is taken with a live context the placement completes.
+func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec, observe func(DeployStage)) (*Workload, placedSnapshot, error) {
 	if c.Settings.RBACEnabled && c.RBAC != nil {
 		d := c.RBAC.Check(subject, rbac.Permission{Verb: "create", Resource: "workloads", Namespace: spec.Tenant})
 		if !d.Allowed {
 			c.rejected.Add(1)
-			return nil, placedSnapshot{}, fmt.Errorf("%w: %s may not create workloads in %s", ErrUnauthorized, subject, spec.Tenant)
+			return nil, placedSnapshot{}, &UnauthorizedError{Subject: subject, Verb: "create", Tenant: spec.Tenant}
 		}
+	}
+	if err := ctxErr(ctx, spec.Name, string(StageScanning)); err != nil {
+		return nil, placedSnapshot{}, err
+	}
+	if observe != nil {
+		observe(StageScanning)
 	}
 
 	var img *container.Image
@@ -368,12 +420,20 @@ func (c *Cluster) deploy(subject string, spec WorkloadSpec) (*Workload, placedSn
 	}
 	if err != nil {
 		c.rejected.Add(1)
-		return nil, placedSnapshot{}, fmt.Errorf("pull %s: %w", spec.ImageRef, err)
+		return nil, placedSnapshot{}, &ImagePullError{Ref: spec.ImageRef, Err: err}
 	}
 
-	if err := c.runAdmission(spec, img); err != nil {
-		c.rejected.Add(1)
+	if err := c.runAdmission(ctx, spec, img); err != nil {
+		if !errors.Is(err, ErrCancelled) {
+			c.rejected.Add(1)
+		}
 		return nil, placedSnapshot{}, err
+	}
+	if err := ctxErr(ctx, spec.Name, string(StagePlacing)); err != nil {
+		return nil, placedSnapshot{}, err
+	}
+	if observe != nil {
+		observe(StagePlacing)
 	}
 
 	// Reserve the name and charge the tenant quota up front so concurrent
@@ -382,18 +442,20 @@ func (c *Cluster) deploy(subject string, spec WorkloadSpec) (*Workload, placedSn
 	if _, dup := c.workloads[spec.Name]; dup {
 		c.mu.Unlock()
 		c.rejected.Add(1)
-		return nil, placedSnapshot{}, fmt.Errorf("%w: %s", ErrDuplicateName, spec.Name)
+		return nil, placedSnapshot{}, &DuplicateNameError{Workload: spec.Name}
 	}
 	if _, dup := c.pending[spec.Name]; dup {
 		c.mu.Unlock()
 		c.rejected.Add(1)
-		return nil, placedSnapshot{}, fmt.Errorf("%w: %s", ErrDuplicateName, spec.Name)
+		return nil, placedSnapshot{}, &DuplicateNameError{Workload: spec.Name}
 	}
 	if q, ok := c.quotas[spec.Tenant]; ok && (q.CPUMilli > 0 || q.MemoryMB > 0) {
-		if !c.tenantUsed[spec.Tenant].add(spec.Resources).fits(q) {
+		used := c.tenantUsed[spec.Tenant]
+		if !used.add(spec.Resources).fits(q) {
 			c.mu.Unlock()
 			c.rejected.Add(1)
-			return nil, placedSnapshot{}, fmt.Errorf("%w: tenant %s", ErrQuotaExceeded, spec.Tenant)
+			return nil, placedSnapshot{}, &QuotaError{Tenant: spec.Tenant,
+				Requested: spec.Resources, Used: used, Quota: q}
 		}
 	}
 	c.pending[spec.Name] = struct{}{}
@@ -408,13 +470,25 @@ func (c *Cluster) deploy(subject string, spec WorkloadSpec) (*Workload, placedSn
 		if _, alive := c.nodes[w.Node]; !alive {
 			// The chosen node failed between placement and commit; its
 			// state object is orphaned, so the reservation just dissolves.
-			err = ErrNoCapacity
+			err = &CapacityError{Workload: spec.Name, Requested: spec.Resources, Nodes: len(c.nodes)}
+		}
+	}
+	if err == nil {
+		// Last cancellation point: a context done before commit aborts the
+		// deployment, releasing both the reservation and the node-side
+		// placement schedule just made; after this window closes the
+		// workload is placed and cancellation is a no-op.
+		if cerr := ctxErr(ctx, spec.Name, string(StagePlacing)); cerr != nil {
+			c.releasePlacement(w)
+			err = cerr
 		}
 	}
 	if err != nil {
 		c.tenantUsed[spec.Tenant] = c.tenantUsed[spec.Tenant].sub(spec.Resources)
 		c.mu.Unlock()
-		c.rejected.Add(1)
+		if !errors.Is(err, ErrCancelled) {
+			c.rejected.Add(1)
+		}
 		return nil, placedSnapshot{}, err
 	}
 	c.workloads[spec.Name] = w
@@ -422,6 +496,31 @@ func (c *Cluster) deploy(subject string, spec WorkloadSpec) (*Workload, placedSn
 	c.mu.Unlock()
 	c.admitted.Add(1)
 	return w, placed, nil
+}
+
+// releasePlacement undoes a successful schedule that will not be
+// committed (cancellation in the commit window): node capacity is
+// returned and the VM slot vacated. Callers hold c.mu.
+func (c *Cluster) releasePlacement(w *Workload) {
+	n, ok := c.nodes[w.Node]
+	if !ok {
+		return // node died; its state object is already orphaned
+	}
+	n.mu.Lock()
+	n.used = n.used.sub(w.Spec.Resources)
+	if vm, ok := n.vms[w.VMID]; ok {
+		out := vm.Workloads[:0]
+		for _, wl := range vm.Workloads {
+			if wl != w.Spec.Name {
+				out = append(out, wl)
+			}
+		}
+		vm.Workloads = out
+		if len(vm.Workloads) == 0 {
+			delete(n.vms, w.VMID)
+		}
+	}
+	n.mu.Unlock()
 }
 
 // schedule places the workload on the first node with capacity, holding the
@@ -453,7 +552,7 @@ func (c *Cluster) scheduleAmong(spec WorkloadSpec, img *container.Image) (*Workl
 		n.mu.Unlock()
 		return &Workload{Spec: spec, Image: img, Node: name, VMID: vm.ID, PlacedAtMs: c.nowMs()}, nil
 	}
-	return nil, ErrNoCapacity
+	return nil, &CapacityError{Workload: spec.Name, Requested: spec.Resources, Nodes: len(names)}
 }
 
 // placeVM finds or creates the VM for a workload per its isolation mode

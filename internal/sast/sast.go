@@ -10,6 +10,7 @@
 package sast
 
 import (
+	"context"
 	"fmt"
 	"regexp"
 	"sort"
@@ -118,6 +119,14 @@ func likelyFP(path string) bool {
 // Scan extracts the image filesystem and applies every rule to every
 // matching file, line by line.
 func (s *Scanner) Scan(img *container.Image) *Report {
+	rep, _ := s.ScanContext(context.Background(), img)
+	return rep
+}
+
+// ScanContext is Scan with cancellation: the context is polled between
+// files, and a done context abandons the scan, returning the context
+// error with a nil report.
+func (s *Scanner) ScanContext(ctx context.Context, img *container.Image) (*Report, error) {
 	rep := &Report{ImageRef: img.Ref()}
 	fs := img.Flatten()
 	paths := make([]string, 0, len(fs))
@@ -126,6 +135,9 @@ func (s *Scanner) Scan(img *container.Image) *Report {
 	}
 	sort.Strings(paths)
 	for _, path := range paths {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		content := string(fs[path].Content)
 		if !isSourceFile(path) {
 			continue
@@ -151,7 +163,7 @@ func (s *Scanner) Scan(img *container.Image) *Report {
 			}
 		}
 	}
-	return rep
+	return rep, nil
 }
 
 var sourceExtensions = []string{".py", ".java", ".go", ".js", ".sh", ".rb"}

@@ -10,6 +10,7 @@
 package sca
 
 import (
+	"context"
 	"sort"
 
 	"genio/internal/container"
@@ -64,8 +65,19 @@ func NewScanner(db *vuln.Database) *Scanner {
 
 // Scan inspects every dependency in the image manifest.
 func (s *Scanner) Scan(img *container.Image) *Report {
+	rep, _ := s.ScanContext(context.Background(), img)
+	return rep
+}
+
+// ScanContext is Scan with cancellation: the context is polled between
+// dependencies, and a done context abandons the scan, returning the
+// context error with a nil report.
+func (s *Scanner) ScanContext(ctx context.Context, img *container.Image) (*Report, error) {
 	rep := &Report{ImageRef: img.Ref()}
 	for _, dep := range img.Dependencies {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rep.DependenciesScanned++
 		for _, c := range s.DB.Match(dep.Name, dep.Version) {
 			rep.Findings = append(rep.Findings, Finding{CVE: c, Dependency: dep, ImageRef: img.Ref()})
@@ -74,7 +86,7 @@ func (s *Scanner) Scan(img *container.Image) *Report {
 	sort.Slice(rep.Findings, func(i, j int) bool {
 		return rep.Findings[i].CVE.CVSS > rep.Findings[j].CVE.CVSS
 	})
-	return rep
+	return rep, nil
 }
 
 // DependencyDatabase returns the CVE dataset for application-level

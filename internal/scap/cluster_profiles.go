@@ -1,6 +1,7 @@
 package scap
 
 import (
+	"context"
 	"fmt"
 
 	"genio/internal/container"
@@ -191,4 +192,10 @@ func DockerBenchProfile() ImageProfile {
 // EvaluateImage runs an image profile.
 func EvaluateImage(p ImageProfile, img *container.Image) *Report {
 	return p.Evaluate(img.Ref(), "oci", img)
+}
+
+// EvaluateImageContext is EvaluateImage with cancellation (see
+// Profile.EvaluateContext).
+func EvaluateImageContext(ctx context.Context, p ImageProfile, img *container.Image) (*Report, error) {
+	return p.EvaluateContext(ctx, img.Ref(), "oci", img)
 }

@@ -11,6 +11,7 @@
 package scap
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -156,8 +157,20 @@ type Profile[T any] struct {
 // Evaluate runs every rule against the target. platform is the target's
 // platform identifier (e.g. host distro) used for applicability.
 func (p Profile[T]) Evaluate(targetName, platform string, target T) *Report {
+	rep, _ := p.EvaluateContext(context.Background(), targetName, platform, target)
+	return rep
+}
+
+// EvaluateContext is Evaluate with cancellation: the context is polled
+// between rules, and a done context abandons the evaluation, returning
+// the context error with a nil report. Admission pipelines use it so a
+// cancelled deployment stops benchmarking immediately.
+func (p Profile[T]) EvaluateContext(ctx context.Context, targetName, platform string, target T) (*Report, error) {
 	rep := &Report{Profile: p.Name, Target: targetName}
 	for _, rule := range p.Rules {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res := Result{RuleID: rule.ID, Title: rule.Title, Severity: rule.Severity}
 		if !applies(rule.AppliesTo, platform) {
 			if rule.ManualFallback {
@@ -172,7 +185,7 @@ func (p Profile[T]) Evaluate(targetName, platform string, target T) *Report {
 		}
 		rep.Results = append(rep.Results, res)
 	}
-	return rep
+	return rep, nil
 }
 
 func applies(prefixes []string, platform string) bool {

@@ -36,6 +36,7 @@ var campaigns = map[string]CampaignFunc{
 	"failover-storm":  FailoverStormCampaign,
 	"incident-storm":  IncidentStormCampaign,
 	"event-storm":     EventStormCampaign,
+	"cancel-storm":    CancelStormCampaign,
 }
 
 // CampaignNames lists the registered campaigns, sorted.
@@ -191,6 +192,42 @@ func EventStormCampaign(seed int64) Scenario {
 	}
 	steps = append(steps, MetricBurst(200))
 	return Scenario{Name: "event-storm", Seed: seed, Config: core.SecureConfig(), Steps: steps}
+}
+
+// CancelStormCampaign models API-v2 cancellation pressure: waves of
+// asynchronous deployments with seeded cancellations landing mid-scan
+// (via the deterministic sim-cancel-gate), interleaved with node churn
+// and ordinary traffic. The cancelled-never-placed and lifecycle-ledger
+// invariants must hold after every step: no cancelled future is ever in
+// the cluster, and every completed future has exactly one terminal
+// deploy.lifecycle event.
+func CancelStormCampaign(seed int64) Scenario {
+	r := rand.New(rand.NewSource(seed))
+	steps := []Step{
+		SetQuota("acme", orchestrator.Resources{CPUMilli: 16000, MemoryMB: 32768}),
+		JoinNode(nodeCapacity),
+		JoinNode(nodeCapacity),
+		Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+	}
+	for wave := 0; wave < 5; wave++ {
+		steps = append(steps, CancelStorm(4+r.Intn(4), "acme", smallDemand,
+			CleanImageRef, SASTFlaggedImageRef, MalwareImageRef))
+		switch r.Intn(3) {
+		case 0:
+			steps = append(steps, CrashRandomNode(), JoinNode(nodeCapacity))
+		case 1:
+			steps = append(steps, Deploy("acme", allImageRefs[r.Intn(len(allImageRefs))],
+				orchestrator.IsolationSoft, smallDemand))
+		default:
+			steps = append(steps, AdvanceClock(200))
+		}
+	}
+	// A final dense wave plus a quiet period for the ledger to settle.
+	steps = append(steps,
+		CancelStorm(6, "acme", smallDemand, CleanImageRef, UnsignedImageRef),
+		AdvanceClock(250),
+	)
+	return Scenario{Name: "cancel-storm", Seed: seed, Config: core.SecureConfig(), Steps: steps}
 }
 
 // IncidentStormCampaign models runtime threat pressure: waves of mixed

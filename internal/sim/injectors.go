@@ -7,11 +7,13 @@ package sim
 // step regardless of outcome.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"genio/internal/container"
+	"genio/internal/core"
 	"genio/internal/events"
 	"genio/internal/orchestrator"
 	"genio/internal/trace"
@@ -98,6 +100,8 @@ func classifyDeploy(err error) (status, class string, contentDetermined bool) {
 	case errors.Is(err, container.ErrUnsigned), errors.Is(err, container.ErrBadSignature),
 		errors.Is(err, container.ErrNotFound):
 		return "pull-failed", err.Error(), true
+	case errors.Is(err, orchestrator.ErrCancelled):
+		return "cancelled", "", false
 	case errors.Is(err, orchestrator.ErrQuotaExceeded):
 		return "quota-exceeded", "", false
 	case errors.Is(err, orchestrator.ErrNoCapacity):
@@ -135,6 +139,101 @@ func AdmissionFlood(n int, tenant string, res orchestrator.Resources, refs ...st
 		}
 		return okf("%s", detail)
 	}}
+}
+
+// CancelStorm fires n asynchronous deployments (DeployAsync futures) for
+// tenant, cancelling a seeded subset mid-scan: armed deployments are
+// held open by the sim-cancel-gate admission controller until their
+// context dies, so the cancellation deterministically races — and always
+// beats — placement. The rest run to their natural terminal state. The
+// cancelled-never-placed and lifecycle-ledger invariants audit the
+// aftermath after every step.
+func CancelStorm(n int, tenant string, res orchestrator.Resources, refs ...string) Step {
+	if len(refs) == 0 {
+		refs = []string{CleanImageRef}
+	}
+	return Step{Name: "cancel-storm", Run: func(w *World) Outcome {
+		counts := map[string]int{}
+		cancelledNow := 0
+		for i := 0; i < n; i++ {
+			spec := orchestrator.WorkloadSpec{
+				Name: w.NextWorkloadName(), Tenant: tenant,
+				ImageRef:  refs[w.Rand.Intn(len(refs))],
+				Isolation: orchestrator.IsolationSoft, Resources: res,
+			}
+			// A seeded coin decides who gets cancelled; the draw happens
+			// before the deploy so the schedule is replayable.
+			doCancel := w.Rand.Intn(2) == 0
+			var status string
+			if doCancel {
+				status = w.cancelOne(spec)
+				cancelledNow++
+			} else {
+				status = w.asyncOne(spec)
+			}
+			counts[status]++
+			w.Clock.Advance(5)
+		}
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		detail := fmt.Sprintf("%d async deploys (%d cancel attempts):", n, cancelledNow)
+		for _, k := range keys {
+			detail += fmt.Sprintf(" %s=%d", k, counts[k])
+		}
+		return okf("%s", detail)
+	}}
+}
+
+// cancelOne runs one armed deployment: wait for the scanning state (the
+// gate is now holding it open), cancel, and wait for the terminal event.
+func (w *World) cancelOne(spec orchestrator.WorkloadSpec) string {
+	w.markCancelTarget(spec.Name)
+	defer w.clearCancelTarget(spec.Name)
+	scanning := make(chan struct{})
+	d, err := w.Platform.DeployAsync(context.Background(), Subject, spec,
+		core.WithOnTransition(func(ev core.LifecycleEvent) {
+			if ev.State == core.StateScanning {
+				close(scanning)
+			}
+		}))
+	if err != nil {
+		return "error"
+	}
+	select {
+	case <-scanning:
+	case <-d.Done(): // refused before scanning (RBAC, closed platform)
+	}
+	d.Cancel()
+	<-d.Done()
+	_, derr := d.Result()
+	status, class, contentDetermined := classifyDeploy(derr)
+	if contentDetermined {
+		w.recordVerdict(spec.ImageRef, class)
+	}
+	if status == "cancelled" {
+		w.cancelled[spec.Name] = true
+	}
+	w.asyncDone[spec.Name] = true
+	return status
+}
+
+// asyncOne runs one un-armed deployment through the future surface to
+// its natural terminal state.
+func (w *World) asyncOne(spec orchestrator.WorkloadSpec) string {
+	d, err := w.Platform.DeployAsync(context.Background(), Subject, spec)
+	if err != nil {
+		return "error"
+	}
+	_, derr := d.Result()
+	status, class, contentDetermined := classifyDeploy(derr)
+	if contentDetermined {
+		w.recordVerdict(spec.ImageRef, class)
+	}
+	w.asyncDone[spec.Name] = true
+	return status
 }
 
 // TamperSignature re-pushes an image with a forged signature, modelling a

@@ -28,6 +28,8 @@ func DefaultInvariants() []Invariant {
 		IncidentCountsMonotone(),
 		AdmissionDeterminism(),
 		NoSilentEventDrops(),
+		CancelledNeverPlaced(),
+		LifecycleLedgerBalanced(),
 	}
 }
 
@@ -156,6 +158,56 @@ func NoSilentEventDrops() Invariant {
 				out = append(out, fmt.Sprintf(
 					"topic %s: script offered %d events but ledger accounts %d published + %d dropped + %d filtered",
 					topic, offered, ts.Published, ts.Dropped, ts.Filtered))
+			}
+		}
+		return out
+	}}
+}
+
+// CancelledNeverPlaced: a deployment whose future terminated cancelled
+// must never exist in the cluster — cancellation beats placement or it
+// is not cancellation. Checked against both the live workload table and
+// (transitively) every later step, since the set only grows.
+func CancelledNeverPlaced() Invariant {
+	return Invariant{Name: "cancelled-never-placed", Check: func(w *World) []string {
+		var out []string
+		names := make([]string, 0, len(w.cancelled))
+		for n := range w.cancelled {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if _, placed := w.Platform.Cluster.Workload(n); placed {
+				out = append(out, fmt.Sprintf("cancelled deployment %s is placed in the cluster", n))
+			}
+		}
+		return out
+	}}
+}
+
+// LifecycleLedgerBalanced: after a flush, every async deployment the
+// script drove to completion has exactly one terminal deploy.lifecycle
+// event on the spine — none lost, none duplicated — and no workload
+// anywhere has more than one.
+func LifecycleLedgerBalanced() Invariant {
+	return Invariant{Name: "lifecycle-ledger-balanced", Check: func(w *World) []string {
+		var out []string
+		w.Platform.Flush()
+		names := make([]string, 0, len(w.asyncDone))
+		for n := range w.asyncDone {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if got := w.terminalCount(n); got != 1 {
+				out = append(out, fmt.Sprintf(
+					"deployment %s has %d terminal lifecycle events, want exactly 1", n, got))
+			}
+		}
+		for _, n := range w.terminalOvercounts() {
+			if !w.asyncDone[n] {
+				out = append(out, fmt.Sprintf(
+					"workload %s has multiple terminal lifecycle events", n))
 			}
 		}
 		return out

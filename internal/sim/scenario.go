@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"genio/internal/container"
@@ -79,9 +80,80 @@ type World struct {
 	// publisher signs images pushed by registry-recovery injectors.
 	publisher *container.Publisher
 
+	// cancelMu guards cancelTargets, which names the deployments the
+	// sim-cancel-gate admission controller must hold open until their
+	// context is cancelled — the seam that makes cancellation racing
+	// admission deterministic (the cancel always lands mid-scan).
+	cancelMu      sync.Mutex
+	cancelTargets map[string]bool
+	// cancelled records deployments whose future terminated cancelled;
+	// the cancelled-never-placed invariant audits the cluster against it.
+	cancelled map[string]bool
+	// asyncDone records async deployments the script has seen reach a
+	// terminal state; the lifecycle-ledger invariant demands exactly one
+	// terminal deploy.lifecycle event for each.
+	asyncDone map[string]bool
+	// lifeMu guards terminalSeen, the per-workload terminal-event counts
+	// observed by the engine's deploy.lifecycle subscription (writes
+	// arrive from spine shard goroutines).
+	lifeMu       sync.Mutex
+	terminalSeen map[string]int
+
 	nodeSeq int
 	wlSeq   int
 	onuSeq  int
+}
+
+// markCancelTarget arms the sim-cancel-gate for one workload name.
+func (w *World) markCancelTarget(name string) {
+	w.cancelMu.Lock()
+	w.cancelTargets[name] = true
+	w.cancelMu.Unlock()
+}
+
+// clearCancelTarget disarms the gate for a name once its storm entry is
+// done.
+func (w *World) clearCancelTarget(name string) {
+	w.cancelMu.Lock()
+	delete(w.cancelTargets, name)
+	w.cancelMu.Unlock()
+}
+
+// isCancelTarget reports whether the gate must hold this workload.
+func (w *World) isCancelTarget(name string) bool {
+	w.cancelMu.Lock()
+	defer w.cancelMu.Unlock()
+	return w.cancelTargets[name]
+}
+
+// countTerminal tallies one observed terminal lifecycle event (called
+// from spine shard goroutines via the engine's subscription).
+func (w *World) countTerminal(workload string) {
+	w.lifeMu.Lock()
+	w.terminalSeen[workload]++
+	w.lifeMu.Unlock()
+}
+
+// terminalCount reads a workload's observed terminal-event count.
+func (w *World) terminalCount(workload string) int {
+	w.lifeMu.Lock()
+	defer w.lifeMu.Unlock()
+	return w.terminalSeen[workload]
+}
+
+// terminalOvercounts returns workloads with more than one terminal
+// event, sorted.
+func (w *World) terminalOvercounts() []string {
+	w.lifeMu.Lock()
+	defer w.lifeMu.Unlock()
+	var out []string
+	for name, n := range w.terminalSeen {
+		if n > 1 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // NextNodeName returns a fresh deterministic node name.

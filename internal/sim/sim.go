@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -90,6 +91,10 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 		Quotas:        make(map[string]orchestrator.Resources),
 		verdicts:      make(map[string]string),
 		offeredEvents: make(map[string]uint64),
+		cancelTargets: make(map[string]bool),
+		cancelled:     make(map[string]bool),
+		asyncDone:     make(map[string]bool),
+		terminalSeen:  make(map[string]int),
 	}
 	// The invariants watch the platform the way an external consumer
 	// would: through a spine subscription, not by polling snapshots.
@@ -97,6 +102,30 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 		func(b []events.Event) { w.seenIncidents.Add(int64(len(b))) }); err != nil {
 		return nil, fmt.Errorf("sim: incident witness: %w", err)
 	}
+	// The lifecycle witness feeds the exactly-one-terminal-event ledger
+	// the cancel-storm invariants audit.
+	if _, err := p.Subscribe("sim-lifecycle-witness", []events.Topic{events.TopicDeployLifecycle},
+		func(b []events.Event) {
+			for _, ev := range b {
+				if le, ok := ev.Payload.(core.LifecycleEvent); ok && le.State.Terminal() {
+					w.countTerminal(le.Workload)
+				}
+			}
+		}); err != nil {
+		return nil, fmt.Errorf("sim: lifecycle witness: %w", err)
+	}
+	// The cancel gate: deployments armed via markCancelTarget are held
+	// open inside the admission fan-out until their context dies, so a
+	// scripted cancellation deterministically lands mid-scan. Unarmed
+	// deployments pass straight through.
+	p.Cluster.RegisterAdmissionCtx("sim-cancel-gate",
+		func(ctx context.Context, spec orchestrator.WorkloadSpec, _ *container.Image) error {
+			if !w.isCancelTarget(spec.Name) {
+				return nil
+			}
+			<-ctx.Done()
+			return ctx.Err()
+		})
 	if e.firehose != nil {
 		var mu sync.Mutex
 		if _, err := p.Subscribe("sim-firehose", nil, func(b []events.Event) {

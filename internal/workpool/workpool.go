@@ -1,9 +1,10 @@
 // Package workpool provides the bounded index fan-out shared by the
 // admission chain and batch admission: n independent jobs spread over a
-// fixed pool of workers.
+// fixed pool of workers, with an optional context that stops dispatch.
 package workpool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -13,8 +14,18 @@ import (
 // degenerates to one worker the calls run inline, sequentially, in index
 // order — callers pay nothing for the fan-out machinery.
 func Run(n, workers int, fn func(int)) {
+	_ = RunCtx(context.Background(), n, workers, fn)
+}
+
+// RunCtx is Run with cancellation: once ctx is done no further index is
+// dispatched, every worker drains and exits (jobs already running finish
+// — fn is never interrupted mid-call), and the context error is returned.
+// A nil return means every index ran. RunCtx never leaks goroutines:
+// whatever the cancellation timing, all pool workers have exited when it
+// returns.
+func RunCtx(ctx context.Context, n, workers int, fn func(int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -24,9 +35,12 @@ func Run(n, workers int, fn func(int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -39,9 +53,18 @@ func Run(n, workers int, fn func(int)) {
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
+	err := func() error {
+		done := ctx.Done()
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+			case <-done:
+				return ctx.Err()
+			}
+		}
+		return nil
+	}()
 	close(jobs)
 	wg.Wait()
+	return err
 }

@@ -1,6 +1,9 @@
 package workpool
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -33,5 +36,65 @@ func TestRunSequentialOrder(t *testing.T) {
 		if got != i {
 			t.Fatalf("single worker must run in index order, got %v", order)
 		}
+	}
+}
+
+// TestRunCtxCancelStopsDispatch: once the context dies, no new index is
+// dispatched, in-flight jobs finish, workers exit, and the context error
+// is returned.
+func TestRunCtxCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- RunCtx(ctx, 1000, 2, func(i int) {
+			started.Add(1)
+			<-release
+		})
+	}()
+	// Wait for the two workers to pick up their first jobs, then cancel:
+	// at most two more queued sends can slip through.
+	for started.Load() < 2 {
+		runtime.Gosched()
+	}
+	cancel()
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got >= 1000 {
+		t.Fatalf("dispatch did not stop: %d jobs ran", got)
+	}
+}
+
+// TestRunCtxNilErrorMeansComplete: a live context runs every index and
+// returns nil.
+func TestRunCtxNilErrorMeansComplete(t *testing.T) {
+	var hits atomic.Int64
+	if err := RunCtx(context.Background(), 50, 4, func(int) { hits.Add(1) }); err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	if hits.Load() != 50 {
+		t.Fatalf("ran %d jobs, want 50", hits.Load())
+	}
+}
+
+// TestRunCtxInlinePathHonoursCancel: the degenerate one-worker path
+// checks the context between iterations.
+func TestRunCtxInlinePathHonoursCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := RunCtx(ctx, 10, 1, func(i int) {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx = %v, want context.Canceled", err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d jobs after cancel at index 2, want 3", ran)
 	}
 }
