@@ -15,6 +15,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"sort"
 	"strings"
@@ -38,17 +39,14 @@ type Layer struct {
 func (l Layer) Digest() string {
 	files := append([]File(nil), l.Files...)
 	sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
-	h := sha256.New()
-	var word [8]byte
+	w := hasher{h: sha256.New()}
 	for _, f := range files {
-		hashString(h, f.Path)
-		binary.LittleEndian.PutUint32(word[:4], f.Mode)
-		h.Write(word[:4])
-		binary.LittleEndian.PutUint64(word[:], uint64(len(f.Content)))
-		h.Write(word[:])
-		h.Write(f.Content)
+		w.str(f.Path)
+		w.u32(f.Mode)
+		w.u64(uint64(len(f.Content)))
+		w.h.Write(f.Content)
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return w.sum()
 }
 
 // Dependency is one entry in the image's software manifest, the SCA input.
@@ -101,14 +99,49 @@ type Image struct {
 // Ref returns name:tag.
 func (i *Image) Ref() string { return i.Name + ":" + i.Tag }
 
-// hashString writes a length-delimited string into the hash, so field
-// boundaries can never be confused whatever the contents.
-func hashString(h io.Writer, s string) {
-	var n [4]byte
-	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
-	h.Write(n[:])
-	io.WriteString(h, s)
+// hasher wraps a hash with one reusable scratch buffer, so the length
+// prefixes and scalar fields below hash without a per-call allocation —
+// Digest runs once per deployment on the admission path.
+type hasher struct {
+	h   hash.Hash
+	buf [8]byte
 }
+
+// str writes a length-delimited string, so element boundaries can never
+// be confused whatever the contents.
+func (w *hasher) str(s string) {
+	w.u32(uint32(len(s)))
+	io.WriteString(w.h, s)
+}
+
+// count writes a slice's element count before its elements. Without it,
+// adjacent slice fields concatenate into one flat element stream and
+// elements can migrate across field boundaries without changing the
+// digest (e.g. a trailing Entrypoint arg reinterpreted as User + a
+// Capability).
+func (w *hasher) count(n int) {
+	w.u32(uint32(n))
+}
+
+func (w *hasher) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.h.Write(w.buf[:4])
+}
+
+func (w *hasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	w.h.Write(w.buf[:])
+}
+
+func (w *hasher) flag(v bool) {
+	w.buf[0] = 0
+	if v {
+		w.buf[0] = 1
+	}
+	w.h.Write(w.buf[:1])
+}
+
+func (w *hasher) sum() string { return hex.EncodeToString(w.h.Sum(nil)) }
 
 // Digest computes the image manifest digest over layer digests and
 // config. Deliberately recomputed on every call — never memoized — so a
@@ -117,25 +150,49 @@ func hashString(h io.Writer, s string) {
 // its cache keys, so the encoding is hand-rolled rather than
 // reflection-formatted.
 func (i *Image) Digest() string {
-	h := sha256.New()
-	hashString(h, i.Name)
-	hashString(h, i.Tag)
+	w := hasher{h: sha256.New()}
+	w.str(i.Name)
+	w.str(i.Tag)
+	// The digest covers the complete manifest — layers, the full config
+	// (env included: LD_PRELOAD-style injection must not verify against
+	// the clean image's signature), and the dependency manifest the SCA
+	// gate scans — so publisher signatures and the admission
+	// clean-verdict cache bind everything the scanners consume. Every
+	// slice field is prefixed with its element count (and every element
+	// is length-delimited), making the encoding injective: elements
+	// cannot migrate between adjacent fields, so distinct images cannot
+	// collide.
+	w.count(len(i.Layers))
 	for _, l := range i.Layers {
-		hashString(h, l.Digest())
+		w.str(l.Digest())
 	}
+	w.count(len(i.Config.Entrypoint))
 	for _, e := range i.Config.Entrypoint {
-		hashString(h, e)
+		w.str(e)
 	}
-	hashString(h, i.Config.User)
+	w.str(i.Config.User)
+	w.count(len(i.Config.Capabilities))
 	for _, c := range i.Config.Capabilities {
-		hashString(h, c)
+		w.str(c)
 	}
-	var port [8]byte
+	w.count(len(i.Config.Env))
+	for _, e := range i.Config.Env {
+		w.str(e)
+	}
+	w.count(len(i.Config.ExposedPorts))
 	for _, p := range i.Config.ExposedPorts {
-		binary.LittleEndian.PutUint64(port[:], uint64(p))
-		h.Write(port[:])
+		w.u64(uint64(p))
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	w.flag(i.Config.HasRESTAPI)
+	w.count(len(i.Dependencies))
+	for _, d := range i.Dependencies {
+		w.str(d.Name)
+		w.str(d.Version)
+		w.str(d.Language)
+		w.flag(d.Direct)
+		w.flag(d.Reachable)
+	}
+	return w.sum()
 }
 
 // Flatten merges layers into the final filesystem view (later layers win).

@@ -29,6 +29,101 @@ func TestImageDigestSensitivity(t *testing.T) {
 	}
 }
 
+// TestImageDigestCoversFullManifest pins that the digest binds every
+// scanner input: the dependency manifest (the SCA gate's subject), the
+// environment (LD_PRELOAD-style injection), and the REST flag (DAST
+// eligibility). An omission here would let a re-pushed variant reuse the
+// clean image's signature and cached admission verdict unscanned.
+func TestImageDigestCoversFullManifest(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Image)
+	}{
+		{"added dependency", func(i *Image) {
+			i.Dependencies = append(i.Dependencies, Dependency{Name: "log4j", Version: "2.14.0", Language: "java", Direct: true, Reachable: true})
+		}},
+		{"dependency version change", func(i *Image) {
+			i.Dependencies[0].Version = i.Dependencies[0].Version + ".1"
+		}},
+		{"dependency reachability flip", func(i *Image) {
+			i.Dependencies[0].Reachable = !i.Dependencies[0].Reachable
+		}},
+		{"env injection", func(i *Image) {
+			i.Config.Env = append(i.Config.Env, "LD_PRELOAD=/tmp/evil.so")
+		}},
+		{"rest flag flip", func(i *Image) {
+			i.Config.HasRESTAPI = !i.Config.HasRESTAPI
+		}},
+	}
+	for _, m := range mutations {
+		a, b := AnalyticsImage(), AnalyticsImage()
+		m.mut(b)
+		if a.Digest() == b.Digest() {
+			t.Errorf("%s did not change the digest", m.name)
+		}
+	}
+}
+
+// TestImageDigestFieldBoundaries proves the digest encoding is injective
+// across adjacent slice fields: moving an element from one field into the
+// next must change the digest, even when the flat sequence of
+// length-delimited elements stays identical (the first two pairs). The
+// digest keys the admission clean-verdict cache and binds publisher
+// signatures, so any such collision lets a config-privileged variant of
+// a clean image impersonate it.
+func TestImageDigestFieldBoundaries(t *testing.T) {
+	base := func() *Image { return &Image{Name: "t", Tag: "1"} }
+	pairs := []struct {
+		name string
+		a, b *Image
+	}{
+		{
+			name: "entrypoint arg vs user+capability",
+			a: func() *Image {
+				i := base()
+				i.Config = Config{Entrypoint: []string{"/bin/app", "root"}, User: "CAP_SYS_ADMIN"}
+				return i
+			}(),
+			b: func() *Image {
+				i := base()
+				i.Config = Config{Entrypoint: []string{"/bin/app"}, User: "root", Capabilities: []string{"CAP_SYS_ADMIN"}}
+				return i
+			}(),
+		},
+		{
+			name: "layer digest vs entrypoint element",
+			a: func() *Image {
+				i := base()
+				i.Layers = []Layer{{}}
+				return i
+			}(),
+			b: func() *Image {
+				i := base()
+				i.Config = Config{Entrypoint: []string{Layer{}.Digest()}}
+				return i
+			}(),
+		},
+		{
+			name: "user vs first capability",
+			a: func() *Image {
+				i := base()
+				i.Config = Config{User: "root", Capabilities: []string{"CAP_NET_ADMIN"}}
+				return i
+			}(),
+			b: func() *Image {
+				i := base()
+				i.Config = Config{User: "", Capabilities: []string{"root", "CAP_NET_ADMIN"}}
+				return i
+			}(),
+		},
+	}
+	for _, p := range pairs {
+		if p.a.Digest() == p.b.Digest() {
+			t.Errorf("%s: distinct images collide (digest %s)", p.name, p.a.Digest())
+		}
+	}
+}
+
 func TestFlattenLaterLayersWin(t *testing.T) {
 	img := &Image{
 		Name: "t", Tag: "1",

@@ -334,7 +334,11 @@ func (p *Platform) AddEdgeNode(name string, capacity orchestrator.Resources) (*E
 // AddEdgeNodeContext is AddEdgeNode with cancellation: the context is
 // checked between the provisioning stages (boot, attestation, storage,
 // PON bring-up, FIM baseline), so a cancelled or deadline-exceeded
-// provisioning aborts without registering the node.
+// provisioning aborts without registering the node. Infrastructure
+// built before the abort (host, TPM, encrypted volume) is abandoned,
+// not released: those objects are local to the call and never
+// registered anywhere, so the garbage collector reclaims them and a
+// retried provisioning of the same name starts from scratch.
 func (p *Platform) AddEdgeNodeContext(ctx context.Context, name string, capacity orchestrator.Resources) (*EdgeNode, error) {
 	if p.closed.Load() {
 		return nil, &ClosedError{Op: "add-edge-node"}
@@ -520,33 +524,37 @@ func (p *Platform) Deploy(subject string, spec orchestrator.WorkloadSpec) (*orch
 // are typed (see the orchestrator error taxonomy) and counted on the
 // deploy.rejected metric; cancellations count on deploy.cancelled.
 func (p *Platform) DeployContext(ctx context.Context, subject string, spec orchestrator.WorkloadSpec) (*orchestrator.Workload, error) {
-	return p.deployObserved(ctx, subject, spec, nil)
+	w, _, err := p.deployObserved(ctx, subject, spec, nil)
+	return w, err
 }
 
 // deployObserved is the shared deploy body: the synchronous entry points
 // pass a nil observer, the async future wires its lifecycle publisher in.
-func (p *Platform) deployObserved(ctx context.Context, subject string, spec orchestrator.WorkloadSpec, observe func(orchestrator.DeployStage)) (*orchestrator.Workload, error) {
+// The returned Placement is the commit-time snapshot; lifecycle events
+// must report the node from it, not from the live *Workload, which a
+// concurrent failover may rewrite.
+func (p *Platform) deployObserved(ctx context.Context, subject string, spec orchestrator.WorkloadSpec, observe func(orchestrator.DeployStage)) (*orchestrator.Workload, orchestrator.Placement, error) {
 	if p.closed.Load() {
-		return nil, &ClosedError{Op: "deploy"}
+		return nil, orchestrator.Placement{}, &ClosedError{Op: "deploy"}
 	}
 	if p.Config.TenantQuotas {
 		// A default quota per tenant when none was set explicitly.
 		p.Cluster.EnsureQuota(spec.Tenant, orchestrator.Resources{CPUMilli: 2000, MemoryMB: 4096})
 	}
-	w, err := p.Cluster.DeployObserved(ctx, subject, spec, observe)
+	w, placed, err := p.Cluster.DeployObserved(ctx, subject, spec, observe)
 	if err != nil {
 		if errors.Is(err, orchestrator.ErrCancelled) {
 			p.publishMetric("deploy.cancelled", 1, spec.Tenant)
 		} else {
 			p.publishMetric("deploy.rejected", 1, spec.Tenant)
 		}
-		return nil, err
+		return nil, orchestrator.Placement{}, err
 	}
 	if p.Config.SandboxEnabled {
 		p.Enforcer.SetPolicy(spec.Name, sandbox.DefaultWorkloadPolicy())
 	}
 	p.publishMetric("deploy.admitted", 1, spec.Tenant)
-	return w, nil
+	return w, placed, nil
 }
 
 // ObserveRuntime feeds a workload's event stream through enforcement (M17)

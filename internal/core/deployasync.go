@@ -80,8 +80,12 @@ type deployOptions struct {
 
 // WithOnTransition registers a callback invoked synchronously on the
 // deployment's own goroutine for every lifecycle transition (after the
-// event is published on the spine). The callback must be fast and must
-// not call back into Flush/Close.
+// event is published on the spine). The callback must be fast, must not
+// call back into Flush/Close, and must not wait on the deployment's own
+// Done/Result: the terminal transition's callback runs before Done
+// closes (Done is documented to close after the terminal event has been
+// published), so blocking on either from the callback deadlocks the
+// deployment permanently.
 func WithOnTransition(fn func(LifecycleEvent)) DeployOption {
 	return func(o *deployOptions) { o.onTransition = fn }
 }
@@ -153,19 +157,23 @@ func (p *Platform) DeployAsync(ctx context.Context, subject string, spec orchest
 		done: make(chan struct{}), state: StatePending,
 		onTransition: o.onTransition,
 	}
-	// The pending event is emitted before the pipeline goroutine starts,
-	// so subscribers always see pending first.
-	d.emit(LifecycleEvent{Workload: spec.Name, Tenant: spec.Tenant, State: StatePending})
 	go d.run(dctx, subject)
 	return d, nil
 }
 
-// run drives the pipeline to a terminal state. All transitions after
-// pending happen on this goroutine, which is what makes the
-// exactly-one-terminal-event guarantee cheap.
+// run drives the pipeline to a terminal state. Every lifecycle event —
+// pending included — is emitted on this goroutine, which is what makes
+// the exactly-one-terminal-event guarantee cheap, keeps the callback
+// contract (one goroutine, every transition), and means DeployAsync
+// itself never blocks on spine backpressure. Pending is the first emit,
+// so per-deployment order on the lifecycle topic always starts there.
 func (d *Deployment) run(ctx context.Context, subject string) {
 	defer d.cancel() // release the derived context whatever the outcome
-	w, err := d.p.deployObserved(ctx, subject, d.spec, func(stage orchestrator.DeployStage) {
+	d.emit(LifecycleEvent{Workload: d.spec.Name, Tenant: d.spec.Tenant, State: StatePending})
+	// placed, not w, carries the node for the running event: it is the
+	// commit-time snapshot, safe to read while a concurrent failover
+	// rewrites the live *Workload.
+	w, placed, err := d.p.deployObserved(ctx, subject, d.spec, func(stage orchestrator.DeployStage) {
 		switch stage {
 		case orchestrator.StageScanning:
 			d.transition(StateScanning, "", "")
@@ -176,7 +184,7 @@ func (d *Deployment) run(ctx context.Context, subject string) {
 	d.w, d.err = w, err
 	switch {
 	case err == nil:
-		d.transition(StateRunning, w.Node, "")
+		d.transition(StateRunning, placed.Node, "")
 	case errors.Is(err, orchestrator.ErrCancelled):
 		d.transition(StateCancelled, "", err.Error())
 	default:

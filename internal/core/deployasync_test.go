@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -333,4 +334,50 @@ func TestPublishEventContext(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled PublishEventContext = %v, want context.Canceled", err)
 	}
+}
+
+// TestDeployAsyncRunningEventRacesFailover pins the review fix for the
+// lifecycle/failover data race: the running event must carry the
+// commit-time Placement snapshot, because a concurrent FailNode rewrites
+// the live *Workload in place (*w = *moved) under the cluster lock the
+// moment the commit releases it. Under -race this test fails if the
+// deployment goroutine reads the live struct instead.
+func TestDeployAsyncRunningEventRacesFailover(t *testing.T) {
+	p := asyncPlatform(t)
+	addNode(t, p, "olt-02")
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := "olt-01"
+			if i%2 == 1 {
+				name = "olt-02"
+			}
+			if _, err := p.Cluster.FailNode(name); err == nil {
+				p.Cluster.AddNode(name, orchestrator.Resources{CPUMilli: 8000, MemoryMB: 16384})
+			}
+		}
+	}()
+
+	for i := 0; i < 40; i++ {
+		d, err := p.DeployAsync(context.Background(), "ci", asyncSpec(fmt.Sprintf("racer-%d", i)))
+		if err != nil {
+			t.Fatalf("DeployAsync: %v", err)
+		}
+		// Quota rejections and no-capacity windows during churn are fine;
+		// the test only requires the success path's node read be safe.
+		if w, err := d.Result(); err == nil && w == nil {
+			t.Fatal("nil workload with nil error")
+		}
+	}
+	close(stop)
+	churn.Wait()
 }

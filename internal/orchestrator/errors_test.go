@@ -186,7 +186,7 @@ func TestDeployContextCancelInCommitWindow(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	// The observer fires as the pipeline enters placing — cancelling
 	// there lands in the reservation/commit window.
-	_, err := c.DeployObserved(ctx, "ops", spec("w", "t", "acme/analytics:2.0.1", IsolationSoft),
+	_, _, err := c.DeployObserved(ctx, "ops", spec("w", "t", "acme/analytics:2.0.1", IsolationSoft),
 		func(stage DeployStage) {
 			if stage == StagePlacing {
 				cancel()

@@ -358,17 +358,21 @@ func (c *Cluster) Deploy(subject string, spec WorkloadSpec) (*Workload, error) {
 // and an admission-cancelled audit record. Cancellation that loses the
 // race with commit is a no-op: the workload is simply placed.
 func (c *Cluster) DeployContext(ctx context.Context, subject string, spec WorkloadSpec) (*Workload, error) {
-	return c.DeployObserved(ctx, subject, spec, nil)
+	w, _, err := c.DeployObserved(ctx, subject, spec, nil)
+	return w, err
 }
 
 // DeployObserved is DeployContext with a stage observer: observe (when
 // non-nil) is called on the deploying goroutine as the pipeline enters
 // each DeployStage. The platform's asynchronous deploy futures use it to
 // publish lifecycle transitions; synchronous callers pass nil.
-func (c *Cluster) DeployObserved(ctx context.Context, subject string, spec WorkloadSpec, observe func(DeployStage)) (*Workload, error) {
-	// placed is a value snapshot taken under the commit lock — the live
-	// *Workload may be rewritten by a concurrent failover the moment
-	// deploy() releases it, so the audit records must not read w here.
+//
+// On success the returned Placement is the commit-time snapshot of where
+// the workload landed. Callers that report the placement (audit,
+// lifecycle events) must read it from there, never from the returned
+// *Workload: a concurrent failover may rewrite the live struct the
+// moment the commit lock is released.
+func (c *Cluster) DeployObserved(ctx context.Context, subject string, spec WorkloadSpec, observe func(DeployStage)) (*Workload, Placement, error) {
 	w, placed, err := c.deploy(ctx, subject, spec, observe)
 	if err != nil {
 		if errors.Is(err, ErrCancelled) {
@@ -378,34 +382,35 @@ func (c *Cluster) DeployObserved(ctx context.Context, subject string, spec Workl
 			c.auditEvent(AuditEvent{Kind: "admission-verdict", Workload: spec.Name,
 				Tenant: spec.Tenant, Detail: err.Error()})
 		}
-		return nil, err
+		return nil, Placement{}, err
 	}
 	c.auditEvent(AuditEvent{Kind: "admission-verdict", Workload: spec.Name,
 		Tenant: spec.Tenant, Node: placed.Node, Allowed: true})
 	c.auditEvent(AuditEvent{Kind: "placement", Workload: spec.Name,
 		Tenant: spec.Tenant, Node: placed.Node, Allowed: true, Detail: "vm " + placed.VMID})
-	return w, nil
+	return w, placed, nil
 }
 
-// placedSnapshot carries the committed placement out of deploy() for
-// audit emission without touching the live *Workload after the lock.
-type placedSnapshot struct {
+// Placement is the value snapshot of a committed placement, taken under
+// the commit lock so it can be read after deploy() without touching the
+// live *Workload (which a concurrent failover may rewrite in place).
+type Placement struct {
 	Node, VMID string
 }
 
 // deploy is DeployObserved's body, audit emission excluded. Cancellation
 // is honoured between stages and inside the admission fan-out; once the
 // commit lock is taken with a live context the placement completes.
-func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec, observe func(DeployStage)) (*Workload, placedSnapshot, error) {
+func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec, observe func(DeployStage)) (*Workload, Placement, error) {
 	if c.Settings.RBACEnabled && c.RBAC != nil {
 		d := c.RBAC.Check(subject, rbac.Permission{Verb: "create", Resource: "workloads", Namespace: spec.Tenant})
 		if !d.Allowed {
 			c.rejected.Add(1)
-			return nil, placedSnapshot{}, &UnauthorizedError{Subject: subject, Verb: "create", Tenant: spec.Tenant}
+			return nil, Placement{}, &UnauthorizedError{Subject: subject, Verb: "create", Tenant: spec.Tenant}
 		}
 	}
 	if err := ctxErr(ctx, spec.Name, string(StageScanning)); err != nil {
-		return nil, placedSnapshot{}, err
+		return nil, Placement{}, err
 	}
 	if observe != nil {
 		observe(StageScanning)
@@ -420,17 +425,17 @@ func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec,
 	}
 	if err != nil {
 		c.rejected.Add(1)
-		return nil, placedSnapshot{}, &ImagePullError{Ref: spec.ImageRef, Err: err}
+		return nil, Placement{}, &ImagePullError{Ref: spec.ImageRef, Err: err}
 	}
 
 	if err := c.runAdmission(ctx, spec, img); err != nil {
 		if !errors.Is(err, ErrCancelled) {
 			c.rejected.Add(1)
 		}
-		return nil, placedSnapshot{}, err
+		return nil, Placement{}, err
 	}
 	if err := ctxErr(ctx, spec.Name, string(StagePlacing)); err != nil {
-		return nil, placedSnapshot{}, err
+		return nil, Placement{}, err
 	}
 	if observe != nil {
 		observe(StagePlacing)
@@ -442,19 +447,19 @@ func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec,
 	if _, dup := c.workloads[spec.Name]; dup {
 		c.mu.Unlock()
 		c.rejected.Add(1)
-		return nil, placedSnapshot{}, &DuplicateNameError{Workload: spec.Name}
+		return nil, Placement{}, &DuplicateNameError{Workload: spec.Name}
 	}
 	if _, dup := c.pending[spec.Name]; dup {
 		c.mu.Unlock()
 		c.rejected.Add(1)
-		return nil, placedSnapshot{}, &DuplicateNameError{Workload: spec.Name}
+		return nil, Placement{}, &DuplicateNameError{Workload: spec.Name}
 	}
 	if q, ok := c.quotas[spec.Tenant]; ok && (q.CPUMilli > 0 || q.MemoryMB > 0) {
 		used := c.tenantUsed[spec.Tenant]
 		if !used.add(spec.Resources).fits(q) {
 			c.mu.Unlock()
 			c.rejected.Add(1)
-			return nil, placedSnapshot{}, &QuotaError{Tenant: spec.Tenant,
+			return nil, Placement{}, &QuotaError{Tenant: spec.Tenant,
 				Requested: spec.Resources, Used: used, Quota: q}
 		}
 	}
@@ -489,10 +494,10 @@ func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec,
 		if !errors.Is(err, ErrCancelled) {
 			c.rejected.Add(1)
 		}
-		return nil, placedSnapshot{}, err
+		return nil, Placement{}, err
 	}
 	c.workloads[spec.Name] = w
-	placed := placedSnapshot{Node: w.Node, VMID: w.VMID}
+	placed := Placement{Node: w.Node, VMID: w.VMID}
 	c.mu.Unlock()
 	c.admitted.Add(1)
 	return w, placed, nil
