@@ -24,6 +24,8 @@ import (
 	"genio/internal/host"
 	"genio/internal/macsec"
 	"genio/internal/malware"
+	"genio/internal/orchestrator"
+	"genio/internal/orchestrator/scheduler"
 	"genio/internal/pki"
 	"genio/internal/pon"
 	"genio/internal/rbac"
@@ -551,6 +553,88 @@ func BenchmarkDeployAsyncPipelined(b *testing.B) {
 		}
 	}
 	b.ReportMetric(batch, "workloads/op")
+}
+
+// --- Placement engine -------------------------------------------------------
+
+// BenchmarkSchedule1kNodes is the scheduler's hot-path contract: one
+// full filter -> score pass over a 1000-node fleet must stay O(nodes)
+// with zero allocations (the cluster feeds the engine its cached,
+// name-sorted candidate slice, so this is exactly the per-deploy
+// placement cost). The AllocsPerRun assertion pins allocs/op at 0
+// before timing starts.
+func BenchmarkSchedule1kNodes(b *testing.B) {
+	eng := scheduler.New()
+	cands := make([]scheduler.Candidate, 1000)
+	for i := range cands {
+		cands[i] = scheduler.Candidate{
+			Node:            fmt.Sprintf("olt-%04d", i),
+			Capacity:        scheduler.Resources{CPUMilli: 16000, MemoryMB: 32768},
+			Used:            scheduler.Resources{CPUMilli: (i * 397) % 12000, MemoryMB: (i * 991) % 24000},
+			TenantWorkloads: i % 4,
+			SharedVMs:       i % 3,
+			Cordoned:        i%17 == 0,
+		}
+	}
+	req := scheduler.Request{
+		Workload: "bench", Tenant: "acme",
+		Demand:   scheduler.Resources{CPUMilli: 500, MemoryMB: 512},
+		Strategy: scheduler.StrategyBinpack,
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := eng.Select(&req, cands); !ok {
+			b.Fatal("no feasible candidate")
+		}
+	}); allocs != 0 {
+		b.Fatalf("Select allocates %.1f/op on the no-contention path, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := eng.Select(&req, cands); !ok {
+			b.Fatal("no feasible candidate")
+		}
+	}
+}
+
+// BenchmarkFailoverReschedule measures the policy-aware failover path:
+// an 8-node cluster loses the node carrying a 32-workload binpacked
+// hotspot, every victim reschedules through the scheduler, and the
+// node rejoins for the next round.
+func BenchmarkFailoverReschedule(b *testing.B) {
+	reg := container.NewRegistry()
+	reg.Push(container.AnalyticsImage(), nil)
+	c := orchestrator.NewCluster("bench", reg, orchestrator.Settings{})
+	capacity := orchestrator.Resources{CPUMilli: 1 << 20, MemoryMB: 1 << 20}
+	for i := 0; i < 8; i++ {
+		c.AddNode(fmt.Sprintf("olt-%d", i), capacity)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := c.Deploy("ops", orchestrator.WorkloadSpec{
+			Name: fmt.Sprintf("w-%d", i), Tenant: "acme", ImageRef: "acme/analytics:2.0.1",
+			Isolation: orchestrator.IsolationSoft,
+			Resources: orchestrator.Resources{CPUMilli: 100, MemoryMB: 128},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, ok := c.Workload("w-0")
+		if !ok {
+			b.Fatal("hotspot workload lost")
+		}
+		hot := w.Node
+		res, err := c.FailNode(hot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Evicted) != 0 {
+			b.Fatalf("evictions under generous capacity: %v", res.Evicted)
+		}
+		c.AddNode(hot, capacity)
+	}
 }
 
 // BenchmarkObserveRuntimeParallel streams attack traces from concurrent

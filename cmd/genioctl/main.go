@@ -15,6 +15,20 @@
 //	genioctl deploy -image acme/iot-gateway:1.4.2 -timeout 2s
 //	genioctl watch -deploys 4 -tenant acme
 //
+// Node lifecycle and placement subcommands:
+//
+//	genioctl nodes -top
+//	genioctl cordon -node olt-01
+//	genioctl cordon -node olt-01 -undo
+//	genioctl drain -node olt-01 -timeout 5s
+//
+// `nodes -top` prints the per-node utilization and placement-score
+// table (what the scheduler would score each node for a probe demand,
+// under both strategies). `cordon` marks a node unschedulable (`-undo`
+// reverses it); `drain` cordons and live-migrates the node's workloads
+// through the scheduler, streaming each migration — a `-timeout` that
+// expires mid-drain demonstrates cancellation with rollback.
+//
 // `deploy` drives one asynchronous deployment (DeployAsync) against a
 // demo platform: -timeout sets a context deadline (deadline expiry
 // cancels the in-flight admission scan), -wait streams every lifecycle
@@ -34,6 +48,7 @@ import (
 
 	"genio"
 	"genio/internal/container"
+	"genio/internal/orchestrator/scheduler"
 	"genio/internal/rbac"
 	"genio/internal/trace"
 )
@@ -54,6 +69,12 @@ func run(args []string, out io.Writer) error {
 			return runDeploy(args[1:], out)
 		case "watch":
 			return runWatch(args[1:], out)
+		case "cordon":
+			return runCordon(args[1:], out)
+		case "drain":
+			return runDrain(args[1:], out)
+		case "nodes":
+			return runNodes(args[1:], out)
 		}
 	}
 	return runDemo(args, out)
@@ -286,6 +307,202 @@ func runWatch(args []string, out io.Writer) error {
 	}
 	<-printed
 	return nil
+}
+
+// demoWorkloads deploys n small clean workloads for tenant acme under
+// the binpack default (the fixture traffic the lifecycle subcommands
+// operate on — stacked, so there is a hot node to cordon or drain).
+func demoWorkloads(p *genio.Platform, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := p.Deploy("genioctl", genio.WorkloadSpec{
+			Name: fmt.Sprintf("app-%02d", i), Tenant: "acme",
+			ImageRef: "acme/analytics:2.0.1", Isolation: genio.IsolationSoft,
+			Resources: genio.Resources{CPUMilli: 500, MemoryMB: 512},
+		}); err != nil {
+			return fmt.Errorf("fixture deploy %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// runCordon marks a demo node unschedulable (or schedulable with -undo)
+// and shows the resulting fleet table.
+func runCordon(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("genioctl cordon", flag.ContinueOnError)
+	fs.SetOutput(out)
+	posture := fs.String("posture", "secure", "platform posture: secure | legacy")
+	node := fs.String("node", "olt-01", "node to cordon")
+	undo := fs.Bool("undo", false, "uncordon instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := parsePosture(*posture)
+	if err != nil {
+		return err
+	}
+	p, err := demoPlatform(cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	if err := demoWorkloads(p, 3); err != nil {
+		return err
+	}
+	verb := "cordoned"
+	if *undo {
+		err = p.Uncordon(*node)
+		verb = "uncordoned"
+	} else {
+		err = p.Cordon(*node)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "node %s %s\n\n", *node, verb)
+	printNodeTable(out, p, false)
+	return nil
+}
+
+// runDrain live-migrates a demo node's workloads through the scheduler,
+// streaming each step.
+func runDrain(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("genioctl drain", flag.ContinueOnError)
+	fs.SetOutput(out)
+	posture := fs.String("posture", "secure", "platform posture: secure | legacy")
+	node := fs.String("node", "olt-01", "node to drain")
+	timeout := fs.Duration("timeout", 0, "context deadline for the drain (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := parsePosture(*posture)
+	if err != nil {
+		return err
+	}
+	p, err := demoPlatform(cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	// Default binpack stacks the fixture workloads, so the drained node
+	// is the hot one.
+	if err := demoWorkloads(p, 4); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	sub, err := p.Subscribe("genioctl-drain", []genio.Topic{genio.TopicNodeDrain},
+		func(batch []genio.Event) {
+			for _, ev := range batch {
+				de, ok := ev.Payload.(genio.DrainEvent)
+				if !ok {
+					continue
+				}
+				switch de.Phase {
+				case genio.DrainMigrated:
+					fmt.Fprintf(out, "  migrated  %-10s -> %s (score %.3f)\n", de.Workload, de.Target, de.Score)
+				default:
+					fmt.Fprintf(out, "  %-9s %s\n", de.Phase, de.Detail)
+				}
+			}
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "draining %s...\n", *node)
+	res, derr := p.Drain(ctx, *node)
+	p.Flush()
+	sub.Cancel()
+	if res == nil {
+		return derr // refused outright (unknown node): no drain ever started
+	}
+	if derr != nil {
+		fmt.Fprintf(out, "drain stopped: %v (%d migrated, %d remaining; cordon rolled back)\n",
+			derr, len(res.Migrated), len(res.Remaining))
+	} else {
+		fmt.Fprintf(out, "drained: %d workload(s) migrated; %s stays cordoned\n", len(res.Migrated), *node)
+	}
+	fmt.Fprintln(out)
+	printNodeTable(out, p, false)
+	return nil
+}
+
+// runNodes prints the fleet table; -top adds the scheduler's score
+// columns for a probe demand under both strategies.
+func runNodes(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("genioctl nodes", flag.ContinueOnError)
+	fs.SetOutput(out)
+	posture := fs.String("posture", "secure", "platform posture: secure | legacy")
+	top := fs.Bool("top", false, "include per-node placement scores for a probe demand")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := parsePosture(*posture)
+	if err != nil {
+		return err
+	}
+	p, err := demoPlatform(cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	if err := demoWorkloads(p, 3); err != nil {
+		return err
+	}
+	printNodeTable(out, p, *top)
+	return nil
+}
+
+// printNodeTable renders utilization per node; with scores it appends
+// the scheduler's binpack/spread verdicts for a 500m/512MB probe.
+func printNodeTable(out io.Writer, p *genio.Platform, scores bool) {
+	util := p.Cluster.Utilization()
+	header := fmt.Sprintf("%-8s %-12s %-14s %-4s %-9s", "NODE", "CPU(m)", "MEM(MB)", "WLS", "STATE")
+	if scores {
+		header += fmt.Sprintf(" %-8s %-8s", "BINPACK", "SPREAD")
+	}
+	fmt.Fprintln(out, header)
+	cands := make([]scheduler.Candidate, 0, len(util))
+	for _, u := range util {
+		cands = append(cands, scheduler.Candidate{
+			Node: u.Node, Capacity: u.Capacity, Used: u.Used,
+			Cordoned: u.Cordoned, SharedVMs: u.SharedVMs,
+		})
+	}
+	probe := scheduler.Request{Workload: "probe", Tenant: "probe",
+		Demand: genio.Resources{CPUMilli: 500, MemoryMB: 512}}
+	var binpack, spread []scheduler.NodeScore
+	if scores {
+		eng := p.Cluster.Scheduler()
+		probe.Strategy = scheduler.StrategyBinpack
+		binpack = eng.Explain(&probe, cands)
+		probe.Strategy = scheduler.StrategySpread
+		spread = eng.Explain(&probe, cands)
+	}
+	for i, u := range util {
+		state := "ready"
+		if u.Cordoned {
+			state = "cordoned"
+		}
+		line := fmt.Sprintf("%-8s %5d/%-6d %6d/%-7d %-4d %-9s",
+			u.Node, u.Used.CPUMilli, u.Capacity.CPUMilli,
+			u.Used.MemoryMB, u.Capacity.MemoryMB, u.Workloads, state)
+		if scores {
+			line += fmt.Sprintf(" %-8s %-8s", renderScore(binpack[i]), renderScore(spread[i]))
+		}
+		fmt.Fprintln(out, line)
+	}
+}
+
+// renderScore formats one Explain outcome for the table.
+func renderScore(s scheduler.NodeScore) string {
+	if !s.Feasible {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", s.Score)
 }
 
 // runDemo is the classic demo driver.

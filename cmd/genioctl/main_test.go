@@ -151,3 +151,47 @@ func TestDeploySubcommandQuotaRejection(t *testing.T) {
 		t.Errorf("missing typed quota rejection:\n%s", buf.String())
 	}
 }
+
+func TestNodesTopSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"nodes", "-top"}, &buf); err != nil {
+		t.Fatalf("nodes: %v", err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"NODE", "BINPACK", "SPREAD", "olt-01", "olt-02", "ready"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("nodes -top output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestCordonSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"cordon", "-node", "olt-02"}, &buf); err != nil {
+		t.Fatalf("cordon: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "node olt-02 cordoned") || !strings.Contains(out, "cordoned") {
+		t.Errorf("cordon output:\n%s", out)
+	}
+	buf.Reset()
+	if err := run([]string{"cordon", "-node", "olt-02", "-undo"}, &buf); err != nil {
+		t.Fatalf("uncordon: %v", err)
+	}
+	if !strings.Contains(buf.String(), "node olt-02 uncordoned") {
+		t.Errorf("uncordon output:\n%s", buf.String())
+	}
+}
+
+func TestDrainSubcommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"drain", "-node", "olt-01"}, &buf); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"draining olt-01", "migrated", "-> olt-02", "stays cordoned"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("drain output missing %q:\n%s", needle, out)
+		}
+	}
+}

@@ -97,6 +97,37 @@ const (
 	IsolationHard = orchestrator.IsolationHard
 )
 
+// Placement strategies for WorkloadSpec.PlacementPolicy and the
+// cluster-wide default (WithPlacementStrategy /
+// Settings.PlacementStrategy): binpack packs for density, spread fans
+// out for HA. See internal/orchestrator/scheduler for the policy
+// pipeline.
+const (
+	PlacementBinpack = orchestrator.PlacementBinpack
+	PlacementSpread  = orchestrator.PlacementSpread
+)
+
+// NodeUtilization is one node's placement state (capacity accounting,
+// cordon flag, workload and shared-VM counts) as returned by
+// Platform.Cluster.Utilization.
+type NodeUtilization = orchestrator.NodeUtilization
+
+// DrainResult reports a node drain's outcome (Platform.Drain).
+type DrainResult = orchestrator.DrainResult
+
+// DrainEvent is one observable step of a node drain — the payload of
+// node.drain spine events.
+type DrainEvent = orchestrator.DrainEvent
+
+// Drain phases carried in DrainEvent.Phase.
+const (
+	DrainCordoned  = orchestrator.DrainCordoned
+	DrainMigrated  = orchestrator.DrainMigrated
+	DrainCompleted = orchestrator.DrainCompleted
+	DrainCancelled = orchestrator.DrainCancelled
+	DrainFailed    = orchestrator.DrainFailed
+)
+
 // PON security modes (M3/M4 posture of the optical segment).
 const (
 	PONPlaintext     = pon.ModePlaintext
@@ -117,6 +148,7 @@ const (
 	TopicAudit           = events.TopicAudit
 	TopicMetric          = events.TopicMetric
 	TopicDeployLifecycle = events.TopicDeployLifecycle
+	TopicNodeDrain       = events.TopicNodeDrain
 )
 
 // Metric is the common payload vocabulary for TopicMetric events.
@@ -155,6 +187,13 @@ type PlatformOption = core.Option
 // WithClock installs a millisecond time source on the platform (see
 // core.WithClock); simulations use it to make runs replayable.
 func WithClock(now func() int64) PlatformOption { return core.WithClock(now) }
+
+// WithPlacementStrategy sets the cluster-wide default placement
+// strategy (PlacementBinpack | PlacementSpread) for workloads that do
+// not set their own WorkloadSpec.PlacementPolicy.
+func WithPlacementStrategy(strategy string) PlatformOption {
+	return core.WithPlacementStrategy(strategy)
+}
 
 // NewPlatform builds a platform with the given mitigation configuration.
 func NewPlatform(cfg Config, opts ...PlatformOption) (*Platform, error) {
@@ -219,6 +258,11 @@ type (
 	DuplicateNameError = orchestrator.DuplicateNameError
 	// NodeNotFoundError reports an operation on an unknown edge node.
 	NodeNotFoundError = orchestrator.NodeNotFoundError
+	// PlacementPolicyError reports a deploy naming an unknown placement
+	// policy.
+	PlacementPolicyError = orchestrator.PlacementPolicyError
+	// DrainError reports a drain blocked by a workload that fits nowhere.
+	DrainError = orchestrator.DrainError
 	// CancelledError reports a deployment aborted by its context.
 	CancelledError = orchestrator.CancelledError
 	// ClosedError reports a control-plane operation on a closed platform.

@@ -131,6 +131,15 @@ func WithClock(now func() int64) Option {
 	return func(p *Platform) { p.now = now }
 }
 
+// WithPlacementStrategy sets the cluster-wide default placement
+// strategy ("binpack" | "spread") applied to workloads that do not set
+// their own WorkloadSpec.PlacementPolicy — equivalent to setting
+// Config.ClusterSettings.PlacementStrategy, for callers configuring by
+// option rather than by settings struct.
+func WithPlacementStrategy(strategy string) Option {
+	return func(p *Platform) { p.Cluster.Settings.PlacementStrategy = strategy }
+}
+
 // EdgeNode is a provisioned OLT edge hub.
 type EdgeNode struct {
 	Name     string

@@ -48,11 +48,16 @@ const (
 	// per-deployment transition order is preserved. Platform.Watch is a
 	// filtered consumer of this topic.
 	TopicDeployLifecycle Topic = "deploy.lifecycle"
+	// TopicNodeDrain carries orchestrator.DrainEvent payloads: the
+	// observable steps of a node drain (cordoned -> migrated* ->
+	// completed | cancelled | failed), keyed by node so per-drain order
+	// is preserved.
+	TopicNodeDrain Topic = "node.drain"
 )
 
 // BuiltinTopics returns the stock taxonomy, sorted.
 func BuiltinTopics() []Topic {
-	return []Topic{TopicAudit, TopicDeployLifecycle, TopicFalcoAlert, TopicIncident, TopicMetric}
+	return []Topic{TopicAudit, TopicDeployLifecycle, TopicFalcoAlert, TopicIncident, TopicMetric, TopicNodeDrain}
 }
 
 // Event is one published record.

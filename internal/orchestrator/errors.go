@@ -212,10 +212,46 @@ func (e *NodeNotFoundError) Unwrap() error {
 	return ErrNodeUnknown
 }
 
+// PlacementPolicyError reports a deploy whose WorkloadSpec named an
+// unknown placement policy. A rejection (matches ErrRejected): a typo'd
+// policy must fail loudly, not silently take the cluster default.
+type PlacementPolicyError struct {
+	Workload string
+	Policy   string
+}
+
+// Error names the offending policy and the accepted vocabulary.
+func (e *PlacementPolicyError) Error() string {
+	return fmt.Sprintf("orchestrator: unknown placement policy %q for %s (want %s|%s)",
+		e.Policy, e.Workload, PlacementBinpack, PlacementSpread)
+}
+
+// Is matches the ErrRejected umbrella.
+func (e *PlacementPolicyError) Is(target error) bool { return target == ErrRejected }
+
+// DrainError reports a drain aborted because a workload could not be
+// live-migrated off the node (typically capacity). The drain's partial
+// progress is in the DrainResult returned alongside it; the node's
+// schedulable state has been rolled back. Unwrap exposes the scheduling
+// failure, so errors.Is(err, ErrNoCapacity) works.
+type DrainError struct {
+	Node     string
+	Workload string
+	Err      error
+}
+
+// Error names the stuck workload and the cause.
+func (e *DrainError) Error() string {
+	return fmt.Sprintf("orchestrator: drain %s blocked at %s: %v", e.Node, e.Workload, e.Err)
+}
+
+// Unwrap exposes the scheduling failure.
+func (e *DrainError) Unwrap() error { return e.Err }
+
 // CancelledError reports a deployment aborted by its context: cancelled
 // explicitly or past its deadline. Stage names where in the pipeline the
-// abort landed (admission | reservation | placement). Unwrap exposes the
-// context error, so errors.Is(err, context.Canceled) and
+// abort landed (admission | reservation | placement | drain). Unwrap
+// exposes the context error, so errors.Is(err, context.Canceled) and
 // errors.Is(err, context.DeadlineExceeded) both work.
 type CancelledError struct {
 	Workload string

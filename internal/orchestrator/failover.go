@@ -8,6 +8,7 @@ package orchestrator
 // node), and capacity/quota accounting stays consistent.
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -23,11 +24,13 @@ type FailoverResult struct {
 }
 
 // FailNode removes a node and reschedules its workloads onto remaining
-// nodes (hard-isolation workloads get fresh dedicated VMs; soft ones join
-// their tenant's shared VM on the target). Workloads that fit nowhere are
-// evicted: their quota is released and they are reported for operator
-// action. The failure and every per-workload outcome are reported to the
-// audit sink.
+// nodes through the scheduler (each workload's own placement policy is
+// honoured: hard-isolation workloads get fresh dedicated VMs on
+// posture-preferred nodes, spread workloads fan back out instead of
+// re-hotspotting). Workloads that fit nowhere are evicted: their quota
+// is released and they are reported for operator action. The failure
+// and every per-workload outcome — including the scheduler's placement
+// score for the new node — are reported to the audit sink.
 func (c *Cluster) FailNode(name string) (*FailoverResult, error) {
 	res, moved, err := c.failNode(name)
 	if err != nil {
@@ -37,7 +40,8 @@ func (c *Cluster) FailNode(name string) (*FailoverResult, error) {
 		Detail: fmt.Sprintf("%d rescheduled, %d evicted", len(res.Rescheduled), len(res.Evicted))})
 	for _, w := range moved {
 		c.auditEvent(AuditEvent{Kind: "failover", Workload: w.Workload,
-			Tenant: w.Tenant, Node: w.Node, Allowed: true, AtMs: res.AtMs})
+			Tenant: w.Tenant, Node: w.Node, Allowed: true, AtMs: res.AtMs,
+			Detail: fmt.Sprintf("strategy=%s score=%.3f", w.Strategy, w.Score)})
 	}
 	for _, wl := range res.Evicted {
 		c.auditEvent(AuditEvent{Kind: "eviction", Workload: wl, Node: name,
@@ -51,6 +55,8 @@ func (c *Cluster) FailNode(name string) (*FailoverResult, error) {
 // concurrent failover the moment the lock drops.
 type movedWorkload struct {
 	Workload, Tenant, Node string
+	Strategy               string
+	Score                  float64
 }
 
 // failNode is FailNode's body, audit emission excluded; it additionally
@@ -72,6 +78,7 @@ func (c *Cluster) failNode(name string) (*FailoverResult, []movedWorkload, error
 	}
 	sort.Slice(victims, func(i, j int) bool { return victims[i].Spec.Name < victims[j].Spec.Name })
 	delete(c.nodes, name)
+	c.rebuildCandidatesLocked()
 	_ = n
 
 	res := &FailoverResult{Node: name, AtMs: c.nowMs()}
@@ -79,18 +86,37 @@ func (c *Cluster) failNode(name string) (*FailoverResult, []movedWorkload, error
 	for _, w := range victims {
 		// Release old accounting; scheduling re-adds on success. The
 		// cluster write lock is already held, so place via scheduleAmong.
-		c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].sub(w.Spec.Resources)
+		c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].Sub(w.Spec.Resources)
 		moved, err := c.scheduleAmong(w.Spec, w.Image)
+		var perr *PlacementPolicyError
+		if errors.As(err, &perr) {
+			// The workload's policy no longer resolves — a cluster
+			// default misconfigured after placement, not a capacity
+			// shortage. Failover's job is keeping workloads alive:
+			// degrade to an explicit binpack placement (visible in the
+			// audit score detail) instead of mass-evicting a healthy
+			// fleet over a config typo.
+			degraded := w.Spec
+			degraded.PlacementPolicy = PlacementBinpack
+			moved, err = c.scheduleAmong(degraded, w.Image)
+			if err == nil {
+				// The placement degraded; the workload's requested policy
+				// did not — once the config is fixed, later moves resolve
+				// it normally again.
+				moved.Spec.PlacementPolicy = w.Spec.PlacementPolicy
+			}
+		}
 		if err != nil {
 			delete(c.workloads, w.Spec.Name)
 			res.Evicted = append(res.Evicted, w.Spec.Name)
 			continue
 		}
 		*w = *moved
-		c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].add(w.Spec.Resources)
+		c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].Add(w.Spec.Resources)
 		res.Rescheduled = append(res.Rescheduled, w.Spec.Name)
 		rescheduled = append(rescheduled, movedWorkload{
 			Workload: w.Spec.Name, Tenant: w.Spec.Tenant, Node: w.Node,
+			Strategy: w.Strategy, Score: w.Score,
 		})
 	}
 	return res, rescheduled, nil
@@ -108,11 +134,19 @@ func (c *Cluster) Nodes() []string {
 	return out
 }
 
-// NodeUtilization reports used/capacity per node.
+// NodeUtilization reports one node's placement state: capacity
+// accounting plus the lifecycle and scheduler-relevant facts
+// (`genioctl nodes -top` renders these alongside placement scores).
 type NodeUtilization struct {
 	Node     string    `json:"node"`
 	Used     Resources `json:"used"`
 	Capacity Resources `json:"capacity"`
+	// Cordoned marks the node unschedulable.
+	Cordoned bool `json:"cordoned,omitempty"`
+	// Workloads counts placements on the node; SharedVMs counts its
+	// non-dedicated VMs.
+	Workloads int `json:"workloads"`
+	SharedVMs int `json:"sharedVMs,omitempty"`
 }
 
 // Utilization returns per-node resource usage sorted by node name.
@@ -122,9 +156,13 @@ func (c *Cluster) Utilization() []NodeUtilization {
 	out := make([]NodeUtilization, 0, len(c.nodes))
 	for name, n := range c.nodes {
 		n.mu.Lock()
-		used := n.used
+		u := NodeUtilization{Node: name, Used: n.used, Capacity: n.capacity,
+			Cordoned: n.cordoned, SharedVMs: n.sharedVMs}
+		for _, count := range n.tenants {
+			u.Workloads += count
+		}
 		n.mu.Unlock()
-		out = append(out, NodeUtilization{Node: name, Used: used, Capacity: n.capacity})
+		out = append(out, u)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out

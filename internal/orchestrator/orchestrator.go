@@ -17,6 +17,12 @@
 // different nodes proceed in parallel. The admission chain fans out over a
 // bounded worker pool (see admission.go). Lock order is always cluster
 // lock before node lock, never the reverse.
+//
+// Placement decisions are delegated to the scheduler subpackage: a
+// filter -> score pipeline over the cluster's cached, name-sorted
+// candidate slice (see scheduleAmong). Node lifecycle — cordon, drain —
+// lives in lifecycle.go; failover in failover.go. All three consume the
+// same engine, so placement policy is decided in exactly one place.
 package orchestrator
 
 import (
@@ -28,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"genio/internal/container"
+	"genio/internal/orchestrator/scheduler"
 	"genio/internal/rbac"
 )
 
@@ -55,24 +62,17 @@ func (m IsolationMode) String() string {
 	}
 }
 
-// Resources is a CPU/memory demand or capacity.
-type Resources struct {
-	CPUMilli int `json:"cpuMilli"`
-	MemoryMB int `json:"memoryMB"`
-}
+// Resources is a CPU/memory demand or capacity. The type lives in the
+// scheduler package (the bottom of the placement stack) and is aliased
+// here so the whole control plane shares one vocabulary.
+type Resources = scheduler.Resources
 
-// fits reports whether r fits into free.
-func (r Resources) fits(free Resources) bool {
-	return r.CPUMilli <= free.CPUMilli && r.MemoryMB <= free.MemoryMB
-}
-
-func (r Resources) add(o Resources) Resources {
-	return Resources{CPUMilli: r.CPUMilli + o.CPUMilli, MemoryMB: r.MemoryMB + o.MemoryMB}
-}
-
-func (r Resources) sub(o Resources) Resources {
-	return Resources{CPUMilli: r.CPUMilli - o.CPUMilli, MemoryMB: r.MemoryMB - o.MemoryMB}
-}
+// Placement strategies, re-exported from the scheduler for callers that
+// set WorkloadSpec.PlacementPolicy or Settings.PlacementStrategy.
+const (
+	PlacementBinpack = string(scheduler.StrategyBinpack)
+	PlacementSpread  = string(scheduler.StrategySpread)
+)
 
 // WorkloadSpec describes a deployment request.
 type WorkloadSpec struct {
@@ -81,6 +81,12 @@ type WorkloadSpec struct {
 	ImageRef  string        `json:"imageRef"`
 	Isolation IsolationMode `json:"isolation"`
 	Resources Resources     `json:"resources"`
+	// PlacementPolicy selects the scheduling strategy for this workload:
+	// "binpack" (density), "spread" (HA), or "" to take the cluster's
+	// Settings.PlacementStrategy default (binpack when that is also
+	// unset). Unknown values reject the deploy with a
+	// *PlacementPolicyError.
+	PlacementPolicy string `json:"placementPolicy,omitempty"`
 }
 
 // Workload is a running deployment.
@@ -92,6 +98,11 @@ type Workload struct {
 	// PlacedAtMs is the cluster-clock timestamp of the placement. Zero
 	// unless a clock is installed with SetClock (simulation, tracing).
 	PlacedAtMs int64 `json:"placedAtMs,omitempty"`
+	// Strategy is the placement strategy that chose the node; Score is
+	// the scheduler's score for the chosen node at placement time. Both
+	// are refreshed whenever the workload moves (failover, drain).
+	Strategy string  `json:"strategy,omitempty"`
+	Score    float64 `json:"score,omitempty"`
 }
 
 // VM is a virtual machine on a node.
@@ -105,8 +116,9 @@ type VM struct {
 }
 
 // node is internal node state. The cluster lock guards membership in the
-// node map; mu guards the placement state (used, vms) so placements on
-// different nodes do not serialize.
+// node map; mu guards the placement state (used, vms, lifecycle flags
+// and the scheduler inputs) so placements on different nodes do not
+// serialize.
 type node struct {
 	name     string
 	capacity Resources
@@ -114,6 +126,80 @@ type node struct {
 	mu   sync.Mutex
 	used Resources
 	vms  map[string]*VM
+	// cordoned marks the node unschedulable (Cordon/Drain); running
+	// workloads stay until drained or stopped. cordonOwner identifies
+	// the still-in-flight Drain that applied the cordon (its drain id;
+	// 0 = operator-owned or none): a drain rollback may lift only the
+	// cordon it owns. Explicit Cordon/Uncordon calls and drain
+	// completion reset the owner to 0, so operator intent expressed
+	// mid-drain — and a second drain's cordon — survive another drain's
+	// rollback. cordonEpoch counts explicit Cordon/Uncordon calls: a
+	// completing drain re-asserts its cordon only if the epoch is
+	// unchanged since it started (no operator spoke), so a concurrent
+	// drain's rollback cannot leave a just-drained node schedulable,
+	// while an operator's explicit mid-drain uncordon still wins.
+	cordoned    bool
+	cordonOwner uint64
+	cordonEpoch uint64
+	// sharedVMs counts non-dedicated VMs (security-posture scheduler
+	// input), maintained by placeVM and releaseLocked.
+	sharedVMs int
+	// tenants counts workloads per tenant on this node (anti-affinity
+	// scheduler input), maintained by commit and release paths.
+	tenants map[string]int
+}
+
+// snapshot captures the node's placement-relevant state for the
+// scheduler. Allocation-free: the Candidate lives on the caller's stack.
+func (n *node) snapshot(tenant string) scheduler.Candidate {
+	n.mu.Lock()
+	c := n.snapshotLocked(tenant)
+	n.mu.Unlock()
+	return c
+}
+
+// snapshotLocked is snapshot's body — the single place the node ->
+// Candidate field mapping lives, shared by the scan pass (snapshot) and
+// the commit-time re-check (commitOn). Callers hold n.mu.
+func (n *node) snapshotLocked(tenant string) scheduler.Candidate {
+	return scheduler.Candidate{
+		Node:            n.name,
+		Capacity:        n.capacity,
+		Used:            n.used,
+		Cordoned:        n.cordoned,
+		TenantWorkloads: n.tenants[tenant],
+		SharedVMs:       n.sharedVMs,
+	}
+}
+
+// releaseLocked undoes one workload's placement on n: capacity is
+// returned, the tenant count drops, the VM slot is vacated, and an
+// emptied VM is deleted (shared-VM counter maintained). Callers hold
+// n.mu.
+func (n *node) releaseLocked(workload, vmID string, res Resources, tenant string) {
+	n.used = n.used.Sub(res)
+	if n.tenants[tenant] > 1 {
+		n.tenants[tenant]--
+	} else {
+		delete(n.tenants, tenant)
+	}
+	vm, ok := n.vms[vmID]
+	if !ok {
+		return
+	}
+	out := vm.Workloads[:0]
+	for _, wl := range vm.Workloads {
+		if wl != workload {
+			out = append(out, wl)
+		}
+	}
+	vm.Workloads = out
+	if len(vm.Workloads) == 0 {
+		delete(n.vms, vmID)
+		if !vm.Dedicated {
+			n.sharedVMs--
+		}
+	}
 }
 
 // Settings are cluster-level configuration flags — the knobs the M11
@@ -127,6 +213,10 @@ type Settings struct {
 	TLSOnAPIServer      bool `json:"tlsOnApiServer"`
 	AllowPrivileged     bool `json:"allowPrivileged"`
 	NetworkPoliciesOn   bool `json:"networkPoliciesOn"`
+	// PlacementStrategy is the cluster-wide default scheduling strategy
+	// ("binpack" | "spread"; "" = binpack) for workloads that do not set
+	// their own WorkloadSpec.PlacementPolicy.
+	PlacementStrategy string `json:"placementStrategy,omitempty"`
 }
 
 // InsecureDefaults returns the configuration middleware ships with before
@@ -208,12 +298,25 @@ type Cluster struct {
 	// benchmarks to measure the cold scanner path).
 	AdmissionCacheDisabled bool
 
-	mu         sync.RWMutex
-	nodes      map[string]*node
-	workloads  map[string]*Workload
+	mu        sync.RWMutex
+	nodes     map[string]*node
+	workloads map[string]*Workload
+	// candidates is the scheduler's cached view of the fleet: the node
+	// set sorted by name, rebuilt only on membership changes (AddNode,
+	// FailNode) instead of per deploy — the scheduling pass itself is
+	// O(nodes) with zero allocations. Guarded by mu like the node map.
+	candidates []*node
 	pending    map[string]struct{} // names reserved by in-flight deploys
 	quotas     map[string]Resources
 	tenantUsed map[string]Resources
+
+	// sched is the pluggable placement engine consulted by every
+	// placement consumer (deploy, failover, drain). candScratch pools
+	// the Candidate slices a scheduling pass snapshots the fleet into
+	// (concurrent read-lock schedulers each need their own), keeping the
+	// per-deploy pass allocation-free in steady state.
+	sched       *scheduler.Engine
+	candScratch sync.Pool
 
 	admMu     sync.RWMutex
 	admission []namedAdmission
@@ -227,7 +330,10 @@ type Cluster struct {
 	// audit, when set, receives a record per control-plane decision.
 	audit atomic.Pointer[AuditSink]
 
-	vmSeq    atomic.Int64
+	vmSeq atomic.Int64
+	// drainSeq hands out drain ids — the cordon-ownership tokens that
+	// keep one drain's rollback from lifting another drain's cordon.
+	drainSeq atomic.Uint64
 	admitted atomic.Int64
 	rejected atomic.Int64
 }
@@ -251,7 +357,15 @@ func NewCluster(name string, reg *container.Registry, settings Settings) *Cluste
 		pending:    make(map[string]struct{}),
 		quotas:     make(map[string]Resources),
 		tenantUsed: make(map[string]Resources),
+		sched:      scheduler.New(),
 	}
+}
+
+// Scheduler exposes the cluster's placement engine so callers can plug
+// additional filters and scorers before traffic starts (the engine is
+// not synchronized against concurrent scheduling).
+func (c *Cluster) Scheduler() *scheduler.Engine {
+	return c.sched
 }
 
 // SetClock installs a millisecond time source used to stamp placements
@@ -296,10 +410,28 @@ func (c *Cluster) auditEvent(a AuditEvent) {
 // AddNode registers a node with the given capacity.
 func (c *Cluster) AddNode(name string, capacity Resources) {
 	c.mu.Lock()
-	c.nodes[name] = &node{name: name, capacity: capacity, vms: make(map[string]*VM)}
+	c.nodes[name] = &node{name: name, capacity: capacity,
+		vms: make(map[string]*VM), tenants: make(map[string]int)}
+	c.rebuildCandidatesLocked()
 	c.mu.Unlock()
 	c.auditEvent(AuditEvent{Kind: "node-join", Node: name, Allowed: true,
 		Detail: fmt.Sprintf("capacity cpu=%dm mem=%dMB", capacity.CPUMilli, capacity.MemoryMB)})
+}
+
+// rebuildCandidatesLocked refreshes the scheduler's cached, name-sorted
+// candidate slice after a membership change. Callers hold c.mu (write).
+func (c *Cluster) rebuildCandidatesLocked() {
+	old := c.candidates
+	c.candidates = c.candidates[:0]
+	for _, n := range c.nodes {
+		c.candidates = append(c.candidates, n)
+	}
+	sort.Slice(c.candidates, func(i, j int) bool { return c.candidates[i].name < c.candidates[j].name })
+	// When the fleet shrank, nil the reused array's tail so removed node
+	// objects (their VM and tenant maps) do not stay pinned past len.
+	for i := len(c.candidates); i < len(old); i++ {
+		old[i] = nil
+	}
 }
 
 // SetQuota sets a tenant's resource quota (zero value = unlimited).
@@ -367,11 +499,11 @@ func (c *Cluster) DeployContext(ctx context.Context, subject string, spec Worklo
 // each DeployStage. The platform's asynchronous deploy futures use it to
 // publish lifecycle transitions; synchronous callers pass nil.
 //
-// On success the returned Placement is the commit-time snapshot of where
-// the workload landed. Callers that report the placement (audit,
-// lifecycle events) must read it from there, never from the returned
-// *Workload: a concurrent failover may rewrite the live struct the
-// moment the commit lock is released.
+// On success both the returned *Workload and the Placement are
+// commit-time snapshots: a concurrent failover or drain may rewrite
+// the live cluster record the moment the commit lock is released, so
+// the caller's copies deliberately do not track later moves (query
+// Workload(name) for the current placement).
 func (c *Cluster) DeployObserved(ctx context.Context, subject string, spec WorkloadSpec, observe func(DeployStage)) (*Workload, Placement, error) {
 	w, placed, err := c.deploy(ctx, subject, spec, observe)
 	if err != nil {
@@ -408,6 +540,14 @@ func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec,
 			c.rejected.Add(1)
 			return nil, Placement{}, &UnauthorizedError{Subject: subject, Verb: "create", Tenant: spec.Tenant}
 		}
+	}
+	// Validate the placement policy before any expensive stage runs: a
+	// statically invalid spec (or a typo'd cluster default) must not
+	// burn an image pull and the whole scanner fan-out only to be
+	// refused at scheduling time.
+	if _, err := c.resolveStrategy(spec); err != nil {
+		c.rejected.Add(1)
+		return nil, Placement{}, err
 	}
 	if err := ctxErr(ctx, spec.Name, string(StageScanning)); err != nil {
 		return nil, Placement{}, err
@@ -456,7 +596,7 @@ func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec,
 	}
 	if q, ok := c.quotas[spec.Tenant]; ok && (q.CPUMilli > 0 || q.MemoryMB > 0) {
 		used := c.tenantUsed[spec.Tenant]
-		if !used.add(spec.Resources).fits(q) {
+		if !used.Add(spec.Resources).Fits(q) {
 			c.mu.Unlock()
 			c.rejected.Add(1)
 			return nil, Placement{}, &QuotaError{Tenant: spec.Tenant,
@@ -464,18 +604,50 @@ func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec,
 		}
 	}
 	c.pending[spec.Name] = struct{}{}
-	c.tenantUsed[spec.Tenant] = c.tenantUsed[spec.Tenant].add(spec.Resources)
+	c.tenantUsed[spec.Tenant] = c.tenantUsed[spec.Tenant].Add(spec.Resources)
 	c.mu.Unlock()
 
-	w, err := c.schedule(spec, img)
+	w, placedOn, err := c.schedule(spec, img)
 
 	c.mu.Lock()
 	delete(c.pending, spec.Name)
 	if err == nil {
-		if _, alive := c.nodes[w.Node]; !alive {
-			// The chosen node failed between placement and commit; its
-			// state object is orphaned, so the reservation just dissolves.
-			err = &CapacityError{Workload: spec.Name, Requested: spec.Resources, Nodes: len(c.nodes)}
+		if n, alive := c.nodes[w.Node]; !alive || n != placedOn {
+			// The chosen node failed between placement and commit — or
+			// failed AND was re-added under the same name, leaving a fresh
+			// object the reservation never touched (identity, not name,
+			// decides). Either way the node-side reservation is orphaned
+			// with the old object; reschedule on the current fleet rather
+			// than spuriously rejecting a deploy it can still host
+			// (mirroring the cordon branch below; a genuine capacity
+			// shortage surfaces from scheduleAmong itself).
+			var moved *Workload
+			if moved, err = c.scheduleAmong(spec, img); err == nil {
+				w = moved
+			}
+		} else {
+			n.mu.Lock()
+			cordoned := n.cordoned
+			n.mu.Unlock()
+			if cordoned {
+				// A cordon (typically a drain) landed between placement and
+				// commit. The workload is not yet in the workload table, so
+				// a concurrent drain may already have reported the node
+				// empty — committing here would strand the workload on a
+				// node the operator believes evacuated. Move the placement:
+				// release the node-side reservation and reschedule. (A
+				// drain CAN still cordon another node while we hold the
+				// write lock — it flips the flag under the node lock alone
+				// — but commitOn re-checks the flag under that same lock,
+				// and a drain that cordons the target after our commit
+				// must take c.mu before scanning, so it sees the workload
+				// we are about to insert and migrates it normally.)
+				c.releasePlacement(w)
+				var moved *Workload
+				if moved, err = c.scheduleAmong(spec, img); err == nil {
+					w = moved
+				}
+			}
 		}
 	}
 	if err == nil {
@@ -489,7 +661,7 @@ func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec,
 		}
 	}
 	if err != nil {
-		c.tenantUsed[spec.Tenant] = c.tenantUsed[spec.Tenant].sub(spec.Resources)
+		c.tenantUsed[spec.Tenant] = c.tenantUsed[spec.Tenant].Sub(spec.Resources)
 		c.mu.Unlock()
 		if !errors.Is(err, ErrCancelled) {
 			c.rejected.Add(1)
@@ -498,77 +670,172 @@ func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec,
 	}
 	c.workloads[spec.Name] = w
 	placed := Placement{Node: w.Node, VMID: w.VMID}
+	// Return a commit-time snapshot, not the live struct: the moment the
+	// lock drops, a concurrent failover or drain may rewrite the live
+	// workload in place, and the caller's reads must not race that.
+	cp := *w
 	c.mu.Unlock()
 	c.admitted.Add(1)
-	return w, placed, nil
+	return &cp, placed, nil
 }
 
 // releasePlacement undoes a successful schedule that will not be
 // committed (cancellation in the commit window): node capacity is
-// returned and the VM slot vacated. Callers hold c.mu.
+// returned, the VM slot vacated, and an emptied shared VM deleted.
+// Callers hold c.mu.
 func (c *Cluster) releasePlacement(w *Workload) {
 	n, ok := c.nodes[w.Node]
 	if !ok {
 		return // node died; its state object is already orphaned
 	}
 	n.mu.Lock()
-	n.used = n.used.sub(w.Spec.Resources)
-	if vm, ok := n.vms[w.VMID]; ok {
-		out := vm.Workloads[:0]
-		for _, wl := range vm.Workloads {
-			if wl != w.Spec.Name {
-				out = append(out, wl)
-			}
-		}
-		vm.Workloads = out
-		if len(vm.Workloads) == 0 {
-			delete(n.vms, w.VMID)
-		}
-	}
+	n.releaseLocked(w.Spec.Name, w.VMID, w.Spec.Resources, w.Spec.Tenant)
 	n.mu.Unlock()
 }
 
-// schedule places the workload on the first node with capacity, holding the
-// cluster read lock and one node lock at a time.
-func (c *Cluster) schedule(spec WorkloadSpec, img *container.Image) (*Workload, error) {
+// schedule places the workload via the scheduler engine, holding the
+// cluster read lock and one node lock at a time. It returns the node
+// object the placement landed on so the commit window can verify
+// identity, not just name: a node failed and re-added under the same
+// name between placement and commit is a different object, and the
+// reservation died with the old one.
+func (c *Cluster) schedule(spec WorkloadSpec, img *container.Image) (*Workload, *node, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.scheduleAmong(spec, img)
+	return c.scheduleExcluding(spec, img, "")
 }
 
-// scheduleAmong is schedule's body; callers hold c.mu (read or write).
+// scheduleAmong schedules with no exclusion, for callers that hold the
+// cluster write lock across placement and commit (failover, drain, the
+// commit-window reschedule) and therefore cannot race a membership
+// change — the placed node object is necessarily current.
 func (c *Cluster) scheduleAmong(spec WorkloadSpec, img *container.Image) (*Workload, error) {
-	names := make([]string, 0, len(c.nodes))
-	for n := range c.nodes {
-		names = append(names, n)
+	w, _, err := c.scheduleExcluding(spec, img, "")
+	return w, err
+}
+
+// scheduleExcluding is the scheduling pass; callers hold c.mu (read or
+// write). A non-empty exclude names a node hard-vetoed for this request
+// — drain migrations must never target their own source, whatever the
+// cordon flag says at that instant (an operator Uncordon mid-drain must
+// not make the drain migrate a workload onto the node being drained).
+//
+// Placement is the scheduler's two-phase pipeline over the cached,
+// name-sorted candidate slice: one O(nodes) pass snapshots each node
+// (brief per-node lock) into a pooled scratch slice, Engine.Select
+// picks the winner, and the winner is locked and the placement
+// committed after a feasibility re-check. Concurrent deploys under the
+// read lock can race a winner to capacity; losing the re-check rescans
+// (every loss implies another deploy committed, so the loop makes
+// progress), falling back to first-feasible-commit after a few
+// contested rounds so termination never depends on score stability.
+func (c *Cluster) scheduleExcluding(spec WorkloadSpec, img *container.Image, exclude string) (*Workload, *node, error) {
+	strat, err := c.resolveStrategy(spec)
+	if err != nil {
+		return nil, nil, err
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		n := c.nodes[name]
-		n.mu.Lock()
-		free := n.capacity.sub(n.used)
-		if !spec.Resources.fits(free) {
-			n.mu.Unlock()
+	req := scheduler.Request{
+		Workload:      spec.Name,
+		Tenant:        spec.Tenant,
+		Demand:        spec.Resources,
+		HardIsolation: spec.Isolation == IsolationHard,
+		Strategy:      strat,
+		Exclude:       exclude,
+	}
+	const scoredAttempts = 4
+	for attempt := 0; attempt < scoredAttempts; attempt++ {
+		scratch := c.scratchCandidates()
+		for i, n := range c.candidates {
+			(*scratch)[i] = n.snapshot(spec.Tenant)
+		}
+		d, ok := c.sched.Select(&req, *scratch)
+		c.candScratch.Put(scratch)
+		if !ok {
+			return nil, nil, &CapacityError{Workload: spec.Name, Requested: spec.Resources, Nodes: len(c.candidates)}
+		}
+		if w := c.commitOn(c.candidates[d.Index], spec, img, &req, string(strat), d.Score); w != nil {
+			return w, c.candidates[d.Index], nil
+		}
+	}
+	// Contested fallback: walk the candidates in name order and commit on
+	// the first that is feasible at lock time.
+	for _, n := range c.candidates {
+		cand := n.snapshot(spec.Tenant)
+		if c.sched.Feasible(&req, &cand) != "" {
 			continue
 		}
-		vm := c.placeVM(n, spec)
-		vm.Workloads = append(vm.Workloads, spec.Name)
-		n.used = n.used.add(spec.Resources)
-		n.mu.Unlock()
-		return &Workload{Spec: spec, Image: img, Node: name, VMID: vm.ID, PlacedAtMs: c.nowMs()}, nil
+		if w := c.commitOn(n, spec, img, &req, string(strat), c.sched.Score(&req, &cand)); w != nil {
+			return w, n, nil
+		}
 	}
-	return nil, &CapacityError{Workload: spec.Name, Requested: spec.Resources, Nodes: len(names)}
+	return nil, nil, &CapacityError{Workload: spec.Name, Requested: spec.Resources, Nodes: len(c.candidates)}
+}
+
+// resolveStrategy resolves a spec's effective placement strategy,
+// mapping an unknown name onto the typed rejection. The resolution
+// error names the policy that actually resolved — a workload that set
+// none is rejected by a misconfigured cluster default, and the
+// rejection must blame that default, not the empty per-workload field.
+func (c *Cluster) resolveStrategy(spec WorkloadSpec) (scheduler.Strategy, error) {
+	strat, err := scheduler.ResolveStrategy(spec.PlacementPolicy, c.Settings.PlacementStrategy)
+	if err != nil {
+		policy := spec.PlacementPolicy
+		var unknown *scheduler.UnknownStrategyError
+		if errors.As(err, &unknown) {
+			policy = unknown.Policy
+		}
+		return "", &PlacementPolicyError{Workload: spec.Name, Policy: policy}
+	}
+	return strat, nil
+}
+
+// scratchCandidates returns a pooled Candidate slice sized to the
+// current fleet (callers hold c.mu). Concurrent read-lock schedulers
+// each take their own; Put it back after Select.
+func (c *Cluster) scratchCandidates() *[]scheduler.Candidate {
+	if p, ok := c.candScratch.Get().(*[]scheduler.Candidate); ok && cap(*p) >= len(c.candidates) {
+		*p = (*p)[:len(c.candidates)]
+		return p
+	}
+	s := make([]scheduler.Candidate, len(c.candidates))
+	return &s
+}
+
+// commitOn locks n, re-checks feasibility against its live state, and
+// commits the placement: VM assignment, capacity and tenant accounting.
+// Returns nil when a concurrent placement (or cordon) beat the request
+// there — the caller rescans.
+func (c *Cluster) commitOn(n *node, spec WorkloadSpec, img *container.Image, req *scheduler.Request, strategy string, score float64) *Workload {
+	n.mu.Lock()
+	live := n.snapshotLocked(spec.Tenant)
+	if c.sched.Feasible(req, &live) != "" {
+		n.mu.Unlock()
+		return nil
+	}
+	vm := c.placeVM(n, spec)
+	vm.Workloads = append(vm.Workloads, spec.Name)
+	n.used = n.used.Add(spec.Resources)
+	n.tenants[spec.Tenant]++
+	n.mu.Unlock()
+	return &Workload{Spec: spec, Image: img, Node: n.name, VMID: vm.ID,
+		PlacedAtMs: c.nowMs(), Strategy: strategy, Score: score}
 }
 
 // placeVM finds or creates the VM for a workload per its isolation mode
-// (callers hold n.mu).
+// (callers hold n.mu). When a tenant has several shared VMs on the node
+// the lowest VM ID wins — map iteration order must never pick the slot,
+// or replayed runs diverge.
 func (c *Cluster) placeVM(n *node, spec WorkloadSpec) *VM {
 	if spec.Isolation != IsolationHard {
 		// Soft isolation: reuse the node's shared VM for this tenant.
+		var best *VM
 		for _, vm := range n.vms {
-			if !vm.Dedicated && vm.Tenant == spec.Tenant {
-				return vm
+			if !vm.Dedicated && vm.Tenant == spec.Tenant && (best == nil || vm.ID < best.ID) {
+				best = vm
 			}
+		}
+		if best != nil {
+			return best
 		}
 	}
 	vm := &VM{
@@ -578,6 +845,9 @@ func (c *Cluster) placeVM(n *node, spec WorkloadSpec) *VM {
 		Dedicated: spec.Isolation == IsolationHard,
 	}
 	n.vms[vm.ID] = vm
+	if !vm.Dedicated {
+		n.sharedVMs++
+	}
 	return vm
 }
 
@@ -601,48 +871,49 @@ func (c *Cluster) stop(name string) (*Workload, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	delete(c.workloads, name)
-	c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].sub(w.Spec.Resources)
+	c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].Sub(w.Spec.Resources)
 	if n, ok := c.nodes[w.Node]; ok {
 		n.mu.Lock()
-		n.used = n.used.sub(w.Spec.Resources)
-		if vm, ok := n.vms[w.VMID]; ok {
-			out := vm.Workloads[:0]
-			for _, wl := range vm.Workloads {
-				if wl != name {
-					out = append(out, wl)
-				}
-			}
-			vm.Workloads = out
-			if len(vm.Workloads) == 0 {
-				delete(n.vms, w.VMID)
-			}
-		}
+		n.releaseLocked(name, w.VMID, w.Spec.Resources, w.Spec.Tenant)
 		n.mu.Unlock()
 	}
 	return w, nil
 }
 
-// Workload returns a running workload by name.
+// Workload returns a running workload by name. The returned struct is
+// a snapshot taken under the cluster lock: failover and drain rewrite
+// live workload state in place, so handing out interior pointers would
+// make every caller's later field read a data race.
 func (c *Cluster) Workload(name string) (*Workload, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	w, ok := c.workloads[name]
-	return w, ok
+	if !ok {
+		return nil, false
+	}
+	cp := *w
+	return &cp, true
 }
 
-// Workloads returns all running workloads sorted by name.
+// Workloads returns all running workloads sorted by name — snapshots,
+// not live pointers (see Workload).
 func (c *Cluster) Workloads() []*Workload {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]*Workload, 0, len(c.workloads))
+	buf := make([]Workload, 0, len(c.workloads))
 	for _, w := range c.workloads {
-		out = append(out, w)
+		buf = append(buf, *w)
+	}
+	c.mu.RUnlock()
+	out := make([]*Workload, len(buf))
+	for i := range buf {
+		out[i] = &buf[i]
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
 	return out
 }
 
-// VMs returns all VMs sorted by ID.
+// VMs returns all VMs sorted by ID — deep snapshots (placements mutate
+// the live VM slot lists under node locks).
 func (c *Cluster) VMs() []*VM {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -650,7 +921,9 @@ func (c *Cluster) VMs() []*VM {
 	for _, n := range c.nodes {
 		n.mu.Lock()
 		for _, vm := range n.vms {
-			out = append(out, vm)
+			cp := *vm
+			cp.Workloads = append([]string(nil), vm.Workloads...)
+			out = append(out, &cp)
 		}
 		n.mu.Unlock()
 	}

@@ -1,0 +1,25 @@
+package scheduler
+
+// Resources is a CPU/memory demand or capacity. It lives in the
+// scheduler package — the lowest layer of the placement stack — and is
+// re-exported by the orchestrator as a type alias, so the two packages
+// share one vocabulary without an import cycle.
+type Resources struct {
+	CPUMilli int `json:"cpuMilli"`
+	MemoryMB int `json:"memoryMB"`
+}
+
+// Fits reports whether r fits into free.
+func (r Resources) Fits(free Resources) bool {
+	return r.CPUMilli <= free.CPUMilli && r.MemoryMB <= free.MemoryMB
+}
+
+// Add returns r + o componentwise.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{CPUMilli: r.CPUMilli + o.CPUMilli, MemoryMB: r.MemoryMB + o.MemoryMB}
+}
+
+// Sub returns r - o componentwise.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{CPUMilli: r.CPUMilli - o.CPUMilli, MemoryMB: r.MemoryMB - o.MemoryMB}
+}

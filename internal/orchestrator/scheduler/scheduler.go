@@ -1,0 +1,332 @@
+// Package scheduler is GENIO's placement engine: a two-phase
+// filter -> score pipeline over candidate nodes with pluggable policies.
+//
+// Filtering removes infeasible candidates (no capacity, cordoned);
+// scoring ranks the survivors under the request's strategy:
+//
+//	binpack  pack workloads onto the most-utilized feasible node, keeping
+//	         the fleet dense and whole nodes free for large demands (the
+//	         default — and the behaviour the pre-scheduler first-fit
+//	         placement approximated).
+//	spread   place onto the least-utilized feasible node, with a tenant
+//	         anti-affinity bonus for nodes not already hosting the
+//	         tenant — the HA posture: one node loss takes out as few of
+//	         a tenant's workloads as possible.
+//
+// A security-posture scorer additionally steers hard-isolation
+// workloads away from nodes running shared (soft-isolation) VMs,
+// whatever the strategy.
+//
+// The engine is deliberately allocation-free on the decision path:
+// Feasible, Score, and Select never allocate, so a scheduling pass over
+// the cluster's cached candidate slice is O(nodes) with zero
+// allocations — the property BenchmarkSchedule1kNodes pins. Explain is
+// the allocating, human-facing variant that reports the per-candidate
+// breakdown (audit trails, `genioctl nodes -top`).
+//
+// The engine knows nothing about clusters, VMs, or images: callers
+// snapshot their node state into Candidate values and apply the
+// decision themselves. That keeps the package pure (trivially testable,
+// no locks) and lets every placement consumer — deploy, failover,
+// drain — share one policy surface.
+package scheduler
+
+import "fmt"
+
+// Strategy selects the scoring direction of the placement engine.
+type Strategy string
+
+// Built-in strategies.
+const (
+	// StrategyBinpack packs onto the most-utilized feasible node
+	// (density: fewest nodes touched, large contiguous capacity kept
+	// free). The cluster-wide default.
+	StrategyBinpack Strategy = "binpack"
+	// StrategySpread places onto the least-utilized feasible node and
+	// prefers nodes not already hosting the tenant (HA: node loss takes
+	// out as little of one tenant as possible).
+	StrategySpread Strategy = "spread"
+)
+
+// UnknownStrategyError reports a strategy name outside the vocabulary.
+// Policy carries the string that actually resolved (per-workload or
+// cluster default) so callers blame the right knob without re-deriving
+// the resolution order.
+type UnknownStrategyError struct {
+	Policy string
+}
+
+// Error names the offending policy and the accepted vocabulary.
+func (e *UnknownStrategyError) Error() string {
+	return fmt.Sprintf("scheduler: unknown placement strategy %q (want %s|%s)",
+		e.Policy, StrategyBinpack, StrategySpread)
+}
+
+// ResolveStrategy resolves the effective strategy from a per-workload
+// policy and a cluster default, either of which may be empty. Empty
+// everywhere resolves to binpack. Unknown names are a typed
+// *UnknownStrategyError — a typo'd policy must reject the deploy, not
+// silently densify.
+func ResolveStrategy(perWorkload, clusterDefault string) (Strategy, error) {
+	pick := perWorkload
+	if pick == "" {
+		pick = clusterDefault
+	}
+	switch Strategy(pick) {
+	case "", StrategyBinpack:
+		return StrategyBinpack, nil
+	case StrategySpread:
+		return StrategySpread, nil
+	default:
+		return "", &UnknownStrategyError{Policy: pick}
+	}
+}
+
+// Request is one placement demand, already resolved: the caller maps
+// its workload spec (and cluster defaults) onto these fields.
+type Request struct {
+	Workload string
+	Tenant   string
+	Demand   Resources
+	// HardIsolation marks a dedicated-VM workload; the security-posture
+	// scorer steers it away from nodes running shared VMs.
+	HardIsolation bool
+	Strategy      Strategy
+	// Exclude names one node that must never host this request —
+	// a drain's own source, whatever its cordon flag says at the
+	// instant of scheduling.
+	Exclude string
+}
+
+// Candidate is one node's placement-relevant snapshot. Callers build it
+// under whatever lock guards their node state; the engine only reads.
+type Candidate struct {
+	Node     string
+	Capacity Resources
+	Used     Resources
+	// Cordoned nodes are unschedulable (lifecycle filter).
+	Cordoned bool
+	// TenantWorkloads counts the requesting tenant's workloads already
+	// on the node (anti-affinity input).
+	TenantWorkloads int
+	// SharedVMs counts non-dedicated VMs on the node (security-posture
+	// input: hardened isolation prefers nodes without shared VMs).
+	SharedVMs int
+}
+
+// FilterFunc vetoes a candidate: "" passes, anything else is the
+// human-readable reason the candidate is infeasible. Filters must not
+// allocate on the pass path (return constant strings).
+type FilterFunc func(req *Request, c *Candidate) string
+
+// ScoreFunc rates a feasible candidate in [0, 1] (higher is better).
+// Scorers must not allocate.
+type ScoreFunc func(req *Request, c *Candidate) float64
+
+// Filter is one named feasibility policy.
+type Filter struct {
+	Name string
+	Fn   FilterFunc
+}
+
+// Scorer is one named, weighted ranking policy.
+type Scorer struct {
+	Name   string
+	Weight float64
+	Fn     ScoreFunc
+}
+
+// Engine is the filter -> score pipeline. Build one with New (stock
+// policies) and extend it with AddFilter/AddScorer; the zero value is
+// valid but admits everything everywhere with score 0.
+//
+// Engines are immutable after construction as far as the decision path
+// is concerned: Feasible/Score/Select only read, so one engine may
+// serve concurrent schedulers. Add* calls are not synchronized —
+// finish plugging before scheduling.
+type Engine struct {
+	filters []Filter
+	scorers []Scorer
+}
+
+// New returns an engine with the stock policy pipeline: capacity and
+// cordon filters; strategy, tenant-anti-affinity, and security-posture
+// scorers.
+func New() *Engine {
+	e := &Engine{}
+	e.AddFilter(Filter{Name: "exclude", Fn: ExcludeFilter})
+	e.AddFilter(Filter{Name: "capacity", Fn: CapacityFilter})
+	e.AddFilter(Filter{Name: "cordon", Fn: CordonFilter})
+	e.AddScorer(Scorer{Name: "strategy", Weight: 1, Fn: StrategyScore})
+	e.AddScorer(Scorer{Name: "tenant-anti-affinity", Weight: 0.2, Fn: AntiAffinityScore})
+	e.AddScorer(Scorer{Name: "security-posture", Weight: 0.2, Fn: SecurityPostureScore})
+	return e
+}
+
+// AddFilter appends a feasibility policy.
+func (e *Engine) AddFilter(f Filter) { e.filters = append(e.filters, f) }
+
+// AddScorer appends a ranking policy.
+func (e *Engine) AddScorer(s Scorer) { e.scorers = append(e.scorers, s) }
+
+// Feasible runs the filter phase: "" means the candidate may host the
+// request, anything else is the first filter's rejection reason.
+func (e *Engine) Feasible(req *Request, c *Candidate) string {
+	for i := range e.filters {
+		if reason := e.filters[i].Fn(req, c); reason != "" {
+			return reason
+		}
+	}
+	return ""
+}
+
+// Score runs the scoring phase over a feasible candidate: the
+// weight-normalized sum of every scorer, in [0, 1].
+func (e *Engine) Score(req *Request, c *Candidate) float64 {
+	var sum, weights float64
+	for i := range e.scorers {
+		s := &e.scorers[i]
+		sum += s.Weight * s.Fn(req, c)
+		weights += s.Weight
+	}
+	if weights == 0 {
+		return 0
+	}
+	return sum / weights
+}
+
+// Decision is Select's verdict: the winning candidate's index in the
+// caller's slice, its name, and its score.
+type Decision struct {
+	Index int
+	Node  string
+	Score float64
+}
+
+// Select runs the full pipeline over the candidates and returns the
+// best feasible one. Ties break toward the earlier candidate, so a
+// name-sorted slice decides ties deterministically by name. The
+// boolean is false when no candidate is feasible. Select never
+// allocates.
+func (e *Engine) Select(req *Request, cands []Candidate) (Decision, bool) {
+	best := Decision{Index: -1}
+	for i := range cands {
+		c := &cands[i]
+		if e.Feasible(req, c) != "" {
+			continue
+		}
+		if s := e.Score(req, c); best.Index < 0 || s > best.Score {
+			best = Decision{Index: i, Node: c.Node, Score: s}
+		}
+	}
+	return best, best.Index >= 0
+}
+
+// NodeScore is one candidate's outcome in an Explain breakdown.
+type NodeScore struct {
+	Node  string  `json:"node"`
+	Score float64 `json:"score"`
+	// Feasible is false when a filter vetoed the candidate; Reason
+	// carries the veto.
+	Feasible bool   `json:"feasible"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// Explain runs the pipeline and reports every candidate's outcome —
+// the allocating introspection surface behind failover audit scores
+// and `genioctl nodes -top`.
+func (e *Engine) Explain(req *Request, cands []Candidate) []NodeScore {
+	out := make([]NodeScore, 0, len(cands))
+	for i := range cands {
+		c := &cands[i]
+		if reason := e.Feasible(req, c); reason != "" {
+			out = append(out, NodeScore{Node: c.Node, Reason: reason})
+			continue
+		}
+		out = append(out, NodeScore{Node: c.Node, Feasible: true, Score: e.Score(req, c)})
+	}
+	return out
+}
+
+// --- Stock policies ---------------------------------------------------------
+
+// ExcludeFilter vetoes the request's hard-excluded node (Request.
+// Exclude) — a drain must never migrate a workload onto its own source,
+// even if the source's cordon was lifted mid-drain.
+func ExcludeFilter(req *Request, c *Candidate) string {
+	if req.Exclude != "" && req.Exclude == c.Node {
+		return "node excluded by request"
+	}
+	return ""
+}
+
+// CapacityFilter vetoes candidates whose free capacity cannot host the
+// demand.
+func CapacityFilter(req *Request, c *Candidate) string {
+	if !req.Demand.Fits(c.Capacity.Sub(c.Used)) {
+		return "insufficient capacity"
+	}
+	return ""
+}
+
+// CordonFilter vetoes cordoned candidates — the node-lifecycle taint:
+// cordon marks a node unschedulable ahead of maintenance or drain.
+func CordonFilter(req *Request, c *Candidate) string {
+	if c.Cordoned {
+		return "node cordoned"
+	}
+	return ""
+}
+
+// utilization is the candidate's post-placement utilization fraction:
+// the max of the CPU and memory fractions once the demand lands, so a
+// node tight on either axis reads as full.
+func utilization(req *Request, c *Candidate) float64 {
+	after := c.Used.Add(req.Demand)
+	var cpu, mem float64
+	if c.Capacity.CPUMilli > 0 {
+		cpu = float64(after.CPUMilli) / float64(c.Capacity.CPUMilli)
+	}
+	if c.Capacity.MemoryMB > 0 {
+		mem = float64(after.MemoryMB) / float64(c.Capacity.MemoryMB)
+	}
+	if cpu > mem {
+		return cpu
+	}
+	return mem
+}
+
+// StrategyScore is the directional scorer: binpack rewards high
+// post-placement utilization, spread rewards low.
+func StrategyScore(req *Request, c *Candidate) float64 {
+	u := utilization(req, c)
+	if u > 1 {
+		u = 1
+	}
+	if req.Strategy == StrategySpread {
+		return 1 - u
+	}
+	return u
+}
+
+// AntiAffinityScore prefers nodes not already hosting the requesting
+// tenant — but only under spread, where the point is that one node
+// loss should take out as little of a tenant as possible. Under
+// binpack it is neutral: density deliberately stacks a tenant.
+func AntiAffinityScore(req *Request, c *Candidate) float64 {
+	if req.Strategy != StrategySpread {
+		return 1
+	}
+	return 1 / (1 + float64(c.TenantWorkloads))
+}
+
+// SecurityPostureScore steers hard-isolation workloads away from nodes
+// running shared VMs: a dedicated-VM workload on a node with no soft
+// tenancy has no co-resident VM to be attacked from (the PEACH-style
+// isolation review's preference). Soft workloads are indifferent.
+func SecurityPostureScore(req *Request, c *Candidate) float64 {
+	if !req.HardIsolation {
+		return 1
+	}
+	return 1 / (1 + float64(c.SharedVMs))
+}

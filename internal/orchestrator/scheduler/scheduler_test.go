@@ -1,0 +1,215 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+)
+
+func cand(name string, capMilli, usedMilli int) Candidate {
+	return Candidate{
+		Node:     name,
+		Capacity: Resources{CPUMilli: capMilli, MemoryMB: capMilli},
+		Used:     Resources{CPUMilli: usedMilli, MemoryMB: usedMilli},
+	}
+}
+
+func req(strategy Strategy) Request {
+	return Request{Workload: "w", Tenant: "acme",
+		Demand: Resources{CPUMilli: 100, MemoryMB: 100}, Strategy: strategy}
+}
+
+func TestResolveStrategy(t *testing.T) {
+	cases := []struct {
+		per, def string
+		want     Strategy
+		wantErr  bool
+	}{
+		{"", "", StrategyBinpack, false},
+		{"binpack", "", StrategyBinpack, false},
+		{"spread", "", StrategySpread, false},
+		{"", "spread", StrategySpread, false},
+		{"binpack", "spread", StrategyBinpack, false}, // per-workload wins
+		{"mystery", "", "", true},
+		{"", "mystery", "", true},
+	}
+	for _, c := range cases {
+		got, err := ResolveStrategy(c.per, c.def)
+		if c.wantErr {
+			if err == nil {
+				t.Fatalf("ResolveStrategy(%q, %q): want error", c.per, c.def)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Fatalf("ResolveStrategy(%q, %q) = %v, %v; want %v", c.per, c.def, got, err, c.want)
+		}
+	}
+}
+
+func TestBinpackPrefersUtilized(t *testing.T) {
+	e := New()
+	cands := []Candidate{cand("a", 1000, 100), cand("b", 1000, 700), cand("c", 1000, 400)}
+	r := req(StrategyBinpack)
+	d, ok := e.Select(&r, cands)
+	if !ok || d.Node != "b" {
+		t.Fatalf("binpack picked %+v, want b", d)
+	}
+}
+
+func TestSpreadPrefersIdle(t *testing.T) {
+	e := New()
+	cands := []Candidate{cand("a", 1000, 100), cand("b", 1000, 700), cand("c", 1000, 400)}
+	r := req(StrategySpread)
+	d, ok := e.Select(&r, cands)
+	if !ok || d.Node != "a" {
+		t.Fatalf("spread picked %+v, want a", d)
+	}
+}
+
+func TestStrategiesDivergeOnSameFleet(t *testing.T) {
+	e := New()
+	cands := []Candidate{cand("a", 1000, 500), cand("b", 1000, 0)}
+	rb, rs := req(StrategyBinpack), req(StrategySpread)
+	db, _ := e.Select(&rb, cands)
+	ds, _ := e.Select(&rs, cands)
+	if db.Node == ds.Node {
+		t.Fatalf("binpack and spread agree on %s; want divergence", db.Node)
+	}
+}
+
+func TestCapacityFilterVetoes(t *testing.T) {
+	e := New()
+	full := cand("full", 1000, 950)
+	r := req(StrategyBinpack)
+	if reason := e.Feasible(&r, &full); !strings.Contains(reason, "capacity") {
+		t.Fatalf("reason = %q", reason)
+	}
+	// Memory alone can veto.
+	tight := cand("tight", 1000, 0)
+	tight.Used.MemoryMB = 950
+	if reason := e.Feasible(&r, &tight); reason == "" {
+		t.Fatal("memory-full candidate passed the capacity filter")
+	}
+	cands := []Candidate{full}
+	if _, ok := e.Select(&r, cands); ok {
+		t.Fatal("Select placed onto a full node")
+	}
+}
+
+func TestCordonFilterVetoes(t *testing.T) {
+	e := New()
+	c := cand("m", 1000, 0)
+	c.Cordoned = true
+	r := req(StrategyBinpack)
+	if reason := e.Feasible(&r, &c); reason != "node cordoned" {
+		t.Fatalf("reason = %q", reason)
+	}
+}
+
+func TestDeterministicTiebreakByOrder(t *testing.T) {
+	e := New()
+	// Identical candidates: the earlier (name-sorted by the caller) wins,
+	// every time.
+	cands := []Candidate{cand("olt-01", 1000, 0), cand("olt-02", 1000, 0), cand("olt-03", 1000, 0)}
+	r := req(StrategyBinpack)
+	for i := 0; i < 50; i++ {
+		if d, ok := e.Select(&r, cands); !ok || d.Node != "olt-01" {
+			t.Fatalf("round %d: picked %+v, want olt-01", i, d)
+		}
+	}
+}
+
+func TestSpreadAntiAffinityBreaksUtilizationTies(t *testing.T) {
+	e := New()
+	a, b := cand("a", 1000, 200), cand("b", 1000, 200)
+	a.TenantWorkloads = 3 // tenant already stacked on a
+	r := req(StrategySpread)
+	d, ok := e.Select(&r, []Candidate{a, b})
+	if !ok || d.Node != "b" {
+		t.Fatalf("spread anti-affinity picked %+v, want b", d)
+	}
+}
+
+func TestHardIsolationAvoidsSharedVMs(t *testing.T) {
+	e := New()
+	a, b := cand("a", 1000, 200), cand("b", 1000, 200)
+	a.SharedVMs = 2
+	r := req(StrategyBinpack)
+	r.HardIsolation = true
+	d, ok := e.Select(&r, []Candidate{a, b})
+	if !ok || d.Node != "b" {
+		t.Fatalf("hard isolation picked %+v, want b (no shared VMs)", d)
+	}
+	// Soft isolation is indifferent: equal scores, first wins.
+	r.HardIsolation = false
+	if d, _ := e.Select(&r, []Candidate{a, b}); d.Node != "a" {
+		t.Fatalf("soft isolation picked %s, want a (tie, first wins)", d.Node)
+	}
+}
+
+func TestExplainReportsEveryCandidate(t *testing.T) {
+	e := New()
+	cord := cand("c", 1000, 0)
+	cord.Cordoned = true
+	cands := []Candidate{cand("a", 1000, 100), cand("b", 1000, 999), cord}
+	r := req(StrategyBinpack)
+	scores := e.Explain(&r, cands)
+	if len(scores) != 3 {
+		t.Fatalf("Explain returned %d entries", len(scores))
+	}
+	if !scores[0].Feasible || scores[0].Score <= 0 {
+		t.Fatalf("a should be feasible with a positive score: %+v", scores[0])
+	}
+	if scores[1].Feasible || scores[1].Reason == "" {
+		t.Fatalf("b should be vetoed for capacity: %+v", scores[1])
+	}
+	if scores[2].Feasible || scores[2].Reason != "node cordoned" {
+		t.Fatalf("c should be vetoed for cordon: %+v", scores[2])
+	}
+}
+
+func TestPluggablePolicies(t *testing.T) {
+	e := New()
+	e.AddFilter(Filter{Name: "no-onyx", Fn: func(_ *Request, c *Candidate) string {
+		if c.Node == "onyx" {
+			return "banned"
+		}
+		return ""
+	}})
+	cands := []Candidate{cand("onyx", 1000, 900), cand("opal", 1000, 100)}
+	r := req(StrategyBinpack)
+	d, ok := e.Select(&r, cands)
+	if !ok || d.Node != "opal" {
+		t.Fatalf("custom filter ignored: %+v", d)
+	}
+}
+
+// TestSelectZeroAllocs pins the engine's central perf property: a full
+// filter -> score pass over a large fleet allocates nothing, so the
+// deploy hot path scales O(nodes) with zero garbage. The satellite
+// AllocsPerOp assertion also runs inside BenchmarkSchedule1kNodes.
+func TestSelectZeroAllocs(t *testing.T) {
+	e := New()
+	cands := make([]Candidate, 1000)
+	for i := range cands {
+		cands[i] = cand(nodeName(i), 8000, (i*37)%6000)
+		cands[i].TenantWorkloads = i % 3
+		cands[i].SharedVMs = i % 2
+	}
+	for _, strategy := range []Strategy{StrategyBinpack, StrategySpread} {
+		r := req(strategy)
+		if allocs := testing.AllocsPerRun(100, func() {
+			if _, ok := e.Select(&r, cands); !ok {
+				t.Fatal("no feasible candidate")
+			}
+		}); allocs != 0 {
+			t.Fatalf("%s Select allocates %.1f/op, want 0", strategy, allocs)
+		}
+	}
+}
+
+// nodeName is a deterministic fixture name without fmt (kept simple so
+// test setup cost stays trivial).
+func nodeName(i int) string {
+	return "node-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+}

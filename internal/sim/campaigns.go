@@ -37,6 +37,8 @@ var campaigns = map[string]CampaignFunc{
 	"incident-storm":  IncidentStormCampaign,
 	"event-storm":     EventStormCampaign,
 	"cancel-storm":    CancelStormCampaign,
+	"hotspot":         HotspotCampaign,
+	"drain-storm":     DrainStormCampaign,
 }
 
 // CampaignNames lists the registered campaigns, sorted.
@@ -228,6 +230,94 @@ func CancelStormCampaign(seed int64) Scenario {
 		AdvanceClock(250),
 	)
 	return Scenario{Name: "cancel-storm", Seed: seed, Config: core.SecureConfig(), Steps: steps}
+}
+
+// HotspotCampaign is the placement-policy showcase on a 4-node fleet:
+// a binpack wave (the density default) concentrates onto one node, a
+// spread wave fans across the fleet — the two PlacementSpreadReport
+// snapshots in the report make the difference measurable — then mixed
+// policy traffic under churn keeps the placement-policy-respected
+// invariant honest.
+func HotspotCampaign(seed int64) Scenario {
+	r := rand.New(rand.NewSource(seed))
+	steps := []Step{
+		SetQuota("acme", orchestrator.Resources{CPUMilli: 24000, MemoryMB: 49152}),
+	}
+	for i := 0; i < 4; i++ {
+		steps = append(steps, JoinNode(nodeCapacity))
+	}
+	// Phase 1: binpack (cluster default) — hotspot by design.
+	for i := 0; i < 6; i++ {
+		steps = append(steps, Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand))
+	}
+	steps = append(steps, PlacementSpreadReport(), AdvanceClock(100))
+	// Phase 2: spread — same fleet, opposite distribution.
+	for i := 0; i < 6; i++ {
+		steps = append(steps, DeployPolicy("acme", CleanImageRef, orchestrator.IsolationSoft,
+			smallDemand, orchestrator.PlacementSpread))
+	}
+	steps = append(steps, PlacementSpreadReport())
+	// Phase 3: mixed policy traffic under churn and cordon pressure.
+	for i := 0; i < 10; i++ {
+		switch r.Intn(5) {
+		case 0:
+			steps = append(steps, DeployPolicy("acme", CleanImageRef, orchestrator.IsolationHard,
+				smallDemand, orchestrator.PlacementSpread))
+		case 1:
+			steps = append(steps, Deploy("acme", allImageRefs[r.Intn(len(allImageRefs))],
+				orchestrator.IsolationSoft, smallDemand))
+		case 2:
+			steps = append(steps, CordonRandomNode())
+		case 3:
+			steps = append(steps, UncordonRandomNode())
+		default:
+			steps = append(steps, StopWorkload())
+		}
+	}
+	steps = append(steps, PlacementSpreadReport())
+	return Scenario{Name: "hotspot", Seed: seed, Config: core.SecureConfig(), Steps: steps}
+}
+
+// DrainStormCampaign hammers the node lifecycle: a loaded fleet suffers
+// waves of cordons, drains (some cancelled mid-migration, some blocked
+// on capacity), crashes of drained-and-forgotten nodes, and fresh
+// joins — while the no-drain-leaks-capacity invariant recomputes the
+// whole accounting surface after every step.
+func DrainStormCampaign(seed int64) Scenario {
+	r := rand.New(rand.NewSource(seed))
+	steps := []Step{
+		SetQuota("acme", orchestrator.Resources{CPUMilli: 24000, MemoryMB: 49152}),
+	}
+	for i := 0; i < 5; i++ {
+		steps = append(steps, JoinNode(nodeCapacity))
+	}
+	for i := 0; i < 8; i++ {
+		policy := ""
+		if i%2 == 0 {
+			policy = orchestrator.PlacementSpread
+		}
+		steps = append(steps, DeployPolicy("acme", CleanImageRef, orchestrator.IsolationSoft,
+			smallDemand, policy))
+	}
+	for wave := 0; wave < 8; wave++ {
+		switch r.Intn(6) {
+		case 0:
+			steps = append(steps, DrainRandomNode(-1)) // run to completion
+		case 1:
+			steps = append(steps, DrainRandomNode(1+r.Intn(2))) // cancel mid-migration
+		case 2:
+			steps = append(steps, CordonRandomNode())
+		case 3:
+			steps = append(steps, UncordonRandomNode())
+		case 4:
+			steps = append(steps, CrashRandomNode(), JoinNode(nodeCapacity))
+		default:
+			steps = append(steps, Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand))
+		}
+		steps = append(steps, AdvanceClock(50))
+	}
+	steps = append(steps, PlacementSpreadReport())
+	return Scenario{Name: "drain-storm", Seed: seed, Config: core.SecureConfig(), Steps: steps}
 }
 
 // IncidentStormCampaign models runtime threat pressure: waves of mixed

@@ -58,8 +58,134 @@ func crash(w *World, name string) Outcome {
 		return Outcome{Status: "error", Detail: fmt.Sprintf("crash %s: %v", name, err)}
 	}
 	delete(w.Live, name)
+	delete(w.Cordoned, name)
 	return Outcome{Status: "failed-over", Detail: fmt.Sprintf(
 		"node %s down: %d rescheduled, %d evicted", name, len(res.Rescheduled), len(res.Evicted))}
+}
+
+// CordonRandomNode cordons a random live, not-yet-cordoned node. The
+// clock ticks first so cordon times strictly order against placements.
+func CordonRandomNode() Step {
+	return Step{Name: "node-cordon", Run: func(w *World) Outcome {
+		candidates := w.schedulableNodes()
+		if len(candidates) == 0 {
+			return okf("no schedulable nodes to cordon")
+		}
+		name := candidates[w.Rand.Intn(len(candidates))]
+		w.Clock.Advance(1)
+		if err := w.Platform.Cordon(name); err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("cordon %s: %v", name, err)}
+		}
+		w.Cordoned[name] = w.Clock.NowMs()
+		return okf("node %s cordoned", name)
+	}}
+}
+
+// UncordonRandomNode returns a random cordoned node to the pool.
+func UncordonRandomNode() Step {
+	return Step{Name: "node-uncordon", Run: func(w *World) Outcome {
+		var cordoned []string
+		for _, n := range w.LiveNodes() {
+			if _, ok := w.Cordoned[n]; ok {
+				cordoned = append(cordoned, n)
+			}
+		}
+		if len(cordoned) == 0 {
+			return okf("no cordoned nodes")
+		}
+		name := cordoned[w.Rand.Intn(len(cordoned))]
+		w.Clock.Advance(1)
+		if err := w.Platform.Uncordon(name); err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("uncordon %s: %v", name, err)}
+		}
+		delete(w.Cordoned, name)
+		return okf("node %s uncordoned", name)
+	}}
+}
+
+// DrainRandomNode drains a random live node through the scheduler.
+// cancelAfter >= 0 cancels the drain's context after that many
+// migrations — deterministic, because migrations are ordered and the
+// drain checks its context at every migration boundary. The injector
+// mirrors the cluster's rollback contract in the scripted cordon state.
+func DrainRandomNode(cancelAfter int) Step {
+	return Step{Name: "node-drain", Run: func(w *World) Outcome {
+		live := w.LiveNodes()
+		if len(live) == 0 {
+			return okf("no live nodes to drain")
+		}
+		name := live[w.Rand.Intn(len(live))]
+		w.Clock.Advance(1)
+		_, wasCordoned := w.Cordoned[name]
+		if !wasCordoned {
+			// Drain applies the cordon itself; mirror it with the time the
+			// drain starts.
+			w.Cordoned[name] = w.Clock.NowMs()
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		if cancelAfter == 0 {
+			cancel() // cancelled before the first migration boundary
+		}
+		migrated := 0
+		// Drain through the platform surface, not the bare cluster, so
+		// campaigns exercise the node.drain spine topic and drain
+		// metrics alongside the migration mechanics.
+		res, err := w.Platform.DrainObserved(ctx, name, func(ev orchestrator.DrainEvent) {
+			if ev.Phase == orchestrator.DrainMigrated {
+				w.Clock.Advance(1)
+				if migrated++; migrated == cancelAfter {
+					cancel()
+				}
+			}
+		})
+		switch {
+		case err == nil:
+			return Outcome{Status: "drained", Detail: fmt.Sprintf(
+				"node %s drained: %d migrated", name, len(res.Migrated))}
+		case errors.Is(err, orchestrator.ErrCancelled):
+			if !wasCordoned {
+				delete(w.Cordoned, name) // the drain rolled its cordon back
+			}
+			return Outcome{Status: "drain-cancelled", Detail: fmt.Sprintf(
+				"node %s: %d migrated, %d remaining", name, len(res.Migrated), len(res.Remaining))}
+		case errors.Is(err, orchestrator.ErrNoCapacity):
+			if !wasCordoned {
+				delete(w.Cordoned, name)
+			}
+			return Outcome{Status: "drain-blocked", Detail: fmt.Sprintf(
+				"node %s: %d migrated, %d remaining: %v", name, len(res.Migrated), len(res.Remaining), err)}
+		default:
+			return Outcome{Status: "error", Detail: fmt.Sprintf("drain %s: %v", name, err)}
+		}
+	}}
+}
+
+// PlacementSpreadReport snapshots how the running workloads distribute
+// across nodes — the observable difference between binpack and spread
+// phases of a campaign, recorded verbatim in the report.
+func PlacementSpreadReport() Step {
+	return Step{Name: "placement-spread", Run: func(w *World) Outcome {
+		counts := map[string]int{}
+		total := 0
+		for _, wl := range w.Platform.Cluster.Workloads() {
+			counts[wl.Node]++
+			total++
+		}
+		nodes := w.LiveNodes()
+		maxShare := 0
+		detail := fmt.Sprintf("%d workloads:", total)
+		for _, n := range nodes {
+			detail += fmt.Sprintf(" %s=%d", n, counts[n])
+			if counts[n] > maxShare {
+				maxShare = counts[n]
+			}
+		}
+		if total > 0 {
+			detail += fmt.Sprintf(" (hottest holds %d%%)", maxShare*100/total)
+		}
+		return okf("%s", detail)
+	}}
 }
 
 // Deploy submits one workload (auto-named) through the full admission
@@ -73,7 +199,24 @@ func Deploy(tenant, ref string, iso orchestrator.IsolationMode, res orchestrator
 	}}
 }
 
+// DeployPolicy is Deploy with an explicit placement policy; the
+// placement-policy-respected invariant audits that the cluster honoured
+// it.
+func DeployPolicy(tenant, ref string, iso orchestrator.IsolationMode, res orchestrator.Resources, policy string) Step {
+	label := policy
+	if label == "" {
+		label = "default"
+	}
+	return Step{Name: "deploy-" + label, Run: func(w *World) Outcome {
+		return deployOne(w, orchestrator.WorkloadSpec{
+			Name: w.NextWorkloadName(), Tenant: tenant, ImageRef: ref,
+			Isolation: iso, Resources: res, PlacementPolicy: policy,
+		})
+	}}
+}
+
 func deployOne(w *World, spec orchestrator.WorkloadSpec) Outcome {
+	w.policies[spec.Name] = spec.PlacementPolicy
 	_, err := w.Platform.Deploy(Subject, spec)
 	status, class, contentDetermined := classifyDeploy(err)
 	if contentDetermined {

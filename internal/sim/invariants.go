@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"genio/internal/events"
+	"genio/internal/orchestrator"
 )
 
 // Invariant is one property checked against the world after each step.
@@ -30,6 +31,8 @@ func DefaultInvariants() []Invariant {
 		NoSilentEventDrops(),
 		CancelledNeverPlaced(),
 		LifecycleLedgerBalanced(),
+		PlacementPolicyRespected(),
+		NoDrainLeaksCapacity(),
 	}
 }
 
@@ -210,6 +213,133 @@ func LifecycleLedgerBalanced() Invariant {
 					"workload %s has multiple terminal lifecycle events", n))
 			}
 		}
+		return out
+	}}
+}
+
+// PlacementPolicyRespected: the cluster's placement decisions honour
+// the scripted policy surface — every running workload carries exactly
+// the strategy its spec requested (or the cluster default when it
+// requested none), and no workload was placed onto a node at or after
+// that node's cordon time (cordon times are scripted, placements are
+// clock-stamped, so the comparison is exact under the virtual clock).
+func PlacementPolicyRespected() Invariant {
+	return Invariant{Name: "placement-policy-respected", Check: func(w *World) []string {
+		var out []string
+		defaultStrategy := w.Platform.Cluster.Settings.PlacementStrategy
+		if defaultStrategy == "" {
+			defaultStrategy = orchestrator.PlacementBinpack
+		}
+		for _, wl := range w.Platform.Cluster.Workloads() {
+			want := w.policies[wl.Spec.Name]
+			if want == "" {
+				want = defaultStrategy
+			}
+			if wl.Strategy != want {
+				out = append(out, fmt.Sprintf(
+					"workload %s placed under strategy %q, policy requested %q",
+					wl.Spec.Name, wl.Strategy, want))
+			}
+			if since, cordoned := w.Cordoned[wl.Node]; cordoned && wl.PlacedAtMs >= since {
+				out = append(out, fmt.Sprintf(
+					"workload %s placed on %s at t=%dms, cordoned since t=%dms",
+					wl.Spec.Name, wl.Node, wl.PlacedAtMs, since))
+			}
+		}
+		return out
+	}}
+}
+
+// NoDrainLeaksCapacity: whatever sequence of drains (completed,
+// cancelled mid-migration, blocked on capacity) ran, the cluster's
+// accounting must remain derivable from the workload table — per-node
+// usage and workload counts equal the sum over placements, per-tenant
+// usage equals the sum over tenant specs, and the VM table and workload
+// table reference each other exactly (no vacated slot left behind, no
+// workload without its VM).
+func NoDrainLeaksCapacity() Invariant {
+	return Invariant{Name: "no-drain-leaks-capacity", Check: func(w *World) []string {
+		var out []string
+		cluster := w.Platform.Cluster
+		workloads := cluster.Workloads()
+		wantUsed := map[string]orchestrator.Resources{}
+		wantCount := map[string]int{}
+		wantTenant := map[string]orchestrator.Resources{}
+		byName := map[string]*orchestrator.Workload{}
+		for _, wl := range workloads {
+			wantUsed[wl.Node] = wantUsed[wl.Node].Add(wl.Spec.Resources)
+			wantCount[wl.Node]++
+			wantTenant[wl.Spec.Tenant] = wantTenant[wl.Spec.Tenant].Add(wl.Spec.Resources)
+			byName[wl.Spec.Name] = wl
+		}
+		for _, u := range cluster.Utilization() {
+			if u.Used != wantUsed[u.Node] {
+				out = append(out, fmt.Sprintf(
+					"node %s accounts cpu=%dm mem=%dMB; its workloads sum to cpu=%dm mem=%dMB",
+					u.Node, u.Used.CPUMilli, u.Used.MemoryMB,
+					wantUsed[u.Node].CPUMilli, wantUsed[u.Node].MemoryMB))
+			}
+			if u.Workloads != wantCount[u.Node] {
+				out = append(out, fmt.Sprintf(
+					"node %s reports %d workloads, table holds %d", u.Node, u.Workloads, wantCount[u.Node]))
+			}
+		}
+		tenantSet := map[string]bool{}
+		for t := range wantTenant {
+			tenantSet[t] = true
+		}
+		for t := range w.Quotas {
+			tenantSet[t] = true // catches usage stranded after every workload left
+		}
+		tenants := make([]string, 0, len(tenantSet))
+		for t := range tenantSet {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		for _, t := range tenants {
+			// Usage may exceed the workload sum only by in-flight pending
+			// reservations; between sequential sim steps there are none.
+			if got := cluster.TenantUsage(t); got != wantTenant[t] {
+				out = append(out, fmt.Sprintf(
+					"tenant %s accounts cpu=%dm mem=%dMB; placed workloads sum to cpu=%dm mem=%dMB",
+					t, got.CPUMilli, got.MemoryMB, wantTenant[t].CPUMilli, wantTenant[t].MemoryMB))
+			}
+		}
+		seenInVMs := map[string]bool{}
+		sharedByNode := map[string]int{}
+		for _, vm := range cluster.VMs() {
+			if !vm.Dedicated {
+				sharedByNode[vm.Node]++
+			}
+			for _, wl := range vm.Workloads {
+				seenInVMs[wl] = true
+				owner, ok := byName[wl]
+				if !ok {
+					out = append(out, fmt.Sprintf("vm %s holds unknown workload %s", vm.ID, wl))
+					continue
+				}
+				if owner.VMID != vm.ID || owner.Node != vm.Node {
+					out = append(out, fmt.Sprintf(
+						"workload %s maps to vm %s on %s but sits in vm %s on %s",
+						wl, owner.VMID, owner.Node, vm.ID, vm.Node))
+				}
+			}
+		}
+		for name := range byName {
+			if !seenInVMs[name] {
+				out = append(out, fmt.Sprintf("workload %s has no VM slot", name))
+			}
+		}
+		// The hand-maintained shared-VM counter (a scheduler input:
+		// SecurityPostureScore) must agree with a recount of the VM
+		// table, or posture scoring silently drifts.
+		for _, u := range cluster.Utilization() {
+			if u.SharedVMs != sharedByNode[u.Node] {
+				out = append(out, fmt.Sprintf(
+					"node %s counts %d shared VMs; VM table holds %d", u.Node, u.SharedVMs, sharedByNode[u.Node]))
+			}
+		}
+		sort.Strings(out)
 		return out
 	}}
 }

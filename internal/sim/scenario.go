@@ -55,6 +55,15 @@ type World struct {
 
 	// Live is the scripted expectation of which edge nodes are up.
 	Live map[string]bool
+	// Cordoned maps a node to the virtual time its current cordon was
+	// applied (scripted expectation, mirrored by the cordon/drain
+	// injectors). The placement-policy invariant uses it: no workload
+	// may carry a placement timestamp at or after its node's cordon.
+	Cordoned map[string]int64
+	// policies maps workload name -> requested PlacementPolicy ("" =
+	// cluster default); the placement-policy invariant checks the
+	// cluster's recorded strategy against it.
+	policies map[string]string
 	// Quotas mirrors explicitly-set tenant quotas for the
 	// oversubscription invariant.
 	Quotas map[string]orchestrator.Resources
@@ -184,6 +193,18 @@ func (w *World) LiveNodes() []string {
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// schedulableNodes returns the scripted live nodes that are not
+// cordoned, sorted for deterministic random choice.
+func (w *World) schedulableNodes() []string {
+	var out []string
+	for _, n := range w.LiveNodes() {
+		if _, cordoned := w.Cordoned[n]; !cordoned {
+			out = append(out, n)
+		}
+	}
 	return out
 }
 

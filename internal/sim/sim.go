@@ -88,6 +88,8 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 		Clock:         clock,
 		Rand:          rand.New(rand.NewSource(sc.Seed)),
 		Live:          make(map[string]bool),
+		Cordoned:      make(map[string]int64),
+		policies:      make(map[string]string),
 		Quotas:        make(map[string]orchestrator.Resources),
 		verdicts:      make(map[string]string),
 		offeredEvents: make(map[string]uint64),
