@@ -5,11 +5,11 @@ SIM_SEED ?= 7
 GO_TAGS ?=
 # Benchmarks gated against the committed BENCH_*.json baseline and the
 # allowed ns/op regression (percent).
-BENCH_GATE ?= EventSpine|IncidentFanIn|IncidentStorm|DeployParallel|DeploySequentialAdmission|DeployBatch|DeployAsyncPipelined|Schedule1kNodes|FailoverReschedule
+BENCH_GATE ?= EventSpine|IncidentFanIn|IncidentStorm|DeployParallel|DeploySequentialAdmission|DeployBatch|DeployAsyncPipelined|HTTPDeployThroughput|Schedule1kNodes|FailoverReschedule
 BENCH_THRESHOLD ?= 25
 BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: build test race bench bench-json bench-diff fmt fmt-check vet staticcheck ci sim examples cover fuzz-smoke
+.PHONY: build test race bench bench-json bench-diff fmt fmt-check vet staticcheck ci sim examples cover fuzz-smoke e2e
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,12 @@ sim:
 
 examples:
 	for d in examples/*/; do echo "=== $$d"; $(GO) run "./$$d" || exit 1; done
+
+# e2e boots a real geniod and drives genioctl against it over the wire:
+# deploy (placed + typed rejection), SSE watch, cordon/drain, nodes,
+# then SIGTERM and a clean-shutdown assertion.
+e2e:
+	sh scripts/e2e.sh
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

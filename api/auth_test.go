@@ -1,0 +1,146 @@
+package api
+
+import (
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"genio/internal/pki"
+)
+
+func testCA(t *testing.T) *pki.CA {
+	t.Helper()
+	ca, err := pki.NewCA("test-ca")
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	return ca
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	ca := testCA(t)
+	id, err := ca.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	req := httptest.NewRequest("POST", "http://geniod/v2/deployments", nil)
+	if err := SignRequest(req, id); err != nil {
+		t.Fatalf("SignRequest: %v", err)
+	}
+	subject, err := VerifyRequest(req, ca)
+	if err != nil {
+		t.Fatalf("VerifyRequest: %v", err)
+	}
+	if subject != "operator" {
+		t.Fatalf("subject = %q, want operator", subject)
+	}
+}
+
+func TestVerifyRejectsMissingHeaders(t *testing.T) {
+	ca := testCA(t)
+	req := httptest.NewRequest("GET", "http://geniod/v2/nodes", nil)
+	if _, err := VerifyRequest(req, ca); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated", err)
+	}
+}
+
+func TestVerifyRejectsForeignCA(t *testing.T) {
+	ours, theirs := testCA(t), testCA(t)
+	id, err := theirs.Issue("intruder", pki.RoleService)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	req := httptest.NewRequest("GET", "http://geniod/v2/nodes", nil)
+	if err := SignRequest(req, id); err != nil {
+		t.Fatalf("SignRequest: %v", err)
+	}
+	if _, err := VerifyRequest(req, ours); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated", err)
+	}
+}
+
+func TestVerifyRejectsWrongRole(t *testing.T) {
+	ca := testCA(t)
+	id, err := ca.Issue("olt-01", pki.RoleOLT)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	req := httptest.NewRequest("GET", "http://geniod/v2/nodes", nil)
+	if err := SignRequest(req, id); err != nil {
+		t.Fatalf("SignRequest: %v", err)
+	}
+	if _, err := VerifyRequest(req, ca); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated", err)
+	}
+}
+
+func TestVerifyRejectsTamperedRequestLine(t *testing.T) {
+	ca := testCA(t)
+	id, err := ca.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	req := httptest.NewRequest("POST", "http://geniod/v2/deployments", nil)
+	if err := SignRequest(req, id); err != nil {
+		t.Fatalf("SignRequest: %v", err)
+	}
+	// Replay the signed headers against a different endpoint.
+	replay := httptest.NewRequest("POST", "http://geniod/v2/nodes/olt-01/drain", nil)
+	replay.Header = req.Header.Clone()
+	if _, err := VerifyRequest(replay, ca); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated (replay must fail)", err)
+	}
+}
+
+func TestVerifyRejectsRevoked(t *testing.T) {
+	ca := testCA(t)
+	id, err := ca.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	ca.Revoke(id.Certificate.SerialNumber)
+	req := httptest.NewRequest("GET", "http://geniod/v2/nodes", nil)
+	if err := SignRequest(req, id); err != nil {
+		t.Fatalf("SignRequest: %v", err)
+	}
+	if _, err := VerifyRequest(req, ca); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated", err)
+	}
+}
+
+func TestIdentityFileRoundTrip(t *testing.T) {
+	ca := testCA(t)
+	id, err := ca.Issue("genioctl", pki.RoleService)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "identity.json")
+	if err := SaveIdentity(path, id); err != nil {
+		t.Fatalf("SaveIdentity: %v", err)
+	}
+	back, err := LoadIdentity(path)
+	if err != nil {
+		t.Fatalf("LoadIdentity: %v", err)
+	}
+	if back.Certificate.Subject != "genioctl" {
+		t.Fatalf("subject = %q", back.Certificate.Subject)
+	}
+	// The loaded identity must still sign verifiable requests.
+	req := httptest.NewRequest("GET", "http://geniod/v2/ledger", nil)
+	if err := SignRequest(req, back); err != nil {
+		t.Fatalf("SignRequest: %v", err)
+	}
+	if _, err := VerifyRequest(req, ca); err != nil {
+		t.Fatalf("VerifyRequest after reload: %v", err)
+	}
+}
+
+func TestUnmarshalIdentityRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalIdentity([]byte("{}")); err == nil {
+		t.Fatal("want error for empty identity")
+	}
+	if _, err := UnmarshalIdentity([]byte("not json")); err == nil {
+		t.Fatal("want error for non-JSON")
+	}
+}

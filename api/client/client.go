@@ -1,0 +1,65 @@
+// Package client is the control-plane client behind genioctl: one
+// interface with two implementations — an HTTP client speaking the
+// genio/api wire contract to a remote geniod, and a local client
+// wrapping an in-process core.Platform. Every subcommand is written
+// against the interface, so it behaves identically in both modes; the
+// HTTP client's errors decode back to the library's typed taxonomy, so
+// even errors.Is/errors.As-driven output matches.
+package client
+
+import (
+	"context"
+
+	"genio/api"
+)
+
+// Interface is the control-plane surface the CLI (and the simulator's
+// wire campaign) programs against.
+type Interface interface {
+	// Deploy runs one deployment synchronously on ctx: cancelling ctx
+	// cancels (and rolls back) the in-flight deployment.
+	Deploy(ctx context.Context, spec api.WorkloadSpec) (*api.Workload, error)
+	// DeployAsync launches a deployment future and returns a handle to
+	// poll, await, or cancel it.
+	DeployAsync(ctx context.Context, spec api.WorkloadSpec) (Deployment, error)
+	// Watch streams lifecycle transitions matching the selector until
+	// ctx ends. The remote implementation reconnects dropped streams
+	// with backoff, reapplying the same selector.
+	Watch(ctx context.Context, sel api.WatchSelector) (<-chan api.LifecycleEvent, error)
+
+	// AddNode provisions an edge node.
+	AddNode(ctx context.Context, name string, capacity api.Resources) error
+	// Nodes returns the fleet table; a non-nil probe adds the
+	// scheduler's binpack/spread scores for that demand.
+	Nodes(ctx context.Context, probe *api.Resources) ([]api.NodeStatus, error)
+	Cordon(ctx context.Context, node string) error
+	Uncordon(ctx context.Context, node string) error
+	// Drain live-migrates the node's workloads; cancelling ctx stops the
+	// drain at the next migration boundary and rolls the cordon back.
+	Drain(ctx context.Context, node string) (*api.DrainResult, error)
+	// FailNode simulates node loss: remove the node and reschedule.
+	FailNode(ctx context.Context, node string) (*api.FailoverResult, error)
+	AttachONU(ctx context.Context, node, serial string) error
+
+	Incidents(ctx context.Context) (api.IncidentCounts, error)
+	Ledger(ctx context.Context) (api.Ledger, error)
+
+	// Close releases the client (and, for the local implementation, the
+	// platform it owns).
+	Close() error
+}
+
+// Deployment is a client-side handle on an asynchronous deployment
+// future.
+type Deployment interface {
+	// ID identifies the deployment on its server ("" until assigned).
+	ID() string
+	// Status snapshots the deployment's current state.
+	Status(ctx context.Context) (api.DeploymentStatus, error)
+	// Await blocks until the deployment is terminal (or ctx dies) and
+	// returns the placement or the typed terminal error.
+	Await(ctx context.Context) (*api.Workload, error)
+	// Cancel withdraws the deployment; the platform stops it at the
+	// next cancellation point and rolls back anything provisional.
+	Cancel(ctx context.Context) error
+}

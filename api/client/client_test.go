@@ -1,0 +1,374 @@
+package client
+
+// Conformance tests: every Interface method is exercised against BOTH
+// implementations — Local (in-process) and HTTP (signed requests
+// against a real api/server on an httptest listener) — and must behave
+// identically, including the typed errors errors.Is/As-matched after a
+// wire decode.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"genio"
+	"genio/api"
+	"genio/api/server"
+	"genio/internal/container"
+	"genio/internal/core"
+	"genio/internal/demo"
+	"genio/internal/orchestrator"
+	"genio/internal/pki"
+)
+
+// mode builds a client plus the platform behind it (for white-box
+// assertions and admission gates).
+type mode struct {
+	name  string
+	build func(t *testing.T) (Interface, *core.Platform)
+}
+
+func modes(t *testing.T) []mode {
+	t.Helper()
+	return []mode{
+		{"local", func(t *testing.T) (Interface, *core.Platform) {
+			p, err := demo.Platform(core.SecureConfig(), "ops")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(p.Close)
+			return NewLocal(p, "ops"), p
+		}},
+		{"http", func(t *testing.T) (Interface, *core.Platform) {
+			p, err := demo.Platform(core.SecureConfig(), "ops")
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := server.New(p, server.Options{CA: p.CA})
+			ts := httptest.NewServer(srv.Handler())
+			t.Cleanup(func() { ts.Close(); p.Close() })
+			id, err := p.CA.Issue("ops", pki.RoleService)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cli := NewHTTP(ts.URL,
+				WithIdentity(id),
+				WithHTTPClient(ts.Client()),
+				WithBackoff(5*time.Millisecond, 20*time.Millisecond))
+			t.Cleanup(func() { cli.Close() })
+			return cli, p
+		}},
+	}
+}
+
+func spec(name, ref string) api.WorkloadSpec {
+	return api.WorkloadSpec{
+		Name: name, Tenant: "acme", ImageRef: ref, Isolation: "soft",
+		Resources: api.Resources{CPUMilli: 200, MemoryMB: 256},
+	}
+}
+
+func TestConformanceDeploy(t *testing.T) {
+	for _, m := range modes(t) {
+		t.Run(m.name, func(t *testing.T) {
+			cli, p := m.build(t)
+			ctx := context.Background()
+
+			wl, err := cli.Deploy(ctx, spec("web", "acme/analytics:2.0.1"))
+			if err != nil {
+				t.Fatalf("deploy: %v", err)
+			}
+			if wl.Spec.Name != "web" || wl.Node == "" || wl.VMID == "" {
+				t.Fatalf("thin workload: %+v", wl)
+			}
+			if _, ok := p.Cluster.Workload("web"); !ok {
+				t.Fatal("workload not in cluster")
+			}
+
+			// Admission rejection: typed verdict vector after decode.
+			_, err = cli.Deploy(ctx, spec("flagged", "acme/iot-gateway:1.4.2"))
+			var adm *genio.AdmissionError
+			if !errors.As(err, &adm) {
+				t.Fatalf("want AdmissionError, got %T: %v", err, err)
+			}
+			if !errors.Is(err, genio.ErrRejected) || len(adm.Rejections()) == 0 {
+				t.Fatalf("verdicts lost: %+v", adm)
+			}
+
+			// Unsigned image: pull error chaining to the container sentinel.
+			_, err = cli.Deploy(ctx, spec("shady", "freestuff/log-shipper:3.1"))
+			var pull *genio.ImagePullError
+			if !errors.As(err, &pull) || !errors.Is(err, container.ErrUnsigned) {
+				t.Fatalf("want ImagePullError/ErrUnsigned, got %T: %v", err, err)
+			}
+
+			// Duplicate name.
+			_, err = cli.Deploy(ctx, spec("web", "acme/analytics:2.0.1"))
+			if !errors.Is(err, genio.ErrDuplicateName) {
+				t.Fatalf("want ErrDuplicateName, got %v", err)
+			}
+
+			// Malformed spec: bad isolation is rejected client-side or
+			// server-side, but never placed.
+			bad := spec("bad-iso", "acme/analytics:2.0.1")
+			bad.Isolation = "quantum"
+			if _, err := cli.Deploy(ctx, bad); err == nil {
+				t.Fatal("unknown isolation accepted")
+			}
+		})
+	}
+}
+
+func TestConformanceAsyncAndWatch(t *testing.T) {
+	for _, m := range modes(t) {
+		t.Run(m.name, func(t *testing.T) {
+			cli, _ := m.build(t)
+			ctx := context.Background()
+
+			// The watch gets its own cancellable context: an SSE stream left
+			// on context.Background would hold the httptest server open.
+			wctx, wcancel := context.WithCancel(ctx)
+			defer wcancel()
+			events, err := cli.Watch(wctx, api.WatchSelector{Workload: "async-web", TerminalOnly: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			d, err := cli.DeployAsync(ctx, spec("async-web", "acme/analytics:2.0.1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.ID() == "" {
+				t.Fatal("no deployment id")
+			}
+			wl, err := d.Await(ctx)
+			if err != nil || wl.Node == "" {
+				t.Fatalf("await: %v / %+v", err, wl)
+			}
+			st, err := d.Status(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State != "running" || st.Placed == nil || st.Placed.Node != wl.Node {
+				t.Fatalf("terminal status: %+v", st)
+			}
+
+			select {
+			case ev := <-events:
+				if ev.Workload != "async-web" || ev.State != "running" || !ev.Terminal() {
+					t.Fatalf("watch event: %+v", ev)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("no terminal watch event")
+			}
+
+			// An async rejection surfaces the typed error from Await and in
+			// the terminal status.
+			d2, err := cli.DeployAsync(ctx, spec("async-flagged", "acme/iot-gateway:1.4.2"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d2.Await(ctx); !errors.Is(err, genio.ErrRejected) {
+				t.Fatalf("want ErrRejected, got %v", err)
+			}
+			st2, err := d2.Status(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st2.State != "rejected" || st2.Error == nil {
+				t.Fatalf("rejected status: %+v", st2)
+			}
+		})
+	}
+}
+
+func TestConformanceCancelNeverPlaced(t *testing.T) {
+	for _, m := range modes(t) {
+		t.Run(m.name, func(t *testing.T) {
+			cli, p := m.build(t)
+			ctx := context.Background()
+
+			// Hold the deployment inside admission until its context dies,
+			// so the cancel deterministically lands mid-scan.
+			entered := make(chan struct{})
+			p.Cluster.RegisterAdmissionCtx("test-gate",
+				func(ctx context.Context, s orchestrator.WorkloadSpec, _ *container.Image) error {
+					if s.Name != "doomed" {
+						return nil
+					}
+					close(entered)
+					<-ctx.Done()
+					return ctx.Err()
+				})
+
+			d, err := cli.DeployAsync(ctx, spec("doomed", "acme/analytics:2.0.1"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			<-entered
+			if err := d.Cancel(ctx); err != nil {
+				t.Fatal(err)
+			}
+			_, err = d.Await(ctx)
+			var cancelled *genio.CancelledError
+			if !errors.As(err, &cancelled) {
+				t.Fatalf("want CancelledError, got %T: %v", err, err)
+			}
+			if _, ok := p.Cluster.Workload("doomed"); ok {
+				t.Fatal("cancelled deployment was placed")
+			}
+		})
+	}
+}
+
+func TestConformanceNodeLifecycle(t *testing.T) {
+	for _, m := range modes(t) {
+		t.Run(m.name, func(t *testing.T) {
+			cli, _ := m.build(t)
+			ctx := context.Background()
+
+			if err := cli.AddNode(ctx, "olt-03", api.Resources{CPUMilli: 8000, MemoryMB: 16384}); err != nil {
+				t.Fatal(err)
+			}
+			if err := cli.AttachONU(ctx, "olt-03", "onu-9001"); err != nil {
+				t.Fatal(err)
+			}
+
+			for i := 0; i < 3; i++ {
+				if _, err := cli.Deploy(ctx, spec(fmt.Sprintf("app-%d", i), "acme/analytics:2.0.1")); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			nodes, err := cli.Nodes(ctx, nil)
+			if err != nil || len(nodes) != 3 {
+				t.Fatalf("nodes: %v / %d", err, len(nodes))
+			}
+			scored, err := cli.Nodes(ctx, &api.Resources{CPUMilli: 500, MemoryMB: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			anyScore := false
+			for _, n := range scored {
+				if n.Binpack != nil && n.Spread != nil {
+					anyScore = true
+				}
+			}
+			if !anyScore {
+				t.Fatalf("probe produced no scores: %+v", scored)
+			}
+
+			if err := cli.Cordon(ctx, "olt-02"); err != nil {
+				t.Fatal(err)
+			}
+			if err := cli.Uncordon(ctx, "olt-02"); err != nil {
+				t.Fatal(err)
+			}
+			var nf *genio.NodeNotFoundError
+			if err := cli.Cordon(ctx, "no-such-node"); !errors.As(err, &nf) {
+				t.Fatalf("want NodeNotFoundError, got %v", err)
+			}
+
+			res, err := cli.Drain(ctx, "olt-01")
+			if err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			if len(res.Migrated) != len(res.Migrations) {
+				t.Fatalf("migration detail mismatch: %+v", res)
+			}
+			for _, mg := range res.Migrations {
+				if mg.Workload == "" || mg.Target == "olt-01" {
+					t.Fatalf("bad migration: %+v", mg)
+				}
+			}
+
+			fr, err := cli.FailNode(ctx, "olt-03")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.Node != "olt-03" {
+				t.Fatalf("failover: %+v", fr)
+			}
+			if _, err := cli.FailNode(ctx, "olt-03"); err == nil {
+				t.Fatal("failing a dead node succeeded")
+			}
+
+			if _, err := cli.Incidents(ctx); err != nil {
+				t.Fatal(err)
+			}
+			ledger, err := cli.Ledger(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ledger["deploy.lifecycle"].Published == 0 && ledger["audit"].Published == 0 {
+				t.Fatalf("empty ledger: %+v", ledger)
+			}
+		})
+	}
+}
+
+// TestLocalOwnedPlatformClose: WithOwnedPlatform closes the platform
+// with the client, after which the control plane refuses typed.
+func TestLocalOwnedPlatformClose(t *testing.T) {
+	p, err := demo.Platform(core.SecureConfig(), "ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewLocal(p, "ops", WithOwnedPlatform())
+	if _, err := cli.Deploy(context.Background(), spec("pre-close", "acme/analytics:2.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cli.Deploy(context.Background(), spec("post-close", "acme/analytics:2.0.1"))
+	var closed *core.ClosedError
+	if !errors.As(err, &closed) {
+		t.Fatalf("want ClosedError after Close, got %T: %v", err, err)
+	}
+}
+
+// TestHTTPSubjectModes: an unauthenticated client is refused when the
+// server requires signatures; the subject header works only when the
+// server explicitly allows anonymous callers.
+func TestHTTPSubjectModes(t *testing.T) {
+	p, err := demo.Platform(core.SecureConfig(), "ops", "anon-ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+
+	strict := httptest.NewServer(server.New(p, server.Options{CA: p.CA}).Handler())
+	t.Cleanup(strict.Close)
+	cli := NewHTTP(strict.URL, WithSubject("anon-ops"))
+	t.Cleanup(func() { cli.Close() })
+	_, err = cli.Nodes(context.Background(), nil)
+	var we *api.WireError
+	if !errors.As(err, &we) || we.Code != api.CodeUnauthenticated {
+		t.Fatalf("want unauthenticated wire error, got %T: %v", err, err)
+	}
+
+	lax := httptest.NewServer(server.New(p, server.Options{CA: p.CA, AllowAnonymous: true}).Handler())
+	t.Cleanup(lax.Close)
+	anon := NewHTTP(lax.URL, WithSubject("anon-ops"))
+	t.Cleanup(func() { anon.Close() })
+	if _, err := anon.Nodes(context.Background(), nil); err != nil {
+		t.Fatalf("anonymous mode: %v", err)
+	}
+}
+
+// TestHTTPTransportError: a dead server surfaces a transport error, not
+// a hang or a decoded wire error.
+func TestHTTPTransportError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	ts.Close() // dead on arrival
+	cli := NewHTTP(ts.URL)
+	defer cli.Close()
+	if _, err := cli.Nodes(context.Background(), nil); err == nil {
+		t.Fatal("request against a closed server succeeded")
+	}
+}

@@ -1,0 +1,374 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"genio/api"
+	"genio/internal/pki"
+)
+
+// HTTP is the remote client: it speaks the v2 wire surface to a geniod
+// server, authenticating every request with its PKI identity (or an
+// anonymous subject header against a legacy-posture server).
+type HTTP struct {
+	base     string
+	client   *http.Client
+	identity *pki.Identity
+	subject  string
+
+	// backoff bounds for stream/await reconnection.
+	backoffMin time.Duration
+	backoffMax time.Duration
+}
+
+// HTTPOption configures the HTTP client.
+type HTTPOption func(*HTTP)
+
+// WithIdentity authenticates requests with a PKI identity (see
+// api.SignRequest).
+func WithIdentity(id *pki.Identity) HTTPOption {
+	return func(c *HTTP) { c.identity = id }
+}
+
+// WithSubject sets the anonymous subject header used when no identity
+// is configured (only honoured by servers running AllowAnonymous).
+func WithSubject(subject string) HTTPOption {
+	return func(c *HTTP) { c.subject = subject }
+}
+
+// WithHTTPClient swaps the underlying http.Client (timeouts, custom
+// transports, test servers).
+func WithHTTPClient(hc *http.Client) HTTPOption {
+	return func(c *HTTP) { c.client = hc }
+}
+
+// WithBackoff bounds the reconnect backoff for watch streams and await
+// long-polls.
+func WithBackoff(min, max time.Duration) HTTPOption {
+	return func(c *HTTP) { c.backoffMin, c.backoffMax = min, max }
+}
+
+// NewHTTP builds a remote client for a geniod base URL, e.g.
+// "http://127.0.0.1:9650".
+func NewHTTP(base string, opts ...HTTPOption) *HTTP {
+	c := &HTTP{
+		base:       strings.TrimRight(base, "/"),
+		client:     &http.Client{},
+		backoffMin: 50 * time.Millisecond,
+		backoffMax: 2 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// newRequest builds and authenticates one request.
+func (c *HTTP) newRequest(ctx context.Context, method, path string, query url.Values, body any) (*http.Request, error) {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("client: marshal request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.identity != nil {
+		if err := api.SignRequest(req, c.identity); err != nil {
+			return nil, err
+		}
+	} else if c.subject != "" {
+		req.Header.Set(api.HeaderSubject, c.subject)
+	}
+	return req, nil
+}
+
+// decodeError turns a non-2xx response into the library's typed error.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var we api.WireError
+	if err := json.Unmarshal(data, &we); err != nil || we.Code == "" {
+		return fmt.Errorf("client: server returned %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	return api.Decode(&we)
+}
+
+// do sends one request and decodes the JSON response into out (skipped
+// when out is nil).
+func (c *HTTP) do(ctx context.Context, method, path string, query url.Values, body, out any) error {
+	req, err := c.newRequest(ctx, method, path, query, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *HTTP) Deploy(ctx context.Context, spec api.WorkloadSpec) (*api.Workload, error) {
+	var wl api.Workload
+	if err := c.do(ctx, http.MethodPost, "/v2/deployments", nil, api.DeployRequest{Spec: spec}, &wl); err != nil {
+		return nil, err
+	}
+	return &wl, nil
+}
+
+func (c *HTTP) DeployAsync(ctx context.Context, spec api.WorkloadSpec) (Deployment, error) {
+	var ref api.DeploymentRef
+	if err := c.do(ctx, http.MethodPost, "/v2/deployments/async", nil, api.DeployRequest{Spec: spec}, &ref); err != nil {
+		return nil, err
+	}
+	return &httpDeployment{c: c, ref: ref}, nil
+}
+
+// httpDeployment is the remote future handle.
+type httpDeployment struct {
+	c   *HTTP
+	ref api.DeploymentRef
+}
+
+func (d *httpDeployment) ID() string { return d.ref.ID }
+
+func (d *httpDeployment) Status(ctx context.Context) (api.DeploymentStatus, error) {
+	var st api.DeploymentStatus
+	err := d.c.do(ctx, http.MethodGet, d.ref.Poll, nil, nil, &st)
+	return st, err
+}
+
+// Await long-polls the await endpoint. Transport failures retry with
+// backoff — the deployment keeps running server-side, so reconnecting
+// and re-awaiting is always safe.
+func (d *httpDeployment) Await(ctx context.Context) (*api.Workload, error) {
+	backoff := d.c.backoffMin
+	for {
+		var st api.DeploymentStatus
+		err := d.c.do(ctx, http.MethodGet, d.ref.Await, nil, nil, &st)
+		if err == nil {
+			return st.Placed, api.Decode(st.Error)
+		}
+		// Typed control-plane errors (and dead contexts) are final;
+		// only transport-level failures retry.
+		var we *api.WireError
+		if ctx.Err() != nil || errors.As(err, &we) || !isTransportError(err) {
+			return nil, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if backoff *= 2; backoff > d.c.backoffMax {
+			backoff = d.c.backoffMax
+		}
+	}
+}
+
+func (d *httpDeployment) Cancel(ctx context.Context) error {
+	return d.c.do(ctx, http.MethodDelete, d.ref.Poll, nil, nil, nil)
+}
+
+// isTransportError reports whether the failure happened on the wire
+// (connection refused/reset, stream killed) rather than in the
+// control plane.
+func isTransportError(err error) bool {
+	var ue *url.Error
+	return errors.As(err, &ue) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
+}
+
+// Watch streams lifecycle events over SSE. A dropped stream reconnects
+// with exponential backoff (reset after the first event of a healthy
+// connection), reapplying the same selector — the subscription itself
+// is server-side and re-established per connection, so a kill mid-
+// stream loses at most the events published while disconnected.
+func (c *HTTP) Watch(ctx context.Context, sel api.WatchSelector) (<-chan api.LifecycleEvent, error) {
+	query := url.Values{}
+	if sel.Tenant != "" {
+		query.Set("tenant", sel.Tenant)
+	}
+	if sel.Workload != "" {
+		query.Set("workload", sel.Workload)
+	}
+	if sel.TerminalOnly {
+		query.Set("terminal", "true")
+	}
+	// Establish the first connection synchronously so selector typos and
+	// auth failures surface as errors, not silent empty streams.
+	resp, err := c.openStream(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan api.LifecycleEvent)
+	go func() {
+		defer close(out)
+		backoff := c.backoffMin
+		for {
+			healthy := c.pumpStream(ctx, resp, out)
+			if ctx.Err() != nil {
+				return
+			}
+			if healthy {
+				backoff = c.backoffMin
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return
+			}
+			if backoff *= 2; backoff > c.backoffMax {
+				backoff = c.backoffMax
+			}
+			resp, err = c.openStream(ctx, query)
+			if err != nil {
+				resp = nil
+				continue
+			}
+		}
+	}()
+	return out, nil
+}
+
+func (c *HTTP) openStream(ctx context.Context, query url.Values) (*http.Response, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v2/watch", query, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return resp, nil
+}
+
+// pumpStream forwards one connection's events; it returns true when at
+// least one event arrived (a healthy stream, resetting the backoff).
+func (c *HTTP) pumpStream(ctx context.Context, resp *http.Response, out chan<- api.LifecycleEvent) bool {
+	if resp == nil {
+		return false
+	}
+	defer resp.Body.Close()
+	delivered := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev api.LifecycleEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			continue
+		}
+		select {
+		case out <- ev:
+			delivered = true
+		case <-ctx.Done():
+			return delivered
+		}
+	}
+	return delivered
+}
+
+func (c *HTTP) AddNode(ctx context.Context, name string, capacity api.Resources) error {
+	return c.do(ctx, http.MethodPost, "/v2/nodes", nil, api.AddNodeRequest{Name: name, Capacity: capacity}, nil)
+}
+
+func (c *HTTP) Nodes(ctx context.Context, probe *api.Resources) ([]api.NodeStatus, error) {
+	query := url.Values{}
+	if probe != nil {
+		query.Set("probeCpu", strconv.Itoa(probe.CPUMilli))
+		query.Set("probeMem", strconv.Itoa(probe.MemoryMB))
+	}
+	var out []api.NodeStatus
+	if err := c.do(ctx, http.MethodGet, "/v2/nodes", query, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *HTTP) Cordon(ctx context.Context, node string) error {
+	return c.do(ctx, http.MethodPost, "/v2/nodes/"+url.PathEscape(node)+"/cordon", nil, nil, nil)
+}
+
+func (c *HTTP) Uncordon(ctx context.Context, node string) error {
+	return c.do(ctx, http.MethodPost, "/v2/nodes/"+url.PathEscape(node)+"/uncordon", nil, nil, nil)
+}
+
+func (c *HTTP) Drain(ctx context.Context, node string) (*api.DrainResult, error) {
+	var res api.DrainResult
+	if err := c.do(ctx, http.MethodPost, "/v2/nodes/"+url.PathEscape(node)+"/drain", nil, nil, &res); err != nil {
+		return nil, err
+	}
+	// A drain that stopped early ships its partial progress with the
+	// typed error embedded; surface both halves like the local client.
+	return &res, api.Decode(res.Error)
+}
+
+func (c *HTTP) FailNode(ctx context.Context, node string) (*api.FailoverResult, error) {
+	var res api.FailoverResult
+	if err := c.do(ctx, http.MethodPost, "/v2/nodes/"+url.PathEscape(node)+"/fail", nil, nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+func (c *HTTP) AttachONU(ctx context.Context, node, serial string) error {
+	return c.do(ctx, http.MethodPost, "/v2/nodes/"+url.PathEscape(node)+"/onus", nil, api.AttachONURequest{Serial: serial}, nil)
+}
+
+func (c *HTTP) Incidents(ctx context.Context) (api.IncidentCounts, error) {
+	var out api.IncidentCounts
+	if err := c.do(ctx, http.MethodGet, "/v2/incidents", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *HTTP) Ledger(ctx context.Context) (api.Ledger, error) {
+	var out api.Ledger
+	if err := c.do(ctx, http.MethodGet, "/v2/ledger", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close releases idle connections; the remote platform is unaffected.
+func (c *HTTP) Close() error {
+	c.client.CloseIdleConnections()
+	return nil
+}

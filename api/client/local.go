@@ -1,0 +1,226 @@
+package client
+
+import (
+	"context"
+	"strconv"
+	"sync/atomic"
+
+	"genio/api"
+	"genio/internal/core"
+	"genio/internal/orchestrator"
+	"genio/internal/orchestrator/scheduler"
+)
+
+// Local is the in-process client: the same Interface served straight
+// off a core.Platform, no wire. genioctl uses it when no --server is
+// given, so every subcommand keeps working without a daemon.
+type Local struct {
+	p       *core.Platform
+	subject string
+	// ownsPlatform closes the platform with the client (the CLI's
+	// demo fixture); false leaves it to the caller (tests, simulator).
+	ownsPlatform bool
+	seq          atomic.Uint64
+}
+
+// LocalOption configures a Local client.
+type LocalOption func(*Local)
+
+// WithOwnedPlatform makes Close also close the platform.
+func WithOwnedPlatform() LocalOption {
+	return func(l *Local) { l.ownsPlatform = true }
+}
+
+// NewLocal builds an in-process client acting as the given subject.
+func NewLocal(p *core.Platform, subject string, opts ...LocalOption) *Local {
+	l := &Local{p: p, subject: subject}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+func (l *Local) Deploy(ctx context.Context, spec api.WorkloadSpec) (*api.Workload, error) {
+	oSpec, err := spec.ToOrchestrator()
+	if err != nil {
+		return nil, err
+	}
+	wl, err := l.p.DeployContext(ctx, l.subject, oSpec)
+	if err != nil {
+		return nil, err
+	}
+	return api.FromWorkload(wl), nil
+}
+
+func (l *Local) DeployAsync(ctx context.Context, spec api.WorkloadSpec) (Deployment, error) {
+	oSpec, err := spec.ToOrchestrator()
+	if err != nil {
+		return nil, err
+	}
+	d, err := l.p.DeployAsync(ctx, l.subject, oSpec)
+	if err != nil {
+		return nil, err
+	}
+	return &localDeployment{
+		id: "local-" + strconv.FormatUint(l.seq.Add(1), 10),
+		d:  d,
+	}, nil
+}
+
+// localDeployment adapts a core.Deployment future to the client handle.
+type localDeployment struct {
+	id string
+	d  *core.Deployment
+}
+
+func (d *localDeployment) ID() string { return d.id }
+
+func (d *localDeployment) Status(ctx context.Context) (api.DeploymentStatus, error) {
+	st := api.DeploymentStatus{
+		ID:       d.id,
+		Workload: d.d.Spec().Name,
+		Tenant:   d.d.Spec().Tenant,
+		State:    string(d.d.State()),
+	}
+	if core.DeployState(st.State).Terminal() {
+		wl, err := d.d.Result()
+		st.Placed = api.FromWorkload(wl)
+		st.Error = api.Encode(err)
+	}
+	return st, nil
+}
+
+func (d *localDeployment) Await(ctx context.Context) (*api.Workload, error) {
+	select {
+	case <-d.d.Done():
+		wl, err := d.d.Result()
+		return api.FromWorkload(wl), err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (d *localDeployment) Cancel(ctx context.Context) error {
+	d.d.Cancel()
+	return nil
+}
+
+func (l *Local) Watch(ctx context.Context, sel api.WatchSelector) (<-chan api.LifecycleEvent, error) {
+	ch, err := l.p.Watch(ctx, sel.ToCore())
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan api.LifecycleEvent)
+	go func() {
+		defer close(out)
+		for ev := range ch {
+			select {
+			case out <- api.FromLifecycleEvent(ev):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+func (l *Local) AddNode(ctx context.Context, name string, capacity api.Resources) error {
+	_, err := l.p.AddEdgeNodeContext(ctx, name, orchestrator.Resources{
+		CPUMilli: capacity.CPUMilli, MemoryMB: capacity.MemoryMB,
+	})
+	return err
+}
+
+func (l *Local) Nodes(ctx context.Context, probe *api.Resources) ([]api.NodeStatus, error) {
+	util := l.p.Cluster.Utilization()
+	out := make([]api.NodeStatus, 0, len(util))
+	for _, u := range util {
+		out = append(out, api.FromUtilization(u))
+	}
+	if probe != nil {
+		cands := make([]scheduler.Candidate, 0, len(util))
+		for _, u := range util {
+			cands = append(cands, scheduler.Candidate{
+				Node: u.Node, Capacity: u.Capacity, Used: u.Used,
+				Cordoned: u.Cordoned, SharedVMs: u.SharedVMs,
+			})
+		}
+		req := scheduler.Request{Workload: "probe", Tenant: "probe",
+			Demand: orchestrator.Resources{CPUMilli: probe.CPUMilli, MemoryMB: probe.MemoryMB}}
+		eng := l.p.Cluster.Scheduler()
+		req.Strategy = scheduler.StrategyBinpack
+		binpack := eng.Explain(&req, cands)
+		req.Strategy = scheduler.StrategySpread
+		spread := eng.Explain(&req, cands)
+		for i := range out {
+			if binpack[i].Feasible {
+				v := binpack[i].Score
+				out[i].Binpack = &v
+			}
+			if spread[i].Feasible {
+				v := spread[i].Score
+				out[i].Spread = &v
+			}
+		}
+	}
+	return out, nil
+}
+
+func (l *Local) Cordon(ctx context.Context, node string) error   { return l.p.Cordon(node) }
+func (l *Local) Uncordon(ctx context.Context, node string) error { return l.p.Uncordon(node) }
+
+func (l *Local) Drain(ctx context.Context, node string) (*api.DrainResult, error) {
+	var migrations []api.Migration
+	res, err := l.p.DrainObserved(ctx, node, func(ev orchestrator.DrainEvent) {
+		if ev.Phase == orchestrator.DrainMigrated {
+			migrations = append(migrations, api.Migration{
+				Workload: ev.Workload, Target: ev.Target, Score: ev.Score,
+			})
+		}
+	})
+	if res == nil {
+		return nil, err
+	}
+	out := api.FromDrainResult(res)
+	out.Migrations = migrations
+	return out, err
+}
+
+func (l *Local) FailNode(ctx context.Context, node string) (*api.FailoverResult, error) {
+	res, err := l.p.FailNode(node)
+	if err != nil {
+		return nil, err
+	}
+	return api.FromFailoverResult(res), nil
+}
+
+func (l *Local) AttachONU(ctx context.Context, node, serial string) error {
+	_, err := l.p.AttachONUContext(ctx, node, serial)
+	return err
+}
+
+func (l *Local) Incidents(ctx context.Context) (api.IncidentCounts, error) {
+	counts := l.p.IncidentCounts()
+	if counts == nil {
+		counts = map[string]int{}
+	}
+	return api.IncidentCounts(counts), nil
+}
+
+func (l *Local) Ledger(ctx context.Context) (api.Ledger, error) {
+	return api.FromStats(l.p.Metrics()), nil
+}
+
+// Close closes the platform when the client owns it.
+func (l *Local) Close() error {
+	if l.ownsPlatform {
+		l.p.Close()
+	}
+	return nil
+}
+
+// interface conformance
+var (
+	_ Interface = (*Local)(nil)
+	_ Interface = (*HTTP)(nil)
+)

@@ -1,0 +1,329 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"genio/internal/container"
+	"genio/internal/core"
+	"genio/internal/orchestrator"
+)
+
+// Wire codes: one stable machine-readable code per control-plane error
+// class. Codes are the compatibility contract — clients switch on them,
+// and Decode reconstructs the library's typed error from them — so a
+// code, once shipped, never changes meaning.
+const (
+	CodeAdmissionDenied = "admission-denied"
+	CodeImagePull       = "image-pull"
+	CodeQuotaExceeded   = "quota-exceeded"
+	CodeNoCapacity      = "no-capacity"
+	CodeUnauthorized    = "unauthorized"
+	CodeDuplicateName   = "duplicate-name"
+	CodeNodeNotFound    = "node-not-found"
+	CodePlacementPolicy = "placement-policy"
+	CodeCancelled       = "cancelled"
+	CodeDrainBlocked    = "drain-blocked"
+	CodeClosed          = "platform-closed"
+	CodeBadRequest      = "bad-request"
+	CodeUnauthenticated = "unauthenticated"
+	CodeInternal        = "internal"
+)
+
+// Cause discriminators for wire errors whose library form wraps a
+// sentinel that Error() alone cannot recover.
+const (
+	// ImagePullError causes.
+	CauseImageNotFound = "not-found"
+	CauseImageUnsigned = "unsigned"
+	CauseBadSignature  = "bad-signature"
+	// CancelledError causes.
+	CauseCanceled = "canceled"
+	CauseDeadline = "deadline"
+	// NodeNotFoundError causes: which package's sentinel the error
+	// carried (core.ErrNoNode vs orchestrator.ErrNodeUnknown).
+	CauseNodeCore    = "core"
+	CauseNodeCluster = "cluster"
+)
+
+// httpStatus maps each wire code to a distinct HTTP status, so a client
+// that only looks at the status line still distinguishes every class.
+// 499 (client closed request, nginx convention) reports cancellation —
+// the caller withdrew, nobody refused.
+var httpStatus = map[string]int{
+	CodeAdmissionDenied: http.StatusUnprocessableEntity, // 422
+	CodeImagePull:       http.StatusFailedDependency,    // 424
+	CodeQuotaExceeded:   http.StatusTooManyRequests,     // 429
+	CodeNoCapacity:      http.StatusInsufficientStorage, // 507
+	CodeUnauthorized:    http.StatusForbidden,           // 403
+	CodeDuplicateName:   http.StatusConflict,            // 409
+	CodeNodeNotFound:    http.StatusNotFound,            // 404
+	CodePlacementPolicy: http.StatusBadRequest,          // 400
+	CodeCancelled:       499,
+	CodeDrainBlocked:    http.StatusLocked,             // 423
+	CodeClosed:          http.StatusServiceUnavailable, // 503
+	CodeBadRequest:      http.StatusBadRequest,         // 400
+	CodeUnauthenticated: http.StatusUnauthorized,       // 401
+	CodeInternal:        http.StatusInternalServerError,
+}
+
+// HTTPStatus returns the status for a wire code (500 for unknown
+// codes).
+func HTTPStatus(code string) int {
+	if s, ok := httpStatus[code]; ok {
+		return s
+	}
+	return http.StatusInternalServerError
+}
+
+// WireError is the JSON error body of every non-2xx control-plane
+// response. Code selects the class; Message is the library error's
+// formatted text; the remaining fields carry the typed error's
+// structured payload so Decode can rebuild it losslessly.
+type WireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+
+	Workload string `json:"workload,omitempty"`
+	Tenant   string `json:"tenant,omitempty"`
+	Node     string `json:"node,omitempty"`
+	Subject  string `json:"subject,omitempty"`
+	Verb     string `json:"verb,omitempty"`
+	Ref      string `json:"ref,omitempty"`
+	Policy   string `json:"policy,omitempty"`
+	Stage    string `json:"stage,omitempty"`
+	Op       string `json:"op,omitempty"`
+	Cause    string `json:"cause,omitempty"`
+
+	Verdicts  []orchestrator.ScannerVerdict `json:"verdicts,omitempty"`
+	Requested *Resources                    `json:"requested,omitempty"`
+	Used      *Resources                    `json:"used,omitempty"`
+	Quota     *Resources                    `json:"quota,omitempty"`
+	Nodes     int                           `json:"nodes,omitempty"`
+
+	// Wrapped carries a nested wire error (DrainError's scheduling
+	// cause).
+	Wrapped *WireError `json:"wrapped,omitempty"`
+}
+
+// Error makes *WireError usable as an error directly (a client that
+// skips Decode still gets the server-side message).
+func (e *WireError) Error() string {
+	if e.Message != "" {
+		return e.Message
+	}
+	return "api: " + e.Code
+}
+
+// Status returns the HTTP status for the error's code.
+func (e *WireError) Status() int { return HTTPStatus(e.Code) }
+
+func wireResources(r orchestrator.Resources) *Resources {
+	return &Resources{CPUMilli: r.CPUMilli, MemoryMB: r.MemoryMB}
+}
+
+func libResources(r *Resources) orchestrator.Resources {
+	if r == nil {
+		return orchestrator.Resources{}
+	}
+	return orchestrator.Resources{CPUMilli: r.CPUMilli, MemoryMB: r.MemoryMB}
+}
+
+// Encode maps a control-plane error to its wire form. Every type in the
+// taxonomy gets a distinct code; anything unrecognized becomes
+// CodeInternal with the message preserved. Nil maps to nil.
+//
+// Order matters where wrap chains cross classes: a DrainError typically
+// wraps a capacity failure, and a CancelledError wraps a context
+// sentinel, so the wrapping types are matched before the types they may
+// contain.
+func Encode(err error) *WireError {
+	if err == nil {
+		return nil
+	}
+	var (
+		closedErr *core.ClosedError
+		cancelled *orchestrator.CancelledError
+		drain     *orchestrator.DrainError
+		admission *orchestrator.AdmissionError
+		pull      *orchestrator.ImagePullError
+		quota     *orchestrator.QuotaError
+		capacity  *orchestrator.CapacityError
+		unauth    *orchestrator.UnauthorizedError
+		dup       *orchestrator.DuplicateNameError
+		notFound  *orchestrator.NodeNotFoundError
+		policy    *orchestrator.PlacementPolicyError
+	)
+	switch {
+	case errors.As(err, &closedErr):
+		return &WireError{Code: CodeClosed, Message: err.Error(), Op: closedErr.Op}
+	case errors.As(err, &cancelled):
+		we := &WireError{
+			Code:     CodeCancelled,
+			Message:  err.Error(),
+			Workload: cancelled.Workload,
+			Stage:    cancelled.Stage,
+		}
+		switch {
+		case errors.Is(cancelled.Err, context.DeadlineExceeded):
+			we.Cause = CauseDeadline
+		case errors.Is(cancelled.Err, context.Canceled):
+			we.Cause = CauseCanceled
+		}
+		return we
+	case errors.As(err, &drain):
+		return &WireError{
+			Code:     CodeDrainBlocked,
+			Message:  err.Error(),
+			Node:     drain.Node,
+			Workload: drain.Workload,
+			Wrapped:  Encode(drain.Err),
+		}
+	case errors.As(err, &admission):
+		return &WireError{
+			Code:     CodeAdmissionDenied,
+			Message:  err.Error(),
+			Workload: admission.Workload,
+			Tenant:   admission.Tenant,
+			Verdicts: admission.Verdicts,
+		}
+	case errors.As(err, &pull):
+		we := &WireError{Code: CodeImagePull, Message: err.Error(), Ref: pull.Ref}
+		switch {
+		case errors.Is(pull.Err, container.ErrNotFound):
+			we.Cause = CauseImageNotFound
+		case errors.Is(pull.Err, container.ErrBadSignature):
+			we.Cause = CauseBadSignature
+		case errors.Is(pull.Err, container.ErrUnsigned):
+			we.Cause = CauseImageUnsigned
+		}
+		return we
+	case errors.As(err, &quota):
+		return &WireError{
+			Code:      CodeQuotaExceeded,
+			Message:   err.Error(),
+			Tenant:    quota.Tenant,
+			Requested: wireResources(quota.Requested),
+			Used:      wireResources(quota.Used),
+			Quota:     wireResources(quota.Quota),
+		}
+	case errors.As(err, &capacity):
+		return &WireError{
+			Code:      CodeNoCapacity,
+			Message:   err.Error(),
+			Workload:  capacity.Workload,
+			Requested: wireResources(capacity.Requested),
+			Nodes:     capacity.Nodes,
+		}
+	case errors.As(err, &unauth):
+		return &WireError{
+			Code:    CodeUnauthorized,
+			Message: err.Error(),
+			Subject: unauth.Subject,
+			Verb:    unauth.Verb,
+			Tenant:  unauth.Tenant,
+		}
+	case errors.As(err, &dup):
+		return &WireError{Code: CodeDuplicateName, Message: err.Error(), Workload: dup.Workload}
+	case errors.As(err, &notFound):
+		we := &WireError{Code: CodeNodeNotFound, Message: err.Error(), Node: notFound.Node}
+		switch {
+		case errors.Is(err, core.ErrNoNode):
+			we.Cause = CauseNodeCore
+		case errors.Is(err, orchestrator.ErrNodeUnknown):
+			we.Cause = CauseNodeCluster
+		}
+		return we
+	case errors.As(err, &policy):
+		return &WireError{
+			Code:     CodePlacementPolicy,
+			Message:  err.Error(),
+			Workload: policy.Workload,
+			Policy:   policy.Policy,
+		}
+	case errors.Is(err, context.Canceled):
+		return &WireError{Code: CodeCancelled, Message: err.Error(), Cause: CauseCanceled}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &WireError{Code: CodeCancelled, Message: err.Error(), Cause: CauseDeadline}
+	default:
+		return &WireError{Code: CodeInternal, Message: err.Error()}
+	}
+}
+
+// Decode reconstructs the library's typed error from a wire error. The
+// result satisfies the same errors.Is/errors.As assertions as the error
+// the server encoded: sentinels (ErrRejected, ErrDenied, ErrCancelled,
+// ErrNoCapacity, container.ErrUnsigned, core.ErrNoNode, ...) survive
+// the round trip. Unknown codes come back as the *WireError itself.
+// Nil maps to nil.
+func Decode(we *WireError) error {
+	if we == nil {
+		return nil
+	}
+	switch we.Code {
+	case CodeAdmissionDenied:
+		return &orchestrator.AdmissionError{
+			Workload: we.Workload,
+			Tenant:   we.Tenant,
+			Verdicts: we.Verdicts,
+		}
+	case CodeImagePull:
+		var cause error
+		switch we.Cause {
+		case CauseImageNotFound:
+			cause = container.ErrNotFound
+		case CauseBadSignature:
+			cause = container.ErrBadSignature
+		case CauseImageUnsigned:
+			cause = container.ErrUnsigned
+		default:
+			cause = errors.New(we.Message)
+		}
+		return &orchestrator.ImagePullError{Ref: we.Ref, Err: cause}
+	case CodeQuotaExceeded:
+		return &orchestrator.QuotaError{
+			Tenant:    we.Tenant,
+			Requested: libResources(we.Requested),
+			Used:      libResources(we.Used),
+			Quota:     libResources(we.Quota),
+		}
+	case CodeNoCapacity:
+		return &orchestrator.CapacityError{
+			Workload:  we.Workload,
+			Requested: libResources(we.Requested),
+			Nodes:     we.Nodes,
+		}
+	case CodeUnauthorized:
+		return &orchestrator.UnauthorizedError{Subject: we.Subject, Verb: we.Verb, Tenant: we.Tenant}
+	case CodeDuplicateName:
+		return &orchestrator.DuplicateNameError{Workload: we.Workload}
+	case CodeNodeNotFound:
+		sentinel := orchestrator.ErrNodeUnknown
+		if we.Cause == CauseNodeCore {
+			sentinel = core.ErrNoNode
+		}
+		return &orchestrator.NodeNotFoundError{Node: we.Node, Err: sentinel}
+	case CodePlacementPolicy:
+		return &orchestrator.PlacementPolicyError{Workload: we.Workload, Policy: we.Policy}
+	case CodeCancelled:
+		var cause error
+		switch we.Cause {
+		case CauseDeadline:
+			cause = context.DeadlineExceeded
+		default:
+			cause = context.Canceled
+		}
+		return &orchestrator.CancelledError{Workload: we.Workload, Stage: we.Stage, Err: cause}
+	case CodeDrainBlocked:
+		cause := Decode(we.Wrapped)
+		if cause == nil {
+			cause = errors.New(we.Message)
+		}
+		return &orchestrator.DrainError{Node: we.Node, Workload: we.Workload, Err: cause}
+	case CodeClosed:
+		return &core.ClosedError{Op: we.Op}
+	default:
+		return we
+	}
+}

@@ -1,0 +1,530 @@
+// Package server exposes a core.Platform as the networked control
+// plane: the full v2 surface (deploy sync/async, lifecycle watch, node
+// lifecycle, far-edge attach, incident/ledger reads) over HTTP, speaking
+// the wire-neutral genio/api contract. cmd/geniod wraps this package in
+// a daemon; tests and the simulator host it in-process.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"genio/api"
+	"genio/internal/core"
+	"genio/internal/orchestrator"
+	"genio/internal/orchestrator/scheduler"
+	"genio/internal/pki"
+	"genio/internal/rbac"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CA verifies client certificates. Nil uses the platform's own CA —
+	// the common case: geniod and its clients share the cluster trust
+	// root.
+	CA *pki.CA
+	// AllowAnonymous admits requests without a certificate, taking the
+	// subject from the X-Genio-Subject header ("anonymous" when absent).
+	// This is the legacy posture's insecure default; the secure posture
+	// leaves it off and rejects unauthenticated requests with 401.
+	AllowAnonymous bool
+}
+
+// Server serves the control-plane v2 surface for one platform.
+type Server struct {
+	p    *core.Platform
+	opts Options
+	mux  *http.ServeMux
+
+	// Async deployment registry: the server-side ends of the Deployment
+	// futures handed out by POST /v2/deployments/async. Terminal entries
+	// are retained so clients can poll after completion.
+	mu          sync.Mutex
+	deployments map[string]*core.Deployment
+	seq         atomic.Uint64
+
+	// inflight tracks async deployments for graceful shutdown; draining
+	// refuses new ones once shutdown begins. Both are guarded by mu so a
+	// late deploy can never Add after Drain has begun Waiting on a
+	// settled group.
+	inflight sync.WaitGroup
+	draining bool
+}
+
+// New builds a server over the platform.
+func New(p *core.Platform, opts Options) *Server {
+	s := &Server{p: p, opts: opts, deployments: make(map[string]*core.Deployment)}
+	if s.opts.CA == nil {
+		s.opts.CA = p.CA
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v2/healthz", s.handleHealthz)
+	s.handle("POST /v2/deployments", s.handleDeploy)
+	s.handle("POST /v2/deployments/async", s.handleDeployAsync)
+	s.handle("GET /v2/deployments/{id}", s.handleDeploymentStatus)
+	s.handle("GET /v2/deployments/{id}/await", s.handleDeploymentAwait)
+	s.handle("DELETE /v2/deployments/{id}", s.handleDeploymentCancel)
+	s.handle("GET /v2/watch", s.handleWatch)
+	s.handle("GET /v2/nodes", s.handleNodes)
+	s.handle("POST /v2/nodes", s.handleAddNode)
+	s.handle("POST /v2/nodes/{name}/cordon", s.handleCordon)
+	s.handle("POST /v2/nodes/{name}/uncordon", s.handleUncordon)
+	s.handle("POST /v2/nodes/{name}/drain", s.handleDrain)
+	s.handle("POST /v2/nodes/{name}/fail", s.handleFail)
+	s.handle("POST /v2/nodes/{name}/onus", s.handleAttachONU)
+	s.handle("GET /v2/incidents", s.handleIncidents)
+	s.handle("GET /v2/ledger", s.handleLedger)
+	return s
+}
+
+// Handler returns the HTTP handler serving the v2 surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// handle registers an authenticated route: the handler receives the
+// verified subject alongside the request.
+func (s *Server) handle(pattern string, fn func(w http.ResponseWriter, r *http.Request, subject string)) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		subject, err := s.authenticate(r)
+		if err != nil {
+			writeWireError(w, &api.WireError{Code: api.CodeUnauthenticated, Message: err.Error()})
+			return
+		}
+		fn(w, r, subject)
+	})
+}
+
+// authenticate establishes the caller's subject. A presented
+// certificate is always verified (a bad one is never silently demoted
+// to anonymous); only a request with no certificate at all can take the
+// anonymous path, and only when the server allows it.
+func (s *Server) authenticate(r *http.Request) (string, error) {
+	if r.Header.Get(api.HeaderCertificate) != "" || !s.opts.AllowAnonymous {
+		return api.VerifyRequest(r, s.opts.CA)
+	}
+	if subject := r.Header.Get(api.HeaderSubject); subject != "" {
+		return subject, nil
+	}
+	return "anonymous", nil
+}
+
+// authorize runs the RBAC check non-deploy operations need (deploys
+// carry their own check inside the pipeline). Namespace "" means
+// cluster-scoped.
+func (s *Server) authorize(subject, verb, resource, namespace string) error {
+	if !s.p.Config.RBACEnabled {
+		return nil
+	}
+	d := s.p.RBAC.Check(subject, rbac.Permission{Verb: verb, Resource: resource, Namespace: namespace})
+	if !d.Allowed {
+		return &orchestrator.UnauthorizedError{Subject: subject, Verb: verb, Tenant: resource}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeWireError(w http.ResponseWriter, we *api.WireError) {
+	writeJSON(w, we.Status(), we)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeWireError(w, api.Encode(err))
+}
+
+func readBody[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	var v T
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+		writeWireError(w, &api.WireError{Code: api.CodeBadRequest, Message: "bad request body: " + err.Error()})
+		return v, false
+	}
+	return v, true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleDeploy runs a synchronous deploy on the request context: a
+// client that disconnects mid-pipeline cancels the deployment, and the
+// platform rolls it back (cancelled-never-placed).
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request, subject string) {
+	req, ok := readBody[api.DeployRequest](w, r)
+	if !ok {
+		return
+	}
+	spec, err := req.Spec.ToOrchestrator()
+	if err != nil {
+		writeWireError(w, &api.WireError{Code: api.CodeBadRequest, Message: err.Error()})
+		return
+	}
+	wl, err := s.p.DeployContext(r.Context(), subject, spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.FromWorkload(wl))
+}
+
+// handleDeployAsync launches a deployment future and returns its ID
+// plus poll/await endpoints. The future runs on a server-side context,
+// not the request's: it outlives this POST by design and is cancelled
+// via DELETE or server shutdown.
+func (s *Server) handleDeployAsync(w http.ResponseWriter, r *http.Request, subject string) {
+	req, ok := readBody[api.DeployRequest](w, r)
+	if !ok {
+		return
+	}
+	spec, err := req.Spec.ToOrchestrator()
+	if err != nil {
+		writeWireError(w, &api.WireError{Code: api.CodeBadRequest, Message: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, &core.ClosedError{Op: "deploy"})
+		return
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	d, err := s.p.DeployAsync(context.Background(), subject, spec)
+	if err != nil {
+		s.inflight.Done()
+		writeError(w, err)
+		return
+	}
+	id := "d-" + strconv.FormatUint(s.seq.Add(1), 10)
+	s.mu.Lock()
+	s.deployments[id] = d
+	s.mu.Unlock()
+	go func() {
+		defer s.inflight.Done()
+		<-d.Done()
+	}()
+	writeJSON(w, http.StatusAccepted, api.DeploymentRef{
+		ID:    id,
+		Poll:  "/v2/deployments/" + id,
+		Await: "/v2/deployments/" + id + "/await",
+	})
+}
+
+func (s *Server) deployment(w http.ResponseWriter, r *http.Request) (*core.Deployment, string, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	d := s.deployments[id]
+	s.mu.Unlock()
+	if d == nil {
+		writeWireError(w, &api.WireError{Code: api.CodeBadRequest, Message: "unknown deployment " + id})
+		return nil, id, false
+	}
+	return d, id, true
+}
+
+// status snapshots a deployment future into its wire form.
+func deploymentStatus(id string, d *core.Deployment) api.DeploymentStatus {
+	st := api.DeploymentStatus{
+		ID:       id,
+		Workload: d.Spec().Name,
+		Tenant:   d.Spec().Tenant,
+		State:    string(d.State()),
+	}
+	if core.DeployState(st.State).Terminal() {
+		wl, err := d.Result()
+		st.Placed = api.FromWorkload(wl)
+		st.Error = api.Encode(err)
+	}
+	return st
+}
+
+func (s *Server) handleDeploymentStatus(w http.ResponseWriter, r *http.Request, subject string) {
+	d, id, ok := s.deployment(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, deploymentStatus(id, d))
+}
+
+// handleDeploymentAwait long-polls the future: it responds when the
+// deployment reaches a terminal state or the request context dies.
+func (s *Server) handleDeploymentAwait(w http.ResponseWriter, r *http.Request, subject string) {
+	d, id, ok := s.deployment(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-d.Done():
+		writeJSON(w, http.StatusOK, deploymentStatus(id, d))
+	case <-r.Context().Done():
+		// Client gave up; the deployment itself keeps running.
+	}
+}
+
+// handleDeploymentCancel cancels the future. The response reports the
+// state after the cancel took effect (the pipeline stops at its next
+// cancellation point, so the terminal state lands asynchronously).
+func (s *Server) handleDeploymentCancel(w http.ResponseWriter, r *http.Request, subject string) {
+	d, id, ok := s.deployment(w, r)
+	if !ok {
+		return
+	}
+	d.Cancel()
+	writeJSON(w, http.StatusAccepted, deploymentStatus(id, d))
+}
+
+// handleWatch streams deploy.lifecycle transitions as server-sent
+// events, filtered by the selector in the query string (tenant,
+// workload, terminal=true). The stream runs until the client
+// disconnects or the platform closes.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request, subject string) {
+	if err := s.authorize(subject, "watch", "deployments", r.URL.Query().Get("tenant")); err != nil {
+		writeError(w, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeWireError(w, &api.WireError{Code: api.CodeInternal, Message: "streaming unsupported"})
+		return
+	}
+	q := r.URL.Query()
+	sel := api.WatchSelector{
+		Tenant:       q.Get("tenant"),
+		Workload:     q.Get("workload"),
+		TerminalOnly: q.Get("terminal") == "true",
+	}
+	ch, err := s.p.Watch(r.Context(), sel.ToCore())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for ev := range ch {
+		data, err := json.Marshal(api.FromLifecycleEvent(ev))
+		if err != nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return
+		}
+		flusher.Flush()
+	}
+}
+
+// handleNodes returns the fleet table. Query params probeCpu/probeMem
+// add the scheduler's per-strategy explanation for that demand — the
+// wire form of `genioctl nodes -top`.
+func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request, subject string) {
+	if err := s.authorize(subject, "get", "nodes", ""); err != nil {
+		writeError(w, err)
+		return
+	}
+	util := s.p.Cluster.Utilization()
+	out := make([]api.NodeStatus, 0, len(util))
+	for _, u := range util {
+		out = append(out, api.FromUtilization(u))
+	}
+	q := r.URL.Query()
+	if q.Get("probeCpu") != "" || q.Get("probeMem") != "" {
+		cpu, _ := strconv.Atoi(q.Get("probeCpu"))
+		mem, _ := strconv.Atoi(q.Get("probeMem"))
+		cands := make([]scheduler.Candidate, 0, len(util))
+		for _, u := range util {
+			cands = append(cands, scheduler.Candidate{
+				Node: u.Node, Capacity: u.Capacity, Used: u.Used,
+				Cordoned: u.Cordoned, SharedVMs: u.SharedVMs,
+			})
+		}
+		probe := scheduler.Request{Workload: "probe", Tenant: "probe",
+			Demand: orchestrator.Resources{CPUMilli: cpu, MemoryMB: mem}}
+		eng := s.p.Cluster.Scheduler()
+		probe.Strategy = scheduler.StrategyBinpack
+		binpack := eng.Explain(&probe, cands)
+		probe.Strategy = scheduler.StrategySpread
+		spread := eng.Explain(&probe, cands)
+		for i := range out {
+			if binpack[i].Feasible {
+				v := binpack[i].Score
+				out[i].Binpack = &v
+			}
+			if spread[i].Feasible {
+				v := spread[i].Score
+				out[i].Spread = &v
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleAddNode(w http.ResponseWriter, r *http.Request, subject string) {
+	if err := s.authorize(subject, "create", "nodes", ""); err != nil {
+		writeError(w, err)
+		return
+	}
+	req, ok := readBody[api.AddNodeRequest](w, r)
+	if !ok {
+		return
+	}
+	if req.Name == "" {
+		writeWireError(w, &api.WireError{Code: api.CodeBadRequest, Message: "node name required"})
+		return
+	}
+	if _, err := s.p.AddEdgeNodeContext(r.Context(), req.Name, orchestrator.Resources{
+		CPUMilli: req.Capacity.CPUMilli, MemoryMB: req.Capacity.MemoryMB,
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.NodeStatus{
+		Node:     req.Name,
+		Capacity: req.Capacity,
+	})
+}
+
+func (s *Server) handleCordon(w http.ResponseWriter, r *http.Request, subject string) {
+	if err := s.authorize(subject, "update", "nodes", ""); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.p.Cordon(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"node": r.PathValue("name"), "state": "cordoned"})
+}
+
+func (s *Server) handleUncordon(w http.ResponseWriter, r *http.Request, subject string) {
+	if err := s.authorize(subject, "update", "nodes", ""); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.p.Uncordon(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"node": r.PathValue("name"), "state": "ready"})
+}
+
+// handleDrain live-migrates the node's workloads on the request
+// context: a client disconnect (or timeout) cancels the drain at the
+// next migration boundary and the platform rolls the cordon back.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request, subject string) {
+	if err := s.authorize(subject, "update", "nodes", ""); err != nil {
+		writeError(w, err)
+		return
+	}
+	var migrations []api.Migration
+	res, err := s.p.DrainObserved(r.Context(), r.PathValue("name"), func(ev orchestrator.DrainEvent) {
+		if ev.Phase == orchestrator.DrainMigrated {
+			migrations = append(migrations, api.Migration{
+				Workload: ev.Workload, Target: ev.Target, Score: ev.Score,
+			})
+		}
+	})
+	if res == nil {
+		// Refused outright (unknown node, platform closed): no drain ever
+		// started, so there is no partial progress to report.
+		writeError(w, err)
+		return
+	}
+	out := api.FromDrainResult(res)
+	out.Migrations = migrations
+	// A drain that stopped early (cancelled, blocked) still made
+	// progress; ship the partial result with the typed error inside it
+	// rather than discarding one half.
+	out.Error = api.Encode(err)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request, subject string) {
+	if err := s.authorize(subject, "update", "nodes", ""); err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.p.FailNode(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.FromFailoverResult(res))
+}
+
+func (s *Server) handleAttachONU(w http.ResponseWriter, r *http.Request, subject string) {
+	if err := s.authorize(subject, "create", "onus", ""); err != nil {
+		writeError(w, err)
+		return
+	}
+	req, ok := readBody[api.AttachONURequest](w, r)
+	if !ok {
+		return
+	}
+	if _, err := s.p.AttachONUContext(r.Context(), r.PathValue("name"), req.Serial); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"node": r.PathValue("name"), "serial": req.Serial})
+}
+
+func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request, subject string) {
+	if err := s.authorize(subject, "get", "incidents", ""); err != nil {
+		writeError(w, err)
+		return
+	}
+	counts := s.p.IncidentCounts()
+	if counts == nil {
+		counts = map[string]int{}
+	}
+	writeJSON(w, http.StatusOK, api.IncidentCounts(counts))
+}
+
+func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request, subject string) {
+	if err := s.authorize(subject, "get", "events", ""); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.FromStats(s.p.Metrics()))
+}
+
+// Drain stops accepting new async deployments and waits for the
+// in-flight ones to reach a terminal state, or for ctx to die —
+// whichever comes first. Part of the graceful-shutdown sequence; the
+// HTTP listener should already be closed (http.Server.Shutdown) so no
+// new sync deploys arrive either.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server drain: %w", ctx.Err())
+	}
+}
+
+// Shutdown completes the graceful sequence after the listener has
+// stopped accepting: drain in-flight deployments, flush the spine,
+// close the platform. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.Drain(ctx)
+	if err == nil {
+		s.p.Flush()
+	}
+	s.p.Close()
+	return err
+}

@@ -1,0 +1,698 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"genio/api"
+	"genio/api/client"
+	"genio/internal/container"
+	"genio/internal/core"
+	"genio/internal/events"
+	"genio/internal/orchestrator"
+	"genio/internal/pki"
+	"genio/internal/rbac"
+)
+
+// testPlatform builds the standard secure fixture: two nodes, a trusted
+// publisher with the signed image set plus one unsigned hostile image,
+// and an all-powerful operator role.
+func testPlatform(t *testing.T) *core.Platform {
+	t.Helper()
+	p, err := core.New(core.SecureConfig())
+	if err != nil {
+		t.Fatalf("platform: %v", err)
+	}
+	t.Cleanup(p.Close)
+	for _, node := range []string{"olt-01", "olt-02"} {
+		if _, err := p.AddEdgeNode(node, orchestrator.Resources{CPUMilli: 16000, MemoryMB: 32768}); err != nil {
+			t.Fatalf("node %s: %v", node, err)
+		}
+	}
+	pub, err := container.NewPublisher("acme")
+	if err != nil {
+		t.Fatalf("publisher: %v", err)
+	}
+	p.Registry.TrustPublisher("acme", pub.PublicKey())
+	for _, img := range []*container.Image{
+		container.AnalyticsImage(),
+		container.IoTGatewayImage(),
+		container.MLInferenceImage(),
+		container.CryptominerImage(),
+	} {
+		sig := pub.Sign(img)
+		p.Registry.Push(img, &sig)
+	}
+	p.Registry.Push(container.BackdoorImage(), nil) // unsigned
+	p.RBAC.SetRole(rbac.Role{Name: "operator", Permissions: []rbac.Permission{
+		{Verb: "*", Resource: "*", Namespace: "*"},
+	}})
+	if err := p.RBAC.Bind("operator", "operator"); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	// Roomy quota so capacity, not quota, is the binding constraint.
+	p.Cluster.SetQuota("acme", orchestrator.Resources{CPUMilli: 1 << 30, MemoryMB: 1 << 30})
+	return p
+}
+
+// testServer hosts the platform behind httptest and returns an
+// authenticated remote client for subject "operator".
+func testServer(t *testing.T, p *core.Platform) (*Server, *httptest.Server, *client.HTTP) {
+	t.Helper()
+	srv := New(p, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	id, err := p.CA.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("issue identity: %v", err)
+	}
+	c := client.NewHTTP(ts.URL, client.WithIdentity(id),
+		client.WithBackoff(5*time.Millisecond, 50*time.Millisecond))
+	t.Cleanup(func() { _ = c.Close() })
+	return srv, ts, c
+}
+
+func spec(name, ref string, cpu, mem int) api.WorkloadSpec {
+	return api.WorkloadSpec{
+		Name: name, Tenant: "acme", ImageRef: ref, Isolation: api.IsolationSoft,
+		Resources: api.Resources{CPUMilli: cpu, MemoryMB: mem},
+	}
+}
+
+// TestE2EOverHTTP drives the acceptance path entirely over the wire:
+// deploy (sync + async), lifecycle watch, drain, failover.
+func TestE2EOverHTTP(t *testing.T) {
+	p := testPlatform(t)
+	_, _, c := testServer(t, p)
+	ctx := context.Background()
+
+	// Watch first, so every lifecycle transition of the async deploy is
+	// observed through the SSE stream.
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	eventsCh, err := c.Watch(watchCtx, api.WatchSelector{Tenant: "acme"})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+
+	// Sync deploy.
+	wl, err := c.Deploy(ctx, spec("web", "acme/analytics:2.0.1", 500, 512))
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	if wl.Node == "" || wl.VMID == "" {
+		t.Fatalf("placement incomplete: %+v", wl)
+	}
+
+	// Async deploy through the future endpoints.
+	d, err := c.DeployAsync(ctx, spec("api", "acme/analytics:2.0.1", 400, 256))
+	if err != nil {
+		t.Fatalf("deploy async: %v", err)
+	}
+	if d.ID() == "" {
+		t.Fatal("async deploy has no ID")
+	}
+	placed, err := d.Await(ctx)
+	if err != nil {
+		t.Fatalf("await: %v", err)
+	}
+	if placed == nil || placed.Node == "" {
+		t.Fatalf("await returned no placement: %+v", placed)
+	}
+	st, err := d.Status(ctx)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.State != string(core.StateRunning) || st.Placed == nil {
+		t.Fatalf("status = %+v, want running with placement", st)
+	}
+
+	// The watch stream must deliver the async deploy's full lifecycle.
+	seen := map[string]bool{}
+	deadline := time.After(5 * time.Second)
+	for !seen["running"] {
+		select {
+		case ev, ok := <-eventsCh:
+			if !ok {
+				t.Fatal("watch stream closed early")
+			}
+			if ev.Workload == "api" {
+				seen[ev.State] = true
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for lifecycle events; saw %v", seen)
+		}
+	}
+	for _, want := range []string{"pending", "scanning", "placing", "running"} {
+		if !seen[want] {
+			t.Errorf("lifecycle state %q never seen on the wire", want)
+		}
+	}
+
+	// Drain the hot node over HTTP; binpack stacked both workloads.
+	hot := wl.Node
+	res, err := c.Drain(ctx, hot)
+	if err != nil {
+		t.Fatalf("drain %s: %v", hot, err)
+	}
+	if len(res.Migrated) == 0 {
+		t.Fatalf("drain migrated nothing: %+v", res)
+	}
+
+	// Fail the node the workloads migrated to; they must reschedule
+	// back onto the (still cordoned? no — drain cordons the source) —
+	// uncordon the drained node first so failover has a target.
+	if err := c.Uncordon(ctx, hot); err != nil {
+		t.Fatalf("uncordon: %v", err)
+	}
+	other := "olt-02"
+	if hot == "olt-02" {
+		other = "olt-01"
+	}
+	fo, err := c.FailNode(ctx, other)
+	if err != nil {
+		t.Fatalf("fail %s: %v", other, err)
+	}
+	if len(fo.Rescheduled) == 0 {
+		t.Fatalf("failover rescheduled nothing: %+v", fo)
+	}
+
+	// Fleet table reflects the failure: one node left.
+	nodes, err := c.Nodes(ctx, &api.Resources{CPUMilli: 500, MemoryMB: 512})
+	if err != nil {
+		t.Fatalf("nodes: %v", err)
+	}
+	if len(nodes) != 1 || nodes[0].Node != hot {
+		t.Fatalf("nodes = %+v, want only %s", nodes, hot)
+	}
+	if nodes[0].Binpack == nil || nodes[0].Spread == nil {
+		t.Fatalf("probe scores missing: %+v", nodes[0])
+	}
+
+	// Ledger and incidents read back over the wire.
+	ledger, err := c.Ledger(ctx)
+	if err != nil {
+		t.Fatalf("ledger: %v", err)
+	}
+	if ledger[string(events.TopicDeployLifecycle)].Published == 0 {
+		t.Fatalf("ledger shows no lifecycle publishes: %+v", ledger)
+	}
+	if _, err := c.Incidents(ctx); err != nil {
+		t.Fatalf("incidents: %v", err)
+	}
+}
+
+// TestTypedErrorsOverTheWire asserts the deploy rejection paths produce
+// decodable typed errors through a real server round trip.
+func TestTypedErrorsOverTheWire(t *testing.T) {
+	p := testPlatform(t)
+	_, _, c := testServer(t, p)
+	ctx := context.Background()
+
+	cases := []struct {
+		name  string
+		spec  api.WorkloadSpec
+		check func(t *testing.T, err error)
+	}{
+		{
+			name: "admission",
+			spec: spec("miner", "freestuff/optimizer:latest", 100, 128),
+			check: func(t *testing.T, err error) {
+				var ae *orchestrator.AdmissionError
+				if !errors.As(err, &ae) || len(ae.Verdicts) == 0 {
+					t.Fatalf("err = %v, want AdmissionError with verdicts", err)
+				}
+				if !errors.Is(err, orchestrator.ErrDenied) || !errors.Is(err, orchestrator.ErrRejected) {
+					t.Fatalf("sentinels lost: %v", err)
+				}
+			},
+		},
+		{
+			name: "unsigned",
+			spec: spec("backdoor", "freestuff/log-shipper:3.1", 100, 128),
+			check: func(t *testing.T, err error) {
+				if !errors.Is(err, container.ErrUnsigned) {
+					t.Fatalf("err = %v, want ErrUnsigned", err)
+				}
+			},
+		},
+		{
+			name: "not-found",
+			spec: spec("ghost", "nobody/none:0", 100, 128),
+			check: func(t *testing.T, err error) {
+				if !errors.Is(err, container.ErrNotFound) {
+					t.Fatalf("err = %v, want ErrNotFound", err)
+				}
+			},
+		},
+		{
+			name: "capacity",
+			spec: spec("huge", "acme/analytics:2.0.1", 1_000_000, 1),
+			check: func(t *testing.T, err error) {
+				var ce *orchestrator.CapacityError
+				if !errors.As(err, &ce) || ce.Nodes != 2 {
+					t.Fatalf("err = %v, want CapacityError across 2 nodes", err)
+				}
+			},
+		},
+		{
+			name: "policy",
+			spec: api.WorkloadSpec{Name: "typo", Tenant: "acme", ImageRef: "acme/analytics:2.0.1",
+				Isolation: api.IsolationSoft, Resources: api.Resources{CPUMilli: 100, MemoryMB: 128},
+				PlacementPolicy: "tightpack"},
+			check: func(t *testing.T, err error) {
+				var pe *orchestrator.PlacementPolicyError
+				if !errors.As(err, &pe) || pe.Policy != "tightpack" {
+					t.Fatalf("err = %v, want PlacementPolicyError", err)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.Deploy(ctx, tc.spec)
+			if err == nil {
+				t.Fatal("deploy unexpectedly succeeded")
+			}
+			tc.check(t, err)
+		})
+	}
+
+	// Duplicate name: deploy once, then collide.
+	if _, err := c.Deploy(ctx, spec("dup", "acme/analytics:2.0.1", 100, 128)); err != nil {
+		t.Fatalf("first deploy: %v", err)
+	}
+	_, err := c.Deploy(ctx, spec("dup", "acme/analytics:2.0.1", 100, 128))
+	if !errors.Is(err, orchestrator.ErrDuplicateName) {
+		t.Fatalf("err = %v, want ErrDuplicateName", err)
+	}
+
+	// Unknown node over the wire.
+	_, err = c.Drain(ctx, "olt-ghost")
+	if !errors.Is(err, orchestrator.ErrNodeUnknown) {
+		t.Fatalf("drain err = %v, want ErrNodeUnknown", err)
+	}
+	var nfe *orchestrator.NodeNotFoundError
+	if !errors.As(err, &nfe) || nfe.Node != "olt-ghost" {
+		t.Fatalf("drain err = %v, want NodeNotFoundError", err)
+	}
+
+	// RBAC: an unbound subject is refused with a typed error.
+	id, err := p.CA.Issue("mallory", pki.RoleService)
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	ts := httptest.NewServer(New(p, Options{}).Handler())
+	defer ts.Close()
+	mc := client.NewHTTP(ts.URL, client.WithIdentity(id))
+	_, err = mc.Deploy(ctx, spec("intrusion", "acme/analytics:2.0.1", 100, 128))
+	if !errors.Is(err, orchestrator.ErrUnauthorized) {
+		t.Fatalf("err = %v, want ErrUnauthorized", err)
+	}
+	if _, err := mc.Nodes(ctx, nil); !errors.Is(err, orchestrator.ErrUnauthorized) {
+		t.Fatalf("nodes err = %v, want ErrUnauthorized", err)
+	}
+}
+
+// TestAuthRequired asserts the secure posture refuses unauthenticated
+// requests with 401 and does not fall back to anonymous.
+func TestAuthRequired(t *testing.T) {
+	p := testPlatform(t)
+	_, ts, _ := testServer(t, p)
+	resp, err := http.Get(ts.URL + "/v2/nodes")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status = %d, want 401", resp.StatusCode)
+	}
+	var we api.WireError
+	if err := json.NewDecoder(resp.Body).Decode(&we); err != nil || we.Code != api.CodeUnauthenticated {
+		t.Fatalf("body = %+v (%v), want code %s", we, err, api.CodeUnauthenticated)
+	}
+	// Health stays open for probes.
+	hr, err := http.Get(ts.URL + "/v2/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", hr.StatusCode)
+	}
+}
+
+// TestAnonymousModeUsesSubjectHeader covers the legacy posture: no
+// certificate, subject taken from the header.
+func TestAnonymousModeUsesSubjectHeader(t *testing.T) {
+	p := testPlatform(t)
+	srv := New(p, Options{AllowAnonymous: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.NewHTTP(ts.URL, client.WithSubject("operator"))
+	if _, err := c.Deploy(context.Background(), spec("anon", "acme/analytics:2.0.1", 100, 128)); err != nil {
+		t.Fatalf("deploy as header subject: %v", err)
+	}
+	// A presented-but-bogus certificate must NOT demote to anonymous.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v2/nodes", nil)
+	req.Header.Set(api.HeaderCertificate, "bm90LWEtY2VydA==")
+	req.Header.Set(api.HeaderSignature, "AAAA")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("bogus cert status = %d, want 401", resp.StatusCode)
+	}
+}
+
+// TestClientDisconnectCancelsSyncDeploy verifies the
+// cancelled-never-placed invariant path over the wire: a sync deploy
+// whose client vanishes mid-admission is cancelled by the server and
+// rolled back, leaving no workload behind.
+func TestClientDisconnectCancelsSyncDeploy(t *testing.T) {
+	p := testPlatform(t)
+
+	// Gate admission so the deploy is provably in-flight when the
+	// client disconnects.
+	entered := make(chan struct{}, 1)
+	p.Cluster.RegisterAdmissionCtx("test-gate",
+		func(ctx context.Context, s orchestrator.WorkloadSpec, _ *container.Image) error {
+			if s.Name != "doomed" {
+				return nil
+			}
+			entered <- struct{}{}
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	_, _, c := testServer(t, p)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Deploy(ctx, spec("doomed", "acme/analytics:2.0.1", 100, 128))
+		errCh <- err
+	}()
+	<-entered // the pipeline holds the deploy inside admission
+	cancel()  // client disconnects; server ctx dies with the request
+
+	err := <-errCh
+	if err == nil {
+		t.Fatal("deploy survived client disconnect")
+	}
+	// Cancelled-never-placed: the workload must not exist.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := p.Cluster.Workload("doomed"); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled workload still placed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var ce *orchestrator.CancelledError
+	if !errors.As(err, &ce) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+}
+
+// TestAsyncCancelOverWire cancels an in-flight async deployment through
+// DELETE and asserts the terminal state decodes to a CancelledError.
+func TestAsyncCancelOverWire(t *testing.T) {
+	p := testPlatform(t)
+	entered := make(chan struct{}, 1)
+	p.Cluster.RegisterAdmissionCtx("test-gate",
+		func(ctx context.Context, s orchestrator.WorkloadSpec, _ *container.Image) error {
+			if s.Name != "held" {
+				return nil
+			}
+			entered <- struct{}{}
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	_, _, c := testServer(t, p)
+	ctx := context.Background()
+
+	d, err := c.DeployAsync(ctx, spec("held", "acme/analytics:2.0.1", 100, 128))
+	if err != nil {
+		t.Fatalf("deploy async: %v", err)
+	}
+	<-entered
+	if err := d.Cancel(ctx); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	_, err = d.Await(ctx)
+	if !errors.Is(err, orchestrator.ErrCancelled) {
+		t.Fatalf("await err = %v, want ErrCancelled", err)
+	}
+	var ce *orchestrator.CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("await err = %v, want CancelledError", err)
+	}
+	if _, ok := p.Cluster.Workload("held"); ok {
+		t.Fatal("cancelled workload was placed")
+	}
+}
+
+// TestWatchReconnectAfterKilledStream is the SSE regression test: a
+// proxy kills the stream mid-flight; the client must reconnect with
+// backoff and keep delivering filtered events.
+func TestWatchReconnectAfterKilledStream(t *testing.T) {
+	p := testPlatform(t)
+	srv := New(p, Options{})
+
+	// killerProxy fronts the real handler and hard-closes the first
+	// watch connection after its first event.
+	var mu sync.Mutex
+	kills := 0
+	proxy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/watch" {
+			srv.Handler().ServeHTTP(w, r)
+			return
+		}
+		mu.Lock()
+		shouldKill := kills == 0
+		kills++
+		mu.Unlock()
+		if !shouldKill {
+			srv.Handler().ServeHTTP(w, r)
+			return
+		}
+		// Serve the stream but slam the TCP connection after the first
+		// event flushes.
+		rc := http.NewResponseController(w)
+		kw := &killAfterFirstEvent{w: w, rc: rc}
+		srv.Handler().ServeHTTP(kw, r)
+	})
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+
+	id, err := p.CA.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	c := client.NewHTTP(ts.URL, client.WithIdentity(id),
+		client.WithBackoff(5*time.Millisecond, 50*time.Millisecond))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Terminal-only filter: it must still hold after the reconnect.
+	eventsCh, err := c.Watch(ctx, api.WatchSelector{Tenant: "acme", TerminalOnly: true})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+
+	// First deploy (async, so it emits lifecycle events): its terminal
+	// event rides the doomed connection.
+	deployAsync := func(name string) {
+		t.Helper()
+		d, err := c.DeployAsync(ctx, spec(name, "acme/analytics:2.0.1", 100, 128))
+		if err != nil {
+			t.Fatalf("deploy async %s: %v", name, err)
+		}
+		if _, err := d.Await(ctx); err != nil {
+			t.Fatalf("await %s: %v", name, err)
+		}
+	}
+	deployAsync("before-kill")
+	var got []api.LifecycleEvent
+	select {
+	case ev := <-eventsCh:
+		got = append(got, ev)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event before the kill")
+	}
+
+	// Give the client time to notice the kill and reconnect, then
+	// deploy again: the event must arrive on the new connection.
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		reconnected := kills >= 2
+		mu.Unlock()
+		if reconnected {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("client never reconnected")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	deployAsync("after-kill")
+	select {
+	case ev := <-eventsCh:
+		got = append(got, ev)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event after reconnect")
+	}
+	for _, ev := range got {
+		if !ev.Terminal() {
+			t.Fatalf("terminal-only filter leaked %+v", ev)
+		}
+	}
+	names := map[string]bool{}
+	for _, ev := range got {
+		names[ev.Workload] = true
+	}
+	if !names["before-kill"] || !names["after-kill"] {
+		t.Fatalf("events lost across reconnect: %v", names)
+	}
+}
+
+// killAfterFirstEvent lets one SSE event through, then severs the
+// underlying connection.
+type killAfterFirstEvent struct {
+	w      http.ResponseWriter
+	rc     *http.ResponseController
+	events int
+	dead   bool
+}
+
+func (k *killAfterFirstEvent) Header() http.Header { return k.w.Header() }
+
+func (k *killAfterFirstEvent) WriteHeader(code int) { k.w.WriteHeader(code) }
+
+func (k *killAfterFirstEvent) Write(b []byte) (int, error) {
+	if k.dead {
+		return 0, fmt.Errorf("connection killed")
+	}
+	n, err := k.w.Write(b)
+	if len(b) > 0 && b[0] == 'd' { // one "data: ..." frame
+		k.events++
+	}
+	return n, err
+}
+
+func (k *killAfterFirstEvent) Flush() {
+	if k.dead {
+		return
+	}
+	_ = k.rc.Flush()
+	if k.events >= 1 {
+		k.dead = true
+		conn, _, err := k.rc.Hijack()
+		if err == nil {
+			_ = conn.Close()
+		}
+	}
+}
+
+// TestGracefulDrain verifies the shutdown sequence: in-flight async
+// deploys finish, new ones are refused with the closed error.
+func TestGracefulDrain(t *testing.T) {
+	p := testPlatform(t)
+	release := make(chan struct{})
+	p.Cluster.RegisterAdmissionCtx("test-gate",
+		func(ctx context.Context, s orchestrator.WorkloadSpec, _ *container.Image) error {
+			if s.Name != "slow" {
+				return nil
+			}
+			select {
+			case <-release:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	srv, _, c := testServer(t, p)
+	ctx := context.Background()
+
+	d, err := c.DeployAsync(ctx, spec("slow", "acme/analytics:2.0.1", 100, 128))
+	if err != nil {
+		t.Fatalf("deploy async: %v", err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(ctx) }()
+
+	// Drain must refuse new async deploys...
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := c.DeployAsync(ctx, spec("late", "acme/analytics:2.0.1", 100, 128))
+		if errors.Is(err, events.ErrClosed) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("late deploy err = %v, want ErrClosed", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// ...while waiting for the in-flight one.
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned before in-flight deploy finished: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if wl, err := d.Await(ctx); err != nil || wl == nil {
+		t.Fatalf("in-flight deploy should have completed: %v", err)
+	}
+}
+
+// TestAddNodeAndAttachONUOverWire exercises the provisioning endpoints.
+func TestAddNodeAndAttachONUOverWire(t *testing.T) {
+	p := testPlatform(t)
+	_, _, c := testServer(t, p)
+	ctx := context.Background()
+	if err := c.AddNode(ctx, "olt-03", api.Resources{CPUMilli: 8000, MemoryMB: 16384}); err != nil {
+		t.Fatalf("add node: %v", err)
+	}
+	if err := c.AttachONU(ctx, "olt-03", "onu-9001"); err != nil {
+		t.Fatalf("attach onu: %v", err)
+	}
+	if err := c.AttachONU(ctx, "olt-ghost", "onu-9002"); !errors.Is(err, core.ErrNoNode) {
+		t.Fatalf("ghost attach err = %v, want ErrNoNode", err)
+	}
+	if err := c.Cordon(ctx, "olt-03"); err != nil {
+		t.Fatalf("cordon: %v", err)
+	}
+	nodes, err := c.Nodes(ctx, nil)
+	if err != nil {
+		t.Fatalf("nodes: %v", err)
+	}
+	var found bool
+	for _, n := range nodes {
+		if n.Node == "olt-03" {
+			found = true
+			if !n.Cordoned {
+				t.Fatal("olt-03 not cordoned in fleet table")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("olt-03 missing from fleet table")
+	}
+}

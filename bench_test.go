@@ -11,10 +11,14 @@ package genio_test
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 
 	"genio"
+	"genio/api"
+	"genio/api/client"
+	"genio/api/server"
 	"genio/internal/attack"
 	"genio/internal/container"
 	"genio/internal/core"
@@ -548,6 +552,46 @@ func BenchmarkDeployAsyncPipelined(b *testing.B) {
 		}
 		for _, d := range futures {
 			if _, err := d.Result(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(batch, "workloads/op")
+}
+
+// BenchmarkHTTPDeployThroughput is the networked control plane end to
+// end: the same 16-wide async batch as DeployAsyncPipelined, but every
+// submit, poll, and await crosses geniod's HTTP surface with an
+// Ed25519-signed request and a typed-error wire decode on the way back.
+// The gap to DeployAsyncPipelined is the wire tax; gated against
+// regression alongside the deploy benchmarks.
+func BenchmarkHTTPDeployThroughput(b *testing.B) {
+	p := benchDeployPlatform(b)
+	srv := server.New(p, server.Options{CA: p.CA})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	id, err := p.CA.Issue("ci", pki.RoleService)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := client.NewHTTP(ts.URL, client.WithIdentity(id))
+	b.Cleanup(func() { cli.Close() })
+	const batch = 16
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		futures := make([]client.Deployment, batch)
+		for j := 0; j < batch; j++ {
+			spec := api.FromWorkloadSpec(benchSpec(fmt.Sprintf("http-%d-%d", i, j)))
+			d, err := cli.DeployAsync(ctx, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			futures[j] = d
+		}
+		for _, d := range futures {
+			if _, err := d.Await(ctx); err != nil {
 				b.Fatal(err)
 			}
 		}

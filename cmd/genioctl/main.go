@@ -1,9 +1,6 @@
-// Command genioctl is the platform demo driver: it brings up a GENIO
-// deployment in the chosen security posture, provisions the edge and
-// far-edge, deploys tenant workloads (benign and hostile), replays runtime
-// traffic, and prints the platform state and incident log.
+// Command genioctl is the control-plane CLI and platform demo driver.
 //
-// Usage:
+// Classic demo driver (in-process):
 //
 //	genioctl -posture secure
 //	genioctl -posture legacy
@@ -14,28 +11,33 @@
 //	genioctl deploy -image acme/analytics:2.0.1 -name web -wait
 //	genioctl deploy -image acme/iot-gateway:1.4.2 -timeout 2s
 //	genioctl watch -deploys 4 -tenant acme
-//
-// Node lifecycle and placement subcommands:
-//
 //	genioctl nodes -top
 //	genioctl cordon -node olt-01
 //	genioctl cordon -node olt-01 -undo
 //	genioctl drain -node olt-01 -timeout 5s
 //
-// `nodes -top` prints the per-node utilization and placement-score
-// table (what the scheduler would score each node for a probe demand,
-// under both strategies). `cordon` marks a node unschedulable (`-undo`
-// reverses it); `drain` cordons and live-migrates the node's workloads
-// through the scheduler, streaming each migration — a `-timeout` that
-// expires mid-drain demonstrates cancellation with rollback.
+// Every subcommand runs in one of two modes behind the same client
+// interface (genio/api/client):
 //
-// `deploy` drives one asynchronous deployment (DeployAsync) against a
-// demo platform: -timeout sets a context deadline (deadline expiry
-// cancels the in-flight admission scan), -wait streams every lifecycle
-// transition, and rejections print the typed per-scanner verdict table
-// instead of one error string. `watch` subscribes to the
-// deploy.lifecycle topic (Platform.Watch) while a scripted mix of clean
-// and hostile deployments runs, streaming each transition.
+//   - Remote: -server http://host:port (or GENIOD_ADDR) speaks the v2
+//     wire surface to a geniod daemon, authenticating with the identity
+//     file from -identity (or GENIOD_IDENTITY; see geniod
+//     -identity-out). Typed control-plane errors decode back through
+//     genio/api, so rejection output is identical to local mode.
+//   - Local: with no server configured, the subcommand brings up an
+//     in-process demo platform in the chosen -posture and operates on
+//     it directly.
+//
+// `deploy` drives one asynchronous deployment: -timeout sets a context
+// deadline, -wait streams the lifecycle transitions, and Ctrl-C
+// (SIGINT) cancels the in-flight deployment — the server withdraws it
+// at the next cancellation point and rolls back anything provisional.
+// `watch` streams the deploy.lifecycle topic while a scripted mix of
+// clean and hostile deployments runs; a remote watch survives dropped
+// connections by reconnecting with backoff. `nodes -top` prints the
+// per-node utilization and placement-score table; `cordon` marks a node
+// unschedulable (`-undo` reverses it); `drain` cordons and
+// live-migrates the node's workloads, printing each migration.
 package main
 
 import (
@@ -45,10 +47,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
+	"time"
 
 	"genio"
+	"genio/api"
+	"genio/api/client"
 	"genio/internal/container"
-	"genio/internal/orchestrator/scheduler"
+	"genio/internal/demo"
 	"genio/internal/rbac"
 	"genio/internal/trace"
 )
@@ -92,49 +99,75 @@ func parsePosture(name string) (genio.Config, error) {
 	}
 }
 
-// demoPlatform builds the subcommand fixture: a two-node platform with a
-// trusted publisher, the signed image set (clean, SAST-flagged,
-// vulnerable, malicious), one unsigned hostile image, and deploy rights
-// for the genioctl subject on every tenant.
-func demoPlatform(cfg genio.Config) (*genio.Platform, error) {
-	p, err := genio.NewPlatform(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("platform: %w", err)
-	}
-	for _, node := range []string{"olt-01", "olt-02"} {
-		if _, err := p.AddEdgeNode(node, genio.Resources{CPUMilli: 16000, MemoryMB: 32768}); err != nil {
-			return nil, fmt.Errorf("edge node %s: %w", node, err)
-		}
-	}
-	pub, err := container.NewPublisher("acme")
-	if err != nil {
-		return nil, err
-	}
-	p.Registry.TrustPublisher("acme", pub.PublicKey())
-	for _, img := range []*container.Image{
-		container.AnalyticsImage(),
-		container.IoTGatewayImage(),
-		container.MLInferenceImage(),
-		container.CryptominerImage(),
-	} {
-		sig := pub.Sign(img)
-		p.Registry.Push(img, &sig)
-	}
-	p.Registry.Push(container.BackdoorImage(), nil) // unsigned
-	p.RBAC.SetRole(rbac.Role{Name: "genioctl-admin", Permissions: []rbac.Permission{
-		{Verb: "*", Resource: "*", Namespace: "*"},
-	}})
-	if err := p.RBAC.Bind("genioctl", "genioctl-admin"); err != nil {
-		return nil, err
-	}
-	return p, nil
+// connFlags is the connection surface every v2 subcommand shares: which
+// control plane to talk to, and as whom.
+type connFlags struct {
+	server   *string
+	identity *string
+	subject  *string
+	posture  *string
 }
 
-// runDeploy drives one DeployAsync future end to end.
+// addConnFlags registers the shared connection flags on a subcommand's
+// flag set.
+func addConnFlags(fs *flag.FlagSet) *connFlags {
+	c := &connFlags{}
+	c.server = fs.String("server", os.Getenv("GENIOD_ADDR"),
+		"geniod base URL, e.g. http://127.0.0.1:9650 (env GENIOD_ADDR); empty = in-process demo platform")
+	c.identity = fs.String("identity", os.Getenv("GENIOD_IDENTITY"),
+		"client identity file for -server (env GENIOD_IDENTITY; see geniod -identity-out)")
+	c.subject = fs.String("subject", "genioctl", "control-plane subject to act as")
+	c.posture = fs.String("posture", "secure", "platform posture for the in-process demo platform: secure | legacy")
+	return c
+}
+
+// newClient builds the control-plane client: remote when -server (or
+// GENIOD_ADDR) names a daemon, local otherwise. fixtureWorkloads seeds
+// that many demo workloads in local mode only — a remote daemon owns
+// its own state.
+func (c *connFlags) newClient(fixtureWorkloads int) (client.Interface, error) {
+	if *c.server != "" {
+		base := *c.server
+		// Accept a bare host:port — geniod serves plain HTTP (auth is
+		// per-request Ed25519 signing, not TLS).
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		var opts []client.HTTPOption
+		if *c.identity != "" {
+			id, err := api.LoadIdentity(*c.identity)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, client.WithIdentity(id))
+		} else {
+			opts = append(opts, client.WithSubject(*c.subject))
+		}
+		return client.NewHTTP(base, opts...), nil
+	}
+	cfg, err := parsePosture(*c.posture)
+	if err != nil {
+		return nil, err
+	}
+	p, err := demo.Platform(cfg, *c.subject)
+	if err != nil {
+		return nil, err
+	}
+	if fixtureWorkloads > 0 {
+		if err := demo.Workloads(p, *c.subject, fixtureWorkloads); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+	return client.NewLocal(p, *c.subject, client.WithOwnedPlatform()), nil
+}
+
+// runDeploy drives one asynchronous deployment end to end through the
+// client interface.
 func runDeploy(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("genioctl deploy", flag.ContinueOnError)
 	fs.SetOutput(out)
-	posture := fs.String("posture", "secure", "platform posture: secure | legacy")
+	conn := addConnFlags(fs)
 	image := fs.String("image", "acme/analytics:2.0.1", "image ref to deploy")
 	name := fs.String("name", "workload-1", "workload name")
 	tenant := fs.String("tenant", "acme", "tenant namespace")
@@ -146,45 +179,72 @@ func runDeploy(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := parsePosture(*posture)
+	cli, err := conn.newClient(0)
 	if err != nil {
 		return err
 	}
-	iso := genio.IsolationSoft
-	if *isolation == "hard" {
-		iso = genio.IsolationHard
-	}
-	p, err := demoPlatform(cfg)
-	if err != nil {
-		return err
-	}
-	defer p.Close()
+	defer cli.Close()
 
-	ctx := context.Background()
+	// Ctrl-C cancels the deployment context: the control plane stops the
+	// in-flight deployment at the next cancellation point and rolls back
+	// anything provisional (cancelled, never placed).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	var opts []genio.DeployOption
+
+	// The -wait stream watches this workload's lifecycle on its own
+	// context so a cancelled deployment still reports its terminal
+	// transition before the stream closes.
+	watchDone := make(chan struct{})
 	if *wait {
-		opts = append(opts, genio.WithOnTransition(func(ev genio.LifecycleEvent) {
-			fmt.Fprintf(out, "  %-9s %s\n", ev.State, ev.Detail)
-		}))
+		wctx, wcancel := context.WithCancel(context.Background())
+		defer wcancel()
+		events, err := cli.Watch(wctx, api.WatchSelector{Workload: *name})
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer close(watchDone)
+			for ev := range events {
+				fmt.Fprintf(out, "  %-9s %s\n", ev.State, ev.Detail)
+				if ev.Terminal() {
+					return
+				}
+			}
+		}()
+	} else {
+		close(watchDone)
 	}
-	// Print before launching: the -wait transition callback writes to out
-	// from the deployment's goroutine, so the submit line must not race it.
+
 	fmt.Fprintf(out, "deployment %s (%s) submitted\n", *name, *image)
-	d, err := p.DeployAsync(ctx, "genioctl", genio.WorkloadSpec{
-		Name: *name, Tenant: *tenant, ImageRef: *image,
-		Isolation: iso, Resources: genio.Resources{CPUMilli: *cpu, MemoryMB: *mem},
-	}, opts...)
+	d, err := cli.DeployAsync(ctx, api.WorkloadSpec{
+		Name: *name, Tenant: *tenant, ImageRef: *image, Isolation: *isolation,
+		Resources: api.Resources{CPUMilli: *cpu, MemoryMB: *mem},
+	})
 	if err != nil {
 		return err
 	}
-	w, err := d.Result()
+	wl, err := d.Await(ctx)
+	if err != nil && ctx.Err() != nil {
+		// The wait context died (SIGINT or -timeout) before the future
+		// turned terminal: withdraw the deployment, then collect the
+		// terminal outcome so the rollback is visible. Re-awaiting an
+		// already-terminal future just returns its result.
+		_ = d.Cancel(context.Background())
+		wl, err = d.Await(context.Background())
+	}
+	// Let the transition stream finish before the final line so -wait
+	// output is complete and ordered.
+	select {
+	case <-watchDone:
+	case <-time.After(3 * time.Second):
+	}
 	if err == nil {
-		fmt.Fprintf(out, "PLACED: %s on %s (vm %s)\n", w.Spec.Name, w.Node, w.VMID)
+		fmt.Fprintf(out, "PLACED: %s on %s (vm %s)\n", wl.Spec.Name, wl.Node, wl.VMID)
 		return nil
 	}
 	printDeployError(out, err)
@@ -192,6 +252,8 @@ func runDeploy(args []string, out io.Writer) error {
 }
 
 // printDeployError renders the typed taxonomy instead of one string.
+// Remote errors decode back to the same types (genio/api), so the
+// output is identical in both modes.
 func printDeployError(out io.Writer, err error) {
 	var adm *genio.AdmissionError
 	var pull *genio.ImagePullError
@@ -237,43 +299,39 @@ func printDeployError(out io.Writer, err error) {
 func runWatch(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("genioctl watch", flag.ContinueOnError)
 	fs.SetOutput(out)
-	posture := fs.String("posture", "secure", "platform posture: secure | legacy")
+	conn := addConnFlags(fs)
 	tenant := fs.String("tenant", "", "filter: only this tenant's deployments")
 	terminal := fs.Bool("terminal-only", false, "filter: only terminal states")
 	deploys := fs.Int("deploys", 4, "scripted deployments to drive while watching")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := parsePosture(*posture)
+	cli, err := conn.newClient(0)
 	if err != nil {
 		return err
 	}
-	p, err := demoPlatform(cfg)
-	if err != nil {
-		return err
-	}
-	defer p.Close()
+	defer cli.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	events, err := p.Watch(ctx, genio.WatchSelector{Tenant: *tenant, TerminalOnly: *terminal})
+	events, err := cli.Watch(ctx, api.WatchSelector{Tenant: *tenant, TerminalOnly: *terminal})
 	if err != nil {
 		return err
 	}
 	// The scripted mix: clean, SAST-flagged, and unsigned refs rotate.
 	refs := []string{"acme/analytics:2.0.1", "acme/iot-gateway:1.4.2", "freestuff/log-shipper:3.1"}
-	specs := make([]genio.WorkloadSpec, 0, *deploys)
+	specs := make([]api.WorkloadSpec, 0, *deploys)
 	for i := 0; i < *deploys; i++ {
-		specs = append(specs, genio.WorkloadSpec{
+		specs = append(specs, api.WorkloadSpec{
 			Name: fmt.Sprintf("watched-%02d", i), Tenant: "acme",
-			ImageRef: refs[i%len(refs)], Isolation: genio.IsolationSoft,
-			Resources: genio.Resources{CPUMilli: 200, MemoryMB: 256},
+			ImageRef: refs[i%len(refs)], Isolation: api.IsolationSoft,
+			Resources: api.Resources{CPUMilli: 200, MemoryMB: 256},
 		})
 	}
 
 	// Every scripted deployment emits exactly one terminal event, so the
 	// printer knows when the stream is complete without timers. A tenant
-	// filter that matches nothing just stops after the batch flushes.
+	// filter that matches nothing just stops after the batch settles.
 	expectTerminals := len(specs)
 	if *tenant != "" && *tenant != "acme" {
 		expectTerminals = 0
@@ -291,7 +349,7 @@ func runWatch(args []string, out io.Writer) error {
 				line += "  (" + ev.Detail + ")"
 			}
 			fmt.Fprintln(out, line)
-			if ev.State.Terminal() {
+			if ev.Terminal() {
 				if terminals++; terminals == expectTerminals {
 					return
 				}
@@ -300,124 +358,87 @@ func runWatch(args []string, out io.Writer) error {
 	}()
 
 	fmt.Fprintf(out, "watching deploy.lifecycle (%d scripted deploys)...\n", len(specs))
-	p.DeployBatch("genioctl", specs)
+	handles := make([]client.Deployment, 0, len(specs))
+	for _, spec := range specs {
+		d, err := cli.DeployAsync(context.Background(), spec)
+		if err != nil {
+			return err
+		}
+		handles = append(handles, d)
+	}
+	for _, d := range handles {
+		_, _ = d.Await(context.Background())
+	}
 	if expectTerminals == 0 {
-		p.Flush()
-		cancel()
+		cancel() // nothing will ever match the filter; stop the stream
 	}
 	<-printed
 	return nil
 }
 
-// demoWorkloads deploys n small clean workloads for tenant acme under
-// the binpack default (the fixture traffic the lifecycle subcommands
-// operate on — stacked, so there is a hot node to cordon or drain).
-func demoWorkloads(p *genio.Platform, n int) error {
-	for i := 0; i < n; i++ {
-		if _, err := p.Deploy("genioctl", genio.WorkloadSpec{
-			Name: fmt.Sprintf("app-%02d", i), Tenant: "acme",
-			ImageRef: "acme/analytics:2.0.1", Isolation: genio.IsolationSoft,
-			Resources: genio.Resources{CPUMilli: 500, MemoryMB: 512},
-		}); err != nil {
-			return fmt.Errorf("fixture deploy %d: %w", i, err)
-		}
-	}
-	return nil
-}
-
-// runCordon marks a demo node unschedulable (or schedulable with -undo)
-// and shows the resulting fleet table.
+// runCordon marks a node unschedulable (or schedulable with -undo) and
+// shows the resulting fleet table.
 func runCordon(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("genioctl cordon", flag.ContinueOnError)
 	fs.SetOutput(out)
-	posture := fs.String("posture", "secure", "platform posture: secure | legacy")
+	conn := addConnFlags(fs)
 	node := fs.String("node", "olt-01", "node to cordon")
 	undo := fs.Bool("undo", false, "uncordon instead")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := parsePosture(*posture)
+	cli, err := conn.newClient(3)
 	if err != nil {
 		return err
 	}
-	p, err := demoPlatform(cfg)
-	if err != nil {
-		return err
-	}
-	defer p.Close()
-	if err := demoWorkloads(p, 3); err != nil {
-		return err
-	}
+	defer cli.Close()
+	ctx := context.Background()
 	verb := "cordoned"
 	if *undo {
-		err = p.Uncordon(*node)
+		err = cli.Uncordon(ctx, *node)
 		verb = "uncordoned"
 	} else {
-		err = p.Cordon(*node)
+		err = cli.Cordon(ctx, *node)
 	}
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "node %s %s\n\n", *node, verb)
-	printNodeTable(out, p, false)
-	return nil
+	return printFleet(out, cli, false)
 }
 
-// runDrain live-migrates a demo node's workloads through the scheduler,
-// streaming each step.
+// runDrain live-migrates a node's workloads through the scheduler,
+// printing each migration.
 func runDrain(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("genioctl drain", flag.ContinueOnError)
 	fs.SetOutput(out)
-	posture := fs.String("posture", "secure", "platform posture: secure | legacy")
+	conn := addConnFlags(fs)
 	node := fs.String("node", "olt-01", "node to drain")
 	timeout := fs.Duration("timeout", 0, "context deadline for the drain (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := parsePosture(*posture)
-	if err != nil {
-		return err
-	}
-	p, err := demoPlatform(cfg)
-	if err != nil {
-		return err
-	}
-	defer p.Close()
 	// Default binpack stacks the fixture workloads, so the drained node
 	// is the hot one.
-	if err := demoWorkloads(p, 4); err != nil {
+	cli, err := conn.newClient(4)
+	if err != nil {
 		return err
 	}
-	ctx := context.Background()
+	defer cli.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	sub, err := p.Subscribe("genioctl-drain", []genio.Topic{genio.TopicNodeDrain},
-		func(batch []genio.Event) {
-			for _, ev := range batch {
-				de, ok := ev.Payload.(genio.DrainEvent)
-				if !ok {
-					continue
-				}
-				switch de.Phase {
-				case genio.DrainMigrated:
-					fmt.Fprintf(out, "  migrated  %-10s -> %s (score %.3f)\n", de.Workload, de.Target, de.Score)
-				default:
-					fmt.Fprintf(out, "  %-9s %s\n", de.Phase, de.Detail)
-				}
-			}
-		})
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(out, "draining %s...\n", *node)
-	res, derr := p.Drain(ctx, *node)
-	p.Flush()
-	sub.Cancel()
+	res, derr := cli.Drain(ctx, *node)
 	if res == nil {
 		return derr // refused outright (unknown node): no drain ever started
+	}
+	for _, m := range res.Migrations {
+		fmt.Fprintf(out, "  migrated  %-10s -> %s (score %.3f)\n", m.Workload, m.Target, m.Score)
 	}
 	if derr != nil {
 		fmt.Fprintf(out, "drain stopped: %v (%d migrated, %d remaining; cordon rolled back)\n",
@@ -426,83 +447,66 @@ func runDrain(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "drained: %d workload(s) migrated; %s stays cordoned\n", len(res.Migrated), *node)
 	}
 	fmt.Fprintln(out)
-	printNodeTable(out, p, false)
-	return nil
+	return printFleet(out, cli, false)
 }
 
 // runNodes prints the fleet table; -top adds the scheduler's score
-// columns for a probe demand under both strategies.
+// columns for a probe demand.
 func runNodes(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("genioctl nodes", flag.ContinueOnError)
 	fs.SetOutput(out)
-	posture := fs.String("posture", "secure", "platform posture: secure | legacy")
+	conn := addConnFlags(fs)
 	top := fs.Bool("top", false, "include per-node placement scores for a probe demand")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := parsePosture(*posture)
+	cli, err := conn.newClient(3)
 	if err != nil {
 		return err
 	}
-	p, err := demoPlatform(cfg)
-	if err != nil {
-		return err
-	}
-	defer p.Close()
-	if err := demoWorkloads(p, 3); err != nil {
-		return err
-	}
-	printNodeTable(out, p, *top)
-	return nil
+	defer cli.Close()
+	return printFleet(out, cli, *top)
 }
 
-// printNodeTable renders utilization per node; with scores it appends
-// the scheduler's binpack/spread verdicts for a 500m/512MB probe.
-func printNodeTable(out io.Writer, p *genio.Platform, scores bool) {
-	util := p.Cluster.Utilization()
+// printFleet renders the fleet table from the client; with scores it
+// asks the control plane to explain a 500m/512MB probe under both
+// strategies.
+func printFleet(out io.Writer, cli client.Interface, scores bool) error {
+	var probe *api.Resources
+	if scores {
+		probe = &api.Resources{CPUMilli: 500, MemoryMB: 512}
+	}
+	nodes, err := cli.Nodes(context.Background(), probe)
+	if err != nil {
+		return err
+	}
 	header := fmt.Sprintf("%-8s %-12s %-14s %-4s %-9s", "NODE", "CPU(m)", "MEM(MB)", "WLS", "STATE")
 	if scores {
 		header += fmt.Sprintf(" %-8s %-8s", "BINPACK", "SPREAD")
 	}
 	fmt.Fprintln(out, header)
-	cands := make([]scheduler.Candidate, 0, len(util))
-	for _, u := range util {
-		cands = append(cands, scheduler.Candidate{
-			Node: u.Node, Capacity: u.Capacity, Used: u.Used,
-			Cordoned: u.Cordoned, SharedVMs: u.SharedVMs,
-		})
-	}
-	probe := scheduler.Request{Workload: "probe", Tenant: "probe",
-		Demand: genio.Resources{CPUMilli: 500, MemoryMB: 512}}
-	var binpack, spread []scheduler.NodeScore
-	if scores {
-		eng := p.Cluster.Scheduler()
-		probe.Strategy = scheduler.StrategyBinpack
-		binpack = eng.Explain(&probe, cands)
-		probe.Strategy = scheduler.StrategySpread
-		spread = eng.Explain(&probe, cands)
-	}
-	for i, u := range util {
+	for _, n := range nodes {
 		state := "ready"
-		if u.Cordoned {
+		if n.Cordoned {
 			state = "cordoned"
 		}
 		line := fmt.Sprintf("%-8s %5d/%-6d %6d/%-7d %-4d %-9s",
-			u.Node, u.Used.CPUMilli, u.Capacity.CPUMilli,
-			u.Used.MemoryMB, u.Capacity.MemoryMB, u.Workloads, state)
+			n.Node, n.Used.CPUMilli, n.Capacity.CPUMilli,
+			n.Used.MemoryMB, n.Capacity.MemoryMB, n.Workloads, state)
 		if scores {
-			line += fmt.Sprintf(" %-8s %-8s", renderScore(binpack[i]), renderScore(spread[i]))
+			line += fmt.Sprintf(" %-8s %-8s", renderScore(n.Binpack), renderScore(n.Spread))
 		}
 		fmt.Fprintln(out, line)
 	}
+	return nil
 }
 
-// renderScore formats one Explain outcome for the table.
-func renderScore(s scheduler.NodeScore) string {
-	if !s.Feasible {
+// renderScore formats one probe score for the table (nil = infeasible).
+func renderScore(s *float64) string {
+	if s == nil {
 		return "-"
 	}
-	return fmt.Sprintf("%.3f", s.Score)
+	return fmt.Sprintf("%.3f", *s)
 }
 
 // runDemo is the classic demo driver.

@@ -2,9 +2,193 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"genio/api"
+	"genio/api/server"
+	"genio/internal/container"
+	"genio/internal/core"
+	"genio/internal/demo"
+	"genio/internal/orchestrator"
+	"genio/internal/pki"
 )
+
+// startRemote hosts a demo-fixture geniod surface on an httptest server
+// and writes a signed client identity, returning what the remote-mode
+// flags need: the base URL and the identity path.
+func startRemote(t *testing.T) (baseURL, idPath string, p *core.Platform) {
+	t.Helper()
+	p, err := demo.Platform(core.SecureConfig(), "genioctl")
+	if err != nil {
+		t.Fatalf("demo platform: %v", err)
+	}
+	srv := server.New(p, server.Options{CA: p.CA})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		p.Close()
+	})
+	id, err := p.CA.Issue("genioctl", pki.RoleService)
+	if err != nil {
+		t.Fatalf("issue identity: %v", err)
+	}
+	idPath = filepath.Join(t.TempDir(), "genioctl.id")
+	if err := api.SaveIdentity(idPath, id); err != nil {
+		t.Fatalf("save identity: %v", err)
+	}
+	return ts.URL, idPath, p
+}
+
+// TestDeployRemotePlaced runs the deploy subcommand against a remote
+// control plane and expects output identical to local mode.
+func TestDeployRemotePlaced(t *testing.T) {
+	url, id, _ := startRemote(t)
+	var buf bytes.Buffer
+	if err := run([]string{"deploy", "-server", url, "-identity", id,
+		"-image", "acme/analytics:2.0.1", "-name", "rweb", "-wait"}, &buf); err != nil {
+		t.Fatalf("remote deploy: %v", err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"scanning", "placing", "running", "PLACED: rweb on olt-01"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("remote deploy output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// TestDeployRemoteTypedVerdicts proves the typed admission verdicts
+// survive the wire: the remote rejection renders the same per-scanner
+// table the in-process path does.
+func TestDeployRemoteTypedVerdicts(t *testing.T) {
+	url, id, _ := startRemote(t)
+	var buf bytes.Buffer
+	if err := run([]string{"deploy", "-server", url, "-identity", id,
+		"-image", "acme/iot-gateway:1.4.2", "-name", "rflagged"}, &buf); err != nil {
+		t.Fatalf("remote deploy: %v", err)
+	}
+	out := buf.String()
+	for _, needle := range []string{
+		"REJECTED by admission (workload rflagged)",
+		"[FAIL] sast-gate",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("remote deploy output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// TestDeployRemoteSIGINTCancels is the cancelled-but-never-placed path
+// over the wire: Ctrl-C while the deployment is held in admission must
+// withdraw it server-side and report the typed cancellation.
+func TestDeployRemoteSIGINTCancels(t *testing.T) {
+	url, id, p := startRemote(t)
+	entered := make(chan struct{}, 1)
+	p.Cluster.RegisterAdmissionCtx("sigint-gate",
+		func(ctx context.Context, s orchestrator.WorkloadSpec, _ *container.Image) error {
+			if s.Name != "doomed" {
+				return nil
+			}
+			entered <- struct{}{}
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"deploy", "-server", url, "-identity", id,
+			"-image", "acme/analytics:2.0.1", "-name", "doomed"}, &buf)
+	}()
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("deployment never reached admission:\n%s", buf.String())
+	}
+	// The gate fires when the server-side pipeline reaches admission,
+	// which can beat the 202 back to the client; give the submit round
+	// trip a moment so the SIGINT cancels the await, not the POST.
+	time.Sleep(200 * time.Millisecond)
+	// The CLI's signal handler is installed before the deployment is
+	// submitted, so by the time admission holds it SIGINT is safe.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("deploy after SIGINT: %v\n%s", err, buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("deploy did not return after SIGINT:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CANCELLED (cancelled) during") || !strings.Contains(out, "never placed") {
+		t.Errorf("missing typed cancellation:\n%s", out)
+	}
+	if _, ok := p.Cluster.Workload("doomed"); ok {
+		t.Error("cancelled deployment left a placed workload behind")
+	}
+}
+
+// TestWatchRemote streams scripted deployments' lifecycle over SSE.
+func TestWatchRemote(t *testing.T) {
+	url, id, _ := startRemote(t)
+	var buf bytes.Buffer
+	if err := run([]string{"watch", "-server", url, "-identity", id, "-deploys", "3"}, &buf); err != nil {
+		t.Fatalf("remote watch: %v", err)
+	}
+	out := buf.String()
+	for _, needle := range []string{
+		"watching deploy.lifecycle (3 scripted deploys)",
+		"-> running",
+		"-> rejected",
+		"watched-00",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("remote watch output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// TestDrainRemote live-migrates a remote node and prints the same
+// migration log local mode does.
+func TestDrainRemote(t *testing.T) {
+	url, id, p := startRemote(t)
+	if err := demo.Workloads(p, "genioctl", 4); err != nil {
+		t.Fatalf("fixture workloads: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"drain", "-server", url, "-identity", id, "-node", "olt-01"}, &buf); err != nil {
+		t.Fatalf("remote drain: %v", err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"draining olt-01", "migrated", "-> olt-02", "stays cordoned"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("remote drain output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// TestNodesTopRemote renders the score table from the remote Explain.
+func TestNodesTopRemote(t *testing.T) {
+	url, id, _ := startRemote(t)
+	var buf bytes.Buffer
+	if err := run([]string{"nodes", "-server", url, "-identity", id, "-top"}, &buf); err != nil {
+		t.Fatalf("remote nodes: %v", err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"NODE", "BINPACK", "SPREAD", "olt-01", "olt-02", "ready"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("remote nodes -top output missing %q:\n%s", needle, out)
+		}
+	}
+}
 
 func TestSecurePosture(t *testing.T) {
 	var buf bytes.Buffer

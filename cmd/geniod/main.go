@@ -1,0 +1,146 @@
+// Command geniod is the networked control-plane daemon: it hosts a
+// GENIO platform behind the v2 HTTP surface (genio/api/server) so
+// remote genioctl clients — and anything else speaking the genio/api
+// wire contract — can deploy, watch, and operate the platform over the
+// network.
+//
+// Usage:
+//
+//	geniod -addr 127.0.0.1:9650 -demo -identity-out /tmp/genioctl.id
+//	geniod -posture legacy -allow-anonymous
+//
+// Every request is authenticated against the platform CA (Ed25519
+// request signatures; see api.SignRequest) unless -allow-anonymous
+// accepts a bare subject header — the legacy posture of the wire.
+// -identity-out issues a service identity signed by the platform CA and
+// writes it where genioctl's -identity flag (or GENIOD_IDENTITY) can
+// load it.
+//
+// On SIGTERM/SIGINT the daemon shuts down gracefully: it stops
+// accepting deployments, waits for in-flight deployment futures to
+// reach a terminal state (bounded by -drain-timeout), flushes the event
+// spine, and closes the platform before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"genio/api"
+	"genio/api/server"
+	"genio/internal/core"
+	"genio/internal/demo"
+	"genio/internal/pki"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "geniod:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a termination signal lands or
+// the listener fails. When ready is non-nil it receives the bound
+// listen address once the server is accepting — tests and scripts use
+// it instead of polling.
+func run(args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("geniod", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", "127.0.0.1:9650", "listen address")
+	posture := fs.String("posture", "secure", "platform posture: secure | legacy")
+	demoFixture := fs.Bool("demo", false, "seed the demo fixture (two edge nodes, signed image set, admin role)")
+	identityOut := fs.String("identity-out", "", "issue a client identity signed by the platform CA and write it to this path")
+	identitySubject := fs.String("identity-subject", "genioctl", "subject of the -identity-out client identity")
+	anonymous := fs.Bool("allow-anonymous", false, "accept unauthenticated requests, trusting the subject header")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight deployments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cfg core.Config
+	switch *posture {
+	case "secure":
+		cfg = core.SecureConfig()
+	case "legacy":
+		cfg = core.LegacyConfig()
+	default:
+		return fmt.Errorf("unknown posture %q", *posture)
+	}
+
+	var p *core.Platform
+	var err error
+	if *demoFixture {
+		subjects := []string{*identitySubject}
+		if *anonymous {
+			subjects = append(subjects, "anonymous")
+		}
+		p, err = demo.Platform(cfg, subjects...)
+	} else {
+		p, err = core.New(cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(p, server.Options{CA: p.CA, AllowAnonymous: *anonymous})
+	if *identityOut != "" {
+		id, err := p.CA.Issue(*identitySubject, pki.RoleService)
+		if err != nil {
+			p.Close()
+			return err
+		}
+		if err := api.SaveIdentity(*identityOut, id); err != nil {
+			p.Close()
+			return err
+		}
+		fmt.Fprintf(out, "client identity for %q written to %s\n", *identitySubject, *identityOut)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		p.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(out, "geniod listening on %s (posture %s)\n", ln.Addr(), *posture)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-serveErr:
+		_ = srv.Shutdown(context.Background())
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	fmt.Fprintln(out, "shutting down: draining in-flight deployments...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Control plane first: refuse new deployments, wait for in-flight
+	// futures, flush the spine, close the platform. Closing the platform
+	// ends the watch streams, so the HTTP shutdown that follows isn't
+	// held open by long-lived SSE connections.
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(out, "drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		_ = httpSrv.Close()
+	}
+	fmt.Fprintln(out, "shutdown complete")
+	return nil
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"genio/api"
+	"genio/api/client"
+)
+
+// syncBuffer guards the daemon's output buffer: run writes from the
+// daemon goroutine while the test reads after shutdown.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDaemonServesAndShutsDownGracefully boots geniod on an ephemeral
+// port with the demo fixture, drives it remotely through the issued
+// identity, then delivers SIGTERM and expects a clean drain.
+func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
+	idPath := filepath.Join(t.TempDir(), "genioctl.id")
+	var out syncBuffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-demo",
+			"-identity-out", idPath,
+			"-drain-timeout", "10s",
+		}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never became ready:\n%s", out.String())
+	}
+
+	id, err := api.LoadIdentity(idPath)
+	if err != nil {
+		t.Fatalf("load issued identity: %v", err)
+	}
+	cli := client.NewHTTP("http://"+addr, client.WithIdentity(id))
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	wl, err := cli.Deploy(ctx, api.WorkloadSpec{
+		Name: "daemon-web", Tenant: "acme", ImageRef: "acme/analytics:2.0.1",
+		Resources: api.Resources{CPUMilli: 500, MemoryMB: 512},
+	})
+	if err != nil {
+		t.Fatalf("remote deploy: %v", err)
+	}
+	if wl.Node == "" {
+		t.Fatalf("remote deploy placed nowhere: %+v", wl)
+	}
+	nodes, err := cli.Nodes(ctx, nil)
+	if err != nil {
+		t.Fatalf("remote nodes: %v", err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("demo fixture should expose 2 nodes, got %d", len(nodes))
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not shut down on SIGTERM:\n%s", out.String())
+	}
+	text := out.String()
+	for _, needle := range []string{
+		"geniod listening on",
+		"client identity for \"genioctl\" written to",
+		"draining in-flight deployments",
+		"shutdown complete",
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("daemon output missing %q:\n%s", needle, text)
+		}
+	}
+}
+
+func TestDaemonRejectsUnknownPosture(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-posture", "chaotic"}, &out, nil); err == nil {
+		t.Fatal("unknown posture accepted")
+	}
+}
+
+// TestDaemonRequiresAuthByDefault boots without -allow-anonymous and
+// expects bare requests to bounce with the unauthenticated wire code.
+func TestDaemonRequiresAuthByDefault(t *testing.T) {
+	var out syncBuffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-demo"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never became ready:\n%s", out.String())
+	}
+	cli := client.NewHTTP("http://"+addr, client.WithSubject("genioctl"))
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cli.Nodes(ctx, nil); err == nil {
+		t.Error("unauthenticated request accepted in secure posture")
+	}
+	_ = syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not shut down:\n%s", out.String())
+	}
+}

@@ -70,3 +70,23 @@ func (p *Platform) DrainObserved(ctx context.Context, name string, observe func(
 	}
 	return res, err
 }
+
+// FailNode removes an edge node and reschedules its workloads through
+// the scheduler (orchestrator.Cluster.FailNode), then deregisters the
+// node's infrastructure from the platform. The failure outcome lands on
+// the metric topic (node.failed, value = rescheduled count) so the
+// spine sees node loss the same way it sees drains.
+func (p *Platform) FailNode(name string) (*orchestrator.FailoverResult, error) {
+	if p.closed.Load() {
+		return nil, &ClosedError{Op: "fail-node"}
+	}
+	res, err := p.Cluster.FailNode(name)
+	if err != nil {
+		return nil, err
+	}
+	p.nodeMu.Lock()
+	delete(p.nodes, name)
+	p.nodeMu.Unlock()
+	p.publishMetric("node.failed", float64(len(res.Rescheduled)), name)
+	return res, nil
+}

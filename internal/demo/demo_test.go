@@ -1,0 +1,34 @@
+package demo
+
+import (
+	"testing"
+
+	"genio/internal/core"
+)
+
+func TestPlatformSeedsFixture(t *testing.T) {
+	p, err := Platform(core.SecureConfig(), "ops", "second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if got := p.Cluster.Nodes(); len(got) != 2 {
+		t.Fatalf("nodes = %v, want olt-01 and olt-02", got)
+	}
+	// Both subjects hold the demo-admin wildcard: each can deploy.
+	if err := Workloads(p, "ops", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := Workloads(p, "second", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Cluster.Workloads()); got != 2 {
+		t.Fatalf("workloads = %d, want 2", got)
+	}
+	// The unsigned fixture image must be present but refuse a verified
+	// pull — that's what makes the hostile demo refs meaningful.
+	if _, err := p.Registry.PullVerified("freestuff/log-shipper:3.1"); err == nil {
+		t.Fatal("unsigned fixture image pulled verified")
+	}
+}

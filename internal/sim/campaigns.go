@@ -31,14 +31,15 @@ var allImageRefs = []string{
 type CampaignFunc func(seed int64) Scenario
 
 var campaigns = map[string]CampaignFunc{
-	"churn":           ChurnCampaign,
-	"admission-flood": AdmissionFloodCampaign,
-	"failover-storm":  FailoverStormCampaign,
-	"incident-storm":  IncidentStormCampaign,
-	"event-storm":     EventStormCampaign,
-	"cancel-storm":    CancelStormCampaign,
-	"hotspot":         HotspotCampaign,
-	"drain-storm":     DrainStormCampaign,
+	"churn":             ChurnCampaign,
+	"admission-flood":   AdmissionFloodCampaign,
+	"failover-storm":    FailoverStormCampaign,
+	"incident-storm":    IncidentStormCampaign,
+	"event-storm":       EventStormCampaign,
+	"cancel-storm":      CancelStormCampaign,
+	"hotspot":           HotspotCampaign,
+	"drain-storm":       DrainStormCampaign,
+	"wire-deploy-storm": WireDeployStormCampaign,
 }
 
 // CampaignNames lists the registered campaigns, sorted.
@@ -318,6 +319,42 @@ func DrainStormCampaign(seed int64) Scenario {
 	}
 	steps = append(steps, PlacementSpreadReport())
 	return Scenario{Name: "drain-storm", Seed: seed, Config: core.SecureConfig(), Steps: steps}
+}
+
+// WireDeployStormCampaign is the networked-control-plane storm: the
+// platform is hosted behind the geniod HTTP handler on an httptest
+// listener and every deployment — floods, async cancel waves, the lot —
+// crosses the full wire stack (Ed25519-signed request, encode, HTTP,
+// typed-error decode) while node churn and metric bursts run in-process
+// underneath. The lifecycle-ledger-balanced, no-silent-event-drops, and
+// cancelled-never-placed invariants must hold across the wire exactly
+// as they do in-process.
+func WireDeployStormCampaign(seed int64) Scenario {
+	r := rand.New(rand.NewSource(seed))
+	steps := []Step{
+		SetQuota("acme", orchestrator.Resources{CPUMilli: 16000, MemoryMB: 32768}),
+		JoinNode(nodeCapacity),
+		JoinNode(nodeCapacity),
+		JoinNode(nodeCapacity),
+		WireDeploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+	}
+	for wave := 0; wave < 4; wave++ {
+		steps = append(steps,
+			WireDeployFlood(6+r.Intn(6), "acme", smallDemand, allImageRefs...),
+			WireCancelStorm(3+r.Intn(3), "acme", smallDemand,
+				CleanImageRef, SASTFlaggedImageRef),
+		)
+		switch r.Intn(3) {
+		case 0:
+			steps = append(steps, CrashRandomNode(), JoinNode(nodeCapacity))
+		case 1:
+			steps = append(steps, MetricBurst(30+r.Intn(40)))
+		default:
+			steps = append(steps, AdvanceClock(150))
+		}
+	}
+	steps = append(steps, WireLedgerProbe(), AdvanceClock(200))
+	return Scenario{Name: "wire-deploy-storm", Seed: seed, Config: core.SecureConfig(), Wire: true, Steps: steps}
 }
 
 // IncidentStormCampaign models runtime threat pressure: waves of mixed

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"genio/api/client"
 	"genio/internal/container"
 	"genio/internal/core"
 	"genio/internal/orchestrator"
@@ -21,6 +22,12 @@ type Scenario struct {
 	Seed   int64
 	Config core.Config
 	Steps  []Step
+	// Wire hosts the platform behind an HTTP control plane (genio/api/server
+	// on an httptest listener) and hands the world an authenticated HTTP
+	// client: Wire* steps then drive deployments through the full wire
+	// stack — encode, HTTP, decode — instead of in-process calls. The
+	// report contract is unchanged: the wire must not perturb outcomes.
+	Wire bool
 }
 
 // Step is one scripted action against the world.
@@ -107,6 +114,10 @@ type World struct {
 	// arrive from spine shard goroutines).
 	lifeMu       sync.Mutex
 	terminalSeen map[string]int
+
+	// wire is the authenticated HTTP client of a Scenario.Wire run (nil
+	// otherwise); Wire* steps drive the platform through it.
+	wire client.Interface
 
 	nodeSeq int
 	wlSeq   int

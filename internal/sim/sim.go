@@ -18,12 +18,16 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http/httptest"
 	"sync"
 
+	"genio/api/client"
+	"genio/api/server"
 	"genio/internal/container"
 	"genio/internal/core"
 	"genio/internal/events"
 	"genio/internal/orchestrator"
+	"genio/internal/pki"
 	"genio/internal/rbac"
 )
 
@@ -146,6 +150,22 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 	}
 	if err := seedWorld(w); err != nil {
 		return nil, fmt.Errorf("sim: seed world: %w", err)
+	}
+	if sc.Wire {
+		// Host the same platform behind the HTTP control plane and hand
+		// the world an authenticated client: Wire* steps then cross the
+		// full encode→HTTP→decode stack on every deployment. The listener
+		// and identity are harness plumbing — nothing about them reaches
+		// the report, so the replay contract is untouched.
+		srv := server.New(p, server.Options{CA: p.CA})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		id, err := p.CA.Issue(Subject, pki.RoleService)
+		if err != nil {
+			return nil, fmt.Errorf("sim: wire identity: %w", err)
+		}
+		w.wire = client.NewHTTP(ts.URL, client.WithIdentity(id))
+		defer w.wire.Close()
 	}
 
 	rep := &Report{

@@ -1,0 +1,102 @@
+package sim
+
+// Wire-campaign coverage beyond the generic determinism gates: the
+// storm must genuinely cross the HTTP stack (placements, rejections,
+// AND cancellations over the wire), the ledger probe must observe the
+// lifecycle topic through GET /v2/ledger, and the two event-accounting
+// invariants the ISSUE names must be wired and clean.
+
+import (
+	"strings"
+	"testing"
+
+	"genio/internal/core"
+	"genio/internal/orchestrator"
+)
+
+// TestWireDeployStormCrossesTheWire: across seeds the campaign passes
+// with the lifecycle-ledger-balanced and no-silent-event-drops
+// invariants wired, sees wire-side admissions, denials and
+// cancellations, and the wire ledger probe reports lifecycle traffic.
+func TestWireDeployStormCrossesTheWire(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rep, js := runJSON(t, "wire-deploy-storm", seed)
+		if !rep.Passed {
+			t.Fatalf("seed %d violated invariants:\n%s", seed, js)
+		}
+		wantInv := map[string]bool{
+			"lifecycle-ledger-balanced": false,
+			"no-silent-event-drops":     false,
+			"cancelled-never-placed":    false,
+		}
+		for _, inv := range rep.Invariants {
+			if _, ok := wantInv[inv]; ok {
+				wantInv[inv] = true
+			}
+		}
+		for name, found := range wantInv {
+			if !found {
+				t.Fatalf("seed %d: invariant %s not wired", seed, name)
+			}
+		}
+		var admitted, denied, cancelled, probed bool
+		for _, step := range rep.Steps {
+			switch {
+			case strings.HasPrefix(step.Name, "wire-deploy"):
+				if step.Status == "admitted" || strings.Contains(step.Detail, "admitted=") {
+					admitted = true
+				}
+				if step.Status == "denied" || strings.Contains(step.Detail, "denied=") {
+					denied = true
+				}
+			case step.Name == "wire-cancel-storm":
+				if strings.Contains(step.Detail, "cancelled=") {
+					cancelled = true
+				}
+			case step.Name == "wire-ledger-probe":
+				if step.Status != "ok" {
+					t.Fatalf("seed %d: ledger probe failed: %s", seed, step.Detail)
+				}
+				if !strings.Contains(step.Detail, "published=") {
+					t.Fatalf("seed %d: ledger probe reported no publish count: %s", seed, step.Detail)
+				}
+				probed = true
+			}
+			if step.Status == "error" {
+				t.Fatalf("seed %d: step %s errored: %s", seed, step.Name, step.Detail)
+			}
+		}
+		if !admitted || !denied || !cancelled {
+			t.Fatalf("seed %d: storm did not exercise the wire (admitted=%v denied=%v cancelled=%v):\n%s",
+				seed, admitted, denied, cancelled, js)
+		}
+		if !probed {
+			t.Fatalf("seed %d: no wire-ledger-probe step ran:\n%s", seed, js)
+		}
+		if rep.Final.Events["deploy.lifecycle"] == 0 {
+			t.Fatalf("seed %d: no deploy.lifecycle events in final ledger:\n%s", seed, js)
+		}
+	}
+}
+
+// TestWireStepsRequireWireScenario: Wire* steps in a scenario without
+// Wire: true report a harness error instead of panicking on a nil
+// client.
+func TestWireStepsRequireWireScenario(t *testing.T) {
+	sc := Scenario{
+		Name: "wireless", Seed: 1, Config: core.SecureConfig(),
+		Steps: []Step{
+			JoinNode(orchestrator.Resources{CPUMilli: 4000, MemoryMB: 8192}),
+			WireDeploy("acme", CleanImageRef, orchestrator.IsolationSoft,
+				orchestrator.Resources{CPUMilli: 500, MemoryMB: 512}),
+		},
+	}
+	rep, err := NewEngine(nil).Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rep.Steps[len(rep.Steps)-1]
+	if last.Status != "error" || !strings.Contains(last.Detail, "non-wire scenario") {
+		t.Fatalf("expected a non-wire-scenario error, got %q / %q", last.Status, last.Detail)
+	}
+}

@@ -1,0 +1,92 @@
+#!/bin/sh
+# e2e: build geniod + genioctl, boot a demo daemon, drive deploy/watch/
+# cordon/drain/nodes over the wire, then SIGTERM the daemon and assert a
+# clean drain-flush-close shutdown. Everything the CLI does here crosses
+# the signed HTTP control plane — no in-process fallback.
+set -eu
+
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "e2e: FAIL: $*" >&2
+    echo "--- geniod log ---" >&2
+    cat "$workdir/geniod.log" >&2 || true
+    exit 1
+}
+
+echo "=== build"
+go build -o "$workdir/geniod" ./cmd/geniod
+go build -o "$workdir/genioctl" ./cmd/genioctl
+
+addr="127.0.0.1:${GENIOD_E2E_PORT:-9650}"
+identity="$workdir/ops.id"
+
+echo "=== boot geniod on $addr"
+"$workdir/geniod" -addr "$addr" -demo -identity-out "$identity" \
+    >"$workdir/geniod.log" 2>&1 &
+daemon_pid=$!
+
+# Readiness: the identity file is written after the listener is up.
+for _ in $(seq 1 50); do
+    [ -s "$identity" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || fail "geniod exited during startup"
+    sleep 0.1
+done
+[ -s "$identity" ] || fail "geniod never wrote the client identity"
+
+ctl() {
+    "$workdir/genioctl" "$@"
+}
+export GENIOD_ADDR="$addr" GENIOD_IDENTITY="$identity"
+
+echo "=== deploy --wait"
+out="$(ctl deploy -name e2e-web -image acme/analytics:2.0.1 -wait)"
+echo "$out"
+echo "$out" | grep -q "PLACED: e2e-web" || fail "deploy did not place"
+echo "$out" | grep -q "running" || fail "deploy -wait streamed no lifecycle"
+
+echo "=== deploy (typed rejection over the wire)"
+out="$(ctl deploy -name e2e-flagged -image acme/iot-gateway:1.4.2 || true)"
+echo "$out"
+echo "$out" | grep -q "REJECTED by admission" || fail "no typed admission verdict"
+
+echo "=== watch (SSE lifecycle stream)"
+out="$(ctl watch -deploys 3)"
+echo "$out"
+echo "$out" | grep -q -- "-> running" || fail "watch saw no terminal running"
+
+echo "=== cordon / uncordon"
+out="$(ctl cordon -node olt-01)"
+echo "$out" | grep -q "olt-01 cordoned" || fail "cordon failed"
+ctl cordon -node olt-01 -undo >/dev/null
+
+echo "=== drain"
+out="$(ctl drain -node olt-01)"
+echo "$out"
+echo "$out" | grep -q "stays cordoned" || fail "drain did not complete"
+
+echo "=== nodes -top"
+out="$(ctl nodes -top)"
+echo "$out"
+echo "$out" | grep -q "BINPACK" || fail "nodes -top printed no scores"
+
+echo "=== graceful shutdown"
+kill -TERM "$daemon_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+    fail "geniod still running 10s after SIGTERM"
+fi
+wait "$daemon_pid" || fail "geniod exited non-zero"
+daemon_pid=""
+grep -q "shutdown complete" "$workdir/geniod.log" || fail "no clean shutdown marker"
+
+echo "e2e: PASS"

@@ -8,11 +8,13 @@ package genio_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"testing"
 
 	"genio"
+	"genio/api"
 	"genio/internal/container"
 	"genio/internal/rbac"
 )
@@ -286,6 +288,39 @@ func TestErrorTaxonomyCoversEveryRejectionPath(t *testing.T) {
 			for _, sentinel := range tc.notIs {
 				if errors.Is(err, sentinel) {
 					t.Errorf("errors.Is(%v, %v) = true, want false", err, sentinel)
+				}
+			}
+
+			// The same taxonomy must survive the control-plane wire: encode
+			// to the JSON wire error, round-trip the bytes, decode — and
+			// re-run every assertion against the reconstruction. This is
+			// what lets a remote genioctl branch on errors.Is/As exactly
+			// like in-process callers.
+			we := api.Encode(err)
+			if we == nil {
+				t.Fatal("Encode returned nil for a non-nil error")
+			}
+			data, jerr := json.Marshal(we)
+			if jerr != nil {
+				t.Fatalf("marshal wire error: %v", jerr)
+			}
+			var back api.WireError
+			if jerr := json.Unmarshal(data, &back); jerr != nil {
+				t.Fatalf("unmarshal wire error: %v", jerr)
+			}
+			decoded := api.Decode(&back)
+			if decoded == nil {
+				t.Fatal("Decode returned nil")
+			}
+			tc.as(t, decoded)
+			for _, sentinel := range tc.is {
+				if !errors.Is(decoded, sentinel) {
+					t.Errorf("decoded: errors.Is(%v, %v) = false, want true", decoded, sentinel)
+				}
+			}
+			for _, sentinel := range tc.notIs {
+				if errors.Is(decoded, sentinel) {
+					t.Errorf("decoded: errors.Is(%v, %v) = true, want false", decoded, sentinel)
 				}
 			}
 		})
