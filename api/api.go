@@ -176,6 +176,22 @@ func (s WatchSelector) ToCore() core.WatchSelector {
 	return core.WatchSelector{Tenant: s.Tenant, Workload: s.Workload, TerminalOnly: s.TerminalOnly}
 }
 
+// Matches reports whether the wire event passes the selector — the
+// wire-side mirror of the library's selector semantics, used where
+// events are filtered after conversion (e.g. SSE replay).
+func (s WatchSelector) Matches(ev LifecycleEvent) bool {
+	if s.Tenant != "" && ev.Tenant != s.Tenant {
+		return false
+	}
+	if s.Workload != "" && ev.Workload != s.Workload {
+		return false
+	}
+	if s.TerminalOnly && !ev.Terminal() {
+		return false
+	}
+	return true
+}
+
 // AddNodeRequest is the body of POST /v2/nodes.
 type AddNodeRequest struct {
 	Name     string    `json:"name"`

@@ -4,20 +4,35 @@ package api
 // certificates (internal/pki) rather than x509, so the wire cannot use
 // stock crypto/tls mutual TLS; instead every request carries a
 // detached signature in the mTLS role: the client attaches its
-// certificate and signs the request line with its private key, the
-// server verifies both against the cluster CA and extracts the
-// certificate's subject for RBAC. Same trust chain, same per-subject
-// authentication — just carried in headers instead of the handshake.
+// certificate and signs the request with its private key, the server
+// verifies both against the cluster CA and extracts the certificate's
+// subject for RBAC. Same trust chain, same per-subject authentication
+// — just carried in headers instead of the handshake.
+//
+// The signature covers method, path, canonical query string, date,
+// nonce, and a SHA-256 hash of the body, so a captured request cannot
+// be replayed against another endpoint, with altered parameters, or
+// with a substituted body. Replay of the request verbatim is stopped
+// in depth: the date must fall inside a small clock-skew window, and a
+// stateful Verifier additionally remembers nonces seen inside that
+// window and rejects duplicates.
 
 import (
+	"bytes"
 	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
 	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"genio/internal/pki"
 )
@@ -28,31 +43,82 @@ const (
 	// identity certificate.
 	HeaderCertificate = "X-Genio-Certificate"
 	// HeaderSignature carries the base64-encoded Ed25519 signature over
-	// the request line (see signingPayload).
+	// the request (see signingPayload).
 	HeaderSignature = "X-Genio-Signature"
 	// HeaderDate is the client's request timestamp (RFC3339); it is
-	// bound into the signature.
+	// bound into the signature and must fall within MaxClockSkew of the
+	// server's clock.
 	HeaderDate = "X-Genio-Date"
+	// HeaderNonce is a per-request random value bound into the
+	// signature; a stateful Verifier rejects a nonce it has already
+	// seen inside the clock-skew window.
+	HeaderNonce = "X-Genio-Nonce"
 	// HeaderSubject names the caller in anonymous (legacy-posture)
 	// mode, where no certificate is presented. Ignored whenever a
 	// certificate is present: the certificate's subject wins.
 	HeaderSubject = "X-Genio-Subject"
 )
 
+// MaxClockSkew is how far a request's date may drift from the
+// verifier's clock before the request is rejected as stale; it also
+// bounds how long a nonce is remembered.
+const MaxClockSkew = 2 * time.Minute
+
+// maxSignedBody bounds how much body a verifier will read to check the
+// body hash. Control-plane payloads are small JSON documents; anything
+// larger is rejected rather than hashed unbounded.
+const maxSignedBody = 4 << 20
+
 // ErrUnauthenticated reports a request whose identity could not be
-// established (missing or invalid certificate/signature).
+// established (missing or invalid certificate/signature, stale date,
+// replayed nonce).
 var ErrUnauthenticated = errors.New("api: request not authenticated")
 
-// signingPayload is the byte string the client signs: method, path, and
-// date, newline-joined. Binding the request line prevents replaying a
-// signature against a different endpoint.
-func signingPayload(method, path, date string) []byte {
-	return []byte(strings.Join([]string{method, path, date}, "\n"))
+// signingPayload is the byte string the client signs: method, path,
+// canonical (encoded) query string, date, nonce, and the hex SHA-256
+// of the body, newline-joined. Binding all request-controlled inputs
+// means a captured signature authorizes exactly one request shape.
+func signingPayload(method, path, query, date, nonce, bodyHash string) []byte {
+	return []byte(strings.Join([]string{method, path, query, date, nonce, bodyHash}, "\n"))
+}
+
+// hashBody returns the hex SHA-256 of the request body without
+// consuming it: the body is read (via GetBody when available) and
+// restored. An absent body hashes as the empty string.
+func hashBody(req *http.Request) (string, error) {
+	if req.Body == nil || req.Body == http.NoBody {
+		sum := sha256.Sum256(nil)
+		return hex.EncodeToString(sum[:]), nil
+	}
+	rd := req.Body
+	if req.GetBody != nil {
+		fresh, err := req.GetBody()
+		if err != nil {
+			return "", fmt.Errorf("api: reread body: %w", err)
+		}
+		rd = fresh
+	}
+	data, err := io.ReadAll(io.LimitReader(rd, maxSignedBody+1))
+	if err != nil {
+		return "", fmt.Errorf("api: read body: %w", err)
+	}
+	if len(data) > maxSignedBody {
+		return "", fmt.Errorf("api: body exceeds %d-byte signing limit", maxSignedBody)
+	}
+	if req.GetBody == nil {
+		// We consumed the only copy; hand the handler an equivalent one.
+		req.Body = io.NopCloser(bytes.NewReader(data))
+	} else {
+		rd.Close()
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // SignRequest authenticates an outgoing request with the identity: it
-// attaches the certificate and signs the request line. The date header
-// is set if absent.
+// attaches the certificate and signs the method, path, query, date,
+// nonce, and body hash. Date (fresh per request) and nonce are
+// generated unless already set.
 func SignRequest(req *http.Request, id *pki.Identity) error {
 	if id == nil || id.Certificate == nil {
 		return fmt.Errorf("%w: no identity", ErrUnauthenticated)
@@ -63,46 +129,160 @@ func SignRequest(req *http.Request, id *pki.Identity) error {
 	}
 	date := req.Header.Get(HeaderDate)
 	if date == "" {
-		date = id.Certificate.NotBefore.UTC().Format("2006-01-02T15:04:05Z")
+		date = time.Now().UTC().Format(time.RFC3339)
 		req.Header.Set(HeaderDate, date)
 	}
-	sig := ed25519.Sign(id.PrivateKey, signingPayload(req.Method, req.URL.Path, date))
+	nonce := req.Header.Get(HeaderNonce)
+	if nonce == "" {
+		var raw [12]byte
+		if _, err := rand.Read(raw[:]); err != nil {
+			return fmt.Errorf("api: nonce: %w", err)
+		}
+		nonce = hex.EncodeToString(raw[:])
+		req.Header.Set(HeaderNonce, nonce)
+	}
+	bodyHash, err := hashBody(req)
+	if err != nil {
+		return err
+	}
+	sig := ed25519.Sign(id.PrivateKey,
+		signingPayload(req.Method, req.URL.Path, req.URL.Query().Encode(), date, nonce, bodyHash))
 	req.Header.Set(HeaderCertificate, base64.StdEncoding.EncodeToString(certJSON))
 	req.Header.Set(HeaderSignature, base64.StdEncoding.EncodeToString(sig))
 	return nil
 }
 
-// VerifyRequest checks an incoming request's certificate and signature
-// against the CA and returns the authenticated subject. The
-// certificate must chain to the CA, be within its validity window, not
-// be revoked, and carry the service role; the signature must cover the
-// request line with the certificate's key.
-func VerifyRequest(r *http.Request, ca *pki.CA) (string, error) {
+// Verifier checks incoming requests' certificates and signatures
+// against a CA. It is stateful: nonces seen inside the clock-skew
+// window are remembered (and bounded by that window), so a verbatim
+// replay of a captured request is rejected even while its date is
+// still fresh. Safe for concurrent use.
+type Verifier struct {
+	ca   *pki.CA
+	skew time.Duration
+	now  func() time.Time
+
+	mu    sync.Mutex
+	seen  map[string]struct{} // nonces inside the window
+	order []nonceEntry        // expiry order == insertion order (clock is monotonic)
+}
+
+// nonceEntry pairs a remembered nonce with when it may be forgotten.
+type nonceEntry struct {
+	nonce string
+	exp   time.Time
+}
+
+// VerifierOption customizes a Verifier.
+type VerifierOption func(*Verifier)
+
+// WithClockSkew overrides the accepted date drift (default
+// MaxClockSkew).
+func WithClockSkew(d time.Duration) VerifierOption {
+	return func(v *Verifier) { v.skew = d }
+}
+
+// WithVerifierClock overrides the verifier's time source (tests).
+func WithVerifierClock(now func() time.Time) VerifierOption {
+	return func(v *Verifier) { v.now = now }
+}
+
+// NewVerifier builds a request verifier over the CA.
+func NewVerifier(ca *pki.CA, opts ...VerifierOption) *Verifier {
+	v := &Verifier{ca: ca, skew: MaxClockSkew, now: time.Now, seen: make(map[string]struct{})}
+	for _, o := range opts {
+		o(v)
+	}
+	return v
+}
+
+// Verify checks an incoming request and returns the authenticated
+// subject. The certificate must chain to the CA, be within its
+// validity window, not be revoked, and carry the service role; the
+// signature must cover the request (method, path, query, date, nonce,
+// body hash) with the certificate's key; the date must be within the
+// clock-skew window; and the nonce must not have been seen before.
+func (v *Verifier) Verify(r *http.Request) (string, error) {
+	subject, nonce, err := v.verifySignature(r)
+	if err != nil {
+		return "", err
+	}
+	if err := v.checkNonce(nonce); err != nil {
+		return "", err
+	}
+	return subject, nil
+}
+
+func (v *Verifier) verifySignature(r *http.Request) (subject, nonce string, err error) {
 	certB64 := r.Header.Get(HeaderCertificate)
 	sigB64 := r.Header.Get(HeaderSignature)
 	if certB64 == "" || sigB64 == "" {
-		return "", fmt.Errorf("%w: missing certificate or signature", ErrUnauthenticated)
+		return "", "", fmt.Errorf("%w: missing certificate or signature", ErrUnauthenticated)
 	}
 	certJSON, err := base64.StdEncoding.DecodeString(certB64)
 	if err != nil {
-		return "", fmt.Errorf("%w: bad certificate encoding", ErrUnauthenticated)
+		return "", "", fmt.Errorf("%w: bad certificate encoding", ErrUnauthenticated)
 	}
 	var cert pki.Certificate
 	if err := json.Unmarshal(certJSON, &cert); err != nil {
-		return "", fmt.Errorf("%w: bad certificate", ErrUnauthenticated)
+		return "", "", fmt.Errorf("%w: bad certificate", ErrUnauthenticated)
 	}
-	if err := ca.Verify(&cert, pki.RoleService); err != nil {
-		return "", fmt.Errorf("%w: %v", ErrUnauthenticated, err)
+	if err := v.ca.Verify(&cert, pki.RoleService); err != nil {
+		return "", "", fmt.Errorf("%w: %v", ErrUnauthenticated, err)
+	}
+	date := r.Header.Get(HeaderDate)
+	when, err := time.Parse(time.RFC3339, date)
+	if err != nil {
+		return "", "", fmt.Errorf("%w: bad date", ErrUnauthenticated)
+	}
+	if drift := v.now().Sub(when); drift > v.skew || drift < -v.skew {
+		return "", "", fmt.Errorf("%w: request date outside ±%s window", ErrUnauthenticated, v.skew)
+	}
+	nonce = r.Header.Get(HeaderNonce)
+	if nonce == "" {
+		return "", "", fmt.Errorf("%w: missing nonce", ErrUnauthenticated)
 	}
 	sig, err := base64.StdEncoding.DecodeString(sigB64)
 	if err != nil {
-		return "", fmt.Errorf("%w: bad signature encoding", ErrUnauthenticated)
+		return "", "", fmt.Errorf("%w: bad signature encoding", ErrUnauthenticated)
 	}
-	payload := signingPayload(r.Method, r.URL.Path, r.Header.Get(HeaderDate))
+	bodyHash, err := hashBody(r)
+	if err != nil {
+		return "", "", fmt.Errorf("%w: %v", ErrUnauthenticated, err)
+	}
+	payload := signingPayload(r.Method, r.URL.Path, r.URL.Query().Encode(), date, nonce, bodyHash)
 	if !ed25519.Verify(ed25519.PublicKey(cert.PublicKey), payload, sig) {
-		return "", fmt.Errorf("%w: signature mismatch", ErrUnauthenticated)
+		return "", "", fmt.Errorf("%w: signature mismatch", ErrUnauthenticated)
 	}
-	return cert.Subject, nil
+	return cert.Subject, nonce, nil
+}
+
+// checkNonce records the nonce and rejects one already seen. Entries
+// expire in insertion order (every entry lives exactly 2×skew), so
+// expired ones pop off the front of the FIFO in amortized O(1) and the
+// cache stays proportional to the request rate inside one window.
+func (v *Verifier) checkNonce(nonce string) error {
+	now := v.now()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.order) > 0 && now.After(v.order[0].exp) {
+		delete(v.seen, v.order[0].nonce)
+		v.order = v.order[1:]
+	}
+	if _, dup := v.seen[nonce]; dup {
+		return fmt.Errorf("%w: replayed nonce", ErrUnauthenticated)
+	}
+	v.seen[nonce] = struct{}{}
+	v.order = append(v.order, nonceEntry{nonce: nonce, exp: now.Add(2 * v.skew)})
+	return nil
+}
+
+// VerifyRequest is the stateless form of Verifier.Verify: everything
+// is checked except nonce replay (which needs memory across requests).
+// Servers should hold a Verifier; this suits one-shot verification.
+func VerifyRequest(r *http.Request, ca *pki.CA) (string, error) {
+	subject, _, err := NewVerifier(ca).verifySignature(r)
+	return subject, err
 }
 
 // identityFile is the on-disk JSON form of an identity.

@@ -2,9 +2,12 @@ package api
 
 import (
 	"errors"
+	"io"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"genio/internal/pki"
 )
@@ -90,6 +93,97 @@ func TestVerifyRejectsTamperedRequestLine(t *testing.T) {
 	replay.Header = req.Header.Clone()
 	if _, err := VerifyRequest(replay, ca); !errors.Is(err, ErrUnauthenticated) {
 		t.Fatalf("err = %v, want ErrUnauthenticated (replay must fail)", err)
+	}
+}
+
+func TestVerifyRejectsTamperedBody(t *testing.T) {
+	ca := testCA(t)
+	id, err := ca.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	req := httptest.NewRequest("POST", "http://geniod/v2/deployments",
+		strings.NewReader(`{"spec":{"name":"web"}}`))
+	if err := SignRequest(req, id); err != nil {
+		t.Fatalf("SignRequest: %v", err)
+	}
+	// Capture the signed headers, replay with an attacker-chosen body.
+	replay := httptest.NewRequest("POST", "http://geniod/v2/deployments",
+		strings.NewReader(`{"spec":{"name":"cryptominer"}}`))
+	replay.Header = req.Header.Clone()
+	if _, err := VerifyRequest(replay, ca); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated (body substitution must fail)", err)
+	}
+	// The untampered request still verifies, and the body survives
+	// verification intact for the handler.
+	if _, err := VerifyRequest(req, ca); err != nil {
+		t.Fatalf("VerifyRequest: %v", err)
+	}
+	body, _ := io.ReadAll(req.Body)
+	if string(body) != `{"spec":{"name":"web"}}` {
+		t.Fatalf("body consumed by verification: %q", body)
+	}
+}
+
+func TestVerifyRejectsTamperedQuery(t *testing.T) {
+	ca := testCA(t)
+	id, err := ca.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	req := httptest.NewRequest("GET", "http://geniod/v2/watch?tenant=acme", nil)
+	if err := SignRequest(req, id); err != nil {
+		t.Fatalf("SignRequest: %v", err)
+	}
+	replay := httptest.NewRequest("GET", "http://geniod/v2/watch?tenant=rival", nil)
+	replay.Header = req.Header.Clone()
+	if _, err := VerifyRequest(replay, ca); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated (query substitution must fail)", err)
+	}
+}
+
+func TestVerifyRejectsStaleDate(t *testing.T) {
+	ca := testCA(t)
+	id, err := ca.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	req := httptest.NewRequest("GET", "http://geniod/v2/nodes", nil)
+	req.Header.Set(HeaderDate, time.Now().Add(-2*MaxClockSkew).UTC().Format(time.RFC3339))
+	if err := SignRequest(req, id); err != nil {
+		t.Fatalf("SignRequest: %v", err)
+	}
+	if _, err := VerifyRequest(req, ca); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated (stale date must fail)", err)
+	}
+}
+
+func TestVerifierRejectsNonceReplay(t *testing.T) {
+	ca := testCA(t)
+	id, err := ca.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	req := httptest.NewRequest("POST", "http://geniod/v2/deployments", nil)
+	if err := SignRequest(req, id); err != nil {
+		t.Fatalf("SignRequest: %v", err)
+	}
+	v := NewVerifier(ca)
+	if _, err := v.Verify(req); err != nil {
+		t.Fatalf("first Verify: %v", err)
+	}
+	// Identical request captured and replayed: the date is still fresh,
+	// but the nonce has been seen.
+	if _, err := v.Verify(req); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated (verbatim replay must fail)", err)
+	}
+	// A fresh signature (new nonce) from the same identity still works.
+	fresh := httptest.NewRequest("POST", "http://geniod/v2/deployments", nil)
+	if err := SignRequest(fresh, id); err != nil {
+		t.Fatalf("SignRequest: %v", err)
+	}
+	if _, err := v.Verify(fresh); err != nil {
+		t.Fatalf("fresh request after replay rejection: %v", err)
 	}
 }
 

@@ -30,6 +30,10 @@ type HTTP struct {
 	// backoff bounds for stream/await reconnection.
 	backoffMin time.Duration
 	backoffMax time.Duration
+
+	// streamErr, when set, receives the terminal error that ended a
+	// watch stream's reconnect loop (e.g. 401 after cert revocation).
+	streamErr func(error)
 }
 
 // HTTPOption configures the HTTP client.
@@ -57,6 +61,17 @@ func WithHTTPClient(hc *http.Client) HTTPOption {
 // long-polls.
 func WithBackoff(min, max time.Duration) HTTPOption {
 	return func(c *HTTP) { c.backoffMin, c.backoffMax = min, max }
+}
+
+// WithStreamErrorHandler registers a callback for the terminal error
+// that ends a watch stream: reconnects retry transport failures
+// forever, but a control-plane refusal (unauthenticated after cert
+// revocation, RBAC change, platform closed) is permanent — the stream
+// channel closes and the handler, when set, receives the decoded typed
+// error. Without a handler the channel still closes; the error is just
+// not observable.
+func WithStreamErrorHandler(fn func(error)) HTTPOption {
+	return func(c *HTTP) { c.streamErr = fn }
 }
 
 // NewHTTP builds a remote client for a geniod base URL, e.g.
@@ -154,6 +169,17 @@ func (c *HTTP) DeployAsync(ctx context.Context, spec api.WorkloadSpec) (Deployme
 	return &httpDeployment{c: c, ref: ref}, nil
 }
 
+// Deployment rebuilds a handle for a known deployment ID (learned
+// out-of-band, e.g. from another process's DeployAsync). The server
+// still decides whether this client's subject may use it.
+func (c *HTTP) Deployment(id string) Deployment {
+	return &httpDeployment{c: c, ref: api.DeploymentRef{
+		ID:    id,
+		Poll:  "/v2/deployments/" + id,
+		Await: "/v2/deployments/" + id + "/await",
+	}}
+}
+
 // httpDeployment is the remote future handle.
 type httpDeployment struct {
 	c   *HTTP
@@ -210,9 +236,12 @@ func isTransportError(err error) bool {
 
 // Watch streams lifecycle events over SSE. A dropped stream reconnects
 // with exponential backoff (reset after the first event of a healthy
-// connection), reapplying the same selector — the subscription itself
-// is server-side and re-established per connection, so a kill mid-
-// stream loses at most the events published while disconnected.
+// connection), reapplying the same selector and presenting the last
+// seen event id as Last-Event-ID so the server replays what was
+// published while disconnected (bounded by its replay buffer). Only
+// transport failures reconnect: a control-plane refusal on reconnect
+// is permanent — the channel closes and the error goes to the
+// WithStreamErrorHandler callback, if any.
 func (c *HTTP) Watch(ctx context.Context, sel api.WatchSelector) (<-chan api.LifecycleEvent, error) {
 	query := url.Values{}
 	if sel.Tenant != "" {
@@ -226,7 +255,7 @@ func (c *HTTP) Watch(ctx context.Context, sel api.WatchSelector) (<-chan api.Lif
 	}
 	// Establish the first connection synchronously so selector typos and
 	// auth failures surface as errors, not silent empty streams.
-	resp, err := c.openStream(ctx, query)
+	resp, err := c.openStream(ctx, query, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -234,8 +263,9 @@ func (c *HTTP) Watch(ctx context.Context, sel api.WatchSelector) (<-chan api.Lif
 	go func() {
 		defer close(out)
 		backoff := c.backoffMin
+		var lastID uint64
 		for {
-			healthy := c.pumpStream(ctx, resp, out)
+			healthy := c.pumpStream(ctx, resp, out, &lastID)
 			if ctx.Err() != nil {
 				return
 			}
@@ -250,9 +280,18 @@ func (c *HTTP) Watch(ctx context.Context, sel api.WatchSelector) (<-chan api.Lif
 			if backoff *= 2; backoff > c.backoffMax {
 				backoff = c.backoffMax
 			}
-			resp, err = c.openStream(ctx, query)
+			resp, err = c.openStream(ctx, query, lastID)
 			if err != nil {
 				resp = nil
+				if ctx.Err() == nil && !isTransportError(err) {
+					// The control plane refused the reconnect (revoked
+					// cert, RBAC change, shutdown): retrying cannot
+					// succeed. End the stream rather than spin silently.
+					if c.streamErr != nil {
+						c.streamErr(err)
+					}
+					return
+				}
 				continue
 			}
 		}
@@ -260,10 +299,13 @@ func (c *HTTP) Watch(ctx context.Context, sel api.WatchSelector) (<-chan api.Lif
 	return out, nil
 }
 
-func (c *HTTP) openStream(ctx context.Context, query url.Values) (*http.Response, error) {
+func (c *HTTP) openStream(ctx context.Context, query url.Values, lastID uint64) (*http.Response, error) {
 	req, err := c.newRequest(ctx, http.MethodGet, "/v2/watch", query, nil)
 	if err != nil {
 		return nil, err
+	}
+	if lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastID, 10))
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
@@ -275,18 +317,24 @@ func (c *HTTP) openStream(ctx context.Context, query url.Values) (*http.Response
 	return resp, nil
 }
 
-// pumpStream forwards one connection's events; it returns true when at
-// least one event arrived (a healthy stream, resetting the backoff).
-func (c *HTTP) pumpStream(ctx context.Context, resp *http.Response, out chan<- api.LifecycleEvent) bool {
+// pumpStream forwards one connection's events, tracking the server's
+// `id:` fields in lastID for resume; it returns true when at least one
+// event arrived (a healthy stream, resetting the backoff).
+func (c *HTTP) pumpStream(ctx context.Context, resp *http.Response, out chan<- api.LifecycleEvent, lastID *uint64) bool {
 	if resp == nil {
 		return false
 	}
 	defer resp.Body.Close()
 	delivered := false
+	var pendingID uint64
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 4096), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
+		if id, ok := strings.CutPrefix(line, "id: "); ok {
+			pendingID, _ = strconv.ParseUint(id, 10, 64)
+			continue
+		}
 		if !strings.HasPrefix(line, "data: ") {
 			continue
 		}
@@ -297,6 +345,9 @@ func (c *HTTP) pumpStream(ctx context.Context, resp *http.Response, out chan<- a
 		select {
 		case out <- ev:
 			delivered = true
+			if pendingID > 0 {
+				*lastID = pendingID
+			}
 		case <-ctx.Done():
 			return delivered
 		}

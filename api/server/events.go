@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"genio/api"
+	"genio/internal/core"
+)
+
+// loggedEvent is one lifecycle event with its server-assigned stream
+// id — the SSE `id:` field, monotonically increasing for the server's
+// lifetime.
+type loggedEvent struct {
+	id uint64
+	ev api.LifecycleEvent
+}
+
+// eventLog is the server's single source of watch events: one
+// platform-wide lifecycle subscription assigns every event a stream id,
+// keeps a bounded replay ring, and fans out to per-connection
+// subscribers. A reconnecting watcher presents its Last-Event-ID and
+// receives the ring's events after that id before going live — replay
+// and live delivery draw from the same id sequence under one lock, so
+// there is no gap or duplication between them. Events older than the
+// ring (default 1024) are gone: a resume from that far back reports a
+// gap to the consumer's filter-free view but still streams everything
+// retained.
+type eventLog struct {
+	mu     sync.Mutex
+	ring   []loggedEvent
+	cap    int
+	nextID uint64
+	subs   map[*logSub]struct{}
+	closed bool
+}
+
+// logSub is one watch connection's subscription: an unbounded queue
+// (mirroring core.Platform.Watch's decoupling — a slow SSE write never
+// stalls the fan-out) drained via notify.
+type logSub struct {
+	log    *eventLog
+	queue  []loggedEvent
+	notify chan struct{}
+	closed bool
+}
+
+// newEventLog starts the log over the platform's full lifecycle
+// stream. The feeding goroutine exits when the platform closes (the
+// watch channel closes), closing every subscriber.
+func newEventLog(p *core.Platform, capacity int) (*eventLog, error) {
+	all, err := p.Watch(context.Background(), core.WatchSelector{})
+	if err != nil {
+		return nil, err
+	}
+	l := &eventLog{cap: capacity, nextID: 1, subs: make(map[*logSub]struct{})}
+	go func() {
+		for ev := range all {
+			l.append(api.FromLifecycleEvent(ev))
+		}
+		l.close()
+	}()
+	return l, nil
+}
+
+func (l *eventLog) append(ev api.LifecycleEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	le := loggedEvent{id: l.nextID, ev: ev}
+	l.nextID++
+	l.ring = append(l.ring, le)
+	if len(l.ring) > l.cap {
+		l.ring = l.ring[len(l.ring)-l.cap:]
+	}
+	for sub := range l.subs {
+		sub.queue = append(sub.queue, le)
+		select {
+		case sub.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	for sub := range l.subs {
+		sub.closed = true
+		select {
+		case sub.notify <- struct{}{}:
+		default:
+		}
+	}
+	l.subs = make(map[*logSub]struct{})
+}
+
+// latest returns the most recently assigned id (0 before any event).
+func (l *eventLog) latest() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextID - 1
+}
+
+// subscribe registers a live subscriber and returns the retained
+// events after afterID. Snapshot and registration happen under one
+// lock, so an event is either in the replay slice or queued live —
+// never both, never neither.
+func (l *eventLog) subscribe(afterID uint64) (replay []loggedEvent, sub *logSub) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, le := range l.ring {
+		if le.id > afterID {
+			replay = append(replay, le)
+		}
+	}
+	sub = &logSub{log: l, notify: make(chan struct{}, 1)}
+	if l.closed {
+		sub.closed = true
+	} else {
+		l.subs[sub] = struct{}{}
+	}
+	return replay, sub
+}
+
+// cancel removes the subscription.
+func (s *logSub) cancel() {
+	s.log.mu.Lock()
+	defer s.log.mu.Unlock()
+	delete(s.log.subs, s)
+}
+
+// next blocks for the next queued event; ok is false when the log
+// closed (platform shutdown) or ctx ended and nothing is queued.
+func (s *logSub) next(ctx context.Context) (loggedEvent, bool) {
+	for {
+		s.log.mu.Lock()
+		if len(s.queue) > 0 {
+			le := s.queue[0]
+			s.queue = s.queue[1:]
+			s.log.mu.Unlock()
+			return le, true
+		}
+		closed := s.closed
+		s.log.mu.Unlock()
+		if closed {
+			return loggedEvent{}, false
+		}
+		select {
+		case <-s.notify:
+		case <-ctx.Done():
+			return loggedEvent{}, false
+		}
+	}
+}

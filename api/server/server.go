@@ -7,12 +7,13 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"genio/api"
 	"genio/internal/core"
@@ -33,20 +34,51 @@ type Options struct {
 	// This is the legacy posture's insecure default; the secure posture
 	// leaves it off and rejects unauthenticated requests with 401.
 	AllowAnonymous bool
+	// TerminalRetention caps how many completed async deployments stay
+	// pollable. Beyond the cap the oldest terminal entries are evicted,
+	// so a long-running daemon's registry is bounded by its in-flight
+	// load plus this constant. 0 means the default (512).
+	TerminalRetention int
+	// WatchReplayBuffer is how many lifecycle events the SSE watch
+	// endpoint retains for Last-Event-ID resume. A reconnect asking for
+	// events older than the buffer gets only what is retained. 0 means
+	// the default (1024).
+	WatchReplayBuffer int
+}
+
+const (
+	defaultTerminalRetention = 512
+	defaultWatchReplay       = 1024
+)
+
+// asyncDeployment is one registry entry: the server-side future plus
+// the subject that created it, which gates status/await/cancel.
+type asyncDeployment struct {
+	d     *core.Deployment
+	owner string
 }
 
 // Server serves the control-plane v2 surface for one platform.
 type Server struct {
-	p    *core.Platform
-	opts Options
-	mux  *http.ServeMux
+	p        *core.Platform
+	opts     Options
+	mux      *http.ServeMux
+	verifier *api.Verifier
 
 	// Async deployment registry: the server-side ends of the Deployment
 	// futures handed out by POST /v2/deployments/async. Terminal entries
-	// are retained so clients can poll after completion.
+	// are retained (bounded by Options.TerminalRetention, oldest
+	// evicted first) so clients can poll after completion.
 	mu          sync.Mutex
-	deployments map[string]*core.Deployment
-	seq         atomic.Uint64
+	deployments map[string]*asyncDeployment
+	terminal    []string // eviction order: ids in completion order
+
+	// events is the SSE replay log, started lazily on the first watch so
+	// watch-free servers (benches, most tests) pay nothing. Once
+	// started it lives until the platform closes.
+	eventsOnce sync.Once
+	events     *eventLog
+	eventsErr  error
 
 	// inflight tracks async deployments for graceful shutdown; draining
 	// refuses new ones once shutdown begins. Both are guarded by mu so a
@@ -58,10 +90,17 @@ type Server struct {
 
 // New builds a server over the platform.
 func New(p *core.Platform, opts Options) *Server {
-	s := &Server{p: p, opts: opts, deployments: make(map[string]*core.Deployment)}
+	s := &Server{p: p, opts: opts, deployments: make(map[string]*asyncDeployment)}
 	if s.opts.CA == nil {
 		s.opts.CA = p.CA
 	}
+	if s.opts.TerminalRetention <= 0 {
+		s.opts.TerminalRetention = defaultTerminalRetention
+	}
+	if s.opts.WatchReplayBuffer <= 0 {
+		s.opts.WatchReplayBuffer = defaultWatchReplay
+	}
+	s.verifier = api.NewVerifier(s.opts.CA)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v2/healthz", s.handleHealthz)
 	s.handle("POST /v2/deployments", s.handleDeploy)
@@ -104,7 +143,7 @@ func (s *Server) handle(pattern string, fn func(w http.ResponseWriter, r *http.R
 // anonymous path, and only when the server allows it.
 func (s *Server) authenticate(r *http.Request) (string, error) {
 	if r.Header.Get(api.HeaderCertificate) != "" || !s.opts.AllowAnonymous {
-		return api.VerifyRequest(r, s.opts.CA)
+		return s.verifier.Verify(r)
 	}
 	if subject := r.Header.Get(api.HeaderSubject); subject != "" {
 		return subject, nil
@@ -202,13 +241,14 @@ func (s *Server) handleDeployAsync(w http.ResponseWriter, r *http.Request, subje
 		writeError(w, err)
 		return
 	}
-	id := "d-" + strconv.FormatUint(s.seq.Add(1), 10)
+	id := newDeploymentID()
 	s.mu.Lock()
-	s.deployments[id] = d
+	s.deployments[id] = &asyncDeployment{d: d, owner: subject}
 	s.mu.Unlock()
 	go func() {
 		defer s.inflight.Done()
 		<-d.Done()
+		s.retire(id)
 	}()
 	writeJSON(w, http.StatusAccepted, api.DeploymentRef{
 		ID:    id,
@@ -217,16 +257,53 @@ func (s *Server) handleDeployAsync(w http.ResponseWriter, r *http.Request, subje
 	})
 }
 
-func (s *Server) deployment(w http.ResponseWriter, r *http.Request) (*core.Deployment, string, bool) {
+// newDeploymentID mints an unguessable deployment id: knowing your own
+// ids must not let you address anyone else's.
+func newDeploymentID() string {
+	var raw [12]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		// crypto/rand never fails on supported platforms; refusing to
+		// mint a weaker id is the safe degradation.
+		panic(fmt.Sprintf("server: deployment id: %v", err))
+	}
+	return "d-" + hex.EncodeToString(raw[:])
+}
+
+// retire records a deployment as terminal and evicts the oldest
+// terminal entries beyond the retention cap, keeping the registry
+// bounded on long-running daemons.
+func (s *Server) retire(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.deployments[id]; !ok {
+		return
+	}
+	s.terminal = append(s.terminal, id)
+	for len(s.terminal) > s.opts.TerminalRetention {
+		delete(s.deployments, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+}
+
+// deployment resolves the path's deployment id and enforces access: the
+// creating subject manages its own deployments; anyone else needs the
+// RBAC permission for the deployment's tenant.
+func (s *Server) deployment(w http.ResponseWriter, r *http.Request, subject, verb string) (*core.Deployment, string, bool) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	d := s.deployments[id]
+	e := s.deployments[id]
 	s.mu.Unlock()
-	if d == nil {
+	if e == nil {
 		writeWireError(w, &api.WireError{Code: api.CodeBadRequest, Message: "unknown deployment " + id})
 		return nil, id, false
 	}
-	return d, id, true
+	if e.owner != subject {
+		if err := s.authorize(subject, verb, "deployments", e.d.Spec().Tenant); err != nil {
+			writeError(w, err)
+			return nil, id, false
+		}
+	}
+	return e.d, id, true
 }
 
 // status snapshots a deployment future into its wire form.
@@ -246,7 +323,7 @@ func deploymentStatus(id string, d *core.Deployment) api.DeploymentStatus {
 }
 
 func (s *Server) handleDeploymentStatus(w http.ResponseWriter, r *http.Request, subject string) {
-	d, id, ok := s.deployment(w, r)
+	d, id, ok := s.deployment(w, r, subject, "get")
 	if !ok {
 		return
 	}
@@ -256,7 +333,7 @@ func (s *Server) handleDeploymentStatus(w http.ResponseWriter, r *http.Request, 
 // handleDeploymentAwait long-polls the future: it responds when the
 // deployment reaches a terminal state or the request context dies.
 func (s *Server) handleDeploymentAwait(w http.ResponseWriter, r *http.Request, subject string) {
-	d, id, ok := s.deployment(w, r)
+	d, id, ok := s.deployment(w, r, subject, "get")
 	if !ok {
 		return
 	}
@@ -272,7 +349,7 @@ func (s *Server) handleDeploymentAwait(w http.ResponseWriter, r *http.Request, s
 // state after the cancel took effect (the pipeline stops at its next
 // cancellation point, so the terminal state lands asynchronously).
 func (s *Server) handleDeploymentCancel(w http.ResponseWriter, r *http.Request, subject string) {
-	d, id, ok := s.deployment(w, r)
+	d, id, ok := s.deployment(w, r, subject, "delete")
 	if !ok {
 		return
 	}
@@ -280,10 +357,24 @@ func (s *Server) handleDeploymentCancel(w http.ResponseWriter, r *http.Request, 
 	writeJSON(w, http.StatusAccepted, deploymentStatus(id, d))
 }
 
+// eventLog lazily starts the SSE replay log; the first watch request
+// pays the one platform-wide subscription, every later watch shares it
+// (and its id sequence, which Last-Event-ID resume depends on).
+func (s *Server) eventLog() (*eventLog, error) {
+	s.eventsOnce.Do(func() {
+		s.events, s.eventsErr = newEventLog(s.p, s.opts.WatchReplayBuffer)
+	})
+	return s.events, s.eventsErr
+}
+
 // handleWatch streams deploy.lifecycle transitions as server-sent
 // events, filtered by the selector in the query string (tenant,
-// workload, terminal=true). The stream runs until the client
-// disconnects or the platform closes.
+// workload, terminal=true). Every event carries an `id:` field; a
+// reconnecting client that presents Last-Event-ID receives the
+// retained events after that id (bounded by Options.WatchReplayBuffer
+// — older events are lost and the resume continues from what remains)
+// before going live. The stream runs until the client disconnects or
+// the platform closes.
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request, subject string) {
 	if err := s.authorize(subject, "watch", "deployments", r.URL.Query().Get("tenant")); err != nil {
 		writeError(w, err)
@@ -300,24 +391,52 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request, subject str
 		Workload:     q.Get("workload"),
 		TerminalOnly: q.Get("terminal") == "true",
 	}
-	ch, err := s.p.Watch(r.Context(), sel.ToCore())
+	log, err := s.eventLog()
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	// No Last-Event-ID means a fresh watch: live events only, exactly
+	// like a first connection.
+	afterID := log.latest()
+	if raw := r.Header.Get("Last-Event-ID"); raw != "" {
+		if v, err := strconv.ParseUint(raw, 10, 64); err == nil {
+			afterID = v
+		}
+	}
+	replay, sub := log.subscribe(afterID)
+	defer sub.cancel()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
-	for ev := range ch {
-		data, err := json.Marshal(api.FromLifecycleEvent(ev))
-		if err != nil {
-			continue
+	send := func(le loggedEvent) bool {
+		if !sel.Matches(le.ev) {
+			return true
 		}
-		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
-			return
+		data, err := json.Marshal(le.ev)
+		if err != nil {
+			return true
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", le.id, data); err != nil {
+			return false
 		}
 		flusher.Flush()
+		return true
+	}
+	for _, le := range replay {
+		if !send(le) {
+			return
+		}
+	}
+	for {
+		le, ok := sub.next(r.Context())
+		if !ok {
+			return
+		}
+		if !send(le) {
+			return
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -587,7 +588,7 @@ func (k *killAfterFirstEvent) Write(b []byte) (int, error) {
 		return 0, fmt.Errorf("connection killed")
 	}
 	n, err := k.w.Write(b)
-	if len(b) > 0 && b[0] == 'd' { // one "data: ..." frame
+	if bytes.Contains(b, []byte("data: ")) { // one event frame
 		k.events++
 	}
 	return n, err
@@ -603,6 +604,295 @@ func (k *killAfterFirstEvent) Flush() {
 		conn, _, err := k.rc.Hijack()
 		if err == nil {
 			_ = conn.Close()
+		}
+	}
+}
+
+// TestDeploymentEndpointsEnforceOwnership: async deployment status,
+// await, and cancel are reachable by their creator and by subjects the
+// RBAC table allows — not by any authenticated stranger holding the ID.
+func TestDeploymentEndpointsEnforceOwnership(t *testing.T) {
+	p := testPlatform(t)
+	_, ts, c := testServer(t, p)
+	ctx := context.Background()
+
+	d, err := c.DeployAsync(ctx, spec("owned", "acme/analytics:2.0.1", 100, 128))
+	if err != nil {
+		t.Fatalf("deploy async: %v", err)
+	}
+	if _, err := d.Await(ctx); err != nil {
+		t.Fatalf("await: %v", err)
+	}
+	// IDs must be unguessable, not sequential.
+	if d.ID() == "d-1" || len(d.ID()) < 10 {
+		t.Fatalf("deployment id %q looks enumerable", d.ID())
+	}
+
+	// mallory authenticates fine (valid cert) but has no RBAC grants and
+	// did not create the deployment: status and cancel are refused.
+	mid, err := p.CA.Issue("mallory", pki.RoleService)
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	mc := client.NewHTTP(ts.URL, client.WithIdentity(mid))
+	t.Cleanup(func() { _ = mc.Close() })
+	md := remoteHandle(t, mc, d.ID())
+	if _, err := md.Status(ctx); !errors.Is(err, orchestrator.ErrUnauthorized) {
+		t.Fatalf("stranger status err = %v, want ErrUnauthorized", err)
+	}
+	if err := md.Cancel(ctx); !errors.Is(err, orchestrator.ErrUnauthorized) {
+		t.Fatalf("stranger cancel err = %v, want ErrUnauthorized", err)
+	}
+
+	// An RBAC-privileged subject (bound to the wildcard operator role)
+	// may inspect deployments it did not create.
+	if err := p.RBAC.Bind("admin", "operator"); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	aid, err := p.CA.Issue("admin", pki.RoleService)
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	ac := client.NewHTTP(ts.URL, client.WithIdentity(aid))
+	t.Cleanup(func() { _ = ac.Close() })
+	if _, err := remoteHandle(t, ac, d.ID()).Status(ctx); err != nil {
+		t.Fatalf("admin status: %v", err)
+	}
+
+	// The owner, of course, still can.
+	if st, err := d.Status(ctx); err != nil || st.State != string(core.StateRunning) {
+		t.Fatalf("owner status: %+v / %v", st, err)
+	}
+}
+
+// remoteHandle rebuilds a Deployment handle for an existing server-side
+// ID on another client — the "stranger who learned the ID" scenario.
+func remoteHandle(t *testing.T, c *client.HTTP, id string) client.Deployment {
+	t.Helper()
+	return c.Deployment(id)
+}
+
+// TestTerminalDeploymentEviction: the async registry retains only the
+// configured number of completed deployments.
+func TestTerminalDeploymentEviction(t *testing.T) {
+	p := testPlatform(t)
+	srv := New(p, Options{TerminalRetention: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	id, err := p.CA.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	c := client.NewHTTP(ts.URL, client.WithIdentity(id))
+	t.Cleanup(func() { _ = c.Close() })
+	ctx := context.Background()
+
+	var handles []client.Deployment
+	for i := 0; i < 3; i++ {
+		d, err := c.DeployAsync(ctx, spec(fmt.Sprintf("evict-%d", i), "acme/analytics:2.0.1", 100, 128))
+		if err != nil {
+			t.Fatalf("deploy %d: %v", i, err)
+		}
+		if _, err := d.Await(ctx); err != nil {
+			t.Fatalf("await %d: %v", i, err)
+		}
+		handles = append(handles, d)
+	}
+	// Retirement runs just after the future settles; poll for the oldest
+	// entry to fall out.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := handles[0].Status(ctx)
+		var we *api.WireError
+		if errors.As(err, &we) && we.Code == api.CodeBadRequest {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("oldest terminal deployment never evicted (err = %v)", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The newest two stay pollable.
+	for i := 1; i < 3; i++ {
+		if _, err := handles[i].Status(ctx); err != nil {
+			t.Fatalf("deployment %d evicted too early: %v", i, err)
+		}
+	}
+}
+
+// TestWatchResumeReplaysMissedEvents: events published while the client
+// is disconnected must still arrive — the reconnect presents
+// Last-Event-ID and the server replays from its buffer.
+func TestWatchResumeReplaysMissedEvents(t *testing.T) {
+	p := testPlatform(t)
+	srv := New(p, Options{})
+
+	// The proxy moves through three modes for /v2/watch connections:
+	// 0 = serve but kill after the first event; 1 = refuse outright
+	// (transport error, client keeps retrying); 2 = pass through.
+	var mu sync.Mutex
+	mode := 0
+	setMode := func(m int) { mu.Lock(); mode = m; mu.Unlock() }
+	proxy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/watch" {
+			srv.Handler().ServeHTTP(w, r)
+			return
+		}
+		mu.Lock()
+		m := mode
+		mu.Unlock()
+		switch m {
+		case 0:
+			rc := http.NewResponseController(w)
+			srv.Handler().ServeHTTP(&killAfterFirstEvent{w: w, rc: rc}, r)
+		case 1:
+			conn, _, err := http.NewResponseController(w).Hijack()
+			if err == nil {
+				_ = conn.Close()
+			}
+		default:
+			srv.Handler().ServeHTTP(w, r)
+		}
+	})
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+
+	id, err := p.CA.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	c := client.NewHTTP(ts.URL, client.WithIdentity(id),
+		client.WithBackoff(5*time.Millisecond, 20*time.Millisecond))
+	t.Cleanup(func() { _ = c.Close() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eventsCh, err := c.Watch(ctx, api.WatchSelector{Tenant: "acme", TerminalOnly: true})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+
+	deployAsync := func(name string) {
+		t.Helper()
+		d, err := c.DeployAsync(ctx, spec(name, "acme/analytics:2.0.1", 100, 128))
+		if err != nil {
+			t.Fatalf("deploy async %s: %v", name, err)
+		}
+		if _, err := d.Await(ctx); err != nil {
+			t.Fatalf("await %s: %v", name, err)
+		}
+	}
+
+	// First event rides the doomed connection; receiving it records its
+	// id client-side, and flushing it kills the connection.
+	deployAsync("before-gap")
+	select {
+	case ev := <-eventsCh:
+		if ev.Workload != "before-gap" {
+			t.Fatalf("unexpected first event: %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event before the gap")
+	}
+
+	// Hold the client out while the next deployment completes: its
+	// terminal event lands only in the server's replay buffer.
+	setMode(1)
+	deployAsync("during-gap")
+	setMode(2)
+
+	// The reconnect must resume from Last-Event-ID and replay the missed
+	// terminal event, still honouring the terminal-only filter.
+	select {
+	case ev, ok := <-eventsCh:
+		if !ok {
+			t.Fatal("watch stream closed instead of resuming")
+		}
+		if ev.Workload != "during-gap" || !ev.Terminal() {
+			t.Fatalf("resumed event = %+v, want during-gap terminal", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event published during disconnect was never replayed")
+	}
+}
+
+// TestWatchStopsOnPermanentError: a reconnect the control plane refuses
+// (401/403) must end the stream and surface the typed error — not spin
+// silently forever.
+func TestWatchStopsOnPermanentError(t *testing.T) {
+	p := testPlatform(t)
+	srv := New(p, Options{})
+
+	var mu sync.Mutex
+	conns := 0
+	proxy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/watch" {
+			srv.Handler().ServeHTTP(w, r)
+			return
+		}
+		mu.Lock()
+		conns++
+		first := conns == 1
+		mu.Unlock()
+		if first {
+			rc := http.NewResponseController(w)
+			srv.Handler().ServeHTTP(&killAfterFirstEvent{w: w, rc: rc}, r)
+			return
+		}
+		// Every reconnect is now refused as if the cert were revoked.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusForbidden)
+		_ = json.NewEncoder(w).Encode(&api.WireError{
+			Code: api.CodeUnauthorized, Message: "subject revoked", Subject: "operator",
+		})
+	})
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+
+	id, err := p.CA.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	streamErr := make(chan error, 1)
+	c := client.NewHTTP(ts.URL, client.WithIdentity(id),
+		client.WithBackoff(5*time.Millisecond, 20*time.Millisecond),
+		client.WithStreamErrorHandler(func(err error) { streamErr <- err }))
+	t.Cleanup(func() { _ = c.Close() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eventsCh, err := c.Watch(ctx, api.WatchSelector{Tenant: "acme"})
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	// Drive one event through the doomed connection to trigger the kill
+	// and the fatal reconnect.
+	d, err := c.DeployAsync(ctx, spec("trigger", "acme/analytics:2.0.1", 100, 128))
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	if _, err := d.Await(ctx); err != nil {
+		t.Fatalf("await: %v", err)
+	}
+
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-eventsCh:
+			if !ok {
+				// Stream ended; the typed error must have been surfaced.
+				select {
+				case err := <-streamErr:
+					if !errors.Is(err, orchestrator.ErrUnauthorized) {
+						t.Fatalf("stream error = %v, want ErrUnauthorized", err)
+					}
+					return
+				case <-time.After(time.Second):
+					t.Fatal("stream closed but no error surfaced")
+				}
+			}
+		case <-deadline:
+			t.Fatal("stream never terminated after permanent refusal")
 		}
 	}
 }

@@ -134,6 +134,12 @@ func (c *connFlags) newClient(fixtureWorkloads int) (client.Interface, error) {
 			base = "http://" + base
 		}
 		var opts []client.HTTPOption
+		// A watch stream the server permanently refuses (revoked cert,
+		// RBAC change) closes its channel; say why instead of exiting
+		// silently.
+		opts = append(opts, client.WithStreamErrorHandler(func(err error) {
+			fmt.Fprintf(os.Stderr, "genioctl: watch stream ended: %v\n", err)
+		}))
 		if *c.identity != "" {
 			id, err := api.LoadIdentity(*c.identity)
 			if err != nil {
