@@ -5,7 +5,7 @@ SIM_SEED ?= 7
 GO_TAGS ?=
 # Benchmarks gated against the committed BENCH_*.json baseline and the
 # allowed ns/op regression (percent).
-BENCH_GATE ?= EventSpine|IncidentFanIn|IncidentStorm|DeployParallel|DeploySequentialAdmission|DeployBatch|DeployAsyncPipelined|HTTPDeployThroughput|Schedule1kNodes|FailoverReschedule
+BENCH_GATE ?= EventSpine|IncidentFanIn|IncidentStorm|DeployParallel|DeploySequentialAdmission|DeployBatch|DeployAsyncPipelined|HTTPDeployThroughput|Schedule1kNodes|FailoverReschedule|WALDeployThroughput
 BENCH_THRESHOLD ?= 25
 BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 

@@ -69,6 +69,15 @@ const MaxClockSkew = 2 * time.Minute
 // larger is rejected rather than hashed unbounded.
 const maxSignedBody = 4 << 20
 
+// DefaultNonceCapacity bounds the replay cache by entry count. Time
+// alone is not enough: every remembered nonce lives a full 2×skew, so
+// an attacker flooding unique nonces (each request signed by any valid
+// identity — including its own) could grow the cache without limit
+// inside one window. Past the cap the oldest nonces are evicted first,
+// trading a sliver of replay protection at the flood margin for a hard
+// memory bound.
+const DefaultNonceCapacity = 65536
+
 // ErrUnauthenticated reports a request whose identity could not be
 // established (missing or invalid certificate/signature, stale date,
 // replayed nonce).
@@ -162,9 +171,10 @@ type Verifier struct {
 	skew time.Duration
 	now  func() time.Time
 
-	mu    sync.Mutex
-	seen  map[string]struct{} // nonces inside the window
-	order []nonceEntry        // expiry order == insertion order (clock is monotonic)
+	mu        sync.Mutex
+	seen      map[string]struct{} // nonces inside the window
+	order     []nonceEntry        // expiry order == insertion order (clock is monotonic)
+	maxNonces int                 // hard cap on remembered nonces (oldest evicted first)
 }
 
 // nonceEntry pairs a remembered nonce with when it may be forgotten.
@@ -187,9 +197,21 @@ func WithVerifierClock(now func() time.Time) VerifierOption {
 	return func(v *Verifier) { v.now = now }
 }
 
+// WithNonceCapacity overrides the replay-cache entry cap (default
+// DefaultNonceCapacity). Values below 1 are clamped to 1.
+func WithNonceCapacity(n int) VerifierOption {
+	return func(v *Verifier) {
+		if n < 1 {
+			n = 1
+		}
+		v.maxNonces = n
+	}
+}
+
 // NewVerifier builds a request verifier over the CA.
 func NewVerifier(ca *pki.CA, opts ...VerifierOption) *Verifier {
-	v := &Verifier{ca: ca, skew: MaxClockSkew, now: time.Now, seen: make(map[string]struct{})}
+	v := &Verifier{ca: ca, skew: MaxClockSkew, now: time.Now,
+		seen: make(map[string]struct{}), maxNonces: DefaultNonceCapacity}
 	for _, o := range opts {
 		o(v)
 	}
@@ -260,7 +282,9 @@ func (v *Verifier) verifySignature(r *http.Request) (subject, nonce string, err 
 // checkNonce records the nonce and rejects one already seen. Entries
 // expire in insertion order (every entry lives exactly 2×skew), so
 // expired ones pop off the front of the FIFO in amortized O(1) and the
-// cache stays proportional to the request rate inside one window.
+// cache stays proportional to the request rate inside one window — and
+// is additionally hard-capped at maxNonces entries, evicting oldest
+// first, so a flood of unique nonces cannot exhaust memory.
 func (v *Verifier) checkNonce(nonce string) error {
 	now := v.now()
 	v.mu.Lock()
@@ -271,6 +295,10 @@ func (v *Verifier) checkNonce(nonce string) error {
 	}
 	if _, dup := v.seen[nonce]; dup {
 		return fmt.Errorf("%w: replayed nonce", ErrUnauthenticated)
+	}
+	for len(v.order) >= v.maxNonces {
+		delete(v.seen, v.order[0].nonce)
+		v.order = v.order[1:]
 	}
 	v.seen[nonce] = struct{}{}
 	v.order = append(v.order, nonceEntry{nonce: nonce, exp: now.Add(2 * v.skew)})

@@ -2,10 +2,12 @@ package api
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -184,6 +186,77 @@ func TestVerifierRejectsNonceReplay(t *testing.T) {
 	}
 	if _, err := v.Verify(fresh); err != nil {
 		t.Fatalf("fresh request after replay rejection: %v", err)
+	}
+}
+
+// TestNonceCacheBoundedUnderFlood: a flood of unique nonces — each one
+// validly signed, so it passes every other check — must not grow the
+// replay cache past its capacity. Before the cap, 2×skew worth of flood
+// traffic was resident simultaneously: memory-exhaustion DoS.
+func TestNonceCacheBoundedUnderFlood(t *testing.T) {
+	const capacity = 64
+	v := NewVerifier(testCA(t), WithNonceCapacity(capacity))
+	for i := 0; i < 2*capacity; i++ {
+		if err := v.checkNonce(fmt.Sprintf("nonce-%04d", i)); err != nil {
+			t.Fatalf("unique nonce %d rejected: %v", i, err)
+		}
+	}
+	v.mu.Lock()
+	seen, order := len(v.seen), len(v.order)
+	v.mu.Unlock()
+	if seen > capacity || order > capacity {
+		t.Fatalf("cache grew past cap: seen=%d order=%d, cap=%d", seen, order, capacity)
+	}
+	// The newest nonce is still remembered: replay rejected.
+	if err := v.checkNonce(fmt.Sprintf("nonce-%04d", 2*capacity-1)); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("recent replay = %v, want ErrUnauthenticated", err)
+	}
+	// The oldest was evicted to make room — the documented trade-off at
+	// the flood margin.
+	if err := v.checkNonce("nonce-0000"); err != nil {
+		t.Fatalf("evicted nonce should be accepted again: %v", err)
+	}
+}
+
+// TestVerifyConcurrentFlood exercises the full Verify path from many
+// goroutines at once (run under -race): concurrent signature checks,
+// nonce bookkeeping, and capacity eviction must be data-race free.
+func TestVerifyConcurrentFlood(t *testing.T) {
+	ca := testCA(t)
+	id, err := ca.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	v := NewVerifier(ca, WithNonceCapacity(32))
+	const workers, perWorker = 8, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				req := httptest.NewRequest("GET", "http://geniod/v2/nodes", nil)
+				if err := SignRequest(req, id); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := v.Verify(req); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent Verify: %v", err)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.seen) > 32 || len(v.order) > 32 {
+		t.Fatalf("cache exceeded cap under concurrency: seen=%d order=%d", len(v.seen), len(v.order))
 	}
 }
 

@@ -26,10 +26,17 @@ type loggedEvent struct {
 // ring (default 1024) are gone: a resume from that far back reports a
 // gap to the consumer's filter-free view but still streams everything
 // retained.
+//
+// The ring is a true circular buffer: a fixed backing array overwritten
+// in place. The earlier re-slicing form (ring = ring[len-cap:]) kept
+// the evicted prefix reachable through the backing array until append
+// happened to reallocate, roughly doubling retained memory at steady
+// state.
 type eventLog struct {
 	mu     sync.Mutex
-	ring   []loggedEvent
-	cap    int
+	buf    []loggedEvent // fixed-size circular buffer
+	head   int           // index of the oldest retained event
+	size   int           // retained count (<= len(buf))
 	nextID uint64
 	subs   map[*logSub]struct{}
 	closed bool
@@ -46,14 +53,16 @@ type logSub struct {
 }
 
 // newEventLog starts the log over the platform's full lifecycle
-// stream. The feeding goroutine exits when the platform closes (the
-// watch channel closes), closing every subscriber.
-func newEventLog(p *core.Platform, capacity int) (*eventLog, error) {
-	all, err := p.Watch(context.Background(), core.WatchSelector{})
+// stream, bounded by ctx — the server's lifetime, not the process's.
+// The feeding goroutine exits (closing every subscriber) when ctx is
+// cancelled or the platform closes; either way the platform-side Watch
+// subscription is released with it.
+func newEventLog(ctx context.Context, p *core.Platform, capacity int) (*eventLog, error) {
+	all, err := p.Watch(ctx, core.WatchSelector{})
 	if err != nil {
 		return nil, err
 	}
-	l := &eventLog{cap: capacity, nextID: 1, subs: make(map[*logSub]struct{})}
+	l := &eventLog{buf: make([]loggedEvent, capacity), nextID: 1, subs: make(map[*logSub]struct{})}
 	go func() {
 		for ev := range all {
 			l.append(api.FromLifecycleEvent(ev))
@@ -68,9 +77,14 @@ func (l *eventLog) append(ev api.LifecycleEvent) {
 	defer l.mu.Unlock()
 	le := loggedEvent{id: l.nextID, ev: ev}
 	l.nextID++
-	l.ring = append(l.ring, le)
-	if len(l.ring) > l.cap {
-		l.ring = l.ring[len(l.ring)-l.cap:]
+	if l.size < len(l.buf) {
+		l.buf[(l.head+l.size)%len(l.buf)] = le
+		l.size++
+	} else {
+		// Full: overwrite the oldest slot in place. Nothing evicted stays
+		// reachable — the slot's previous occupant is gone with this write.
+		l.buf[l.head] = le
+		l.head = (l.head + 1) % len(l.buf)
 	}
 	for sub := range l.subs {
 		sub.queue = append(sub.queue, le)
@@ -109,7 +123,8 @@ func (l *eventLog) latest() uint64 {
 func (l *eventLog) subscribe(afterID uint64) (replay []loggedEvent, sub *logSub) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for _, le := range l.ring {
+	for i := 0; i < l.size; i++ {
+		le := l.buf[(l.head+i)%len(l.buf)]
 		if le.id > afterID {
 			replay = append(replay, le)
 		}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"genio/api"
+	"genio/internal/orchestrator"
+)
+
+// TestServerCloseReleasesWatchFeeder: the event-log feeder goroutine and
+// its platform-side Watch subscription must be tied to the SERVER's
+// lifetime, not the process's. Before the fix the feeder was started on
+// context.Background(), so closing a server while its platform lived
+// leaked both until the platform itself shut down.
+func TestServerCloseReleasesWatchFeeder(t *testing.T) {
+	p := testPlatform(t)
+	srv := New(p, Options{})
+	log, err := srv.eventLog()
+	if err != nil {
+		t.Fatalf("eventLog: %v", err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	// The feeder observes the cancelled context via its closing watch
+	// channel and marks the log closed; poll for it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		log.mu.Lock()
+		closed := log.closed
+		log.mu.Unlock()
+		if closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("event log never closed after server Close — feeder goroutine leaked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The platform the server did not own is still fully alive.
+	if _, err := p.AddEdgeNode("olt-09", orchestrator.Resources{CPUMilli: 1000, MemoryMB: 1024}); err != nil {
+		t.Fatalf("platform must survive server close: %v", err)
+	}
+}
+
+// TestEventLogBoundedRetention: the replay ring must retain at most its
+// capacity and never pin evicted events. The earlier tail re-slicing
+// kept evicted entries reachable through the shared backing array
+// (roughly doubling retained memory); the circular buffer overwrites
+// slots in place, so the backing array IS the retention bound.
+func TestEventLogBoundedRetention(t *testing.T) {
+	const capacity = 8
+	l := &eventLog{buf: make([]loggedEvent, capacity), nextID: 1, subs: make(map[*logSub]struct{})}
+	const total = 5 * capacity
+	for i := 0; i < total; i++ {
+		l.append(api.LifecycleEvent{Workload: fmt.Sprintf("wl-%03d", i)})
+	}
+	l.mu.Lock()
+	bufLen, size := len(l.buf), l.size
+	l.mu.Unlock()
+	if bufLen != capacity || size != capacity {
+		t.Fatalf("retention grew: len(buf)=%d size=%d, want %d", bufLen, size, capacity)
+	}
+	// Replay returns exactly the newest cap events, oldest first, with
+	// contiguous ids.
+	replay, sub := l.subscribe(0)
+	defer sub.cancel()
+	if len(replay) != capacity {
+		t.Fatalf("replay returned %d events, want %d", len(replay), capacity)
+	}
+	for i, le := range replay {
+		wantID := uint64(total - capacity + 1 + i)
+		if le.id != wantID {
+			t.Fatalf("replay[%d].id = %d, want %d", i, le.id, wantID)
+		}
+		if want := fmt.Sprintf("wl-%03d", total-capacity+i); le.ev.Workload != want {
+			t.Fatalf("replay[%d].workload = %q, want %q", i, le.ev.Workload, want)
+		}
+	}
+}

@@ -74,8 +74,12 @@ type Server struct {
 	terminal    []string // eviction order: ids in completion order
 
 	// events is the SSE replay log, started lazily on the first watch so
-	// watch-free servers (benches, most tests) pay nothing. Once
-	// started it lives until the platform closes.
+	// watch-free servers (benches, most tests) pay nothing. Once started
+	// it lives until the SERVER closes (ctx), not the platform: a server
+	// discarded while its platform lives must not leak the feeder
+	// goroutine and its platform-side Watch subscription.
+	ctx        context.Context
+	cancel     context.CancelFunc
 	eventsOnce sync.Once
 	events     *eventLog
 	eventsErr  error
@@ -91,6 +95,7 @@ type Server struct {
 // New builds a server over the platform.
 func New(p *core.Platform, opts Options) *Server {
 	s := &Server{p: p, opts: opts, deployments: make(map[string]*asyncDeployment)}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	if s.opts.CA == nil {
 		s.opts.CA = p.CA
 	}
@@ -362,7 +367,7 @@ func (s *Server) handleDeploymentCancel(w http.ResponseWriter, r *http.Request, 
 // (and its id sequence, which Last-Event-ID resume depends on).
 func (s *Server) eventLog() (*eventLog, error) {
 	s.eventsOnce.Do(func() {
-		s.events, s.eventsErr = newEventLog(s.p, s.opts.WatchReplayBuffer)
+		s.events, s.eventsErr = newEventLog(s.ctx, s.p, s.opts.WatchReplayBuffer)
 	})
 	return s.events, s.eventsErr
 }
@@ -636,14 +641,22 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
+// Close releases server-held resources — today the watch feeder
+// goroutine and its platform-side subscription — WITHOUT touching the
+// platform, which the server does not own. Idempotent; use it when a
+// server is discarded while its platform lives on (tests, the
+// simulator, embedded hosts). Shutdown calls it.
+func (s *Server) Close() { s.cancel() }
+
 // Shutdown completes the graceful sequence after the listener has
 // stopped accepting: drain in-flight deployments, flush the spine,
-// close the platform. Safe to call once.
+// release server resources, close the platform. Safe to call once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.Drain(ctx)
 	if err == nil {
 		s.p.Flush()
 	}
+	s.Close()
 	s.p.Close()
 	return err
 }

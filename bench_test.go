@@ -30,6 +30,7 @@ import (
 	"genio/internal/malware"
 	"genio/internal/orchestrator"
 	"genio/internal/orchestrator/scheduler"
+	"genio/internal/persist"
 	"genio/internal/pki"
 	"genio/internal/pon"
 	"genio/internal/rbac"
@@ -396,9 +397,9 @@ func BenchmarkAdmissionPipeline(b *testing.B) {
 
 // benchDeployPlatform builds a secure platform ready to admit the signed
 // analytics image for tenant acme without quota limits.
-func benchDeployPlatform(b *testing.B) *core.Platform {
+func benchDeployPlatform(b *testing.B, opts ...core.Option) *core.Platform {
 	b.Helper()
-	p, err := core.New(core.SecureConfig())
+	p, err := core.New(core.SecureConfig(), opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -475,6 +476,30 @@ func BenchmarkDeployParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			name := fmt.Sprintf("par-%d", seq.Add(1))
+			if _, err := p.Deploy("ci", benchSpec(name)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWALDeployThroughput is BenchmarkDeployParallel over a
+// WAL-backed platform: every placement appends to the durable log. The
+// group commit keeps the fsync off the deploy path, so this must stay
+// within a whisker of the in-memory parallel baseline — it gates the
+// persistence layer's central performance claim.
+func BenchmarkWALDeployThroughput(b *testing.B) {
+	store, err := persist.OpenWAL(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchDeployPlatform(b, core.WithStore(store))
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			name := fmt.Sprintf("wal-%d", seq.Add(1))
 			if _, err := p.Deploy("ci", benchSpec(name)); err != nil {
 				b.Fatal(err)
 			}

@@ -38,6 +38,7 @@ import (
 	"genio/api/server"
 	"genio/internal/core"
 	"genio/internal/demo"
+	"genio/internal/persist"
 	"genio/internal/pki"
 )
 
@@ -62,6 +63,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	identitySubject := fs.String("identity-subject", "genioctl", "subject of the -identity-out client identity")
 	anonymous := fs.Bool("allow-anonymous", false, "accept unauthenticated requests, trusting the subject header")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight deployments")
+	dataDir := fs.String("data-dir", "", "durable state directory (write-ahead log + snapshots); recovered on boot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,6 +77,17 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		return fmt.Errorf("unknown posture %q", *posture)
 	}
 
+	var opts []core.Option
+	var store persist.Store
+	if *dataDir != "" {
+		wal, err := persist.OpenWAL(*dataDir)
+		if err != nil {
+			return err
+		}
+		store = wal
+		opts = append(opts, core.WithStore(store))
+	}
+
 	var p *core.Platform
 	var err error
 	if *demoFixture {
@@ -82,12 +95,21 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		if *anonymous {
 			subjects = append(subjects, "anonymous")
 		}
-		p, err = demo.Platform(cfg, subjects...)
+		p, err = demo.PlatformOpts(cfg, opts, subjects...)
 	} else {
-		p, err = core.New(cfg)
+		p, err = core.New(cfg, opts...)
 	}
 	if err != nil {
+		// The platform owns the store once New succeeds; before that,
+		// release it here.
+		if store != nil {
+			_ = store.Close()
+		}
 		return err
+	}
+	if *dataDir != "" {
+		fmt.Fprintf(out, "durable state in %s: %d nodes, %d workloads, %d incidents recovered\n",
+			*dataDir, len(p.Cluster.Nodes()), len(p.Cluster.Workloads()), len(p.Incidents()))
 	}
 
 	srv := server.New(p, server.Options{CA: p.CA, AllowAnonymous: *anonymous})

@@ -24,6 +24,7 @@ import (
 	"genio/internal/host"
 	"genio/internal/malware"
 	"genio/internal/orchestrator"
+	"genio/internal/persist"
 	"genio/internal/pki"
 	"genio/internal/pon"
 	"genio/internal/rbac"
@@ -199,6 +200,19 @@ type Platform struct {
 	// contract (late incidents apply synchronously).
 	closed atomic.Bool
 
+	// Durable state (see persist.go). store is nil unless WithStore was
+	// given; snapMu serializes snapshots (and lets close wait out an
+	// in-flight one); persistMu keeps the incident log append and its
+	// snapshot mirror (incMirror) in lockstep.
+	store      persist.Store
+	snapEvery  int
+	mutCount   atomic.Int64 // records since the last snapshot trigger
+	snapSize   atomic.Int64 // last snapshot's size (adaptive cadence)
+	snapMu     sync.Mutex
+	persistMu  sync.Mutex
+	incMirror  []persist.Incident
+	storeClose sync.Once
+
 	// Far-edge state (see faredge.go).
 	feMu              sync.Mutex
 	farEdge           map[string]*farEdgeState
@@ -252,6 +266,14 @@ func New(cfg Config, opts ...Option) (*Platform, error) {
 	}
 	if cfg.AdmissionScanning {
 		p.registerScanners()
+	}
+	if p.store != nil {
+		// Recover BEFORE installing the mutation sink, so the import is
+		// not re-logged; every mutation after this point is durable.
+		if err := p.recoverFromStore(); err != nil {
+			return nil, fmt.Errorf("recover store: %w", err)
+		}
+		cluster.SetMutationSink(p.persistMutation)
 	}
 	return p, nil
 }
@@ -453,7 +475,12 @@ func (p *Platform) AddEdgeNodeContext(ctx context.Context, name string, capacity
 	p.nodeMu.Lock()
 	p.nodes[name] = node
 	p.nodeMu.Unlock()
-	p.Cluster.AddNode(name, capacity)
+	// A recovered cluster already holds this member's placements; re-running
+	// the provisioning pipeline (re-attestation, fresh identity) must not
+	// re-register it as an empty node and orphan them.
+	if !p.Cluster.HasNode(name) {
+		p.Cluster.AddNode(name, capacity)
+	}
 	return node, nil
 }
 
@@ -617,6 +644,7 @@ func (p *Platform) recordIncident(i Incident) {
 		i.AtMs = p.now()
 	}
 	i.Seq = p.incview.seq.Add(1)
+	p.persistIncident(i)
 	err := p.spine.Publish(events.Event{
 		Topic: events.TopicIncident, Key: incidentKey(i), AtMs: i.AtMs, Payload: i,
 	})
@@ -652,6 +680,9 @@ func (p *Platform) FlushContext(ctx context.Context) error {
 func (p *Platform) Close() {
 	p.closed.Store(true)
 	p.spine.Close()
+	// Graceful shutdown: final compacted snapshot, then release the store.
+	// (Crash is the flush-only variant.)
+	p.closeStore(true)
 }
 
 // ClosedError reports a control-plane operation on a closed platform.

@@ -22,7 +22,17 @@ import (
 // Platform builds the demo platform in the given posture and binds each
 // subject to a wildcard admin role.
 func Platform(cfg core.Config, subjects ...string) (*core.Platform, error) {
-	p, err := core.New(cfg)
+	return PlatformOpts(cfg, nil, subjects...)
+}
+
+// PlatformOpts is Platform with platform construction options threaded
+// through — geniod uses it to attach a durable store (core.WithStore)
+// under the demo fixture. Seeding over recovered state is safe: node
+// re-registration is skipped for recovered members and the image set is
+// content-addressed, so re-pushing it reproduces the digests the
+// recovered admission-verdict cache was keyed by.
+func PlatformOpts(cfg core.Config, opts []core.Option, subjects ...string) (*core.Platform, error) {
+	p, err := core.New(cfg, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("platform: %w", err)
 	}

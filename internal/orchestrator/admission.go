@@ -147,6 +147,7 @@ func (c *Cluster) runAdmission(ctx context.Context, spec WorkloadSpec, img *cont
 			rejected = true
 		} else if keys[i] != "" {
 			c.admCache.Store(keys[i], struct{}{})
+			c.mutate(Mutation{Kind: MutVerdict, Key: keys[i]})
 		}
 	}
 	if rejected {

@@ -79,6 +79,7 @@ func (c *Cluster) failNode(name string) (*FailoverResult, []movedWorkload, error
 	sort.Slice(victims, func(i, j int) bool { return victims[i].Spec.Name < victims[j].Spec.Name })
 	delete(c.nodes, name)
 	c.rebuildCandidatesLocked()
+	c.mutate(Mutation{Kind: MutNodeRemove, Node: name})
 	_ = n
 
 	res := &FailoverResult{Node: name, AtMs: c.nowMs()}
@@ -108,10 +109,12 @@ func (c *Cluster) failNode(name string) (*FailoverResult, []movedWorkload, error
 		}
 		if err != nil {
 			delete(c.workloads, w.Spec.Name)
+			c.mutate(Mutation{Kind: MutStop, Name: w.Spec.Name})
 			res.Evicted = append(res.Evicted, w.Spec.Name)
 			continue
 		}
 		*w = *moved
+		c.mutatePlace(w)
 		c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].Add(w.Spec.Resources)
 		res.Rescheduled = append(res.Rescheduled, w.Spec.Name)
 		rescheduled = append(rescheduled, movedWorkload{

@@ -66,6 +66,9 @@ func (c *Cluster) setCordon(name string, cordoned bool, detail string) error {
 	n.cordoned = cordoned
 	n.cordonOwner = 0
 	n.cordonEpoch++
+	if changed {
+		c.mutate(Mutation{Kind: MutNodeCordon, Node: name, Cordoned: cordoned})
+	}
 	n.mu.Unlock()
 	if changed {
 		kind := "node-cordon"
@@ -183,6 +186,7 @@ func (c *Cluster) DrainObserved(ctx context.Context, name string, observe func(D
 	n.cordoned = true
 	if !wasCordoned {
 		n.cordonOwner = drainID
+		c.mutate(Mutation{Kind: MutNodeCordon, Node: name, Cordoned: true})
 	}
 	startEpoch := n.cordonEpoch
 	n.mu.Unlock()
@@ -219,6 +223,7 @@ func (c *Cluster) DrainObserved(ctx context.Context, name string, observe func(D
 		if undo {
 			n.cordoned = false
 			n.cordonOwner = 0
+			c.mutate(Mutation{Kind: MutNodeCordon, Node: name, Cordoned: false})
 		}
 		n.mu.Unlock()
 		if undo {
@@ -299,8 +304,9 @@ func (c *Cluster) DrainObserved(ctx context.Context, name string, observe func(D
 	// and cordoned" is the strongest statement standing; only explicit
 	// operator intent overrides it.
 	n.mu.Lock()
-	if n.cordonEpoch == startEpoch {
+	if n.cordonEpoch == startEpoch && !n.cordoned {
 		n.cordoned = true
+		c.mutate(Mutation{Kind: MutNodeCordon, Node: name, Cordoned: true})
 	}
 	n.cordonOwner = 0
 	n.mu.Unlock()
@@ -353,6 +359,7 @@ func (c *Cluster) migrateNext(name string, own *node, initial map[string]bool) (
 	}
 	old := *w
 	*w = *sched
+	c.mutatePlace(w)
 	own.mu.Lock()
 	own.releaseLocked(old.Spec.Name, old.VMID, old.Spec.Resources, old.Spec.Tenant)
 	own.mu.Unlock()

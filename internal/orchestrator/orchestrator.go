@@ -330,6 +330,10 @@ type Cluster struct {
 	// audit, when set, receives a record per control-plane decision.
 	audit atomic.Pointer[AuditSink]
 
+	// mutations, when set, receives a typed record per durable state
+	// change, emitted inside the lock that applied it (see state.go).
+	mutations atomic.Pointer[MutationSink]
+
 	vmSeq atomic.Int64
 	// drainSeq hands out drain ids — the cordon-ownership tokens that
 	// keep one drain's rollback from lifting another drain's cordon.
@@ -413,6 +417,7 @@ func (c *Cluster) AddNode(name string, capacity Resources) {
 	c.nodes[name] = &node{name: name, capacity: capacity,
 		vms: make(map[string]*VM), tenants: make(map[string]int)}
 	c.rebuildCandidatesLocked()
+	c.mutate(Mutation{Kind: MutNodeJoin, Node: name, Capacity: capacity})
 	c.mu.Unlock()
 	c.auditEvent(AuditEvent{Kind: "node-join", Node: name, Allowed: true,
 		Detail: fmt.Sprintf("capacity cpu=%dm mem=%dMB", capacity.CPUMilli, capacity.MemoryMB)})
@@ -439,6 +444,7 @@ func (c *Cluster) SetQuota(tenant string, q Resources) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.quotas[tenant] = q
+	c.mutate(Mutation{Kind: MutQuota, Tenant: tenant, Quota: q})
 }
 
 // EnsureQuota sets a tenant's quota only if none is set yet, so concurrent
@@ -448,6 +454,7 @@ func (c *Cluster) EnsureQuota(tenant string, q Resources) {
 	defer c.mu.Unlock()
 	if _, ok := c.quotas[tenant]; !ok {
 		c.quotas[tenant] = q
+		c.mutate(Mutation{Kind: MutQuota, Tenant: tenant, Quota: q})
 	}
 }
 
@@ -669,6 +676,7 @@ func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec,
 		return nil, Placement{}, err
 	}
 	c.workloads[spec.Name] = w
+	c.mutatePlace(w)
 	placed := Placement{Node: w.Node, VMID: w.VMID}
 	// Return a commit-time snapshot, not the live struct: the moment the
 	// lock drops, a concurrent failover or drain may rewrite the live
@@ -871,6 +879,7 @@ func (c *Cluster) stop(name string) (*Workload, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	delete(c.workloads, name)
+	c.mutate(Mutation{Kind: MutStop, Name: name})
 	c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].Sub(w.Spec.Resources)
 	if n, ok := c.nodes[w.Node]; ok {
 		n.mu.Lock()
@@ -910,6 +919,14 @@ func (c *Cluster) Workloads() []*Workload {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
 	return out
+}
+
+// WorkloadCount returns the number of running workloads without
+// copying the table — cheap enough for per-mutation cadence decisions.
+func (c *Cluster) WorkloadCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.workloads)
 }
 
 // VMs returns all VMs sorted by ID — deep snapshots (placements mutate

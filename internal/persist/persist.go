@@ -1,0 +1,319 @@
+// Package persist is the control plane's pluggable durability layer: a
+// small Store interface over an ordered log of control-plane mutations
+// plus periodic compacted snapshots.
+//
+// Two backends ship:
+//
+//   - Memory: today's default behavior — the log lives and dies with
+//     the process. It implements the full Store contract (including
+//     Snapshot/Load), so tests exercise replay without touching disk.
+//   - WAL (wal.go): an append-only JSON-line log on disk, group-committed
+//     in batches so the deploy hot path never waits on a per-record
+//     fsync, compacted by atomic snapshot files.
+//
+// Records are keyed by the spine's existing audit-event vocabulary
+// (node-join, node-cordon, place, workload-stop, quota,
+// admission-verdict) plus the incident stream. Every record kind
+// replays as an absolute last-wins operation — place is an upsert by
+// name, stop a delete, cordon/quota a set, verdicts a grow-only set,
+// incidents deduplicated by sequence number — so a snapshot that
+// already contains the effect of a logged record converges when the
+// record is replayed on top of it. That idempotence is what lets
+// snapshots be taken concurrently with traffic: the snapshot's LSN is
+// read before the state export, and any mutation that slips into the
+// export afterwards is simply replayed again on recovery.
+package persist
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"genio/internal/orchestrator"
+)
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("persist: store closed")
+
+// Record kinds. The control-plane kinds mirror
+// orchestrator.Mutation's vocabulary verbatim; KindIncident carries the
+// platform incident stream.
+const (
+	KindNodeJoin   = orchestrator.MutNodeJoin
+	KindNodeRemove = orchestrator.MutNodeRemove
+	KindNodeCordon = orchestrator.MutNodeCordon
+	KindPlace      = orchestrator.MutPlace
+	KindStop       = orchestrator.MutStop
+	KindQuota      = orchestrator.MutQuota
+	KindVerdict    = orchestrator.MutVerdict
+	KindIncident   = "incident"
+)
+
+// Incident mirrors core.Incident for the durable log. persist sits
+// below core in the import graph (core owns the Store), so the record
+// type is defined here and core converts at the boundary.
+type Incident struct {
+	Source   string `json:"source"`
+	Workload string `json:"workload,omitempty"`
+	Detail   string `json:"detail"`
+	Blocked  bool   `json:"blocked"`
+	AtMs     int64  `json:"atMs,omitempty"`
+	Seq      uint64 `json:"seq,omitempty"`
+}
+
+// Record is one durable log entry. LSN is assigned by Append,
+// monotonically from 1; exactly the fields relevant to Kind are set.
+type Record struct {
+	LSN  uint64 `json:"lsn"`
+	Kind string `json:"kind"`
+	// Node membership / cordon.
+	Node     string                  `json:"node,omitempty"`
+	Capacity *orchestrator.Resources `json:"capacity,omitempty"`
+	Cordoned bool                    `json:"cordoned,omitempty"`
+	// Placement (KindPlace) and stop (KindStop). VMSeq is the VM id
+	// sequence at placement time: replay takes the maximum across place
+	// records so the counter survives workloads that were later stopped.
+	Workload *orchestrator.Workload `json:"workload,omitempty"`
+	VMSeq    int64                  `json:"vmSeq,omitempty"`
+	Name     string                 `json:"name,omitempty"`
+	// Quota (KindQuota).
+	Tenant string                  `json:"tenant,omitempty"`
+	Quota  *orchestrator.Resources `json:"quota,omitempty"`
+	// Clean admission-verdict cache key (KindVerdict).
+	Key string `json:"key,omitempty"`
+	// Incident payload (KindIncident).
+	Incident *Incident `json:"incident,omitempty"`
+}
+
+// State is everything a restarted control plane needs: the cluster's
+// replayable state plus the incident ledger. LSN is the log position
+// the snapshot covers — recovery replays only records beyond it.
+type State struct {
+	LSN     uint64                    `json:"lsn"`
+	Cluster orchestrator.ClusterState `json:"cluster"`
+	// Incidents is the full incident ledger, ordered by Seq.
+	Incidents []Incident `json:"incidents,omitempty"`
+	// IncidentSeq is the sequence floor for new incidents after
+	// recovery (>= the max Seq in Incidents; may exceed it when the
+	// newest incidents were still in flight at snapshot time).
+	IncidentSeq uint64 `json:"incidentSeq,omitempty"`
+}
+
+// Store is the persistence seam the platform writes through. Append is
+// called on hot paths inside cluster locks: implementations must
+// buffer and return immediately, deferring durability to a group
+// commit (Flush is the explicit durability barrier). Snapshot persists
+// a compacted state and lets the backend drop records the snapshot
+// covers; Load returns the recovered state (snapshot plus replayed
+// tail), or nil when the store holds nothing. Close flushes and
+// releases resources without taking an implicit snapshot — the
+// platform decides whether a shutdown is graceful (snapshot) or a
+// simulated crash (flush only).
+type Store interface {
+	Append(rec Record) error
+	Flush() error
+	// LastLSN reports the newest assigned LSN (0 before any append).
+	// Read it BEFORE exporting state for a snapshot: mutations are
+	// logged inside the lock that applies them, so state exported
+	// after the read is guaranteed to contain every record at or below
+	// it.
+	LastLSN() uint64
+	Snapshot(st *State) error
+	Load() (*State, error)
+	Close() error
+}
+
+// apply replays records (an LSN-ordered suffix of the log) onto base,
+// returning the recovered state. Records at or below base.LSN are
+// skipped; everything else applies last-wins, so overlap between the
+// snapshot and the tail is harmless.
+func apply(base *State, recs []Record) *State {
+	nodes := make(map[string]orchestrator.NodeState, len(base.Cluster.Nodes))
+	for _, ns := range base.Cluster.Nodes {
+		nodes[ns.Name] = ns
+	}
+	wls := make(map[string]orchestrator.Workload, len(base.Cluster.Workloads))
+	for _, w := range base.Cluster.Workloads {
+		wls[w.Spec.Name] = w
+	}
+	quotas := make(map[string]orchestrator.Resources, len(base.Cluster.Quotas))
+	for t, q := range base.Cluster.Quotas {
+		quotas[t] = q
+	}
+	verdicts := make(map[string]struct{}, len(base.Cluster.Verdicts))
+	for _, k := range base.Cluster.Verdicts {
+		verdicts[k] = struct{}{}
+	}
+	incidents := append([]Incident(nil), base.Incidents...)
+	seenSeq := make(map[uint64]struct{}, len(incidents))
+	for _, i := range incidents {
+		seenSeq[i.Seq] = struct{}{}
+	}
+
+	st := &State{LSN: base.LSN, IncidentSeq: base.IncidentSeq}
+	st.Cluster.VMSeq = base.Cluster.VMSeq
+	for _, r := range recs {
+		if r.LSN <= base.LSN {
+			continue
+		}
+		if r.LSN > st.LSN {
+			st.LSN = r.LSN
+		}
+		switch r.Kind {
+		case KindNodeJoin:
+			ns := orchestrator.NodeState{Name: r.Node}
+			if r.Capacity != nil {
+				ns.Capacity = *r.Capacity
+			}
+			nodes[r.Node] = ns
+		case KindNodeRemove:
+			delete(nodes, r.Node)
+		case KindNodeCordon:
+			if ns, ok := nodes[r.Node]; ok {
+				ns.Cordoned = r.Cordoned
+				nodes[r.Node] = ns
+			}
+		case KindPlace:
+			if r.Workload != nil {
+				wls[r.Workload.Spec.Name] = *r.Workload
+			}
+			if r.VMSeq > st.Cluster.VMSeq {
+				st.Cluster.VMSeq = r.VMSeq
+			}
+		case KindStop:
+			delete(wls, r.Name)
+		case KindQuota:
+			if r.Quota != nil {
+				quotas[r.Tenant] = *r.Quota
+			}
+		case KindVerdict:
+			verdicts[r.Key] = struct{}{}
+		case KindIncident:
+			if r.Incident == nil {
+				break
+			}
+			if _, dup := seenSeq[r.Incident.Seq]; dup {
+				break
+			}
+			seenSeq[r.Incident.Seq] = struct{}{}
+			incidents = append(incidents, *r.Incident)
+			if r.Incident.Seq > st.IncidentSeq {
+				st.IncidentSeq = r.Incident.Seq
+			}
+		}
+	}
+
+	st.Cluster.Nodes = make([]orchestrator.NodeState, 0, len(nodes))
+	for _, ns := range nodes {
+		st.Cluster.Nodes = append(st.Cluster.Nodes, ns)
+	}
+	sort.Slice(st.Cluster.Nodes, func(i, j int) bool {
+		return st.Cluster.Nodes[i].Name < st.Cluster.Nodes[j].Name
+	})
+	st.Cluster.Workloads = make([]orchestrator.Workload, 0, len(wls))
+	for _, w := range wls {
+		st.Cluster.Workloads = append(st.Cluster.Workloads, w)
+	}
+	sort.Slice(st.Cluster.Workloads, func(i, j int) bool {
+		return st.Cluster.Workloads[i].Spec.Name < st.Cluster.Workloads[j].Spec.Name
+	})
+	if len(quotas) > 0 {
+		st.Cluster.Quotas = quotas
+	}
+	st.Cluster.Verdicts = make([]string, 0, len(verdicts))
+	for k := range verdicts {
+		st.Cluster.Verdicts = append(st.Cluster.Verdicts, k)
+	}
+	sort.Strings(st.Cluster.Verdicts)
+	sort.Slice(incidents, func(i, j int) bool { return incidents[i].Seq < incidents[j].Seq })
+	st.Incidents = incidents
+	for _, i := range incidents {
+		if i.Seq > st.IncidentSeq {
+			st.IncidentSeq = i.Seq
+		}
+	}
+	return st
+}
+
+// memory is the in-process backend: the Store contract without
+// durability. The default when no store is configured at all is "no
+// persistence"; Memory exists so the replay machinery (snapshot +
+// tail) is testable without a filesystem and so callers can switch
+// backends without special-casing nil.
+type memory struct {
+	mu     sync.Mutex
+	lsn    uint64
+	recs   []Record
+	snap   *State
+	closed bool
+}
+
+// Memory returns the in-process Store.
+func Memory() Store {
+	return &memory{}
+}
+
+func (m *memory) Append(rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.lsn++
+	rec.LSN = m.lsn
+	m.recs = append(m.recs, rec)
+	return nil
+}
+
+func (m *memory) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (m *memory) LastLSN() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lsn
+}
+
+func (m *memory) Snapshot(st *State) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.snap = st
+	// Compact: drop records the snapshot covers.
+	keep := m.recs[:0]
+	for _, r := range m.recs {
+		if r.LSN > st.LSN {
+			keep = append(keep, r)
+		}
+	}
+	m.recs = keep
+	return nil
+}
+
+func (m *memory) Load() (*State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.snap == nil && len(m.recs) == 0 {
+		return nil, nil
+	}
+	base := m.snap
+	if base == nil {
+		base = &State{}
+	}
+	return apply(base, m.recs), nil
+}
+
+func (m *memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

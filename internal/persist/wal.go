@@ -1,0 +1,376 @@
+package persist
+
+// The WAL backend: an append-only JSON-line log (wal.log) plus an
+// atomically replaced snapshot file (snapshot.json) in one data
+// directory.
+//
+// Durability is group-committed: Append assigns the LSN and buffers
+// the record under a mutex — it never touches the filesystem — and a
+// single committer goroutine drains whatever accumulated while its
+// previous write+fsync was in flight, so one fsync amortizes over the
+// whole batch and the deploy hot path never waits on it. Flush blocks
+// until everything appended before the call is fsynced.
+//
+// Snapshot writes the compacted state via tmp+rename (readers never
+// see a torn snapshot), then rotates the log the same way: a new
+// wal.log containing only the records beyond the snapshot's LSN,
+// including any still-unsynced buffered records — rotation IS their
+// durability, so the pending batch is retired in the same step.
+// Recovery (Open + Load) reads the snapshot if present and replays the
+// log's records beyond its LSN; a torn final line (the write the crash
+// interrupted) is discarded, everything before it survives.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	walFile  = "wal.log"
+	snapFile = "snapshot.json"
+)
+
+// WAL is the on-disk Store. Safe for concurrent use.
+type WAL struct {
+	dir string
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File
+	// nextLSN is the last assigned LSN; committed the last durable one.
+	nextLSN   uint64
+	committed uint64
+	// pending holds appended-not-yet-written records; tail every record
+	// beyond the last snapshot (pending is always a suffix of tail).
+	pending []Record
+	tail    []Record
+	// base is the last snapshot state (from disk at Open, refreshed by
+	// Snapshot); snapLSN its covered position.
+	base    *State
+	snapLSN uint64
+	// inflight marks the committer writing outside the lock; paused
+	// parks it while Snapshot rotates the files.
+	inflight bool
+	paused   bool
+	closed   bool
+	err      error // first write/sync error, sticky
+	done     chan struct{}
+}
+
+// OpenWAL opens (creating if needed) the data directory and recovers
+// its snapshot and log into memory. The returned store is ready for
+// Load and for appends.
+func OpenWAL(dir string) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: data dir: %w", err)
+	}
+	w := &WAL{dir: dir, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+
+	if buf, err := os.ReadFile(filepath.Join(dir, snapFile)); err == nil {
+		st := &State{}
+		if err := json.Unmarshal(buf, st); err != nil {
+			return nil, fmt.Errorf("persist: corrupt snapshot: %w", err)
+		}
+		w.base = st
+		w.snapLSN = st.LSN
+		w.nextLSN = st.LSN
+		w.committed = st.LSN
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("persist: read snapshot: %w", err)
+	}
+
+	recs, err := readLog(filepath.Join(dir, walFile))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		if r.LSN <= w.snapLSN {
+			continue // pre-rotation leftovers the snapshot already covers
+		}
+		w.tail = append(w.tail, r)
+		if r.LSN > w.nextLSN {
+			w.nextLSN = r.LSN
+		}
+	}
+	w.committed = w.nextLSN
+
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open wal: %w", err)
+	}
+	w.f = f
+	go w.commitLoop()
+	return w, nil
+}
+
+// readLog parses the JSON-line log, stopping at the first unparsable
+// line — a torn tail write from a crash loses only that record.
+func readLog(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: open wal: %w", err)
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			break
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("persist: read wal: %w", err)
+	}
+	return recs, nil
+}
+
+// Append assigns the next LSN and buffers the record for the group
+// committer. It performs no I/O.
+func (w *WAL) Append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+	w.nextLSN++
+	rec.LSN = w.nextLSN
+	w.pending = append(w.pending, rec)
+	w.tail = append(w.tail, rec)
+	w.cond.Broadcast()
+	return nil
+}
+
+// commitLoop is the group committer: each iteration takes everything
+// buffered since the last write and retires it with one write+fsync.
+func (w *WAL) commitLoop() {
+	w.mu.Lock()
+	for {
+		for (len(w.pending) == 0 || w.paused) && !w.closed {
+			w.cond.Wait()
+		}
+		if w.closed && (len(w.pending) == 0 || w.err != nil) {
+			break
+		}
+		if w.paused && !w.closed {
+			continue
+		}
+		batch := w.pending
+		w.pending = nil
+		f := w.f
+		w.inflight = true
+		w.mu.Unlock()
+
+		err := writeBatch(f, batch)
+
+		w.mu.Lock()
+		w.inflight = false
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		if last := batch[len(batch)-1].LSN; last > w.committed {
+			w.committed = last
+		}
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+	close(w.done)
+}
+
+// writeBatch marshals the batch into one buffer, writes it, and fsyncs.
+func writeBatch(f *os.File, batch []Record) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf) // Encode appends the newline
+	for _, r := range batch {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("persist: encode record: %w", err)
+		}
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("persist: write wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("persist: sync wal: %w", err)
+	}
+	return nil
+}
+
+// Flush blocks until every record appended before the call is durable
+// (or the store failed/closed), returning the sticky write error.
+func (w *WAL) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	target := w.nextLSN
+	for w.committed < target && w.err == nil {
+		if w.closed && len(w.pending) == 0 && !w.inflight {
+			break
+		}
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// LastLSN reports the newest assigned LSN.
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// Snapshot persists st atomically and compacts the log down to the
+// records beyond st.LSN. The snapshot file — the expensive encode and
+// fsync, proportional to the whole state — is written BEFORE the store
+// mutex is taken: its contents do not depend on WAL internals, and the
+// crash ordering is safe (a snapshot that lands without its log
+// rotation just means recovery replays a longer, idempotent tail).
+// Appends therefore only block for the short log rotation, not the
+// state-sized write. Callers serialize snapshots (the platform's
+// snapMu); concurrent Snapshot calls are not supported.
+func (w *WAL) Snapshot(st *State) error {
+	buf, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("persist: encode snapshot: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(w.dir, snapFile), buf); err != nil {
+		return err
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	w.paused = true
+	defer func() {
+		w.paused = false
+		w.cond.Broadcast()
+	}()
+	for w.inflight {
+		w.cond.Wait()
+	}
+	if w.closed {
+		return ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+
+	// Rotate the log: keep only records beyond the snapshot. The kept
+	// set includes any pending records — once the rotated file is
+	// synced and renamed they are durable, so the pending batch is
+	// retired here instead of by the committer.
+	keep := make([]Record, 0, len(w.tail))
+	for _, r := range w.tail {
+		if r.LSN > st.LSN {
+			keep = append(keep, r)
+		}
+	}
+	var logBuf bytes.Buffer
+	enc := json.NewEncoder(&logBuf)
+	for _, r := range keep {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("persist: encode record: %w", err)
+		}
+	}
+	if err := writeFileAtomic(filepath.Join(w.dir, walFile), logBuf.Bytes()); err != nil {
+		return err
+	}
+	old := w.f
+	f, err := os.OpenFile(filepath.Join(w.dir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		w.err = fmt.Errorf("persist: reopen wal: %w", err)
+		return w.err
+	}
+	w.f = f
+	_ = old.Close()
+	w.tail = keep
+	w.pending = nil
+	w.committed = w.nextLSN
+	w.base = st
+	w.snapLSN = st.LSN
+	return nil
+}
+
+// writeFileAtomic writes data via tmp + fsync + rename.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: write %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: write %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: sync %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: close %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("persist: rename %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// Load returns the recovered state: the last snapshot with the log
+// tail replayed on top, or nil when the store holds nothing yet.
+func (w *WAL) Load() (*State, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.base == nil && len(w.tail) == 0 {
+		return nil, nil
+	}
+	base := w.base
+	if base == nil {
+		base = &State{}
+	}
+	return apply(base, w.tail), nil
+}
+
+// Close flushes the pending batch and releases the log file. It does
+// NOT snapshot — the platform owns that decision (graceful shutdown
+// snapshots; a simulated crash closes flush-only). Idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		<-w.done
+		return nil
+	}
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	<-w.done
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.err
+	if w.f != nil {
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	return err
+}

@@ -40,6 +40,7 @@ var campaigns = map[string]CampaignFunc{
 	"hotspot":           HotspotCampaign,
 	"drain-storm":       DrainStormCampaign,
 	"wire-deploy-storm": WireDeployStormCampaign,
+	"kill-restart":      KillRestartCampaign,
 }
 
 // CampaignNames lists the registered campaigns, sorted.
@@ -355,6 +356,67 @@ func WireDeployStormCampaign(seed int64) Scenario {
 	}
 	steps = append(steps, WireLedgerProbe(), AdvanceClock(200))
 	return Scenario{Name: "wire-deploy-storm", Seed: seed, Config: core.SecureConfig(), Wire: true, Steps: steps}
+}
+
+// KillRestartCampaign is the durability campaign: ordinary mixed traffic
+// (joins, crashes, deploys across the verdict spectrum, stops, cordons,
+// incident storms) on a WAL-backed platform, with the process killed at a
+// seeded random step and rebuilt from its data directory — twice, so
+// recovery is also exercised over a directory that already holds a
+// snapshot from the first incarnation's cadence. The recovery-exact
+// invariant demands the post-recovery state equal the pre-crash
+// fingerprint byte for byte; every other invariant keeps running across
+// the restarts, so recovered state must satisfy the full dependability
+// surface, not merely equal itself.
+//
+// ONU churn is deliberately absent: far-edge infrastructure objects (OLT
+// key material, attested TPM state) are process state, re-established by
+// re-provisioning rather than replayed from the log.
+func KillRestartCampaign(seed int64) Scenario {
+	r := rand.New(rand.NewSource(seed))
+	steps := []Step{
+		SetQuota("acme", orchestrator.Resources{CPUMilli: 20000, MemoryMB: 40960}),
+		JoinNode(nodeCapacity),
+		JoinNode(nodeCapacity),
+		JoinNode(nodeCapacity),
+		Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+		Deploy("acme", SASTFlaggedImageRef, orchestrator.IsolationHard, smallDemand),
+	}
+	traffic := func() Step {
+		switch r.Intn(7) {
+		case 0:
+			return JoinNode(nodeCapacity)
+		case 1:
+			return CrashRandomNode()
+		case 2:
+			return Deploy("acme", allImageRefs[r.Intn(len(allImageRefs))],
+				orchestrator.IsolationSoft, smallDemand)
+		case 3:
+			return StopWorkload()
+		case 4:
+			return CordonRandomNode()
+		case 5:
+			return IncidentStorm(2+r.Intn(3), 0.4, "acme")
+		default:
+			return AdvanceClock(100)
+		}
+	}
+	// The crash lands at a seeded random step inside the traffic. The
+	// join+deploy immediately ahead of it guarantee the recovered state is
+	// never trivially empty, whatever the seeded storm stopped or crashed.
+	for i, n := 0, 5+r.Intn(8); i < n; i++ {
+		steps = append(steps, traffic())
+	}
+	steps = append(steps,
+		JoinNode(nodeCapacity),
+		Deploy("acme", CleanImageRef, orchestrator.IsolationHard, smallDemand),
+		KillRestart())
+	for i, n := 0, 4+r.Intn(6); i < n; i++ {
+		steps = append(steps, traffic())
+	}
+	steps = append(steps, KillRestart(), AdvanceClock(200))
+	return Scenario{Name: "kill-restart", Seed: seed, Config: core.SecureConfig(),
+		Persist: true, Steps: steps}
 }
 
 // IncidentStormCampaign models runtime threat pressure: waves of mixed

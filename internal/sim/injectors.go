@@ -525,3 +525,45 @@ func AdvanceClock(ms int64) Step {
 		return okf("t=%dms", w.Clock.Advance(ms))
 	}}
 }
+
+// KillRestart crashes the platform the way kill -9 would — flush-only
+// store close, no shutdown snapshot — and rebuilds it from the scenario's
+// data directory. The step fingerprints the durable control-plane state
+// (cluster export + incident ledger) on both sides of the crash; any
+// divergence is handed to the recovery-exact invariant. Requires
+// Scenario.Persist.
+func KillRestart() Step {
+	return Step{Name: "kill-restart", Run: func(w *World) Outcome {
+		if w.rebuild == nil {
+			return Outcome{Status: "error", Detail: "kill-restart requires Scenario.Persist"}
+		}
+		w.Platform.Flush()
+		before, err := w.stateFingerprint()
+		if err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("fingerprint: %v", err)}
+		}
+		w.Platform.Crash()
+		if err := w.rebuild(); err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("restart: %v", err)}
+		}
+		after, err := w.stateFingerprint()
+		if err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("fingerprint: %v", err)}
+		}
+		if before != after {
+			w.recoveryDiffs = append(w.recoveryDiffs, fmt.Sprintf(
+				"state diverged across kill-restart:\n pre-crash: %s\n recovered: %s", before, after))
+		}
+		// Reconcile the witnesses with the fresh process: recovered
+		// incidents entered the log at recovery (never spine-delivered, so
+		// the new subscription starts that far behind by construction) and
+		// the spine's per-topic ledger restarted at zero, so the script's
+		// offered-events floor restarts with it.
+		w.seenIncidents.Store(int64(len(w.Platform.Incidents())))
+		w.offeredEvents = make(map[string]uint64)
+		return Outcome{Status: "recovered", Detail: fmt.Sprintf(
+			"%d nodes, %d workloads, %d incidents recovered",
+			len(w.Platform.Cluster.Nodes()), len(w.Platform.Cluster.Workloads()),
+			len(w.Platform.Incidents()))}
+	}}
+}

@@ -33,6 +33,7 @@ func DefaultInvariants() []Invariant {
 		LifecycleLedgerBalanced(),
 		PlacementPolicyRespected(),
 		NoDrainLeaksCapacity(),
+		RecoveryExact(),
 	}
 }
 
@@ -340,6 +341,19 @@ func NoDrainLeaksCapacity() Invariant {
 			}
 		}
 		sort.Strings(out)
+		return out
+	}}
+}
+
+// RecoveryExact: a kill-restart recovers the durable control-plane state
+// byte for byte — placements, quotas, cordons, verdict cache, and the
+// incident ledger after recovery must equal the pre-crash fingerprint the
+// KillRestart step captured. The step records divergences; this invariant
+// surfaces them (and, like admission-determinism, drains as it reports).
+func RecoveryExact() Invariant {
+	return Invariant{Name: "recovery-exact", Check: func(w *World) []string {
+		out := w.recoveryDiffs
+		w.recoveryDiffs = nil
 		return out
 	}}
 }

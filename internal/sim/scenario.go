@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -28,6 +29,13 @@ type Scenario struct {
 	// stack — encode, HTTP, decode — instead of in-process calls. The
 	// report contract is unchanged: the wire must not perturb outcomes.
 	Wire bool
+	// Persist backs the platform with a WAL store in a temp data
+	// directory, enabling the KillRestart step: the platform is crashed
+	// (flush-only close, no shutdown snapshot) and rebuilt from the
+	// directory mid-run. The directory is harness plumbing — never in the
+	// report — so the byte-identical replay contract is unchanged.
+	// Mutually exclusive with Wire.
+	Persist bool
 }
 
 // Step is one scripted action against the world.
@@ -119,9 +127,37 @@ type World struct {
 	// otherwise); Wire* steps drive the platform through it.
 	wire client.Interface
 
+	// persistDir is the WAL data directory of a Scenario.Persist run;
+	// rebuild crashes aside the current platform and constructs a fresh
+	// one recovering from that directory (set by Engine.Run, used by the
+	// KillRestart step, nil on non-persistent runs).
+	persistDir string
+	rebuild    func() error
+	// recoveryDiffs accumulates state divergences the KillRestart step
+	// observed across a crash/recovery; the recovery-exact invariant
+	// drains it.
+	recoveryDiffs []string
+
 	nodeSeq int
 	wlSeq   int
 	onuSeq  int
+}
+
+// stateFingerprint renders the durable control-plane state — cluster
+// export plus the incident ledger — as one deterministic string. The
+// KillRestart step compares it across the crash: recovery must reproduce
+// it byte for byte.
+func (w *World) stateFingerprint() (string, error) {
+	st := w.Platform.Cluster.ExportState()
+	cbuf, err := json.Marshal(st)
+	if err != nil {
+		return "", err
+	}
+	ibuf, err := json.Marshal(w.Platform.Incidents())
+	if err != nil {
+		return "", err
+	}
+	return string(cbuf) + "\n" + string(ibuf), nil
 }
 
 // markCancelTarget arms the sim-cancel-gate for one workload name.

@@ -19,6 +19,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http/httptest"
+	"os"
 	"sync"
 
 	"genio/api/client"
@@ -27,6 +28,7 @@ import (
 	"genio/internal/core"
 	"genio/internal/events"
 	"genio/internal/orchestrator"
+	"genio/internal/persist"
 	"genio/internal/pki"
 	"genio/internal/rbac"
 )
@@ -81,14 +83,7 @@ func (e *Engine) SetFirehose(w io.Writer) {
 // data, reported not returned.
 func (e *Engine) Run(sc Scenario) (*Report, error) {
 	clock := NewClock(0)
-	p, err := core.New(sc.Config, core.WithClock(clock.Source()))
-	if err != nil {
-		return nil, fmt.Errorf("sim: platform: %w", err)
-	}
-	defer p.Close()
-
 	w := &World{
-		Platform:      p,
 		Clock:         clock,
 		Rand:          rand.New(rand.NewSource(sc.Seed)),
 		Live:          make(map[string]bool),
@@ -102,54 +97,27 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 		asyncDone:     make(map[string]bool),
 		terminalSeen:  make(map[string]int),
 	}
-	// The invariants watch the platform the way an external consumer
-	// would: through a spine subscription, not by polling snapshots.
-	if _, err := p.Subscribe("sim-incident-witness", []events.Topic{events.TopicIncident},
-		func(b []events.Event) { w.seenIncidents.Add(int64(len(b))) }); err != nil {
-		return nil, fmt.Errorf("sim: incident witness: %w", err)
-	}
-	// The lifecycle witness feeds the exactly-one-terminal-event ledger
-	// the cancel-storm invariants audit.
-	if _, err := p.Subscribe("sim-lifecycle-witness", []events.Topic{events.TopicDeployLifecycle},
-		func(b []events.Event) {
-			for _, ev := range b {
-				if le, ok := ev.Payload.(core.LifecycleEvent); ok && le.State.Terminal() {
-					w.countTerminal(le.Workload)
-				}
-			}
-		}); err != nil {
-		return nil, fmt.Errorf("sim: lifecycle witness: %w", err)
-	}
-	// The cancel gate: deployments armed via markCancelTarget are held
-	// open inside the admission fan-out until their context dies, so a
-	// scripted cancellation deterministically lands mid-scan. Unarmed
-	// deployments pass straight through.
-	p.Cluster.RegisterAdmissionCtx("sim-cancel-gate",
-		func(ctx context.Context, spec orchestrator.WorkloadSpec, _ *container.Image) error {
-			if !w.isCancelTarget(spec.Name) {
-				return nil
-			}
-			<-ctx.Done()
-			return ctx.Err()
-		})
-	if e.firehose != nil {
-		var mu sync.Mutex
-		if _, err := p.Subscribe("sim-firehose", nil, func(b []events.Event) {
-			mu.Lock()
-			defer mu.Unlock()
-			for _, ev := range b {
-				js, err := json.Marshal(ev)
-				if err != nil {
-					continue
-				}
-				fmt.Fprintf(e.firehose, "%s\n", js)
-			}
-		}); err != nil {
-			return nil, fmt.Errorf("sim: firehose: %w", err)
+	if sc.Persist {
+		if sc.Wire {
+			return nil, fmt.Errorf("sim: persistent scenarios cannot be wired (the HTTP harness binds to one platform instance)")
 		}
+		// The data directory is harness plumbing: a fresh temp dir per
+		// run, never surfaced in the report, removed afterwards. The
+		// KillRestart step reopens it across the simulated crash.
+		dir, err := os.MkdirTemp("", "genio-sim-")
+		if err != nil {
+			return nil, fmt.Errorf("sim: data dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		w.persistDir = dir
 	}
-	if err := seedWorld(w); err != nil {
-		return nil, fmt.Errorf("sim: seed world: %w", err)
+	build := func() error { return e.buildPlatform(sc, clock, w) }
+	if err := build(); err != nil {
+		return nil, err
+	}
+	defer func() { w.Platform.Close() }()
+	if sc.Persist {
+		w.rebuild = build
 	}
 	if sc.Wire {
 		// Host the same platform behind the HTTP control plane and hand
@@ -157,10 +125,11 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 		// full encode→HTTP→decode stack on every deployment. The listener
 		// and identity are harness plumbing — nothing about them reaches
 		// the report, so the replay contract is untouched.
-		srv := server.New(p, server.Options{CA: p.CA})
+		srv := server.New(w.Platform, server.Options{CA: w.Platform.CA})
+		defer srv.Close()
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
-		id, err := p.CA.Issue(Subject, pki.RoleService)
+		id, err := w.Platform.CA.Issue(Subject, pki.RoleService)
 		if err != nil {
 			return nil, fmt.Errorf("sim: wire identity: %w", err)
 		}
@@ -206,36 +175,123 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 		rep.Steps = append(rep.Steps, sr)
 	}
 
-	p.Flush()
-	admitted, rejected := p.Cluster.Counters()
+	w.Platform.Flush()
+	admitted, rejected := w.Platform.Cluster.Counters()
 	// Per-topic published tallies: deterministic under the Block policy
-	// (nothing is ever dropped), so they join the replay contract.
+	// (nothing is ever dropped), so they join the replay contract. In a
+	// persistent scenario these (and the admitted/rejected counters) cover
+	// the final platform incarnation only — spine counters are process
+	// state, deliberately not persisted — which stays deterministic
+	// because the crash point is itself scripted.
 	eventCounts := make(map[string]uint64)
-	for topic, ts := range p.Metrics() {
+	for topic, ts := range w.Platform.Metrics() {
 		if ts.Published+ts.Dropped+ts.Filtered > 0 {
 			eventCounts[string(topic)] = ts.Published
 		}
 	}
 	rep.Final = FinalState{
 		VirtualMs: clock.NowMs(),
-		LiveNodes: p.Cluster.Nodes(),
-		Workloads: len(p.Cluster.Workloads()),
+		LiveNodes: w.Platform.Cluster.Nodes(),
+		Workloads: len(w.Platform.Cluster.Workloads()),
 		Admitted:  admitted,
 		Rejected:  rejected,
-		Incidents: p.IncidentCounts(),
+		Incidents: w.Platform.IncidentCounts(),
 		Events:    eventCounts,
 	}
 	return rep, nil
 }
 
-// seedWorld populates the registry with the fixture image set, signs the
-// signed subset, and grants the simulation subject deploy rights.
-func seedWorld(w *World) error {
-	pub, err := container.NewPublisher(PublisherName)
-	if err != nil {
-		return err
+// buildPlatform constructs the platform (persistent scenarios attach a
+// WAL store over the world's data directory, recovering whatever it
+// holds), installs the engine's witnesses and the cancel gate, and seeds
+// the world fixture. It runs once per ordinary scenario and once more
+// per KillRestart in persistent ones — everything platform-bound
+// (subscriptions, admission hooks, the registry fixture) must be rebuilt
+// here, and everything process-independent (the clock, the seeded Rand,
+// the world's book-keeping) must NOT be touched.
+func (e *Engine) buildPlatform(sc Scenario, clock *Clock, w *World) error {
+	opts := []core.Option{core.WithClock(clock.Source())}
+	if w.persistDir != "" {
+		store, err := persist.OpenWAL(w.persistDir)
+		if err != nil {
+			return fmt.Errorf("sim: open wal: %w", err)
+		}
+		// A tight cadence so campaigns exercise snapshot compaction, not
+		// just log replay.
+		opts = append(opts, core.WithStore(store), core.WithSnapshotEvery(16))
 	}
-	w.publisher = pub
+	p, err := core.New(sc.Config, opts...)
+	if err != nil {
+		return fmt.Errorf("sim: platform: %w", err)
+	}
+	w.Platform = p
+	// The invariants watch the platform the way an external consumer
+	// would: through a spine subscription, not by polling snapshots.
+	if _, err := p.Subscribe("sim-incident-witness", []events.Topic{events.TopicIncident},
+		func(b []events.Event) { w.seenIncidents.Add(int64(len(b))) }); err != nil {
+		return fmt.Errorf("sim: incident witness: %w", err)
+	}
+	// The lifecycle witness feeds the exactly-one-terminal-event ledger
+	// the cancel-storm invariants audit.
+	if _, err := p.Subscribe("sim-lifecycle-witness", []events.Topic{events.TopicDeployLifecycle},
+		func(b []events.Event) {
+			for _, ev := range b {
+				if le, ok := ev.Payload.(core.LifecycleEvent); ok && le.State.Terminal() {
+					w.countTerminal(le.Workload)
+				}
+			}
+		}); err != nil {
+		return fmt.Errorf("sim: lifecycle witness: %w", err)
+	}
+	// The cancel gate: deployments armed via markCancelTarget are held
+	// open inside the admission fan-out until their context dies, so a
+	// scripted cancellation deterministically lands mid-scan. Unarmed
+	// deployments pass straight through.
+	p.Cluster.RegisterAdmissionCtx("sim-cancel-gate",
+		func(ctx context.Context, spec orchestrator.WorkloadSpec, _ *container.Image) error {
+			if !w.isCancelTarget(spec.Name) {
+				return nil
+			}
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	if e.firehose != nil {
+		var mu sync.Mutex
+		if _, err := p.Subscribe("sim-firehose", nil, func(b []events.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ev := range b {
+				js, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(e.firehose, "%s\n", js)
+			}
+		}); err != nil {
+			return fmt.Errorf("sim: firehose: %w", err)
+		}
+	}
+	if err := seedWorld(w); err != nil {
+		return fmt.Errorf("sim: seed world: %w", err)
+	}
+	return nil
+}
+
+// seedWorld populates the registry with the fixture image set, signs the
+// signed subset, and grants the simulation subject deploy rights. Across
+// a KillRestart the publisher is reused: the fixture images are
+// content-addressed, so re-pushing the identical set reproduces the
+// digests the recovered admission-verdict cache was keyed by.
+func seedWorld(w *World) error {
+	pub := w.publisher
+	if pub == nil {
+		var err error
+		pub, err = container.NewPublisher(PublisherName)
+		if err != nil {
+			return err
+		}
+		w.publisher = pub
+	}
 	reg := w.Platform.Registry
 	reg.TrustPublisher(PublisherName, pub.PublicKey())
 	for _, img := range []*container.Image{

@@ -89,4 +89,65 @@ wait "$daemon_pid" || fail "geniod exited non-zero"
 daemon_pid=""
 grep -q "shutdown complete" "$workdir/geniod.log" || fail "no clean shutdown marker"
 
+# --- crash-restart leg: kill -9 a durable daemon, restart on the same
+# -data-dir, and assert the control-plane state survived the crash.
+echo "=== crash-restart (durable -data-dir)"
+addr2="127.0.0.1:${GENIOD_E2E_PORT2:-9651}"
+datadir="$workdir/data"
+identity2="$workdir/ops2.id"
+
+boot_durable() {
+    # $1: identity path. A fresh one each boot: the CA is deliberately
+    # not persisted, so restart re-keys the cluster.
+    "$workdir/geniod" -addr "$addr2" -demo -data-dir "$datadir" \
+        -identity-out "$1" >"$workdir/geniod.log" 2>&1 &
+    daemon_pid=$!
+    for _ in $(seq 1 50); do
+        [ -s "$1" ] && break
+        kill -0 "$daemon_pid" 2>/dev/null || fail "durable geniod exited during startup"
+        sleep 0.1
+    done
+    [ -s "$1" ] || fail "durable geniod never wrote the client identity"
+}
+
+boot_durable "$identity2"
+export GENIOD_ADDR="$addr2" GENIOD_IDENTITY="$identity2"
+
+out="$(ctl deploy -name e2e-durable -image acme/analytics:2.0.1 -wait)"
+echo "$out" | grep -q "PLACED: e2e-durable" || fail "durable deploy did not place"
+# A rejected hostile image records a blocked incident in the ledger.
+ctl deploy -name e2e-durable-flagged -image acme/iot-gateway:1.4.2 >/dev/null 2>&1 || true
+
+echo "=== kill -9, restart on the same -data-dir"
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+identity3="$workdir/ops3.id"
+boot_durable "$identity3"
+export GENIOD_IDENTITY="$identity3"
+
+grep -q "durable state in" "$workdir/geniod.log" || fail "no recovery banner after restart"
+recovered="$(grep "durable state in" "$workdir/geniod.log")"
+echo "$recovered"
+echo "$recovered" | grep -q "1 workloads" || fail "placement did not survive kill -9: $recovered"
+echo "$recovered" | grep -Eq "[1-9][0-9]* incidents" || fail "incident ledger did not survive kill -9: $recovered"
+
+# The surviving placement is live, not just counted: re-deploying the
+# same name must be refused as a duplicate.
+out="$(ctl deploy -name e2e-durable -image acme/analytics:2.0.1 2>&1 || true)"
+echo "$out"
+echo "$out" | grep -q "workload name in use" || fail "recovered placement not enforced: $out"
+
+out="$(ctl nodes)"
+echo "$out" | grep -q "olt-01" || fail "recovered fleet missing olt-01"
+
+kill -TERM "$daemon_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+wait "$daemon_pid" || fail "durable geniod exited non-zero after recovery"
+daemon_pid=""
+
 echo "e2e: PASS"
