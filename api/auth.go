@@ -73,15 +73,25 @@ const maxSignedBody = 4 << 20
 // alone is not enough: every remembered nonce lives a full 2×skew, so
 // an attacker flooding unique nonces (each request signed by any valid
 // identity — including its own) could grow the cache without limit
-// inside one window. Past the cap the oldest nonces are evicted first,
-// trading a sliver of replay protection at the flood margin for a hard
-// memory bound.
+// inside one window. At the cap, further requests are REJECTED rather
+// than old nonces evicted: evicting would let a flood flush the cache
+// and then replay any captured request still inside the skew window,
+// turning the memory bound into a replay-protection bypass. Rejecting
+// degrades a flood into self-inflicted unavailability for the
+// flooding window instead, and every remembered nonce keeps its full
+// 2×skew lifetime.
 const DefaultNonceCapacity = 65536
 
 // ErrUnauthenticated reports a request whose identity could not be
 // established (missing or invalid certificate/signature, stale date,
 // replayed nonce).
 var ErrUnauthenticated = errors.New("api: request not authenticated")
+
+// ErrReplayCacheFull reports a request refused because the verifier's
+// nonce cache is at capacity — under a unique-nonce flood the verifier
+// sheds load rather than forgetting nonces it promised to remember.
+// Unwraps to ErrUnauthenticated; capacity frees as entries expire.
+var ErrReplayCacheFull = fmt.Errorf("%w: nonce replay cache full, retry later", ErrUnauthenticated)
 
 // signingPayload is the byte string the client signs: method, path,
 // canonical (encoded) query string, date, nonce, and the hex SHA-256
@@ -174,7 +184,7 @@ type Verifier struct {
 	mu        sync.Mutex
 	seen      map[string]struct{} // nonces inside the window
 	order     []nonceEntry        // expiry order == insertion order (clock is monotonic)
-	maxNonces int                 // hard cap on remembered nonces (oldest evicted first)
+	maxNonces int                 // hard cap on remembered nonces (full cache rejects)
 }
 
 // nonceEntry pairs a remembered nonce with when it may be forgotten.
@@ -283,8 +293,11 @@ func (v *Verifier) verifySignature(r *http.Request) (subject, nonce string, err 
 // expire in insertion order (every entry lives exactly 2×skew), so
 // expired ones pop off the front of the FIFO in amortized O(1) and the
 // cache stays proportional to the request rate inside one window — and
-// is additionally hard-capped at maxNonces entries, evicting oldest
-// first, so a flood of unique nonces cannot exhaust memory.
+// is additionally hard-capped at maxNonces entries. A full cache
+// REJECTS the request (ErrReplayCacheFull) rather than evicting a
+// live entry: a remembered nonce must stay remembered for its whole
+// window, or a unique-nonce flood could flush the cache and replay
+// captured requests at will.
 func (v *Verifier) checkNonce(nonce string) error {
 	now := v.now()
 	v.mu.Lock()
@@ -296,9 +309,8 @@ func (v *Verifier) checkNonce(nonce string) error {
 	if _, dup := v.seen[nonce]; dup {
 		return fmt.Errorf("%w: replayed nonce", ErrUnauthenticated)
 	}
-	for len(v.order) >= v.maxNonces {
-		delete(v.seen, v.order[0].nonce)
-		v.order = v.order[1:]
+	if len(v.order) >= v.maxNonces {
+		return ErrReplayCacheFull
 	}
 	v.seen[nonce] = struct{}{}
 	v.order = append(v.order, nonceEntry{nonce: nonce, exp: now.Add(2 * v.skew)})

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -191,14 +192,24 @@ func TestVerifierRejectsNonceReplay(t *testing.T) {
 
 // TestNonceCacheBoundedUnderFlood: a flood of unique nonces — each one
 // validly signed, so it passes every other check — must not grow the
-// replay cache past its capacity. Before the cap, 2×skew worth of flood
-// traffic was resident simultaneously: memory-exhaustion DoS.
+// replay cache past its capacity, and must NOT be able to flush nonces
+// the verifier already promised to remember (eviction would let the
+// flooder replay any captured request inside the skew window). A full
+// cache rejects instead; capacity frees as entries expire.
 func TestNonceCacheBoundedUnderFlood(t *testing.T) {
 	const capacity = 64
-	v := NewVerifier(testCA(t), WithNonceCapacity(capacity))
-	for i := 0; i < 2*capacity; i++ {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	v := NewVerifier(testCA(t), WithNonceCapacity(capacity), WithVerifierClock(clock))
+	for i := 0; i < capacity; i++ {
 		if err := v.checkNonce(fmt.Sprintf("nonce-%04d", i)); err != nil {
-			t.Fatalf("unique nonce %d rejected: %v", i, err)
+			t.Fatalf("unique nonce %d rejected below cap: %v", i, err)
+		}
+	}
+	// Flooding past the cap is shed, not absorbed.
+	for i := capacity; i < 2*capacity; i++ {
+		if err := v.checkNonce(fmt.Sprintf("nonce-%04d", i)); !errors.Is(err, ErrReplayCacheFull) {
+			t.Fatalf("nonce %d past cap = %v, want ErrReplayCacheFull", i, err)
 		}
 	}
 	v.mu.Lock()
@@ -207,29 +218,36 @@ func TestNonceCacheBoundedUnderFlood(t *testing.T) {
 	if seen > capacity || order > capacity {
 		t.Fatalf("cache grew past cap: seen=%d order=%d, cap=%d", seen, order, capacity)
 	}
-	// The newest nonce is still remembered: replay rejected.
-	if err := v.checkNonce(fmt.Sprintf("nonce-%04d", 2*capacity-1)); !errors.Is(err, ErrUnauthenticated) {
-		t.Fatalf("recent replay = %v, want ErrUnauthenticated", err)
+	// Replay protection survives the flood: every pre-flood nonce —
+	// including the oldest — is still rejected as a duplicate, not
+	// accepted via a flushed cache.
+	if err := v.checkNonce("nonce-0000"); !errors.Is(err, ErrUnauthenticated) || errors.Is(err, ErrReplayCacheFull) {
+		t.Fatalf("oldest nonce replay = %v, want duplicate rejection", err)
 	}
-	// The oldest was evicted to make room — the documented trade-off at
-	// the flood margin.
-	if err := v.checkNonce("nonce-0000"); err != nil {
-		t.Fatalf("evicted nonce should be accepted again: %v", err)
+	// Once the window passes, expired entries free capacity again: the
+	// full-cache rejection is flood-scoped, not a permanent outage.
+	now = now.Add(2*MaxClockSkew + time.Second)
+	if err := v.checkNonce("fresh-after-window"); err != nil {
+		t.Fatalf("nonce after expiry window: %v", err)
 	}
 }
 
 // TestVerifyConcurrentFlood exercises the full Verify path from many
 // goroutines at once (run under -race): concurrent signature checks,
-// nonce bookkeeping, and capacity eviction must be data-race free.
+// nonce bookkeeping, and full-cache load shedding must be data-race
+// free, admit exactly the cache's capacity, and reject the rest with
+// ErrReplayCacheFull.
 func TestVerifyConcurrentFlood(t *testing.T) {
 	ca := testCA(t)
 	id, err := ca.Issue("operator", pki.RoleService)
 	if err != nil {
 		t.Fatalf("Issue: %v", err)
 	}
-	v := NewVerifier(ca, WithNonceCapacity(32))
+	const capacity = 32
+	v := NewVerifier(ca, WithNonceCapacity(capacity))
 	const workers, perWorker = 8, 40
 	var wg sync.WaitGroup
+	var admitted, shed atomic.Int64
 	errs := make(chan error, workers*perWorker)
 	for g := 0; g < workers; g++ {
 		wg.Add(1)
@@ -241,7 +259,12 @@ func TestVerifyConcurrentFlood(t *testing.T) {
 					errs <- err
 					return
 				}
-				if _, err := v.Verify(req); err != nil {
+				switch _, err := v.Verify(req); {
+				case err == nil:
+					admitted.Add(1)
+				case errors.Is(err, ErrReplayCacheFull):
+					shed.Add(1)
+				default:
 					errs <- err
 					return
 				}
@@ -253,9 +276,17 @@ func TestVerifyConcurrentFlood(t *testing.T) {
 	for err := range errs {
 		t.Fatalf("concurrent Verify: %v", err)
 	}
+	// No expiry happens inside the test's runtime, so exactly the
+	// cache's capacity is admitted; everything else is shed.
+	if got := admitted.Load(); got != capacity {
+		t.Fatalf("admitted %d requests, want exactly %d", got, capacity)
+	}
+	if got := shed.Load(); got != workers*perWorker-capacity {
+		t.Fatalf("shed %d requests, want %d", got, workers*perWorker-capacity)
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if len(v.seen) > 32 || len(v.order) > 32 {
+	if len(v.seen) > capacity || len(v.order) > capacity {
 		t.Fatalf("cache exceeded cap under concurrency: seen=%d order=%d", len(v.seen), len(v.order))
 	}
 }

@@ -193,7 +193,15 @@ func readBody[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
 	return v, true
 }
 
+// handleHealthz reports liveness — always 200, so probes don't
+// restart-loop the daemon — but a failed persistence store degrades the
+// body: operators (and readiness checks keying on the status field)
+// must see that the control plane is running non-durable.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if err := s.p.StoreErr(); err != nil {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded", "persist": err.Error()})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 

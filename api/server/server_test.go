@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"genio/internal/core"
 	"genio/internal/events"
 	"genio/internal/orchestrator"
+	"genio/internal/persist"
 	"genio/internal/pki"
 	"genio/internal/rbac"
 )
@@ -984,5 +986,66 @@ func TestAddNodeAndAttachONUOverWire(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("olt-03 missing from fleet table")
+	}
+}
+
+// deadStore is a persist.Store whose Append can be flipped to fail,
+// driving the platform into its non-durable degraded posture.
+type deadStore struct {
+	persist.Store
+	fail atomic.Bool
+}
+
+func (d *deadStore) Append(r persist.Record) error {
+	if d.fail.Load() {
+		return errors.New("simulated disk failure")
+	}
+	return d.Store.Append(r)
+}
+
+// TestHealthzReportsDegradedStore: a failed store must be visible on
+// the health surface — the daemon stays live (200) but the body flips
+// to degraded with the persist error, so operators and readiness
+// probes see that state is no longer durable.
+func TestHealthzReportsDegradedStore(t *testing.T) {
+	ds := &deadStore{Store: persist.Memory()}
+	p, err := core.New(core.SecureConfig(), core.WithStore(ds))
+	if err != nil {
+		t.Fatalf("platform: %v", err)
+	}
+	t.Cleanup(p.Close)
+	srv := New(p, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	getHealth := func() map[string]string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v2/healthz")
+		if err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz status = %d, want 200 (liveness stays up)", resp.StatusCode)
+		}
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("healthz body: %v", err)
+		}
+		return body
+	}
+
+	if body := getHealth(); body["status"] != "ok" {
+		t.Fatalf("healthy body = %v, want status ok", body)
+	}
+
+	ds.fail.Store(true)
+	if _, err := p.AddEdgeNode("olt-01", orchestrator.Resources{CPUMilli: 1000, MemoryMB: 1024}); err != nil {
+		t.Fatalf("node: %v", err)
+	}
+
+	body := getHealth()
+	if body["status"] != "degraded" || body["persist"] == "" {
+		t.Fatalf("degraded body = %v, want status degraded with persist error", body)
 	}
 }

@@ -212,6 +212,10 @@ type Platform struct {
 	persistMu  sync.Mutex
 	incMirror  []persist.Incident
 	storeClose sync.Once
+	// storeErr holds the first persist failure (sticky, type error);
+	// storeFail guards the one-time operator signal when it happens.
+	storeErr  atomic.Value
+	storeFail sync.Once
 
 	// Far-edge state (see faredge.go).
 	feMu              sync.Mutex

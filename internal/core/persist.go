@@ -29,6 +29,10 @@ package core
 // survive), spine metrics, and the admitted/rejected counters.
 
 import (
+	"errors"
+	"fmt"
+	"log"
+
 	"genio/internal/container"
 	"genio/internal/orchestrator"
 	"genio/internal/persist"
@@ -95,12 +99,47 @@ func (p *Platform) recoverFromStore() error {
 
 // persistMutation is the cluster's MutationSink: it converts and
 // appends the record (buffered — no I/O on the caller's lock) and
-// advances the snapshot cadence.
+// advances the snapshot cadence. An append failure leaves the live
+// state authoritative but is never swallowed silently — the platform
+// flips to a visible non-durable posture (see noteStoreFailure).
 func (p *Platform) persistMutation(m orchestrator.Mutation) {
-	if p.store.Append(recordFromMutation(m)) != nil {
-		return // closed or failed store; the live state stays authoritative
+	if err := p.store.Append(recordFromMutation(m)); err != nil {
+		p.noteStoreFailure(err)
+		return
 	}
 	p.noteMutation()
+}
+
+// noteStoreFailure records the first persistence failure: the error
+// becomes visible through StoreErr (and from there the healthz
+// surface), is logged once, and raises a blocked incident — a daemon
+// that keeps accepting deploys with zero durability must say so, or a
+// later restart silently loses everything since the failure. ErrClosed
+// during shutdown is the normal race of a late mutation against store
+// release, not a durability failure.
+func (p *Platform) noteStoreFailure(err error) {
+	if errors.Is(err, persist.ErrClosed) || p.closed.Load() {
+		return
+	}
+	p.storeFail.Do(func() {
+		p.storeErr.Store(err)
+		log.Printf("genio: persist store failed, control plane now NON-DURABLE: %v", err)
+		// Off the caller's cluster lock; recordIncident publishes to the
+		// spine and re-enters persistIncident (whose append fails too,
+		// harmlessly — the Once already ran).
+		go p.recordIncident(Incident{Source: "persist", Blocked: true,
+			Detail: fmt.Sprintf("store failed, state no longer durable: %v", err)})
+	})
+}
+
+// StoreErr reports the sticky persistence failure: nil while the store
+// is healthy (or no store is configured), otherwise the first error
+// that made the platform non-durable.
+func (p *Platform) StoreErr() error {
+	if v := p.storeErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
 }
 
 // recordFromMutation maps an orchestrator mutation onto its log record.
@@ -134,9 +173,11 @@ func (p *Platform) persistIncident(i Incident) {
 		p.incMirror = append(p.incMirror, pi)
 	}
 	p.persistMu.Unlock()
-	if err == nil {
-		p.noteMutation()
+	if err != nil {
+		p.noteStoreFailure(err)
+		return
 	}
+	p.noteMutation()
 }
 
 // noteMutation advances the compaction cadence and, past the

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"genio/internal/container"
 	"genio/internal/orchestrator"
@@ -306,5 +308,68 @@ func TestSnapshotCadenceCompactsLog(t *testing.T) {
 	defer p2.Close()
 	if got := len(p2.Cluster.Workloads()); got != 40 {
 		t.Fatalf("recovered %d workloads, want 40", got)
+	}
+}
+
+// failingStore wraps a Store and can be flipped to fail every Append,
+// modelling a full or dying disk under a live control plane.
+type failingStore struct {
+	persist.Store
+	failing atomic.Bool
+}
+
+func (f *failingStore) Append(r persist.Record) error {
+	if f.failing.Load() {
+		return errFailDisk
+	}
+	return f.Store.Append(r)
+}
+
+var errFailDisk = errors.New("simulated disk failure")
+
+// TestStoreFailureSurfacedNotSilent: once the store fails, the platform
+// keeps serving (live state stays authoritative) but must SAY so — the
+// sticky error is visible through StoreErr and a blocked incident is
+// raised, instead of silently accepting non-durable deploys until a
+// restart loses them.
+func TestStoreFailureSurfacedNotSilent(t *testing.T) {
+	fs := &failingStore{Store: persist.Memory()}
+	p, err := New(SecureConfig(), WithStore(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	addNode(t, p, "olt-01")
+	if err := p.StoreErr(); err != nil {
+		t.Fatalf("healthy store reported failure: %v", err)
+	}
+
+	fs.failing.Store(true)
+	addNode(t, p, "olt-02") // the node-join mutation hits the dead store
+
+	if err := p.StoreErr(); !errors.Is(err, errFailDisk) {
+		t.Fatalf("StoreErr = %v, want the sticky disk failure", err)
+	}
+	// The operator-visible incident lands asynchronously (it is raised
+	// off the cluster lock that observed the failure).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		found := false
+		for _, i := range p.Incidents() {
+			if i.Source == "persist" && i.Blocked {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no persist incident raised; incidents = %+v", p.Incidents())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The platform still serves and still tracks live state.
+	if !p.Cluster.HasNode("olt-02") {
+		t.Fatal("live state lost after store failure")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -309,6 +310,105 @@ func TestWALTornTail(t *testing.T) {
 	}
 }
 
+// TestWALTornTailThenAppend is the recovery-after-recovery regression:
+// OpenWAL must truncate a torn tail before appending, or the first
+// post-recovery record concatenates onto the leftover bytes into one
+// unparsable line — and the NEXT recovery stops there, silently
+// dropping every acknowledged record written after the crash.
+func TestWALTornTailThenAppend(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedStore(t, w) // LSNs 1..9
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"lsn":10,"kind":"place","workl`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// First recovery discards the torn record, then keeps writing.
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(placeRecord("post-crash", "olt-01", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second recovery must see the seed AND the post-crash record: the
+	// torn bytes may not poison the line the new record landed on.
+	w3, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	st, err := w3.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w3.LastLSN(); got != 10 {
+		t.Fatalf("LSN after torn-tail append cycle = %d, want 10", got)
+	}
+	names := make(map[string]bool, len(st.Cluster.Workloads))
+	for _, wl := range st.Cluster.Workloads {
+		names[wl.Spec.Name] = true
+	}
+	if !names["web"] || !names["post-crash"] {
+		t.Fatalf("workloads = %+v, want web and post-crash to survive", st.Cluster.Workloads)
+	}
+}
+
+// TestWALLargeRecordRecovers: the write path imposes no line-length
+// limit (a record embeds a full workload snapshot), so the recovery
+// path may not either — a record past any fixed scanner buffer must
+// still boot. The old reader capped lines at 8MB and refused to open.
+func TestWALLargeRecordRecovers(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := placeRecord(strings.Repeat("x", 9<<20), "olt-01", 10)
+	if err := w.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatalf("reopen over >8MB record: %v", err)
+	}
+	defer w2.Close()
+	st, err := w2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Cluster.Workloads) != 1 || len(st.Cluster.Workloads[0].Spec.Name) != 9<<20 {
+		t.Fatalf("large record did not survive recovery: %d workloads", len(st.Cluster.Workloads))
+	}
+}
+
 func TestWALCorruptSnapshotRefusesOpen(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, snapFile), []byte("{nope"), 0o644); err != nil {
@@ -341,7 +441,7 @@ func TestWALGroupCommitBatches(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	recs, err := readLog(filepath.Join(dir, walFile))
+	recs, _, err := readLog(filepath.Join(dir, walFile))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,13 +18,18 @@ package persist
 // durability, so the pending batch is retired in the same step.
 // Recovery (Open + Load) reads the snapshot if present and replays the
 // log's records beyond its LSN; a torn final line (the write the crash
-// interrupted) is discarded, everything before it survives.
+// interrupted) is discarded, everything before it survives. The torn
+// bytes themselves are truncated away before the log is reopened for
+// append — left in place they would fuse with the next append into one
+// unparsable line, and the following recovery would stop there and
+// silently drop every record written after the crash.
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -85,7 +90,8 @@ func OpenWAL(dir string) (*WAL, error) {
 		return nil, fmt.Errorf("persist: read snapshot: %w", err)
 	}
 
-	recs, err := readLog(filepath.Join(dir, walFile))
+	walPath := filepath.Join(dir, walFile)
+	recs, durable, err := readLog(walPath)
 	if err != nil {
 		return nil, err
 	}
@@ -100,9 +106,24 @@ func OpenWAL(dir string) (*WAL, error) {
 	}
 	w.committed = w.nextLSN
 
-	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("persist: open wal: %w", err)
+	}
+	// Cut off a crash-torn tail before appending: new records written
+	// after the torn bytes would concatenate into one unparsable line,
+	// and the next recovery would stop there — dropping records a Flush
+	// had already acknowledged. Truncation makes the discard permanent
+	// and the file append-clean again.
+	if fi, serr := f.Stat(); serr == nil && fi.Size() > durable {
+		if err := f.Truncate(durable); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: truncate torn wal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: sync truncated wal: %w", err)
+		}
 	}
 	w.f = f
 	go w.commitLoop()
@@ -110,34 +131,54 @@ func OpenWAL(dir string) (*WAL, error) {
 }
 
 // readLog parses the JSON-line log, stopping at the first unparsable
-// line — a torn tail write from a crash loses only that record.
-func readLog(path string) ([]Record, error) {
+// or unterminated line — a torn tail write from a crash loses only
+// that record. It also returns the byte offset just past the last good
+// line, so the caller can truncate the torn bytes away before
+// appending. Lines are read unbounded (a record embeds a full workload
+// snapshot, so no fixed cap can be assumed on both the write and the
+// recovery path).
+func readLog(path string) ([]Record, int64, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, 0, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("persist: open wal: %w", err)
+		return nil, 0, fmt.Errorf("persist: open wal: %w", err)
 	}
 	defer f.Close()
-	var recs []Record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
+	var (
+		recs    []Record
+		durable int64 // offset just past the last fully-parsed line
+		off     int64
+	)
+	rd := bufio.NewReader(f)
+	for {
+		line, err := rd.ReadBytes('\n')
+		off += int64(len(line))
+		if err == io.EOF {
+			// A final line without its newline: the batch write (which
+			// ends every record with '\n' before the fsync) was torn
+			// mid-record. Discard it even if the bytes so far happen to
+			// parse — appending after them would fuse two records.
+			return recs, durable, nil
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("persist: read wal: %w", err)
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			durable = off
 			continue
 		}
 		var r Record
-		if err := json.Unmarshal(line, &r); err != nil {
-			break
+		if err := json.Unmarshal(trimmed, &r); err != nil {
+			// Torn or corrupt line: everything after it is unreachable
+			// on replay, so the durable prefix ends here.
+			return recs, durable, nil
 		}
 		recs = append(recs, r)
+		durable = off
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("persist: read wal: %w", err)
-	}
-	return recs, nil
 }
 
 // Append assigns the next LSN and buffers the record for the group
@@ -309,7 +350,12 @@ func (w *WAL) Snapshot(st *State) error {
 	return nil
 }
 
-// writeFileAtomic writes data via tmp + fsync + rename.
+// writeFileAtomic writes data via tmp + fsync + rename + directory
+// fsync. The final sync is what makes the rename itself durable: the
+// snapshot's rename must be on disk before the log rotation that
+// depends on it, and without a dir fsync a power cut may persist the
+// renames in either order — a rotated (compacted) log next to the OLD
+// snapshot loses every record the new snapshot covered.
 func writeFileAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
@@ -330,7 +376,20 @@ func writeFileAtomic(path string, data []byte) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("persist: rename %s: %w", filepath.Base(path), err)
 	}
-	return nil
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a rename inside it survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: open dir %s: %w", dir, err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("persist: sync dir %s: %w", dir, err)
+	}
+	return d.Close()
 }
 
 // Load returns the recovered state: the last snapshot with the log
