@@ -43,6 +43,8 @@ type Interface interface {
 
 	Incidents(ctx context.Context) (api.IncidentCounts, error)
 	Ledger(ctx context.Context) (api.Ledger, error)
+	// Slots returns the warm-slot pool table and lifecycle counters.
+	Slots(ctx context.Context) (api.SlotsReport, error)
 
 	// Close releases the client (and, for the local implementation, the
 	// platform it owns).

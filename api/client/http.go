@@ -418,6 +418,12 @@ func (c *HTTP) Ledger(ctx context.Context) (api.Ledger, error) {
 	return out, nil
 }
 
+func (c *HTTP) Slots(ctx context.Context) (api.SlotsReport, error) {
+	var out api.SlotsReport
+	err := c.do(ctx, http.MethodGet, "/v2/slots", nil, nil, &out)
+	return out, err
+}
+
 // Close releases idle connections; the remote platform is unaffected.
 func (c *HTTP) Close() error {
 	c.client.CloseIdleConnections()

@@ -211,6 +211,10 @@ func (l *Local) Ledger(ctx context.Context) (api.Ledger, error) {
 	return api.FromStats(l.p.Metrics()), nil
 }
 
+func (l *Local) Slots(ctx context.Context) (api.SlotsReport, error) {
+	return api.FromWarmPools(l.p.Cluster.WarmPools(), l.p.Cluster.WarmCounters()), nil
+}
+
 // Close closes the platform when the client owns it.
 func (l *Local) Close() error {
 	if l.ownsPlatform {

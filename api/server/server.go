@@ -123,6 +123,7 @@ func New(p *core.Platform, opts Options) *Server {
 	s.handle("POST /v2/nodes/{name}/onus", s.handleAttachONU)
 	s.handle("GET /v2/incidents", s.handleIncidents)
 	s.handle("GET /v2/ledger", s.handleLedger)
+	s.handle("GET /v2/slots", s.handleSlots)
 	return s
 }
 
@@ -625,6 +626,16 @@ func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request, subject st
 		return
 	}
 	writeJSON(w, http.StatusOK, api.FromStats(s.p.Metrics()))
+}
+
+// handleSlots serves the warm-slot pool table; it is fleet state, so it
+// shares the nodes read permission.
+func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request, subject string) {
+	if err := s.authorize(subject, "get", "nodes", ""); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.FromWarmPools(s.p.Cluster.WarmPools(), s.p.Cluster.WarmCounters()))
 }
 
 // Drain stops accepting new async deployments and waits for the

@@ -4,6 +4,13 @@
 // spine and deploy hot paths honest against the committed BENCH_*.json
 // baseline.
 //
+// Three metrics are gated per benchmark: ns/op always, and — when both
+// runs carry -benchmem measurements — B/op and allocs/op too, so an
+// allocation regression cannot hide behind a flat ns/op (allocation
+// costs often land on someone else's profile, as GC assist). A
+// benchmark whose baseline is allocation-free regresses on the first
+// byte or allocation it gains, whatever the percentage.
+//
 // Usage:
 //
 //	genio-benchdiff -baseline BENCH_20260727.json -new bench-new.json \
@@ -20,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -42,7 +50,7 @@ func run(args []string, out io.Writer) (int, error) {
 	baseline := fs.String("baseline", "", "baseline bench JSON (test2json stream)")
 	fresh := fs.String("new", "", "new bench JSON to compare against the baseline")
 	match := fs.String("match", ".", "regexp selecting benchmarks to gate")
-	threshold := fs.Float64("threshold", 25, "max allowed ns/op regression, percent")
+	threshold := fs.Float64("threshold", 25, "max allowed regression per metric, percent")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -78,24 +86,28 @@ func run(args []string, out io.Writer) (int, error) {
 		b := base[name]
 		c, ok := cur[name]
 		if !ok {
-			fmt.Fprintf(out, "GONE     %-40s baseline %.1f ns/op, absent in new run\n", name, b)
+			fmt.Fprintf(out, "GONE     %-40s baseline %.1f ns/op, absent in new run\n", name, b.ns)
 			continue
 		}
 		compared++
-		deltaPct := (c - b) / b * 100
-		switch {
-		case deltaPct > *threshold:
+		if gateMetric(out, name, "ns/op", b.ns, c.ns, *threshold) {
 			code = 1
-			fmt.Fprintf(out, "REGRESS  %-40s %.1f -> %.1f ns/op (%+.1f%% > %.0f%%)\n",
-				name, b, c, deltaPct, *threshold)
-		default:
-			fmt.Fprintf(out, "ok       %-40s %.1f -> %.1f ns/op (%+.1f%%)\n", name, b, c, deltaPct)
+		}
+		// Memory gates need measurements on both sides: a run without
+		// -benchmem must not read as "dropped to zero".
+		if b.hasMem && c.hasMem {
+			if gateMetric(out, name, "B/op", b.bytes, c.bytes, *threshold) {
+				code = 1
+			}
+			if gateMetric(out, name, "allocs/op", b.allocs, c.allocs, *threshold) {
+				code = 1
+			}
 		}
 	}
 	for name := range cur {
 		if re.MatchString(name) {
 			if _, ok := base[name]; !ok {
-				fmt.Fprintf(out, "NEW      %-40s %.1f ns/op (no baseline)\n", name, cur[name])
+				fmt.Fprintf(out, "NEW      %-40s %.1f ns/op (no baseline)\n", name, cur[name].ns)
 			}
 		}
 	}
@@ -106,29 +118,65 @@ func run(args []string, out io.Writer) (int, error) {
 	return code, nil
 }
 
+// gateMetric prints one comparison line and reports whether the metric
+// regressed past the threshold. A zero baseline is an absolute
+// contract (alloc-free or byte-free): any growth regresses it.
+func gateMetric(out io.Writer, name, unit string, b, c, threshold float64) bool {
+	var deltaPct float64
+	switch {
+	case b == 0 && c == 0:
+		deltaPct = 0
+	case b == 0:
+		deltaPct = math.Inf(1)
+	default:
+		deltaPct = (c - b) / b * 100
+	}
+	if deltaPct > threshold {
+		fmt.Fprintf(out, "REGRESS  %-40s %.1f -> %.1f %s (%+.1f%% > %.0f%%)\n",
+			name, b, c, unit, deltaPct, threshold)
+		return true
+	}
+	fmt.Fprintf(out, "ok       %-40s %.1f -> %.1f %s (%+.1f%%)\n", name, b, c, unit, deltaPct)
+	return false
+}
+
 // benchLine matches "<iterations> <ns> ns/op ..." — the measurement half
-// of a benchmark result.
+// of a benchmark result. B/op and allocs/op follow when the run used
+// -benchmem (an MB/s column may sit between).
 var benchLine = regexp.MustCompile(`^\s*(\d+)\s+([0-9.]+) ns/op`)
+
+var (
+	memBytes  = regexp.MustCompile(`([0-9.]+) B/op`)
+	memAllocs = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
 
 // benchName matches the name half, "BenchmarkFoo-8" — including b.Run
 // sub-benchmarks like "BenchmarkFoo/case-8" (the -N GOMAXPROCS suffix is
 // stripped so runs from different hosts compare).
 var benchName = regexp.MustCompile(`^(Benchmark[\w/.,=:-]+?)(?:-\d+)?\s`)
 
-// parseBenchJSON extracts name -> ns/op from a test2json stream. go
-// test prints the benchmark name first and the measurements once the run
-// completes, so test2json usually splits them across two Output events;
-// both the split and the single-line form are handled. Repeated runs of
-// one benchmark (-count > 1) keep the minimum, the conventional
-// noise-resistant summary.
-func parseBenchJSON(path string) (map[string]float64, error) {
+// benchResult is one benchmark's summary across repeated runs.
+type benchResult struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	hasMem bool
+}
+
+// parseBenchJSON extracts name -> measurements from a test2json stream.
+// go test prints the benchmark name first and the measurements once the
+// run completes, so test2json usually splits them across two Output
+// events; both the split and the single-line form are handled. Repeated
+// runs of one benchmark (-count > 1) keep the per-metric minimum, the
+// conventional noise-resistant summary.
+func parseBenchJSON(path string) (map[string]benchResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 
-	out := make(map[string]float64)
+	out := make(map[string]benchResult)
 	lastName := ""
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -147,15 +195,40 @@ func parseBenchJSON(path string) (map[string]float64, error) {
 			lastName = m[1]
 			text = strings.TrimPrefix(text, m[0])
 		}
-		if m := benchLine.FindStringSubmatch(text); m != nil && lastName != "" {
-			ns, err := strconv.ParseFloat(m[2], 64)
-			if err != nil {
-				continue
-			}
-			if prev, ok := out[lastName]; !ok || ns < prev {
-				out[lastName] = ns
+		m := benchLine.FindStringSubmatch(text)
+		if m == nil || lastName == "" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		r := benchResult{ns: ns}
+		if bm := memBytes.FindStringSubmatch(text); bm != nil {
+			if am := memAllocs.FindStringSubmatch(text); am != nil {
+				r.bytes, _ = strconv.ParseFloat(bm[1], 64)
+				r.allocs, _ = strconv.ParseFloat(am[1], 64)
+				r.hasMem = true
 			}
 		}
+		prev, seen := out[lastName]
+		if !seen {
+			out[lastName] = r
+			continue
+		}
+		// Per-metric minimum across -count repeats. Mem stats are
+		// per-benchmark constants in practice, but min keeps the merge
+		// symmetric and order-independent.
+		prev.ns = math.Min(prev.ns, r.ns)
+		if r.hasMem {
+			if prev.hasMem {
+				prev.bytes = math.Min(prev.bytes, r.bytes)
+				prev.allocs = math.Min(prev.allocs, r.allocs)
+			} else {
+				prev.bytes, prev.allocs, prev.hasMem = r.bytes, r.allocs, true
+			}
+		}
+		out[lastName] = prev
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

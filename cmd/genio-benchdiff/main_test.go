@@ -85,6 +85,60 @@ func TestBenchdiffPassAndRegress(t *testing.T) {
 	}
 }
 
+// TestBenchdiffGatesMemoryMetrics: a flat ns/op cannot hide a B/op or
+// allocs/op regression when both runs carry -benchmem columns.
+func TestBenchdiffGatesMemoryMetrics(t *testing.T) {
+	dir := t.TempDir()
+	base := writeStream(t, dir, "base.json", [][2]string{
+		{"BenchmarkWarmDeploy", "100000\t 9000 ns/op\t 4400 B/op\t 64 allocs/op"},
+		{"BenchmarkSchedule1kNodes", "50000\t 21000 ns/op\t 0 B/op\t 0 allocs/op"},
+	})
+
+	// ns/op flat, allocations doubled: must fail on allocs/op.
+	bloated := writeStream(t, dir, "bloated.json", [][2]string{
+		{"BenchmarkWarmDeploy", "100000\t 9100 ns/op\t 4500 B/op\t 130 allocs/op"},
+		{"BenchmarkSchedule1kNodes", "50000\t 21000 ns/op\t 0 B/op\t 0 allocs/op"},
+	})
+	var buf bytes.Buffer
+	code, err := run([]string{"-baseline", base, "-new", bloated, "-threshold", "25"}, &buf)
+	if err != nil || code != 1 {
+		t.Fatalf("alloc regression: code=%d err=%v\n%s", code, err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "allocs/op") || !strings.Contains(buf.String(), "REGRESS  BenchmarkWarmDeploy") {
+		t.Fatalf("allocs/op regression not reported:\n%s", buf.String())
+	}
+
+	// A zero-alloc baseline is an absolute contract: one allocation fails
+	// it regardless of percentages.
+	leak := writeStream(t, dir, "leak.json", [][2]string{
+		{"BenchmarkWarmDeploy", "100000\t 9000 ns/op\t 4400 B/op\t 64 allocs/op"},
+		{"BenchmarkSchedule1kNodes", "50000\t 21000 ns/op\t 16 B/op\t 1 allocs/op"},
+	})
+	buf.Reset()
+	code, err = run([]string{"-baseline", base, "-new", leak, "-threshold", "25"}, &buf)
+	if err != nil || code != 1 {
+		t.Fatalf("zero-baseline regression: code=%d err=%v\n%s", code, err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESS  BenchmarkSchedule1kNodes") {
+		t.Fatalf("zero-alloc contract break not reported:\n%s", buf.String())
+	}
+
+	// A new run without -benchmem must not gate memory at all (absence is
+	// not zero) — and improvements never fail.
+	nomem := writeStream(t, dir, "nomem.json", [][2]string{
+		{"BenchmarkWarmDeploy", "100000\t 8000 ns/op"},
+		{"BenchmarkSchedule1kNodes", "50000\t 20000 ns/op"},
+	})
+	buf.Reset()
+	code, err = run([]string{"-baseline", base, "-new", nomem, "-threshold", "25"}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("missing -benchmem treated as regression: code=%d err=%v\n%s", code, err, buf.String())
+	}
+	if strings.Contains(buf.String(), "B/op") {
+		t.Fatalf("memory gated without measurements on both sides:\n%s", buf.String())
+	}
+}
+
 func TestBenchdiffNewAndGoneBenchmarks(t *testing.T) {
 	dir := t.TempDir()
 	base := writeStream(t, dir, "base.json", [][2]string{
@@ -122,10 +176,10 @@ func TestBenchdiffSubBenchmarkNames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res["BenchmarkParent"] != 500 {
+	if res["BenchmarkParent"].ns != 500 {
 		t.Fatalf("parent = %v, want 500 (sub-case leaked into parent?)", res["BenchmarkParent"])
 	}
-	if res["BenchmarkParent/fast-case"] != 10 || res["BenchmarkParent/slow-case"] != 900 {
+	if res["BenchmarkParent/fast-case"].ns != 10 || res["BenchmarkParent/slow-case"].ns != 900 {
 		t.Fatalf("sub-benchmarks misparsed: %v", res)
 	}
 }

@@ -12,6 +12,7 @@
 //	genioctl deploy -image acme/iot-gateway:1.4.2 -timeout 2s
 //	genioctl watch -deploys 4 -tenant acme
 //	genioctl nodes -top
+//	genioctl slots
 //	genioctl cordon -node olt-01
 //	genioctl cordon -node olt-01 -undo
 //	genioctl drain -node olt-01 -timeout 5s
@@ -82,6 +83,8 @@ func run(args []string, out io.Writer) error {
 			return runDrain(args[1:], out)
 		case "nodes":
 			return runNodes(args[1:], out)
+		case "slots":
+			return runSlots(args[1:], out)
 		}
 	}
 	return runDemo(args, out)
@@ -476,7 +479,7 @@ func runNodes(args []string, out io.Writer) error {
 
 // printFleet renders the fleet table from the client; with scores it
 // asks the control plane to explain a 500m/512MB probe under both
-// strategies.
+// strategies, and adds the per-node warm-slot columns.
 func printFleet(out io.Writer, cli client.Interface, scores bool) error {
 	var probe *api.Resources
 	if scores {
@@ -488,7 +491,7 @@ func printFleet(out io.Writer, cli client.Interface, scores bool) error {
 	}
 	header := fmt.Sprintf("%-8s %-12s %-14s %-4s %-9s", "NODE", "CPU(m)", "MEM(MB)", "WLS", "STATE")
 	if scores {
-		header += fmt.Sprintf(" %-8s %-8s", "BINPACK", "SPREAD")
+		header += fmt.Sprintf(" %-5s %-5s %-8s %-8s", "WARM", "CLMD", "BINPACK", "SPREAD")
 	}
 	fmt.Fprintln(out, header)
 	for _, n := range nodes {
@@ -500,10 +503,47 @@ func printFleet(out io.Writer, cli client.Interface, scores bool) error {
 			n.Node, n.Used.CPUMilli, n.Capacity.CPUMilli,
 			n.Used.MemoryMB, n.Capacity.MemoryMB, n.Workloads, state)
 		if scores {
-			line += fmt.Sprintf(" %-8s %-8s", renderScore(n.Binpack), renderScore(n.Spread))
+			line += fmt.Sprintf(" %-5d %-5d %-8s %-8s", n.WarmIdle, n.WarmClaimed,
+				renderScore(n.Binpack), renderScore(n.Spread))
 		}
 		fmt.Fprintln(out, line)
 	}
+	return nil
+}
+
+// runSlots prints the warm-slot pool table: one row per (tenant, image
+// digest) pool plus the lifecycle counters. Identical against a remote
+// daemon (-server) and the in-process demo platform.
+func runSlots(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("genioctl slots", flag.ContinueOnError)
+	fs.SetOutput(out)
+	conn := addConnFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cli, err := conn.newClient(3)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	rep, err := cli.Slots(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-10s %-16s %-5s %-7s\n", "TENANT", "DIGEST", "IDLE", "CLAIMED")
+	if len(rep.Pools) == 0 {
+		fmt.Fprintln(out, "(no warm pools)")
+	}
+	for _, p := range rep.Pools {
+		digest := p.Digest
+		if len(digest) > 16 {
+			digest = digest[:16]
+		}
+		fmt.Fprintf(out, "%-10s %-16s %-5d %-7d\n", p.Tenant, digest, p.Idle, p.Claimed)
+	}
+	c := rep.Counters
+	fmt.Fprintf(out, "\nhits=%d misses=%d evicted=%d flushed=%d\n",
+		c.Hits, c.Misses, c.Evicted, c.Flushed)
 	return nil
 }
 

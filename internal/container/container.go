@@ -16,7 +16,6 @@ import (
 	"errors"
 	"fmt"
 	"hash"
-	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -37,8 +36,14 @@ type Layer struct {
 // Digest computes the layer content digest (order-insensitive over file
 // paths, binary-encoded — no reflection formatting on the deploy path).
 func (l Layer) Digest() string {
-	files := append([]File(nil), l.Files...)
-	sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
+	files := l.Files
+	byPath := func(i, j int) bool { return files[i].Path < files[j].Path }
+	if !sort.SliceIsSorted(files, byPath) {
+		// Only pay the copy when the layer is actually unordered; the
+		// original slice is never mutated either way.
+		files = append([]File(nil), l.Files...)
+		sort.Slice(files, byPath)
+	}
 	w := hasher{h: sha256.New()}
 	for _, f := range files {
 		w.str(f.Path)
@@ -103,15 +108,20 @@ func (i *Image) Ref() string { return i.Name + ":" + i.Tag }
 // prefixes and scalar fields below hash without a per-call allocation —
 // Digest runs once per deployment on the admission path.
 type hasher struct {
-	h   hash.Hash
-	buf [8]byte
+	h       hash.Hash
+	buf     [8]byte
+	scratch []byte
 }
 
 // str writes a length-delimited string, so element boundaries can never
-// be confused whatever the contents.
+// be confused whatever the contents. The scratch buffer is reused
+// across calls: hash.Hash only takes []byte, and handing it a fresh
+// conversion of every string would allocate per field on the admission
+// hot path.
 func (w *hasher) str(s string) {
 	w.u32(uint32(len(s)))
-	io.WriteString(w.h, s)
+	w.scratch = append(w.scratch[:0], s...)
+	w.h.Write(w.scratch)
 }
 
 // count writes a slice's element count before its elements. Without it,
@@ -141,7 +151,10 @@ func (w *hasher) flag(v bool) {
 	w.h.Write(w.buf[:1])
 }
 
-func (w *hasher) sum() string { return hex.EncodeToString(w.h.Sum(nil)) }
+func (w *hasher) sum() string {
+	var out [sha256.Size]byte
+	return hex.EncodeToString(w.h.Sum(out[:0]))
+}
 
 // Digest computes the image manifest digest over layer digests and
 // config. Deliberately recomputed on every call — never memoized — so a

@@ -87,7 +87,13 @@ func (c *Cluster) AdmissionCacheSize() int {
 // pool and aggregates the verdict deterministically. A done context
 // aborts the run with a *CancelledError and commits nothing to the
 // verdict cache.
-func (c *Cluster) runAdmission(ctx context.Context, spec WorkloadSpec, img *container.Image) error {
+//
+// digest is the deploy call's single Image.Digest computation (see
+// Cluster.deployDigest) — shared with the warm-slot claim so one deploy
+// never hashes the image twice. It keys the clean-verdict cache; empty
+// (or with the cache administratively disabled) every cacheable
+// controller runs cold.
+func (c *Cluster) runAdmission(ctx context.Context, spec WorkloadSpec, img *container.Image, digest string) error {
 	c.admMu.RLock()
 	chain := append([]namedAdmission(nil), c.admission...)
 	c.admMu.RUnlock()
@@ -95,15 +101,10 @@ func (c *Cluster) runAdmission(ctx context.Context, spec WorkloadSpec, img *cont
 		return ctxErr(ctx, spec.Name, "admission")
 	}
 
-	// One digest computation serves every cacheable controller.
-	digest := ""
-	if !c.AdmissionCacheDisabled {
-		for _, a := range chain {
-			if a.cacheable {
-				digest = img.Digest()
-				break
-			}
-		}
+	// The warm pool may have computed a digest the verdict cache is not
+	// allowed to use (benchmarks measuring the cold scanner path).
+	if c.AdmissionCacheDisabled {
+		digest = ""
 	}
 
 	// Resolve cache hits up front so the warm path — every controller

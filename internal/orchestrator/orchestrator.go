@@ -35,6 +35,7 @@ import (
 
 	"genio/internal/container"
 	"genio/internal/orchestrator/scheduler"
+	"genio/internal/orchestrator/warmpool"
 	"genio/internal/rbac"
 )
 
@@ -103,6 +104,13 @@ type Workload struct {
 	// are refreshed whenever the workload moves (failover, drain).
 	Strategy string  `json:"strategy,omitempty"`
 	Score    float64 `json:"score,omitempty"`
+	// digest is the image digest the deploy call computed and admitted
+	// this workload under — what the VM actually runs. Parking reuses it
+	// instead of re-hashing (tamper detection lives at claim time, where
+	// the INCOMING image is re-hashed against the slot). Empty on
+	// workloads recovered from persisted state; park falls back to
+	// hashing then.
+	digest string
 }
 
 // VM is a virtual machine on a node.
@@ -217,6 +225,20 @@ type Settings struct {
 	// ("binpack" | "spread"; "" = binpack) for workloads that do not set
 	// their own WorkloadSpec.PlacementPolicy.
 	PlacementStrategy string `json:"placementStrategy,omitempty"`
+	// WarmPoolEnabled turns on the warm-slot runtime pool (warm.go,
+	// internal/orchestrator/warmpool): stopping a workload parks its
+	// VM as an idle slot with its capacity still reserved, and a repeat
+	// deploy of the same (tenant, image digest) claims the slot in O(1)
+	// after claim-time revalidation. Off by default — parked slots hold
+	// node capacity, trading headroom for repeat-deploy latency.
+	WarmPoolEnabled bool `json:"warmPoolEnabled,omitempty"`
+	// WarmPoolHighWatermarkPct / WarmPoolLowWatermarkPct bound the warm
+	// pool's pressure evictor: when parking pushes a node's utilization
+	// (max of CPU and memory, percent of capacity) above the high
+	// watermark, idle slots are evicted LRU-first until it is back under
+	// the low one. Zero values take the defaults (85 / 60).
+	WarmPoolHighWatermarkPct int `json:"warmPoolHighWatermarkPct,omitempty"`
+	WarmPoolLowWatermarkPct  int `json:"warmPoolLowWatermarkPct,omitempty"`
 }
 
 // InsecureDefaults returns the configuration middleware ships with before
@@ -330,6 +352,12 @@ type Cluster struct {
 	// audit, when set, receives a record per control-plane decision.
 	audit atomic.Pointer[AuditSink]
 
+	// warm is the warm-slot runtime pool (warm.go); always allocated,
+	// active only when Settings.WarmPoolEnabled. warmEvents, when set,
+	// receives slot lifecycle events (outside locks, like audit).
+	warm       *warmpool.Pool
+	warmEvents atomic.Pointer[WarmEventSink]
+
 	// mutations, when set, receives a typed record per durable state
 	// change, emitted inside the lock that applied it (see state.go).
 	mutations atomic.Pointer[MutationSink]
@@ -362,6 +390,7 @@ func NewCluster(name string, reg *container.Registry, settings Settings) *Cluste
 		quotas:     make(map[string]Resources),
 		tenantUsed: make(map[string]Resources),
 		sched:      scheduler.New(),
+		warm:       warmpool.New(),
 	}
 }
 
@@ -575,7 +604,13 @@ func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec,
 		return nil, Placement{}, &ImagePullError{Ref: spec.ImageRef, Err: err}
 	}
 
-	if err := c.runAdmission(ctx, spec, img); err != nil {
+	// One digest computation per Deploy serves every consumer — the
+	// admission verdict-cache keys and the warm-slot claim — instead of
+	// each re-hashing the image. Deliberately recomputed per call, never
+	// memoized on the Image: a tampered image object must re-hash to a
+	// different digest and miss both caches (see deployDigest).
+	digest := c.deployDigest(img)
+	if err := c.runAdmission(ctx, spec, img, digest); err != nil {
 		if !errors.Is(err, ErrCancelled) {
 			c.rejected.Add(1)
 		}
@@ -612,9 +647,48 @@ func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec,
 	}
 	c.pending[spec.Name] = struct{}{}
 	c.tenantUsed[spec.Tenant] = c.tenantUsed[spec.Tenant].Add(spec.Resources)
-	c.mu.Unlock()
+
+	// Warm fast path: with the name and quota reserved, a repeat deploy
+	// whose digest still holds a clean cached verdict claims an idle warm
+	// slot in O(1) — no scheduler pass, no VM mint — and commits inside
+	// this same critical section. A live context is required: a deploy
+	// cancelled this late must roll back, not claim. Misses fall through
+	// to the unchanged cold path.
+	if c.warmEnabled() && digest != "" && ctx.Err() == nil {
+		if w, evs := c.claimWarmLocked(spec, img, digest); w != nil {
+			delete(c.pending, spec.Name)
+			c.workloads[spec.Name] = w
+			c.mutatePlace(w)
+			placed := Placement{Node: w.Node, VMID: w.VMID}
+			cp := *w
+			c.mu.Unlock()
+			c.admitted.Add(1)
+			c.emitWarmEvents(evs)
+			return &cp, placed, nil
+		} else {
+			c.mu.Unlock()
+			c.emitWarmEvents(evs)
+		}
+	} else {
+		c.mu.Unlock()
+	}
 
 	w, placedOn, err := c.schedule(spec, img)
+	if err != nil && c.warmEnabled() {
+		// Capacity pressure: parked warm capacity must never turn a
+		// placeable workload away. Reclaim every idle slot and retry the
+		// scheduling pass once.
+		var capErr *CapacityError
+		if errors.As(err, &capErr) {
+			c.mu.RLock()
+			evs := c.reclaimWarmLocked()
+			c.mu.RUnlock()
+			if len(evs) > 0 {
+				c.emitWarmEvents(evs)
+				w, placedOn, err = c.schedule(spec, img)
+			}
+		}
+	}
 
 	c.mu.Lock()
 	delete(c.pending, spec.Name)
@@ -675,6 +749,7 @@ func (c *Cluster) deploy(ctx context.Context, subject string, spec WorkloadSpec,
 		}
 		return nil, Placement{}, err
 	}
+	w.digest = digest
 	c.workloads[spec.Name] = w
 	c.mutatePlace(w)
 	placed := Placement{Node: w.Node, VMID: w.VMID}
@@ -859,34 +934,45 @@ func (c *Cluster) placeVM(n *node, spec WorkloadSpec) *VM {
 	return vm
 }
 
-// Stop removes a workload, releasing capacity and quota.
+// Stop removes a workload, releasing capacity and quota. With the warm
+// pool enabled, a workload that was its VM's only occupant parks the VM
+// as an idle warm slot instead of tearing it down (see warm.go).
 func (c *Cluster) Stop(name string) error {
-	w, err := c.stop(name)
+	w, evs, err := c.stop(name)
 	if err != nil {
 		return err
 	}
 	c.auditEvent(AuditEvent{Kind: "workload-stop", Workload: name,
 		Tenant: w.Spec.Tenant, Node: w.Node, Allowed: true})
+	c.emitWarmEvents(evs)
 	return nil
 }
 
-// stop is Stop's body, audit emission excluded.
-func (c *Cluster) stop(name string) (*Workload, error) {
+// stop is Stop's body, audit and warm-event emission excluded (both
+// must happen outside c.mu; the warm events are returned for that).
+func (c *Cluster) stop(name string) (*Workload, []WarmEvent, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w, ok := c.workloads[name]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	delete(c.workloads, name)
 	c.mutate(Mutation{Kind: MutStop, Name: name})
 	c.tenantUsed[w.Spec.Tenant] = c.tenantUsed[w.Spec.Tenant].Sub(w.Spec.Resources)
-	if n, ok := c.nodes[w.Node]; ok {
-		n.mu.Lock()
-		n.releaseLocked(name, w.VMID, w.Spec.Resources, w.Spec.Tenant)
-		n.mu.Unlock()
+	var evs []WarmEvent
+	if !c.parkOnStopLocked(w, &evs) {
+		if n, ok := c.nodes[w.Node]; ok {
+			n.mu.Lock()
+			n.releaseLocked(name, w.VMID, w.Spec.Resources, w.Spec.Tenant)
+			n.mu.Unlock()
+		}
 	}
-	return w, nil
+	// Whether the slot parked or the VM tore down, the workload's own
+	// claimed-slot binding (if this deploy came through the warm path)
+	// is retired.
+	c.warm.DropClaimed(name)
+	return w, evs, nil
 }
 
 // Workload returns a running workload by name. The returned struct is

@@ -1,0 +1,241 @@
+package warmpool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func slot(tenant, digest, node, vm string, dedicated bool) Slot {
+	return Slot{
+		Tenant: tenant, Digest: digest, Node: node, VMID: vm,
+		Res:       Resources{CPUMilli: 500, MemoryMB: 512},
+		Dedicated: dedicated,
+	}
+}
+
+func TestTakeMRUWarmestFirst(t *testing.T) {
+	p := New()
+	p.Park(slot("acme", "d1", "n1", "vm-1", true))
+	p.Park(slot("acme", "d1", "n1", "vm-2", true))
+	p.Park(slot("acme", "d1", "n2", "vm-3", true))
+
+	all := func(*Slot) bool { return true }
+	if s := p.TakeMRU("acme", "d1", all); s == nil || s.VMID != "vm-3" {
+		t.Fatalf("first take = %+v, want the most recently parked vm-3", s)
+	}
+	if s := p.TakeMRU("acme", "d1", all); s == nil || s.VMID != "vm-2" {
+		t.Fatalf("second take = %+v, want vm-2", s)
+	}
+	// Wrong tenant or digest never matches, whatever is idle.
+	if s := p.TakeMRU("rival", "d1", all); s != nil {
+		t.Fatalf("cross-tenant take = %+v, want nil", s)
+	}
+	if s := p.TakeMRU("acme", "d2", all); s != nil {
+		t.Fatalf("cross-digest take = %+v, want nil", s)
+	}
+	if s := p.TakeMRU("acme", "d1", all); s == nil || s.VMID != "vm-1" {
+		t.Fatalf("third take = %+v, want vm-1", s)
+	}
+	if s := p.TakeMRU("acme", "d1", all); s != nil {
+		t.Fatalf("empty pool take = %+v, want nil", s)
+	}
+}
+
+func TestTakeMRUMatchFilter(t *testing.T) {
+	p := New()
+	p.Park(slot("acme", "d1", "n1", "vm-soft", false))
+	p.Park(slot("acme", "d1", "n1", "vm-hard", true))
+
+	// A hard-isolation deploy skips the newer slot if it doesn't match.
+	s := p.TakeMRU("acme", "d1", func(s *Slot) bool { return !s.Dedicated })
+	if s == nil || s.VMID != "vm-soft" {
+		t.Fatalf("filtered take = %+v, want vm-soft", s)
+	}
+	// The non-matching slot stays idle.
+	if n := p.IdleCount(); n != 1 {
+		t.Fatalf("idle after filtered take = %d, want 1", n)
+	}
+}
+
+func TestEvictLRUColdestFirst(t *testing.T) {
+	p := New()
+	p.Park(slot("acme", "d1", "n1", "vm-1", true))
+	p.Park(slot("acme", "d2", "n2", "vm-2", true))
+	p.Park(slot("acme", "d1", "n1", "vm-3", true))
+
+	if s := p.EvictLRU("n1"); s == nil || s.VMID != "vm-1" {
+		t.Fatalf("evict n1 = %+v, want the oldest vm-1", s)
+	}
+	// Any-node eviction takes the global LRU.
+	if s := p.EvictLRU(""); s == nil || s.VMID != "vm-2" {
+		t.Fatalf("evict any = %+v, want vm-2", s)
+	}
+	if s := p.EvictLRU("n2"); s != nil {
+		t.Fatalf("evict empty node = %+v, want nil", s)
+	}
+	if c := p.Counters(); c.Evicted != 2 {
+		t.Fatalf("evicted counter = %d, want 2", c.Evicted)
+	}
+}
+
+func TestFlushNode(t *testing.T) {
+	p := New()
+	p.Park(slot("acme", "d1", "n1", "vm-1", true))
+	p.Park(slot("acme", "d1", "n2", "vm-2", true))
+	p.Park(slot("rival", "d2", "n1", "vm-3", true))
+	c1 := p.TakeMRU("acme", "d1", func(s *Slot) bool { return s.Node == "n1" })
+	p.BindClaim("wl-a", c1)
+
+	idle, claims := p.FlushNode("n1", false)
+	if len(idle) != 1 || idle[0].VMID != "vm-3" {
+		t.Fatalf("flushed idle = %+v, want just vm-3", idle)
+	}
+	if len(claims) != 0 {
+		t.Fatalf("claims dropped without alsoClaims: %v", claims)
+	}
+	// The claimed binding survives a plain flush but dies with the node.
+	idle, claims = p.FlushNode("n1", true)
+	if len(idle) != 0 || len(claims) != 1 || claims[0] != "wl-a" {
+		t.Fatalf("node-fail flush = (%v, %v), want claim wl-a dropped", idle, claims)
+	}
+	if got := p.Counters(); got.Flushed != 1 {
+		t.Fatalf("flushed counter = %d, want 1 (claims are not flushes)", got.Flushed)
+	}
+	if n := p.IdleCount(); n != 1 {
+		t.Fatalf("idle after flush = %d, want vm-2 only", n)
+	}
+}
+
+func TestFlushAllLeavesClaims(t *testing.T) {
+	p := New()
+	p.Park(slot("acme", "d1", "n1", "vm-1", true))
+	p.Park(slot("acme", "d1", "n2", "vm-2", true))
+	s := p.TakeMRU("acme", "d1", func(*Slot) bool { return true })
+	p.BindClaim("wl-a", s)
+
+	out := p.FlushAll()
+	if len(out) != 1 || out[0].VMID != "vm-1" {
+		t.Fatalf("FlushAll = %+v, want just the idle vm-1", out)
+	}
+	if got := len(p.Claims()); got != 1 {
+		t.Fatalf("claims after FlushAll = %d, want 1 (claims belong to live workloads)", got)
+	}
+	if s := p.DropClaimed("wl-a"); s == nil || s.VMID != "vm-2" {
+		t.Fatalf("DropClaimed = %+v, want vm-2", s)
+	}
+	if s := p.DropClaimed("wl-a"); s != nil {
+		t.Fatalf("double DropClaimed = %+v, want nil", s)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	p := New()
+	p.Park(slot("acme", "d1", "n1", "vm-1", true))
+	p.BindClaim("wl-a", p.TakeMRU("acme", "d1", func(*Slot) bool { return true }))
+	p.RecordMiss()
+	p.Reset()
+	if p.IdleCount() != 0 || len(p.Claims()) != 0 {
+		t.Fatal("Reset left slots behind")
+	}
+	if c := p.Counters(); c != (Counters{}) {
+		t.Fatalf("Reset left counters %+v", c)
+	}
+	// Seq restarts too — the first park after a reset is Seq 1 again,
+	// which keeps recovered clusters byte-deterministic in the sim.
+	if s := p.Park(slot("acme", "d1", "n1", "vm-1", true)); s.Seq != 1 {
+		t.Fatalf("Seq after Reset = %d, want 1", s.Seq)
+	}
+}
+
+func TestRowsAndNodeCounts(t *testing.T) {
+	p := New()
+	p.Park(slot("acme", "d1", "n1", "vm-1", true))
+	p.Park(slot("acme", "d2", "n2", "vm-2", true))
+	p.Park(slot("rival", "d1", "n1", "vm-3", true))
+	p.BindClaim("wl-a", p.TakeMRU("acme", "d2", func(*Slot) bool { return true }))
+
+	rows := p.Rows()
+	want := []PoolRow{
+		{Tenant: "acme", Digest: "d1", Idle: 1},
+		{Tenant: "acme", Digest: "d2", Claimed: 1},
+		{Tenant: "rival", Digest: "d1", Idle: 1},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %+v, want %+v", rows, want)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+	counts := p.NodeCounts()
+	if c := counts["n1"]; c.Idle != 2 || c.Claimed != 0 {
+		t.Fatalf("n1 counts = %+v", c)
+	}
+	if c := counts["n2"]; c.Idle != 0 || c.Claimed != 1 {
+		t.Fatalf("n2 counts = %+v", c)
+	}
+}
+
+// TestPoolConcurrentOps hammers every pool operation from concurrent
+// goroutines; run under -race this pins the pool's internal locking.
+// Each parked slot is taken/evicted/flushed by exactly one remover, so
+// the total of removals must equal the total of parks.
+func TestPoolConcurrentOps(t *testing.T) {
+	p := New()
+	const workers = 8
+	const perWorker = 200
+	var removed sync.Map // VMID -> remover tag
+	var wg sync.WaitGroup
+
+	record := func(t *testing.T, s *Slot, tag string) {
+		if s == nil {
+			return
+		}
+		if prev, dup := removed.LoadOrStore(s.VMID, tag); dup {
+			t.Errorf("slot %s removed twice: %v then %v", s.VMID, prev, tag)
+		}
+	}
+
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				vm := fmt.Sprintf("vm-%d-%d", g, i)
+				node := fmt.Sprintf("n%d", i%3)
+				p.Park(slot("acme", "d1", node, vm, true))
+				switch i % 4 {
+				case 0:
+					record(t, p.TakeMRU("acme", "d1", func(*Slot) bool { return true }), "take")
+				case 1:
+					record(t, p.EvictLRU(node), "evict")
+				case 2:
+					idle, _ := p.FlushNode(node, false)
+					for _, s := range idle {
+						record(t, s, "flush")
+					}
+				default:
+					p.RecordMiss()
+					_ = p.NodeCounts()
+					_ = p.Rows()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Drain what's left; every parked slot must be accounted exactly once.
+	for _, s := range p.FlushAll() {
+		record(t, s, "final-flush")
+	}
+	total := 0
+	removed.Range(func(_, _ any) bool { total++; return true })
+	if want := workers * perWorker; total != want {
+		t.Fatalf("slots accounted = %d, want %d", total, want)
+	}
+	if p.IdleCount() != 0 {
+		t.Fatalf("pool not empty after final flush: %d idle", p.IdleCount())
+	}
+}

@@ -115,50 +115,80 @@ func DrainRandomNode(cancelAfter int) Step {
 			return okf("no live nodes to drain")
 		}
 		name := live[w.Rand.Intn(len(live))]
-		w.Clock.Advance(1)
-		_, wasCordoned := w.Cordoned[name]
-		if !wasCordoned {
-			// Drain applies the cordon itself; mirror it with the time the
-			// drain starts.
-			w.Cordoned[name] = w.Clock.NowMs()
-		}
-		ctx, cancel := context.WithCancel(context.Background())
-		defer cancel()
-		if cancelAfter == 0 {
-			cancel() // cancelled before the first migration boundary
-		}
-		migrated := 0
-		// Drain through the platform surface, not the bare cluster, so
-		// campaigns exercise the node.drain spine topic and drain
-		// metrics alongside the migration mechanics.
-		res, err := w.Platform.DrainObserved(ctx, name, func(ev orchestrator.DrainEvent) {
-			if ev.Phase == orchestrator.DrainMigrated {
-				w.Clock.Advance(1)
-				if migrated++; migrated == cancelAfter {
-					cancel()
-				}
-			}
-		})
-		switch {
-		case err == nil:
-			return Outcome{Status: "drained", Detail: fmt.Sprintf(
-				"node %s drained: %d migrated", name, len(res.Migrated))}
-		case errors.Is(err, orchestrator.ErrCancelled):
-			if !wasCordoned {
-				delete(w.Cordoned, name) // the drain rolled its cordon back
-			}
-			return Outcome{Status: "drain-cancelled", Detail: fmt.Sprintf(
-				"node %s: %d migrated, %d remaining", name, len(res.Migrated), len(res.Remaining))}
-		case errors.Is(err, orchestrator.ErrNoCapacity):
-			if !wasCordoned {
-				delete(w.Cordoned, name)
-			}
-			return Outcome{Status: "drain-blocked", Detail: fmt.Sprintf(
-				"node %s: %d migrated, %d remaining: %v", name, len(res.Migrated), len(res.Remaining), err)}
-		default:
-			return Outcome{Status: "error", Detail: fmt.Sprintf("drain %s: %v", name, err)}
-		}
+		return drainNode(w, name, cancelAfter)
 	}}
+}
+
+// DrainWarmestNode drains the live node holding the most idle warm
+// slots (ties broken by name, so the choice is deterministic). This is
+// how a campaign guarantees the drain→warm-flush path runs: the drain
+// must discard the node's parked slots before its migration accounting,
+// and warm-slots-never-leak checks none survive on the cordoned node.
+func DrainWarmestNode(cancelAfter int) Step {
+	return Step{Name: "node-drain-warmest", Run: func(w *World) Outcome {
+		idle := map[string]int{}
+		for _, s := range w.Platform.Cluster.WarmIdleSlots() {
+			idle[s.Node]++
+		}
+		live := w.LiveNodes()
+		if len(live) == 0 {
+			return okf("no live nodes to drain")
+		}
+		sort.Strings(live)
+		name, best := live[0], -1
+		for _, n := range live {
+			if idle[n] > best {
+				name, best = n, idle[n]
+			}
+		}
+		return drainNode(w, name, cancelAfter)
+	}}
+}
+
+func drainNode(w *World, name string, cancelAfter int) Outcome {
+	w.Clock.Advance(1)
+	_, wasCordoned := w.Cordoned[name]
+	if !wasCordoned {
+		// Drain applies the cordon itself; mirror it with the time the
+		// drain starts.
+		w.Cordoned[name] = w.Clock.NowMs()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if cancelAfter == 0 {
+		cancel() // cancelled before the first migration boundary
+	}
+	migrated := 0
+	// Drain through the platform surface, not the bare cluster, so
+	// campaigns exercise the node.drain spine topic and drain
+	// metrics alongside the migration mechanics.
+	res, err := w.Platform.DrainObserved(ctx, name, func(ev orchestrator.DrainEvent) {
+		if ev.Phase == orchestrator.DrainMigrated {
+			w.Clock.Advance(1)
+			if migrated++; migrated == cancelAfter {
+				cancel()
+			}
+		}
+	})
+	switch {
+	case err == nil:
+		return Outcome{Status: "drained", Detail: fmt.Sprintf(
+			"node %s drained: %d migrated", name, len(res.Migrated))}
+	case errors.Is(err, orchestrator.ErrCancelled):
+		if !wasCordoned {
+			delete(w.Cordoned, name) // the drain rolled its cordon back
+		}
+		return Outcome{Status: "drain-cancelled", Detail: fmt.Sprintf(
+			"node %s: %d migrated, %d remaining", name, len(res.Migrated), len(res.Remaining))}
+	case errors.Is(err, orchestrator.ErrNoCapacity):
+		if !wasCordoned {
+			delete(w.Cordoned, name)
+		}
+		return Outcome{Status: "drain-blocked", Detail: fmt.Sprintf(
+			"node %s: %d migrated, %d remaining: %v", name, len(res.Migrated), len(res.Remaining), err)}
+	default:
+		return Outcome{Status: "error", Detail: fmt.Sprintf("drain %s: %v", name, err)}
+	}
 }
 
 // PlacementSpreadReport snapshots how the running workloads distribute
@@ -217,13 +247,19 @@ func DeployPolicy(tenant, ref string, iso orchestrator.IsolationMode, res orches
 
 func deployOne(w *World, spec orchestrator.WorkloadSpec) Outcome {
 	w.policies[spec.Name] = spec.PlacementPolicy
-	_, err := w.Platform.Deploy(Subject, spec)
+	wl, err := w.Platform.Deploy(Subject, spec)
 	status, class, contentDetermined := classifyDeploy(err)
 	if contentDetermined {
 		w.recordVerdict(spec.ImageRef, class)
 	}
 	if err != nil {
 		return Outcome{Status: status, Detail: fmt.Sprintf("%s (%s): %v", spec.Name, spec.ImageRef, err)}
+	}
+	if wl.Strategy == "warm" {
+		// A warm-slot claim skipped scheduling entirely; surface it so
+		// campaign reports (and their byte-identical determinism check)
+		// pin exactly which deploys took the fast path.
+		return Outcome{Status: status, Detail: fmt.Sprintf("%s (%s) placed warm", spec.Name, spec.ImageRef)}
 	}
 	return Outcome{Status: status, Detail: fmt.Sprintf("%s (%s) placed", spec.Name, spec.ImageRef)}
 }
@@ -512,6 +548,27 @@ func StopWorkload() Step {
 			return okf("no workloads to stop")
 		}
 		name := names[w.Rand.Intn(len(names))]
+		if err := w.Platform.Cluster.Stop(name); err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("stop %s: %v", name, err)}
+		}
+		return okf("workload %s stopped", name)
+	}}
+}
+
+// StopNewestWorkload stops the most recently deployed workload
+// (deterministic: workload names are zero-padded, so the lexicographic
+// maximum is the newest). A hard-isolation workload is its VM's sole
+// occupant, so stopping it parks the VM as a warm slot — pairing this
+// with a follow-up Deploy of the same spec exercises the warm claim
+// fast path regardless of the seed.
+func StopNewestWorkload() Step {
+	return Step{Name: "workload-stop-newest", Run: func(w *World) Outcome {
+		names := w.DeployedWorkloads()
+		if len(names) == 0 {
+			return okf("no workloads to stop")
+		}
+		sort.Strings(names)
+		name := names[len(names)-1]
 		if err := w.Platform.Cluster.Stop(name); err != nil {
 			return Outcome{Status: "error", Detail: fmt.Sprintf("stop %s: %v", name, err)}
 		}

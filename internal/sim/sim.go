@@ -28,6 +28,7 @@ import (
 	"genio/internal/core"
 	"genio/internal/events"
 	"genio/internal/orchestrator"
+	"genio/internal/orchestrator/warmpool"
 	"genio/internal/persist"
 	"genio/internal/pki"
 	"genio/internal/rbac"
@@ -149,6 +150,7 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 
 	for i, step := range sc.Steps {
 		out := step.Run(w)
+		w.sampleWarm()
 		sr := StepReport{
 			Index:  i,
 			Name:   step.Name,
@@ -189,6 +191,7 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 			eventCounts[string(topic)] = ts.Published
 		}
 	}
+	w.sampleWarm()
 	rep.Final = FinalState{
 		VirtualMs: clock.NowMs(),
 		LiveNodes: w.Platform.Cluster.Nodes(),
@@ -197,6 +200,12 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 		Rejected:  rejected,
 		Incidents: w.Platform.IncidentCounts(),
 		Events:    eventCounts,
+	}
+	if w.warmTotal != (warmpool.Counters{}) {
+		// Cumulative across KillRestart rebuilds (per-incarnation pool
+		// counters reset with the platform; the report wants run totals).
+		warm := w.warmTotal
+		rep.Final.WarmSlots = &warm
 	}
 	return rep, nil
 }
