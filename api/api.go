@@ -15,6 +15,7 @@ import (
 
 	"genio/internal/core"
 	"genio/internal/events"
+	"genio/internal/federation"
 	"genio/internal/orchestrator"
 	"genio/internal/orchestrator/warmpool"
 )
@@ -41,6 +42,11 @@ type WorkloadSpec struct {
 	Isolation       string    `json:"isolation,omitempty"`
 	Resources       Resources `json:"resources"`
 	PlacementPolicy string    `json:"placementPolicy,omitempty"`
+	// Region constrains federated placement to clusters in the named
+	// region (see genioctl deploy -region). Ignored outside federation
+	// mode only when empty; a non-empty region on a single-cluster
+	// server is refused with CodeFedCapacity.
+	Region string `json:"region,omitempty"`
 }
 
 // ToOrchestrator converts the wire spec to the library spec. Unknown
@@ -56,6 +62,7 @@ func (s WorkloadSpec) ToOrchestrator() (orchestrator.WorkloadSpec, error) {
 			MemoryMB: s.Resources.MemoryMB,
 		},
 		PlacementPolicy: s.PlacementPolicy,
+		Region:          s.Region,
 	}
 	switch s.Isolation {
 	case "", IsolationSoft:
@@ -80,6 +87,7 @@ func FromWorkloadSpec(spec orchestrator.WorkloadSpec) WorkloadSpec {
 			MemoryMB: spec.Resources.MemoryMB,
 		},
 		PlacementPolicy: spec.PlacementPolicy,
+		Region:          spec.Region,
 	}
 }
 
@@ -197,6 +205,9 @@ func (s WatchSelector) Matches(ev LifecycleEvent) bool {
 type AddNodeRequest struct {
 	Name     string    `json:"name"`
 	Capacity Resources `json:"capacity"`
+	// Cluster names the federation member the node joins ("" = the
+	// server's default cluster).
+	Cluster string `json:"cluster,omitempty"`
 }
 
 // AttachONURequest is the body of POST /v2/nodes/{name}/onus.
@@ -208,7 +219,10 @@ type AttachONURequest struct {
 // plus, when the request carried a probe demand, the scheduler's
 // explanation for that demand (nil score = infeasible on that node).
 type NodeStatus struct {
-	Node      string    `json:"node"`
+	Node string `json:"node"`
+	// Cluster is the federation member the node schedules in. Empty on
+	// single-cluster servers.
+	Cluster   string    `json:"cluster,omitempty"`
 	Used      Resources `json:"used"`
 	Capacity  Resources `json:"capacity"`
 	Cordoned  bool      `json:"cordoned,omitempty"`
@@ -258,8 +272,20 @@ type SlotCounters struct {
 }
 
 // SlotsReport is the GET /v2/slots response: the per-(tenant, digest)
-// warm pool table plus the lifecycle counters.
+// warm pool table plus the lifecycle counters. On a federated server
+// the flat fields aggregate across every member and Clusters carries
+// the per-member breakdown; single-cluster servers leave Clusters
+// empty.
 type SlotsReport struct {
+	Pools    []SlotPool     `json:"pools,omitempty"`
+	Counters SlotCounters   `json:"counters"`
+	Clusters []ClusterSlots `json:"clusters,omitempty"`
+}
+
+// ClusterSlots is one federation member's warm-slot report inside a
+// federated SlotsReport.
+type ClusterSlots struct {
+	Cluster  string       `json:"cluster"`
 	Pools    []SlotPool   `json:"pools,omitempty"`
 	Counters SlotCounters `json:"counters"`
 }
@@ -366,6 +392,60 @@ func FromStats(s events.Stats) Ledger {
 			Dropped:   st.Dropped,
 			Filtered:  st.Filtered,
 		}
+	}
+	return out
+}
+
+// ClusterInfo is one placement domain in the GET /v2/clusters response:
+// a federation member, or the synthesized single entry a non-federated
+// server reports so fleet tooling renders identically either way.
+type ClusterInfo struct {
+	Name      string `json:"name"`
+	Region    string `json:"region,omitempty"`
+	Nodes     int    `json:"nodes"`
+	Workloads int    `json:"workloads"`
+}
+
+// FromMember converts a federation member snapshot to its wire form.
+func FromMember(m federation.Member) ClusterInfo {
+	return ClusterInfo{Name: m.Name, Region: m.Region, Nodes: m.Nodes, Workloads: m.Workloads}
+}
+
+// EvacuationMove is one workload an evacuation re-placed.
+type EvacuationMove struct {
+	Workload string `json:"workload"`
+	Tenant   string `json:"tenant"`
+	To       string `json:"to"`
+	Node     string `json:"node"`
+}
+
+// EvacuationLoss is one workload an evacuation could not re-place
+// without violating residency or capacity.
+type EvacuationLoss struct {
+	Workload string `json:"workload"`
+	Reason   string `json:"reason"`
+}
+
+// EvacuationResult is the POST /v2/clusters/{name}/evacuate response.
+type EvacuationResult struct {
+	Cluster string           `json:"cluster"`
+	Moved   []EvacuationMove `json:"moved,omitempty"`
+	Lost    []EvacuationLoss `json:"lost,omitempty"`
+	AtMs    int64            `json:"atMs,omitempty"`
+}
+
+// FromEvacuation converts a library evacuation result to its wire form.
+// Nil maps to nil.
+func FromEvacuation(r *federation.EvacuationResult) *EvacuationResult {
+	if r == nil {
+		return nil
+	}
+	out := &EvacuationResult{Cluster: r.Cluster, AtMs: r.AtMs}
+	for _, m := range r.Moved {
+		out.Moved = append(out.Moved, EvacuationMove{Workload: m.Workload, Tenant: m.Tenant, To: m.To, Node: m.Node})
+	}
+	for _, l := range r.Lost {
+		out.Lost = append(out.Lost, EvacuationLoss{Workload: l.Workload, Reason: l.Reason})
 	}
 	return out
 }

@@ -27,11 +27,15 @@ type Interface interface {
 	// with backoff, reapplying the same selector.
 	Watch(ctx context.Context, sel api.WatchSelector) (<-chan api.LifecycleEvent, error)
 
-	// AddNode provisions an edge node.
-	AddNode(ctx context.Context, name string, capacity api.Resources) error
+	// AddNode provisions an edge node into the named federation cluster
+	// ("" = the default cluster — the only valid value outside
+	// federation mode).
+	AddNode(ctx context.Context, cluster, name string, capacity api.Resources) error
 	// Nodes returns the fleet table; a non-nil probe adds the
-	// scheduler's binpack/spread scores for that demand.
-	Nodes(ctx context.Context, probe *api.Resources) ([]api.NodeStatus, error)
+	// scheduler's binpack/spread scores for that demand. cluster narrows
+	// a federated fleet to one member ("" = every member, each row
+	// labeled with its cluster; on a plain platform rows are unlabeled).
+	Nodes(ctx context.Context, probe *api.Resources, cluster string) ([]api.NodeStatus, error)
 	Cordon(ctx context.Context, node string) error
 	Uncordon(ctx context.Context, node string) error
 	// Drain live-migrates the node's workloads; cancelling ctx stops the
@@ -44,7 +48,16 @@ type Interface interface {
 	Incidents(ctx context.Context) (api.IncidentCounts, error)
 	Ledger(ctx context.Context) (api.Ledger, error)
 	// Slots returns the warm-slot pool table and lifecycle counters.
-	Slots(ctx context.Context) (api.SlotsReport, error)
+	// cluster narrows a federated fleet to one member; "" aggregates
+	// every member with a per-cluster breakdown.
+	Slots(ctx context.Context, cluster string) (api.SlotsReport, error)
+
+	// Clusters lists the placement domains: federation members, or a
+	// synthesized single entry on a plain platform.
+	Clusters(ctx context.Context) ([]api.ClusterInfo, error)
+	// Evacuate re-places a failed federation member's workloads across
+	// the survivors and removes it from the federation.
+	Evacuate(ctx context.Context, cluster string) (*api.EvacuationResult, error)
 
 	// Close releases the client (and, for the local implementation, the
 	// platform it owns).

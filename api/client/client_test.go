@@ -231,7 +231,7 @@ func TestConformanceNodeLifecycle(t *testing.T) {
 			cli, _ := m.build(t)
 			ctx := context.Background()
 
-			if err := cli.AddNode(ctx, "olt-03", api.Resources{CPUMilli: 8000, MemoryMB: 16384}); err != nil {
+			if err := cli.AddNode(ctx, "", "olt-03", api.Resources{CPUMilli: 8000, MemoryMB: 16384}); err != nil {
 				t.Fatal(err)
 			}
 			if err := cli.AttachONU(ctx, "olt-03", "onu-9001"); err != nil {
@@ -244,11 +244,11 @@ func TestConformanceNodeLifecycle(t *testing.T) {
 				}
 			}
 
-			nodes, err := cli.Nodes(ctx, nil)
+			nodes, err := cli.Nodes(ctx, nil, "")
 			if err != nil || len(nodes) != 3 {
 				t.Fatalf("nodes: %v / %d", err, len(nodes))
 			}
-			scored, err := cli.Nodes(ctx, &api.Resources{CPUMilli: 500, MemoryMB: 512})
+			scored, err := cli.Nodes(ctx, &api.Resources{CPUMilli: 500, MemoryMB: 512}, "")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -346,7 +346,7 @@ func TestHTTPSubjectModes(t *testing.T) {
 	t.Cleanup(strict.Close)
 	cli := NewHTTP(strict.URL, WithSubject("anon-ops"))
 	t.Cleanup(func() { cli.Close() })
-	_, err = cli.Nodes(context.Background(), nil)
+	_, err = cli.Nodes(context.Background(), nil, "")
 	var we *api.WireError
 	if !errors.As(err, &we) || we.Code != api.CodeUnauthenticated {
 		t.Fatalf("want unauthenticated wire error, got %T: %v", err, err)
@@ -356,7 +356,7 @@ func TestHTTPSubjectModes(t *testing.T) {
 	t.Cleanup(lax.Close)
 	anon := NewHTTP(lax.URL, WithSubject("anon-ops"))
 	t.Cleanup(func() { anon.Close() })
-	if _, err := anon.Nodes(context.Background(), nil); err != nil {
+	if _, err := anon.Nodes(context.Background(), nil, ""); err != nil {
 		t.Fatalf("anonymous mode: %v", err)
 	}
 }
@@ -368,7 +368,7 @@ func TestHTTPTransportError(t *testing.T) {
 	ts.Close() // dead on arrival
 	cli := NewHTTP(ts.URL)
 	defer cli.Close()
-	if _, err := cli.Nodes(context.Background(), nil); err == nil {
+	if _, err := cli.Nodes(context.Background(), nil, ""); err == nil {
 		t.Fatal("request against a closed server succeeded")
 	}
 }

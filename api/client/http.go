@@ -355,15 +355,18 @@ func (c *HTTP) pumpStream(ctx context.Context, resp *http.Response, out chan<- a
 	return delivered
 }
 
-func (c *HTTP) AddNode(ctx context.Context, name string, capacity api.Resources) error {
-	return c.do(ctx, http.MethodPost, "/v2/nodes", nil, api.AddNodeRequest{Name: name, Capacity: capacity}, nil)
+func (c *HTTP) AddNode(ctx context.Context, cluster, name string, capacity api.Resources) error {
+	return c.do(ctx, http.MethodPost, "/v2/nodes", nil, api.AddNodeRequest{Name: name, Cluster: cluster, Capacity: capacity}, nil)
 }
 
-func (c *HTTP) Nodes(ctx context.Context, probe *api.Resources) ([]api.NodeStatus, error) {
+func (c *HTTP) Nodes(ctx context.Context, probe *api.Resources, cluster string) ([]api.NodeStatus, error) {
 	query := url.Values{}
 	if probe != nil {
 		query.Set("probeCpu", strconv.Itoa(probe.CPUMilli))
 		query.Set("probeMem", strconv.Itoa(probe.MemoryMB))
+	}
+	if cluster != "" {
+		query.Set("cluster", cluster)
 	}
 	var out []api.NodeStatus
 	if err := c.do(ctx, http.MethodGet, "/v2/nodes", query, nil, &out); err != nil {
@@ -418,10 +421,30 @@ func (c *HTTP) Ledger(ctx context.Context) (api.Ledger, error) {
 	return out, nil
 }
 
-func (c *HTTP) Slots(ctx context.Context) (api.SlotsReport, error) {
+func (c *HTTP) Slots(ctx context.Context, cluster string) (api.SlotsReport, error) {
+	query := url.Values{}
+	if cluster != "" {
+		query.Set("cluster", cluster)
+	}
 	var out api.SlotsReport
-	err := c.do(ctx, http.MethodGet, "/v2/slots", nil, nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v2/slots", query, nil, &out)
 	return out, err
+}
+
+func (c *HTTP) Clusters(ctx context.Context) ([]api.ClusterInfo, error) {
+	var out []api.ClusterInfo
+	if err := c.do(ctx, http.MethodGet, "/v2/clusters", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *HTTP) Evacuate(ctx context.Context, cluster string) (*api.EvacuationResult, error) {
+	var out api.EvacuationResult
+	if err := c.do(ctx, http.MethodPost, "/v2/clusters/"+url.PathEscape(cluster)+"/evacuate", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Close releases idle connections; the remote platform is unaffected.

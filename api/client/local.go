@@ -7,6 +7,7 @@ import (
 
 	"genio/api"
 	"genio/internal/core"
+	"genio/internal/federation"
 	"genio/internal/orchestrator"
 	"genio/internal/orchestrator/scheduler"
 )
@@ -124,44 +125,92 @@ func (l *Local) Watch(ctx context.Context, sel api.WatchSelector) (<-chan api.Li
 	return out, nil
 }
 
-func (l *Local) AddNode(ctx context.Context, name string, capacity api.Resources) error {
-	_, err := l.p.AddEdgeNodeContext(ctx, name, orchestrator.Resources{
+func (l *Local) AddNode(ctx context.Context, cluster, name string, capacity api.Resources) error {
+	_, err := l.p.AddEdgeNodeInContext(ctx, cluster, name, orchestrator.Resources{
 		CPUMilli: capacity.CPUMilli, MemoryMB: capacity.MemoryMB,
 	})
 	return err
 }
 
-func (l *Local) Nodes(ctx context.Context, probe *api.Resources) ([]api.NodeStatus, error) {
-	util := l.p.Cluster.Utilization()
-	out := make([]api.NodeStatus, 0, len(util))
-	for _, u := range util {
-		out = append(out, api.FromUtilization(u))
+// clusterRef mirrors the server's selection: the cluster plus the label
+// its rows carry (empty on a plain platform, so pre-federation output
+// is identical local and remote).
+type clusterRef struct {
+	label string
+	c     *orchestrator.Cluster
+}
+
+// clusterSelection resolves a cluster selector the same way the server
+// resolves ?cluster=: "" means every placement domain, a name selects
+// one federation member.
+func (l *Local) clusterSelection(name string) ([]clusterRef, error) {
+	if l.p.Federation == nil {
+		if name != "" && name != l.p.Cluster.Name {
+			return nil, &federation.ClusterNotFoundError{Cluster: name}
+		}
+		return []clusterRef{{c: l.p.Cluster}}, nil
 	}
-	if probe != nil {
-		cands := make([]scheduler.Candidate, 0, len(util))
+	if name != "" {
+		c, err := l.p.ClusterByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return []clusterRef{{label: c.Name, c: c}}, nil
+	}
+	members := l.p.Federation.Clusters()
+	out := make([]clusterRef, 0, len(members))
+	for _, m := range members {
+		if c, ok := l.p.Federation.Cluster(m.Name); ok {
+			out = append(out, clusterRef{label: m.Name, c: c})
+		}
+	}
+	return out, nil
+}
+
+func (l *Local) Nodes(ctx context.Context, probe *api.Resources, cluster string) ([]api.NodeStatus, error) {
+	clusters, err := l.clusterSelection(cluster)
+	if err != nil {
+		return nil, err
+	}
+	var out []api.NodeStatus
+	for _, cl := range clusters {
+		util := cl.c.Utilization()
+		rows := make([]api.NodeStatus, 0, len(util))
 		for _, u := range util {
-			cands = append(cands, scheduler.Candidate{
-				Node: u.Node, Capacity: u.Capacity, Used: u.Used,
-				Cordoned: u.Cordoned, SharedVMs: u.SharedVMs,
-			})
+			ns := api.FromUtilization(u)
+			ns.Cluster = cl.label
+			rows = append(rows, ns)
 		}
-		req := scheduler.Request{Workload: "probe", Tenant: "probe",
-			Demand: orchestrator.Resources{CPUMilli: probe.CPUMilli, MemoryMB: probe.MemoryMB}}
-		eng := l.p.Cluster.Scheduler()
-		req.Strategy = scheduler.StrategyBinpack
-		binpack := eng.Explain(&req, cands)
-		req.Strategy = scheduler.StrategySpread
-		spread := eng.Explain(&req, cands)
-		for i := range out {
-			if binpack[i].Feasible {
-				v := binpack[i].Score
-				out[i].Binpack = &v
+		if probe != nil {
+			cands := make([]scheduler.Candidate, 0, len(util))
+			for _, u := range util {
+				cands = append(cands, scheduler.Candidate{
+					Node: u.Node, Capacity: u.Capacity, Used: u.Used,
+					Cordoned: u.Cordoned, SharedVMs: u.SharedVMs,
+				})
 			}
-			if spread[i].Feasible {
-				v := spread[i].Score
-				out[i].Spread = &v
+			req := scheduler.Request{Workload: "probe", Tenant: "probe",
+				Demand: orchestrator.Resources{CPUMilli: probe.CPUMilli, MemoryMB: probe.MemoryMB}}
+			eng := cl.c.Scheduler()
+			req.Strategy = scheduler.StrategyBinpack
+			binpack := eng.Explain(&req, cands)
+			req.Strategy = scheduler.StrategySpread
+			spread := eng.Explain(&req, cands)
+			for i := range rows {
+				if binpack[i].Feasible {
+					v := binpack[i].Score
+					rows[i].Binpack = &v
+				}
+				if spread[i].Feasible {
+					v := spread[i].Score
+					rows[i].Spread = &v
+				}
 			}
 		}
+		out = append(out, rows...)
+	}
+	if out == nil {
+		out = []api.NodeStatus{}
 	}
 	return out, nil
 }
@@ -211,8 +260,44 @@ func (l *Local) Ledger(ctx context.Context) (api.Ledger, error) {
 	return api.FromStats(l.p.Metrics()), nil
 }
 
-func (l *Local) Slots(ctx context.Context) (api.SlotsReport, error) {
-	return api.FromWarmPools(l.p.Cluster.WarmPools(), l.p.Cluster.WarmCounters()), nil
+func (l *Local) Slots(ctx context.Context, cluster string) (api.SlotsReport, error) {
+	clusters, err := l.clusterSelection(cluster)
+	if err != nil {
+		return api.SlotsReport{}, err
+	}
+	if l.p.Federation == nil {
+		return api.FromWarmPools(l.p.Cluster.WarmPools(), l.p.Cluster.WarmCounters()), nil
+	}
+	var rep api.SlotsReport
+	for _, cl := range clusters {
+		sub := api.FromWarmPools(cl.c.WarmPools(), cl.c.WarmCounters())
+		rep.Pools = append(rep.Pools, sub.Pools...)
+		rep.Counters.Hits += sub.Counters.Hits
+		rep.Counters.Misses += sub.Counters.Misses
+		rep.Counters.Evicted += sub.Counters.Evicted
+		rep.Counters.Flushed += sub.Counters.Flushed
+		rep.Clusters = append(rep.Clusters, api.ClusterSlots{
+			Cluster: cl.label, Pools: sub.Pools, Counters: sub.Counters,
+		})
+	}
+	return rep, nil
+}
+
+func (l *Local) Clusters(ctx context.Context) ([]api.ClusterInfo, error) {
+	members := l.p.Clusters()
+	out := make([]api.ClusterInfo, 0, len(members))
+	for _, m := range members {
+		out = append(out, api.FromMember(m))
+	}
+	return out, nil
+}
+
+func (l *Local) Evacuate(ctx context.Context, cluster string) (*api.EvacuationResult, error) {
+	res, err := l.p.EvacuateCluster(l.subject, cluster)
+	if err != nil {
+		return nil, err
+	}
+	return api.FromEvacuation(res), nil
 }
 
 // Close closes the platform when the client owns it.

@@ -7,6 +7,7 @@ import (
 
 	"genio/internal/container"
 	"genio/internal/core"
+	"genio/internal/federation"
 	"genio/internal/orchestrator"
 )
 
@@ -25,6 +26,9 @@ const (
 	CodePlacementPolicy = "placement-policy"
 	CodeCancelled       = "cancelled"
 	CodeDrainBlocked    = "drain-blocked"
+	CodeRegionPinned    = "region-pinned"
+	CodeFedCapacity     = "federation-capacity"
+	CodeClusterNotFound = "cluster-not-found"
 	CodeClosed          = "platform-closed"
 	CodeBadRequest      = "bad-request"
 	CodeUnauthenticated = "unauthenticated"
@@ -61,10 +65,15 @@ var httpStatus = map[string]int{
 	CodeNodeNotFound:    http.StatusNotFound,            // 404
 	CodePlacementPolicy: http.StatusBadRequest,          // 400
 	CodeCancelled:       499,
-	CodeDrainBlocked:    http.StatusLocked,             // 423
-	CodeClosed:          http.StatusServiceUnavailable, // 503
-	CodeBadRequest:      http.StatusBadRequest,         // 400
-	CodeUnauthenticated: http.StatusUnauthorized,       // 401
+	CodeDrainBlocked:    http.StatusLocked, // 423
+	// 451: a data-residency pin is a legal/policy constraint, not a
+	// resource one, so it gets the legal-reasons status.
+	CodeRegionPinned:    http.StatusUnavailableForLegalReasons, // 451
+	CodeFedCapacity:     http.StatusBadGateway,                 // 502: no cluster behind the federation could take it
+	CodeClusterNotFound: http.StatusNotFound,                   // 404 (shared with node-not-found; Decode switches on Code)
+	CodeClosed:          http.StatusServiceUnavailable,         // 503
+	CodeBadRequest:      http.StatusBadRequest,                 // 400
+	CodeUnauthenticated: http.StatusUnauthorized,               // 401
 	CodeInternal:        http.StatusInternalServerError,
 }
 
@@ -101,6 +110,15 @@ type WireError struct {
 	Used      *Resources                    `json:"used,omitempty"`
 	Quota     *Resources                    `json:"quota,omitempty"`
 	Nodes     int                           `json:"nodes,omitempty"`
+
+	// Federation payloads: Region is a tenant's pinned region,
+	// RequestedRegion the region a refused deploy asked for, Cluster a
+	// federation member name, Clusters the eligible-member count an
+	// exhausted placement walked.
+	Region          string `json:"region,omitempty"`
+	RequestedRegion string `json:"requestedRegion,omitempty"`
+	Cluster         string `json:"cluster,omitempty"`
+	Clusters        int    `json:"clusters,omitempty"`
 
 	// Wrapped carries a nested wire error (DrainError's scheduling
 	// cause).
@@ -154,8 +172,34 @@ func Encode(err error) *WireError {
 		dup       *orchestrator.DuplicateNameError
 		notFound  *orchestrator.NodeNotFoundError
 		policy    *orchestrator.PlacementPolicyError
+		pinned    *federation.RegionPinnedError
+		fedCap    *federation.FederationCapacityError
+		noCluster *federation.ClusterNotFoundError
 	)
 	switch {
+	case errors.As(err, &pinned):
+		return &WireError{
+			Code:            CodeRegionPinned,
+			Message:         err.Error(),
+			Workload:        pinned.Workload,
+			Tenant:          pinned.Tenant,
+			Region:          pinned.Region,
+			RequestedRegion: pinned.Requested,
+		}
+	// A FederationCapacityError may wrap the last member cluster's
+	// *CapacityError, so the federation class must match first.
+	case errors.As(err, &fedCap):
+		return &WireError{
+			Code:     CodeFedCapacity,
+			Message:  err.Error(),
+			Workload: fedCap.Workload,
+			Tenant:   fedCap.Tenant,
+			Region:   fedCap.Region,
+			Clusters: fedCap.Clusters,
+			Wrapped:  Encode(fedCap.Err),
+		}
+	case errors.As(err, &noCluster):
+		return &WireError{Code: CodeClusterNotFound, Message: err.Error(), Cluster: noCluster.Cluster}
 	case errors.As(err, &closedErr):
 		return &WireError{Code: CodeClosed, Message: err.Error(), Op: closedErr.Op}
 	case errors.As(err, &cancelled):
@@ -315,6 +359,23 @@ func Decode(we *WireError) error {
 			cause = context.Canceled
 		}
 		return &orchestrator.CancelledError{Workload: we.Workload, Stage: we.Stage, Err: cause}
+	case CodeRegionPinned:
+		return &federation.RegionPinnedError{
+			Workload:  we.Workload,
+			Tenant:    we.Tenant,
+			Region:    we.Region,
+			Requested: we.RequestedRegion,
+		}
+	case CodeFedCapacity:
+		return &federation.FederationCapacityError{
+			Workload: we.Workload,
+			Tenant:   we.Tenant,
+			Region:   we.Region,
+			Clusters: we.Clusters,
+			Err:      Decode(we.Wrapped),
+		}
+	case CodeClusterNotFound:
+		return &federation.ClusterNotFoundError{Cluster: we.Cluster}
 	case CodeDrainBlocked:
 		cause := Decode(we.Wrapped)
 		if cause == nil {

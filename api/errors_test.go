@@ -9,6 +9,7 @@ import (
 	"genio/internal/container"
 	"genio/internal/core"
 	"genio/internal/events"
+	"genio/internal/federation"
 	"genio/internal/orchestrator"
 )
 
@@ -282,6 +283,123 @@ func TestWireErrorTaxonomyRoundTrip(t *testing.T) {
 			if decoded.Error() == "" {
 				t.Fatal("decoded error has empty message")
 			}
+			for _, want := range tc.is {
+				if !errors.Is(decoded, want) {
+					t.Errorf("errors.Is(decoded, %v) = false, want true", want)
+				}
+			}
+			for _, not := range tc.notIs {
+				if errors.Is(decoded, not) {
+					t.Errorf("errors.Is(decoded, %v) = true, want false", not)
+				}
+			}
+			if tc.checkTyped != nil {
+				tc.checkTyped(t, decoded)
+			}
+		})
+	}
+}
+
+// TestFederationErrorTaxonomyRoundTrip covers the federation error
+// classes separately from the main table: cluster-not-found
+// deliberately shares HTTP 404 with node-not-found (Decode switches on
+// Code, not status), so the main table's one-status-per-code
+// distinctness check does not apply here.
+func TestFederationErrorTaxonomyRoundTrip(t *testing.T) {
+	cases := []struct {
+		name       string
+		err        error
+		code       string
+		status     int
+		is         []error
+		notIs      []error
+		checkTyped func(t *testing.T, decoded error)
+	}{
+		{
+			name: "region-pinned",
+			err: &federation.RegionPinnedError{
+				Workload: "wl", Tenant: "gov", Region: "region-a", Requested: "region-b",
+			},
+			code:   CodeRegionPinned,
+			status: 451,
+			is:     []error{federation.ErrRegionPinned, orchestrator.ErrRejected},
+			notIs:  []error{orchestrator.ErrNoCapacity, federation.ErrClusterNotFound},
+			checkTyped: func(t *testing.T, decoded error) {
+				var pe *federation.RegionPinnedError
+				if !errors.As(decoded, &pe) {
+					t.Fatalf("decoded %T, want *RegionPinnedError", decoded)
+				}
+				if pe.Tenant != "gov" || pe.Region != "region-a" || pe.Requested != "region-b" || pe.Workload != "wl" {
+					t.Fatalf("fields lost: %+v", pe)
+				}
+			},
+		},
+		{
+			name: "federation-capacity",
+			err: &federation.FederationCapacityError{
+				Workload: "wl", Tenant: "acme", Region: "region-b", Clusters: 3,
+				Err: &orchestrator.CapacityError{Workload: "wl", Nodes: 12},
+			},
+			code:   CodeFedCapacity,
+			status: 502,
+			is:     []error{orchestrator.ErrNoCapacity, orchestrator.ErrRejected},
+			notIs:  []error{federation.ErrRegionPinned},
+			checkTyped: func(t *testing.T, decoded error) {
+				var fe *federation.FederationCapacityError
+				if !errors.As(decoded, &fe) {
+					t.Fatalf("decoded %T, want *FederationCapacityError", decoded)
+				}
+				if fe.Tenant != "acme" || fe.Region != "region-b" || fe.Clusters != 3 {
+					t.Fatalf("fields lost: %+v", fe)
+				}
+				// The last per-cluster capacity error survives the nested
+				// wire encoding as a typed error, not a flat string.
+				var ce *orchestrator.CapacityError
+				if !errors.As(fe.Err, &ce) || ce.Nodes != 12 {
+					t.Fatalf("wrapped capacity cause lost: %v", fe.Err)
+				}
+			},
+		},
+		{
+			name:   "cluster-not-found",
+			err:    &federation.ClusterNotFoundError{Cluster: "edge-x"},
+			code:   CodeClusterNotFound,
+			status: 404,
+			is:     []error{federation.ErrClusterNotFound, orchestrator.ErrNotFound},
+			notIs:  []error{orchestrator.ErrRejected, orchestrator.ErrNodeUnknown},
+			checkTyped: func(t *testing.T, decoded error) {
+				var ce *federation.ClusterNotFoundError
+				if !errors.As(decoded, &ce) {
+					t.Fatalf("decoded %T, want *ClusterNotFoundError", decoded)
+				}
+				if ce.Cluster != "edge-x" {
+					t.Fatalf("cluster name lost: %+v", ce)
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			we := Encode(tc.err)
+			if we.Code != tc.code {
+				t.Fatalf("code = %q, want %q", we.Code, tc.code)
+			}
+			if got := we.Status(); got != tc.status {
+				t.Fatalf("status = %d, want %d", got, tc.status)
+			}
+			if we.Message != tc.err.Error() {
+				t.Fatalf("message = %q, want %q", we.Message, tc.err.Error())
+			}
+			data, err := json.Marshal(we)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var back WireError
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			decoded := Decode(&back)
 			for _, want := range tc.is {
 				if !errors.Is(decoded, want) {
 					t.Errorf("errors.Is(decoded, %v) = false, want true", want)

@@ -17,6 +17,7 @@ import (
 
 	"genio/api"
 	"genio/internal/core"
+	"genio/internal/federation"
 	"genio/internal/orchestrator"
 	"genio/internal/orchestrator/scheduler"
 	"genio/internal/pki"
@@ -124,6 +125,8 @@ func New(p *core.Platform, opts Options) *Server {
 	s.handle("GET /v2/incidents", s.handleIncidents)
 	s.handle("GET /v2/ledger", s.handleLedger)
 	s.handle("GET /v2/slots", s.handleSlots)
+	s.handle("GET /v2/clusters", s.handleClusters)
+	s.handle("POST /v2/clusters/{name}/evacuate", s.handleEvacuate)
 	return s
 }
 
@@ -454,47 +457,99 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request, subject str
 	}
 }
 
+// clusterRef is one placement domain a fleet read iterates: the cluster
+// plus the label its rows carry on the wire (empty on single-cluster
+// servers, so pre-federation output is byte-identical).
+type clusterRef struct {
+	label string
+	c     *orchestrator.Cluster
+}
+
+// clusterSelection resolves the ?cluster= query parameter: "" means
+// every placement domain (all federation members, or the single default
+// cluster), a name selects one member.
+func (s *Server) clusterSelection(name string) ([]clusterRef, error) {
+	if s.p.Federation == nil {
+		if name != "" && name != s.p.Cluster.Name {
+			return nil, &federation.ClusterNotFoundError{Cluster: name}
+		}
+		return []clusterRef{{c: s.p.Cluster}}, nil
+	}
+	if name != "" {
+		c, err := s.p.ClusterByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return []clusterRef{{label: c.Name, c: c}}, nil
+	}
+	members := s.p.Federation.Clusters()
+	out := make([]clusterRef, 0, len(members))
+	for _, m := range members {
+		if c, ok := s.p.Federation.Cluster(m.Name); ok {
+			out = append(out, clusterRef{label: m.Name, c: c})
+		}
+	}
+	return out, nil
+}
+
 // handleNodes returns the fleet table. Query params probeCpu/probeMem
 // add the scheduler's per-strategy explanation for that demand — the
-// wire form of `genioctl nodes -top`.
+// wire form of `genioctl nodes -top`. ?cluster= narrows a federated
+// fleet to one member; the default is every member, each row labeled
+// with its cluster.
 func (s *Server) handleNodes(w http.ResponseWriter, r *http.Request, subject string) {
 	if err := s.authorize(subject, "get", "nodes", ""); err != nil {
 		writeError(w, err)
 		return
 	}
-	util := s.p.Cluster.Utilization()
-	out := make([]api.NodeStatus, 0, len(util))
-	for _, u := range util {
-		out = append(out, api.FromUtilization(u))
-	}
 	q := r.URL.Query()
-	if q.Get("probeCpu") != "" || q.Get("probeMem") != "" {
-		cpu, _ := strconv.Atoi(q.Get("probeCpu"))
-		mem, _ := strconv.Atoi(q.Get("probeMem"))
-		cands := make([]scheduler.Candidate, 0, len(util))
+	clusters, err := s.clusterSelection(q.Get("cluster"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	probing := q.Get("probeCpu") != "" || q.Get("probeMem") != ""
+	cpu, _ := strconv.Atoi(q.Get("probeCpu"))
+	mem, _ := strconv.Atoi(q.Get("probeMem"))
+	var out []api.NodeStatus
+	for _, cl := range clusters {
+		util := cl.c.Utilization()
+		rows := make([]api.NodeStatus, 0, len(util))
 		for _, u := range util {
-			cands = append(cands, scheduler.Candidate{
-				Node: u.Node, Capacity: u.Capacity, Used: u.Used,
-				Cordoned: u.Cordoned, SharedVMs: u.SharedVMs,
-			})
+			ns := api.FromUtilization(u)
+			ns.Cluster = cl.label
+			rows = append(rows, ns)
 		}
-		probe := scheduler.Request{Workload: "probe", Tenant: "probe",
-			Demand: orchestrator.Resources{CPUMilli: cpu, MemoryMB: mem}}
-		eng := s.p.Cluster.Scheduler()
-		probe.Strategy = scheduler.StrategyBinpack
-		binpack := eng.Explain(&probe, cands)
-		probe.Strategy = scheduler.StrategySpread
-		spread := eng.Explain(&probe, cands)
-		for i := range out {
-			if binpack[i].Feasible {
-				v := binpack[i].Score
-				out[i].Binpack = &v
+		if probing {
+			cands := make([]scheduler.Candidate, 0, len(util))
+			for _, u := range util {
+				cands = append(cands, scheduler.Candidate{
+					Node: u.Node, Capacity: u.Capacity, Used: u.Used,
+					Cordoned: u.Cordoned, SharedVMs: u.SharedVMs,
+				})
 			}
-			if spread[i].Feasible {
-				v := spread[i].Score
-				out[i].Spread = &v
+			probe := scheduler.Request{Workload: "probe", Tenant: "probe",
+				Demand: orchestrator.Resources{CPUMilli: cpu, MemoryMB: mem}}
+			eng := cl.c.Scheduler()
+			probe.Strategy = scheduler.StrategyBinpack
+			binpack := eng.Explain(&probe, cands)
+			probe.Strategy = scheduler.StrategySpread
+			spread := eng.Explain(&probe, cands)
+			for i := range rows {
+				if binpack[i].Feasible {
+					v := binpack[i].Score
+					rows[i].Binpack = &v
+				}
+				if spread[i].Feasible {
+					v := spread[i].Score
+					rows[i].Spread = &v
+				}
 			}
 		}
+		out = append(out, rows...)
+	}
+	if out == nil {
+		out = []api.NodeStatus{}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -512,7 +567,7 @@ func (s *Server) handleAddNode(w http.ResponseWriter, r *http.Request, subject s
 		writeWireError(w, &api.WireError{Code: api.CodeBadRequest, Message: "node name required"})
 		return
 	}
-	if _, err := s.p.AddEdgeNodeContext(r.Context(), req.Name, orchestrator.Resources{
+	if _, err := s.p.AddEdgeNodeInContext(r.Context(), req.Cluster, req.Name, orchestrator.Resources{
 		CPUMilli: req.Capacity.CPUMilli, MemoryMB: req.Capacity.MemoryMB,
 	}); err != nil {
 		writeError(w, err)
@@ -520,6 +575,7 @@ func (s *Server) handleAddNode(w http.ResponseWriter, r *http.Request, subject s
 	}
 	writeJSON(w, http.StatusCreated, api.NodeStatus{
 		Node:     req.Name,
+		Cluster:  req.Cluster,
 		Capacity: req.Capacity,
 	})
 }
@@ -629,13 +685,68 @@ func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request, subject st
 }
 
 // handleSlots serves the warm-slot pool table; it is fleet state, so it
-// shares the nodes read permission.
+// shares the nodes read permission. On a federated server the flat
+// fields aggregate every member (or the one ?cluster= selects) and the
+// Clusters list carries the per-member breakdown.
 func (s *Server) handleSlots(w http.ResponseWriter, r *http.Request, subject string) {
 	if err := s.authorize(subject, "get", "nodes", ""); err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.FromWarmPools(s.p.Cluster.WarmPools(), s.p.Cluster.WarmCounters()))
+	clusters, err := s.clusterSelection(r.URL.Query().Get("cluster"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if s.p.Federation == nil {
+		writeJSON(w, http.StatusOK, api.FromWarmPools(s.p.Cluster.WarmPools(), s.p.Cluster.WarmCounters()))
+		return
+	}
+	var rep api.SlotsReport
+	for _, cl := range clusters {
+		sub := api.FromWarmPools(cl.c.WarmPools(), cl.c.WarmCounters())
+		rep.Pools = append(rep.Pools, sub.Pools...)
+		rep.Counters.Hits += sub.Counters.Hits
+		rep.Counters.Misses += sub.Counters.Misses
+		rep.Counters.Evicted += sub.Counters.Evicted
+		rep.Counters.Flushed += sub.Counters.Flushed
+		rep.Clusters = append(rep.Clusters, api.ClusterSlots{
+			Cluster: cl.label, Pools: sub.Pools, Counters: sub.Counters,
+		})
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleClusters lists the placement domains — federation members, or
+// the synthesized single entry of a plain server.
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request, subject string) {
+	if err := s.authorize(subject, "get", "nodes", ""); err != nil {
+		writeError(w, err)
+		return
+	}
+	members := s.p.Clusters()
+	out := make([]api.ClusterInfo, 0, len(members))
+	for _, m := range members {
+		out = append(out, api.FromMember(m))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleEvacuate re-places a failed federation member's workloads
+// across the survivors and removes it from the federation. The acting
+// subject rides into the re-placement pipeline, so per-workload RBAC
+// and audit attribution stay exact.
+func (s *Server) handleEvacuate(w http.ResponseWriter, r *http.Request, subject string) {
+	if err := s.authorize(subject, "update", "nodes", ""); err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.p.EvacuateCluster(subject, r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.FromEvacuation(res))
 }
 
 // Drain stops accepting new async deployments and waits for the

@@ -188,7 +188,7 @@ func TestE2EOverHTTP(t *testing.T) {
 	}
 
 	// Fleet table reflects the failure: one node left.
-	nodes, err := c.Nodes(ctx, &api.Resources{CPUMilli: 500, MemoryMB: 512})
+	nodes, err := c.Nodes(ctx, &api.Resources{CPUMilli: 500, MemoryMB: 512}, "")
 	if err != nil {
 		t.Fatalf("nodes: %v", err)
 	}
@@ -319,7 +319,7 @@ func TestTypedErrorsOverTheWire(t *testing.T) {
 	if !errors.Is(err, orchestrator.ErrUnauthorized) {
 		t.Fatalf("err = %v, want ErrUnauthorized", err)
 	}
-	if _, err := mc.Nodes(ctx, nil); !errors.Is(err, orchestrator.ErrUnauthorized) {
+	if _, err := mc.Nodes(ctx, nil, ""); !errors.Is(err, orchestrator.ErrUnauthorized) {
 		t.Fatalf("nodes err = %v, want ErrUnauthorized", err)
 	}
 }
@@ -959,7 +959,7 @@ func TestAddNodeAndAttachONUOverWire(t *testing.T) {
 	p := testPlatform(t)
 	_, _, c := testServer(t, p)
 	ctx := context.Background()
-	if err := c.AddNode(ctx, "olt-03", api.Resources{CPUMilli: 8000, MemoryMB: 16384}); err != nil {
+	if err := c.AddNode(ctx, "", "olt-03", api.Resources{CPUMilli: 8000, MemoryMB: 16384}); err != nil {
 		t.Fatalf("add node: %v", err)
 	}
 	if err := c.AttachONU(ctx, "olt-03", "onu-9001"); err != nil {
@@ -971,7 +971,7 @@ func TestAddNodeAndAttachONUOverWire(t *testing.T) {
 	if err := c.Cordon(ctx, "olt-03"); err != nil {
 		t.Fatalf("cordon: %v", err)
 	}
-	nodes, err := c.Nodes(ctx, nil)
+	nodes, err := c.Nodes(ctx, nil, "")
 	if err != nil {
 		t.Fatalf("nodes: %v", err)
 	}

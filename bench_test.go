@@ -26,6 +26,7 @@ import (
 	"genio/internal/core"
 	"genio/internal/events"
 	"genio/internal/falco"
+	"genio/internal/federation"
 	"genio/internal/fim"
 	"genio/internal/host"
 	"genio/internal/macsec"
@@ -846,6 +847,70 @@ func BenchmarkFailoverReschedule(b *testing.B) {
 			b.Fatalf("evictions under generous capacity: %v", res.Evicted)
 		}
 		c.AddNode(hot, capacity)
+	}
+}
+
+// BenchmarkRingLookup measures the federation router's hot path: one
+// consistent-hash ownership lookup on a 16-member ring (128 vnodes per
+// member). The lookup runs ahead of the per-cluster scheduler on every
+// federated deploy, so it must not allocate.
+func BenchmarkRingLookup(b *testing.B) {
+	r := federation.NewRing(federation.DefaultReplicas)
+	for i := 0; i < 16; i++ {
+		r.Add(fmt.Sprintf("edge-%02d", i))
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := r.Owner("acme", "sha256:77aa00"); !ok {
+			b.Fatal("empty ring")
+		}
+	}); allocs != 0 {
+		b.Fatalf("Owner allocates %.1f/op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Owner("acme", "sha256:77aa00"); !ok {
+			b.Fatal("empty ring")
+		}
+	}
+}
+
+// BenchmarkFederatedDeploy measures a full federated placement across a
+// 16-cluster × 1k-node fleet: region filter, ring ownership with the
+// bounded-load check, then the owning cluster's scheduler over its 1000
+// candidates. Tenants rotate so placements spread over the ring rather
+// than hammering one member's lock.
+func BenchmarkFederatedDeploy(b *testing.B) {
+	reg := container.NewRegistry()
+	reg.Push(container.AnalyticsImage(), nil)
+	fed := federation.New(reg)
+	capacity := orchestrator.Resources{CPUMilli: 1 << 20, MemoryMB: 1 << 20}
+	for ci := 0; ci < 16; ci++ {
+		name := fmt.Sprintf("edge-%02d", ci)
+		c := orchestrator.NewCluster(name, reg, orchestrator.Settings{})
+		for n := 0; n < 1000; n++ {
+			c.AddNode(fmt.Sprintf("%s-olt-%04d", name, n), capacity)
+		}
+		region := "west"
+		if ci%2 == 1 {
+			region = "east"
+		}
+		if err := fed.AddCluster(name, region, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	demand := orchestrator.Resources{CPUMilli: 100, MemoryMB: 128}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := fed.Deploy("ops", orchestrator.WorkloadSpec{
+			Name: fmt.Sprintf("bench-%d", i), Tenant: fmt.Sprintf("t-%d", i%64),
+			ImageRef:  "acme/analytics:2.0.1",
+			Isolation: orchestrator.IsolationSoft, Resources: demand,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -12,7 +12,11 @@
 //	genioctl deploy -image acme/iot-gateway:1.4.2 -timeout 2s
 //	genioctl watch -deploys 4 -tenant acme
 //	genioctl nodes -top
+//	genioctl nodes -cluster edge-b
 //	genioctl slots
+//	genioctl clusters
+//	genioctl clusters -evacuate edge-b
+//	genioctl deploy -image acme/analytics:2.0.1 -name web -region west
 //	genioctl cordon -node olt-01
 //	genioctl cordon -node olt-01 -undo
 //	genioctl drain -node olt-01 -timeout 5s
@@ -85,6 +89,8 @@ func run(args []string, out io.Writer) error {
 			return runNodes(args[1:], out)
 		case "slots":
 			return runSlots(args[1:], out)
+		case "clusters":
+			return runClusters(args[1:], out)
 		}
 	}
 	return runDemo(args, out)
@@ -183,6 +189,7 @@ func runDeploy(args []string, out io.Writer) error {
 	cpu := fs.Int("cpu", 500, "cpu demand (milli-cores)")
 	mem := fs.Int("mem", 512, "memory demand (MB)")
 	isolation := fs.String("isolation", "soft", "isolation mode: soft | hard")
+	region := fs.String("region", "", "constrain placement to this federation region (must match the tenant's pin, if any)")
 	wait := fs.Bool("wait", false, "stream lifecycle transitions while waiting")
 	timeout := fs.Duration("timeout", 0, "context deadline for the deployment (0 = none)")
 	if err := fs.Parse(args); err != nil {
@@ -232,6 +239,7 @@ func runDeploy(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "deployment %s (%s) submitted\n", *name, *image)
 	d, err := cli.DeployAsync(ctx, api.WorkloadSpec{
 		Name: *name, Tenant: *tenant, ImageRef: *image, Isolation: *isolation,
+		Region:    *region,
 		Resources: api.Resources{CPUMilli: *cpu, MemoryMB: *mem},
 	})
 	if err != nil {
@@ -269,7 +277,25 @@ func printDeployError(out io.Writer, err error) {
 	var quota *genio.QuotaError
 	var capa *genio.CapacityError
 	var cancelled *genio.CancelledError
+	var pinned *genio.RegionPinnedError
+	var fedCap *genio.FederationCapacityError
 	switch {
+	// Federation cases first: a FederationCapacityError may wrap the last
+	// member cluster's CapacityError, which would match the generic
+	// capacity case below.
+	case errors.As(err, &pinned):
+		fmt.Fprintf(out, "REJECTED by residency pin: tenant %s is pinned to region %q, deploy requested %q\n",
+			pinned.Tenant, pinned.Region, pinned.Requested)
+	case errors.As(err, &fedCap):
+		region := fedCap.Region
+		if region == "" {
+			region = "any"
+		}
+		fmt.Fprintf(out, "REJECTED by federation: no capacity for %s in region %s across %d eligible cluster(s)\n",
+			fedCap.Workload, region, fedCap.Clusters)
+		if fedCap.Err != nil {
+			fmt.Fprintf(out, "  last cluster said: %v\n", fedCap.Err)
+		}
 	case errors.As(err, &adm):
 		fmt.Fprintf(out, "REJECTED by admission (workload %s):\n", adm.Workload)
 		for _, v := range adm.Verdicts {
@@ -413,7 +439,7 @@ func runCordon(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "node %s %s\n\n", *node, verb)
-	return printFleet(out, cli, false)
+	return printFleet(out, cli, false, "")
 }
 
 // runDrain live-migrates a node's workloads through the scheduler,
@@ -456,16 +482,18 @@ func runDrain(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "drained: %d workload(s) migrated; %s stays cordoned\n", len(res.Migrated), *node)
 	}
 	fmt.Fprintln(out)
-	return printFleet(out, cli, false)
+	return printFleet(out, cli, false, "")
 }
 
 // runNodes prints the fleet table; -top adds the scheduler's score
-// columns for a probe demand.
+// columns for a probe demand. On a federated control plane -cluster
+// narrows to one member; the default shows every member, grouped.
 func runNodes(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("genioctl nodes", flag.ContinueOnError)
 	fs.SetOutput(out)
 	conn := addConnFlags(fs)
 	top := fs.Bool("top", false, "include per-node placement scores for a probe demand")
+	cluster := fs.String("cluster", "", "federation cluster to show (default: all, grouped)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -474,18 +502,20 @@ func runNodes(args []string, out io.Writer) error {
 		return err
 	}
 	defer cli.Close()
-	return printFleet(out, cli, *top)
+	return printFleet(out, cli, *top, *cluster)
 }
 
 // printFleet renders the fleet table from the client; with scores it
 // asks the control plane to explain a 500m/512MB probe under both
-// strategies, and adds the per-node warm-slot columns.
-func printFleet(out io.Writer, cli client.Interface, scores bool) error {
+// strategies, and adds the per-node warm-slot columns. Rows from a
+// federated fleet carry cluster labels and are grouped under per-cluster
+// headings; single-cluster output is unchanged.
+func printFleet(out io.Writer, cli client.Interface, scores bool, cluster string) error {
 	var probe *api.Resources
 	if scores {
 		probe = &api.Resources{CPUMilli: 500, MemoryMB: 512}
 	}
-	nodes, err := cli.Nodes(context.Background(), probe)
+	nodes, err := cli.Nodes(context.Background(), probe, cluster)
 	if err != nil {
 		return err
 	}
@@ -494,7 +524,12 @@ func printFleet(out io.Writer, cli client.Interface, scores bool) error {
 		header += fmt.Sprintf(" %-5s %-5s %-8s %-8s", "WARM", "CLMD", "BINPACK", "SPREAD")
 	}
 	fmt.Fprintln(out, header)
+	lastCluster := ""
 	for _, n := range nodes {
+		if n.Cluster != "" && n.Cluster != lastCluster {
+			fmt.Fprintf(out, "[cluster %s]\n", n.Cluster)
+			lastCluster = n.Cluster
+		}
 		state := "ready"
 		if n.Cordoned {
 			state = "cordoned"
@@ -513,11 +548,14 @@ func printFleet(out io.Writer, cli client.Interface, scores bool) error {
 
 // runSlots prints the warm-slot pool table: one row per (tenant, image
 // digest) pool plus the lifecycle counters. Identical against a remote
-// daemon (-server) and the in-process demo platform.
+// daemon (-server) and the in-process demo platform. On a federated
+// control plane -cluster narrows to one member; the default shows every
+// member's pools grouped, then the fleet-wide counters.
 func runSlots(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("genioctl slots", flag.ContinueOnError)
 	fs.SetOutput(out)
 	conn := addConnFlags(fs)
+	cluster := fs.String("cluster", "", "federation cluster to show (default: all, grouped)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -526,7 +564,7 @@ func runSlots(args []string, out io.Writer) error {
 		return err
 	}
 	defer cli.Close()
-	rep, err := cli.Slots(context.Background())
+	rep, err := cli.Slots(context.Background(), *cluster)
 	if err != nil {
 		return err
 	}
@@ -534,16 +572,79 @@ func runSlots(args []string, out io.Writer) error {
 	if len(rep.Pools) == 0 {
 		fmt.Fprintln(out, "(no warm pools)")
 	}
-	for _, p := range rep.Pools {
+	if len(rep.Clusters) > 0 {
+		// Federated report: group pools under their member cluster.
+		for _, cs := range rep.Clusters {
+			fmt.Fprintf(out, "[cluster %s]\n", cs.Cluster)
+			if len(cs.Pools) == 0 {
+				fmt.Fprintln(out, "(no warm pools)")
+			}
+			printSlotPools(out, cs.Pools)
+		}
+	} else {
+		printSlotPools(out, rep.Pools)
+	}
+	c := rep.Counters
+	fmt.Fprintf(out, "\nhits=%d misses=%d evicted=%d flushed=%d\n",
+		c.Hits, c.Misses, c.Evicted, c.Flushed)
+	return nil
+}
+
+// printSlotPools renders one pool table body.
+func printSlotPools(out io.Writer, pools []api.SlotPool) {
+	for _, p := range pools {
 		digest := p.Digest
 		if len(digest) > 16 {
 			digest = digest[:16]
 		}
 		fmt.Fprintf(out, "%-10s %-16s %-5d %-7d\n", p.Tenant, digest, p.Idle, p.Claimed)
 	}
-	c := rep.Counters
-	fmt.Fprintf(out, "\nhits=%d misses=%d evicted=%d flushed=%d\n",
-		c.Hits, c.Misses, c.Evicted, c.Flushed)
+}
+
+// runClusters lists the placement domains — federation members, or the
+// single default cluster — and with -evacuate re-places a failed
+// member's workloads across the survivors.
+func runClusters(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("genioctl clusters", flag.ContinueOnError)
+	fs.SetOutput(out)
+	conn := addConnFlags(fs)
+	evacuate := fs.String("evacuate", "", "evacuate the named cluster: re-place its workloads and remove it from the federation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cli, err := conn.newClient(0)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	ctx := context.Background()
+	if *evacuate != "" {
+		res, err := cli.Evacuate(ctx, *evacuate)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cluster %s evacuated: %d moved, %d lost\n",
+			res.Cluster, len(res.Moved), len(res.Lost))
+		for _, m := range res.Moved {
+			fmt.Fprintf(out, "  moved %-12s (%s) -> %s/%s\n", m.Workload, m.Tenant, m.To, m.Node)
+		}
+		for _, l := range res.Lost {
+			fmt.Fprintf(out, "  LOST  %-12s (%s)\n", l.Workload, l.Reason)
+		}
+		fmt.Fprintln(out)
+	}
+	infos, err := cli.Clusters(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-10s %-10s %-6s %-4s\n", "CLUSTER", "REGION", "NODES", "WLS")
+	for _, ci := range infos {
+		region := ci.Region
+		if region == "" {
+			region = "-"
+		}
+		fmt.Fprintf(out, "%-10s %-10s %-6d %-4d\n", ci.Name, region, ci.Nodes, ci.Workloads)
+	}
 	return nil
 }
 

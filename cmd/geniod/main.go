@@ -8,6 +8,13 @@
 //
 //	geniod -addr 127.0.0.1:9650 -demo -identity-out /tmp/genioctl.id
 //	geniod -posture legacy -allow-anonymous
+//	geniod -demo -federation "edge-a=west,edge-b=east,edge-c=east" -pin "gov=east"
+//
+// -federation turns the platform into a federated control plane over
+// the named clusters (deploys route region-filter → consistent-hash
+// ring → per-cluster scheduler); -pin adds hard data-residency pins.
+// Membership and pins are boot configuration — only the first member's
+// state is durable under -data-dir.
 //
 // Every request is authenticated against the platform CA (Ed25519
 // request signatures; see api.SignRequest) unless -allow-anonymous
@@ -31,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,6 +46,7 @@ import (
 	"genio/api/server"
 	"genio/internal/core"
 	"genio/internal/demo"
+	"genio/internal/orchestrator"
 	"genio/internal/persist"
 	"genio/internal/pki"
 )
@@ -64,8 +73,21 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	anonymous := fs.Bool("allow-anonymous", false, "accept unauthenticated requests, trusting the subject header")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight deployments")
 	dataDir := fs.String("data-dir", "", "durable state directory (write-ahead log + snapshots); recovered on boot")
+	fedSpec := fs.String("federation", "", "run federated over named clusters, e.g. \"edge-a=west,edge-b=east\"; the first member is the default cluster")
+	pinSpec := fs.String("pin", "", "tenant region pins (data residency), e.g. \"gov=west,acme=east\"; requires -federation")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	fedMembers, err := parseFederation(*fedSpec)
+	if err != nil {
+		return err
+	}
+	pins, err := parsePins(*pinSpec)
+	if err != nil {
+		return err
+	}
+	if len(pins) > 0 && len(fedMembers) == 0 {
+		return fmt.Errorf("-pin requires -federation")
 	}
 	var cfg core.Config
 	switch *posture {
@@ -78,6 +100,9 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 
 	var opts []core.Option
+	if len(fedMembers) > 0 {
+		opts = append(opts, core.WithFederation(fedMembers...))
+	}
 	var store persist.Store
 	if *dataDir != "" {
 		wal, err := persist.OpenWAL(*dataDir)
@@ -89,7 +114,6 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 
 	var p *core.Platform
-	var err error
 	if *demoFixture {
 		subjects := []string{*identitySubject}
 		if *anonymous {
@@ -110,6 +134,33 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if *dataDir != "" {
 		fmt.Fprintf(out, "durable state in %s: %d nodes, %d workloads, %d incidents recovered\n",
 			*dataDir, len(p.Cluster.Nodes()), len(p.Cluster.Workloads()), len(p.Incidents()))
+	}
+	if len(fedMembers) > 0 {
+		for _, pin := range pins {
+			if err := p.PinTenant(pin[0], pin[1]); err != nil {
+				p.Close()
+				return err
+			}
+		}
+		// The demo fixture seeds the default cluster only; give the peer
+		// members their own capacity so federated routing has somewhere
+		// to land.
+		if *demoFixture {
+			for _, m := range fedMembers[1:] {
+				for i := 1; i <= 2; i++ {
+					name := fmt.Sprintf("%s-olt-%02d", m.Name, i)
+					if _, err := p.AddEdgeNodeIn(m.Name, name, orchestrator.Resources{
+						CPUMilli: 16000, MemoryMB: 32768,
+					}); err != nil {
+						p.Close()
+						return err
+					}
+				}
+			}
+		}
+		for _, m := range p.Clusters() {
+			fmt.Fprintf(out, "federation member %s (region %s): %d nodes\n", m.Name, m.Region, m.Nodes)
+		}
 	}
 
 	srv := server.New(p, server.Options{CA: p.CA, AllowAnonymous: *anonymous})
@@ -165,4 +216,39 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	fmt.Fprintln(out, "shutdown complete")
 	return nil
+}
+
+// parseFederation parses the -federation value, e.g.
+// "edge-a=west,edge-b=east", preserving member order (the first member
+// becomes the default cluster).
+func parseFederation(s string) ([]core.FederationMember, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var members []core.FederationMember
+	for _, part := range strings.Split(s, ",") {
+		name, region, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || region == "" {
+			return nil, fmt.Errorf("bad -federation entry %q (want name=region)", part)
+		}
+		members = append(members, core.FederationMember{Name: name, Region: region})
+	}
+	return members, nil
+}
+
+// parsePins parses the -pin value, e.g. "gov=west,acme=east", into
+// ordered (tenant, region) pairs.
+func parsePins(s string) ([][2]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var pins [][2]string
+	for _, part := range strings.Split(s, ",") {
+		tenant, region, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || tenant == "" || region == "" {
+			return nil, fmt.Errorf("bad -pin entry %q (want tenant=region)", part)
+		}
+		pins = append(pins, [2]string{tenant, region})
+	}
+	return pins, nil
 }

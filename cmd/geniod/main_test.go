@@ -77,7 +77,7 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 	if wl.Node == "" {
 		t.Fatalf("remote deploy placed nowhere: %+v", wl)
 	}
-	nodes, err := cli.Nodes(ctx, nil)
+	nodes, err := cli.Nodes(ctx, nil, "")
 	if err != nil {
 		t.Fatalf("remote nodes: %v", err)
 	}
@@ -135,7 +135,7 @@ func TestDaemonRequiresAuthByDefault(t *testing.T) {
 	defer cli.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if _, err := cli.Nodes(ctx, nil); err == nil {
+	if _, err := cli.Nodes(ctx, nil, ""); err == nil {
 		t.Error("unauthenticated request accepted in secure posture")
 	}
 	_ = syscall.Kill(os.Getpid(), syscall.SIGTERM)

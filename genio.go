@@ -64,6 +64,7 @@ import (
 	"genio/internal/attack"
 	"genio/internal/core"
 	"genio/internal/events"
+	"genio/internal/federation"
 	"genio/internal/orchestrator"
 	"genio/internal/pon"
 	"genio/internal/threatmodel"
@@ -287,6 +288,45 @@ var (
 	ErrDuplicateName = orchestrator.ErrDuplicateName
 	// ErrClosed matches operations on a closed platform or spine.
 	ErrClosed = events.ErrClosed
+)
+
+// --- Fleet federation --------------------------------------------------------
+
+// FederationMember names one cluster (site / region) of a federated
+// platform.
+type FederationMember = core.FederationMember
+
+// WithFederation runs the platform as the control plane of N named
+// clusters: deploys route region-filter → consistent-hash ring →
+// per-cluster scheduler, and EvacuateCluster re-places a dead member's
+// workloads across the survivors. See core.WithFederation.
+func WithFederation(members ...FederationMember) PlatformOption {
+	return core.WithFederation(members...)
+}
+
+// EvacuationResult reports a cluster evacuation's moves and losses.
+type EvacuationResult = federation.EvacuationResult
+
+// Federation typed errors. The first two are deploy rejections matching
+// the ErrRejected umbrella; ClusterNotFoundError matches ErrNotFound.
+type (
+	// RegionPinnedError reports a deploy that named a region conflicting
+	// with its tenant's data-residency pin.
+	RegionPinnedError = federation.RegionPinnedError
+	// FederationCapacityError reports that no eligible cluster could
+	// host the demand; Unwrap exposes the last per-cluster rejection.
+	FederationCapacityError = federation.FederationCapacityError
+	// ClusterNotFoundError reports an operation on an unknown
+	// federation member.
+	ClusterNotFoundError = federation.ClusterNotFoundError
+)
+
+// Federation sentinels for errors.Is.
+var (
+	// ErrRegionPinned matches tenant-pin violations.
+	ErrRegionPinned = federation.ErrRegionPinned
+	// ErrClusterNotFound matches operations on unknown clusters.
+	ErrClusterNotFound = federation.ErrClusterNotFound
 )
 
 // SecureConfig returns the paper's full security-by-design posture.

@@ -20,6 +20,7 @@ import (
 
 	"genio/internal/container"
 	"genio/internal/events"
+	"genio/internal/federation"
 	"genio/internal/fim"
 	"genio/internal/host"
 	"genio/internal/malware"
@@ -217,6 +218,14 @@ type Platform struct {
 	storeErr  atomic.Value
 	storeFail sync.Once
 
+	// Federation state (see federation.go). Federation is nil unless
+	// WithFederation was given; fedClusters lists every member cluster
+	// (the default cluster first) for fan-out operations that must hit
+	// all of them (scanner registration, quota defaults).
+	Federation  *federation.Federation
+	fedMembers  []FederationMember
+	fedClusters []*orchestrator.Cluster
+
 	// Far-edge state (see faredge.go).
 	feMu              sync.Mutex
 	farEdge           map[string]*farEdgeState
@@ -269,6 +278,11 @@ func New(cfg Config, opts ...Option) (*Platform, error) {
 		cluster.SetClock(p.now)
 		p.Detector.SetTimeSource(p.now)
 	}
+	if len(p.fedMembers) > 0 {
+		if err := p.initFederation(); err != nil {
+			return nil, fmt.Errorf("federation: %w", err)
+		}
+	}
 	if cfg.AdmissionScanning {
 		p.registerScanners()
 	}
@@ -291,12 +305,21 @@ func New(cfg Config, opts ...Option) (*Platform, error) {
 // their scan between files and record nothing — no incident, no cache
 // entry.
 func (p *Platform) registerScanners() {
+	for _, c := range p.allClusters() {
+		p.registerScannersOn(c)
+	}
+}
+
+// registerScannersOn wires the gate set into one cluster's admission
+// chain. Federated platforms register a scanner instance per member —
+// the verdict cache is per-cluster, so each site warms its own.
+func (p *Platform) registerScannersOn(c *orchestrator.Cluster) {
 	malScanner, err := malware.NewScanner(malware.DefaultRules())
 	if err != nil {
 		// Stock rules are compile-tested; failure here is programmer error.
 		panic(fmt.Sprintf("core: compile stock malware rules: %v", err))
 	}
-	p.Cluster.RegisterAdmissionCachedCtx("malware-scan", func(ctx context.Context, spec orchestrator.WorkloadSpec, img *container.Image) error {
+	c.RegisterAdmissionCachedCtx("malware-scan", func(ctx context.Context, spec orchestrator.WorkloadSpec, img *container.Image) error {
 		rep, err := malScanner.ScanContext(ctx, img)
 		if err != nil {
 			return err
@@ -310,7 +333,7 @@ func (p *Platform) registerScanners() {
 	})
 
 	bench := scap.DockerBenchProfile()
-	p.Cluster.RegisterAdmissionCachedCtx("docker-bench", func(ctx context.Context, spec orchestrator.WorkloadSpec, img *container.Image) error {
+	c.RegisterAdmissionCachedCtx("docker-bench", func(ctx context.Context, spec orchestrator.WorkloadSpec, img *container.Image) error {
 		rep, err := scap.EvaluateImageContext(ctx, bench, img)
 		if err != nil {
 			return err
@@ -326,7 +349,7 @@ func (p *Platform) registerScanners() {
 	})
 
 	scaScanner := sca.NewScanner(sca.DependencyDatabase())
-	p.Cluster.RegisterAdmissionCachedCtx("sca-gate", func(ctx context.Context, spec orchestrator.WorkloadSpec, img *container.Image) error {
+	c.RegisterAdmissionCachedCtx("sca-gate", func(ctx context.Context, spec orchestrator.WorkloadSpec, img *container.Image) error {
 		full, err := scaScanner.ScanContext(ctx, img)
 		if err != nil {
 			return err
@@ -343,7 +366,7 @@ func (p *Platform) registerScanners() {
 	})
 
 	sastScanner := sast.NewScanner(sast.DefaultRules())
-	p.Cluster.RegisterAdmissionCachedCtx("sast-gate", func(ctx context.Context, spec orchestrator.WorkloadSpec, img *container.Image) error {
+	c.RegisterAdmissionCachedCtx("sast-gate", func(ctx context.Context, spec orchestrator.WorkloadSpec, img *container.Image) error {
 		rep, err := sastScanner.ScanContext(ctx, img)
 		if err != nil {
 			return err
@@ -376,6 +399,14 @@ func (p *Platform) AddEdgeNode(name string, capacity orchestrator.Resources) (*E
 // registered anywhere, so the garbage collector reclaims them and a
 // retried provisioning of the same name starts from scratch.
 func (p *Platform) AddEdgeNodeContext(ctx context.Context, name string, capacity orchestrator.Resources) (*EdgeNode, error) {
+	return p.addEdgeNodeOn(ctx, p.Cluster, name, capacity)
+}
+
+// addEdgeNodeOn is the provisioning pipeline body, parametrized on the
+// scheduling cluster the finished node registers with (federated
+// platforms route through AddEdgeNodeInContext; everything else targets
+// the default cluster).
+func (p *Platform) addEdgeNodeOn(ctx context.Context, target *orchestrator.Cluster, name string, capacity orchestrator.Resources) (*EdgeNode, error) {
 	if p.closed.Load() {
 		return nil, &ClosedError{Op: "add-edge-node"}
 	}
@@ -483,8 +514,8 @@ func (p *Platform) AddEdgeNodeContext(ctx context.Context, name string, capacity
 	// A recovered cluster already holds this member's placements; re-running
 	// the provisioning pipeline (re-attestation, fresh identity) must not
 	// re-register it as an empty node and orphan them.
-	if !p.Cluster.HasNode(name) {
-		p.Cluster.AddNode(name, capacity)
+	if !target.HasNode(name) {
+		target.AddNode(name, capacity)
 	}
 	return node, nil
 }
@@ -579,10 +610,31 @@ func (p *Platform) deployObserved(ctx context.Context, subject string, spec orch
 		return nil, orchestrator.Placement{}, &ClosedError{Op: "deploy"}
 	}
 	if p.Config.TenantQuotas {
-		// A default quota per tenant when none was set explicitly.
-		p.Cluster.EnsureQuota(spec.Tenant, orchestrator.Resources{CPUMilli: 2000, MemoryMB: 4096})
+		// A default quota per tenant when none was set explicitly. Quotas
+		// are per-cluster, so federated platforms seed every member.
+		for _, c := range p.allClusters() {
+			c.EnsureQuota(spec.Tenant, orchestrator.Resources{CPUMilli: 2000, MemoryMB: 4096})
+		}
 	}
-	w, placed, err := p.Cluster.DeployObserved(ctx, subject, spec, observe)
+	var (
+		w      *orchestrator.Workload
+		placed orchestrator.Placement
+		err    error
+	)
+	switch {
+	case p.Federation != nil:
+		var at federation.Placement
+		w, at, err = p.Federation.DeployObserved(ctx, subject, spec, observe)
+		placed = orchestrator.Placement{Node: at.Node, VMID: at.VMID}
+	case spec.Region != "":
+		// A region constraint on a non-federated platform can never be
+		// satisfied: there are no regions to match.
+		err = &federation.FederationCapacityError{
+			Workload: spec.Name, Tenant: spec.Tenant, Region: spec.Region,
+		}
+	default:
+		w, placed, err = p.Cluster.DeployObserved(ctx, subject, spec, observe)
+	}
 	if err != nil {
 		if errors.Is(err, orchestrator.ErrCancelled) {
 			p.publishMetric("deploy.cancelled", 1, spec.Tenant)

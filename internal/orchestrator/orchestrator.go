@@ -88,6 +88,11 @@ type WorkloadSpec struct {
 	// unset). Unknown values reject the deploy with a
 	// *PlacementPolicyError.
 	PlacementPolicy string `json:"placementPolicy,omitempty"`
+	// Region constrains federated placement to clusters in the named
+	// region. The cluster scheduler itself ignores it — routing happens
+	// one layer up in the federation — but it lives on the spec so it
+	// survives the WAL, the wire codec, and evacuation re-placement.
+	Region string `json:"region,omitempty"`
 }
 
 // Workload is a running deployment.

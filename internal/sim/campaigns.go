@@ -42,6 +42,7 @@ var campaigns = map[string]CampaignFunc{
 	"deploy-storm":      DeployStormCampaign,
 	"wire-deploy-storm": WireDeployStormCampaign,
 	"kill-restart":      KillRestartCampaign,
+	"region-outage":     RegionOutageCampaign,
 }
 
 // CampaignNames lists the registered campaigns, sorted.
@@ -505,6 +506,82 @@ func KillRestartCampaign(seed int64) Scenario {
 	steps = append(steps, KillRestart(), AdvanceClock(200))
 	return Scenario{Name: "kill-restart", Seed: seed, Config: core.SecureConfig(),
 		Persist: true, Steps: steps}
+}
+
+// RegionOutageCampaign is the federation storm: a three-member fleet
+// across two regions — edge-a and edge-b in region-a (edge-a being the
+// platform's default member), edge-c alone in region-b — takes mixed
+// tenant traffic with tenant gov hard-pinned to region-a, then loses
+// edge-b to a full evacuation mid-storm: every workload it held is
+// re-placed through the ring into surviving members honouring the pin,
+// its nodes die with it, and traffic keeps arriving afterwards. The
+// no-cross-region-leak invariant checks residency after every step, and
+// the whole pre-existing invariant surface (quota, capacity, drain
+// accounting, event ledger) runs per member throughout.
+func RegionOutageCampaign(seed int64) Scenario {
+	r := rand.New(rand.NewSource(seed))
+	steps := []Step{
+		SetQuota("acme", orchestrator.Resources{CPUMilli: 24000, MemoryMB: 49152}),
+		SetQuota("gov", orchestrator.Resources{CPUMilli: 12000, MemoryMB: 24576}),
+		JoinNode(nodeCapacity),
+		JoinNode(nodeCapacity),
+		JoinFedNode("edge-b", nodeCapacity),
+		JoinFedNode("edge-b", nodeCapacity),
+		JoinFedNode("edge-c", nodeCapacity),
+		JoinFedNode("edge-c", nodeCapacity),
+		// Baseline traffic: ring-routed, pinned, and region-constrained.
+		Deploy("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+		Deploy("gov", CleanImageRef, orchestrator.IsolationHard, smallDemand),
+		DeployRegion("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand, "region-b"),
+		// A pinned tenant asking for a foreign region is refused outright.
+		DeployRegion("gov", CleanImageRef, orchestrator.IsolationSoft, smallDemand, "region-b"),
+	}
+	for i := 0; i < 8; i++ {
+		switch r.Intn(4) {
+		case 0:
+			steps = append(steps, Deploy("acme", allImageRefs[r.Intn(len(allImageRefs))],
+				orchestrator.IsolationSoft, smallDemand))
+		case 1:
+			steps = append(steps, Deploy("gov", CleanImageRef, orchestrator.IsolationSoft, smallDemand))
+		case 2:
+			steps = append(steps, DeployRegion("acme", CleanImageRef, orchestrator.IsolationSoft,
+				smallDemand, "region-a"))
+		default:
+			steps = append(steps, AdvanceClock(100))
+		}
+	}
+	// The outage: edge-b — half of region-a's capacity, never the default
+	// member — evacuates mid-storm; the pin must hold through re-placement
+	// (gov workloads may only land on edge-a) while acme's move anywhere.
+	steps = append(steps,
+		IncidentStorm(4, 0.4, "acme"),
+		EvacuateClusterStep("edge-b"),
+		Deploy("gov", CleanImageRef, orchestrator.IsolationSoft, smallDemand),
+		DeployRegion("acme", CleanImageRef, orchestrator.IsolationSoft, smallDemand, "region-b"),
+	)
+	for i := 0; i < 6; i++ {
+		switch r.Intn(4) {
+		case 0:
+			steps = append(steps, Deploy("acme", allImageRefs[r.Intn(len(allImageRefs))],
+				orchestrator.IsolationSoft, smallDemand))
+		case 1:
+			steps = append(steps, CrashRandomNode())
+		case 2:
+			steps = append(steps, ONUChurn(1+r.Intn(3)))
+		default:
+			steps = append(steps, Deploy("gov", CleanImageRef, orchestrator.IsolationHard, smallDemand))
+		}
+	}
+	steps = append(steps, PlacementSpreadReport(), AdvanceClock(200))
+	return Scenario{
+		Name: "region-outage", Seed: seed, Config: core.SecureConfig(), Steps: steps,
+		Federation: []FedMember{
+			{Name: "edge-a", Region: "region-a"},
+			{Name: "edge-b", Region: "region-a"},
+			{Name: "edge-c", Region: "region-b"},
+		},
+		Pins: []TenantPin{{Tenant: "gov", Region: "region-a"}},
+	}
 }
 
 // IncidentStormCampaign models runtime threat pressure: waves of mixed

@@ -15,6 +15,7 @@ import (
 	"genio/internal/container"
 	"genio/internal/core"
 	"genio/internal/events"
+	"genio/internal/federation"
 	"genio/internal/orchestrator"
 	"genio/internal/trace"
 )
@@ -53,7 +54,9 @@ func CrashRandomNode() Step {
 }
 
 func crash(w *World, name string) Outcome {
-	res, err := w.Platform.Cluster.FailNode(name)
+	// The node lives in exactly one federation member; fail it there
+	// (the default cluster outside federation mode).
+	res, err := w.clusterOf(name).FailNode(name)
 	if err != nil {
 		return Outcome{Status: "error", Detail: fmt.Sprintf("crash %s: %v", name, err)}
 	}
@@ -198,9 +201,11 @@ func PlacementSpreadReport() Step {
 	return Step{Name: "placement-spread", Run: func(w *World) Outcome {
 		counts := map[string]int{}
 		total := 0
-		for _, wl := range w.Platform.Cluster.Workloads() {
-			counts[wl.Node]++
-			total++
+		for _, c := range w.Clusters() {
+			for _, wl := range c.Workloads() {
+				counts[wl.Node]++
+				total++
+			}
 		}
 		nodes := w.LiveNodes()
 		maxShare := 0
@@ -245,6 +250,63 @@ func DeployPolicy(tenant, ref string, iso orchestrator.IsolationMode, res orches
 	}}
 }
 
+// DeployRegion is Deploy with an explicit region constraint on the
+// spec: the federation router must place it in a matching-region member
+// (or reject it outright), and the no-cross-region-leak invariant holds
+// the platform to that after every subsequent step.
+func DeployRegion(tenant, ref string, iso orchestrator.IsolationMode, res orchestrator.Resources, region string) Step {
+	return Step{Name: "deploy-region", Run: func(w *World) Outcome {
+		return deployOne(w, orchestrator.WorkloadSpec{
+			Name: w.NextWorkloadName(), Tenant: tenant, ImageRef: ref,
+			Isolation: iso, Resources: res, Region: region,
+		})
+	}}
+}
+
+// JoinFedNode provisions a fresh edge node into a named federation
+// member (JoinNode targets the default cluster). Node names come from
+// the same platform-global sequence; requires Scenario.Federation.
+func JoinFedNode(cluster string, capacity orchestrator.Resources) Step {
+	return Step{Name: "node-join", Run: func(w *World) Outcome {
+		name := w.NextNodeName()
+		if _, err := w.Platform.AddEdgeNodeIn(cluster, name, capacity); err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("join %s in %s: %v", name, cluster, err)}
+		}
+		w.Live[name] = true
+		return okf("node %s joined cluster %s (cpu=%dm mem=%dMB)",
+			name, cluster, capacity.CPUMilli, capacity.MemoryMB)
+	}}
+}
+
+// EvacuateClusterStep kills a federation member mid-run: the member is
+// detached (no placement may land afterwards), every workload it held is
+// re-placed through the ring into surviving eligible members — honouring
+// pins and region constraints — and its nodes die with it. Losses are
+// first-class observations; the region-leak, quota, and accounting
+// invariants audit the aftermath. Requires Scenario.Federation (and the
+// platform refuses to evacuate its default member).
+func EvacuateClusterStep(name string) Step {
+	return Step{Name: "cluster-evacuate", Run: func(w *World) Outcome {
+		victim, err := w.Platform.ClusterByName(name)
+		if err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("evacuate %s: %v", name, err)}
+		}
+		nodes := victim.Nodes()
+		res, err := w.Platform.EvacuateCluster(Subject, name)
+		if err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("evacuate %s: %v", name, err)}
+		}
+		// The member's nodes leave the fleet with it.
+		for _, n := range nodes {
+			delete(w.Live, n)
+			delete(w.Cordoned, n)
+		}
+		return Outcome{Status: "evacuated", Detail: fmt.Sprintf(
+			"cluster %s down: %d nodes gone, %d workloads moved, %d lost",
+			name, len(nodes), len(res.Moved), len(res.Lost))}
+	}}
+}
+
 func deployOne(w *World, spec orchestrator.WorkloadSpec) Outcome {
 	w.policies[spec.Name] = spec.PlacementPolicy
 	wl, err := w.Platform.Deploy(Subject, spec)
@@ -281,6 +343,10 @@ func classifyDeploy(err error) (status, class string, contentDetermined bool) {
 		return "pull-failed", err.Error(), true
 	case errors.Is(err, orchestrator.ErrCancelled):
 		return "cancelled", "", false
+	case errors.Is(err, federation.ErrRegionPinned):
+		// A residency rejection depends on the tenant's pin and the
+		// requested region, not on image content.
+		return "region-pinned", "", false
 	case errors.Is(err, orchestrator.ErrQuotaExceeded):
 		return "quota-exceeded", "", false
 	case errors.Is(err, orchestrator.ErrNoCapacity):
@@ -531,10 +597,14 @@ func MetricBurst(n int) Step {
 }
 
 // SetQuota pins a tenant quota (and registers it with the
-// oversubscription invariant).
+// oversubscription invariant). Quotas are per-cluster state, so under
+// federation the quota is mirrored to every member — the invariant then
+// demands it per member.
 func SetQuota(tenant string, q orchestrator.Resources) Step {
 	return Step{Name: "set-quota", Run: func(w *World) Outcome {
-		w.Platform.Cluster.SetQuota(tenant, q)
+		for _, c := range w.Clusters() {
+			c.SetQuota(tenant, q)
+		}
 		w.Quotas[tenant] = q
 		return okf("quota %s = cpu %dm, mem %dMB", tenant, q.CPUMilli, q.MemoryMB)
 	}}

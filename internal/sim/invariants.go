@@ -34,13 +34,25 @@ func DefaultInvariants() []Invariant {
 		PlacementPolicyRespected(),
 		NoDrainLeaksCapacity(),
 		WarmSlotsNeverLeak(),
+		NoCrossRegionLeak(),
 		RecoveryExact(),
 	}
 }
 
+// clusterTag prefixes a violation message with the owning cluster in
+// federated runs. Outside federation mode it is empty, so single-cluster
+// reports keep their exact pre-federation wording.
+func clusterTag(w *World, c *orchestrator.Cluster) string {
+	if w.Platform.Federation == nil {
+		return ""
+	}
+	return "cluster " + c.Name + ": "
+}
+
 // NoQuotaOversubscription: a tenant's reported usage never exceeds an
 // explicitly-set quota, whatever storm of concurrent or failed deploys
-// ran.
+// ran. Under federation the platform mirrors quotas to every member and
+// enforces them per cluster, so the check runs per member too.
 func NoQuotaOversubscription() Invariant {
 	return Invariant{Name: "no-quota-oversubscription", Check: func(w *World) []string {
 		var out []string
@@ -54,11 +66,13 @@ func NoQuotaOversubscription() Invariant {
 			if q.CPUMilli <= 0 && q.MemoryMB <= 0 {
 				continue
 			}
-			use := w.Platform.Cluster.TenantUsage(t)
-			if use.CPUMilli > q.CPUMilli || use.MemoryMB > q.MemoryMB {
-				out = append(out, fmt.Sprintf(
-					"tenant %s uses cpu=%dm mem=%dMB over quota cpu=%dm mem=%dMB",
-					t, use.CPUMilli, use.MemoryMB, q.CPUMilli, q.MemoryMB))
+			for _, c := range w.Clusters() {
+				use := c.TenantUsage(t)
+				if use.CPUMilli > q.CPUMilli || use.MemoryMB > q.MemoryMB {
+					out = append(out, fmt.Sprintf(
+						"%stenant %s uses cpu=%dm mem=%dMB over quota cpu=%dm mem=%dMB",
+						clusterTag(w, c), t, use.CPUMilli, use.MemoryMB, q.CPUMilli, q.MemoryMB))
+				}
 			}
 		}
 		return out
@@ -71,11 +85,16 @@ func NoQuotaOversubscription() Invariant {
 func NoDeadNodePlacement() Invariant {
 	return Invariant{Name: "no-dead-node-placement", Check: func(w *World) []string {
 		var out []string
+		// The script's Live set spans the whole federation; the cluster
+		// side is the union over members (a node lives in exactly one).
 		clusterLive := map[string]bool{}
-		for _, n := range w.Platform.Cluster.Nodes() {
-			clusterLive[n] = true
-			if !w.Live[n] {
-				out = append(out, fmt.Sprintf("cluster reports node %s alive; script crashed it", n))
+		for _, c := range w.Clusters() {
+			for _, n := range c.Nodes() {
+				clusterLive[n] = true
+				if !w.Live[n] {
+					out = append(out, fmt.Sprintf("%scluster reports node %s alive; script crashed it",
+						clusterTag(w, c), n))
+				}
 			}
 		}
 		for _, n := range w.LiveNodes() {
@@ -83,9 +102,12 @@ func NoDeadNodePlacement() Invariant {
 				out = append(out, fmt.Sprintf("cluster lost node %s the script considers alive", n))
 			}
 		}
-		for _, wl := range w.Platform.Cluster.Workloads() {
-			if !clusterLive[wl.Node] {
-				out = append(out, fmt.Sprintf("workload %s placed on dead node %s", wl.Spec.Name, wl.Node))
+		for _, c := range w.Clusters() {
+			for _, wl := range c.Workloads() {
+				if !clusterLive[wl.Node] {
+					out = append(out, fmt.Sprintf("%sworkload %s placed on dead node %s",
+						clusterTag(w, c), wl.Spec.Name, wl.Node))
+				}
 			}
 		}
 		return out
@@ -97,14 +119,17 @@ func NoDeadNodePlacement() Invariant {
 func NoCapacityOversubscription() Invariant {
 	return Invariant{Name: "no-capacity-oversubscription", Check: func(w *World) []string {
 		var out []string
-		for _, u := range w.Platform.Cluster.Utilization() {
-			if u.Used.CPUMilli > u.Capacity.CPUMilli || u.Used.MemoryMB > u.Capacity.MemoryMB {
-				out = append(out, fmt.Sprintf(
-					"node %s used cpu=%dm mem=%dMB over capacity cpu=%dm mem=%dMB",
-					u.Node, u.Used.CPUMilli, u.Used.MemoryMB, u.Capacity.CPUMilli, u.Capacity.MemoryMB))
-			}
-			if u.Used.CPUMilli < 0 || u.Used.MemoryMB < 0 {
-				out = append(out, fmt.Sprintf("node %s usage went negative: %+v", u.Node, u.Used))
+		for _, c := range w.Clusters() {
+			for _, u := range c.Utilization() {
+				if u.Used.CPUMilli > u.Capacity.CPUMilli || u.Used.MemoryMB > u.Capacity.MemoryMB {
+					out = append(out, fmt.Sprintf(
+						"%snode %s used cpu=%dm mem=%dMB over capacity cpu=%dm mem=%dMB",
+						clusterTag(w, c), u.Node, u.Used.CPUMilli, u.Used.MemoryMB, u.Capacity.CPUMilli, u.Capacity.MemoryMB))
+				}
+				if u.Used.CPUMilli < 0 || u.Used.MemoryMB < 0 {
+					out = append(out, fmt.Sprintf("%snode %s usage went negative: %+v",
+						clusterTag(w, c), u.Node, u.Used))
+				}
 			}
 		}
 		return out
@@ -182,8 +207,11 @@ func CancelledNeverPlaced() Invariant {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			if _, placed := w.Platform.Cluster.Workload(n); placed {
-				out = append(out, fmt.Sprintf("cancelled deployment %s is placed in the cluster", n))
+			for _, c := range w.Clusters() {
+				if _, placed := c.Workload(n); placed {
+					out = append(out, fmt.Sprintf("%scancelled deployment %s is placed in the cluster",
+						clusterTag(w, c), n))
+				}
 			}
 		}
 		return out
@@ -228,31 +256,33 @@ func LifecycleLedgerBalanced() Invariant {
 func PlacementPolicyRespected() Invariant {
 	return Invariant{Name: "placement-policy-respected", Check: func(w *World) []string {
 		var out []string
-		defaultStrategy := w.Platform.Cluster.Settings.PlacementStrategy
-		if defaultStrategy == "" {
-			defaultStrategy = orchestrator.PlacementBinpack
-		}
-		for _, wl := range w.Platform.Cluster.Workloads() {
-			want := w.policies[wl.Spec.Name]
-			if want == "" {
-				want = defaultStrategy
+		for _, c := range w.Clusters() {
+			defaultStrategy := c.Settings.PlacementStrategy
+			if defaultStrategy == "" {
+				defaultStrategy = orchestrator.PlacementBinpack
 			}
-			if wl.Strategy == "warm" {
-				// The warm fast path bypasses strategy scoring by design
-				// (the slot's placement was scored when the VM was first
-				// created). The claim-to-workload binding itself is audited
-				// by warm-slots-never-leak; it cannot be demanded here
-				// because a kill-restart recovers "warm" placements while
-				// the pool deliberately restarts cold.
-			} else if wl.Strategy != want {
-				out = append(out, fmt.Sprintf(
-					"workload %s placed under strategy %q, policy requested %q",
-					wl.Spec.Name, wl.Strategy, want))
-			}
-			if since, cordoned := w.Cordoned[wl.Node]; cordoned && wl.PlacedAtMs >= since {
-				out = append(out, fmt.Sprintf(
-					"workload %s placed on %s at t=%dms, cordoned since t=%dms",
-					wl.Spec.Name, wl.Node, wl.PlacedAtMs, since))
+			for _, wl := range c.Workloads() {
+				want := w.policies[wl.Spec.Name]
+				if want == "" {
+					want = defaultStrategy
+				}
+				if wl.Strategy == "warm" {
+					// The warm fast path bypasses strategy scoring by design
+					// (the slot's placement was scored when the VM was first
+					// created). The claim-to-workload binding itself is audited
+					// by warm-slots-never-leak; it cannot be demanded here
+					// because a kill-restart recovers "warm" placements while
+					// the pool deliberately restarts cold.
+				} else if wl.Strategy != want {
+					out = append(out, fmt.Sprintf(
+						"%sworkload %s placed under strategy %q, policy requested %q",
+						clusterTag(w, c), wl.Spec.Name, wl.Strategy, want))
+				}
+				if since, cordoned := w.Cordoned[wl.Node]; cordoned && wl.PlacedAtMs >= since {
+					out = append(out, fmt.Sprintf(
+						"%sworkload %s placed on %s at t=%dms, cordoned since t=%dms",
+						clusterTag(w, c), wl.Spec.Name, wl.Node, wl.PlacedAtMs, since))
+				}
 			}
 		}
 		return out
@@ -269,94 +299,105 @@ func PlacementPolicyRespected() Invariant {
 func NoDrainLeaksCapacity() Invariant {
 	return Invariant{Name: "no-drain-leaks-capacity", Check: func(w *World) []string {
 		var out []string
-		cluster := w.Platform.Cluster
-		workloads := cluster.Workloads()
-		wantUsed := map[string]orchestrator.Resources{}
-		wantCount := map[string]int{}
-		wantTenant := map[string]orchestrator.Resources{}
-		byName := map[string]*orchestrator.Workload{}
-		for _, wl := range workloads {
-			wantUsed[wl.Node] = wantUsed[wl.Node].Add(wl.Spec.Resources)
-			wantCount[wl.Node]++
-			wantTenant[wl.Spec.Tenant] = wantTenant[wl.Spec.Tenant].Add(wl.Spec.Resources)
-			byName[wl.Spec.Name] = wl
-		}
-		// Idle warm slots hold node reservations without a workload (that
-		// is the warm pool's contract); they count toward node usage but
-		// never toward tenant quota or workload counts.
-		for _, s := range cluster.WarmIdleSlots() {
-			wantUsed[s.Node] = wantUsed[s.Node].Add(s.Res)
-		}
-		for _, u := range cluster.Utilization() {
-			if u.Used != wantUsed[u.Node] {
-				out = append(out, fmt.Sprintf(
-					"node %s accounts cpu=%dm mem=%dMB; its workloads sum to cpu=%dm mem=%dMB",
-					u.Node, u.Used.CPUMilli, u.Used.MemoryMB,
-					wantUsed[u.Node].CPUMilli, wantUsed[u.Node].MemoryMB))
-			}
-			if u.Workloads != wantCount[u.Node] {
-				out = append(out, fmt.Sprintf(
-					"node %s reports %d workloads, table holds %d", u.Node, u.Workloads, wantCount[u.Node]))
-			}
-		}
-		tenantSet := map[string]bool{}
-		for t := range wantTenant {
-			tenantSet[t] = true
-		}
-		for t := range w.Quotas {
-			tenantSet[t] = true // catches usage stranded after every workload left
-		}
-		tenants := make([]string, 0, len(tenantSet))
-		for t := range tenantSet {
-			tenants = append(tenants, t)
-		}
-		sort.Strings(tenants)
-		for _, t := range tenants {
-			// Usage may exceed the workload sum only by in-flight pending
-			// reservations; between sequential sim steps there are none.
-			if got := cluster.TenantUsage(t); got != wantTenant[t] {
-				out = append(out, fmt.Sprintf(
-					"tenant %s accounts cpu=%dm mem=%dMB; placed workloads sum to cpu=%dm mem=%dMB",
-					t, got.CPUMilli, got.MemoryMB, wantTenant[t].CPUMilli, wantTenant[t].MemoryMB))
-			}
-		}
-		seenInVMs := map[string]bool{}
-		sharedByNode := map[string]int{}
-		for _, vm := range cluster.VMs() {
-			if !vm.Dedicated {
-				sharedByNode[vm.Node]++
-			}
-			for _, wl := range vm.Workloads {
-				seenInVMs[wl] = true
-				owner, ok := byName[wl]
-				if !ok {
-					out = append(out, fmt.Sprintf("vm %s holds unknown workload %s", vm.ID, wl))
-					continue
-				}
-				if owner.VMID != vm.ID || owner.Node != vm.Node {
-					out = append(out, fmt.Sprintf(
-						"workload %s maps to vm %s on %s but sits in vm %s on %s",
-						wl, owner.VMID, owner.Node, vm.ID, vm.Node))
-				}
-			}
-		}
-		for name := range byName {
-			if !seenInVMs[name] {
-				out = append(out, fmt.Sprintf("workload %s has no VM slot", name))
-			}
-		}
-		// The hand-maintained shared-VM counter (a scheduler input:
-		// SecurityPostureScore) must agree with a recount of the VM
-		// table, or posture scoring silently drifts.
-		for _, u := range cluster.Utilization() {
-			if u.SharedVMs != sharedByNode[u.Node] {
-				out = append(out, fmt.Sprintf(
-					"node %s counts %d shared VMs; VM table holds %d", u.Node, u.SharedVMs, sharedByNode[u.Node]))
-			}
+		for _, cluster := range w.Clusters() {
+			out = append(out, drainLeakViolations(w, cluster)...)
 		}
 		sort.Strings(out)
 		return out
 	}}
+}
+
+// drainLeakViolations recomputes one cluster's accounting from its
+// workload table (the body of NoDrainLeaksCapacity, run per federation
+// member).
+func drainLeakViolations(w *World, cluster *orchestrator.Cluster) []string {
+	var out []string
+	tag := clusterTag(w, cluster)
+	workloads := cluster.Workloads()
+	wantUsed := map[string]orchestrator.Resources{}
+	wantCount := map[string]int{}
+	wantTenant := map[string]orchestrator.Resources{}
+	byName := map[string]*orchestrator.Workload{}
+	for _, wl := range workloads {
+		wantUsed[wl.Node] = wantUsed[wl.Node].Add(wl.Spec.Resources)
+		wantCount[wl.Node]++
+		wantTenant[wl.Spec.Tenant] = wantTenant[wl.Spec.Tenant].Add(wl.Spec.Resources)
+		byName[wl.Spec.Name] = wl
+	}
+	// Idle warm slots hold node reservations without a workload (that
+	// is the warm pool's contract); they count toward node usage but
+	// never toward tenant quota or workload counts.
+	for _, s := range cluster.WarmIdleSlots() {
+		wantUsed[s.Node] = wantUsed[s.Node].Add(s.Res)
+	}
+	for _, u := range cluster.Utilization() {
+		if u.Used != wantUsed[u.Node] {
+			out = append(out, fmt.Sprintf(
+				"%snode %s accounts cpu=%dm mem=%dMB; its workloads sum to cpu=%dm mem=%dMB",
+				tag, u.Node, u.Used.CPUMilli, u.Used.MemoryMB,
+				wantUsed[u.Node].CPUMilli, wantUsed[u.Node].MemoryMB))
+		}
+		if u.Workloads != wantCount[u.Node] {
+			out = append(out, fmt.Sprintf(
+				"%snode %s reports %d workloads, table holds %d", tag, u.Node, u.Workloads, wantCount[u.Node]))
+		}
+	}
+	tenantSet := map[string]bool{}
+	for t := range wantTenant {
+		tenantSet[t] = true
+	}
+	for t := range w.Quotas {
+		tenantSet[t] = true // catches usage stranded after every workload left
+	}
+	tenants := make([]string, 0, len(tenantSet))
+	for t := range tenantSet {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		// Usage may exceed the workload sum only by in-flight pending
+		// reservations; between sequential sim steps there are none.
+		if got := cluster.TenantUsage(t); got != wantTenant[t] {
+			out = append(out, fmt.Sprintf(
+				"%stenant %s accounts cpu=%dm mem=%dMB; placed workloads sum to cpu=%dm mem=%dMB",
+				tag, t, got.CPUMilli, got.MemoryMB, wantTenant[t].CPUMilli, wantTenant[t].MemoryMB))
+		}
+	}
+	seenInVMs := map[string]bool{}
+	sharedByNode := map[string]int{}
+	for _, vm := range cluster.VMs() {
+		if !vm.Dedicated {
+			sharedByNode[vm.Node]++
+		}
+		for _, wl := range vm.Workloads {
+			seenInVMs[wl] = true
+			owner, ok := byName[wl]
+			if !ok {
+				out = append(out, fmt.Sprintf("%svm %s holds unknown workload %s", tag, vm.ID, wl))
+				continue
+			}
+			if owner.VMID != vm.ID || owner.Node != vm.Node {
+				out = append(out, fmt.Sprintf(
+					"%sworkload %s maps to vm %s on %s but sits in vm %s on %s",
+					tag, wl, owner.VMID, owner.Node, vm.ID, vm.Node))
+			}
+		}
+	}
+	for name := range byName {
+		if !seenInVMs[name] {
+			out = append(out, fmt.Sprintf("%sworkload %s has no VM slot", tag, name))
+		}
+	}
+	// The hand-maintained shared-VM counter (a scheduler input:
+	// SecurityPostureScore) must agree with a recount of the VM
+	// table, or posture scoring silently drifts.
+	for _, u := range cluster.Utilization() {
+		if u.SharedVMs != sharedByNode[u.Node] {
+			out = append(out, fmt.Sprintf(
+				"%snode %s counts %d shared VMs; VM table holds %d", tag, u.Node, u.SharedVMs, sharedByNode[u.Node]))
+		}
+	}
+	return out
 }
 
 // WarmSlotsNeverLeak: full warm-pool accounting recompute after every
@@ -370,58 +411,105 @@ func NoDrainLeaksCapacity() Invariant {
 func WarmSlotsNeverLeak() Invariant {
 	return Invariant{Name: "warm-slots-never-leak", Check: func(w *World) []string {
 		var out []string
-		cluster := w.Platform.Cluster
-		clusterLive := map[string]bool{}
-		cordoned := map[string]bool{}
-		for _, u := range cluster.Utilization() {
-			clusterLive[u.Node] = true
-			cordoned[u.Node] = u.Cordoned
-		}
-		liveVMs := map[string]string{} // vm id -> node
-		for _, vm := range cluster.VMs() {
-			liveVMs[vm.ID] = vm.Node
-		}
-		byName := map[string]*orchestrator.Workload{}
-		for _, wl := range cluster.Workloads() {
-			byName[wl.Spec.Name] = wl
-		}
-		seenVM := map[string]string{} // vm id -> "idle"/workload name
-		for _, s := range cluster.WarmIdleSlots() {
-			switch {
-			case !clusterLive[s.Node]:
-				out = append(out, fmt.Sprintf("idle warm slot %s parked on dead node %s", s.VMID, s.Node))
-			case cordoned[s.Node]:
-				out = append(out, fmt.Sprintf("idle warm slot %s parked on cordoned node %s", s.VMID, s.Node))
-			}
-			if node, live := liveVMs[s.VMID]; live {
-				out = append(out, fmt.Sprintf(
-					"idle warm slot %s also exists as a live VM on %s", s.VMID, node))
-			}
-			if prev, dup := seenVM[s.VMID]; dup {
-				out = append(out, fmt.Sprintf("vm %s booked twice in the warm pool (%s and idle)", s.VMID, prev))
-			}
-			seenVM[s.VMID] = "idle"
-		}
-		claims := cluster.WarmClaims()
-		for _, cl := range claims {
-			wl, ok := byName[cl.Workload]
-			if !ok {
-				out = append(out, fmt.Sprintf(
-					"warm claim for %s names a workload not in the cluster", cl.Workload))
-				continue
-			}
-			if wl.Node != cl.Slot.Node || wl.VMID != cl.Slot.VMID {
-				out = append(out, fmt.Sprintf(
-					"warm claim for %s records vm %s on %s; workload runs in vm %s on %s",
-					cl.Workload, cl.Slot.VMID, cl.Slot.Node, wl.VMID, wl.Node))
-			}
-			if prev, dup := seenVM[cl.Slot.VMID]; dup {
-				out = append(out, fmt.Sprintf(
-					"vm %s booked twice in the warm pool (%s and %s)", cl.Slot.VMID, prev, cl.Workload))
-			}
-			seenVM[cl.Slot.VMID] = cl.Workload
+		for _, cluster := range w.Clusters() {
+			out = append(out, warmSlotViolations(w, cluster)...)
 		}
 		sort.Strings(out)
+		return out
+	}}
+}
+
+// warmSlotViolations audits one cluster's warm pool (the body of
+// WarmSlotsNeverLeak, run per federation member — pools are strictly
+// per cluster, so each audit is self-contained).
+func warmSlotViolations(w *World, cluster *orchestrator.Cluster) []string {
+	var out []string
+	tag := clusterTag(w, cluster)
+	clusterLive := map[string]bool{}
+	cordoned := map[string]bool{}
+	for _, u := range cluster.Utilization() {
+		clusterLive[u.Node] = true
+		cordoned[u.Node] = u.Cordoned
+	}
+	liveVMs := map[string]string{} // vm id -> node
+	for _, vm := range cluster.VMs() {
+		liveVMs[vm.ID] = vm.Node
+	}
+	byName := map[string]*orchestrator.Workload{}
+	for _, wl := range cluster.Workloads() {
+		byName[wl.Spec.Name] = wl
+	}
+	seenVM := map[string]string{} // vm id -> "idle"/workload name
+	for _, s := range cluster.WarmIdleSlots() {
+		switch {
+		case !clusterLive[s.Node]:
+			out = append(out, fmt.Sprintf("%sidle warm slot %s parked on dead node %s", tag, s.VMID, s.Node))
+		case cordoned[s.Node]:
+			out = append(out, fmt.Sprintf("%sidle warm slot %s parked on cordoned node %s", tag, s.VMID, s.Node))
+		}
+		if node, live := liveVMs[s.VMID]; live {
+			out = append(out, fmt.Sprintf(
+				"%sidle warm slot %s also exists as a live VM on %s", tag, s.VMID, node))
+		}
+		if prev, dup := seenVM[s.VMID]; dup {
+			out = append(out, fmt.Sprintf("%svm %s booked twice in the warm pool (%s and idle)", tag, s.VMID, prev))
+		}
+		seenVM[s.VMID] = "idle"
+	}
+	claims := cluster.WarmClaims()
+	for _, cl := range claims {
+		wl, ok := byName[cl.Workload]
+		if !ok {
+			out = append(out, fmt.Sprintf(
+				"%swarm claim for %s names a workload not in the cluster", tag, cl.Workload))
+			continue
+		}
+		if wl.Node != cl.Slot.Node || wl.VMID != cl.Slot.VMID {
+			out = append(out, fmt.Sprintf(
+				"%swarm claim for %s records vm %s on %s; workload runs in vm %s on %s",
+				tag, cl.Workload, cl.Slot.VMID, cl.Slot.Node, wl.VMID, wl.Node))
+		}
+		if prev, dup := seenVM[cl.Slot.VMID]; dup {
+			out = append(out, fmt.Sprintf(
+				"%svm %s booked twice in the warm pool (%s and %s)", tag, cl.Slot.VMID, prev, cl.Workload))
+		}
+		seenVM[cl.Slot.VMID] = cl.Workload
+	}
+	return out
+}
+
+// NoCrossRegionLeak: data residency holds at every intermediate state of
+// a federated run — no workload of a pinned tenant ever sits in a
+// cluster outside its pinned region, and no workload whose spec
+// requested a region ever sits outside it. Placement routing, overflow,
+// failover, and evacuation all must preserve this; outside federation
+// mode the check is vacuous.
+func NoCrossRegionLeak() Invariant {
+	return Invariant{Name: "no-cross-region-leak", Check: func(w *World) []string {
+		fed := w.Platform.Federation
+		if fed == nil {
+			return nil
+		}
+		var out []string
+		pins := fed.Pins()
+		for _, m := range w.Platform.Clusters() {
+			c, err := w.Platform.ClusterByName(m.Name)
+			if err != nil {
+				continue
+			}
+			for _, wl := range c.Workloads() {
+				if want, pinned := pins[wl.Spec.Tenant]; pinned && m.Region != want {
+					out = append(out, fmt.Sprintf(
+						"cluster %s (region %s): workload %s of tenant %s leaked out of pinned region %s",
+						m.Name, m.Region, wl.Spec.Name, wl.Spec.Tenant, want))
+				}
+				if wl.Spec.Region != "" && wl.Spec.Region != m.Region {
+					out = append(out, fmt.Sprintf(
+						"cluster %s (region %s): workload %s requested region %s",
+						m.Name, m.Region, wl.Spec.Name, wl.Spec.Region))
+				}
+			}
+		}
 		return out
 	}}
 }

@@ -37,6 +37,28 @@ type Scenario struct {
 	// report — so the byte-identical replay contract is unchanged.
 	// Mutually exclusive with Wire.
 	Persist bool
+	// Federation, when non-empty, boots the platform in federation mode
+	// over the named member clusters (the first adopts the default
+	// cluster) — deploys then route region-filter → consistent-hash ring
+	// → per-cluster scheduler, and the EvacuateClusterStep injector
+	// becomes meaningful. Membership lives on the Scenario, not the
+	// Config, so Config stays comparable (postureName relies on that).
+	Federation []FedMember
+	// Pins are hard tenant→region residency pins applied at boot (and
+	// re-applied across KillRestart rebuilds). Requires Federation.
+	Pins []TenantPin
+}
+
+// FedMember names one federation member cluster of a scenario.
+type FedMember struct {
+	Name   string
+	Region string
+}
+
+// TenantPin pins one tenant's workloads to a region for a scenario.
+type TenantPin struct {
+	Tenant string
+	Region string
 }
 
 // Step is one scripted action against the world.
@@ -280,6 +302,33 @@ func (w *World) schedulableNodes() []string {
 		}
 	}
 	return out
+}
+
+// Clusters returns every orchestrator cluster the platform drives, in
+// deterministic member order — just the default cluster outside
+// federation mode. Cluster-state invariants iterate this so the same
+// checks cover single-cluster and federated scenarios.
+func (w *World) Clusters() []*orchestrator.Cluster {
+	members := w.Platform.Clusters()
+	out := make([]*orchestrator.Cluster, 0, len(members))
+	for _, m := range members {
+		if c, err := w.Platform.ClusterByName(m.Name); err == nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// clusterOf returns the cluster currently hosting the named node,
+// falling back to the default cluster (whose error the caller then
+// observes) when no member knows it.
+func (w *World) clusterOf(node string) *orchestrator.Cluster {
+	for _, c := range w.Clusters() {
+		if c.HasNode(node) {
+			return c
+		}
+	}
+	return w.Platform.Cluster
 }
 
 // DeployedWorkloads returns the names of currently running workloads,

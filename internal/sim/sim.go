@@ -102,6 +102,9 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 		if sc.Wire {
 			return nil, fmt.Errorf("sim: persistent scenarios cannot be wired (the HTTP harness binds to one platform instance)")
 		}
+		if len(sc.Federation) > 0 {
+			return nil, fmt.Errorf("sim: federated scenarios cannot be persistent (membership is boot config — a rebuild would resurrect evacuated members)")
+		}
 		// The data directory is harness plumbing: a fresh temp dir per
 		// run, never surfaced in the report, removed afterwards. The
 		// KillRestart step reopens it across the simulated crash.
@@ -178,7 +181,19 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 	}
 
 	w.Platform.Flush()
-	admitted, rejected := w.Platform.Cluster.Counters()
+	// Fold counters and inventory across every member cluster — identical
+	// to the pre-federation numbers when only the default cluster exists
+	// (clusters come back sorted by name, so the node list stays
+	// deterministic).
+	var admitted, rejected, workloads int
+	liveNodes := []string{}
+	for _, c := range w.Clusters() {
+		a, r := c.Counters()
+		admitted += a
+		rejected += r
+		liveNodes = append(liveNodes, c.Nodes()...)
+		workloads += len(c.Workloads())
+	}
 	// Per-topic published tallies: deterministic under the Block policy
 	// (nothing is ever dropped), so they join the replay contract. In a
 	// persistent scenario these (and the admitted/rejected counters) cover
@@ -194,8 +209,8 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 	w.sampleWarm()
 	rep.Final = FinalState{
 		VirtualMs: clock.NowMs(),
-		LiveNodes: w.Platform.Cluster.Nodes(),
-		Workloads: len(w.Platform.Cluster.Workloads()),
+		LiveNodes: liveNodes,
+		Workloads: workloads,
 		Admitted:  admitted,
 		Rejected:  rejected,
 		Incidents: w.Platform.IncidentCounts(),
@@ -220,6 +235,13 @@ func (e *Engine) Run(sc Scenario) (*Report, error) {
 // the world's book-keeping) must NOT be touched.
 func (e *Engine) buildPlatform(sc Scenario, clock *Clock, w *World) error {
 	opts := []core.Option{core.WithClock(clock.Source())}
+	if len(sc.Federation) > 0 {
+		members := make([]core.FederationMember, len(sc.Federation))
+		for i, m := range sc.Federation {
+			members[i] = core.FederationMember{Name: m.Name, Region: m.Region}
+		}
+		opts = append(opts, core.WithFederation(members...))
+	}
 	if w.persistDir != "" {
 		store, err := persist.OpenWAL(w.persistDir)
 		if err != nil {
@@ -234,6 +256,14 @@ func (e *Engine) buildPlatform(sc Scenario, clock *Clock, w *World) error {
 		return fmt.Errorf("sim: platform: %w", err)
 	}
 	w.Platform = p
+	// Residency pins are boot configuration, like membership: re-applied
+	// on every rebuild so a KillRestart cannot silently widen a tenant's
+	// placement domain.
+	for _, pin := range sc.Pins {
+		if err := p.PinTenant(pin.Tenant, pin.Region); err != nil {
+			return fmt.Errorf("sim: pin %s=%s: %w", pin.Tenant, pin.Region, err)
+		}
+	}
 	// The invariants watch the platform the way an external consumer
 	// would: through a spine subscription, not by polling snapshots.
 	if _, err := p.Subscribe("sim-incident-witness", []events.Topic{events.TopicIncident},

@@ -150,4 +150,83 @@ done
 wait "$daemon_pid" || fail "durable geniod exited non-zero after recovery"
 daemon_pid=""
 
+# --- federated leg: boot a 3-cluster federation with a residency pin,
+# deploy region-pinned over the wire, kill one member, and assert the
+# evacuation re-placed its workloads without leaving the region dark.
+echo "=== federated boot (3 clusters, gov pinned to west)"
+addr3="127.0.0.1:${GENIOD_E2E_PORT3:-9652}"
+identity4="$workdir/ops4.id"
+"$workdir/geniod" -addr "$addr3" -demo \
+    -federation "edge-a=west,edge-b=east,edge-c=east" -pin "gov=west" \
+    -identity-out "$identity4" >"$workdir/geniod.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+    [ -s "$identity4" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || fail "federated geniod exited during startup"
+    sleep 0.1
+done
+[ -s "$identity4" ] || fail "federated geniod never wrote the client identity"
+export GENIOD_ADDR="$addr3" GENIOD_IDENTITY="$identity4"
+
+echo "=== clusters"
+out="$(ctl clusters)"
+echo "$out"
+for member in edge-a edge-b edge-c; do
+    echo "$out" | grep -q "$member" || fail "clusters missing member $member"
+done
+
+echo "=== deploy -region (pinned tenant, allowed region)"
+out="$(ctl deploy -name e2e-fed-gov -tenant gov -region west -wait)"
+echo "$out"
+echo "$out" | grep -q "PLACED: e2e-fed-gov" || fail "pinned deploy did not place"
+
+echo "=== deploy -region (residency violation, typed over the wire)"
+out="$(ctl deploy -name e2e-fed-leak -tenant gov -region east 2>&1 || true)"
+echo "$out"
+echo "$out" | grep -q "REJECTED by residency pin" || fail "no typed residency rejection"
+
+echo "=== deploy into the doomed region"
+out="$(ctl deploy -name e2e-fed-east -tenant acme -region east -wait)"
+echo "$out"
+echo "$out" | grep -q "PLACED: e2e-fed-east" || fail "east deploy did not place"
+# Tenant ops hashes to edge-b on the (tenant, digest) ring, so this
+# workload is guaranteed to sit on the member we are about to kill.
+out="$(ctl deploy -name e2e-fed-ops -tenant ops -region east -wait)"
+echo "$out"
+echo "$out" | grep -q "PLACED: e2e-fed-ops on edge-b-" || fail "ops deploy did not land on edge-b"
+
+echo "=== nodes -top (grouped per member)"
+out="$(ctl nodes -top)"
+echo "$out"
+echo "$out" | grep -q "\[cluster edge-b\]" || fail "nodes -top not grouped by cluster"
+out="$(ctl nodes -cluster edge-c)"
+echo "$out"
+echo "$out" | grep -q "edge-c-olt-01" || fail "nodes -cluster edge-c missing its node"
+echo "$out" | grep -q "edge-b-olt" && fail "nodes -cluster edge-c leaked edge-b rows"
+
+echo "=== evacuate edge-b"
+out="$(ctl clusters -evacuate edge-b)"
+echo "$out"
+echo "$out" | grep -q "cluster edge-b evacuated: 1 moved, 0 lost" || fail "evacuation did not re-place edge-b's workload"
+echo "$out" | grep -q "moved e2e-fed-ops" || fail "evacuation did not report the moved workload"
+out="$(ctl clusters)"
+echo "$out"
+if echo "$out" | grep -q "edge-b"; then
+    fail "edge-b still listed after evacuation"
+fi
+echo "$out" | grep -q "edge-c" || fail "edge-c gone after evacuating edge-b"
+
+# The east region stays serviceable through the surviving member.
+out="$(ctl deploy -name e2e-fed-after -tenant acme -region east -wait)"
+echo "$out" | grep -q "PLACED: e2e-fed-after" || fail "post-evacuation east deploy failed"
+
+kill -TERM "$daemon_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+wait "$daemon_pid" || fail "federated geniod exited non-zero"
+daemon_pid=""
+grep -q "shutdown complete" "$workdir/geniod.log" || fail "no clean federated shutdown marker"
+
 echo "e2e: PASS"
