@@ -5,7 +5,7 @@ SIM_SEED ?= 7
 GO_TAGS ?=
 # Benchmarks gated against the committed BENCH_*.json baseline and the
 # allowed regression (percent) — applied to ns/op, B/op, and allocs/op.
-BENCH_GATE ?= EventSpine|IncidentFanIn|IncidentStorm|DeployParallel|DeploySequentialAdmission|DeployBatch|DeployAsyncPipelined|HTTPDeployThroughput|Schedule1kNodes|FailoverReschedule|WALDeployThroughput|WarmDeploy|ColdRepeatDeploy|RingLookup|FederatedDeploy
+BENCH_GATE ?= EventSpine|IncidentFanIn|IncidentStorm|DeployParallel|DeploySequentialAdmission|DeployBatch|DeployAsyncPipelined|HTTPDeployThroughput|HTTPDeployBatch|WatchFanout100Subs|Schedule1kNodes|FailoverReschedule|WALDeployThroughput|WarmDeploy|ColdRepeatDeploy|RingLookup|FederatedDeploy
 BENCH_THRESHOLD ?= 25
 BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 

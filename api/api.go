@@ -122,6 +122,29 @@ type DeployRequest struct {
 	Spec WorkloadSpec `json:"spec"`
 }
 
+// DeployBatchRequest is the body of POST /v2/deploy/batch: N specs in
+// one signed request. Results are positional — Results[i] answers
+// Specs[i] — so one request amortizes auth, framing, and codec cost
+// across a whole deploy storm.
+type DeployBatchRequest struct {
+	Specs []WorkloadSpec `json:"specs"`
+}
+
+// DeployBatchResult is one positional element of a batch response:
+// exactly one of Workload (placed) or Error (full error-taxonomy wire
+// codec, Decode-able) is set.
+type DeployBatchResult struct {
+	Workload *Workload  `json:"workload,omitempty"`
+	Error    *WireError `json:"error,omitempty"`
+}
+
+// DeployBatchResponse is the 200 body of POST /v2/deploy/batch. The
+// HTTP status reports transport/auth outcome only; per-spec verdicts
+// live in the positional results.
+type DeployBatchResponse struct {
+	Results []DeployBatchResult `json:"results"`
+}
+
 // DeploymentRef is the 202 response of an async deploy: the server-side
 // future's identity plus its poll/await locations.
 type DeploymentRef struct {

@@ -20,6 +20,7 @@ package api
 import (
 	"bytes"
 	"crypto/ed25519"
+	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/base64"
@@ -27,11 +28,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"genio/internal/pki"
@@ -57,6 +60,12 @@ const (
 	// mode, where no certificate is presented. Ignored whenever a
 	// certificate is present: the certificate's subject wins.
 	HeaderSubject = "X-Genio-Subject"
+	// HeaderSession carries a session token id issued by POST
+	// /v2/session. When present, HeaderSignature holds an HMAC-SHA256
+	// over the same canonical string instead of an Ed25519 signature —
+	// the symmetric steady-state of the handshake-bootstrapped session
+	// (see Verifier.IssueSession).
+	HeaderSession = "X-Genio-Session"
 )
 
 // MaxClockSkew is how far a request's date may drift from the
@@ -93,45 +102,204 @@ var ErrUnauthenticated = errors.New("api: request not authenticated")
 // Unwraps to ErrUnauthenticated; capacity frees as entries expire.
 var ErrReplayCacheFull = fmt.Errorf("%w: nonce replay cache full, retry later", ErrUnauthenticated)
 
+// ErrSessionExpired reports a request carrying a session token the
+// verifier does not hold (expired, evicted, or never issued). Clients
+// recover by re-running the Ed25519 handshake (POST /v2/session) and
+// retrying; the condition is advisory, not an attack signal. Unwraps to
+// ErrUnauthenticated.
+var ErrSessionExpired = fmt.Errorf("%w: session expired or unknown", ErrUnauthenticated)
+
+// DefaultSessionTTL is how long an issued session stays valid. Short
+// enough that a leaked secret has a bounded window, long enough that a
+// deploy storm re-keys rarely (re-key is one Ed25519 round trip).
+const DefaultSessionTTL = 10 * time.Minute
+
+// DefaultSessionCapacity bounds live sessions. Unlike the nonce cache,
+// hitting the cap is not a security decision — a refused handshake just
+// leaves the client on per-request Ed25519 signing, which is always
+// accepted — so the cap only bounds memory.
+const DefaultSessionCapacity = 4096
+
+// sessionSecretSize is the HMAC-SHA256 key length for session secrets.
+const sessionSecretSize = 32
+
 // signingPayload is the byte string the client signs: method, path,
 // canonical (encoded) query string, date, nonce, and the hex SHA-256
 // of the body, newline-joined. Binding all request-controlled inputs
 // means a captured signature authorizes exactly one request shape.
 func signingPayload(method, path, query, date, nonce, bodyHash string) []byte {
-	return []byte(strings.Join([]string{method, path, query, date, nonce, bodyHash}, "\n"))
+	n := len(method) + len(path) + len(query) + len(date) + len(nonce) + len(bodyHash) + 5
+	return appendSigningPayload(make([]byte, 0, n), method, path, query, date, nonce, bodyHash)
 }
 
+// appendSigningPayload appends the canonical signing string to dst —
+// the allocation-free form signingPayload and the pooled MAC path
+// share, so both produce byte-identical payloads.
+func appendSigningPayload(dst []byte, method, path, query, date, nonce, bodyHash string) []byte {
+	dst = append(dst, method...)
+	dst = append(dst, '\n')
+	dst = append(dst, path...)
+	dst = append(dst, '\n')
+	dst = append(dst, query...)
+	dst = append(dst, '\n')
+	dst = append(dst, date...)
+	dst = append(dst, '\n')
+	dst = append(dst, nonce...)
+	dst = append(dst, '\n')
+	dst = append(dst, bodyHash...)
+	return dst
+}
+
+// payloadPool recycles signing-payload scratch buffers: every signed
+// request (both ends) builds one canonical string, so a deploy storm
+// would otherwise allocate it thousands of times per second.
+var payloadPool = sync.Pool{New: func() any { b := make([]byte, 0, 192); return &b }}
+
+// macPool recycles keyed HMAC-SHA256 states for one secret. hmac.New
+// costs several allocations (two hash states plus key pads) and every
+// steady-state request MACs once per end, so sessions keep reset-able
+// keyed states for their lifetime instead of rebuilding them.
+type macPool struct{ pool sync.Pool }
+
+func newMACPool(secret []byte) *macPool {
+	p := &macPool{}
+	p.pool.New = func() any { return hmac.New(sha256.New, secret) }
+	return p
+}
+
+// mac computes the session MAC over the canonical signing string using
+// pooled HMAC state and a pooled payload buffer.
+func (p *macPool) mac(method, path, query, date, nonce, bodyHash string) []byte {
+	bp := payloadPool.Get().(*[]byte)
+	payload := appendSigningPayload((*bp)[:0], method, path, query, date, nonce, bodyHash)
+	m := p.pool.Get().(hash.Hash)
+	m.Reset()
+	m.Write(payload)
+	sum := m.Sum(nil)
+	p.pool.Put(m)
+	*bp = payload[:0]
+	payloadPool.Put(bp)
+	return sum
+}
+
+// canonicalQuery is the query-string form bound into signatures. The
+// empty-query fast path matters: url.Query() materializes a Values map
+// even for a bare path, and most control calls have no query at all.
+func canonicalQuery(u *url.URL) string {
+	if u.RawQuery == "" {
+		return ""
+	}
+	return u.Query().Encode()
+}
+
+// datestamp caches the RFC3339 form of the current second. Signing
+// dates only need second precision, so a deploy storm formats once per
+// second instead of once per request.
+type datestamp struct {
+	sec int64
+	str string
+}
+
+var lastDate atomic.Pointer[datestamp]
+
+func requestDate() string {
+	now := time.Now()
+	sec := now.Unix()
+	if d := lastDate.Load(); d != nil && d.sec == sec {
+		return d.str
+	}
+	d := &datestamp{sec: sec, str: now.UTC().Format(time.RFC3339)}
+	lastDate.Store(d)
+	return d.str
+}
+
+// newNonce mints the per-request random hex nonce.
+func newNonce() (string, error) {
+	var raw [12]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", fmt.Errorf("api: nonce: %w", err)
+	}
+	var dst [24]byte
+	hex.Encode(dst[:], raw[:])
+	return string(dst[:]), nil
+}
+
+// hexSum renders a SHA-256 digest as lowercase hex in one allocation.
+func hexSum(sum []byte) string {
+	var dst [2 * sha256.Size]byte
+	hex.Encode(dst[:2*len(sum)], sum)
+	return string(dst[:2*len(sum)])
+}
+
+// b64MAC renders a 32-byte MAC as standard base64 in one allocation.
+func b64MAC(sum []byte) string {
+	var dst [44]byte
+	base64.StdEncoding.Encode(dst[:], sum)
+	return string(dst[:base64.StdEncoding.EncodedLen(len(sum))])
+}
+
+// bodyHashPool recycles the SHA-256 states and copy buffers hashBody
+// streams re-readable bodies through.
+var (
+	bodyHashPool = sync.Pool{New: func() any { return sha256.New() }}
+	bodyBufPool  = sync.Pool{New: func() any { b := make([]byte, 16*1024); return &b }}
+)
+
 // hashBody returns the hex SHA-256 of the request body without
-// consuming it: the body is read (via GetBody when available) and
-// restored. An absent body hashes as the empty string.
+// consuming it. A re-readable body (GetBody — the client side) is
+// streamed through a pooled hash state with a pooled copy buffer; a
+// one-shot body (the server side) must be read fully anyway so the
+// handler still gets one, and is restored afterwards. An absent body
+// hashes as the empty string.
 func hashBody(req *http.Request) (string, error) {
 	if req.Body == nil || req.Body == http.NoBody {
 		sum := sha256.Sum256(nil)
-		return hex.EncodeToString(sum[:]), nil
+		return hexSum(sum[:]), nil
 	}
-	rd := req.Body
 	if req.GetBody != nil {
 		fresh, err := req.GetBody()
 		if err != nil {
 			return "", fmt.Errorf("api: reread body: %w", err)
 		}
-		rd = fresh
+		defer fresh.Close()
+		h := bodyHashPool.Get().(hash.Hash)
+		h.Reset()
+		bp := bodyBufPool.Get().(*[]byte)
+		defer bodyBufPool.Put(bp)
+		defer bodyHashPool.Put(h)
+		buf := *bp
+		var total int64
+		for {
+			n, rerr := fresh.Read(buf)
+			if n > 0 {
+				if total += int64(n); total > maxSignedBody {
+					return "", fmt.Errorf("api: body exceeds %d-byte signing limit", maxSignedBody)
+				}
+				h.Write(buf[:n])
+			}
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				return "", fmt.Errorf("api: read body: %w", rerr)
+			}
+		}
+		var sum [sha256.Size]byte
+		h.Sum(sum[:0])
+		return hexSum(sum[:]), nil
 	}
-	data, err := io.ReadAll(io.LimitReader(rd, maxSignedBody+1))
+	// One-shot body: we consume the only copy, so keep the bytes and
+	// hand the handler an equivalent reader.
+	data, err := io.ReadAll(io.LimitReader(req.Body, maxSignedBody+1))
 	if err != nil {
 		return "", fmt.Errorf("api: read body: %w", err)
 	}
 	if len(data) > maxSignedBody {
 		return "", fmt.Errorf("api: body exceeds %d-byte signing limit", maxSignedBody)
 	}
-	if req.GetBody == nil {
-		// We consumed the only copy; hand the handler an equivalent one.
-		req.Body = io.NopCloser(bytes.NewReader(data))
-	} else {
-		rd.Close()
-	}
+	req.Body = io.NopCloser(bytes.NewReader(data))
 	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:]), nil
+	return hexSum(sum[:]), nil
 }
 
 // SignRequest authenticates an outgoing request with the identity: it
@@ -148,16 +316,15 @@ func SignRequest(req *http.Request, id *pki.Identity) error {
 	}
 	date := req.Header.Get(HeaderDate)
 	if date == "" {
-		date = time.Now().UTC().Format(time.RFC3339)
+		date = requestDate()
 		req.Header.Set(HeaderDate, date)
 	}
 	nonce := req.Header.Get(HeaderNonce)
 	if nonce == "" {
-		var raw [12]byte
-		if _, err := rand.Read(raw[:]); err != nil {
-			return fmt.Errorf("api: nonce: %w", err)
+		nonce, err = newNonce()
+		if err != nil {
+			return err
 		}
-		nonce = hex.EncodeToString(raw[:])
 		req.Header.Set(HeaderNonce, nonce)
 	}
 	bodyHash, err := hashBody(req)
@@ -165,9 +332,80 @@ func SignRequest(req *http.Request, id *pki.Identity) error {
 		return err
 	}
 	sig := ed25519.Sign(id.PrivateKey,
-		signingPayload(req.Method, req.URL.Path, req.URL.Query().Encode(), date, nonce, bodyHash))
+		signingPayload(req.Method, req.URL.Path, canonicalQuery(req.URL), date, nonce, bodyHash))
 	req.Header.Set(HeaderCertificate, base64.StdEncoding.EncodeToString(certJSON))
 	req.Header.Set(HeaderSignature, base64.StdEncoding.EncodeToString(sig))
+	return nil
+}
+
+// Session is a client-side session credential: the token id the server
+// knows the secret by, the shared HMAC secret itself, and when the
+// server will forget both. Obtained from a SessionGrant (the wire form
+// POST /v2/session returns) via its Session method.
+type Session struct {
+	Token     string
+	Secret    []byte
+	Subject   string
+	ExpiresAt time.Time
+
+	// macs holds reset-able keyed HMAC states for Secret; nil for
+	// hand-built Sessions, in which case signing keys a fresh state.
+	macs *macPool
+}
+
+// SessionGrant is the wire body of a successful POST /v2/session: an
+// Ed25519-signed handshake traded for a short-lived symmetric
+// credential. Secret is base64 in JSON (Go []byte encoding).
+type SessionGrant struct {
+	Token     string    `json:"token"`
+	Secret    []byte    `json:"secret"`
+	Subject   string    `json:"subject"`
+	ExpiresAt time.Time `json:"expiresAt"`
+}
+
+// Session converts the grant into the client-side credential.
+func (g *SessionGrant) Session() *Session {
+	return &Session{Token: g.Token, Secret: g.Secret, Subject: g.Subject,
+		ExpiresAt: g.ExpiresAt, macs: newMACPool(g.Secret)}
+}
+
+// SignRequestSession authenticates an outgoing request with a session:
+// same canonical string as SignRequest (method, path, query, date,
+// nonce, body hash), but MACed with the session secret instead of
+// signed with the identity key — sub-µs symmetric crypto on the
+// steady-state path, and no certificate attached.
+func SignRequestSession(req *http.Request, s *Session) error {
+	if s == nil || len(s.Secret) == 0 {
+		return fmt.Errorf("%w: no session", ErrUnauthenticated)
+	}
+	date := req.Header.Get(HeaderDate)
+	if date == "" {
+		date = requestDate()
+		req.Header.Set(HeaderDate, date)
+	}
+	nonce := req.Header.Get(HeaderNonce)
+	if nonce == "" {
+		var err error
+		if nonce, err = newNonce(); err != nil {
+			return err
+		}
+		req.Header.Set(HeaderNonce, nonce)
+	}
+	bodyHash, err := hashBody(req)
+	if err != nil {
+		return err
+	}
+	query := canonicalQuery(req.URL)
+	var sum []byte
+	if s.macs != nil {
+		sum = s.macs.mac(req.Method, req.URL.Path, query, date, nonce, bodyHash)
+	} else {
+		mac := hmac.New(sha256.New, s.Secret)
+		mac.Write(signingPayload(req.Method, req.URL.Path, query, date, nonce, bodyHash))
+		sum = mac.Sum(nil)
+	}
+	req.Header.Set(HeaderSession, s.Token)
+	req.Header.Set(HeaderSignature, b64MAC(sum))
 	return nil
 }
 
@@ -175,7 +413,11 @@ func SignRequest(req *http.Request, id *pki.Identity) error {
 // against a CA. It is stateful: nonces seen inside the clock-skew
 // window are remembered (and bounded by that window), so a verbatim
 // replay of a captured request is rejected even while its date is
-// still fresh. Safe for concurrent use.
+// still fresh. It also holds the session table for HMAC-authenticated
+// requests (IssueSession / the X-Genio-Session path); both paths share
+// the same canonical string, date window, and nonce cache, so every
+// replay/skew guarantee holds identically for sessions. Safe for
+// concurrent use.
 type Verifier struct {
 	ca   *pki.CA
 	skew time.Duration
@@ -185,6 +427,19 @@ type Verifier struct {
 	seen      map[string]struct{} // nonces inside the window
 	order     []nonceEntry        // expiry order == insertion order (clock is monotonic)
 	maxNonces int                 // hard cap on remembered nonces (full cache rejects)
+
+	sessMu      sync.RWMutex
+	sessions    map[string]*sessionRecord // token id → live session
+	sessTTL     time.Duration
+	maxSessions int
+}
+
+// sessionRecord is the server half of an issued session.
+type sessionRecord struct {
+	secret  []byte
+	subject string
+	exp     time.Time
+	macs    *macPool // reset-able keyed HMAC states for secret
 }
 
 // nonceEntry pairs a remembered nonce with when it may be forgotten.
@@ -218,24 +473,82 @@ func WithNonceCapacity(n int) VerifierOption {
 	}
 }
 
+// WithSessionTTL overrides how long issued sessions live (default
+// DefaultSessionTTL). Tests use tiny TTLs to exercise re-keying.
+func WithSessionTTL(d time.Duration) VerifierOption {
+	return func(v *Verifier) { v.sessTTL = d }
+}
+
+// WithSessionCapacity overrides the live-session cap (default
+// DefaultSessionCapacity). Values below 1 are clamped to 1.
+func WithSessionCapacity(n int) VerifierOption {
+	return func(v *Verifier) {
+		if n < 1 {
+			n = 1
+		}
+		v.maxSessions = n
+	}
+}
+
 // NewVerifier builds a request verifier over the CA.
 func NewVerifier(ca *pki.CA, opts ...VerifierOption) *Verifier {
 	v := &Verifier{ca: ca, skew: MaxClockSkew, now: time.Now,
-		seen: make(map[string]struct{}), maxNonces: DefaultNonceCapacity}
+		seen: make(map[string]struct{}), maxNonces: DefaultNonceCapacity,
+		sessions: make(map[string]*sessionRecord),
+		sessTTL:  DefaultSessionTTL, maxSessions: DefaultSessionCapacity}
 	for _, o := range opts {
 		o(v)
 	}
 	return v
 }
 
+// IssueSession mints a session for an already-authenticated subject
+// (the caller must have verified an Ed25519-signed handshake first).
+// Expired sessions are pruned on issue; at capacity the handshake is
+// refused — the client simply stays on per-request Ed25519 signing.
+func (v *Verifier) IssueSession(subject string) (*SessionGrant, error) {
+	var raw [16 + sessionSecretSize]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return nil, fmt.Errorf("api: session secret: %w", err)
+	}
+	token := hex.EncodeToString(raw[:16])
+	secret := append([]byte(nil), raw[16:]...)
+	now := v.now()
+	exp := now.Add(v.sessTTL)
+	v.sessMu.Lock()
+	defer v.sessMu.Unlock()
+	if len(v.sessions) >= v.maxSessions {
+		for id, rec := range v.sessions {
+			if now.After(rec.exp) {
+				delete(v.sessions, id)
+			}
+		}
+		if len(v.sessions) >= v.maxSessions {
+			return nil, fmt.Errorf("%w: session table full, retry later", ErrUnauthenticated)
+		}
+	}
+	v.sessions[token] = &sessionRecord{secret: secret, subject: subject, exp: exp, macs: newMACPool(secret)}
+	return &SessionGrant{Token: token, Secret: secret, Subject: subject, ExpiresAt: exp}, nil
+}
+
 // Verify checks an incoming request and returns the authenticated
-// subject. The certificate must chain to the CA, be within its
-// validity window, not be revoked, and carry the service role; the
-// signature must cover the request (method, path, query, date, nonce,
-// body hash) with the certificate's key; the date must be within the
-// clock-skew window; and the nonce must not have been seen before.
+// subject. Requests carrying a session token take the HMAC path; all
+// others must present a certificate chaining to the CA (within its
+// validity window, not revoked, service role) whose key signed the
+// request. Either way the signature covers the request (method, path,
+// query, date, nonce, body hash), the date must be within the
+// clock-skew window, and the nonce must not have been seen before —
+// the replay defenses are shared, not per-path.
 func (v *Verifier) Verify(r *http.Request) (string, error) {
-	subject, nonce, err := v.verifySignature(r)
+	var (
+		subject, nonce string
+		err            error
+	)
+	if r.Header.Get(HeaderSession) != "" {
+		subject, nonce, err = v.verifySessionMAC(r)
+	} else {
+		subject, nonce, err = v.verifySignature(r)
+	}
 	if err != nil {
 		return "", err
 	}
@@ -243,6 +556,66 @@ func (v *Verifier) Verify(r *http.Request) (string, error) {
 		return "", err
 	}
 	return subject, nil
+}
+
+// verifySessionMAC checks the symmetric steady-state path: the session
+// must be live, and the signature header must be an HMAC-SHA256 over
+// the same canonical string verifySignature covers, keyed by the
+// session secret. Date and nonce checks are byte-for-byte the same
+// code as the Ed25519 path.
+func (v *Verifier) verifySessionMAC(r *http.Request) (subject, nonce string, err error) {
+	token := r.Header.Get(HeaderSession)
+	macB64 := r.Header.Get(HeaderSignature)
+	if macB64 == "" {
+		return "", "", fmt.Errorf("%w: missing signature", ErrUnauthenticated)
+	}
+	v.sessMu.RLock()
+	rec, ok := v.sessions[token]
+	v.sessMu.RUnlock()
+	if !ok || v.now().After(rec.exp) {
+		if ok {
+			v.sessMu.Lock()
+			if cur, still := v.sessions[token]; still && cur == rec {
+				delete(v.sessions, token)
+			}
+			v.sessMu.Unlock()
+		}
+		return "", "", ErrSessionExpired
+	}
+	date := r.Header.Get(HeaderDate)
+	if err := v.checkDate(date); err != nil {
+		return "", "", err
+	}
+	nonce = r.Header.Get(HeaderNonce)
+	if nonce == "" {
+		return "", "", fmt.Errorf("%w: missing nonce", ErrUnauthenticated)
+	}
+	got, err := base64.StdEncoding.DecodeString(macB64)
+	if err != nil {
+		return "", "", fmt.Errorf("%w: bad signature encoding", ErrUnauthenticated)
+	}
+	bodyHash, err := hashBody(r)
+	if err != nil {
+		return "", "", fmt.Errorf("%w: %v", ErrUnauthenticated, err)
+	}
+	want := rec.macs.mac(r.Method, r.URL.Path, canonicalQuery(r.URL), date, nonce, bodyHash)
+	if !hmac.Equal(got, want) {
+		return "", "", fmt.Errorf("%w: signature mismatch", ErrUnauthenticated)
+	}
+	return rec.subject, nonce, nil
+}
+
+// checkDate parses the date header and enforces the skew window —
+// shared verbatim by the Ed25519 and session paths.
+func (v *Verifier) checkDate(date string) error {
+	when, err := time.Parse(time.RFC3339, date)
+	if err != nil {
+		return fmt.Errorf("%w: bad date", ErrUnauthenticated)
+	}
+	if drift := v.now().Sub(when); drift > v.skew || drift < -v.skew {
+		return fmt.Errorf("%w: request date outside ±%s window", ErrUnauthenticated, v.skew)
+	}
+	return nil
 }
 
 func (v *Verifier) verifySignature(r *http.Request) (subject, nonce string, err error) {
@@ -263,12 +636,8 @@ func (v *Verifier) verifySignature(r *http.Request) (subject, nonce string, err 
 		return "", "", fmt.Errorf("%w: %v", ErrUnauthenticated, err)
 	}
 	date := r.Header.Get(HeaderDate)
-	when, err := time.Parse(time.RFC3339, date)
-	if err != nil {
-		return "", "", fmt.Errorf("%w: bad date", ErrUnauthenticated)
-	}
-	if drift := v.now().Sub(when); drift > v.skew || drift < -v.skew {
-		return "", "", fmt.Errorf("%w: request date outside ±%s window", ErrUnauthenticated, v.skew)
+	if err := v.checkDate(date); err != nil {
+		return "", "", err
 	}
 	nonce = r.Header.Get(HeaderNonce)
 	if nonce == "" {
@@ -282,7 +651,7 @@ func (v *Verifier) verifySignature(r *http.Request) (subject, nonce string, err 
 	if err != nil {
 		return "", "", fmt.Errorf("%w: %v", ErrUnauthenticated, err)
 	}
-	payload := signingPayload(r.Method, r.URL.Path, r.URL.Query().Encode(), date, nonce, bodyHash)
+	payload := signingPayload(r.Method, r.URL.Path, canonicalQuery(r.URL), date, nonce, bodyHash)
 	if !ed25519.Verify(ed25519.PublicKey(cert.PublicKey), payload, sig) {
 		return "", "", fmt.Errorf("%w: signature mismatch", ErrUnauthenticated)
 	}

@@ -342,3 +342,214 @@ func TestUnmarshalIdentityRejectsGarbage(t *testing.T) {
 		t.Fatal("want error for non-JSON")
 	}
 }
+
+// --- session (HMAC) path -------------------------------------------------
+//
+// The session path must preserve every guarantee the Ed25519 path
+// gives: the same canonical string is MACed, the same skew window
+// applies, and the same nonce cache rejects verbatim replay. These
+// tests mirror the per-request-signature battery above on the
+// handshake-issued credential.
+
+// sessionFixture mints a verifier and an issued session.
+func sessionFixture(t *testing.T, opts ...VerifierOption) (*Verifier, *Session) {
+	t.Helper()
+	v := NewVerifier(testCA(t), opts...)
+	grant, err := v.IssueSession("operator")
+	if err != nil {
+		t.Fatalf("IssueSession: %v", err)
+	}
+	return v, grant.Session()
+}
+
+func TestSessionSignVerifyRoundTrip(t *testing.T) {
+	v, s := sessionFixture(t)
+	req := httptest.NewRequest("POST", "http://geniod/v2/deployments",
+		strings.NewReader(`{"spec":{"name":"web"}}`))
+	if err := SignRequestSession(req, s); err != nil {
+		t.Fatalf("SignRequestSession: %v", err)
+	}
+	if req.Header.Get(HeaderCertificate) != "" {
+		t.Fatalf("session request must not carry a certificate")
+	}
+	subject, err := v.Verify(req)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if subject != "operator" {
+		t.Fatalf("subject = %q, want operator", subject)
+	}
+}
+
+func TestSessionRejectsTamperedRequestLine(t *testing.T) {
+	v, s := sessionFixture(t)
+	req := httptest.NewRequest("POST", "http://geniod/v2/deployments", nil)
+	if err := SignRequestSession(req, s); err != nil {
+		t.Fatalf("SignRequestSession: %v", err)
+	}
+	replay := httptest.NewRequest("POST", "http://geniod/v2/nodes/olt-01/drain", nil)
+	replay.Header = req.Header.Clone()
+	if _, err := v.Verify(replay); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated (cross-endpoint replay must fail)", err)
+	}
+}
+
+func TestSessionRejectsTamperedBody(t *testing.T) {
+	v, s := sessionFixture(t)
+	req := httptest.NewRequest("POST", "http://geniod/v2/deployments",
+		strings.NewReader(`{"spec":{"name":"web"}}`))
+	if err := SignRequestSession(req, s); err != nil {
+		t.Fatalf("SignRequestSession: %v", err)
+	}
+	tampered := httptest.NewRequest("POST", "http://geniod/v2/deployments",
+		strings.NewReader(`{"spec":{"name":"backdoor"}}`))
+	tampered.Header = req.Header.Clone()
+	if _, err := v.Verify(tampered); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated (body substitution must fail)", err)
+	}
+}
+
+func TestSessionRejectsTamperedQuery(t *testing.T) {
+	v, s := sessionFixture(t)
+	req := httptest.NewRequest("GET", "http://geniod/v2/nodes?cluster=edge", nil)
+	if err := SignRequestSession(req, s); err != nil {
+		t.Fatalf("SignRequestSession: %v", err)
+	}
+	tampered := httptest.NewRequest("GET", "http://geniod/v2/nodes?cluster=core", nil)
+	tampered.Header = req.Header.Clone()
+	if _, err := v.Verify(tampered); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated (query substitution must fail)", err)
+	}
+}
+
+func TestSessionRejectsStaleDate(t *testing.T) {
+	v, s := sessionFixture(t)
+	req := httptest.NewRequest("GET", "http://geniod/v2/nodes", nil)
+	req.Header.Set(HeaderDate, time.Now().Add(-2*MaxClockSkew).UTC().Format(time.RFC3339))
+	if err := SignRequestSession(req, s); err != nil {
+		t.Fatalf("SignRequestSession: %v", err)
+	}
+	if _, err := v.Verify(req); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated (stale date must fail)", err)
+	}
+}
+
+func TestSessionRejectsNonceReplay(t *testing.T) {
+	v, s := sessionFixture(t)
+	req := httptest.NewRequest("POST", "http://geniod/v2/deployments", nil)
+	if err := SignRequestSession(req, s); err != nil {
+		t.Fatalf("SignRequestSession: %v", err)
+	}
+	if _, err := v.Verify(req); err != nil {
+		t.Fatalf("first Verify: %v", err)
+	}
+	if _, err := v.Verify(req); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated (verbatim replay must fail)", err)
+	}
+	// A fresh MAC (new nonce) on the same session still works.
+	fresh := httptest.NewRequest("POST", "http://geniod/v2/deployments", nil)
+	if err := SignRequestSession(fresh, s); err != nil {
+		t.Fatalf("SignRequestSession: %v", err)
+	}
+	if _, err := v.Verify(fresh); err != nil {
+		t.Fatalf("fresh request after replay rejection: %v", err)
+	}
+}
+
+// TestSessionSharedNonceCacheAcrossPaths: a nonce consumed by an
+// Ed25519-signed request is also spent for the session path (and vice
+// versa) — the replay cache is one pool, not per-path, so switching
+// auth modes cannot resurrect a captured nonce.
+func TestSessionSharedNonceCacheAcrossPaths(t *testing.T) {
+	ca := testCA(t)
+	v := NewVerifier(ca)
+	id, err := ca.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	grant, err := v.IssueSession("operator")
+	if err != nil {
+		t.Fatalf("IssueSession: %v", err)
+	}
+	signed := httptest.NewRequest("GET", "http://geniod/v2/nodes", nil)
+	signed.Header.Set(HeaderNonce, "shared-nonce-1")
+	if err := SignRequest(signed, id); err != nil {
+		t.Fatalf("SignRequest: %v", err)
+	}
+	if _, err := v.Verify(signed); err != nil {
+		t.Fatalf("ed25519 Verify: %v", err)
+	}
+	viaSession := httptest.NewRequest("GET", "http://geniod/v2/nodes", nil)
+	viaSession.Header.Set(HeaderNonce, "shared-nonce-1")
+	if err := SignRequestSession(viaSession, grant.Session()); err != nil {
+		t.Fatalf("SignRequestSession: %v", err)
+	}
+	if _, err := v.Verify(viaSession); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want ErrUnauthenticated (nonce must be spent across paths)", err)
+	}
+}
+
+func TestSessionExpiryAndUnknownToken(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	v, s := sessionFixture(t, WithVerifierClock(clock), WithSessionTTL(time.Minute))
+	req := httptest.NewRequest("GET", "http://geniod/v2/nodes", nil)
+	if err := SignRequestSession(req, s); err != nil {
+		t.Fatalf("SignRequestSession: %v", err)
+	}
+	if _, err := v.Verify(req); err != nil {
+		t.Fatalf("Verify before expiry: %v", err)
+	}
+	// Past the TTL the token is gone — distinctly recoverable
+	// (ErrSessionExpired), so clients re-handshake instead of failing.
+	now = now.Add(2 * time.Minute)
+	late := httptest.NewRequest("GET", "http://geniod/v2/nodes", nil)
+	late.Header.Set(HeaderDate, now.UTC().Format(time.RFC3339))
+	if err := SignRequestSession(late, s); err != nil {
+		t.Fatalf("SignRequestSession: %v", err)
+	}
+	if _, err := v.Verify(late); !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("err = %v, want ErrSessionExpired", err)
+	}
+	// A token the verifier never issued reports the same condition.
+	unknown := httptest.NewRequest("GET", "http://geniod/v2/nodes", nil)
+	if err := SignRequestSession(unknown, &Session{Token: "no-such-token", Secret: s.Secret}); err != nil {
+		t.Fatalf("SignRequestSession: %v", err)
+	}
+	if _, err := v.Verify(unknown); !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("unknown token err = %v, want ErrSessionExpired", err)
+	}
+}
+
+func TestSessionRejectsWrongSecret(t *testing.T) {
+	v, s := sessionFixture(t)
+	forged := &Session{Token: s.Token, Secret: []byte("not-the-granted-secret--------!!"), Subject: s.Subject}
+	req := httptest.NewRequest("GET", "http://geniod/v2/nodes", nil)
+	if err := SignRequestSession(req, forged); err != nil {
+		t.Fatalf("SignRequestSession: %v", err)
+	}
+	if _, err := v.Verify(req); !errors.Is(err, ErrUnauthenticated) || errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("err = %v, want plain ErrUnauthenticated (a bad MAC on a live token is an attack, not expiry)", err)
+	}
+}
+
+// TestSessionCapacityBounded: the session table refuses new grants at
+// capacity (clients just stay on Ed25519), and expired entries free
+// capacity again.
+func TestSessionCapacityBounded(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	v := NewVerifier(testCA(t), WithVerifierClock(clock), WithSessionCapacity(2), WithSessionTTL(time.Minute))
+	for i := 0; i < 2; i++ {
+		if _, err := v.IssueSession("operator"); err != nil {
+			t.Fatalf("IssueSession %d: %v", i, err)
+		}
+	}
+	if _, err := v.IssueSession("operator"); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("err = %v, want refusal at capacity", err)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, err := v.IssueSession("operator"); err != nil {
+		t.Fatalf("IssueSession after expiry pruning: %v", err)
+	}
+}

@@ -22,6 +22,13 @@ type Interface interface {
 	// DeployAsync launches a deployment future and returns a handle to
 	// poll, await, or cancel it.
 	DeployAsync(ctx context.Context, spec api.WorkloadSpec) (Deployment, error)
+	// DeployBatch admits every spec through the full pipeline and waits
+	// for all of them. Results are positional (Results[i] answers
+	// specs[i]), each carrying either the placed workload or the typed
+	// error — one rejection never fails its siblings. The remote
+	// implementation ships the whole batch as ONE signed request; the
+	// returned error reports transport/auth failure only.
+	DeployBatch(ctx context.Context, specs []api.WorkloadSpec) ([]BatchResult, error)
 	// Watch streams lifecycle transitions matching the selector until
 	// ctx ends. The remote implementation reconnects dropped streams
 	// with backoff, reapplying the same selector.
@@ -62,6 +69,14 @@ type Interface interface {
 	// Close releases the client (and, for the local implementation, the
 	// platform it owns).
 	Close() error
+}
+
+// BatchResult is one positional element of a DeployBatch: exactly one
+// of Workload (placed) or Err (decoded typed taxonomy error —
+// errors.Is/As work) is set.
+type BatchResult struct {
+	Workload *api.Workload
+	Err      error
 }
 
 // Deployment is a client-side handle on an asynchronous deployment

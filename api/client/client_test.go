@@ -10,8 +10,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -370,5 +372,100 @@ func TestHTTPTransportError(t *testing.T) {
 	defer cli.Close()
 	if _, err := cli.Nodes(context.Background(), nil, ""); err == nil {
 		t.Fatal("request against a closed server succeeded")
+	}
+}
+
+// TestConformanceDeployBatch: the batched entry point behaves
+// identically local and remote — positional results, one typed
+// rejection never failing its siblings, empty batch a no-op.
+func TestConformanceDeployBatch(t *testing.T) {
+	for _, m := range modes(t) {
+		t.Run(m.name, func(t *testing.T) {
+			cli, p := m.build(t)
+			ctx := context.Background()
+
+			bad := spec("bad-iso", "acme/analytics:2.0.1")
+			bad.Isolation = "quantum"
+			specs := []api.WorkloadSpec{
+				spec("b-web", "acme/analytics:2.0.1"),
+				spec("b-flagged", "acme/iot-gateway:1.4.2"),
+				bad,
+				spec("b-api", "acme/analytics:2.0.1"),
+			}
+			results, err := cli.DeployBatch(ctx, specs)
+			if err != nil {
+				t.Fatalf("batch: %v", err)
+			}
+			if len(results) != len(specs) {
+				t.Fatalf("got %d results for %d specs", len(results), len(specs))
+			}
+			for _, i := range []int{0, 3} {
+				if results[i].Err != nil || results[i].Workload == nil || results[i].Workload.Node == "" {
+					t.Fatalf("results[%d] = (%+v, %v), want placed", i, results[i].Workload, results[i].Err)
+				}
+				if _, ok := p.Cluster.Workload(specs[i].Name); !ok {
+					t.Fatalf("workload %s not in cluster", specs[i].Name)
+				}
+			}
+			var adm *genio.AdmissionError
+			if !errors.As(results[1].Err, &adm) || !errors.Is(results[1].Err, genio.ErrRejected) {
+				t.Fatalf("results[1].Err = %v, want AdmissionError", results[1].Err)
+			}
+			if results[2].Err == nil || results[2].Workload != nil {
+				t.Fatalf("results[2] = (%+v, %v), want spec error", results[2].Workload, results[2].Err)
+			}
+
+			// Empty batch: no request, no results, no error.
+			if results, err := cli.DeployBatch(ctx, nil); err != nil || results != nil {
+				t.Fatalf("empty batch = (%v, %v), want (nil, nil)", results, err)
+			}
+		})
+	}
+}
+
+// TestHTTPConnectionReuse pins the tuned transport: a burst of
+// sequential signed requests to one host must ride ONE TCP connection
+// (session handshake included). The stock transport's 2-per-host idle
+// cap made deploy storms re-dial between bursts; the tuned transport
+// keeps the connection warm.
+func TestHTTPConnectionReuse(t *testing.T) {
+	p, err := demo.Platform(core.SecureConfig(), "ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	srv := server.New(p, server.Options{CA: p.CA})
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	var conns atomic.Int64
+	ts.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	t.Cleanup(ts.Close)
+	id, err := p.CA.Issue("ops", pki.RoleService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately NOT ts.Client(): the point is the client's own
+	// default transport.
+	cli := NewHTTP(ts.URL, WithIdentity(id))
+	t.Cleanup(func() { cli.Close() })
+	ctx := context.Background()
+
+	for i := 0; i < 10; i++ {
+		if _, err := cli.Ledger(ctx); err != nil {
+			t.Fatalf("ledger %d: %v", i, err)
+		}
+	}
+	if _, err := cli.DeployBatch(ctx, []api.WorkloadSpec{
+		spec("reuse-a", "acme/analytics:2.0.1"),
+		spec("reuse-b", "acme/analytics:2.0.1"),
+	}); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("burst of sequential requests opened %d connections, want 1", got)
 	}
 }

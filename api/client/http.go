@@ -8,10 +8,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"genio/api"
@@ -21,11 +23,27 @@ import (
 // HTTP is the remote client: it speaks the v2 wire surface to a geniod
 // server, authenticating every request with its PKI identity (or an
 // anonymous subject header against a legacy-posture server).
+//
+// With an identity configured, the client establishes a session on
+// first use (POST /v2/session, Ed25519-signed) and authenticates the
+// steady state with the granted HMAC secret — re-keying through the
+// asymmetric handshake when the session expires, and falling back to
+// per-request Ed25519 signatures against servers that predate
+// sessions.
 type HTTP struct {
 	base     string
 	client   *http.Client
 	identity *pki.Identity
 	subject  string
+
+	// Session state. sessMu serializes re-keying: one goroutine runs
+	// the handshake while concurrent requests wait for the fresh
+	// session instead of stampeding the endpoint. sessOff latches when
+	// the server has no /v2/session (404/405): a legacy daemon, so the
+	// client stays on per-request signing without re-probing.
+	sessMu  sync.Mutex
+	sess    *api.Session
+	sessOff bool
 
 	// backoff bounds for stream/await reconnection.
 	backoffMin time.Duration
@@ -74,12 +92,33 @@ func WithStreamErrorHandler(fn func(error)) HTTPOption {
 	return func(c *HTTP) { c.streamErr = fn }
 }
 
+// newTransport is the default wire transport, tuned for deploy storms:
+// a storm fans dozens of concurrent requests at ONE host, and the
+// stock Transport's 2 idle conns per host would close and re-dial
+// almost every connection between bursts.
+func newTransport() *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   30 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+		// Control-plane payloads are small JSON; geniod never gzips
+		// them, so skip the Accept-Encoding negotiation and the
+		// per-response decompression bookkeeping.
+		DisableCompression: true,
+	}
+}
+
 // NewHTTP builds a remote client for a geniod base URL, e.g.
 // "http://127.0.0.1:9650".
 func NewHTTP(base string, opts ...HTTPOption) *HTTP {
 	c := &HTTP{
 		base:       strings.TrimRight(base, "/"),
-		client:     &http.Client{},
+		client:     &http.Client{Transport: newTransport()},
 		backoffMin: 50 * time.Millisecond,
 		backoffMax: 2 * time.Second,
 	}
@@ -89,35 +128,120 @@ func NewHTTP(base string, opts ...HTTPOption) *HTTP {
 	return c
 }
 
-// newRequest builds and authenticates one request.
-func (c *HTTP) newRequest(ctx context.Context, method, path string, query url.Values, body any) (*http.Request, error) {
+// reqBufPool recycles request-body encode buffers; maxPooledReqBuf
+// keeps a one-off giant batch from pinning its buffer forever.
+var reqBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledReqBuf = 1 << 20
+
+// newRequest builds and authenticates one request. The returned
+// release func recycles the body's encode buffer and must be called
+// after the request has been fully sent (i.e. once client.Do returns);
+// it is never nil.
+func (c *HTTP) newRequest(ctx context.Context, method, path string, query url.Values, body any) (*http.Request, func(), error) {
 	u := c.base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
+	release := func() {}
 	var rd io.Reader
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return nil, fmt.Errorf("client: marshal request: %w", err)
+		buf := reqBufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		if err := json.NewEncoder(buf).Encode(body); err != nil {
+			reqBufPool.Put(buf)
+			return nil, nil, fmt.Errorf("client: marshal request: %w", err)
 		}
-		rd = bytes.NewReader(data)
+		rd = bytes.NewReader(buf.Bytes())
+		release = func() {
+			if buf.Cap() <= maxPooledReqBuf {
+				reqBufPool.Put(buf)
+			}
+		}
 	}
 	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
-		return nil, err
+		release()
+		return nil, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	if c.identity != nil {
-		if err := api.SignRequest(req, c.identity); err != nil {
-			return nil, err
+		if s := c.session(ctx); s != nil {
+			err = api.SignRequestSession(req, s)
+		} else {
+			err = api.SignRequest(req, c.identity)
+		}
+		if err != nil {
+			release()
+			return nil, nil, err
 		}
 	} else if c.subject != "" {
 		req.Header.Set(api.HeaderSubject, c.subject)
 	}
-	return req, nil
+	return req, release, nil
+}
+
+// session returns a live session, running the Ed25519 handshake if
+// none is held. Any handshake failure falls back to nil — the caller
+// signs per-request with the identity key, which is always accepted —
+// so sessions are purely an optimization, never an availability risk.
+func (c *HTTP) session(ctx context.Context) *api.Session {
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	if c.sessOff {
+		return nil
+	}
+	// Refresh slightly early so a request signed now does not land
+	// after server-side expiry mid-flight.
+	if c.sess != nil && time.Now().Add(2*time.Second).Before(c.sess.ExpiresAt) {
+		return c.sess
+	}
+	c.sess = nil
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/session", nil)
+	if err != nil {
+		return nil
+	}
+	if err := api.SignRequest(req, c.identity); err != nil {
+		return nil
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed:
+		// Pre-session server: stop probing, stay on Ed25519.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		c.sessOff = true
+		return nil
+	case resp.StatusCode != http.StatusCreated:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var grant api.SessionGrant
+	if err := json.NewDecoder(resp.Body).Decode(&grant); err != nil {
+		return nil
+	}
+	c.sess = grant.Session()
+	return c.sess
+}
+
+// invalidateSession drops the held session (the server no longer knows
+// it — expiry, restart, eviction); the next request re-keys.
+func (c *HTTP) invalidateSession() {
+	c.sessMu.Lock()
+	c.sess = nil
+	c.sessMu.Unlock()
+}
+
+// isSessionExpired recognizes the server's recoverable 401: re-key and
+// retry rather than surfacing an auth failure.
+func isSessionExpired(err error) bool {
+	var we *api.WireError
+	return errors.As(err, &we) && we.Code == api.CodeSessionExpired
 }
 
 // decodeError turns a non-2xx response into the library's typed error.
@@ -132,25 +256,51 @@ func decodeError(resp *http.Response) error {
 }
 
 // do sends one request and decodes the JSON response into out (skipped
-// when out is nil).
+// when out is nil). A session-expired 401 re-keys and retries once —
+// transparent to callers, since the request never reached its handler.
 func (c *HTTP) do(ctx context.Context, method, path string, query url.Values, body, out any) error {
-	req, err := c.newRequest(ctx, method, path, query, body)
-	if err != nil {
+	for attempt := 0; ; attempt++ {
+		req, release, err := c.newRequest(ctx, method, path, query, body)
+		if err != nil {
+			return err
+		}
+		resp, err := c.client.Do(req)
+		release()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode >= 400 {
+			derr := decodeError(resp)
+			if attempt == 0 && isSessionExpired(derr) {
+				c.invalidateSession()
+				continue
+			}
+			return derr
+		}
+		defer resp.Body.Close()
+		if out == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		return decodeBody(resp.Body, out)
+	}
+}
+
+// decodeBody reads a response body through a pooled buffer and
+// unmarshals it — a json.Decoder per response would allocate its own
+// internal read buffer every call.
+func decodeBody(body io.Reader, out any) error {
+	buf := reqBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(body); err != nil {
+		reqBufPool.Put(buf)
 		return err
 	}
-	resp, err := c.client.Do(req)
-	if err != nil {
-		return err
+	err := json.Unmarshal(buf.Bytes(), out)
+	if buf.Cap() <= maxPooledReqBuf {
+		reqBufPool.Put(buf)
 	}
-	if resp.StatusCode >= 400 {
-		return decodeError(resp)
-	}
-	defer resp.Body.Close()
-	if out == nil {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return err
 }
 
 func (c *HTTP) Deploy(ctx context.Context, spec api.WorkloadSpec) (*api.Workload, error) {
@@ -167,6 +317,28 @@ func (c *HTTP) DeployAsync(ctx context.Context, spec api.WorkloadSpec) (Deployme
 		return nil, err
 	}
 	return &httpDeployment{c: c, ref: ref}, nil
+}
+
+// DeployBatch ships every spec in ONE signed request to
+// /v2/deploy/batch — amortizing auth, connection, and codec cost
+// across the whole storm — and decodes the positional results back to
+// the typed taxonomy.
+func (c *HTTP) DeployBatch(ctx context.Context, specs []api.WorkloadSpec) ([]BatchResult, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	var resp api.DeployBatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v2/deploy/batch", nil, api.DeployBatchRequest{Specs: specs}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(specs) {
+		return nil, fmt.Errorf("client: batch returned %d results for %d specs", len(resp.Results), len(specs))
+	}
+	out := make([]BatchResult, len(resp.Results))
+	for i, r := range resp.Results {
+		out[i] = BatchResult{Workload: r.Workload, Err: api.Decode(r.Error)}
+	}
+	return out, nil
 }
 
 // Deployment rebuilds a handle for a known deployment ID (learned
@@ -300,21 +472,29 @@ func (c *HTTP) Watch(ctx context.Context, sel api.WatchSelector) (<-chan api.Lif
 }
 
 func (c *HTTP) openStream(ctx context.Context, query url.Values, lastID uint64) (*http.Response, error) {
-	req, err := c.newRequest(ctx, http.MethodGet, "/v2/watch", query, nil)
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		req, release, err := c.newRequest(ctx, http.MethodGet, "/v2/watch", query, nil)
+		if err != nil {
+			return nil, err
+		}
+		if lastID > 0 {
+			req.Header.Set("Last-Event-ID", strconv.FormatUint(lastID, 10))
+		}
+		resp, err := c.client.Do(req)
+		release()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			derr := decodeError(resp)
+			if attempt == 0 && isSessionExpired(derr) {
+				c.invalidateSession()
+				continue
+			}
+			return nil, derr
+		}
+		return resp, nil
 	}
-	if lastID > 0 {
-		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastID, 10))
-	}
-	resp, err := c.client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
-	return resp, nil
 }
 
 // pumpStream forwards one connection's events, tracking the server's

@@ -68,6 +68,38 @@ func (l *Local) DeployAsync(ctx context.Context, spec api.WorkloadSpec) (Deploym
 	}, nil
 }
 
+// DeployBatch delegates to the platform's in-process batch fan-out
+// (core.Platform.DeployBatchContext): every spec pipelines through its
+// own future concurrently, results stay positional.
+func (l *Local) DeployBatch(ctx context.Context, specs []api.WorkloadSpec) ([]BatchResult, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	results := make([]BatchResult, len(specs))
+	oSpecs := make([]orchestrator.WorkloadSpec, 0, len(specs))
+	indices := make([]int, 0, len(specs))
+	for i, spec := range specs {
+		oSpec, err := spec.ToOrchestrator()
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		oSpecs = append(oSpecs, oSpec)
+		indices = append(indices, i)
+	}
+	if len(oSpecs) > 0 {
+		wls, errs := l.p.DeployBatchContext(ctx, l.subject, oSpecs)
+		for j, i := range indices {
+			if errs[j] != nil {
+				results[i].Err = errs[j]
+			} else {
+				results[i].Workload = api.FromWorkload(wls[j])
+			}
+		}
+	}
+	return results, nil
+}
+
 // localDeployment adapts a core.Deployment future to the client handle.
 type localDeployment struct {
 	id string

@@ -32,7 +32,11 @@ const (
 	CodeClosed          = "platform-closed"
 	CodeBadRequest      = "bad-request"
 	CodeUnauthenticated = "unauthenticated"
-	CodeInternal        = "internal"
+	// CodeSessionExpired is the recoverable subset of unauthenticated:
+	// the session token is no longer live. Clients re-handshake (POST
+	// /v2/session) and retry instead of surfacing an auth failure.
+	CodeSessionExpired = "session-expired"
+	CodeInternal       = "internal"
 )
 
 // Cause discriminators for wire errors whose library form wraps a
@@ -74,6 +78,7 @@ var httpStatus = map[string]int{
 	CodeClosed:          http.StatusServiceUnavailable,         // 503
 	CodeBadRequest:      http.StatusBadRequest,                 // 400
 	CodeUnauthenticated: http.StatusUnauthorized,               // 401
+	CodeSessionExpired:  http.StatusUnauthorized,               // 401 (shared with unauthenticated; clients switch on Code)
 	CodeInternal:        http.StatusInternalServerError,
 }
 

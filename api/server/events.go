@@ -1,7 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"strconv"
 	"sync"
 
 	"genio/api"
@@ -10,10 +13,39 @@ import (
 
 // loggedEvent is one lifecycle event with its server-assigned stream
 // id — the SSE `id:` field, monotonically increasing for the server's
-// lifetime.
+// lifetime — and the fully rendered SSE frame ("id: N\ndata: {...}\n\n")
+// encoded ONCE at append time. Every subscriber (live and replay)
+// writes the same shared bytes: a 100-subscriber watch costs one
+// marshal per event, not 100. The frame is immutable after append, so
+// sharing it across connections is race-free.
 type loggedEvent struct {
-	id uint64
-	ev api.LifecycleEvent
+	id    uint64
+	ev    api.LifecycleEvent
+	frame []byte
+}
+
+// framePool recycles the encoder scratch frames are built in; the
+// retained frame itself is a single exact-size allocation per event
+// (it lives as long as the replay ring, so it cannot be pooled).
+var framePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// renderFrame encodes one event into its SSE frame bytes.
+func renderFrame(id uint64, ev api.LifecycleEvent) []byte {
+	scratch := framePool.Get().(*bytes.Buffer)
+	defer framePool.Put(scratch)
+	scratch.Reset()
+	scratch.WriteString("id: ")
+	scratch.Write(strconv.AppendUint(scratch.AvailableBuffer(), id, 10))
+	scratch.WriteString("\ndata: ")
+	if err := json.NewEncoder(scratch).Encode(ev); err != nil {
+		// LifecycleEvent is a flat struct of strings and ints; encoding
+		// cannot fail. Keep the frame well-formed regardless.
+		scratch.Reset()
+		return nil
+	}
+	// json.Encoder already appended one \n; one more ends the SSE frame.
+	scratch.WriteByte('\n')
+	return append(make([]byte, 0, scratch.Len()), scratch.Bytes()...)
 }
 
 // eventLog is the server's single source of watch events: one
@@ -76,6 +108,7 @@ func (l *eventLog) append(ev api.LifecycleEvent) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	le := loggedEvent{id: l.nextID, ev: ev}
+	le.frame = renderFrame(le.id, ev)
 	l.nextID++
 	if l.size < len(l.buf) {
 		l.buf[(l.head+l.size)%len(l.buf)] = le

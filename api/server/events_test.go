@@ -1,7 +1,11 @@
 package server
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -77,5 +81,111 @@ func TestEventLogBoundedRetention(t *testing.T) {
 		if want := fmt.Sprintf("wl-%03d", total-capacity+i); le.ev.Workload != want {
 			t.Fatalf("replay[%d].workload = %q, want %q", i, le.ev.Workload, want)
 		}
+	}
+}
+
+// TestRenderFrameMatchesSSEWire pins the frame layout handleWatch used
+// to assemble per-connection: "id: N\ndata: <json>\n\n". Encode-once
+// must not change a single byte on the wire.
+func TestRenderFrameMatchesSSEWire(t *testing.T) {
+	ev := api.LifecycleEvent{Workload: "edge-dns", Tenant: "acme", State: "placed", Node: "olt-01"}
+	frame := renderFrame(42, ev)
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("id: 42\ndata: %s\n\n", data)
+	if string(frame) != want {
+		t.Fatalf("frame = %q, want %q", frame, want)
+	}
+}
+
+// TestWatchFanoutEncodesOnce is the alloc-pinning regression for the
+// encode-once fan-out: appending one event must cost O(1) allocations
+// regardless of subscriber count — one retained frame shared by every
+// subscriber, not one marshal per connection. Before the fix each of
+// the N watch connections marshalled the event independently.
+func TestWatchFanoutEncodesOnce(t *testing.T) {
+	const subscribers = 100
+	l := &eventLog{buf: make([]loggedEvent, 256), nextID: 1, subs: make(map[*logSub]struct{})}
+	subs := make([]*logSub, subscribers)
+	for i := range subs {
+		_, sub := l.subscribe(0)
+		// Pre-grow the queue so append never reallocates mid-measurement;
+		// queue growth is amortized-O(1) and not what this test pins.
+		sub.queue = make([]loggedEvent, 0, 4096)
+		subs[i] = sub
+	}
+	ev := api.LifecycleEvent{Workload: "edge-dns", Tenant: "acme", State: "placed", Node: "olt-01"}
+	l.append(ev) // warm the frame pool's scratch buffer
+
+	allocs := testing.AllocsPerRun(100, func() { l.append(ev) })
+	// One retained frame + encoder scratch: a handful of allocations,
+	// and critically NOT proportional to the 100 subscribers.
+	if allocs > 8 {
+		t.Fatalf("append allocated %.1f objects across %d subscribers, want O(1) (<= 8)", allocs, subscribers)
+	}
+
+	// Every subscriber's queued copy shares the SAME frame bytes.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	first := subs[0].queue[len(subs[0].queue)-1].frame
+	if len(first) == 0 {
+		t.Fatal("queued event has no rendered frame")
+	}
+	for i, sub := range subs {
+		got := sub.queue[len(sub.queue)-1].frame
+		if &got[0] != &first[0] {
+			t.Fatalf("subscriber %d holds a distinct frame copy — event was encoded more than once", i)
+		}
+	}
+}
+
+// TestWatchFanoutPublishStorm drives 100 live subscribers through a
+// concurrent publish storm (run under -race in CI): every subscriber
+// must observe every event, in id order, with an intact frame.
+func TestWatchFanoutPublishStorm(t *testing.T) {
+	const (
+		subscribers = 100
+		events      = 200
+	)
+	l := &eventLog{buf: make([]loggedEvent, events), nextID: 1, subs: make(map[*logSub]struct{})}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, subscribers)
+	for i := 0; i < subscribers; i++ {
+		_, sub := l.subscribe(0)
+		wg.Add(1)
+		go func(i int, sub *logSub) {
+			defer wg.Done()
+			defer sub.cancel()
+			var lastID uint64
+			for n := 0; n < events; n++ {
+				le, ok := sub.next(ctx)
+				if !ok {
+					errs <- fmt.Errorf("subscriber %d: stream ended after %d/%d events", i, n, events)
+					return
+				}
+				if le.id != lastID+1 {
+					errs <- fmt.Errorf("subscriber %d: id %d after %d", i, le.id, lastID)
+					return
+				}
+				lastID = le.id
+				if want := fmt.Sprintf("id: %d\ndata: ", le.id); !bytes.HasPrefix(le.frame, []byte(want)) {
+					errs <- fmt.Errorf("subscriber %d: malformed frame %q", i, le.frame)
+					return
+				}
+			}
+		}(i, sub)
+	}
+	for n := 0; n < events; n++ {
+		l.append(api.LifecycleEvent{Workload: fmt.Sprintf("wl-%03d", n), State: "placed"})
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

@@ -6,14 +6,18 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"genio/api"
 	"genio/internal/core"
@@ -45,6 +49,10 @@ type Options struct {
 	// events older than the buffer gets only what is retained. 0 means
 	// the default (1024).
 	WatchReplayBuffer int
+	// SessionTTL is how long POST /v2/session grants live before the
+	// client must re-key over Ed25519. 0 means api.DefaultSessionTTL;
+	// tests use tiny values to exercise re-keying.
+	SessionTTL time.Duration
 }
 
 const (
@@ -106,10 +114,16 @@ func New(p *core.Platform, opts Options) *Server {
 	if s.opts.WatchReplayBuffer <= 0 {
 		s.opts.WatchReplayBuffer = defaultWatchReplay
 	}
-	s.verifier = api.NewVerifier(s.opts.CA)
+	var vopts []api.VerifierOption
+	if s.opts.SessionTTL > 0 {
+		vopts = append(vopts, api.WithSessionTTL(s.opts.SessionTTL))
+	}
+	s.verifier = api.NewVerifier(s.opts.CA, vopts...)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v2/healthz", s.handleHealthz)
+	s.handle("POST /v2/session", s.handleSession)
 	s.handle("POST /v2/deployments", s.handleDeploy)
+	s.handle("POST /v2/deploy/batch", s.handleDeployBatch)
 	s.handle("POST /v2/deployments/async", s.handleDeployAsync)
 	s.handle("GET /v2/deployments/{id}", s.handleDeploymentStatus)
 	s.handle("GET /v2/deployments/{id}/await", s.handleDeploymentAwait)
@@ -139,7 +153,12 @@ func (s *Server) handle(pattern string, fn func(w http.ResponseWriter, r *http.R
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		subject, err := s.authenticate(r)
 		if err != nil {
-			writeWireError(w, &api.WireError{Code: api.CodeUnauthenticated, Message: err.Error()})
+			code := api.CodeUnauthenticated
+			if errors.Is(err, api.ErrSessionExpired) {
+				// Recoverable: the client re-keys over Ed25519 and retries.
+				code = api.CodeSessionExpired
+			}
+			writeWireError(w, &api.WireError{Code: code, Message: err.Error()})
 			return
 		}
 		fn(w, r, subject)
@@ -174,10 +193,47 @@ func (s *Server) authorize(subject, verb, resource, namespace string) error {
 	return nil
 }
 
+// codecBuf is one pooled encode/decode scratch: a buffer plus a JSON
+// encoder bound to it, so the wire hot path reuses both the byte
+// storage and the encoder's internal state instead of allocating per
+// response.
+type codecBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// maxPooledCodecBuf keeps a one-off giant response (a huge nodes table)
+// from pinning its buffer in the pool forever.
+const maxPooledCodecBuf = 1 << 20
+
+var codecPool = sync.Pool{New: func() any {
+	cb := &codecBuf{}
+	cb.enc = json.NewEncoder(&cb.buf)
+	return cb
+}}
+
+func getCodecBuf() *codecBuf {
+	cb := codecPool.Get().(*codecBuf)
+	cb.buf.Reset()
+	return cb
+}
+
+func putCodecBuf(cb *codecBuf) {
+	if cb.buf.Cap() <= maxPooledCodecBuf {
+		codecPool.Put(cb)
+	}
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	cb := getCodecBuf()
+	defer putCodecBuf(cb)
+	if err := cb.enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(cb.buf.Bytes())
 }
 
 func writeWireError(w http.ResponseWriter, we *api.WireError) {
@@ -190,7 +246,13 @@ func writeError(w http.ResponseWriter, err error) {
 
 func readBody[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
 	var v T
-	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+	cb := getCodecBuf()
+	defer putCodecBuf(cb)
+	if _, err := io.Copy(&cb.buf, r.Body); err != nil {
+		writeWireError(w, &api.WireError{Code: api.CodeBadRequest, Message: "bad request body: " + err.Error()})
+		return v, false
+	}
+	if err := json.Unmarshal(cb.buf.Bytes(), &v); err != nil {
 		writeWireError(w, &api.WireError{Code: api.CodeBadRequest, Message: "bad request body: " + err.Error()})
 		return v, false
 	}
@@ -228,6 +290,81 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request, subject st
 		return
 	}
 	writeJSON(w, http.StatusCreated, api.FromWorkload(wl))
+}
+
+// handleSession is the Ed25519→HMAC handshake: the request itself must
+// be certificate-signed (the route's authenticate already verified it),
+// and the response trades that proof for a short-lived symmetric
+// session bound to the certificate's subject. A session-authenticated
+// request cannot mint another session — re-keying always goes back
+// through the asymmetric proof, so a stolen session secret's usefulness
+// ends at its TTL.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request, subject string) {
+	if r.Header.Get(api.HeaderSession) != "" {
+		writeWireError(w, &api.WireError{Code: api.CodeBadRequest,
+			Message: "session handshake must be certificate-signed, not session-authenticated"})
+		return
+	}
+	if r.Header.Get(api.HeaderCertificate) == "" {
+		writeWireError(w, &api.WireError{Code: api.CodeUnauthenticated,
+			Message: "session handshake requires a certificate"})
+		return
+	}
+	grant, err := s.verifier.IssueSession(subject)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, grant)
+}
+
+// maxBatchSpecs bounds one batch request; the signed-body limit bounds
+// bytes, this bounds fan-out.
+const maxBatchSpecs = 1024
+
+// handleDeployBatch admits N specs from one signed request through the
+// platform's in-process batch fan-out. Results are positional, each
+// carrying either the placed workload or the full typed wire error —
+// the HTTP status only reports transport/decode outcome. Runs on the
+// request context: a client disconnect cancels every in-flight element
+// (already-placed ones stay placed), same as the single-deploy path.
+func (s *Server) handleDeployBatch(w http.ResponseWriter, r *http.Request, subject string) {
+	req, ok := readBody[api.DeployBatchRequest](w, r)
+	if !ok {
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeWireError(w, &api.WireError{Code: api.CodeBadRequest, Message: "empty batch"})
+		return
+	}
+	if len(req.Specs) > maxBatchSpecs {
+		writeWireError(w, &api.WireError{Code: api.CodeBadRequest,
+			Message: fmt.Sprintf("batch of %d exceeds %d-spec limit", len(req.Specs), maxBatchSpecs)})
+		return
+	}
+	results := make([]api.DeployBatchResult, len(req.Specs))
+	specs := make([]orchestrator.WorkloadSpec, 0, len(req.Specs))
+	indices := make([]int, 0, len(req.Specs))
+	for i, ws := range req.Specs {
+		spec, err := ws.ToOrchestrator()
+		if err != nil {
+			results[i].Error = &api.WireError{Code: api.CodeBadRequest, Message: err.Error()}
+			continue
+		}
+		specs = append(specs, spec)
+		indices = append(indices, i)
+	}
+	if len(specs) > 0 {
+		wls, errs := s.p.DeployBatchContext(r.Context(), subject, specs)
+		for j, i := range indices {
+			if errs[j] != nil {
+				results[i].Error = api.Encode(errs[j])
+			} else {
+				results[i].Workload = api.FromWorkload(wls[j])
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, api.DeployBatchResponse{Results: results})
 }
 
 // handleDeployAsync launches a deployment future and returns its ID
@@ -427,15 +564,14 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request, subject str
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
+	// Frames are rendered once at append time (see loggedEvent); every
+	// subscriber writes the same shared bytes, so this loop does zero
+	// marshalling no matter how many watchers are connected.
 	send := func(le loggedEvent) bool {
-		if !sel.Matches(le.ev) {
+		if le.frame == nil || !sel.Matches(le.ev) {
 			return true
 		}
-		data, err := json.Marshal(le.ev)
-		if err != nil {
-			return true
-		}
-		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", le.id, data); err != nil {
+		if _, err := w.Write(le.frame); err != nil {
 			return false
 		}
 		flusher.Flush()

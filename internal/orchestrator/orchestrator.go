@@ -348,6 +348,12 @@ type Cluster struct {
 	admMu     sync.RWMutex
 	admission []namedAdmission
 	admCache  sync.Map // "controller\x00imageDigest" -> struct{} (clean verdicts only)
+	// admFlight collapses concurrent identical cacheable scans: the
+	// first deploy of a digest leads the scan, simultaneous deploys of
+	// the same digest wait on its verdict instead of re-running the
+	// scanner (see runSharedScan).
+	admFlightMu sync.Mutex
+	admFlight   map[string]*admFlightCall
 
 	// clock, when set, timestamps placements and failovers. Injected by
 	// simulations (a deterministic virtual clock) and left nil in
@@ -396,6 +402,7 @@ func NewCluster(name string, reg *container.Registry, settings Settings) *Cluste
 		tenantUsed: make(map[string]Resources),
 		sched:      scheduler.New(),
 		warm:       warmpool.New(),
+		admFlight:  make(map[string]*admFlightCall),
 	}
 }
 

@@ -172,27 +172,29 @@ func Blocked(vs []Verdict) []Verdict {
 	return out
 }
 
+// baselineRules backs every DefaultWorkloadPolicy: the baseline is
+// attached on every deploy, and no caller mutates rules in place
+// (derived profiles copy with append), so one shared immutable slice
+// replaces a dozen allocations per deploy.
+var baselineRules = []PolicyRule{
+	{Types: []trace.EventType{trace.EventCapability}, TargetPrefix: "CAP_SYS_ADMIN", Action: ActionBlock},
+	{Types: []trace.EventType{trace.EventCapability}, TargetPrefix: "CAP_SYS_PTRACE", Action: ActionBlock},
+	{Types: []trace.EventType{trace.EventSyscall}, TargetPrefix: "mount", Action: ActionBlock},
+	{Types: []trace.EventType{trace.EventSyscall}, TargetPrefix: "ptrace", Action: ActionBlock},
+	{Types: []trace.EventType{trace.EventFileOpen, trace.EventFileWrite}, TargetPrefix: "/host/", Action: ActionBlock},
+	{Types: []trace.EventType{trace.EventFileOpen}, TargetPrefix: "/etc/shadow", Action: ActionBlock},
+	{Types: []trace.EventType{trace.EventExec}, TargetPrefix: "/bin/bash", Action: ActionBlock},
+	{Types: []trace.EventType{trace.EventExec}, TargetPrefix: "/bin/sh", Action: ActionBlock},
+	{Types: []trace.EventType{trace.EventFileWrite}, TargetPrefix: "/var/log/", Action: ActionAllow},
+	{Types: []trace.EventType{trace.EventFileWrite}, TargetPrefix: "/out/", Action: ActionAllow},
+	{Types: []trace.EventType{trace.EventFileWrite}, TargetPrefix: "", Action: ActionAudit},
+}
+
 // DefaultWorkloadPolicy returns the baseline policy GENIO attaches to soft-
 // isolated workloads: block dangerous capabilities, privileged syscalls,
 // host-filesystem access, and shells; audit writes outside the app tree.
 func DefaultWorkloadPolicy() Policy {
-	return Policy{
-		Name: "genio-baseline",
-		Rules: []PolicyRule{
-			{Types: []trace.EventType{trace.EventCapability}, TargetPrefix: "CAP_SYS_ADMIN", Action: ActionBlock},
-			{Types: []trace.EventType{trace.EventCapability}, TargetPrefix: "CAP_SYS_PTRACE", Action: ActionBlock},
-			{Types: []trace.EventType{trace.EventSyscall}, TargetPrefix: "mount", Action: ActionBlock},
-			{Types: []trace.EventType{trace.EventSyscall}, TargetPrefix: "ptrace", Action: ActionBlock},
-			{Types: []trace.EventType{trace.EventFileOpen, trace.EventFileWrite}, TargetPrefix: "/host/", Action: ActionBlock},
-			{Types: []trace.EventType{trace.EventFileOpen}, TargetPrefix: "/etc/shadow", Action: ActionBlock},
-			{Types: []trace.EventType{trace.EventExec}, TargetPrefix: "/bin/bash", Action: ActionBlock},
-			{Types: []trace.EventType{trace.EventExec}, TargetPrefix: "/bin/sh", Action: ActionBlock},
-			{Types: []trace.EventType{trace.EventFileWrite}, TargetPrefix: "/var/log/", Action: ActionAllow},
-			{Types: []trace.EventType{trace.EventFileWrite}, TargetPrefix: "/out/", Action: ActionAllow},
-			{Types: []trace.EventType{trace.EventFileWrite}, TargetPrefix: "", Action: ActionAudit},
-		},
-		DefaultAction: ActionAllow,
-	}
+	return Policy{Name: "genio-baseline", Rules: baselineRules, DefaultAction: ActionAllow}
 }
 
 // --- PEACH-style isolation review -------------------------------------------

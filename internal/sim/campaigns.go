@@ -431,6 +431,7 @@ func WireDeployStormCampaign(seed int64) Scenario {
 	for wave := 0; wave < 4; wave++ {
 		steps = append(steps,
 			WireDeployFlood(6+r.Intn(6), "acme", smallDemand, allImageRefs...),
+			WireDeployBatch(4+r.Intn(5), "acme", smallDemand, allImageRefs...),
 			WireCancelStorm(3+r.Intn(3), "acme", smallDemand,
 				CleanImageRef, SASTFlaggedImageRef),
 		)

@@ -200,3 +200,55 @@ func WireLedgerProbe() Step {
 		return okf("deploy.lifecycle published=%d dropped=%d", lifecycle.Published, lifecycle.Dropped)
 	}}
 }
+
+// WireDeployBatch draws n specs from refs and ships them as ONE signed
+// POST /v2/deploy/batch request — the amortized storm shape. Results
+// decode positionally, so each element feeds the verdict-determinism
+// and lifecycle bookkeeping exactly like a single wire deploy; one
+// rejected element must never perturb its batch siblings.
+func WireDeployBatch(n int, tenant string, res orchestrator.Resources, refs ...string) Step {
+	if len(refs) == 0 {
+		refs = []string{CleanImageRef}
+	}
+	return Step{Name: "wire-deploy-batch", Run: func(w *World) Outcome {
+		if w.wire == nil {
+			return Outcome{Status: "error", Detail: "wire step in a non-wire scenario"}
+		}
+		specs := make([]orchestrator.WorkloadSpec, n)
+		wireSpecs := make([]api.WorkloadSpec, n)
+		for i := range specs {
+			specs[i] = orchestrator.WorkloadSpec{
+				Name: w.NextWorkloadName(), Tenant: tenant,
+				ImageRef:  refs[w.Rand.Intn(len(refs))],
+				Isolation: orchestrator.IsolationSoft, Resources: res,
+			}
+			w.policies[specs[i].Name] = specs[i].PlacementPolicy
+			wireSpecs[i] = wireSpec(specs[i])
+		}
+		results, err := w.wire.DeployBatch(context.Background(), wireSpecs)
+		if err != nil {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("batch transport: %v", err)}
+		}
+		if len(results) != n {
+			return Outcome{Status: "error", Detail: fmt.Sprintf("batch returned %d results for %d specs", len(results), n)}
+		}
+		counts := map[string]int{}
+		for i, r := range results {
+			status, class, contentDetermined := classifyDeploy(r.Err)
+			if contentDetermined {
+				w.recordVerdict(specs[i].ImageRef, class)
+			}
+			counts[status]++
+		}
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		detail := fmt.Sprintf("%d wire deploys in one batch:", n)
+		for _, k := range keys {
+			detail += fmt.Sprintf(" %s=%d", k, counts[k])
+		}
+		return okf("%s", detail)
+	}}
+}
